@@ -1,0 +1,654 @@
+//! The simulated ASR engine: a noisy channel over spoken segments.
+//!
+//! This substitutes for Azure Custom Speech / Google Cloud Speech (see
+//! DESIGN.md). The channel reproduces the paper's transcription error
+//! taxonomy (Table 1) with class-dependent rates:
+//!
+//! - homophone swaps in both directions (keyword ↔ literal),
+//! - out-of-vocabulary identifiers split into corrupted sub-tokens,
+//! - numbers re-grouped ("forty five thousand three hundred ten" → `45000 310`),
+//! - dates fragmented ("may 07 19 91"),
+//! - spoken special characters emitted as words or symbols.
+//!
+//! A *custom-trained* profile (the paper trains Azure on 750 Employees
+//! queries) carries a [`Vocabulary`] of known literals: their spoken forms
+//! are recombined to canonical written forms with high probability, which is
+//! exactly why the paper's Employees accuracy beats Yelp's.
+
+use crate::homophones::corrupt_word;
+use crate::verbalize::{verbalize_sql, Origin, Segment};
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Error rates of one ASR configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsrProfile {
+    pub name: &'static str,
+    /// Probability a keyword word is mis-transcribed.
+    pub keyword_err: f64,
+    /// Probability a special character is emitted as its symbol rather than
+    /// spoken words (hints / custom models raise this).
+    pub splchar_symbol_rate: f64,
+    /// Probability a spoken-splchar word is corrupted.
+    pub splchar_err: f64,
+    /// Per-word corruption probability for in-vocabulary literal words.
+    pub literal_word_err: f64,
+    /// Per-word corruption probability for out-of-vocabulary words.
+    pub oov_word_err: f64,
+    /// Probability a known multi-word literal is recombined to its canonical
+    /// written form (custom language model behaviour).
+    pub recombine_literal: f64,
+    /// Probability a spoken number is recombined into one correct numeral.
+    pub number_correct: f64,
+    /// Given an incorrect number, probability of the re-grouping error (vs a
+    /// digit error).
+    pub number_split: f64,
+    /// Probability a spoken date is recombined into `YYYY-MM-DD`.
+    pub date_correct: f64,
+    /// Probability any emitted word is dropped outright.
+    pub word_drop: f64,
+}
+
+impl AsrProfile {
+    /// Azure Custom Speech, custom-trained on the Employees training split
+    /// (the paper's primary configuration).
+    pub fn acs_trained() -> AsrProfile {
+        AsrProfile {
+            name: "ACS-trained",
+            keyword_err: 0.07,
+            splchar_symbol_rate: 0.78,
+            splchar_err: 0.06,
+            literal_word_err: 0.18,
+            oov_word_err: 0.60,
+            recombine_literal: 0.62,
+            number_correct: 0.55,
+            number_split: 0.7,
+            date_correct: 0.45,
+            word_drop: 0.015,
+        }
+    }
+
+    /// Azure Custom Speech without schema-specific training (what Yelp
+    /// queries effectively see for literals — pair with an empty or
+    /// off-schema [`Vocabulary`]).
+    pub fn acs() -> AsrProfile {
+        AsrProfile { name: "ACS", ..AsrProfile::acs_trained() }
+    }
+
+    /// Open-domain dictation of natural English (the NLI speech path):
+    /// everyday words are well recognized; only rare words and schema/value
+    /// terms are at risk. Pair with an empty vocabulary.
+    pub fn open_domain() -> AsrProfile {
+        AsrProfile {
+            name: "open-domain",
+            keyword_err: 0.04,
+            splchar_symbol_rate: 0.5,
+            splchar_err: 0.05,
+            literal_word_err: 0.06,
+            oov_word_err: 0.35,
+            recombine_literal: 0.0,
+            number_correct: 0.8,
+            number_split: 0.5,
+            date_correct: 0.6,
+            word_drop: 0.01,
+        }
+    }
+
+    /// Google Cloud Speech with keyword/splchar hints (App. F.3): splchars
+    /// come back as symbols more often, but keywords and literals fare worse
+    /// than the custom-trained Azure model.
+    pub fn gcs() -> AsrProfile {
+        AsrProfile {
+            name: "GCS",
+            keyword_err: 0.14,
+            splchar_symbol_rate: 0.93,
+            splchar_err: 0.03,
+            literal_word_err: 0.28,
+            oov_word_err: 0.6,
+            recombine_literal: 0.25,
+            number_correct: 0.55,
+            number_split: 0.7,
+            date_correct: 0.4,
+            word_drop: 0.02,
+        }
+    }
+}
+
+/// The custom language model's vocabulary: literals whose spoken forms the
+/// ASR can recombine, plus the set of individual known words.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    /// spoken form (lower-case words joined by spaces) → canonical literal.
+    literals: HashMap<String, String>,
+    /// Individual words the model has seen.
+    words: HashSet<String>,
+}
+
+impl Vocabulary {
+    pub fn empty() -> Vocabulary {
+        Vocabulary::default()
+    }
+
+    /// Build from canonical literals (identifiers and bare string values).
+    pub fn from_literals<I, S>(literals: I) -> Vocabulary
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut v = Vocabulary::default();
+        for lit in literals {
+            v.insert(lit.as_ref());
+        }
+        v
+    }
+
+    pub fn insert(&mut self, literal: &str) {
+        let words = crate::speak::identifier_words(literal);
+        for w in &words {
+            self.words.insert(w.clone());
+        }
+        self.literals.insert(words.join(" "), literal.to_string());
+    }
+
+    pub fn contains_word(&self, word: &str) -> bool {
+        self.words.contains(&word.to_lowercase())
+    }
+
+    pub fn canonical_of(&self, spoken: &str) -> Option<&String> {
+        self.literals.get(spoken)
+    }
+
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+}
+
+/// One observable event inside the noisy channel — the realized error
+/// taxonomy (Table 1), exposed for calibration checks and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelEvent {
+    KeywordCorrupted,
+    SplCharAsSymbol,
+    SplCharAsWords,
+    SplCharWordCorrupted,
+    LiteralRecombined,
+    LiteralWordCorrupted,
+    NumberCorrect,
+    NumberSplit,
+    NumberDigitError,
+    DateCorrect,
+    DateFragmented,
+    WordDropped,
+}
+
+/// Tally of channel events over one or more transcriptions.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelTrace {
+    counts: std::collections::HashMap<ChannelEvent, u64>,
+}
+
+impl ChannelTrace {
+    pub fn record(&mut self, e: ChannelEvent) {
+        *self.counts.entry(e).or_insert(0) += 1;
+    }
+
+    pub fn count(&self, e: ChannelEvent) -> u64 {
+        self.counts.get(&e).copied().unwrap_or(0)
+    }
+
+    pub fn merge(&mut self, other: &ChannelTrace) {
+        for (e, c) in &other.counts {
+            *self.counts.entry(*e).or_insert(0) += c;
+        }
+    }
+
+    /// Realized rate of `num` relative to `num + den` events.
+    pub fn rate(&self, num: ChannelEvent, den: ChannelEvent) -> f64 {
+        let n = self.count(num) as f64;
+        let d = self.count(den) as f64;
+        if n + d == 0.0 {
+            f64::NAN
+        } else {
+            n / (n + d)
+        }
+    }
+}
+
+/// The simulated ASR engine.
+#[derive(Debug, Clone)]
+pub struct AsrEngine {
+    pub profile: AsrProfile,
+    pub vocab: Vocabulary,
+}
+
+impl AsrEngine {
+    pub fn new(profile: AsrProfile, vocab: Vocabulary) -> AsrEngine {
+        AsrEngine { profile, vocab }
+    }
+
+    /// Transcribe a SQL query: verbalize it, pass it through the channel.
+    /// Returns the space-separated transcription (`TransOut`).
+    pub fn transcribe_sql<R: Rng + ?Sized>(&self, sql: &str, rng: &mut R) -> String {
+        self.transcribe_segments(&verbalize_sql(sql), rng)
+    }
+
+    /// Like [`Self::transcribe_sql`], additionally returning the realized
+    /// channel events (for calibration checks and debugging).
+    pub fn transcribe_sql_traced<R: Rng + ?Sized>(
+        &self,
+        sql: &str,
+        rng: &mut R,
+    ) -> (String, ChannelTrace) {
+        let mut trace = ChannelTrace::default();
+        let mut out: Vec<String> = Vec::new();
+        for seg in &verbalize_sql(sql) {
+            self.emit_segment(seg, rng, &mut out, &mut trace);
+        }
+        (out.join(" "), trace)
+    }
+
+    /// Transcribe pre-verbalized segments.
+    pub fn transcribe_segments<R: Rng + ?Sized>(&self, segments: &[Segment], rng: &mut R) -> String {
+        let mut trace = ChannelTrace::default();
+        let mut out: Vec<String> = Vec::new();
+        for seg in segments {
+            self.emit_segment(seg, rng, &mut out, &mut trace);
+        }
+        out.join(" ")
+    }
+
+    /// Transcribe free natural-language text (used by the NLI comparison):
+    /// every word is treated as a literal word of the open domain.
+    pub fn transcribe_text<R: Rng + ?Sized>(&self, text: &str, rng: &mut R) -> String {
+        let mut out = Vec::new();
+        for word in text.split_whitespace() {
+            if rng.gen_bool(self.profile.word_drop) {
+                continue;
+            }
+            if word.chars().any(|c| c.is_ascii_digit()) {
+                // Numeric/date-like tokens: keep punctuation (dashes), with
+                // an occasional digit mis-recognition.
+                let clean: String = word
+                    .chars()
+                    .filter(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '.')
+                    .collect();
+                if clean.is_empty() {
+                    continue;
+                }
+                if rng.gen_bool(self.profile.literal_word_err / 2.0) {
+                    out.push(mutate_digit(&clean, rng));
+                } else {
+                    out.push(clean);
+                }
+                continue;
+            }
+            let clean: String = word.chars().filter(|c| c.is_ascii_alphanumeric()).collect();
+            if clean.is_empty() {
+                continue;
+            }
+            if rng.gen_bool(self.profile.literal_word_err) {
+                out.push(corrupt_word(&clean, rng));
+            } else {
+                out.push(clean.to_lowercase());
+            }
+        }
+        out.join(" ")
+    }
+
+    fn emit_segment<R: Rng + ?Sized>(
+        &self,
+        seg: &Segment,
+        rng: &mut R,
+        out: &mut Vec<String>,
+        trace: &mut ChannelTrace,
+    ) {
+        match &seg.origin {
+            Origin::Keyword(_) => {
+                if rng.gen_bool(self.profile.word_drop) {
+                    trace.record(ChannelEvent::WordDropped);
+                    return;
+                }
+                let word = &seg.words[0];
+                if rng.gen_bool(self.profile.keyword_err) {
+                    trace.record(ChannelEvent::KeywordCorrupted);
+                    out.push(corrupt_word(word, rng));
+                } else {
+                    out.push(word.clone());
+                }
+            }
+            Origin::SplChar(c) => {
+                if rng.gen_bool(self.profile.word_drop) {
+                    trace.record(ChannelEvent::WordDropped);
+                    return;
+                }
+                if rng.gen_bool(self.profile.splchar_symbol_rate) {
+                    trace.record(ChannelEvent::SplCharAsSymbol);
+                    out.push(c.as_str().to_string());
+                } else {
+                    trace.record(ChannelEvent::SplCharAsWords);
+                    for w in &seg.words {
+                        if rng.gen_bool(self.profile.splchar_err) {
+                            trace.record(ChannelEvent::SplCharWordCorrupted);
+                            out.push(corrupt_word(w, rng));
+                        } else {
+                            out.push(w.clone());
+                        }
+                    }
+                }
+            }
+            Origin::Identifier | Origin::QuotedText => {
+                self.emit_literal(seg, rng, out, trace);
+            }
+            Origin::Number => {
+                self.emit_number(seg, rng, out, trace);
+            }
+            Origin::Date => {
+                self.emit_date(seg, rng, out, trace);
+            }
+        }
+    }
+
+    fn emit_literal<R: Rng + ?Sized>(
+        &self,
+        seg: &Segment,
+        rng: &mut R,
+        out: &mut Vec<String>,
+        trace: &mut ChannelTrace,
+    ) {
+        let spoken = seg.words.join(" ");
+        // The custom language model recombines known literals into their
+        // canonical written form (why `FromDate` survives on Employees).
+        if self.vocab.canonical_of(&spoken).is_some()
+            && rng.gen_bool(self.profile.recombine_literal)
+        {
+            trace.record(ChannelEvent::LiteralRecombined);
+            out.push(seg.canonical.clone());
+            return;
+        }
+        for w in &seg.words {
+            if rng.gen_bool(self.profile.word_drop) {
+                trace.record(ChannelEvent::WordDropped);
+                continue;
+            }
+            if w == "underscore" {
+                out.push(if rng.gen_bool(0.7) { "_".to_string() } else { w.clone() });
+                continue;
+            }
+            if let Some(d) = digit_of_word(w) {
+                // Digit words come back as digits ("table _ 1 2 3").
+                out.push(d.to_string());
+                continue;
+            }
+            let err = if self.vocab.contains_word(w) {
+                self.profile.literal_word_err
+            } else {
+                self.profile.oov_word_err
+            };
+            if rng.gen_bool(err) {
+                trace.record(ChannelEvent::LiteralWordCorrupted);
+                out.push(corrupt_word(w, rng));
+            } else {
+                out.push(w.clone());
+            }
+        }
+    }
+
+    fn emit_number<R: Rng + ?Sized>(
+        &self,
+        seg: &Segment,
+        rng: &mut R,
+        out: &mut Vec<String>,
+        trace: &mut ChannelTrace,
+    ) {
+        if rng.gen_bool(self.profile.number_correct) {
+            trace.record(ChannelEvent::NumberCorrect);
+            out.push(seg.canonical.clone());
+            return;
+        }
+        // Decimal numbers only get digit errors.
+        if let Ok(n) = seg.canonical.parse::<u64>() {
+            if n >= 1000 && n % 1000 != 0 && rng.gen_bool(self.profile.number_split) {
+                // Table 1: "45412" → "45000 412".
+                trace.record(ChannelEvent::NumberSplit);
+                out.push((n - n % 1000).to_string());
+                out.push((n % 1000).to_string());
+                return;
+            }
+        }
+        trace.record(ChannelEvent::NumberDigitError);
+        out.push(mutate_digit(&seg.canonical, rng));
+    }
+
+    fn emit_date<R: Rng + ?Sized>(
+        &self,
+        seg: &Segment,
+        rng: &mut R,
+        out: &mut Vec<String>,
+        trace: &mut ChannelTrace,
+    ) {
+        if rng.gen_bool(self.profile.date_correct) {
+            trace.record(ChannelEvent::DateCorrect);
+            out.push(seg.canonical.clone());
+            return;
+        }
+        trace.record(ChannelEvent::DateFragmented);
+        // canonical is YYYY-MM-DD
+        let parts: Vec<&str> = seg.canonical.split('-').collect();
+        if parts.len() != 3 {
+            out.extend(seg.words.iter().cloned());
+            return;
+        }
+        let (y, m, d) = (parts[0], parts[1], parts[2]);
+        let month_word = crate::speak::MONTHS
+            .get(m.parse::<usize>().unwrap_or(0))
+            .copied()
+            .unwrap_or("month");
+        let style: f64 = rng.gen();
+        if style < 0.5 {
+            // "may 07 19 91": month word, zero-padded day, fragmented year.
+            out.push(month_word.to_string());
+            out.push(d.to_string());
+            if y.len() == 4 {
+                out.push(y[..2].to_string());
+                out.push(y[2..].to_string());
+            } else {
+                out.push(y.to_string());
+            }
+        } else if style < 0.8 {
+            // Partial recombination: "may 7 1991".
+            out.push(month_word.to_string());
+            out.push(d.trim_start_matches('0').to_string());
+            out.push(y.to_string());
+        } else {
+            // No recombination at all: raw words survive.
+            out.extend(seg.words.iter().cloned());
+        }
+    }
+}
+
+fn digit_of_word(w: &str) -> Option<u8> {
+    const DIGITS: [&str; 10] =
+        ["zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine"];
+    DIGITS.iter().position(|d| *d == w).map(|p| p as u8)
+}
+
+fn mutate_digit<R: Rng + ?Sized>(numeral: &str, rng: &mut R) -> String {
+    let mut chars: Vec<char> = numeral.chars().collect();
+    let digit_positions: Vec<usize> = chars
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.is_ascii_digit())
+        .map(|(i, _)| i)
+        .collect();
+    if digit_positions.is_empty() {
+        return numeral.to_string();
+    }
+    let pos = digit_positions[rng.gen_range(0..digit_positions.len())];
+    let old = chars[pos].to_digit(10).expect("digit");
+    let new = (old + rng.gen_range(1..10)) % 10;
+    chars[pos] = char::from_digit(new, 10).expect("digit");
+    chars.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn perfect_profile() -> AsrProfile {
+        AsrProfile {
+            name: "perfect",
+            keyword_err: 0.0,
+            splchar_symbol_rate: 1.0,
+            splchar_err: 0.0,
+            literal_word_err: 0.0,
+            oov_word_err: 0.0,
+            recombine_literal: 1.0,
+            number_correct: 1.0,
+            number_split: 0.0,
+            date_correct: 1.0,
+            word_drop: 0.0,
+        }
+    }
+
+    fn vocab() -> Vocabulary {
+        Vocabulary::from_literals(["Salaries", "Employees", "FromDate", "salary", "d002"])
+    }
+
+    #[test]
+    fn perfect_channel_recombines_everything() {
+        let asr = AsrEngine::new(perfect_profile(), vocab());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = asr.transcribe_sql(
+            "SELECT AVG ( salary ) FROM Salaries WHERE FromDate = '1993-01-20'",
+            &mut rng,
+        );
+        assert_eq!(t, "select avg ( salary ) from Salaries where FromDate = 1993-01-20");
+    }
+
+    #[test]
+    fn zero_symbol_rate_speaks_splchars() {
+        let mut p = perfect_profile();
+        p.splchar_symbol_rate = 0.0;
+        let asr = AsrEngine::new(p, vocab());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = asr.transcribe_sql("SELECT * FROM Employees", &mut rng);
+        assert_eq!(t, "select star from Employees");
+    }
+
+    #[test]
+    fn oov_identifiers_split_into_pieces() {
+        let mut p = perfect_profile();
+        p.recombine_literal = 0.0;
+        let asr = AsrEngine::new(p, Vocabulary::empty());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = asr.transcribe_sql("SELECT x FROM table_123", &mut rng);
+        assert_eq!(t, "select x from table _ 1 2 3");
+    }
+
+    #[test]
+    fn number_split_error_matches_table1() {
+        let mut p = perfect_profile();
+        p.number_correct = 0.0;
+        p.number_split = 1.0;
+        let asr = AsrEngine::new(p, vocab());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let t = asr.transcribe_sql("SELECT a FROM t WHERE b = 45412", &mut rng);
+        assert!(t.ends_with("45000 412"), "got: {t}");
+    }
+
+    #[test]
+    fn date_error_fragments() {
+        let mut p = perfect_profile();
+        p.date_correct = 0.0;
+        let asr = AsrEngine::new(p, vocab());
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let t = asr.transcribe_sql("SELECT a FROM t WHERE b = '1991-05-07'", &mut rng);
+        assert!(t.contains("may") || t.contains("seventh"), "got: {t}");
+        assert!(!t.contains("1991-05-07"));
+    }
+
+    #[test]
+    fn noisy_channel_is_deterministic_per_seed() {
+        let asr = AsrEngine::new(AsrProfile::acs_trained(), vocab());
+        let sql = "SELECT Lastname FROM Employees WHERE Salary > 70000";
+        let a = asr.transcribe_sql(sql, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = asr.transcribe_sql(sql, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profiles_order_keyword_quality() {
+        // Statistically: ACS-trained corrupts fewer keywords than GCS.
+        let vocab = vocab();
+        let sql = "SELECT a FROM t WHERE b = c AND d = e OR f = g";
+        let count_kw = |engine: &AsrEngine, seed_base: u64| {
+            let mut hits = 0usize;
+            for s in 0..200 {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed_base + s);
+                let t = engine.transcribe_sql(sql, &mut rng);
+                hits += t.split_whitespace().filter(|w| ["select", "from", "where", "and", "or"].contains(w)).count();
+            }
+            hits
+        };
+        let acs = AsrEngine::new(AsrProfile::acs_trained(), vocab.clone());
+        let gcs = AsrEngine::new(AsrProfile::gcs(), vocab);
+        assert!(count_kw(&acs, 0) > count_kw(&gcs, 10_000));
+    }
+
+    #[test]
+    fn transcribe_text_corrupts_nl() {
+        let asr = AsrEngine::new(AsrProfile::gcs(), Vocabulary::empty());
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let t = asr.transcribe_text("what is the average salary of all employees?", &mut rng);
+        assert!(!t.is_empty());
+        assert!(!t.contains('?'));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn trace_records_realized_events() {
+        let asr = AsrEngine::new(AsrProfile::acs_trained(), Vocabulary::from_literals(["Salaries"]));
+        let mut merged = ChannelTrace::default();
+        for seed in 0..200u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let (_, trace) = asr.transcribe_sql_traced(
+                "SELECT SUM ( salary ) FROM Salaries WHERE FromDate = '1993-01-20' LIMIT 45412",
+                &mut rng,
+            );
+            merged.merge(&trace);
+        }
+        // Every event family the query can exercise should be observed.
+        assert!(merged.count(ChannelEvent::SplCharAsSymbol) > 0);
+        assert!(merged.count(ChannelEvent::SplCharAsWords) > 0);
+        assert!(merged.count(ChannelEvent::LiteralRecombined) > 0);
+        assert!(merged.count(ChannelEvent::LiteralWordCorrupted) > 0);
+        assert!(merged.count(ChannelEvent::NumberSplit) > 0);
+        assert!(merged.count(ChannelEvent::DateFragmented) > 0);
+        // Realized rates track the configured profile within a loose band.
+        let splchar_sym = merged.rate(ChannelEvent::SplCharAsSymbol, ChannelEvent::SplCharAsWords);
+        assert!((splchar_sym - asr.profile.splchar_symbol_rate).abs() < 0.08, "{splchar_sym}");
+        let date_ok = merged.rate(ChannelEvent::DateCorrect, ChannelEvent::DateFragmented);
+        assert!((date_ok - asr.profile.date_correct).abs() < 0.1, "{date_ok}");
+    }
+
+    #[test]
+    fn traced_and_untraced_outputs_agree() {
+        let asr = AsrEngine::new(AsrProfile::acs_trained(), Vocabulary::empty());
+        let sql = "SELECT a FROM t WHERE b = 'x'";
+        let plain = asr.transcribe_sql(sql, &mut ChaCha8Rng::seed_from_u64(5));
+        let (traced, _) = asr.transcribe_sql_traced(sql, &mut ChaCha8Rng::seed_from_u64(5));
+        assert_eq!(plain, traced);
+    }
+}

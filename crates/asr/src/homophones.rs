@@ -1,0 +1,225 @@
+//! Homophone and near-homophone confusions.
+//!
+//! Table 1 of the paper catalogues ASR homophony in both directions:
+//! keywords/splchars become literals (`sum → some`) and literals become
+//! keywords (`fromdate → from date`). This module holds the curated
+//! confusion table plus generic, *phonetics-preserving* corruptions (vowel
+//! substitutions keep the Metaphone key intact, which is exactly the error
+//! class Literal Determination can undo).
+
+use rand::Rng;
+
+/// Curated word-level confusions, applied in either direction.
+pub const CONFUSIONS: &[(&str, &str)] = &[
+    ("sum", "some"),
+    ("where", "wear"),
+    ("where", "were"),
+    ("from", "form"),
+    ("by", "buy"),
+    ("or", "oar"),
+    ("in", "inn"),
+    ("and", "an"),
+    ("and", "in"), // the paper's NLI-breaking example (App. F.9)
+    ("not", "knot"),
+    ("min", "men"),
+    ("max", "macks"),
+    ("join", "joined"),
+    ("count", "county"),
+    ("salary", "sales"),
+    ("salaries", "celeries"),
+    ("employees", "employers"),
+    ("john", "jon"),
+    ("name", "main"),
+    ("number", "member"),
+    ("gender", "gander"),
+    ("title", "tidal"),
+    ("first", "fist"),
+    ("last", "list"),
+    ("birth", "berth"),
+    ("hire", "higher"),
+    ("review", "revue"),
+    ("state", "estate"),
+    ("custid", "custody"),
+    ("date", "day"),
+    ("star", "start"),
+    ("equals", "equal"),
+];
+
+/// Look up a curated confusion for `word`, if any (deterministic choice
+/// among alternatives via `rng`).
+pub fn curated_confusion<R: Rng + ?Sized>(word: &str, rng: &mut R) -> Option<String> {
+    let lower = word.to_lowercase();
+    let hits: Vec<&str> = CONFUSIONS
+        .iter()
+        .filter_map(|(a, b)| {
+            if *a == lower {
+                Some(*b)
+            } else if *b == lower {
+                Some(*a)
+            } else {
+                None
+            }
+        })
+        .collect();
+    if hits.is_empty() {
+        None
+    } else {
+        Some(hits[rng.gen_range(0..hits.len())].to_string())
+    }
+}
+
+const VOWELS: [char; 5] = ['a', 'e', 'i', 'o', 'u'];
+
+/// Generic corruption of a word, preferring curated confusions, falling back
+/// to Metaphone-preserving vowel substitution, plural toggling, or (rarely)
+/// a consonant tweak.
+pub fn corrupt_word<R: Rng + ?Sized>(word: &str, rng: &mut R) -> String {
+    if rng.gen_bool(0.6) {
+        if let Some(c) = curated_confusion(word, rng) {
+            return c;
+        }
+    }
+    let mut chars: Vec<char> = word.to_lowercase().chars().collect();
+    if chars.is_empty() {
+        return word.to_string();
+    }
+    let pick: f64 = rng.gen();
+    if pick < 0.22 {
+        // Silent-letter respelling: sounds identical (Metaphone-equal) but
+        // several character edits away — ASR picks a sound-alike spelling
+        // from its language model ("night" for "knight", "phirst" for
+        // "first"). This is the error class only the phonetic index undoes.
+        let s: String = chars.iter().collect();
+        if let Some(r) = silent_respell(&s, rng) {
+            return r;
+        }
+    }
+    if pick < 0.6 {
+        // Vowel substitution (keeps the Metaphone key).
+        let vowel_positions: Vec<usize> = chars
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| VOWELS.contains(c) && *i > 0)
+            .map(|(i, _)| i)
+            .collect();
+        if !vowel_positions.is_empty() {
+            let pos = vowel_positions[rng.gen_range(0..vowel_positions.len())];
+            let cur = chars[pos];
+            let replacement = VOWELS[(VOWELS.iter().position(|&v| v == cur).unwrap_or(0) + 1 + rng.gen_range(0..3)) % 5];
+            chars[pos] = replacement;
+            return chars.into_iter().collect();
+        }
+    }
+    if pick < 0.85 {
+        // Plural toggle.
+        let s: String = chars.iter().collect();
+        return if let Some(stripped) = s.strip_suffix('s') {
+            stripped.to_string()
+        } else {
+            format!("{s}s")
+        };
+    }
+    // Consonant tweak: swap a common consonant pair.
+    const PAIRS: [(char, char); 6] =
+        [('b', 'p'), ('d', 't'), ('g', 'k'), ('v', 'f'), ('z', 's'), ('m', 'n')];
+    for i in 0..chars.len() {
+        for (a, b) in PAIRS {
+            if chars[i] == a {
+                chars[i] = b;
+                return chars.into_iter().collect();
+            }
+            if chars[i] == b {
+                chars[i] = a;
+                return chars.into_iter().collect();
+            }
+        }
+    }
+    // Nothing applicable: drop the last character.
+    chars.pop();
+    if chars.is_empty() {
+        word.to_string()
+    } else {
+        chars.into_iter().collect()
+    }
+}
+
+/// Sound-preserving respelling with silent letters or digraph swaps.
+/// Returns `None` when no rule applies.
+fn silent_respell<R: Rng + ?Sized>(word: &str, rng: &mut R) -> Option<String> {
+    let mut options: Vec<String> = Vec::new();
+    if let Some(rest) = word.strip_prefix("kn") {
+        options.push(format!("n{rest}"));
+    } else if let Some(rest) = word.strip_prefix('n') {
+        options.push(format!("kn{rest}"));
+    }
+    if let Some(rest) = word.strip_prefix('r') {
+        options.push(format!("wr{rest}"));
+    }
+    if word.contains("ph") {
+        options.push(word.replacen("ph", "f", 1));
+    } else if word.contains('f') {
+        options.push(word.replacen('f', "ph", 1));
+    }
+    if let Some(stem) = word.strip_suffix("te") {
+        options.push(format!("{stem}ght"));
+    }
+    if options.is_empty() {
+        None
+    } else {
+        Some(options[rng.gen_range(0..options.len())].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn silent_respellings_preserve_metaphone() {
+        use speakql_phonetics::metaphone;
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for word in ["first", "salary", "name", "rating", "note"] {
+            if let Some(r) = silent_respell(word, &mut rng) {
+                assert_ne!(r, word);
+                // The whole point: sound-alike, several char edits away.
+                assert_eq!(metaphone(word), metaphone(&r), "{word} -> {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn curated_lookup_both_directions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(curated_confusion("sum", &mut rng), Some("some".into()));
+        assert_eq!(curated_confusion("some", &mut rng), Some("sum".into()));
+        assert!(curated_confusion("xyzzy", &mut rng).is_none());
+    }
+
+    #[test]
+    fn corruption_changes_word() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for word in ["salary", "employees", "department", "todate", "stars"] {
+            let c = corrupt_word(word, &mut rng);
+            assert_ne!(c, word, "corruption must change the word");
+            assert!(!c.is_empty());
+        }
+    }
+
+    #[test]
+    fn vowel_substitution_preserves_metaphone_often() {
+        // Spot-check the design intent on a couple of examples where the
+        // curated table is bypassed.
+        use speakql_phonetics::metaphone;
+        assert_eq!(metaphone("department"), metaphone("dipartment"));
+        assert_eq!(metaphone("todate"), metaphone("todete"));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = corrupt_word("salary", &mut ChaCha8Rng::seed_from_u64(7));
+        let b = corrupt_word("salary", &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,96 @@
+//! # speakql-asr
+//!
+//! The speech substrate of SpeakQL-rs: a SQL **verbalizer** (the role Amazon
+//! Polly plays in the paper) and a simulated noisy-channel **ASR engine**
+//! (the role of Azure Custom Speech / Google Cloud Speech), reproducing the
+//! paper's transcription-error taxonomy (Table 1) with class-dependent,
+//! profile-configurable error rates. See DESIGN.md §5 for the substitution
+//! rationale.
+
+pub mod channel;
+pub mod homophones;
+pub mod speak;
+pub mod verbalize;
+
+pub use channel::{AsrEngine, AsrProfile, ChannelEvent, ChannelTrace, Vocabulary};
+pub use homophones::{corrupt_word, curated_confusion, CONFUSIONS};
+pub use speak::{date_words, day_ordinal_words, digit_word, identifier_words, number_to_words, year_to_words, MONTHS};
+pub use verbalize::{spoken_words, verbalize_sql, Origin, Segment};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    proptest! {
+        /// Verbalizing any number yields words that are non-empty and purely
+        /// alphabetic.
+        #[test]
+        fn number_words_are_words(n in 0u64..10_000_000_000) {
+            for w in number_to_words(n) {
+                prop_assert!(!w.is_empty());
+                prop_assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+
+        /// Identifier splitting loses no alphanumeric content: rejoining the
+        /// words (digits spelled out) covers every letter of the input.
+        #[test]
+        fn identifier_words_cover_letters(ident in "[A-Za-z][A-Za-z0-9_]{0,14}") {
+            let words = identifier_words(&ident);
+            let letters_in: String = ident
+                .chars()
+                .filter(|c| c.is_ascii_alphabetic())
+                .map(|c| c.to_ascii_lowercase())
+                .collect();
+            let letters_out: String = words
+                .iter()
+                .filter(|w| *w != "underscore" && !is_digit_word(w))
+                .flat_map(|w| w.chars())
+                .collect();
+            prop_assert_eq!(letters_in, letters_out);
+        }
+
+        /// The channel is a pure function of (input, seed).
+        #[test]
+        fn channel_deterministic(sql_seed in 0u64..500, chan_seed in 0u64..50) {
+            let asr = AsrEngine::new(AsrProfile::acs_trained(), Vocabulary::empty());
+            let sql = format!("SELECT a{sql_seed} FROM t WHERE b = {sql_seed}");
+            let a = asr.transcribe_sql(&sql, &mut ChaCha8Rng::seed_from_u64(chan_seed));
+            let b = asr.transcribe_sql(&sql, &mut ChaCha8Rng::seed_from_u64(chan_seed));
+            prop_assert_eq!(a, b);
+        }
+
+        /// A perfect channel with full vocabulary reproduces the query's
+        /// token content up to case/quoting.
+        #[test]
+        fn perfect_channel_is_lossless(n in 1u64..100_000) {
+            let perfect = AsrProfile {
+                name: "perfect",
+                keyword_err: 0.0,
+                splchar_symbol_rate: 1.0,
+                splchar_err: 0.0,
+                literal_word_err: 0.0,
+                oov_word_err: 0.0,
+                recombine_literal: 1.0,
+                number_correct: 1.0,
+                number_split: 0.0,
+                date_correct: 1.0,
+                word_drop: 0.0,
+            };
+            let asr = AsrEngine::new(perfect, Vocabulary::from_literals(["Salaries", "salary"]));
+            let sql = format!("SELECT salary FROM Salaries WHERE salary > {n}");
+            let t = asr.transcribe_sql(&sql, &mut ChaCha8Rng::seed_from_u64(1));
+            prop_assert_eq!(t, format!("select salary from Salaries where salary > {}", n));
+        }
+    }
+
+    fn is_digit_word(w: &str) -> bool {
+        matches!(
+            w,
+            "zero" | "one" | "two" | "three" | "four" | "five" | "six" | "seven" | "eight" | "nine"
+        )
+    }
+}

@@ -1,0 +1,264 @@
+//! Spoken-English rendering of numbers, dates, and identifiers.
+//!
+//! The paper's pipeline feeds SQL text to Amazon Polly; Polly "auto converts
+//! format 'month-date-year' to spoken dates" and reads numbers out in full.
+//! This module is the text side of that conversion: it produces the word
+//! sequence a speaker (or Polly) would say for each literal.
+
+/// English words for a non-negative integer ("forty five thousand four
+/// hundred twelve" — no "and", matching the paper's example in App. F.6).
+pub fn number_to_words(n: u64) -> Vec<String> {
+    if n == 0 {
+        return vec!["zero".to_string()];
+    }
+    let mut words = Vec::new();
+    let scales: [(u64, &str); 3] = [
+        (1_000_000_000, "billion"),
+        (1_000_000, "million"),
+        (1_000, "thousand"),
+    ];
+    let mut rest = n;
+    for (scale, name) in scales {
+        if rest >= scale {
+            let group = rest / scale;
+            rest %= scale;
+            words.extend(hundreds_to_words(group));
+            words.push(name.to_string());
+        }
+    }
+    if rest > 0 {
+        words.extend(hundreds_to_words(rest));
+    }
+    words
+}
+
+fn hundreds_to_words(n: u64) -> Vec<String> {
+    debug_assert!(n < 1000);
+    let mut words = Vec::new();
+    let h = n / 100;
+    let rest = n % 100;
+    if h > 0 {
+        words.push(ones_word(h).to_string());
+        words.push("hundred".to_string());
+    }
+    if rest > 0 {
+        words.extend(tens_to_words(rest));
+    }
+    words
+}
+
+fn tens_to_words(n: u64) -> Vec<String> {
+    debug_assert!(n < 100);
+    if n < 20 {
+        return vec![ones_word(n).to_string()];
+    }
+    let t = TENS[(n / 10) as usize].to_string();
+    if n.is_multiple_of(10) {
+        vec![t]
+    } else {
+        vec![t, ones_word(n % 10).to_string()]
+    }
+}
+
+const ONES: [&str; 20] = [
+    "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten",
+    "eleven", "twelve", "thirteen", "fourteen", "fifteen", "sixteen", "seventeen", "eighteen",
+    "nineteen",
+];
+
+const TENS: [&str; 10] = [
+    "", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy", "eighty", "ninety",
+];
+
+fn ones_word(n: u64) -> &'static str {
+    ONES[n as usize]
+}
+
+/// The spoken word for a single digit character.
+pub fn digit_word(d: char) -> &'static str {
+    ONES[d.to_digit(10).expect("digit") as usize]
+}
+
+/// Month names, 1-indexed.
+pub const MONTHS: [&str; 13] = [
+    "", "january", "february", "march", "april", "may", "june", "july", "august", "september",
+    "october", "november", "december",
+];
+
+/// Ordinal words for days of the month ("twentieth", "thirty first").
+pub fn day_ordinal_words(day: u8) -> Vec<String> {
+    const ORD_ONES: [&str; 20] = [
+        "", "first", "second", "third", "fourth", "fifth", "sixth", "seventh", "eighth",
+        "ninth", "tenth", "eleventh", "twelfth", "thirteenth", "fourteenth", "fifteenth",
+        "sixteenth", "seventeenth", "eighteenth", "nineteenth",
+    ];
+    let day = day as usize;
+    if day == 0 || day > 31 {
+        return vec!["zeroth".to_string()];
+    }
+    if day < 20 {
+        return vec![ORD_ONES[day].to_string()];
+    }
+    match day {
+        20 => vec!["twentieth".to_string()],
+        30 => vec!["thirtieth".to_string()],
+        21..=29 => vec!["twenty".to_string(), ORD_ONES[day - 20].to_string()],
+        31 => vec!["thirty".to_string(), "first".to_string()],
+        _ => unreachable!(),
+    }
+}
+
+/// Spoken year ("nineteen ninety three", "two thousand one", "twenty ten").
+pub fn year_to_words(year: i32) -> Vec<String> {
+    let y = year.clamp(0, 9999) as u64;
+    if y == 0 {
+        return vec!["zero".to_string()];
+    }
+    if (1000..2000).contains(&y) || (2010..10000).contains(&y) {
+        let hi = y / 100;
+        let lo = y % 100;
+        let mut words = tens_to_words(hi);
+        if lo == 0 {
+            words.push("hundred".to_string());
+        } else if lo < 10 {
+            words.push("oh".to_string());
+            words.push(ones_word(lo).to_string());
+        } else {
+            words.extend(tens_to_words(lo));
+        }
+        words
+    } else {
+        // 2000–2009 and years below 1000 read as cardinals.
+        number_to_words(y)
+    }
+}
+
+/// Split an identifier into its spoken word parts: camelCase boundaries,
+/// underscores (spoken "underscore"), and letter/digit boundaries (digits
+/// spoken one at a time, per the paper's `table_123 → table _ 1 2 3`).
+pub fn identifier_words(ident: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    let chars: Vec<char> = ident.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '_' {
+            words.push("underscore".to_string());
+            i += 1;
+        } else if c.is_ascii_digit() {
+            words.push(digit_word(c).to_string());
+            i += 1;
+        } else if c.is_ascii_alphabetic() {
+            // A run of letters, split at lower→Upper camel boundaries and
+            // before a final Upper followed by lowers (e.g. "HTTPServer").
+            let start = i;
+            i += 1;
+            while i < chars.len() && chars[i].is_ascii_alphabetic() {
+                let prev = chars[i - 1];
+                let cur = chars[i];
+                let upper_after_lower = prev.is_ascii_lowercase() && cur.is_ascii_uppercase();
+                let end_of_acronym = prev.is_ascii_uppercase()
+                    && cur.is_ascii_uppercase()
+                    && chars.get(i + 1).is_some_and(|n| n.is_ascii_lowercase());
+                if upper_after_lower || end_of_acronym {
+                    break;
+                }
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect::<String>().to_lowercase();
+            words.push(word);
+        } else {
+            i += 1; // skip quotes, dashes, etc.
+        }
+    }
+    words
+}
+
+/// Spoken form of a date: "january twentieth nineteen ninety three".
+pub fn date_words(year: i32, month: u8, day: u8) -> Vec<String> {
+    let mut words = vec![MONTHS[month.clamp(1, 12) as usize].to_string()];
+    words.extend(day_ordinal_words(day));
+    words.extend(year_to_words(year));
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn joined(v: Vec<String>) -> String {
+        v.join(" ")
+    }
+
+    #[test]
+    fn paper_number_example() {
+        // App. F.6: "forty five thousand three hundred ten"
+        assert_eq!(joined(number_to_words(45310)), "forty five thousand three hundred ten");
+        assert_eq!(joined(number_to_words(45412)), "forty five thousand four hundred twelve");
+    }
+
+    #[test]
+    fn small_numbers() {
+        assert_eq!(joined(number_to_words(0)), "zero");
+        assert_eq!(joined(number_to_words(7)), "seven");
+        assert_eq!(joined(number_to_words(13)), "thirteen");
+        assert_eq!(joined(number_to_words(20)), "twenty");
+        assert_eq!(joined(number_to_words(21)), "twenty one");
+        assert_eq!(joined(number_to_words(100)), "one hundred");
+        assert_eq!(joined(number_to_words(70000)), "seventy thousand");
+    }
+
+    #[test]
+    fn large_numbers() {
+        assert_eq!(
+            joined(number_to_words(1_000_001)),
+            "one million one"
+        );
+        assert_eq!(
+            joined(number_to_words(2_147_483_647)),
+            "two billion one hundred forty seven million four hundred eighty three thousand six hundred forty seven"
+        );
+    }
+
+    #[test]
+    fn paper_date_example() {
+        // Table 1: 1991-05-07 spoken as "may seventh nineteen ninety one"
+        assert_eq!(joined(date_words(1991, 5, 7)), "may seventh nineteen ninety one");
+        assert_eq!(
+            joined(date_words(1993, 1, 20)),
+            "january twentieth nineteen ninety three"
+        );
+    }
+
+    #[test]
+    fn year_forms() {
+        assert_eq!(joined(year_to_words(1996)), "nineteen ninety six");
+        assert_eq!(joined(year_to_words(2001)), "two thousand one");
+        assert_eq!(joined(year_to_words(2015)), "twenty fifteen");
+        assert_eq!(joined(year_to_words(1905)), "nineteen oh five");
+        assert_eq!(joined(year_to_words(1900)), "nineteen hundred");
+    }
+
+    #[test]
+    fn day_ordinals() {
+        assert_eq!(joined(day_ordinal_words(1)), "first");
+        assert_eq!(joined(day_ordinal_words(12)), "twelfth");
+        assert_eq!(joined(day_ordinal_words(20)), "twentieth");
+        assert_eq!(joined(day_ordinal_words(21)), "twenty first");
+        assert_eq!(joined(day_ordinal_words(31)), "thirty first");
+    }
+
+    #[test]
+    fn identifier_splitting() {
+        assert_eq!(identifier_words("FromDate"), vec!["from", "date"]);
+        assert_eq!(identifier_words("table_123"), vec!["table", "underscore", "one", "two", "three"]);
+        assert_eq!(
+            identifier_words("CUSTID_1729A"),
+            vec!["custid", "underscore", "one", "seven", "two", "nine", "a"]
+        );
+        assert_eq!(identifier_words("salary"), vec!["salary"]);
+        assert_eq!(identifier_words("DepartmentNumber"), vec!["department", "number"]);
+        assert_eq!(identifier_words("d002"), vec!["d", "zero", "zero", "two"]);
+        assert_eq!(identifier_words("HTTPServer"), vec!["http", "server"]);
+    }
+}

@@ -1,0 +1,207 @@
+//! The SQL verbalizer: written SQL → the spoken word sequence.
+//!
+//! This stands in for the paper's speech-synthesis step (Amazon Polly): each
+//! SQL token becomes a *segment* of spoken words, tagged with its origin so
+//! the noisy channel can apply the right error model per token class.
+
+use crate::speak::{date_words, identifier_words, number_to_words};
+use speakql_grammar::{tokenize_sql, Keyword, SplChar, Token};
+
+/// Where a spoken segment came from in the SQL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Origin {
+    Keyword(Keyword),
+    SplChar(SplChar),
+    /// An identifier literal (table/attribute name or unquoted value).
+    Identifier,
+    /// A numeric literal.
+    Number,
+    /// A date literal (from a quoted `'YYYY-MM-DD'` or bare date).
+    Date,
+    /// A quoted string value.
+    QuotedText,
+}
+
+/// One SQL token rendered as speech.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// The spoken words, lower case.
+    pub words: Vec<String>,
+    pub origin: Origin,
+    /// The canonical written form (what a perfect transcription should
+    /// recombine to): identifiers keep their casing, values lose quotes.
+    pub canonical: String,
+}
+
+/// Verbalize a SQL string into spoken segments.
+pub fn verbalize_sql(sql: &str) -> Vec<Segment> {
+    tokenize_sql(sql).iter().map(verbalize_token).collect()
+}
+
+/// Flatten segments to the plain word sequence (what the microphone hears).
+pub fn spoken_words(segments: &[Segment]) -> Vec<String> {
+    segments.iter().flat_map(|s| s.words.iter().cloned()).collect()
+}
+
+fn verbalize_token(tok: &Token) -> Segment {
+    match tok {
+        Token::Keyword(k) => Segment {
+            words: vec![k.as_str().to_lowercase()],
+            origin: Origin::Keyword(*k),
+            canonical: k.as_str().to_string(),
+        },
+        Token::SplChar(c) => Segment {
+            words: c.spoken().iter().map(|w| w.to_string()).collect(),
+            origin: Origin::SplChar(*c),
+            canonical: c.as_str().to_string(),
+        },
+        Token::Literal(text) => verbalize_literal(text),
+    }
+}
+
+fn verbalize_literal(text: &str) -> Segment {
+    let bare = text
+        .strip_prefix('\'')
+        .and_then(|s| s.strip_suffix('\''))
+        .unwrap_or(text);
+    let quoted = bare.len() != text.len();
+
+    // Date?
+    if let Some(d) = parse_date(bare) {
+        return Segment {
+            words: date_words(d.0, d.1, d.2),
+            origin: Origin::Date,
+            canonical: bare.to_string(),
+        };
+    }
+    // Number?
+    if let Ok(n) = bare.parse::<u64>() {
+        return Segment {
+            words: number_to_words(n),
+            origin: Origin::Number,
+            canonical: bare.to_string(),
+        };
+    }
+    if let Ok(f) = bare.parse::<f64>() {
+        // Decimal: integer part, "point", digits.
+        let s = bare.to_string();
+        let mut words = Vec::new();
+        let (int_part, frac_part) = s.split_once('.').unwrap_or((&s, ""));
+        words.extend(number_to_words(int_part.parse().unwrap_or(0)));
+        if !frac_part.is_empty() {
+            words.push("point".to_string());
+            for c in frac_part.chars().filter(|c| c.is_ascii_digit()) {
+                words.push(crate::speak::digit_word(c).to_string());
+            }
+        }
+        let _ = f;
+        return Segment { words, origin: Origin::Number, canonical: s };
+    }
+    // Quoted multi-word text: verbalize each whitespace word.
+    if quoted && bare.contains(' ') {
+        let words = bare
+            .split_whitespace()
+            .flat_map(identifier_words)
+            .collect();
+        return Segment {
+            words,
+            origin: Origin::QuotedText,
+            canonical: bare.to_string(),
+        };
+    }
+    Segment {
+        words: identifier_words(bare),
+        origin: if quoted { Origin::QuotedText } else { Origin::Identifier },
+        canonical: bare.to_string(),
+    }
+}
+
+fn parse_date(s: &str) -> Option<(i32, u8, u8)> {
+    let mut parts = s.split('-');
+    let y: i32 = parts.next()?.parse().ok()?;
+    let m: u8 = parts.next()?.parse().ok()?;
+    let d: u8 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some((y, m, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speak(sql: &str) -> String {
+        spoken_words(&verbalize_sql(sql)).join(" ")
+    }
+
+    #[test]
+    fn running_example() {
+        assert_eq!(
+            speak("SELECT Salary FROM Employees WHERE Name = 'John'"),
+            "select salary from employees where name equals john"
+        );
+    }
+
+    #[test]
+    fn splchars_spoken() {
+        assert_eq!(
+            speak("SELECT AVG ( salary ) FROM Salaries"),
+            "select avg open parenthesis salary close parenthesis from salaries"
+        );
+        assert_eq!(speak("SELECT * FROM t"), "select star from t");
+        assert_eq!(speak("WHERE a < 5"), "where a less than five");
+    }
+
+    #[test]
+    fn camel_case_identifiers_split() {
+        assert_eq!(
+            speak("SELECT FromDate FROM DepartmentEmployee"),
+            "select from date from department employee"
+        );
+    }
+
+    #[test]
+    fn dates_spoken() {
+        assert_eq!(
+            speak("WHERE FromDate = '1993-01-20'"),
+            "where from date equals january twentieth nineteen ninety three"
+        );
+    }
+
+    #[test]
+    fn numbers_spoken() {
+        assert_eq!(
+            speak("WHERE Salary > 70000"),
+            "where salary greater than seventy thousand"
+        );
+        assert_eq!(speak("LIMIT 10"), "limit ten");
+        assert_eq!(speak("WHERE stars > 3.5"), "where stars greater than three point five");
+    }
+
+    #[test]
+    fn quoted_values() {
+        let segs = verbalize_sql("WHERE title = 'Senior Engineer'");
+        let last = segs.last().unwrap();
+        assert_eq!(last.origin, Origin::QuotedText);
+        assert_eq!(last.canonical, "Senior Engineer");
+        assert_eq!(last.words, vec!["senior", "engineer"]);
+    }
+
+    #[test]
+    fn segments_carry_canonical_forms() {
+        let segs = verbalize_sql("SELECT FromDate FROM t WHERE x = 'd002'");
+        assert_eq!(segs[1].canonical, "FromDate");
+        let d002 = segs.last().unwrap();
+        assert_eq!(d002.canonical, "d002");
+        assert_eq!(d002.words, vec!["d", "zero", "zero", "two"]);
+    }
+
+    #[test]
+    fn dotted_refs() {
+        assert_eq!(
+            speak("GROUP BY Employees . Gender"),
+            "group by employees dot gender"
+        );
+    }
+}

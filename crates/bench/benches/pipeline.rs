@@ -1,0 +1,176 @@
+//! Criterion microbenchmarks for the latency-critical paths:
+//! structure search (Fig. 14), the search ablation configurations
+//! (Fig. 15B), literal determination, metaphone hashing, and the end-to-end
+//! transcription (Fig. 6B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use speakql_asr::{AsrEngine, AsrProfile};
+use speakql_core::{LiteralConfig, LiteralFinder, PhoneticCatalog, SpeakQl, SpeakQlConfig};
+use speakql_data::{employees_db, generate_cases, training_vocabulary};
+use speakql_editdist::Weights;
+use speakql_grammar::{process_transcript_text, GeneratorConfig};
+use speakql_index::{SearchConfig, StructureIndex};
+use std::hint::black_box;
+
+struct Fixture {
+    index: StructureIndex,
+    engine: SpeakQl,
+    catalog: PhoneticCatalog,
+    transcripts: Vec<String>,
+}
+
+fn fixture() -> Fixture {
+    let cfg = GeneratorConfig::small();
+    let db = employees_db();
+    let index = StructureIndex::from_grammar(&cfg, Weights::PAPER);
+    let engine = SpeakQl::new(&db, SpeakQlConfig { generator: cfg.clone(), ..SpeakQlConfig::paper() });
+    let catalog = PhoneticCatalog::build(&db);
+    let cases = generate_cases(&db, &cfg, 24, 0xBE9C);
+    let asr = AsrEngine::new(AsrProfile::acs_trained(), training_vocabulary(&db, &cases));
+    let transcripts = cases
+        .iter()
+        .map(|c| {
+            let mut rng = ChaCha8Rng::seed_from_u64(c.id as u64);
+            asr.transcribe_sql(&c.sql, &mut rng)
+        })
+        .collect();
+    Fixture { index, engine, catalog, transcripts }
+}
+
+fn bench_structure_search(c: &mut Criterion) {
+    let f = fixture();
+    let masked: Vec<_> = f
+        .transcripts
+        .iter()
+        .map(|t| process_transcript_text(t).masked)
+        .collect();
+    let mut group = c.benchmark_group("structure_search");
+    let configs = [
+        ("default_bdb", SearchConfig { k: 1, bdb: true, dap: false, inv: false }),
+        ("no_bdb", SearchConfig { k: 1, bdb: false, dap: false, inv: false }),
+        ("dap", SearchConfig { k: 1, bdb: true, dap: true, inv: false }),
+        ("inv", SearchConfig { k: 1, bdb: true, dap: false, inv: true }),
+        ("top5", SearchConfig { k: 5, bdb: true, dap: false, inv: false }),
+    ];
+    for (name, cfg) in configs {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                for m in &masked {
+                    black_box(f.index.search(black_box(m), &cfg));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_literal_determination(c: &mut Criterion) {
+    let f = fixture();
+    let finder = LiteralFinder::new(&f.catalog, LiteralConfig::default());
+    // Pair each transcript with its best structure once, up front.
+    let prepared: Vec<_> = f
+        .transcripts
+        .iter()
+        .map(|t| {
+            let p = process_transcript_text(t);
+            let hit = f.index.search(&p.masked, &SearchConfig::default())[0];
+            (p, f.index.structure(hit.structure).clone())
+        })
+        .collect();
+    c.bench_function("literal_determination", |b| {
+        b.iter(|| {
+            for (p, s) in &prepared {
+                black_box(finder.fill_aligned(&p.words, &p.masked, s, Weights::PAPER));
+            }
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("end_to_end_transcribe", |b| {
+        b.iter(|| {
+            for t in &f.transcripts {
+                black_box(f.engine.transcribe(black_box(t)));
+            }
+        })
+    });
+}
+
+fn bench_metaphone(c: &mut Criterion) {
+    let words = [
+        "Employees", "Salaries", "DepartmentNumber", "FromDate", "Tomokazu",
+        "Golden Dragon Noodle House", "CUSTID_1729A",
+    ];
+    c.bench_function("metaphone_key", |b| {
+        b.iter(|| {
+            for w in words {
+                black_box(speakql_phonetics::phonetic_key(black_box(w)));
+            }
+        })
+    });
+}
+
+fn bench_error_parse(c: &mut Criterion) {
+    // The abandoned parsing baseline vs the shipped search (Fig. 15 cousin).
+    let f = fixture();
+    let masked: Vec<_> = f
+        .transcripts
+        .iter()
+        .take(8)
+        .map(|t| process_transcript_text(t).masked)
+        .collect();
+    c.bench_function("error_correcting_parse", |b| {
+        b.iter(|| {
+            for m in &masked {
+                black_box(speakql_grammar::min_parse_distance(black_box(m), (12, 11, 10)));
+            }
+        })
+    });
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let structures = speakql_grammar::generate_structures(&GeneratorConfig {
+        max_structures: Some(5_000),
+        ..GeneratorConfig::small()
+    });
+    let index = StructureIndex::build(structures, Weights::PAPER);
+    let bytes = speakql_index::to_bytes(&index);
+    c.bench_function("index_serialize_5k", |b| {
+        b.iter(|| black_box(speakql_index::to_bytes(black_box(&index))))
+    });
+    c.bench_function("index_deserialize_5k", |b| {
+        b.iter(|| black_box(speakql_index::from_bytes(black_box(&bytes)).expect("roundtrip")))
+    });
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let structures = speakql_grammar::generate_structures(&GeneratorConfig {
+        max_structures: Some(5_000),
+        ..GeneratorConfig::small()
+    });
+    c.bench_function("index_build_5k", |b| {
+        b.iter(|| {
+            black_box(StructureIndex::build(
+                black_box(structures.clone()),
+                Weights::PAPER,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_structure_search,
+        bench_literal_determination,
+        bench_end_to_end,
+        bench_metaphone,
+        bench_error_parse,
+        bench_persistence,
+        bench_index_build,
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! `experiments` — regenerate the paper's tables and figures.
+//!
+//! Usage: `experiments [all | table1 | table2 | table4 | table5 | fig6 |
+//! fig7 | fig8 | fig11 | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 |
+//! fig18] ...`
+//!
+//! Scale via `SPEAKQL_SCALE=small|medium|paper` (default medium). Results
+//! are printed and also written as JSON under `results/`.
+
+use speakql_bench::experiments::{
+    extensions, figures_accuracy as facc, figures_perf as fperf, figures_study as fstudy, tables,
+};
+use speakql_bench::{Context, Scale, Suite};
+
+const ALL: [&str; 20] = [
+    "table1", "table2", "table4", "table5", "fig6", "fig7", "fig8", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "ablation_weights", "ablation_phonetics",
+    "baseline_parsing", "channel_calibration", "scaling",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut targets: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    targets.retain(|t| {
+        if ALL.contains(&t.as_str()) {
+            true
+        } else {
+            eprintln!("unknown experiment: {t} (known: {})", ALL.join(", "));
+            false
+        }
+    });
+    if targets.is_empty() {
+        std::process::exit(2);
+    }
+
+    let suite = Suite::new(Context::new(Scale::from_env()));
+    for t in &targets {
+        let start = std::time::Instant::now();
+        match t.as_str() {
+            "table1" => tables::table1(&suite),
+            "table2" => tables::table2(&suite),
+            "table4" => tables::table4(&suite),
+            "table5" => tables::table5(&suite),
+            "fig6" => facc::fig6(&suite),
+            "fig7" => fstudy::fig7(&suite),
+            "fig8" => facc::fig8(&suite),
+            "fig11" => facc::fig11(&suite),
+            "fig12" => fstudy::fig12(&suite),
+            "fig13" => facc::fig13(&suite),
+            "fig14" => fperf::fig14(&suite),
+            "fig15" => fperf::fig15(&suite),
+            "fig16" => facc::fig16(&suite),
+            "fig17" => facc::fig17(&suite),
+            "fig18" => facc::fig18(&suite),
+            "ablation_weights" => extensions::ablation_weights(&suite),
+            "ablation_phonetics" => extensions::ablation_phonetics(&suite),
+            "baseline_parsing" => extensions::baseline_parsing(&suite),
+            "channel_calibration" => extensions::channel_calibration(&suite),
+            "scaling" => extensions::scaling(&suite),
+            _ => unreachable!("filtered above"),
+        }
+        eprintln!("[{t}] done in {:.1}s\n", start.elapsed().as_secs_f64());
+    }
+}

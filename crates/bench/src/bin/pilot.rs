@@ -1,0 +1,35 @@
+//! Quick end-to-end pilot: sanity-check accuracy shapes before the full
+//! experiment suite. Not one of the paper's experiments.
+
+use speakql_bench::{run_split, Context, Scale};
+use speakql_metrics::mean_report;
+
+fn main() {
+    let ctx = Context::new(Scale::from_env());
+    let n = 40.min(ctx.dataset.employees_test.len());
+    let runs = run_split(
+        &ctx.asr_trained,
+        &ctx.employees_engine,
+        "emp-test",
+        &ctx.dataset.employees_test[..n],
+    );
+    let asr = mean_report(&runs.iter().map(|r| r.asr_report).collect::<Vec<_>>());
+    let top1 = mean_report(&runs.iter().map(|r| r.top1_report).collect::<Vec<_>>());
+    let top5 = mean_report(&runs.iter().map(|r| r.top5_report).collect::<Vec<_>>());
+    println!("n = {n}");
+    println!("metric   ASR    top1   top5");
+    for m in speakql_metrics::METRIC_NAMES {
+        println!(
+            "{m}:   {:.3}  {:.3}  {:.3}",
+            asr.get(m).unwrap(),
+            top1.get(m).unwrap(),
+            top5.get(m).unwrap()
+        );
+    }
+    let mean_lat = speakql_metrics::mean(&runs.iter().map(|r| r.latency_s).collect::<Vec<_>>());
+    let struct_correct = runs.iter().filter(|r| r.structure_ted == 0).count();
+    println!("mean latency: {mean_lat:.3}s; correct structures: {struct_correct}/{n}");
+    for r in runs.iter().take(6) {
+        println!("---\nGT:  {}\nASR: {}\nSQL: {}", r.ground_truth, r.transcript, r.top1_sql);
+    }
+}

@@ -1,0 +1,296 @@
+//! Accuracy-figure reproductions: Fig. 6 (end-to-end TED + runtime CDFs),
+//! Fig. 8 (component drill-down), Fig. 11 (all-metric CDFs), Fig. 13
+//! (GCS vs ACS word-metric CDFs), Fig. 16 (literal types), Fig. 17
+//! (char vs phonetic edit distance), Fig. 18 (nested queries).
+
+use super::util::{
+    literal_recall_by_category, norm_literal, transcript_fragments, value_edit_distances,
+    ValueKind,
+};
+use crate::report::{print_cdf, save_json};
+use crate::suite::Suite;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::json;
+use speakql_editdist::levenshtein;
+use speakql_metrics::{accuracy, Cdf};
+use speakql_phonetics::phonetic_key;
+
+fn cdf_json(cdf: &Cdf) -> serde_json::Value {
+    json!({
+        "mean": cdf.mean(),
+        "median": cdf.median(),
+        "p90": cdf.percentile(0.9),
+        "p99": cdf.percentile(0.99),
+        "series": cdf.series(20),
+    })
+}
+
+/// Fig. 6: (A) CDF of Token Edit Distance, ASR-only vs SpeakQL; (B) CDF of
+/// end-to-end runtime.
+pub fn fig6(suite: &Suite) {
+    println!("== Fig. 6: end-to-end TED and runtime CDFs (Employees test) ==");
+    let runs = suite.employees_test();
+    let asr_ted = Cdf::new(runs.iter().map(|r| r.asr_ted as f64).collect());
+    let sq_ted = Cdf::new(runs.iter().map(|r| r.top1_ted as f64).collect());
+    let runtime = Cdf::new(runs.iter().map(|r| r.latency_s).collect());
+    print_cdf("TED (ASR only)", &asr_ted, 10);
+    print_cdf("TED (SpeakQL)", &sq_ted, 10);
+    print_cdf("runtime seconds (SpeakQL)", &runtime, 10);
+    println!(
+        "TED<=6: ASR {:.0}%  SpeakQL {:.0}%   (paper: ~90% of queries below TED 6 after SpeakQL)",
+        100.0 * asr_ted.fraction_at(6.0),
+        100.0 * sq_ted.fraction_at(6.0)
+    );
+    println!(
+        "runtime: median {:.4}s, p90 {:.4}s, p99 {:.4}s (paper: 90% under 2 s)",
+        runtime.median(),
+        runtime.percentile(0.9),
+        runtime.percentile(0.99)
+    );
+    save_json(
+        "fig6",
+        &json!({"ted_asr": cdf_json(&asr_ted), "ted_speakql": cdf_json(&sq_ted), "runtime_s": cdf_json(&runtime)}),
+    );
+}
+
+/// Fig. 8 (§6.5): (A) Structure Determination TED CDF; (B) literal recall
+/// CDFs per literal type.
+pub fn fig8(suite: &Suite) {
+    println!("== Fig. 8: component drill-down (Employees test) ==");
+    let runs = suite.employees_test();
+    let s_ted = Cdf::new(runs.iter().map(|r| r.structure_ted as f64).collect());
+    print_cdf("structure TED", &s_ted, 10);
+    println!(
+        "correct structures: {:.0}% (paper: ~86%)",
+        100.0 * s_ted.fraction_at(0.0)
+    );
+    let mut by_cat: [Vec<f64>; 3] = Default::default();
+    for r in runs {
+        let rec = literal_recall_by_category(r);
+        for (b, v) in rec.iter().enumerate() {
+            if let Some(v) = v {
+                by_cat[b].push(*v);
+            }
+        }
+    }
+    let labels = ["table-name recall", "attribute-name recall", "attribute-value recall"];
+    let mut payload = serde_json::Map::new();
+    payload.insert("structure_ted".into(), cdf_json(&s_ted));
+    for (b, label) in labels.iter().enumerate() {
+        let cdf = Cdf::new(by_cat[b].clone());
+        print_cdf(label, &cdf, 10);
+        println!("  mean {label}: {:.2}", cdf.mean());
+        payload.insert(label.replace(' ', "_"), cdf_json(&cdf));
+    }
+    println!("(paper means: tables 0.90, attributes 0.83, values 0.68)");
+    save_json("fig8", &serde_json::Value::Object(payload));
+}
+
+/// Fig. 11: CDFs of every accuracy metric, ASR-only vs SpeakQL top-1.
+pub fn fig11(suite: &Suite) {
+    println!("== Fig. 11: per-metric CDFs, ASR-only vs SpeakQL (Employees test) ==");
+    let runs = suite.employees_test();
+    let mut payload = serde_json::Map::new();
+    for m in speakql_metrics::METRIC_NAMES {
+        let asr = Cdf::new(runs.iter().map(|r| r.asr_report.get(m).unwrap()).collect());
+        let sq = Cdf::new(runs.iter().map(|r| r.top1_report.get(m).unwrap()).collect());
+        print_cdf(&format!("{m} (ASR)"), &asr, 5);
+        print_cdf(&format!("{m} (SpeakQL)"), &sq, 5);
+        payload.insert(m.to_string(), json!({"asr": cdf_json(&asr), "speakql": cdf_json(&sq)}));
+    }
+    save_json("fig11", &serde_json::Value::Object(payload));
+}
+
+/// Fig. 13: WPR/WRR CDFs for GCS vs ACS raw transcriptions.
+pub fn fig13(suite: &Suite) {
+    println!("== Fig. 13: raw-ASR word precision/recall CDFs, GCS vs ACS ==");
+    let cases = &suite.ctx.dataset.employees_test;
+    let mut payload = serde_json::Map::new();
+    for (name, asr) in [("GCS", &suite.ctx.asr_gcs), ("ACS", &suite.ctx.asr_trained)] {
+        let mut wpr = Vec::new();
+        let mut wrr = Vec::new();
+        for case in cases {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(crate::context::Context::case_seed(name, case.id));
+            let t = asr.transcribe_sql(&case.sql, &mut rng);
+            let r = accuracy(&case.sql, &t);
+            wpr.push(r.wpr);
+            wrr.push(r.wrr);
+        }
+        let wpr = Cdf::new(wpr);
+        let wrr = Cdf::new(wrr);
+        print_cdf(&format!("WPR ({name})"), &wpr, 5);
+        print_cdf(&format!("WRR ({name})"), &wrr, 5);
+        println!("  {name}: mean WPR {:.2}, mean WRR {:.2}", wpr.mean(), wrr.mean());
+        payload.insert(name.to_string(), json!({"wpr": cdf_json(&wpr), "wrr": cdf_json(&wrr)}));
+    }
+    println!("(paper: ACS mean WPR 0.67 vs GCS 0.62; ACS mean WRR 0.73 vs GCS 0.65)");
+    save_json("fig13", &serde_json::Value::Object(payload));
+}
+
+/// Fig. 16: (A) literal recall per type; (B) edit-distance CDFs per
+/// attribute-value type (dates / strings / numbers).
+pub fn fig16(suite: &Suite) {
+    println!("== Fig. 16: literal-determination drill-down (Employees test) ==");
+    let runs = suite.employees_test();
+    // (A) mirrors fig8's recall-by-category.
+    let mut by_cat: [Vec<f64>; 3] = Default::default();
+    for r in runs {
+        for (b, v) in literal_recall_by_category(r).iter().enumerate() {
+            if let Some(v) = v {
+                by_cat[b].push(*v);
+            }
+        }
+    }
+    // (B) value edit distance by kind.
+    let mut by_kind: [Vec<f64>; 3] = Default::default();
+    for r in runs {
+        for (kind, d) in value_edit_distances(r) {
+            let b = match kind {
+                ValueKind::Date => 0,
+                ValueKind::Str => 1,
+                ValueKind::Number => 2,
+            };
+            by_kind[b].push(d);
+        }
+    }
+    let mut payload = serde_json::Map::new();
+    for (b, label) in ["table", "attribute", "value"].iter().enumerate() {
+        let cdf = Cdf::new(by_cat[b].clone());
+        println!("recall {label:<10} mean {:.2}", cdf.mean());
+        payload.insert(format!("recall_{label}"), cdf_json(&cdf));
+    }
+    for (b, label) in ["dates", "strings", "numbers"].iter().enumerate() {
+        let cdf = Cdf::new(by_kind[b].clone());
+        print_cdf(&format!("edit distance ({label})"), &cdf, 8);
+        println!(
+            "  exact {label}: {:.0}% (paper: dates 35%, strings 50%, numbers 23%)",
+            100.0 * cdf.fraction_at(0.0)
+        );
+        payload.insert(format!("editdist_{label}"), cdf_json(&cdf));
+    }
+    save_json("fig16", &serde_json::Value::Object(payload));
+}
+
+/// Fig. 17: character-level vs phonetic-level edit distance needed to reach
+/// the correct literal from the transcription.
+pub fn fig17(suite: &Suite) {
+    println!("== Fig. 17: raw vs phonetic edit distance to the correct literal ==");
+    let runs = suite.employees_test();
+    let mut char_d: Vec<f64> = Vec::new();
+    let mut phon_d: Vec<f64> = Vec::new();
+    for r in runs {
+        let frags = transcript_fragments(&r.transcript, 3);
+        if frags.is_empty() {
+            continue;
+        }
+        for lit in &r.gt_literals {
+            let bare = norm_literal(lit);
+            if bare.chars().all(|c| c.is_ascii_digit()) {
+                continue; // Fig. 17 studies names/strings
+            }
+            let key = phonetic_key(&bare);
+            let c = frags
+                .iter()
+                .map(|(raw, _)| levenshtein(raw, &bare))
+                .min()
+                .unwrap_or(bare.len());
+            let p = frags
+                .iter()
+                .map(|(_, k)| levenshtein(k, &key))
+                .min()
+                .unwrap_or(key.len());
+            char_d.push(c as f64);
+            phon_d.push(p as f64);
+        }
+    }
+    let char_cdf = Cdf::new(char_d);
+    let phon_cdf = Cdf::new(phon_d);
+    print_cdf("char-level distance", &char_cdf, 10);
+    print_cdf("phonetic distance", &phon_cdf, 10);
+    println!(
+        "distance 0 reachable: char {:.0}%, phonetic {:.0}%  (paper: ~70% vs ~80%)",
+        100.0 * char_cdf.fraction_at(0.0),
+        100.0 * phon_cdf.fraction_at(0.0)
+    );
+    println!(
+        "p99 distance: char {:.0}, phonetic {:.0}  (paper: 17 vs 11)",
+        char_cdf.percentile(0.99),
+        phon_cdf.percentile(0.99)
+    );
+    save_json(
+        "fig17",
+        &json!({"char": cdf_json(&char_cdf), "phonetic": cdf_json(&phon_cdf)}),
+    );
+}
+
+/// Fig. 18: nested-query evaluation — structure TED and literal recall on
+/// one-level nested queries (Spider-style nesting).
+pub fn fig18(suite: &Suite) {
+    println!("== Fig. 18: one-level nested queries ==");
+    let db = &suite.ctx.dataset.employees;
+    let n = match suite.ctx.scale {
+        crate::context::Scale::Small => 25,
+        crate::context::Scale::Medium => 60,
+        crate::context::Scale::Paper => 150,
+    };
+    let cases = speakql_data::genqueries::generate_nested_cases(db, n, 0x9e57);
+    let engine = &suite.ctx.employees_engine;
+    let asr = &suite.ctx.asr_trained;
+    let mut s_ted = Vec::new();
+    let mut recalls: [Vec<f64>; 3] = Default::default();
+    for case in &cases {
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(crate::context::Context::case_seed("nested", case.id));
+        let transcript = asr.transcribe_sql(&case.sql, &mut rng);
+        let t = engine.transcribe(&transcript);
+        let best = t.best_sql().unwrap_or_default();
+        // Structure TED over the masked token sequences of the SQL texts.
+        let gt_mask = speakql_grammar::Structure::mask_of(&speakql_grammar::tokenize_sql(&case.sql));
+        let pred_mask = speakql_grammar::Structure::mask_of(&speakql_grammar::tokenize_sql(best));
+        s_ted.push(speakql_editdist::token_edit_distance(&gt_mask, &pred_mask) as f64);
+        // Literal recall by category via literal-token multisets.
+        let gt_lits: Vec<(usize, String)> = case
+            .structure
+            .placeholders
+            .iter()
+            .zip(&case.literals)
+            .map(|(ph, l)| {
+                let b = match ph.category {
+                    speakql_grammar::LitCategory::Table => 0,
+                    speakql_grammar::LitCategory::Attribute => 1,
+                    _ => 2,
+                };
+                (b, norm_literal(l))
+            })
+            .collect();
+        let pred_tokens: Vec<String> = speakql_grammar::tokenize_sql(best)
+            .iter()
+            .filter_map(|t| match t {
+                speakql_grammar::Token::Literal(s) => Some(norm_literal(s)),
+                _ => None,
+            })
+            .collect();
+        #[allow(clippy::needless_range_loop)]
+        for b in 0..3 {
+            let of_cat: Vec<&String> =
+                gt_lits.iter().filter(|(c, _)| *c == b).map(|(_, l)| l).collect();
+            if of_cat.is_empty() {
+                continue;
+            }
+            let hits = of_cat.iter().filter(|l| pred_tokens.contains(l)).count();
+            recalls[b].push(hits as f64 / of_cat.len() as f64);
+        }
+    }
+    let s_cdf = Cdf::new(s_ted);
+    print_cdf("nested structure TED", &s_cdf, 10);
+    let mut payload = serde_json::Map::new();
+    payload.insert("structure_ted".into(), cdf_json(&s_cdf));
+    for (b, label) in ["table", "attribute", "value"].iter().enumerate() {
+        let cdf = Cdf::new(recalls[b].clone());
+        println!("nested recall {label:<10} mean {:.2}", cdf.mean());
+        payload.insert(format!("recall_{label}"), cdf_json(&cdf));
+    }
+    save_json("fig18", &serde_json::Value::Object(payload));
+}

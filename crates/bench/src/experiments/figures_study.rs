@@ -1,0 +1,134 @@
+//! User-study figure reproductions: Fig. 7 (speedup / effort / medians)
+//! and Fig. 12 (time split between speaking and the SQL Keyboard), plus the
+//! §6.4 hypothesis tests.
+
+use crate::report::{print_table, save_json};
+use crate::suite::Suite;
+use serde_json::json;
+use speakql_metrics::wilcoxon_signed_rank;
+use speakql_ui::{run_study, summarize, Condition, StudyConfig, Trial};
+
+fn study_trials(suite: &Suite) -> Vec<Trial> {
+    run_study(
+        &suite.ctx.employees_engine,
+        &suite.ctx.asr_trained,
+        &StudyConfig::default(),
+    )
+}
+
+/// Fig. 7: per-query speedup in time to completion, reduction in units of
+/// effort, and the median table (Fig. 7C), over 15 simulated participants.
+pub fn fig7(suite: &Suite) {
+    println!("== Fig. 7: simulated user study (15 participants x 12 queries x 2 conditions) ==");
+    let trials = study_trials(suite);
+    let summaries = summarize(&trials);
+
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            vec![
+                format!("q{}", s.query),
+                format!("{:.1}", s.median_speakql_time_s),
+                format!("{:.1}", s.median_typing_time_s),
+                format!("{:.1}x", s.speedup),
+                format!("{:.0}", s.median_speakql_effort),
+                format!("{:.0}", s.median_typing_effort),
+                format!("{:.1}x", s.effort_reduction),
+            ]
+        })
+        .collect();
+    print_table(
+        &["query", "SpeakQL s", "typing s", "speedup", "SpeakQL effort", "typing effort", "reduction"],
+        &rows,
+    );
+
+    let mean = |xs: Vec<f64>| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let simple_speedup = mean(summaries[..6].iter().map(|s| s.speedup).collect());
+    let complex_speedup = mean(summaries[6..].iter().map(|s| s.speedup).collect());
+    let simple_reduction = mean(summaries[..6].iter().map(|s| s.effort_reduction).collect());
+    let complex_reduction = mean(summaries[6..].iter().map(|s| s.effort_reduction).collect());
+    let max_speedup = summaries.iter().map(|s| s.speedup).fold(0.0f64, f64::max);
+    let max_reduction = summaries.iter().map(|s| s.effort_reduction).fold(0.0f64, f64::max);
+    println!(
+        "speedup: simple avg {simple_speedup:.1}x, complex avg {complex_speedup:.1}x, overall avg {:.1}x, max {max_speedup:.1}x (paper: 2.4x / 2.9x / 2.7x / 6.7x)",
+        mean(summaries.iter().map(|s| s.speedup).collect()),
+    );
+    println!(
+        "effort reduction: simple avg {simple_reduction:.1}x, complex avg {complex_reduction:.1}x, overall avg {:.1}x, max {max_reduction:.1}x (paper: 12x / 7.5x / 10x / 60x)",
+        mean(summaries.iter().map(|s| s.effort_reduction).collect()),
+    );
+
+    // Hypothesis tests (§6.4): paired per (participant, query).
+    let paired = |f: fn(&Trial) -> f64| -> (Vec<f64>, Vec<f64>) {
+        let mut typing = Vec::new();
+        let mut speakql = Vec::new();
+        for t in &trials {
+            match t.condition {
+                Condition::Typing => typing.push(f(t)),
+                Condition::SpeakQl => speakql.push(f(t)),
+            }
+        }
+        (typing, speakql)
+    };
+    let (t_time, s_time) = paired(|t| t.time_s);
+    let (_, z_time, p_time) = wilcoxon_signed_rank(&t_time, &s_time);
+    let (t_eff, s_eff) = paired(|t| t.effort as f64);
+    let (_, z_eff, p_eff) = wilcoxon_signed_rank(&t_eff, &s_eff);
+    println!("Wilcoxon signed-rank, typing vs SpeakQL: time z={z_time:.1} p={p_time:.2e}; effort z={z_eff:.1} p={p_eff:.2e}");
+
+    save_json(
+        "fig7",
+        &json!({
+            "per_query": summaries.iter().map(|s| json!({
+                "query": s.query,
+                "median_speakql_time_s": s.median_speakql_time_s,
+                "median_typing_time_s": s.median_typing_time_s,
+                "speedup": s.speedup,
+                "median_speakql_effort": s.median_speakql_effort,
+                "median_typing_effort": s.median_typing_effort,
+                "effort_reduction": s.effort_reduction,
+            })).collect::<Vec<_>>(),
+            "simple_speedup": simple_speedup,
+            "complex_speedup": complex_speedup,
+            "simple_reduction": simple_reduction,
+            "complex_reduction": complex_reduction,
+            "wilcoxon": {"time": {"z": z_time, "p": p_time}, "effort": {"z": z_eff, "p": p_eff}},
+        }),
+    );
+}
+
+/// Fig. 12: fraction of end-to-end time spent speaking vs on the SQL
+/// Keyboard per query.
+pub fn fig12(suite: &Suite) {
+    println!("== Fig. 12: SpeakQL time split, speaking vs SQL Keyboard ==");
+    let trials = study_trials(suite);
+    let summaries = summarize(&trials);
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            vec![
+                format!("q{}", s.query),
+                format!("{:.0}%", 100.0 * s.speaking_fraction),
+                format!("{:.0}%", 100.0 * s.keyboard_fraction),
+            ]
+        })
+        .collect();
+    print_table(&["query", "% speaking", "% SQL keyboard"], &rows);
+    let mean = |xs: Vec<f64>| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    println!(
+        "simple queries: speaking {:.0}%, keyboard {:.0}%; complex: speaking {:.0}%, keyboard {:.0}%",
+        100.0 * mean(summaries[..6].iter().map(|s| s.speaking_fraction).collect()),
+        100.0 * mean(summaries[..6].iter().map(|s| s.keyboard_fraction).collect()),
+        100.0 * mean(summaries[6..].iter().map(|s| s.speaking_fraction).collect()),
+        100.0 * mean(summaries[6..].iter().map(|s| s.keyboard_fraction).collect()),
+    );
+    println!("(paper: simple queries mostly speaking; complex queries dominated by keyboard corrections)");
+    save_json(
+        "fig12",
+        &json!(summaries.iter().map(|s| json!({
+            "query": s.query,
+            "speaking_fraction": s.speaking_fraction,
+            "keyboard_fraction": s.keyboard_fraction,
+        })).collect::<Vec<_>>()),
+    );
+}

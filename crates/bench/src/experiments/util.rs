@@ -1,0 +1,160 @@
+//! Shared analysis helpers for the experiment modules.
+
+use crate::runs::CaseRun;
+use speakql_editdist::levenshtein;
+use speakql_grammar::LitCategory;
+use speakql_phonetics::phonetic_key;
+use std::collections::HashMap;
+
+/// Strip quotes and lowercase for literal comparison.
+pub fn norm_literal(s: &str) -> String {
+    s.strip_prefix('\'')
+        .and_then(|t| t.strip_suffix('\''))
+        .unwrap_or(s)
+        .to_lowercase()
+}
+
+fn category_bucket(c: LitCategory) -> usize {
+    match c {
+        LitCategory::Table => 0,
+        LitCategory::Attribute => 1,
+        LitCategory::Value | LitCategory::Number => 2,
+    }
+}
+
+/// Literal recall per category (Table / Attribute / Value) for one case:
+/// the fraction of ground-truth literals of that category recovered by the
+/// top-1 output. `None` when the ground truth has no literal of the
+/// category.
+pub fn literal_recall_by_category(run: &CaseRun) -> [Option<f64>; 3] {
+    let mut gt: [HashMap<String, usize>; 3] = Default::default();
+    for (ph, lit) in run.gt_structure.placeholders.iter().zip(&run.gt_literals) {
+        *gt[category_bucket(ph.category)]
+            .entry(norm_literal(lit))
+            .or_insert(0) += 1;
+    }
+    let mut pred: [HashMap<String, usize>; 3] = Default::default();
+    if let Some(s) = &run.top1_structure {
+        for (ph, lit) in s.placeholders.iter().zip(&run.top1_literals) {
+            *pred[category_bucket(ph.category)]
+                .entry(norm_literal(lit))
+                .or_insert(0) += 1;
+        }
+    }
+    let mut out = [None, None, None];
+    for b in 0..3 {
+        let total: usize = gt[b].values().sum();
+        if total == 0 {
+            continue;
+        }
+        let hit: usize = gt[b]
+            .iter()
+            .map(|(lit, &c)| c.min(pred[b].get(lit).copied().unwrap_or(0)))
+            .sum();
+        out[b] = Some(hit as f64 / total as f64);
+    }
+    out
+}
+
+/// The type of an attribute value, for the Fig. 16 drill-down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    Date,
+    Number,
+    Str,
+}
+
+pub fn value_kind(bare: &str) -> ValueKind {
+    if bare.len() >= 8 && bare.matches('-').count() == 2 && bare.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        ValueKind::Date
+    } else if bare.chars().all(|c| c.is_ascii_digit() || c == '.') && !bare.is_empty() {
+        ValueKind::Number
+    } else {
+        ValueKind::Str
+    }
+}
+
+/// Per-case edit distances between ground-truth and predicted attribute
+/// values, bucketed by value type. Character-level for dates and numbers,
+/// phonetic for strings (Fig. 16 caption).
+pub fn value_edit_distances(run: &CaseRun) -> Vec<(ValueKind, f64)> {
+    let gt_vals: Vec<String> = run
+        .gt_structure
+        .placeholders
+        .iter()
+        .zip(&run.gt_literals)
+        .filter(|(ph, _)| matches!(ph.category, LitCategory::Value | LitCategory::Number))
+        .map(|(_, l)| norm_literal(l))
+        .collect();
+    let pred_vals: Vec<String> = run
+        .top1_structure
+        .as_ref()
+        .map(|s| {
+            s.placeholders
+                .iter()
+                .zip(&run.top1_literals)
+                .filter(|(ph, _)| matches!(ph.category, LitCategory::Value | LitCategory::Number))
+                .map(|(_, l)| norm_literal(l))
+                .collect()
+        })
+        .unwrap_or_default();
+    gt_vals
+        .iter()
+        .enumerate()
+        .map(|(i, gt)| {
+            let kind = value_kind(gt);
+            let d = match pred_vals.get(i) {
+                Some(p) => match kind {
+                    ValueKind::Str => levenshtein(&phonetic_key(gt), &phonetic_key(p)) as f64,
+                    _ => levenshtein(gt, p) as f64,
+                },
+                None => gt.len() as f64,
+            };
+            (kind, d)
+        })
+        .collect()
+}
+
+/// All transcript sub-token concatenations (up to `window` adjacent tokens),
+/// as (raw lowercase string, phonetic key) pairs — used by the Fig. 17
+/// char-vs-phonetic comparison.
+pub fn transcript_fragments(transcript: &str, window: usize) -> Vec<(String, String)> {
+    let words: Vec<&str> = transcript.split_whitespace().collect();
+    let mut out = Vec::new();
+    for i in 0..words.len() {
+        let mut cur = String::new();
+        for w in words.iter().skip(i).take(window) {
+            cur.push_str(&w.to_lowercase());
+            out.push((cur.clone(), phonetic_key(&cur)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_kinds() {
+        assert_eq!(value_kind("1993-01-20"), ValueKind::Date);
+        assert_eq!(value_kind("70000"), ValueKind::Number);
+        assert_eq!(value_kind("3.5"), ValueKind::Number);
+        assert_eq!(value_kind("Engineer"), ValueKind::Str);
+        assert_eq!(value_kind("d002"), ValueKind::Str);
+    }
+
+    #[test]
+    fn norm_literal_strips_quotes() {
+        assert_eq!(norm_literal("'Senior Engineer'"), "senior engineer");
+        assert_eq!(norm_literal("Salary"), "salary");
+    }
+
+    #[test]
+    fn fragments_enumerate_concatenations() {
+        let frags = transcript_fragments("from date equals", 2);
+        // 3 singletons + 2 pairs
+        assert_eq!(frags.len(), 5);
+        assert!(frags.iter().any(|(raw, _)| raw == "fromdate"));
+    }
+}

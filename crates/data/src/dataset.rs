@@ -1,0 +1,93 @@
+//! The spoken-SQL dataset of the paper (§6.1): 750 Employees training
+//! queries (used to "train" the custom ASR vocabulary), 500 Employees test
+//! queries, and 500 Yelp test queries on an unseen schema.
+
+use crate::employees::employees_db;
+use crate::genqueries::{generate_cases, QueryCase};
+use crate::yelp::yelp_db;
+use speakql_asr::Vocabulary;
+use speakql_db::Database;
+use speakql_grammar::GeneratorConfig;
+
+/// Sizes used by the paper.
+pub const TRAIN_SIZE: usize = 750;
+pub const EMPLOYEES_TEST_SIZE: usize = 500;
+pub const YELP_TEST_SIZE: usize = 500;
+
+/// The full spoken-SQL dataset.
+pub struct SpokenSqlDataset {
+    pub employees: Database,
+    pub yelp: Database,
+    pub train: Vec<QueryCase>,
+    pub employees_test: Vec<QueryCase>,
+    pub yelp_test: Vec<QueryCase>,
+    /// The custom ASR vocabulary, built from the *training* split only —
+    /// the Yelp schema is deliberately excluded (§6.1 step 5).
+    pub vocabulary: Vocabulary,
+}
+
+impl SpokenSqlDataset {
+    /// Generate the dataset at the paper's sizes.
+    pub fn paper(cfg: &GeneratorConfig) -> SpokenSqlDataset {
+        SpokenSqlDataset::with_sizes(cfg, TRAIN_SIZE, EMPLOYEES_TEST_SIZE, YELP_TEST_SIZE)
+    }
+
+    /// Generate a smaller dataset (tests / quick experiments).
+    pub fn with_sizes(
+        cfg: &GeneratorConfig,
+        train: usize,
+        employees_test: usize,
+        yelp_test: usize,
+    ) -> SpokenSqlDataset {
+        let employees = employees_db();
+        let yelp = yelp_db();
+        let train = generate_cases(&employees, cfg, train, 0xA11CE);
+        let employees_test = generate_cases(&employees, cfg, employees_test, 0xB0B);
+        let yelp_test = generate_cases(&yelp, cfg, yelp_test, 0xCA51);
+        let vocabulary = training_vocabulary(&employees, &train);
+        SpokenSqlDataset { employees, yelp, train, employees_test, yelp_test, vocabulary }
+    }
+}
+
+/// Build the custom language model's vocabulary from the training split:
+/// the schema identifiers and every literal appearing in a training query.
+pub fn training_vocabulary(db: &Database, train: &[QueryCase]) -> Vocabulary {
+    let mut lits: Vec<String> = Vec::new();
+    lits.extend(db.table_names());
+    lits.extend(db.attribute_names());
+    for case in train {
+        for lit in &case.literals {
+            let bare = lit
+                .strip_prefix('\'')
+                .and_then(|s| s.strip_suffix('\''))
+                .unwrap_or(lit);
+            lits.push(bare.to_string());
+        }
+    }
+    Vocabulary::from_literals(lits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_dataset_shapes() {
+        let ds = SpokenSqlDataset::with_sizes(&GeneratorConfig::paper(), 30, 20, 10);
+        assert_eq!(ds.train.len(), 30);
+        assert_eq!(ds.employees_test.len(), 20);
+        assert_eq!(ds.yelp_test.len(), 10);
+        assert!(ds.vocabulary.len() > 20);
+    }
+
+    #[test]
+    fn vocabulary_excludes_yelp_schema() {
+        let ds = SpokenSqlDataset::with_sizes(&GeneratorConfig::paper(), 30, 5, 5);
+        // Yelp-only identifiers must not be recombinable.
+        assert!(ds.vocabulary.canonical_of("business").is_none());
+        assert!(ds.vocabulary.canonical_of("checkin date").is_none());
+        // Employees identifiers are.
+        assert_eq!(ds.vocabulary.canonical_of("salaries").map(String::as_str), Some("Salaries"));
+        assert_eq!(ds.vocabulary.canonical_of("from date").map(String::as_str), Some("FromDate"));
+    }
+}

@@ -1,0 +1,18 @@
+//! # speakql-data
+//!
+//! Workload substrate for SpeakQL-rs: deterministic synthetic instances of
+//! the two schemas the paper evaluates on (MySQL Employees, Yelp), the
+//! scalable spoken-SQL dataset-generation procedure of §6.1, and the Table 6
+//! user-study query set.
+
+pub mod dataset;
+pub mod employees;
+pub mod genqueries;
+pub mod user_study;
+pub mod yelp;
+
+pub use dataset::{training_vocabulary, SpokenSqlDataset, EMPLOYEES_TEST_SIZE, TRAIN_SIZE, YELP_TEST_SIZE};
+pub use employees::employees_db;
+pub use genqueries::{bind_structure, generate_cases, generate_nested_cases, QueryCase};
+pub use user_study::{StudyQuery, STUDY_QUERIES};
+pub use yelp::yelp_db;

@@ -1,0 +1,299 @@
+//! Abstract syntax tree for the supported SQL subset (paper Box 1 plus the
+//! documented extensions: NATURAL JOIN, standalone tails, one-level nesting).
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A possibly-qualified column reference (`Salary` or `Employees.Salary`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+impl ColRef {
+    pub fn bare(column: impl Into<String>) -> ColRef {
+        ColRef { table: None, column: column.into() }
+    }
+
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> ColRef {
+        ColRef { table: Some(table.into()), column: column.into() }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t} . {}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+/// Aggregate functions (`SEL_OP` plus COUNT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFunc {
+    Avg,
+    Sum,
+    Max,
+    Min,
+    Count,
+}
+
+impl AggFunc {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AggFunc::Avg => "AVG",
+            AggFunc::Sum => "SUM",
+            AggFunc::Max => "MAX",
+            AggFunc::Min => "MIN",
+            AggFunc::Count => "COUNT",
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    Star,
+    Column(ColRef),
+    Agg(AggFunc, ColRef),
+    CountStar,
+}
+
+/// How a table joins the preceding one in the FROM clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinKind {
+    /// First table (no connector).
+    First,
+    /// `,` — cartesian product, filtered by WHERE.
+    Comma,
+    /// `NATURAL JOIN` — equi-join on all shared column names.
+    Natural,
+}
+
+/// A FROM-clause entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableRef {
+    pub name: String,
+    pub join: JoinKind,
+}
+
+/// A scalar operand of a comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    Column(ColRef),
+    Literal(Value),
+    /// One-level nested scalar subquery (paper App. F.8).
+    Subquery(Box<Query>),
+}
+
+/// Comparison operators (`OP ∈ {=, <, >}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Lt,
+    Gt,
+}
+
+impl CmpOp {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Lt => "<",
+            CmpOp::Gt => ">",
+        }
+    }
+}
+
+/// The source of an IN list: explicit values or a nested query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InSource {
+    List(Vec<Value>),
+    Subquery(Box<Query>),
+}
+
+/// A boolean predicate over one row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    Cmp {
+        lhs: Operand,
+        op: CmpOp,
+        rhs: Operand,
+    },
+    Between {
+        col: ColRef,
+        negated: bool,
+        low: Value,
+        high: Value,
+    },
+    In {
+        col: ColRef,
+        source: InSource,
+    },
+    And(Box<Predicate>, Box<Predicate>),
+    Or(Box<Predicate>, Box<Predicate>),
+}
+
+/// A full query of the supported subset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    pub select: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub predicate: Option<Predicate>,
+    pub group_by: Option<ColRef>,
+    pub order_by: Option<ColRef>,
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// Render back to the canonical space-separated SQL text used throughout
+    /// the paper (Table 6 formatting).
+    pub fn render(&self) -> String {
+        let mut out = String::from("SELECT ");
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" , ");
+            }
+            match item {
+                SelectItem::Star => out.push('*'),
+                SelectItem::Column(c) => out.push_str(&c.to_string()),
+                SelectItem::Agg(f, c) => {
+                    out.push_str(&format!("{} ( {} )", f.as_str(), c));
+                }
+                SelectItem::CountStar => out.push_str("COUNT ( * )"),
+            }
+        }
+        out.push_str(" FROM ");
+        for t in &self.from {
+            match t.join {
+                JoinKind::First => {}
+                JoinKind::Comma => out.push_str(" , "),
+                JoinKind::Natural => out.push_str(" NATURAL JOIN "),
+            }
+            out.push_str(&t.name);
+        }
+        if let Some(p) = &self.predicate {
+            out.push_str(" WHERE ");
+            render_predicate(p, &mut out);
+        }
+        if let Some(g) = &self.group_by {
+            out.push_str(&format!(" GROUP BY {g}"));
+        }
+        if let Some(o) = &self.order_by {
+            out.push_str(&format!(" ORDER BY {o}"));
+        }
+        if let Some(l) = self.limit {
+            out.push_str(&format!(" LIMIT {l}"));
+        }
+        out
+    }
+}
+
+fn render_operand(o: &Operand, out: &mut String) {
+    match o {
+        Operand::Column(c) => out.push_str(&c.to_string()),
+        Operand::Literal(v) => out.push_str(&v.render_sql()),
+        Operand::Subquery(q) => {
+            out.push_str("( ");
+            out.push_str(&q.render());
+            out.push_str(" )");
+        }
+    }
+}
+
+fn render_predicate(p: &Predicate, out: &mut String) {
+    match p {
+        Predicate::Cmp { lhs, op, rhs } => {
+            render_operand(lhs, out);
+            out.push(' ');
+            out.push_str(op.as_str());
+            out.push(' ');
+            render_operand(rhs, out);
+        }
+        Predicate::Between { col, negated, low, high } => {
+            out.push_str(&col.to_string());
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" BETWEEN ");
+            out.push_str(&low.render_sql());
+            out.push_str(" AND ");
+            out.push_str(&high.render_sql());
+        }
+        Predicate::In { col, source } => {
+            out.push_str(&col.to_string());
+            out.push_str(" IN ( ");
+            match source {
+                InSource::List(vals) => {
+                    for (i, v) in vals.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(" , ");
+                        }
+                        out.push_str(&v.render_sql());
+                    }
+                }
+                InSource::Subquery(q) => out.push_str(&q.render()),
+            }
+            out.push_str(" )");
+        }
+        Predicate::And(a, b) => {
+            render_predicate(a, out);
+            out.push_str(" AND ");
+            render_predicate(b, out);
+        }
+        Predicate::Or(a, b) => {
+            render_predicate(a, out);
+            out.push_str(" OR ");
+            render_predicate(b, out);
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_simple() {
+        let q = Query {
+            select: vec![SelectItem::Agg(AggFunc::Avg, ColRef::bare("salary"))],
+            from: vec![TableRef { name: "Salaries".into(), join: JoinKind::First }],
+            predicate: None,
+            group_by: None,
+            order_by: None,
+            limit: None,
+        };
+        assert_eq!(q.render(), "SELECT AVG ( salary ) FROM Salaries");
+    }
+
+    #[test]
+    fn render_table6_q2_shape() {
+        let q = Query {
+            select: vec![SelectItem::Column(ColRef::bare("Lastname"))],
+            from: vec![
+                TableRef { name: "Employees".into(), join: JoinKind::First },
+                TableRef { name: "Salaries".into(), join: JoinKind::Natural },
+            ],
+            predicate: Some(Predicate::Cmp {
+                lhs: Operand::Column(ColRef::bare("Salary")),
+                op: CmpOp::Gt,
+                rhs: Operand::Literal(Value::Int(70000)),
+            }),
+            group_by: None,
+            order_by: None,
+            limit: None,
+        };
+        assert_eq!(
+            q.render(),
+            "SELECT Lastname FROM Employees NATURAL JOIN Salaries WHERE Salary > 70000"
+        );
+    }
+}

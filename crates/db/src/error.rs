@@ -1,0 +1,39 @@
+//! Error types for parsing and execution.
+
+use std::fmt;
+
+/// An error while parsing or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Syntax error at a token position.
+    Parse { position: usize, message: String },
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A referenced column cannot be resolved.
+    UnknownColumn(String),
+    /// Semantically invalid query (e.g. nested too deep, bad LIMIT).
+    Invalid(String),
+}
+
+impl DbError {
+    pub fn parse(position: usize, message: impl Into<String>) -> DbError {
+        DbError::Parse { position, message: message.into() }
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse { position, message } => {
+                write!(f, "parse error at token {position}: {message}")
+            }
+            DbError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            DbError::Invalid(m) => write!(f, "invalid query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+pub type DbResult<T> = Result<T, DbError>;

@@ -1,0 +1,809 @@
+//! Query executor for the supported subset.
+//!
+//! Straightforward tuple-at-a-time evaluation: build the FROM relation
+//! (cartesian products and natural joins), filter by the WHERE predicate,
+//! aggregate / group, project, order, limit. Used to compute the paper's
+//! *execution accuracy* metric (App. F.9) and by the runnable examples.
+
+use crate::ast::*;
+use crate::error::{DbError, DbResult};
+use crate::schema::Database;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The result of executing a query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    /// Multiset row equality — the execution-accuracy criterion: "the
+    /// results returned by the predicted query and the ground query match
+    /// exactly" (App. F.9). Column names are ignored; row order is ignored.
+    pub fn result_equals(&self, other: &QueryResult) -> bool {
+        if self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let mut a = self.rows.clone();
+        let mut b = other.rows.clone();
+        a.sort();
+        b.sort();
+        a == b
+    }
+
+    /// Render as an aligned text table for the examples and the REPL.
+    pub fn render_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.render_bare()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            for w in &widths {
+                out.push('+');
+                out.push_str(&"-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        sep(&mut out);
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("| {:<w$} ", c, w = widths[i]));
+        }
+        out.push_str("|\n");
+        sep(&mut out);
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("| {:<w$} ", cell, w = widths[i]));
+            }
+            out.push_str("|\n");
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+/// Working relation during execution: tagged columns plus rows.
+struct Rel {
+    /// (owning table name, column name)
+    cols: Vec<(String, String)>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Rel {
+    fn resolve(&self, c: &ColRef) -> DbResult<usize> {
+        let hit = self.cols.iter().position(|(t, n)| {
+            n.eq_ignore_ascii_case(&c.column)
+                && c.table
+                    .as_ref()
+                    .is_none_or(|ct| t.eq_ignore_ascii_case(ct))
+        });
+        hit.ok_or_else(|| DbError::UnknownColumn(c.to_string()))
+    }
+}
+
+/// Execute a parsed query against a database.
+pub fn execute(db: &Database, query: &Query) -> DbResult<QueryResult> {
+    // Resolve uncorrelated subqueries first (one level, paper App. F.8).
+    let predicate = match &query.predicate {
+        Some(p) => Some(resolve_subqueries(db, p)?),
+        None => None,
+    };
+
+    // Split the WHERE clause into top-level conjuncts so each can be applied
+    // as early as its columns are available (eager filtering keeps multi-way
+    // comma joins from materializing full cartesian products).
+    let mut conjuncts: Vec<Predicate> = Vec::new();
+    if let Some(p) = predicate {
+        collect_conjuncts(p, &mut conjuncts);
+    }
+
+    let mut rel = build_from(db, &query.from, &mut conjuncts)?;
+
+    // Apply whatever conjuncts remain (e.g. referencing unknown columns —
+    // surfaced as errors here).
+    for p in &conjuncts {
+        let mut kept = Vec::with_capacity(rel.rows.len());
+        for row in rel.rows.drain(..) {
+            if eval_predicate(&rel.cols, &row, p)? {
+                kept.push(row);
+            }
+        }
+        rel.rows = kept;
+    }
+
+    let is_agg = query.group_by.is_some()
+        || query
+            .select
+            .iter()
+            .any(|s| matches!(s, SelectItem::Agg(..) | SelectItem::CountStar));
+
+    let mut result = if is_agg {
+        execute_aggregate(&rel, query)?
+    } else {
+        execute_plain(&rel, query)?
+    };
+
+    if let Some(limit) = query.limit {
+        result.rows.truncate(limit as usize);
+    }
+    Ok(result)
+}
+
+/// Parse and execute in one step.
+pub fn execute_sql(db: &Database, sql: &str) -> DbResult<QueryResult> {
+    let q = crate::parser::parse_query(sql)?;
+    execute(db, &q)
+}
+
+/// Flatten the top-level AND tree into a conjunct list.
+fn collect_conjuncts(p: Predicate, out: &mut Vec<Predicate>) {
+    match p {
+        Predicate::And(a, b) => {
+            collect_conjuncts(*a, out);
+            collect_conjuncts(*b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// True if every column the predicate references resolves in `rel`.
+fn predicate_resolvable(rel: &Rel, p: &Predicate) -> bool {
+    fn operand_ok(rel: &Rel, o: &Operand) -> bool {
+        match o {
+            Operand::Column(c) => rel.resolve(c).is_ok(),
+            Operand::Literal(_) => true,
+            Operand::Subquery(_) => false,
+        }
+    }
+    match p {
+        Predicate::Cmp { lhs, rhs, .. } => operand_ok(rel, lhs) && operand_ok(rel, rhs),
+        Predicate::Between { col, .. } => rel.resolve(col).is_ok(),
+        Predicate::In { col, source } => {
+            rel.resolve(col).is_ok() && matches!(source, InSource::List(_))
+        }
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            predicate_resolvable(rel, a) && predicate_resolvable(rel, b)
+        }
+    }
+}
+
+/// Apply every conjunct that has become resolvable, removing it from the
+/// pending list.
+fn apply_ready_conjuncts(rel: &mut Rel, conjuncts: &mut Vec<Predicate>) -> DbResult<()> {
+    let mut i = 0;
+    while i < conjuncts.len() {
+        if predicate_resolvable(rel, &conjuncts[i]) {
+            let p = conjuncts.remove(i);
+            let mut kept = Vec::with_capacity(rel.rows.len());
+            for row in rel.rows.drain(..) {
+                if eval_predicate(&rel.cols, &row, &p)? {
+                    kept.push(row);
+                }
+            }
+            rel.rows = kept;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+fn build_from(db: &Database, from: &[TableRef], conjuncts: &mut Vec<Predicate>) -> DbResult<Rel> {
+    let mut rel = Rel { cols: Vec::new(), rows: vec![Vec::new()] };
+    for tref in from {
+        let table = db
+            .table(&tref.name)
+            .ok_or_else(|| DbError::UnknownTable(tref.name.clone()))?;
+        let tname = table.schema.name.clone();
+        match tref.join {
+            JoinKind::First | JoinKind::Comma => {
+                // Cartesian product.
+                let mut cols = rel.cols.clone();
+                for c in &table.schema.columns {
+                    cols.push((tname.clone(), c.name.clone()));
+                }
+                let mut rows = Vec::with_capacity(rel.rows.len() * table.rows.len().max(1));
+                for left in &rel.rows {
+                    for right in &table.rows {
+                        let mut row = left.clone();
+                        row.extend(right.iter().cloned());
+                        rows.push(row);
+                    }
+                }
+                rel = Rel { cols, rows };
+            }
+            JoinKind::Natural => {
+                // Equi-join on all shared column names; shared columns are
+                // kept once (from the left side).
+                let shared: Vec<(usize, usize)> = rel
+                    .cols
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(li, (_, lname))| {
+                        table
+                            .schema
+                            .columns
+                            .iter()
+                            .position(|c| c.name.eq_ignore_ascii_case(lname))
+                            .map(|ri| (li, ri))
+                    })
+                    .collect();
+                let right_keep: Vec<usize> = (0..table.schema.columns.len())
+                    .filter(|ri| !shared.iter().any(|(_, r)| r == ri))
+                    .collect();
+                let mut cols = rel.cols.clone();
+                for &ri in &right_keep {
+                    cols.push((tname.clone(), table.schema.columns[ri].name.clone()));
+                }
+                let mut rows = Vec::new();
+                for left in &rel.rows {
+                    for right in &table.rows {
+                        if shared.iter().all(|&(li, ri)| left[li] == right[ri]) {
+                            let mut row = left.clone();
+                            row.extend(right_keep.iter().map(|&ri| right[ri].clone()));
+                            rows.push(row);
+                        }
+                    }
+                }
+                rel = Rel { cols, rows };
+            }
+        }
+        apply_ready_conjuncts(&mut rel, conjuncts)?;
+    }
+    Ok(rel)
+}
+
+/// Replace `Operand::Subquery` with its scalar value and
+/// `InSource::Subquery` with its value list.
+fn resolve_subqueries(db: &Database, p: &Predicate) -> DbResult<Predicate> {
+    Ok(match p {
+        Predicate::Cmp { lhs, op, rhs } => Predicate::Cmp {
+            lhs: resolve_operand(db, lhs)?,
+            op: *op,
+            rhs: resolve_operand(db, rhs)?,
+        },
+        Predicate::Between { .. } | Predicate::In { source: InSource::List(_), .. } => p.clone(),
+        Predicate::In { col, source: InSource::Subquery(q) } => {
+            let res = execute(db, q)?;
+            if res.columns.len() != 1 {
+                return Err(DbError::Invalid(
+                    "IN subquery must return a single column".into(),
+                ));
+            }
+            let vals = res.rows.into_iter().map(|mut r| r.remove(0)).collect();
+            Predicate::In { col: col.clone(), source: InSource::List(vals) }
+        }
+        Predicate::And(a, b) => Predicate::And(
+            Box::new(resolve_subqueries(db, a)?),
+            Box::new(resolve_subqueries(db, b)?),
+        ),
+        Predicate::Or(a, b) => Predicate::Or(
+            Box::new(resolve_subqueries(db, a)?),
+            Box::new(resolve_subqueries(db, b)?),
+        ),
+    })
+}
+
+fn resolve_operand(db: &Database, o: &Operand) -> DbResult<Operand> {
+    match o {
+        Operand::Subquery(q) => {
+            let res = execute(db, q)?;
+            if res.columns.len() != 1 {
+                return Err(DbError::Invalid(
+                    "scalar subquery must return a single column".into(),
+                ));
+            }
+            let v = res
+                .rows
+                .first()
+                .map(|r| r[0].clone())
+                .unwrap_or(Value::Null);
+            Ok(Operand::Literal(v))
+        }
+        other => Ok(other.clone()),
+    }
+}
+
+fn eval_operand(cols: &[(String, String)], row: &[Value], o: &Operand) -> DbResult<Value> {
+    match o {
+        Operand::Column(c) => {
+            let rel = Rel { cols: cols.to_vec(), rows: vec![] };
+            Ok(row[rel.resolve(c)?].clone())
+        }
+        Operand::Literal(v) => Ok(v.clone()),
+        Operand::Subquery(_) => Err(DbError::Invalid("unresolved subquery".into())),
+    }
+}
+
+fn eval_predicate(cols: &[(String, String)], row: &[Value], p: &Predicate) -> DbResult<bool> {
+    Ok(match p {
+        Predicate::Cmp { lhs, op, rhs } => {
+            let l = eval_operand(cols, row, lhs)?;
+            let r = eval_operand(cols, row, rhs)?;
+            if matches!(l, Value::Null) || matches!(r, Value::Null) {
+                false
+            } else {
+                match op {
+                    CmpOp::Eq => l == r,
+                    CmpOp::Lt => l < r,
+                    CmpOp::Gt => l > r,
+                }
+            }
+        }
+        Predicate::Between { col, negated, low, high } => {
+            let v = eval_operand(cols, row, &Operand::Column(col.clone()))?;
+            let hit = !matches!(v, Value::Null) && &v >= low && &v <= high;
+            hit != *negated
+        }
+        Predicate::In { col, source } => {
+            let v = eval_operand(cols, row, &Operand::Column(col.clone()))?;
+            match source {
+                InSource::List(vals) => vals.contains(&v),
+                InSource::Subquery(_) => {
+                    return Err(DbError::Invalid("unresolved IN subquery".into()))
+                }
+            }
+        }
+        Predicate::And(a, b) => {
+            eval_predicate(cols, row, a)? && eval_predicate(cols, row, b)?
+        }
+        Predicate::Or(a, b) => {
+            eval_predicate(cols, row, a)? || eval_predicate(cols, row, b)?
+        }
+    })
+}
+
+fn execute_plain(rel: &Rel, query: &Query) -> DbResult<QueryResult> {
+    // Order before projection so ORDER BY may reference unprojected columns.
+    let mut row_idx: Vec<usize> = (0..rel.rows.len()).collect();
+    if let Some(ob) = &query.order_by {
+        let key = rel.resolve(ob)?;
+        row_idx.sort_by(|&a, &b| rel.rows[a][key].cmp(&rel.rows[b][key]));
+    }
+
+    let mut columns = Vec::new();
+    let mut proj: Vec<usize> = Vec::new();
+    for item in &query.select {
+        match item {
+            SelectItem::Star => {
+                for (i, (_, name)) in rel.cols.iter().enumerate() {
+                    columns.push(name.clone());
+                    proj.push(i);
+                }
+            }
+            SelectItem::Column(c) => {
+                let i = rel.resolve(c)?;
+                columns.push(rel.cols[i].1.clone());
+                proj.push(i);
+            }
+            SelectItem::Agg(..) | SelectItem::CountStar => {
+                unreachable!("aggregate handled by execute_aggregate")
+            }
+        }
+    }
+    let rows = row_idx
+        .into_iter()
+        .map(|ri| proj.iter().map(|&ci| rel.rows[ri][ci].clone()).collect())
+        .collect();
+    Ok(QueryResult { columns, rows })
+}
+
+fn execute_aggregate(rel: &Rel, query: &Query) -> DbResult<QueryResult> {
+    // Group rows. With no GROUP BY there is a single global group (which
+    // exists even when the input is empty, per SQL semantics).
+    let mut groups: BTreeMap<Option<Value>, Vec<usize>> = BTreeMap::new();
+    if let Some(gb) = &query.group_by {
+        let key = rel.resolve(gb)?;
+        for (ri, row) in rel.rows.iter().enumerate() {
+            groups.entry(Some(row[key].clone())).or_default().push(ri);
+        }
+    } else {
+        groups.insert(None, (0..rel.rows.len()).collect());
+    }
+
+    let mut columns = Vec::new();
+    for item in &query.select {
+        match item {
+            SelectItem::Star => {
+                return Err(DbError::Invalid("SELECT * cannot be mixed with aggregates".into()))
+            }
+            SelectItem::Column(c) => columns.push(c.column.clone()),
+            SelectItem::Agg(f, c) => columns.push(format!("{} ( {} )", f.as_str(), c.column)),
+            SelectItem::CountStar => columns.push("COUNT ( * )".to_string()),
+        }
+    }
+
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
+    for members in groups.values() {
+        let mut row = Vec::with_capacity(query.select.len());
+        for item in &query.select {
+            let v = match item {
+                SelectItem::Star => unreachable!(),
+                SelectItem::Column(c) => {
+                    let ci = rel.resolve(c)?;
+                    members
+                        .first()
+                        .map(|&ri| rel.rows[ri][ci].clone())
+                        .unwrap_or(Value::Null)
+                }
+                SelectItem::CountStar => Value::Int(members.len() as i64),
+                SelectItem::Agg(f, c) => {
+                    let ci = rel.resolve(c)?;
+                    aggregate(*f, members.iter().map(|&ri| &rel.rows[ri][ci]))
+                }
+            };
+            row.push(v);
+        }
+        rows.push(row);
+    }
+
+    // ORDER BY on aggregate output: resolve against the group key or the
+    // projected column names.
+    if let Some(ob) = &query.order_by {
+        let pos = query.select.iter().position(|s| match s {
+            SelectItem::Column(c) => c.column.eq_ignore_ascii_case(&ob.column),
+            _ => false,
+        });
+        if let Some(ci) = pos {
+            rows.sort_by(|a, b| a[ci].cmp(&b[ci]));
+        }
+        // Otherwise groups are already in key order (BTreeMap).
+    }
+
+    Ok(QueryResult { columns, rows })
+}
+
+fn aggregate<'a, I: Iterator<Item = &'a Value>>(f: AggFunc, values: I) -> Value {
+    let non_null: Vec<&Value> = values.filter(|v| !matches!(v, Value::Null)).collect();
+    if non_null.is_empty() {
+        return match f {
+            AggFunc::Count => Value::Int(0),
+            _ => Value::Null,
+        };
+    }
+    match f {
+        AggFunc::Count => Value::Int(non_null.len() as i64),
+        AggFunc::Max => non_null.iter().max().map(|v| (*v).clone()).unwrap_or(Value::Null),
+        AggFunc::Min => non_null.iter().min().map(|v| (*v).clone()).unwrap_or(Value::Null),
+        AggFunc::Sum => sum_values(&non_null),
+        AggFunc::Avg => match sum_values(&non_null) {
+            Value::Int(s) => Value::Float(s as f64 / non_null.len() as f64),
+            Value::Float(s) => Value::Float(s / non_null.len() as f64),
+            _ => Value::Null,
+        },
+    }
+}
+
+fn sum_values(values: &[&Value]) -> Value {
+    let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
+    if all_int {
+        Value::Int(values.iter().map(|v| match v {
+            Value::Int(i) => *i,
+            _ => 0,
+        }).sum())
+    } else {
+        let mut acc = 0.0;
+        for v in values {
+            match v.as_f64() {
+                Some(f) => acc += f,
+                None => return Value::Null,
+            }
+        }
+        Value::Float(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Table, TableSchema};
+    use crate::value::{Date, ValueType};
+
+    fn db() -> Database {
+        let mut db = Database::new("test");
+        let mut emp = Table::new(TableSchema::new(
+            "Employees",
+            vec![
+                Column::new("EmployeeNumber", ValueType::Int),
+                Column::new("FirstName", ValueType::Text),
+                Column::new("Gender", ValueType::Text),
+                Column::new("HireDate", ValueType::Date),
+            ],
+        ));
+        let d = |s: &str| Value::Date(Date::parse(s).unwrap());
+        emp.push_row(vec![Value::Int(1), Value::Text("Karsten".into()), Value::Text("M".into()), d("1996-05-10")]);
+        emp.push_row(vec![Value::Int(2), Value::Text("Goh".into()), Value::Text("F".into()), d("1993-01-20")]);
+        emp.push_row(vec![Value::Int(3), Value::Text("Perla".into()), Value::Text("F".into()), d("2001-10-09")]);
+        db.add_table(emp);
+        let mut sal = Table::new(TableSchema::new(
+            "Salaries",
+            vec![
+                Column::new("EmployeeNumber", ValueType::Int),
+                Column::new("Salary", ValueType::Int),
+            ],
+        ));
+        sal.push_row(vec![Value::Int(1), Value::Int(60000)]);
+        sal.push_row(vec![Value::Int(2), Value::Int(80000)]);
+        sal.push_row(vec![Value::Int(3), Value::Int(70000)]);
+        db.add_table(sal);
+        db
+    }
+
+    #[test]
+    fn simple_projection_and_filter() {
+        let r = execute_sql(&db(), "SELECT FirstName FROM Employees WHERE Gender = 'F'").unwrap();
+        assert_eq!(r.columns, vec!["FirstName"]);
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn select_star() {
+        let r = execute_sql(&db(), "SELECT * FROM Salaries").unwrap();
+        assert_eq!(r.columns, vec!["EmployeeNumber", "Salary"]);
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn global_aggregate() {
+        let r = execute_sql(&db(), "SELECT AVG ( Salary ) FROM Salaries").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Float(70000.0)]]);
+        let r = execute_sql(&db(), "SELECT COUNT ( * ) FROM Employees").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(3)]]);
+        let r = execute_sql(&db(), "SELECT MAX ( Salary ) , MIN ( Salary ) FROM Salaries").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(80000), Value::Int(60000)]]);
+    }
+
+    #[test]
+    fn natural_join() {
+        let r = execute_sql(
+            &db(),
+            "SELECT FirstName FROM Employees NATURAL JOIN Salaries WHERE Salary > 65000",
+        )
+        .unwrap();
+        let mut names: Vec<String> = r.rows.iter().map(|r| r[0].render_bare()).collect();
+        names.sort();
+        assert_eq!(names, vec!["Goh", "Perla"]);
+    }
+
+    #[test]
+    fn comma_join_with_qualified_predicate() {
+        let r = execute_sql(
+            &db(),
+            "SELECT FirstName , Salary FROM Employees , Salaries \
+             WHERE Employees . EmployeeNumber = Salaries . EmployeeNumber",
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn group_by_with_count() {
+        let r = execute_sql(
+            &db(),
+            "SELECT Gender , COUNT ( EmployeeNumber ) FROM Employees GROUP BY Gender",
+        )
+        .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Text("F".into()), Value::Int(2)],
+                vec![Value::Text("M".into()), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let r = execute_sql(&db(), "SELECT FirstName FROM Employees ORDER BY HireDate LIMIT 2").unwrap();
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::Text("Goh".into())], vec![Value::Text("Karsten".into())]]
+        );
+    }
+
+    #[test]
+    fn between_and_in() {
+        let r = execute_sql(&db(), "SELECT FirstName FROM Employees NATURAL JOIN Salaries WHERE Salary BETWEEN 60000 AND 70000").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = execute_sql(&db(), "SELECT FirstName FROM Employees WHERE FirstName IN ( 'Goh' , 'Perla' )").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = execute_sql(&db(), "SELECT FirstName FROM Employees NATURAL JOIN Salaries WHERE Salary NOT BETWEEN 60000 AND 70000").unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn date_comparison() {
+        let r = execute_sql(&db(), "SELECT FirstName FROM Employees WHERE HireDate = '1993-01-20'").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Text("Goh".into())]]);
+        let r = execute_sql(&db(), "SELECT FirstName FROM Employees WHERE HireDate > '1995-01-01'").unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn nested_in_subquery_executes() {
+        let r = execute_sql(
+            &db(),
+            "SELECT FirstName FROM Employees WHERE EmployeeNumber IN \
+             ( SELECT EmployeeNumber FROM Salaries WHERE Salary > 65000 )",
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn nested_scalar_subquery_executes() {
+        let r = execute_sql(
+            &db(),
+            "SELECT FirstName FROM Employees NATURAL JOIN Salaries WHERE Salary = \
+             ( SELECT MAX ( Salary ) FROM Salaries )",
+        )
+        .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Text("Goh".into())]]);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        assert!(matches!(
+            execute_sql(&db(), "SELECT x FROM Nope"),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            execute_sql(&db(), "SELECT Nope FROM Employees"),
+            Err(DbError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn result_multiset_equality() {
+        let a = execute_sql(&db(), "SELECT FirstName FROM Employees").unwrap();
+        let b = execute_sql(&db(), "SELECT FirstName FROM Employees ORDER BY HireDate").unwrap();
+        assert!(a.result_equals(&b));
+        let c = execute_sql(&db(), "SELECT FirstName FROM Employees LIMIT 2").unwrap();
+        assert!(!a.result_equals(&c));
+    }
+
+    #[test]
+    fn empty_group_aggregate() {
+        let r = execute_sql(&db(), "SELECT COUNT ( Salary ) FROM Salaries WHERE Salary > 999999").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(0)]]);
+        let r = execute_sql(&db(), "SELECT MAX ( Salary ) FROM Salaries WHERE Salary > 999999").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Null]]);
+    }
+
+    #[test]
+    fn render_table_smoke() {
+        let r = execute_sql(&db(), "SELECT FirstName , Gender FROM Employees LIMIT 1").unwrap();
+        let t = r.render_table();
+        assert!(t.contains("FirstName"));
+        assert!(t.contains("Karsten"));
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::schema::{Column, Table, TableSchema};
+    use crate::value::ValueType;
+
+    fn empty_db() -> Database {
+        let mut db = Database::new("edge");
+        db.add_table(Table::new(TableSchema::new(
+            "T",
+            vec![Column::new("a", ValueType::Int), Column::new("b", ValueType::Text)],
+        )));
+        db
+    }
+
+    #[test]
+    fn queries_over_empty_tables() {
+        let db = empty_db();
+        assert!(execute_sql(&db, "SELECT a FROM T").unwrap().rows.is_empty());
+        assert_eq!(
+            execute_sql(&db, "SELECT COUNT ( * ) FROM T").unwrap().rows,
+            vec![vec![Value::Int(0)]]
+        );
+        assert_eq!(
+            execute_sql(&db, "SELECT SUM ( a ) FROM T").unwrap().rows,
+            vec![vec![Value::Null]]
+        );
+        // GROUP BY over empty input yields no groups.
+        assert!(execute_sql(&db, "SELECT b , COUNT ( a ) FROM T GROUP BY b")
+            .unwrap()
+            .rows
+            .is_empty());
+    }
+
+    #[test]
+    fn limit_zero_and_oversized() {
+        let mut db = empty_db();
+        db.table_mut("T").unwrap().push_row(vec![Value::Int(1), Value::Text("x".into())]);
+        assert!(execute_sql(&db, "SELECT a FROM T LIMIT 0").unwrap().rows.is_empty());
+        assert_eq!(execute_sql(&db, "SELECT a FROM T LIMIT 999").unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn self_joinish_three_way() {
+        let mut db = empty_db();
+        let t = db.table_mut("T").unwrap();
+        t.push_row(vec![Value::Int(1), Value::Text("x".into())]);
+        t.push_row(vec![Value::Int(2), Value::Text("y".into())]);
+        // Cartesian square via comma join of the same table twice is
+        // rejected? No aliases in the subset; joining distinct tables only.
+        let mut u = Table::new(TableSchema::new(
+            "U",
+            vec![Column::new("a", ValueType::Int), Column::new("c", ValueType::Int)],
+        ));
+        u.push_row(vec![Value::Int(1), Value::Int(10)]);
+        u.push_row(vec![Value::Int(3), Value::Int(30)]);
+        db.add_table(u);
+        // Natural join on shared column `a`.
+        let r = execute_sql(&db, "SELECT b , c FROM T NATURAL JOIN U").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Text("x".into()), Value::Int(10)]]);
+        // Comma join + explicit qualification.
+        let r = execute_sql(&db, "SELECT c FROM T , U WHERE T . a = U . a").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        // Degenerate natural join with no matching rows.
+        let r = execute_sql(&db, "SELECT b FROM T NATURAL JOIN U WHERE c > 10").unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn order_by_dates_and_nulls_last_semantics() {
+        let mut db = Database::new("d");
+        let mut t = Table::new(TableSchema::new(
+            "T",
+            vec![Column::new("d", ValueType::Date)],
+        ));
+        let date = |s: &str| Value::Date(crate::value::Date::parse(s).unwrap());
+        t.push_row(vec![date("2001-10-09")]);
+        t.push_row(vec![Value::Null]);
+        t.push_row(vec![date("1993-01-20")]);
+        db.add_table(t);
+        let r = execute_sql(&db, "SELECT d FROM T ORDER BY d").unwrap();
+        // Null sorts first under the total order (rank 0).
+        assert_eq!(r.rows[0], vec![Value::Null]);
+        assert_eq!(r.rows[1], vec![date("1993-01-20")]);
+        assert_eq!(r.rows[2], vec![date("2001-10-09")]);
+    }
+
+    #[test]
+    fn between_bounds_inverted_is_empty_not_error() {
+        let mut db = empty_db();
+        db.table_mut("T").unwrap().push_row(vec![Value::Int(5), Value::Text("x".into())]);
+        let r = execute_sql(&db, "SELECT a FROM T WHERE a BETWEEN 9 AND 1").unwrap();
+        assert!(r.rows.is_empty());
+        let r = execute_sql(&db, "SELECT a FROM T WHERE a NOT BETWEEN 9 AND 1").unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn mixed_agg_and_column_without_group_by() {
+        let mut db = empty_db();
+        let t = db.table_mut("T").unwrap();
+        t.push_row(vec![Value::Int(1), Value::Text("x".into())]);
+        t.push_row(vec![Value::Int(3), Value::Text("y".into())]);
+        // MySQL-loose semantics: first value of the ungrouped column.
+        let r = execute_sql(&db, "SELECT b , MAX ( a ) FROM T").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Text("x".into()), Value::Int(3)]]);
+    }
+
+    #[test]
+    fn star_with_aggregate_rejected() {
+        let mut db = empty_db();
+        db.table_mut("T").unwrap().push_row(vec![Value::Int(1), Value::Text("x".into())]);
+        assert!(matches!(
+            execute_sql(&db, "SELECT * , COUNT ( a ) FROM T"),
+            Err(DbError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,23 @@
+//! # speakql-db
+//!
+//! The relational substrate of SpeakQL-rs: an in-memory database engine for
+//! the paper's SQL subset (Box 1 + documented extensions). SpeakQL needs it
+//! twice over: the catalog supplies the *database metadata* that Literal
+//! Determination indexes phonetically (Fig. 2), and the executor computes
+//! the *execution accuracy* metric of the NLI comparison (App. F.9).
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod parser;
+pub mod schema;
+pub mod value;
+
+pub use ast::{
+    AggFunc, CmpOp, ColRef, InSource, JoinKind, Operand, Predicate, Query, SelectItem, TableRef,
+};
+pub use error::{DbError, DbResult};
+pub use exec::{execute, execute_sql, QueryResult};
+pub use parser::parse_query;
+pub use schema::{Column, Database, Table, TableSchema};
+pub use value::{Date, Value, ValueType};

@@ -1,0 +1,460 @@
+//! Recursive-descent parser for the supported SQL subset.
+//!
+//! Consumes the token stream of [`speakql_grammar::tokenize_sql`] and builds
+//! the [`crate::ast`] types. Keywords are case-insensitive; `AND` binds
+//! tighter than `OR`; `NOT` is only valid before `BETWEEN` (as in Box 1);
+//! nesting is limited to one level (paper App. F.8).
+
+use crate::ast::*;
+use crate::error::{DbError, DbResult};
+use crate::value::Value;
+use speakql_grammar::{tokenize_sql, Keyword, SplChar, Token};
+
+/// Parse a SQL string into a [`Query`].
+pub fn parse_query(text: &str) -> DbResult<Query> {
+    let tokens = tokenize_sql(text);
+    let mut p = Parser { tokens: &tokens, pos: 0 };
+    let q = p.query(0)?;
+    if p.pos != p.tokens.len() {
+        return Err(DbError::parse(p.pos, "trailing tokens after query"));
+    }
+    Ok(q)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+const MAX_NESTING: usize = 1;
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_kw(&self, k: Keyword) -> bool {
+        matches!(self.peek(), Some(Token::Keyword(x)) if *x == k)
+    }
+
+    fn at_sc(&self, c: SplChar) -> bool {
+        matches!(self.peek(), Some(Token::SplChar(x)) if *x == c)
+    }
+
+    fn eat_kw(&mut self, k: Keyword) -> bool {
+        if self.at_kw(k) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sc(&mut self, c: SplChar) -> bool {
+        if self.at_sc(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, k: Keyword) -> DbResult<()> {
+        if self.eat_kw(k) {
+            Ok(())
+        } else {
+            Err(DbError::parse(self.pos, format!("expected {}", k.as_str())))
+        }
+    }
+
+    fn expect_sc(&mut self, c: SplChar) -> DbResult<()> {
+        if self.eat_sc(c) {
+            Ok(())
+        } else {
+            Err(DbError::parse(self.pos, format!("expected '{}'", c.as_str())))
+        }
+    }
+
+    fn literal_text(&mut self) -> DbResult<String> {
+        match self.bump() {
+            Some(Token::Literal(s)) => Ok(s.clone()),
+            _ => Err(DbError::parse(self.pos.saturating_sub(1), "expected identifier or value")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn query(&mut self, depth: usize) -> DbResult<Query> {
+        self.expect_kw(Keyword::Select)?;
+        let select = self.select_list()?;
+        self.expect_kw(Keyword::From)?;
+        let from = self.table_list()?;
+        let mut q = Query {
+            select,
+            from,
+            predicate: None,
+            group_by: None,
+            order_by: None,
+            limit: None,
+        };
+        if self.eat_kw(Keyword::Where) {
+            q.predicate = Some(self.or_expr(depth)?);
+        }
+        loop {
+            if self.eat_kw(Keyword::Group) {
+                self.expect_kw(Keyword::By)?;
+                q.group_by = Some(self.col_ref()?);
+            } else if self.eat_kw(Keyword::Order) {
+                self.expect_kw(Keyword::By)?;
+                q.order_by = Some(self.col_ref()?);
+            } else if self.eat_kw(Keyword::Limit) {
+                let n = self.literal_text()?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| DbError::Invalid(format!("LIMIT must be a non-negative integer, got {n}")))?;
+                q.limit = Some(n);
+            } else {
+                break;
+            }
+        }
+        Ok(q)
+    }
+
+    fn select_list(&mut self) -> DbResult<Vec<SelectItem>> {
+        let mut items = vec![self.select_item()?];
+        while self.eat_sc(SplChar::Comma) {
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> DbResult<SelectItem> {
+        if self.eat_sc(SplChar::Star) {
+            return Ok(SelectItem::Star);
+        }
+        let agg = match self.peek() {
+            Some(Token::Keyword(Keyword::Avg)) => Some(AggFunc::Avg),
+            Some(Token::Keyword(Keyword::Sum)) => Some(AggFunc::Sum),
+            Some(Token::Keyword(Keyword::Max)) => Some(AggFunc::Max),
+            Some(Token::Keyword(Keyword::Min)) => Some(AggFunc::Min),
+            Some(Token::Keyword(Keyword::Count)) => Some(AggFunc::Count),
+            _ => None,
+        };
+        if let Some(f) = agg {
+            self.pos += 1;
+            self.expect_sc(SplChar::LParen)?;
+            if self.eat_sc(SplChar::Star) {
+                self.expect_sc(SplChar::RParen)?;
+                return Ok(SelectItem::CountStar);
+            }
+            let col = self.col_ref()?;
+            self.expect_sc(SplChar::RParen)?;
+            return Ok(SelectItem::Agg(f, col));
+        }
+        Ok(SelectItem::Column(self.col_ref()?))
+    }
+
+    fn table_list(&mut self) -> DbResult<Vec<TableRef>> {
+        let mut tables = vec![TableRef { name: self.literal_text()?, join: JoinKind::First }];
+        loop {
+            if self.eat_sc(SplChar::Comma) {
+                tables.push(TableRef { name: self.literal_text()?, join: JoinKind::Comma });
+            } else if self.at_kw(Keyword::Natural) {
+                self.pos += 1;
+                self.expect_kw(Keyword::Join)?;
+                tables.push(TableRef { name: self.literal_text()?, join: JoinKind::Natural });
+            } else {
+                break;
+            }
+        }
+        Ok(tables)
+    }
+
+    fn col_ref(&mut self) -> DbResult<ColRef> {
+        let first = self.literal_text()?;
+        if self.eat_sc(SplChar::Dot) {
+            let second = self.literal_text()?;
+            Ok(ColRef::qualified(first, second))
+        } else {
+            Ok(ColRef::bare(first))
+        }
+    }
+
+    // --- predicates, OR lowest precedence --------------------------------
+
+    fn or_expr(&mut self, depth: usize) -> DbResult<Predicate> {
+        let mut lhs = self.and_expr(depth)?;
+        while self.eat_kw(Keyword::Or) {
+            let rhs = self.and_expr(depth)?;
+            lhs = Predicate::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self, depth: usize) -> DbResult<Predicate> {
+        let mut lhs = self.primary_predicate(depth)?;
+        while self.at_kw(Keyword::And) {
+            // Do not consume the AND that belongs to an enclosing BETWEEN —
+            // primary_predicate consumes BETWEEN's AND itself, so any AND
+            // seen here is a conjunction.
+            self.pos += 1;
+            let rhs = self.primary_predicate(depth)?;
+            lhs = Predicate::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn primary_predicate(&mut self, depth: usize) -> DbResult<Predicate> {
+        let lhs_col = self.col_ref_or_value()?;
+        // BETWEEN / NOT BETWEEN / IN require a column on the left.
+        if self.at_kw(Keyword::Not) || self.at_kw(Keyword::Between) {
+            let negated = self.eat_kw(Keyword::Not);
+            self.expect_kw(Keyword::Between)?;
+            let col = operand_as_col(lhs_col, self.pos)?;
+            let low = self.value()?;
+            self.expect_kw(Keyword::And)?;
+            let high = self.value()?;
+            return Ok(Predicate::Between { col, negated, low, high });
+        }
+        if self.eat_kw(Keyword::In) {
+            let col = operand_as_col(lhs_col, self.pos)?;
+            self.expect_sc(SplChar::LParen)?;
+            if self.at_kw(Keyword::Select) {
+                if depth >= MAX_NESTING {
+                    return Err(DbError::Invalid("only one level of nesting is supported".into()));
+                }
+                let sub = self.query(depth + 1)?;
+                self.expect_sc(SplChar::RParen)?;
+                return Ok(Predicate::In { col, source: InSource::Subquery(Box::new(sub)) });
+            }
+            let mut vals = vec![self.value()?];
+            while self.eat_sc(SplChar::Comma) {
+                vals.push(self.value()?);
+            }
+            self.expect_sc(SplChar::RParen)?;
+            return Ok(Predicate::In { col, source: InSource::List(vals) });
+        }
+        let op = match self.bump() {
+            Some(Token::SplChar(SplChar::Eq)) => CmpOp::Eq,
+            Some(Token::SplChar(SplChar::Lt)) => CmpOp::Lt,
+            Some(Token::SplChar(SplChar::Gt)) => CmpOp::Gt,
+            _ => {
+                return Err(DbError::parse(
+                    self.pos.saturating_sub(1),
+                    "expected comparison operator, BETWEEN, or IN",
+                ))
+            }
+        };
+        let rhs = self.operand(depth)?;
+        Ok(Predicate::Cmp { lhs: lhs_col, op, rhs })
+    }
+
+    /// Parse an operand that may also open a nested subquery.
+    fn operand(&mut self, depth: usize) -> DbResult<Operand> {
+        if self.eat_sc(SplChar::LParen) {
+            if depth >= MAX_NESTING {
+                return Err(DbError::Invalid("only one level of nesting is supported".into()));
+            }
+            let sub = self.query(depth + 1)?;
+            self.expect_sc(SplChar::RParen)?;
+            return Ok(Operand::Subquery(Box::new(sub)));
+        }
+        self.col_ref_or_value()
+    }
+
+    /// A column reference or a literal value: quoted strings, numbers, and
+    /// dates are values; other identifiers are (possibly dotted) columns.
+    fn col_ref_or_value(&mut self) -> DbResult<Operand> {
+        let text = self.literal_text()?;
+        if let Some(v) = Value::parse_literal(&text) {
+            return Ok(Operand::Literal(v));
+        }
+        if self.eat_sc(SplChar::Dot) {
+            let second = self.literal_text()?;
+            return Ok(Operand::Column(ColRef::qualified(text, second)));
+        }
+        Ok(Operand::Column(ColRef::bare(text)))
+    }
+
+    fn value(&mut self) -> DbResult<Value> {
+        let pos = self.pos;
+        let text = self.literal_text()?;
+        Value::parse_literal(&text)
+            .ok_or_else(|| DbError::parse(pos, format!("expected a literal value, got {text}")))
+    }
+}
+
+fn operand_as_col(o: Operand, pos: usize) -> DbResult<ColRef> {
+    match o {
+        Operand::Column(c) => Ok(c),
+        _ => Err(DbError::parse(pos, "left side of BETWEEN/IN must be a column")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_table6_q1() {
+        let q = parse_query("SELECT AVG ( salary ) FROM Salaries").unwrap();
+        assert_eq!(q.select, vec![SelectItem::Agg(AggFunc::Avg, ColRef::bare("salary"))]);
+        assert_eq!(q.from.len(), 1);
+        assert!(q.predicate.is_none());
+    }
+
+    #[test]
+    fn parses_table6_q4() {
+        let q = parse_query(
+            "SELECT FromDate FROM Employees natural join DepartmentManager \
+             WHERE FirstName = 'Karsten' ORDER BY HireDate",
+        )
+        .unwrap();
+        assert_eq!(q.from[1].join, JoinKind::Natural);
+        assert_eq!(q.order_by, Some(ColRef::bare("HireDate")));
+        match q.predicate.unwrap() {
+            Predicate::Cmp { rhs: Operand::Literal(Value::Text(s)), .. } => {
+                assert_eq!(s, "Karsten");
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_table6_q8_in_list() {
+        let q = parse_query(
+            "SELECT FromDate , salary , ToDate FROM Employees natural join Salaries \
+             WHERE FirstName IN ( 'Tomokazu' , 'Goh' , 'Narain' , 'Perla' , 'Shimshon' )",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 3);
+        match q.predicate.unwrap() {
+            Predicate::In { source: InSource::List(vals), .. } => assert_eq!(vals.len(), 5),
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_table6_q9_qualified_joins() {
+        let q = parse_query(
+            "SELECT FirstName , AVG ( salary ) FROM Employees , Salaries , DepartmentManager \
+             WHERE Employees . EmployeeNumber = Salaries . EmployeeNumber AND \
+             Employees . EmployeeNumber = DepartmentManager . EmployeeNumber \
+             GROUP BY Employees . FirstName",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 3);
+        assert_eq!(q.group_by, Some(ColRef::qualified("Employees", "FirstName")));
+        assert!(matches!(q.predicate, Some(Predicate::And(_, _))));
+    }
+
+    #[test]
+    fn parses_table6_q10_or_chain_with_limit() {
+        let q = parse_query(
+            "SELECT * FROM Employees natural join Titles WHERE ToDate = '2001-10-09' \
+             OR HireDate = '1996-05-10' OR title = 'Engineer' LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(q.limit, Some(10));
+        assert!(matches!(q.predicate, Some(Predicate::Or(_, _))));
+        assert_eq!(q.select, vec![SelectItem::Star]);
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let q = parse_query("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3").unwrap();
+        match q.predicate.unwrap() {
+            Predicate::Or(lhs, rhs) => {
+                assert!(matches!(*lhs, Predicate::Cmp { .. }));
+                assert!(matches!(*rhs, Predicate::And(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_and_is_not_conjunction() {
+        let q = parse_query("SELECT a FROM t WHERE b BETWEEN 1 AND 5 AND c = 2").unwrap();
+        match q.predicate.unwrap() {
+            Predicate::And(lhs, _) => assert!(matches!(*lhs, Predicate::Between { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_between() {
+        let q = parse_query("SELECT a FROM t WHERE b NOT BETWEEN 1 AND 5").unwrap();
+        assert!(matches!(
+            q.predicate.unwrap(),
+            Predicate::Between { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn nested_in_subquery() {
+        let q = parse_query(
+            "SELECT name FROM Employees WHERE EmployeeNumber IN \
+             ( SELECT EmployeeNumber FROM Salaries WHERE Salary > 70000 )",
+        )
+        .unwrap();
+        assert!(matches!(
+            q.predicate.unwrap(),
+            Predicate::In { source: InSource::Subquery(_), .. }
+        ));
+    }
+
+    #[test]
+    fn nested_scalar_subquery() {
+        let q = parse_query(
+            "SELECT name FROM Employees WHERE Salary = ( SELECT MAX ( Salary ) FROM Salaries )",
+        )
+        .unwrap();
+        assert!(matches!(
+            q.predicate.unwrap(),
+            Predicate::Cmp { rhs: Operand::Subquery(_), .. }
+        ));
+    }
+
+    #[test]
+    fn two_level_nesting_rejected() {
+        let err = parse_query(
+            "SELECT a FROM t WHERE x IN ( SELECT b FROM u WHERE y IN ( SELECT c FROM v ) )",
+        )
+        .unwrap_err();
+        assert!(matches!(err, DbError::Invalid(_)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("SELECT FROM").is_err());
+        assert!(parse_query("SELECT a FROM t WHERE").is_err());
+        assert!(parse_query("SELECT a FROM t extra junk").is_err());
+        assert!(parse_query("SELECT a FROM t LIMIT many").is_err());
+    }
+
+    #[test]
+    fn roundtrips_through_render() {
+        let texts = [
+            "SELECT AVG ( salary ) FROM Salaries",
+            "SELECT * FROM Employees NATURAL JOIN Titles WHERE ToDate = '2001-10-09' OR title = 'Engineer' LIMIT 10",
+            "SELECT Gender , AVG ( salary ) , MAX ( salary ) FROM Employees NATURAL JOIN Salaries GROUP BY Employees . Gender",
+            "SELECT a FROM t WHERE b NOT BETWEEN 1 AND 5",
+            "SELECT a FROM t WHERE b IN ( 1 , 2 , 3 )",
+        ];
+        for text in texts {
+            let q = parse_query(text).unwrap();
+            assert_eq!(q.render(), text);
+            // render -> parse -> render is a fixed point
+            assert_eq!(parse_query(&q.render()).unwrap(), q);
+        }
+    }
+}

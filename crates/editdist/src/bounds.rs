@@ -1,0 +1,64 @@
+//! Bidirectional edit-distance bounds (paper Proposition 1).
+//!
+//! Given two query structures with `m` and `n` tokens, their weighted LCS
+//! edit distance `d` satisfies `|m − n| · W_L ≤ d ≤ (m + n) · W_K`. The
+//! lower bound is the best case (`|m − n|` deletions at minimum weight);
+//! the upper bound is the worst case (`m` deletes plus `n` inserts at
+//! maximum weight). The search engine uses the lower bound to skip whole
+//! per-length tries (App. D.2).
+
+use crate::weights::{Dist, Weights};
+
+/// Lower bound of Proposition 1: `|m − n| · min_weight`.
+pub fn lower_bound(m: usize, n: usize, w: Weights) -> Dist {
+    (m.abs_diff(n) as Dist) * w.min_weight()
+}
+
+/// Upper bound of Proposition 1: `(m + n) · max_weight`.
+pub fn upper_bound(m: usize, n: usize, w: Weights) -> Dist {
+    ((m + n) as Dist) * w.max_weight()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcs::weighted_lcs_distance;
+    use speakql_grammar::{Keyword, StructTok, StructTokId};
+
+    #[test]
+    fn figure10_bounds_table() {
+        // Fig. 10: TransOut of length n=3, candidate lengths m with bounds
+        // [|m−n|·1.0, (m+n)·1.2]:
+        let w = Weights::PAPER;
+        assert_eq!(lower_bound(1, 3, w), 20); // 2.0
+        assert_eq!(upper_bound(1, 3, w), 48); // 4.8
+        assert_eq!(lower_bound(2, 3, w), 10); // 1.0
+        assert_eq!(upper_bound(2, 3, w), 60); // 6.0
+        assert_eq!(lower_bound(3, 3, w), 0); // 0.0
+        assert_eq!(upper_bound(3, 3, w), 72); // 7.2
+        assert_eq!(lower_bound(50, 3, w), 470); // 47.0
+        assert_eq!(upper_bound(50, 3, w), 636); // 63.6
+    }
+
+    #[test]
+    fn bounds_sandwich_actual_distance() {
+        use speakql_grammar::{generate_structures, GeneratorConfig};
+        let w = Weights::PAPER;
+        let structs = generate_structures(&GeneratorConfig {
+            max_structures: Some(200),
+            ..GeneratorConfig::small()
+        });
+        let probe: Vec<StructTokId> = vec![
+            StructTokId::from_tok(StructTok::Keyword(Keyword::Select)),
+            StructTokId::VAR,
+            StructTokId::from_tok(StructTok::Keyword(Keyword::From)),
+            StructTokId::VAR,
+            StructTokId::VAR,
+        ];
+        for s in &structs {
+            let d = weighted_lcs_distance(&probe, &s.tokens, w);
+            assert!(d >= lower_bound(probe.len(), s.len(), w));
+            assert!(d <= upper_bound(probe.len(), s.len(), w));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Class-dependent token weights (paper §3.4).
+//!
+//! The paper observes that ASR recognizes Keywords far more reliably than
+//! Literals, with SplChars in between, and therefore weighs edit operations
+//! by token class: `W_K = 1.2 > W_S = 1.1 > W_L = 1.0`. "The exact weight
+//! values are not that important; it is the ordering that matters."
+//!
+//! Weights are stored in **fixed-point tenths** (`12/11/10`) so that every
+//! distance comparison is exact integer arithmetic — deterministic across
+//! platforms and free of float-comparison hazards in the search engine.
+
+use serde::{Deserialize, Serialize};
+use speakql_grammar::{StructTokId, TokenClass};
+
+/// Fixed-point distance value, in tenths (`31` means `3.1`).
+pub type Dist = u32;
+
+/// A distance larger than any achievable one; used as the initial
+/// `MinEditDist` in the search.
+pub const DIST_INF: Dist = u32::MAX / 4;
+
+/// Edit-operation weights per token class, in tenths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Weights {
+    pub keyword: Dist,
+    pub splchar: Dist,
+    pub literal: Dist,
+}
+
+impl Weights {
+    /// The paper's weights: `W_K = 1.2, W_S = 1.1, W_L = 1.0`.
+    pub const PAPER: Weights = Weights { keyword: 12, splchar: 11, literal: 10 };
+
+    /// Uniform weights (classic unweighted LCS distance), useful for
+    /// ablations and for the TED accuracy metric.
+    pub const UNIFORM: Weights = Weights { keyword: 10, splchar: 10, literal: 10 };
+
+    /// Weight of a token class.
+    pub fn of_class(self, class: TokenClass) -> Dist {
+        match class {
+            TokenClass::Keyword => self.keyword,
+            TokenClass::SplChar => self.splchar,
+            TokenClass::Literal => self.literal,
+        }
+    }
+
+    /// Weight of an interned structure token.
+    pub fn of(self, tok: StructTokId) -> Dist {
+        self.of_class(tok.class())
+    }
+
+    /// The maximum of the three weights (`W_K` for the paper's ordering);
+    /// used by the Proposition 1 upper bound.
+    pub fn max_weight(self) -> Dist {
+        self.keyword.max(self.splchar).max(self.literal)
+    }
+
+    /// The minimum of the three weights (`W_L` for the paper's ordering);
+    /// used by the Proposition 1 lower bound.
+    pub fn min_weight(self) -> Dist {
+        self.keyword.min(self.splchar).min(self.literal)
+    }
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Weights::PAPER
+    }
+}
+
+/// Render a fixed-point distance as its decimal form, e.g. `31 -> "3.1"`.
+pub fn dist_to_string(d: Dist) -> String {
+    format!("{}.{}", d / 10, d % 10)
+}
+
+/// Convert a fixed-point distance to an `f64` (for reporting only — all
+/// comparisons inside the engine stay in fixed point).
+pub fn dist_to_f64(d: Dist) -> f64 {
+    d as f64 / 10.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speakql_grammar::{Keyword, SplChar, StructTok};
+
+    #[test]
+    fn paper_ordering_holds() {
+        let w = Weights::PAPER;
+        assert!(w.keyword > w.splchar && w.splchar > w.literal);
+        assert_eq!(w.max_weight(), 12);
+        assert_eq!(w.min_weight(), 10);
+    }
+
+    #[test]
+    fn class_weights() {
+        let w = Weights::PAPER;
+        assert_eq!(w.of(StructTokId::from_tok(StructTok::Keyword(Keyword::Select))), 12);
+        assert_eq!(w.of(StructTokId::from_tok(StructTok::SplChar(SplChar::Eq))), 11);
+        assert_eq!(w.of(StructTokId::VAR), 10);
+    }
+
+    #[test]
+    fn rendering() {
+        assert_eq!(dist_to_string(31), "3.1");
+        assert_eq!(dist_to_string(0), "0.0");
+        assert!((dist_to_f64(31) - 3.1).abs() < 1e-9);
+    }
+}

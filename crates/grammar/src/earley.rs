@@ -1,0 +1,308 @@
+//! An Earley recognizer for the Box 1 grammar over *masked* token
+//! sequences.
+//!
+//! The paper argues (§3.2) that "deterministic parsing will almost always
+//! fail" on ASR output and that inverting the problem — generating
+//! structures and searching — is the right design. This module implements
+//! that rejected baseline so the claim can be measured (the
+//! `baseline_parsing` experiment), and doubles as a consistency oracle: every
+//! structure the generator emits must be accepted by this recognizer.
+
+use crate::structure::{StructTok, StructTokId};
+use crate::token::{Keyword, SplChar};
+
+/// Nonterminals of the grammar (Box 1 plus the documented extensions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(clippy::upper_case_acronyms)]
+pub(crate) enum Nt {
+    /// Goal symbol.
+    Q,
+    /// SELECT clause.
+    S,
+    /// Select-list continuation (`C`).
+    C,
+    /// One select item (factored helper).
+    Item,
+    /// FROM clause.
+    F,
+    /// FROM continuation (`CF`), extended with NATURAL JOIN.
+    Cf,
+    /// WHERE clause.
+    W,
+    /// Predicate chain (`WD`).
+    Wd,
+    /// Single comparison (`EXP`).
+    Exp,
+    /// Comparison operand (L or WDD).
+    Opnd,
+    /// Dotted reference (`WDD`).
+    Wdd,
+    /// WHERE tail forms (`AGG`).
+    Agg,
+    /// IN-list continuation (`CS`).
+    Cs,
+    /// ORDER BY / GROUP BY head (`CLS`).
+    Cls,
+    /// CLS target (L or WDD).
+    Tgt,
+    /// Standalone tail (extension).
+    G,
+}
+
+/// A grammar symbol: nonterminal or terminal predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Sym {
+    N(Nt),
+    /// A literal placeholder (`x`).
+    Var,
+    Kw(Keyword),
+    Sc(SplChar),
+    /// Any aggregate keyword (`SEL_OP` plus COUNT).
+    AggKw,
+    /// Any comparison operator (`OP`).
+    CmpOp,
+}
+
+impl Sym {
+    pub(crate) fn matches(self, tok: StructTokId) -> bool {
+        match (self, tok.tok()) {
+            (Sym::Var, StructTok::Var) => true,
+            (Sym::Kw(k), StructTok::Keyword(t)) => k == t,
+            (Sym::Sc(c), StructTok::SplChar(t)) => c == t,
+            (Sym::AggKw, StructTok::Keyword(t)) => t.is_aggregate(),
+            (Sym::CmpOp, StructTok::SplChar(t)) => {
+                matches!(t, SplChar::Eq | SplChar::Lt | SplChar::Gt)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The productions, as `(head, body)` pairs.
+pub(crate) fn productions() -> &'static [(Nt, &'static [Sym])] {
+    use Keyword::*;
+    use Nt::*;
+    use Sym::*;
+    const P: &[(Nt, &[Sym])] = &[
+        // Q → S F | S F W | S F G (extension 2: standalone tails)
+        (Q, &[N(S), N(F)]),
+        (Q, &[N(S), N(F), N(W)]),
+        (Q, &[N(S), N(F), N(G)]),
+        // S → SELECT * | SELECT Item C?
+        (S, &[Kw(Select), Sc(SplChar::Star)]),
+        (S, &[Kw(Select), N(Item)]),
+        (S, &[Kw(Select), N(Item), N(C)]),
+        // C → , Item | C , Item
+        (C, &[Sc(SplChar::Comma), N(Item)]),
+        (C, &[N(C), Sc(SplChar::Comma), N(Item)]),
+        // Item → L | SEL_OP ( L ) | COUNT ( * )
+        (Item, &[Var]),
+        (Item, &[AggKw, Sc(SplChar::LParen), Var, Sc(SplChar::RParen)]),
+        (Item, &[Kw(Count), Sc(SplChar::LParen), Sc(SplChar::Star), Sc(SplChar::RParen)]),
+        // F → FROM L | FROM L CF
+        (F, &[Kw(From), Var]),
+        (F, &[Kw(From), Var, N(Cf)]),
+        // CF → , L | NATURAL JOIN L | CF , L | CF NATURAL JOIN L
+        (Cf, &[Sc(SplChar::Comma), Var]),
+        (Cf, &[Kw(Natural), Kw(Join), Var]),
+        (Cf, &[N(Cf), Sc(SplChar::Comma), Var]),
+        (Cf, &[N(Cf), Kw(Natural), Kw(Join), Var]),
+        // W → WHERE WD | WHERE AGG
+        (W, &[Kw(Where), N(Wd)]),
+        (W, &[Kw(Where), N(Agg)]),
+        // WD → EXP | EXP AND WD | EXP OR WD
+        (Wd, &[N(Exp)]),
+        (Wd, &[N(Exp), Kw(And), N(Wd)]),
+        (Wd, &[N(Exp), Kw(Or), N(Wd)]),
+        // EXP → Opnd OP Opnd ; Opnd → L | WDD ; WDD → L . L
+        (Exp, &[N(Opnd), CmpOp, N(Opnd)]),
+        (Opnd, &[Var]),
+        (Opnd, &[N(Wdd)]),
+        (Wdd, &[Var, Sc(SplChar::Dot), Var]),
+        // AGG → WD CLS Tgt | WD LIMIT L | L BETWEEN L AND L
+        //     | L NOT BETWEEN L AND L | L IN ( L ) | L IN ( L CS )
+        (Agg, &[N(Wd), N(Cls), N(Tgt)]),
+        (Agg, &[N(Wd), Kw(Limit), Var]),
+        (Agg, &[Var, Kw(Between), Var, Kw(And), Var]),
+        (Agg, &[Var, Kw(Not), Kw(Between), Var, Kw(And), Var]),
+        (Agg, &[Var, Kw(In), Sc(SplChar::LParen), Var, Sc(SplChar::RParen)]),
+        (Agg, &[Var, Kw(In), Sc(SplChar::LParen), Var, N(Cs), Sc(SplChar::RParen)]),
+        // CS → , L | CS , L
+        (Cs, &[Sc(SplChar::Comma), Var]),
+        (Cs, &[N(Cs), Sc(SplChar::Comma), Var]),
+        // CLS → ORDER BY | GROUP BY ; Tgt → L | WDD
+        (Cls, &[Kw(Order), Kw(By)]),
+        (Cls, &[Kw(Group), Kw(By)]),
+        (Tgt, &[Var]),
+        (Tgt, &[N(Wdd)]),
+        // G → CLS Tgt | LIMIT L (extension 2)
+        (G, &[N(Cls), N(Tgt)]),
+        (G, &[Kw(Limit), Var]),
+    ];
+    P
+}
+
+/// One Earley item: production index, dot position, origin set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Item {
+    prod: usize,
+    dot: usize,
+    origin: usize,
+}
+
+/// Recognize a masked token sequence against the structure grammar.
+///
+/// Returns `true` iff the sequence is a syntactically valid SQL structure
+/// (literals masked as `Var`). Deterministic, no error tolerance — this is
+/// the parsing baseline the paper rejects in favour of structure search.
+pub fn recognize(masked: &[StructTokId]) -> bool {
+    let prods = productions();
+    let n = masked.len();
+    if n == 0 {
+        return false;
+    }
+    let mut sets: Vec<Vec<Item>> = vec![Vec::new(); n + 1];
+
+    let push = |sets: &mut Vec<Vec<Item>>, k: usize, item: Item| {
+        if !sets[k].contains(&item) {
+            sets[k].push(item);
+        }
+    };
+
+    // Seed with the goal productions.
+    for (pi, (head, _)) in prods.iter().enumerate() {
+        if *head == Nt::Q {
+            push(&mut sets, 0, Item { prod: pi, dot: 0, origin: 0 });
+        }
+    }
+
+    for k in 0..=n {
+        let mut i = 0;
+        while i < sets[k].len() {
+            let item = sets[k][i];
+            i += 1;
+            let (head, body) = prods[item.prod];
+            if item.dot == body.len() {
+                // Completion: advance items waiting on `head` at `origin`.
+                let origin_items: Vec<Item> = sets[item.origin].clone();
+                for waiting in origin_items {
+                    let (_, wbody) = prods[waiting.prod];
+                    if waiting.dot < wbody.len() {
+                        if let Sym::N(nt) = wbody[waiting.dot] {
+                            if nt == head {
+                                push(
+                                    &mut sets,
+                                    k,
+                                    Item {
+                                        prod: waiting.prod,
+                                        dot: waiting.dot + 1,
+                                        origin: waiting.origin,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            match body[item.dot] {
+                Sym::N(nt) => {
+                    // Prediction.
+                    for (pi, (h, _)) in prods.iter().enumerate() {
+                        if *h == nt {
+                            push(&mut sets, k, Item { prod: pi, dot: 0, origin: k });
+                        }
+                    }
+                }
+                terminal => {
+                    // Scan.
+                    if k < n && terminal.matches(masked[k]) {
+                        push(
+                            &mut sets,
+                            k + 1,
+                            Item { prod: item.prod, dot: item.dot + 1, origin: item.origin },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    sets[n].iter().any(|item| {
+        let (head, body) = prods[item.prod];
+        head == Nt::Q && item.dot == body.len() && item.origin == 0
+    })
+}
+
+/// Convenience: recognize the masked form of a transcript string.
+pub fn recognize_text(text: &str) -> bool {
+    recognize(&crate::masking::process_transcript_text(text).masked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_structures, sample_structure, GeneratorConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn accepts_paper_structures() {
+        for text in [
+            "select x from x",
+            "select star from x",
+            "select x from x where x = x",
+            "select avg ( x ) from x",
+            "select count ( star ) from x where x . x = x . x",
+            "select x , x from x natural join x group by x",
+            "select x from x where x = x and x < x order by x . x",
+            "select x from x where x between x and x",
+            "select x from x where x not between x and x",
+            "select x from x where x in ( x , x , x )",
+            "select x from x where x = x limit x",
+            "select x from x limit x",
+            "select x , avg ( x ) from x , x , x where x . x = x . x and x . x = x . x group by x . x",
+        ] {
+            assert!(recognize_text(text), "must accept: {text}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_structures() {
+        for text in [
+            "",
+            "select from x",
+            "select x where x = x",
+            "select x from x where",
+            "select x from x x x = x", // the §2 running example's MaskOut
+            "select x from x where x = x and",
+            "x from x",
+            "select x from x where x = x or or x = x",
+            "select x from x group x",
+        ] {
+            assert!(!recognize_text(text), "must reject: {text}");
+        }
+    }
+
+    #[test]
+    fn accepts_every_enumerated_structure() {
+        // The generator and the recognizer must agree on the language.
+        let structures = generate_structures(&GeneratorConfig {
+            max_structures: Some(3_000),
+            ..GeneratorConfig::small()
+        });
+        for s in &structures {
+            assert!(recognize(&s.tokens), "generator emitted unparsable: {}", s.render());
+        }
+    }
+
+    #[test]
+    fn accepts_every_sampled_structure() {
+        let cfg = GeneratorConfig::paper();
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..300 {
+            let s = sample_structure(&cfg, &mut rng);
+            assert!(recognize(&s.tokens), "sampler emitted unparsable: {}", s.render());
+        }
+    }
+}

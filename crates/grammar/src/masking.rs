@@ -1,0 +1,163 @@
+//! SplChar handling and literal masking (paper §3.1).
+//!
+//! ASR often fails to transcribe special characters symbolically and instead
+//! produces words ("less than" for `<`). [`handle_splchars`] replaces those
+//! spoken word sequences with the corresponding symbols;
+//! [`process_transcript`] then replaces every token outside
+//! `KeywordDict ∪ SplCharDict` with a placeholder variable, producing
+//! `MaskOut`.
+
+use crate::structure::StructTokId;
+use crate::token::{Keyword, SplChar, Token, ALL_SPLCHARS};
+
+/// A processed transcription: the word stream after SplChar handling, plus
+/// the masked structure string (`MaskOut`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessedTranscript {
+    /// Words after SplChar substitution; splchars appear as their symbols.
+    /// This is the `TransOut` consumed by Literal Determination (§4.2).
+    pub words: Vec<String>,
+    /// Tokens classified against the dictionaries.
+    pub tokens: Vec<Token>,
+    /// `MaskOut`: literals replaced by placeholder variables.
+    pub masked: Vec<StructTokId>,
+}
+
+/// Spoken word sequences that map back to special characters, tried longest
+/// first so "less than" wins over any single-word form. Besides the canonical
+/// forms of [`SplChar::spoken`] we accept common ASR variants.
+fn splchar_phrases() -> Vec<(Vec<&'static str>, SplChar)> {
+    let mut phrases: Vec<(Vec<&'static str>, SplChar)> = Vec::new();
+    for c in ALL_SPLCHARS {
+        phrases.push((c.spoken().to_vec(), c));
+    }
+    // Variants the ASR channel can produce.
+    phrases.push((vec!["asterisk"], SplChar::Star));
+    phrases.push((vec!["equal"], SplChar::Eq));
+    phrases.push((vec!["equals", "to"], SplChar::Eq));
+    phrases.push((vec!["is", "less", "than"], SplChar::Lt));
+    phrases.push((vec!["is", "greater", "than"], SplChar::Gt));
+    phrases.push((vec!["more", "than"], SplChar::Gt));
+    phrases.push((vec!["open", "paren"], SplChar::LParen));
+    phrases.push((vec!["close", "paren"], SplChar::RParen));
+    phrases.push((vec!["left", "parenthesis"], SplChar::LParen));
+    phrases.push((vec!["right", "parenthesis"], SplChar::RParen));
+    phrases.push((vec!["period"], SplChar::Dot));
+    phrases.push((vec!["point"], SplChar::Dot));
+    // Longest-first so multi-word phrases are preferred.
+    phrases.sort_by_key(|(p, _)| std::cmp::Reverse(p.len()));
+    phrases
+}
+
+/// Replace spoken special-character phrases in a word stream with their
+/// symbols (paper §3.1: "we replace the substrings in the transcription
+/// output with the corresponding SplChars").
+pub fn handle_splchars(words: &[String]) -> Vec<String> {
+    let phrases = splchar_phrases();
+    let mut out = Vec::with_capacity(words.len());
+    let mut i = 0usize;
+    'outer: while i < words.len() {
+        for (phrase, sc) in &phrases {
+            if phrase.len() <= words.len() - i
+                && phrase
+                    .iter()
+                    .zip(&words[i..i + phrase.len()])
+                    .all(|(p, w)| w.eq_ignore_ascii_case(p))
+            {
+                out.push(sc.as_str().to_string());
+                i += phrase.len();
+                continue 'outer;
+            }
+        }
+        out.push(words[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Full §3.1 pipeline: SplChar handling, then literal masking.
+pub fn process_transcript(words: &[String]) -> ProcessedTranscript {
+    let words = handle_splchars(words);
+    let tokens: Vec<Token> = words.iter().map(|w| Token::classify_word(w)).collect();
+    let masked = crate::structure::Structure::mask_of(&tokens);
+    ProcessedTranscript { words, tokens, masked }
+}
+
+/// Convenience: process a raw transcript string.
+pub fn process_transcript_text(text: &str) -> ProcessedTranscript {
+    let words = crate::tokenizer::tokenize_transcript(text);
+    process_transcript(&words)
+}
+
+/// Render `MaskOut` for debugging/tests, e.g. `SELECT x FROM x x x = x`.
+pub fn render_masked(masked: &[StructTokId]) -> String {
+    let mut out = String::new();
+    for (i, t) in masked.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        match t.tok() {
+            crate::structure::StructTok::Var => out.push('x'),
+            crate::structure::StructTok::Keyword(k) => out.push_str(k.as_str()),
+            crate::structure::StructTok::SplChar(c) => out.push_str(c.as_str()),
+        }
+    }
+    out
+}
+
+/// True if a word is in either dictionary — the membership test used all over
+/// Literal Determination (Box 3 line 4).
+pub fn in_dictionaries(word: &str) -> bool {
+    Keyword::parse(word).is_some() || SplChar::parse(word).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn less_than_becomes_symbol() {
+        let out = handle_splchars(&words("salary less than 70000"));
+        assert_eq!(out, vec!["salary", "<", "70000"]);
+    }
+
+    #[test]
+    fn longest_phrase_wins() {
+        // "is less than" should consume all three words, not leave "is".
+        let out = handle_splchars(&words("where salary is less than 5"));
+        assert_eq!(out, vec!["where", "salary", "<", "5"]);
+    }
+
+    #[test]
+    fn paper_running_example_masks() {
+        // §3.1: "SELECT x1 FROM x2 x3 x4 = x5" for
+        // "select sales from employers wear name equals Jon"
+        let p = process_transcript_text("select sales from employers wear name equals Jon");
+        assert_eq!(render_masked(&p.masked), "SELECT x FROM x x x = x");
+    }
+
+    #[test]
+    fn masking_keeps_keywords_and_splchars() {
+        let p = process_transcript_text("select star from employees where salary greater than 100");
+        assert_eq!(render_masked(&p.masked), "SELECT * FROM x WHERE x > x");
+    }
+
+    #[test]
+    fn words_after_handling_align_with_tokens() {
+        let p = process_transcript_text("sum open parenthesis salary close parenthesis");
+        assert_eq!(p.words, vec!["sum", "(", "salary", ")"]);
+        assert_eq!(p.tokens.len(), p.words.len());
+        assert_eq!(p.masked.len(), p.words.len());
+    }
+
+    #[test]
+    fn dictionary_membership() {
+        assert!(in_dictionaries("select"));
+        assert!(in_dictionaries("="));
+        assert!(!in_dictionaries("salary"));
+    }
+}

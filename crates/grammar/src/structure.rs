@@ -1,0 +1,315 @@
+//! SQL *structures*: token sequences where every literal is masked by a
+//! placeholder variable (paper §3: `SELECT x1 FROM x2 WHERE x3 = x4`).
+//!
+//! Structures are the unit the Structure Determination component searches
+//! over. Tokens are interned into dense [`StructTokId`]s so that tries and
+//! the dynamic program operate on bytes rather than strings.
+
+use crate::token::{Keyword, SplChar, Token, TokenClass, ALL_KEYWORDS, ALL_SPLCHARS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One token of a masked structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StructTok {
+    /// A fixed keyword token.
+    Keyword(Keyword),
+    /// A fixed special-character token.
+    SplChar(SplChar),
+    /// A literal placeholder (`x1`, `x2`, ... in the paper). Placeholders are
+    /// positional; the numbering is implicit in the token sequence.
+    Var,
+}
+
+impl StructTok {
+    /// The token class of this structure token.
+    pub fn class(self) -> TokenClass {
+        match self {
+            StructTok::Keyword(_) => TokenClass::Keyword,
+            StructTok::SplChar(_) => TokenClass::SplChar,
+            StructTok::Var => TokenClass::Literal,
+        }
+    }
+}
+
+/// A dense id for a [`StructTok`]: `0` = Var, `1..=19` keywords,
+/// `20..=27` special characters. Fits in a `u8`; the whole alphabet has
+/// [`STRUCT_ALPHABET`] symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StructTokId(pub u8);
+
+/// Size of the structure-token alphabet (1 Var + 19 keywords + 8 splchars).
+pub const STRUCT_ALPHABET: usize = 1 + 19 + 8;
+
+impl StructTokId {
+    pub const VAR: StructTokId = StructTokId(0);
+
+    pub fn from_tok(tok: StructTok) -> StructTokId {
+        match tok {
+            StructTok::Var => StructTokId(0),
+            StructTok::Keyword(k) => StructTokId(1 + k.index() as u8),
+            StructTok::SplChar(c) => StructTokId(20 + c.index() as u8),
+        }
+    }
+
+    pub fn tok(self) -> StructTok {
+        match self.0 {
+            0 => StructTok::Var,
+            i @ 1..=19 => StructTok::Keyword(ALL_KEYWORDS[(i - 1) as usize]),
+            i @ 20..=27 => StructTok::SplChar(ALL_SPLCHARS[(i - 20) as usize]),
+            other => unreachable!("invalid StructTokId {other}"),
+        }
+    }
+
+    pub fn class(self) -> TokenClass {
+        self.tok().class()
+    }
+
+    pub fn is_var(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<StructTok> for StructTokId {
+    fn from(t: StructTok) -> Self {
+        StructTokId::from_tok(t)
+    }
+}
+
+/// The category of a literal placeholder, assigned from the grammar
+/// (paper §4.1): table name (`T`), attribute name (`A`), or attribute
+/// value (`V`). We additionally distinguish values that must be numbers
+/// (the `LIMIT` argument), which the paper's dataset generator also binds
+/// specially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LitCategory {
+    Table,
+    Attribute,
+    Value,
+    /// A value position that must be a non-negative integer (`LIMIT n`).
+    Number,
+}
+
+impl LitCategory {
+    pub fn code(self) -> char {
+        match self {
+            LitCategory::Table => 'T',
+            LitCategory::Attribute => 'A',
+            LitCategory::Value => 'V',
+            LitCategory::Number => 'N',
+        }
+    }
+}
+
+/// Metadata for one placeholder of a [`Structure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placeholder {
+    /// Grammar-derived category (paper §4.1).
+    pub category: LitCategory,
+    /// For `Value` placeholders: the index (into the structure's placeholder
+    /// list) of the attribute that governs this value — the left-hand side of
+    /// its comparison. Dataset generation uses it to draw values from the
+    /// right column; literal determination uses it to restrict candidate
+    /// domains.
+    pub governor: Option<u16>,
+}
+
+impl Placeholder {
+    pub fn table() -> Self {
+        Placeholder { category: LitCategory::Table, governor: None }
+    }
+    pub fn attribute() -> Self {
+        Placeholder { category: LitCategory::Attribute, governor: None }
+    }
+    pub fn value(governor: Option<u16>) -> Self {
+        Placeholder { category: LitCategory::Value, governor }
+    }
+    pub fn number() -> Self {
+        Placeholder { category: LitCategory::Number, governor: None }
+    }
+}
+
+/// A syntactically correct SQL structure: interned tokens plus per-placeholder
+/// metadata. Produced by the Structure Generator (§3.2) and returned by the
+/// Search Engine (§3.4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Structure {
+    pub tokens: Vec<StructTokId>,
+    pub placeholders: Vec<Placeholder>,
+}
+
+impl Structure {
+    /// Build from unintered tokens, checking that the number of `Var` tokens
+    /// matches the placeholder metadata.
+    pub fn new(tokens: Vec<StructTok>, placeholders: Vec<Placeholder>) -> Structure {
+        let vars = tokens.iter().filter(|t| matches!(t, StructTok::Var)).count();
+        assert_eq!(
+            vars,
+            placeholders.len(),
+            "placeholder metadata must match Var count"
+        );
+        Structure {
+            tokens: tokens.into_iter().map(StructTokId::from_tok).collect(),
+            placeholders,
+        }
+    }
+
+    /// Number of tokens (the paper's difficulty metric for spoken querying).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Number of literal placeholders.
+    pub fn var_count(&self) -> usize {
+        self.placeholders.len()
+    }
+
+    /// Iterate `(token_position, placeholder_index)` pairs for each Var.
+    pub fn var_positions(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_var())
+            .enumerate()
+            .map(|(ph, (pos, _))| (pos, ph))
+    }
+
+    /// Render with numbered placeholders, e.g. `SELECT x1 FROM x2 WHERE x3 = x4`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut var = 0usize;
+        for (i, t) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match t.tok() {
+                StructTok::Var => {
+                    var += 1;
+                    out.push('x');
+                    out.push_str(&var.to_string());
+                }
+                StructTok::Keyword(k) => out.push_str(k.as_str()),
+                StructTok::SplChar(c) => out.push_str(c.as_str()),
+            }
+        }
+        out
+    }
+
+    /// Substitute literal strings for the placeholders, yielding a concrete
+    /// token sequence. `literals.len()` must equal [`Self::var_count`].
+    pub fn bind(&self, literals: &[String]) -> Vec<Token> {
+        assert_eq!(literals.len(), self.var_count(), "one literal per placeholder");
+        let mut var = 0usize;
+        self.tokens
+            .iter()
+            .map(|t| match t.tok() {
+                StructTok::Var => {
+                    let lit = Token::Literal(literals[var].clone());
+                    var += 1;
+                    lit
+                }
+                StructTok::Keyword(k) => Token::Keyword(k),
+                StructTok::SplChar(c) => Token::SplChar(c),
+            })
+            .collect()
+    }
+
+    /// Derive the masked structure of a concrete token sequence (no
+    /// placeholder metadata — categories require the grammar derivation,
+    /// which concrete text does not carry).
+    pub fn mask_of(tokens: &[Token]) -> Vec<StructTokId> {
+        tokens
+            .iter()
+            .map(|t| match t {
+                Token::Keyword(k) => StructTokId::from_tok(StructTok::Keyword(*k)),
+                Token::SplChar(c) => StructTokId::from_tok(StructTok::SplChar(*c)),
+                Token::Literal(_) => StructTokId::VAR,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_structure() -> Structure {
+        // SELECT x1 FROM x2 WHERE x3 = x4
+        Structure::new(
+            vec![
+                StructTok::Keyword(Keyword::Select),
+                StructTok::Var,
+                StructTok::Keyword(Keyword::From),
+                StructTok::Var,
+                StructTok::Keyword(Keyword::Where),
+                StructTok::Var,
+                StructTok::SplChar(SplChar::Eq),
+                StructTok::Var,
+            ],
+            vec![
+                Placeholder::attribute(),
+                Placeholder::table(),
+                Placeholder::attribute(),
+                Placeholder::value(Some(2)),
+            ],
+        )
+    }
+
+    #[test]
+    fn id_roundtrip() {
+        for id in 0..STRUCT_ALPHABET as u8 {
+            let t = StructTokId(id).tok();
+            assert_eq!(StructTokId::from_tok(t), StructTokId(id));
+        }
+    }
+
+    #[test]
+    fn render_running_example() {
+        assert_eq!(simple_structure().render(), "SELECT x1 FROM x2 WHERE x3 = x4");
+    }
+
+    #[test]
+    fn bind_running_example() {
+        let s = simple_structure();
+        let toks = s.bind(&[
+            "Salary".to_string(),
+            "Employees".to_string(),
+            "Name".to_string(),
+            "'John'".to_string(),
+        ]);
+        assert_eq!(
+            crate::token::render_tokens(&toks),
+            "SELECT Salary FROM Employees WHERE Name = 'John'"
+        );
+    }
+
+    #[test]
+    fn mask_inverts_bind() {
+        let s = simple_structure();
+        let toks = s.bind(&["a".into(), "b".into(), "c".into(), "d".into()]);
+        assert_eq!(Structure::mask_of(&toks), s.tokens);
+    }
+
+    #[test]
+    fn var_positions_enumerates_in_order() {
+        let s = simple_structure();
+        let pos: Vec<_> = s.var_positions().collect();
+        assert_eq!(pos, vec![(1, 0), (3, 1), (5, 2), (7, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "placeholder metadata")]
+    fn mismatched_placeholders_panic() {
+        Structure::new(vec![StructTok::Var], vec![]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Tokenizer for written SQL text and for ASR transcriptions.
+//!
+//! Two inputs flow through SpeakQL as text: ground-truth SQL queries
+//! (e.g. `SELECT AVG ( salary ) FROM Salaries WHERE FromDate = '1993-01-20'`)
+//! and raw ASR transcriptions (lower-case words intermixed with digits).
+//! Both are reduced to [`Token`] sequences here.
+
+use crate::token::{SplChar, Token};
+
+/// Tokenize written SQL text.
+///
+/// Handles:
+/// - single-quoted string literals (kept as one `Literal` token, quotes
+///   preserved so values round-trip through rendering),
+/// - punctuation attached to words (`AVG(salary)` splits into 4 tokens),
+/// - case-insensitive keywords,
+/// - everything else as literals (identifiers, numbers, dates).
+pub fn tokenize_sql(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '\'' {
+            // Quoted literal: scan to the closing quote (it may contain
+            // spaces); unterminated quotes run to end of input.
+            let start = i;
+            i += 1;
+            while i < bytes.len() && bytes[i] as char != '\'' {
+                i += 1;
+            }
+            if i < bytes.len() {
+                i += 1; // consume the closing quote
+            }
+            tokens.push(Token::Literal(text[start..i].to_string()));
+            continue;
+        }
+        if let Some(sc) = SplChar::parse(&text[i..i + 1]) {
+            // `.` inside a number (e.g. 3.14) is part of the literal, not the
+            // dot operator; detect digit.digit context.
+            let prev_digit = matches!(tokens.last(), Some(Token::Literal(s))
+                if s.chars().all(|c| c.is_ascii_digit()) && !s.is_empty());
+            let next_digit = i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit();
+            if sc == SplChar::Dot && prev_digit && next_digit {
+                // merge into the previous numeric literal
+                let mut num = match tokens.pop() {
+                    Some(Token::Literal(s)) => s,
+                    _ => unreachable!("checked prev_digit"),
+                };
+                num.push('.');
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    num.push(bytes[i] as char);
+                    i += 1;
+                }
+                tokens.push(Token::Literal(num));
+                continue;
+            }
+            tokens.push(Token::SplChar(sc));
+            i += 1;
+            continue;
+        }
+        // word: letters, digits, '_', '-', and ':' (dates/times) run together
+        let start = i;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == ':' {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        if start == i {
+            // Unknown single character (not whitespace, splchar, or word
+            // char): keep it as a literal so nothing is silently dropped.
+            tokens.push(Token::Literal(text[i..i + 1].to_string()));
+            i += 1;
+            continue;
+        }
+        tokens.push(Token::classify_word(&text[start..i]));
+    }
+    tokens
+}
+
+/// Tokenize a raw ASR transcription: whitespace-separated words, each
+/// classified against the dictionaries. The ASR may emit symbols directly
+/// (e.g. when given hints, App. F.3), so single-character splchars are
+/// recognized too.
+pub fn tokenize_transcript(text: &str) -> Vec<String> {
+    text.split_whitespace().map(|w| w.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{render_tokens, Keyword};
+
+    #[test]
+    fn tokenizes_table6_q1() {
+        let toks = tokenize_sql("SELECT AVG ( salary ) FROM Salaries");
+        assert_eq!(render_tokens(&toks), "SELECT AVG ( salary ) FROM Salaries");
+        assert_eq!(toks[1], Token::Keyword(Keyword::Avg));
+        assert_eq!(toks[2], Token::SplChar(SplChar::LParen));
+    }
+
+    #[test]
+    fn tokenizes_quoted_values_with_dates() {
+        let toks = tokenize_sql("SELECT FromDate FROM DepartmentEmployee WHERE DepartmentNumber = 'd002'");
+        assert_eq!(toks.last().unwrap(), &Token::Literal("'d002'".into()));
+    }
+
+    #[test]
+    fn quoted_value_may_contain_spaces() {
+        let toks = tokenize_sql("WHERE title = 'Senior Engineer'");
+        assert_eq!(toks.last().unwrap(), &Token::Literal("'Senior Engineer'".into()));
+    }
+
+    #[test]
+    fn unspaced_punctuation_splits() {
+        let toks = tokenize_sql("SELECT AVG(salary) FROM Salaries WHERE a=b");
+        assert_eq!(
+            render_tokens(&toks),
+            "SELECT AVG ( salary ) FROM Salaries WHERE a = b"
+        );
+    }
+
+    #[test]
+    fn dotted_reference_splits() {
+        let toks = tokenize_sql("Employees . EmployeeNumber = Salaries . EmployeeNumber");
+        assert_eq!(toks.len(), 7);
+        assert_eq!(toks[1], Token::SplChar(SplChar::Dot));
+    }
+
+    #[test]
+    fn decimal_number_is_one_literal() {
+        let toks = tokenize_sql("WHERE stars > 3.5");
+        assert_eq!(toks.last().unwrap(), &Token::Literal("3.5".into()));
+    }
+
+    #[test]
+    fn date_is_one_literal() {
+        let toks = tokenize_sql("WHERE FromDate = '1993-01-20'");
+        assert_eq!(toks.last().unwrap(), &Token::Literal("'1993-01-20'".into()));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize_sql("").is_empty());
+        assert!(tokenize_sql("   \n\t ").is_empty());
+    }
+
+    #[test]
+    fn transcript_splits_on_whitespace() {
+        let t = tokenize_transcript("select sales from  employers wear name equals Jon");
+        assert_eq!(t.len(), 8);
+        assert_eq!(t[0], "select");
+    }
+}

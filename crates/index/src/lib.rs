@@ -1,0 +1,66 @@
+//! # speakql-index
+//!
+//! The indexing and search substrate of SpeakQL-rs Structure Determination
+//! (paper §3.3–§3.4 and App. D):
+//!
+//! - [`Trie`]: compact per-length tries over generated structures,
+//! - [`StructureIndex`]: the arena + 50 disjoint tries + inverted keyword
+//!   index,
+//! - [`StructureIndex::search`]: weighted-edit-distance trie search with
+//!   branch pruning, **BDB** bidirectional bounds, and the opt-in **DAP**
+//!   and **INV** accuracy–latency tradeoffs.
+
+pub mod persist;
+pub mod search;
+pub mod trie;
+
+pub use persist::{from_bytes, load_from_path, save_to_path, to_bytes, PersistError};
+pub use search::{SearchConfig, SearchHit, SearchStats, StructureIndex};
+pub use trie::Trie;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use speakql_editdist::Weights;
+    use speakql_grammar::{GeneratorConfig, StructTokId, STRUCT_ALPHABET};
+
+    fn small_index() -> &'static StructureIndex {
+        static IDX: std::sync::OnceLock<StructureIndex> = std::sync::OnceLock::new();
+        IDX.get_or_init(|| {
+            let cfg = GeneratorConfig {
+                max_structures: Some(2_000),
+                ..GeneratorConfig::small()
+            };
+            StructureIndex::from_grammar(&cfg, Weights::PAPER)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Trie search with default config (BDB on) is exact: identical to a
+        /// brute-force scan over the whole structure space, for arbitrary
+        /// masked inputs, including ties.
+        #[test]
+        fn search_equals_scan(
+            masked in prop::collection::vec((0..STRUCT_ALPHABET as u8).prop_map(StructTokId), 0..20),
+            k in 1usize..6,
+        ) {
+            let idx = small_index();
+            let cfg = SearchConfig { k, ..SearchConfig::default() };
+            prop_assert_eq!(idx.search(&masked, &cfg), idx.scan(&masked, k));
+        }
+
+        /// BDB never changes results, only work done.
+        #[test]
+        fn bdb_preserves_results(
+            masked in prop::collection::vec((0..STRUCT_ALPHABET as u8).prop_map(StructTokId), 0..20),
+        ) {
+            let idx = small_index();
+            let with = idx.search(&masked, &SearchConfig { bdb: true, ..Default::default() });
+            let without = idx.search(&masked, &SearchConfig { bdb: false, ..Default::default() });
+            prop_assert_eq!(with, without);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Binary persistence for the structure index.
+//!
+//! The Structure Generator is an *offline* component (paper §3.2); real
+//! deployments build the ~1.6M-structure space once and ship it. This module
+//! serializes the structure arena to a compact binary format (~20 bytes per
+//! structure); tries are rebuilt on load, which keeps the format trivial and
+//! forward-compatible with trie-layout changes.
+
+use crate::search::StructureIndex;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use speakql_editdist::Weights;
+use speakql_grammar::{LitCategory, Placeholder, StructTokId, Structure, STRUCT_ALPHABET};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SQLX";
+const VERSION: u16 = 1;
+const GOVERNOR_NONE: u16 = u16::MAX;
+
+/// Errors loading a persisted index.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(io::Error),
+    /// Not a SpeakQL index file.
+    BadMagic,
+    /// Produced by an incompatible version.
+    BadVersion(u16),
+    /// Structurally invalid payload.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::BadMagic => f.write_str("not a SpeakQL index file"),
+            PersistError::BadVersion(v) => write!(f, "unsupported index version {v}"),
+            PersistError::Corrupt(what) => write!(f, "corrupt index file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn category_code(c: LitCategory) -> u8 {
+    match c {
+        LitCategory::Table => 0,
+        LitCategory::Attribute => 1,
+        LitCategory::Value => 2,
+        LitCategory::Number => 3,
+    }
+}
+
+fn category_from(code: u8) -> Result<LitCategory, PersistError> {
+    Ok(match code {
+        0 => LitCategory::Table,
+        1 => LitCategory::Attribute,
+        2 => LitCategory::Value,
+        3 => LitCategory::Number,
+        _ => return Err(PersistError::Corrupt("bad category code")),
+    })
+}
+
+/// Serialize the index's structure arena and weights.
+pub fn to_bytes(index: &StructureIndex) -> Bytes {
+    let structures = index.structures();
+    let mut buf = BytesMut::with_capacity(16 + structures.len() * 24);
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    let w = index.weights();
+    buf.put_u32(w.keyword);
+    buf.put_u32(w.splchar);
+    buf.put_u32(w.literal);
+    buf.put_u32(structures.len() as u32);
+    for s in structures {
+        buf.put_u8(s.tokens.len() as u8);
+        for t in &s.tokens {
+            buf.put_u8(t.0);
+        }
+        buf.put_u8(s.placeholders.len() as u8);
+        for p in &s.placeholders {
+            buf.put_u8(category_code(p.category));
+            buf.put_u16(p.governor.unwrap_or(GOVERNOR_NONE));
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize and rebuild an index.
+pub fn from_bytes(mut data: &[u8]) -> Result<StructureIndex, PersistError> {
+    if data.remaining() < 4 || &data[..4] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    data.advance(4);
+    if data.remaining() < 2 {
+        return Err(PersistError::Corrupt("truncated header"));
+    }
+    let version = data.get_u16();
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    if data.remaining() < 16 {
+        return Err(PersistError::Corrupt("truncated header"));
+    }
+    let weights = Weights {
+        keyword: data.get_u32(),
+        splchar: data.get_u32(),
+        literal: data.get_u32(),
+    };
+    let count = data.get_u32() as usize;
+    let mut structures = Vec::with_capacity(count);
+    for _ in 0..count {
+        if data.remaining() < 1 {
+            return Err(PersistError::Corrupt("truncated structure"));
+        }
+        let n_tok = data.get_u8() as usize;
+        if data.remaining() < n_tok {
+            return Err(PersistError::Corrupt("truncated tokens"));
+        }
+        let mut tokens = Vec::with_capacity(n_tok);
+        for _ in 0..n_tok {
+            let id = data.get_u8();
+            if id as usize >= STRUCT_ALPHABET {
+                return Err(PersistError::Corrupt("bad token id"));
+            }
+            tokens.push(StructTokId(id));
+        }
+        if data.remaining() < 1 {
+            return Err(PersistError::Corrupt("truncated placeholders"));
+        }
+        let n_ph = data.get_u8() as usize;
+        if data.remaining() < n_ph * 3 {
+            return Err(PersistError::Corrupt("truncated placeholders"));
+        }
+        let mut placeholders = Vec::with_capacity(n_ph);
+        for _ in 0..n_ph {
+            let category = category_from(data.get_u8())?;
+            let gov = data.get_u16();
+            placeholders.push(Placeholder {
+                category,
+                governor: (gov != GOVERNOR_NONE).then_some(gov),
+            });
+        }
+        let vars = tokens.iter().filter(|t| t.is_var()).count();
+        if vars != n_ph {
+            return Err(PersistError::Corrupt("placeholder count mismatch"));
+        }
+        structures.push(Structure { tokens, placeholders });
+    }
+    if data.has_remaining() {
+        return Err(PersistError::Corrupt("trailing bytes"));
+    }
+    Ok(StructureIndex::build(structures, weights))
+}
+
+/// Save to a file.
+pub fn save_to_path(index: &StructureIndex, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    fs::write(path, to_bytes(index))?;
+    Ok(())
+}
+
+/// Load from a file.
+pub fn load_from_path(path: impl AsRef<Path>) -> Result<StructureIndex, PersistError> {
+    let data = fs::read(path)?;
+    from_bytes(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::SearchConfig;
+    use speakql_grammar::{process_transcript_text, GeneratorConfig};
+
+    fn small_index() -> StructureIndex {
+        StructureIndex::from_grammar(
+            &GeneratorConfig { max_structures: Some(2_000), ..GeneratorConfig::small() },
+            Weights::PAPER,
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_search_behaviour() {
+        let index = small_index();
+        let restored = from_bytes(&to_bytes(&index)).expect("roundtrip");
+        assert_eq!(restored.len(), index.len());
+        assert_eq!(restored.weights(), index.weights());
+        let p = process_transcript_text("select sales from employers wear name equals jon");
+        for k in [1usize, 5] {
+            let cfg = SearchConfig { k, ..SearchConfig::default() };
+            assert_eq!(index.search(&p.masked, &cfg), restored.search(&p.masked, &cfg));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let index = small_index();
+        let dir = std::env::temp_dir().join("speakql-index-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.sqlx");
+        save_to_path(&index, &path).expect("save");
+        let restored = load_from_path(&path).expect("load");
+        assert_eq!(restored.len(), index.len());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(from_bytes(b"nope"), Err(PersistError::BadMagic)));
+        assert!(matches!(from_bytes(b""), Err(PersistError::BadMagic)));
+        let mut bad_version = to_bytes(&small_index()).to_vec();
+        bad_version[5] = 99;
+        assert!(matches!(from_bytes(&bad_version), Err(PersistError::BadVersion(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing() {
+        let good = to_bytes(&small_index()).to_vec();
+        let truncated = &good[..good.len() / 2];
+        assert!(from_bytes(truncated).is_err());
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(matches!(from_bytes(&trailing), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn compactness() {
+        let index = small_index();
+        let bytes = to_bytes(&index);
+        // ~20 bytes per structure on average for the small grammar.
+        assert!(bytes.len() < index.len() * 40, "format too fat: {} bytes", bytes.len());
+    }
+}

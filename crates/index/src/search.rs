@@ -1,0 +1,561 @@
+//! The SpeakQL Search Engine (paper §3.4, Box 2, App. D).
+//!
+//! Given `MaskOut`, find the `k` closest ground-truth structures under the
+//! weighted LCS edit distance. The search walks the per-length tries with an
+//! incremental DP column per node, prunes branches whose column minimum
+//! already exceeds the current best, and — with **BDB** — skips whole tries
+//! using Proposition 1's bidirectional bounds. The two accuracy–latency
+//! tradeoffs, **DAP** (diversity-aware pruning) and **INV** (inverted
+//! keyword index), are opt-in, exactly as in the paper.
+
+use crate::trie::{Trie, NONE};
+use speakql_editdist::{
+    advance_column, base_column, lower_bound, weighted_lcs_distance,
+    weighted_lcs_distance_bounded, Dist, Weights, DIST_INF,
+};
+use speakql_grammar::{
+    generate_structures, GeneratorConfig, Keyword, StructTok, StructTokId, Structure,
+};
+
+/// A search hit: a structure id in the index arena and its distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchHit {
+    pub structure: u32,
+    pub distance: Dist,
+}
+
+/// Search configuration. Defaults mirror the paper's "SpeakQL Default":
+/// bidirectional bounds on, approximations off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// How many closest structures to return (the paper reports top-1 and
+    /// "best of" top-5 results).
+    pub k: usize,
+    /// Bidirectional Bounds trie skipping (accuracy-preserving).
+    pub bdb: bool,
+    /// Diversity-Aware Pruning over the prime superset (approximate).
+    pub dap: bool,
+    /// Inverted keyword index (approximate).
+    pub inv: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig { k: 1, bdb: true, dap: false, inv: false }
+    }
+}
+
+impl SearchConfig {
+    /// Default configuration returning the k closest structures.
+    pub fn top_k(k: usize) -> SearchConfig {
+        SearchConfig { k, ..SearchConfig::default() }
+    }
+}
+
+/// Counters describing the work one search performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Trie nodes whose DP column was computed.
+    pub nodes_visited: u64,
+    /// Tries actually walked.
+    pub tries_searched: u32,
+    /// Tries skipped by the bidirectional bounds.
+    pub tries_pruned: u32,
+    /// Structures compared exhaustively (INV path).
+    pub structures_scanned: u64,
+}
+
+/// Bounded top-k accumulator ordered by `(distance, structure id)` — the
+/// deterministic tie-break that makes trie search and brute-force scan
+/// return identical results.
+#[derive(Debug, Clone)]
+struct TopK {
+    k: usize,
+    hits: Vec<SearchHit>,
+}
+
+impl TopK {
+    fn new(k: usize) -> TopK {
+        TopK { k: k.max(1), hits: Vec::with_capacity(k.max(1) + 1) }
+    }
+
+    fn key(h: &SearchHit) -> (Dist, u32) {
+        (h.distance, h.structure)
+    }
+
+    fn offer(&mut self, hit: SearchHit) {
+        let pos = self
+            .hits
+            .partition_point(|h| Self::key(h) < Self::key(&hit));
+        if pos < self.k {
+            self.hits.insert(pos, hit);
+            self.hits.truncate(self.k);
+        }
+    }
+
+    /// The pruning threshold: the k-th best distance so far (`MinEditDist`
+    /// in the paper for k = 1).
+    fn threshold(&self) -> Dist {
+        if self.hits.len() < self.k {
+            DIST_INF
+        } else {
+            self.hits[self.k - 1].distance
+        }
+    }
+
+    fn into_vec(self) -> Vec<SearchHit> {
+        self.hits
+    }
+}
+
+/// The structure index: arena of generated structures, one trie per token
+/// length, and an inverted keyword index for the INV optimization.
+#[derive(Debug, Clone)]
+pub struct StructureIndex {
+    structures: Vec<Structure>,
+    /// `tries[l]` holds all structures of length `l`; index 0 is unused.
+    tries: Vec<Trie>,
+    weights: Weights,
+    /// Posting lists by keyword index (SELECT/FROM/WHERE left empty).
+    inverted: Vec<Vec<u32>>,
+    max_len: usize,
+}
+
+impl StructureIndex {
+    /// Build an index over the given structures.
+    pub fn build(structures: Vec<Structure>, weights: Weights) -> StructureIndex {
+        let max_len = structures.iter().map(Structure::len).max().unwrap_or(0);
+        let mut tries: Vec<Trie> = (0..=max_len).map(Trie::new).collect();
+        let mut inverted: Vec<Vec<u32>> = vec![Vec::new(); 19];
+        for (id, s) in structures.iter().enumerate() {
+            let id = id as u32;
+            tries[s.len()].insert(&s.tokens, id);
+            let mut seen = [false; 19];
+            for t in &s.tokens {
+                if let StructTok::Keyword(k) = t.tok() {
+                    if !matches!(k, Keyword::Select | Keyword::From | Keyword::Where)
+                        && !seen[k.index()]
+                    {
+                        seen[k.index()] = true;
+                        inverted[k.index()].push(id);
+                    }
+                }
+            }
+        }
+        StructureIndex { structures, tries, weights, inverted, max_len }
+    }
+
+    /// Generate structures from the grammar under `cfg` and index them.
+    pub fn from_grammar(cfg: &GeneratorConfig, weights: Weights) -> StructureIndex {
+        StructureIndex::build(generate_structures(cfg), weights)
+    }
+
+    /// Number of indexed structures.
+    pub fn len(&self) -> usize {
+        self.structures.len()
+    }
+
+    /// True when the index holds no structures.
+    pub fn is_empty(&self) -> bool {
+        self.structures.is_empty()
+    }
+
+    /// The edit-operation weights the index was built with.
+    pub fn weights(&self) -> Weights {
+        self.weights
+    }
+
+    /// Access a structure by arena id (as returned in a [`SearchHit`]).
+    pub fn structure(&self, id: u32) -> &Structure {
+        &self.structures[id as usize]
+    }
+
+    /// The full structure arena, in `(length, tokens)` order.
+    pub fn structures(&self) -> &[Structure] {
+        &self.structures
+    }
+
+    /// Total trie nodes across all lengths (the `p·k` of the paper's space
+    /// complexity discussion).
+    pub fn total_nodes(&self) -> usize {
+        self.tries.iter().map(Trie::node_count).sum()
+    }
+
+    /// Top-k search (paper Box 2 extended to k results).
+    pub fn search(&self, masked: &[StructTokId], cfg: &SearchConfig) -> Vec<SearchHit> {
+        self.search_with_stats(masked, cfg).0
+    }
+
+    /// Top-k search returning work counters.
+    pub fn search_with_stats(
+        &self,
+        masked: &[StructTokId],
+        cfg: &SearchConfig,
+    ) -> (Vec<SearchHit>, SearchStats) {
+        let mut topk = TopK::new(cfg.k);
+        let mut stats = SearchStats::default();
+        if self.structures.is_empty() {
+            return (topk.into_vec(), stats);
+        }
+        if cfg.inv && self.search_inverted(masked, &mut topk, &mut stats) {
+            return (topk.into_vec(), stats);
+        }
+
+        let m = masked.len();
+        // Reusable DP columns, one per depth.
+        let mut cols: Vec<Vec<Dist>> = vec![Vec::new(); self.max_len + 1];
+        cols[0] = base_column(masked, self.weights);
+
+        let run = |j: usize, topk: &mut TopK, stats: &mut SearchStats, cols: &mut Vec<Vec<Dist>>| {
+            if j == 0 || j > self.max_len || self.tries[j].is_empty() {
+                return;
+            }
+            if cfg.bdb && topk.threshold() < lower_bound(m, j, self.weights) {
+                stats.tries_pruned += 1;
+                return;
+            }
+            stats.tries_searched += 1;
+            self.search_trie(&self.tries[j], masked, cfg, topk, stats, cols);
+        };
+
+        // Bidirectional order: from m downwards, then upwards (App. D.2).
+        for j in (1..=m.min(self.max_len)).rev() {
+            run(j, &mut topk, &mut stats, &mut cols);
+        }
+        for j in (m + 1)..=self.max_len {
+            run(j, &mut topk, &mut stats, &mut cols);
+        }
+        (topk.into_vec(), stats)
+    }
+
+    /// Brute-force reference scan over every structure; used by tests to
+    /// certify that trie search (with or without BDB) is exact.
+    pub fn scan(&self, masked: &[StructTokId], k: usize) -> Vec<SearchHit> {
+        let mut topk = TopK::new(k);
+        for (id, s) in self.structures.iter().enumerate() {
+            let d = weighted_lcs_distance(masked, &s.tokens, self.weights);
+            topk.offer(SearchHit { structure: id as u32, distance: d });
+        }
+        topk.into_vec()
+    }
+
+    fn search_trie(
+        &self,
+        trie: &Trie,
+        masked: &[StructTokId],
+        cfg: &SearchConfig,
+        topk: &mut TopK,
+        stats: &mut SearchStats,
+        cols: &mut Vec<Vec<Dist>>,
+    ) {
+        self.visit_children(trie, 0, 0, masked, cfg, topk, stats, cols);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn visit_children(
+        &self,
+        trie: &Trie,
+        node: u32,
+        depth: usize,
+        masked: &[StructTokId],
+        cfg: &SearchConfig,
+        topk: &mut TopK,
+        stats: &mut SearchStats,
+        cols: &mut Vec<Vec<Dist>>,
+    ) {
+        // DAP (App. D.3): among sibling children whose tokens are in the
+        // prime superset, explore only the one whose column's last row is
+        // minimal; other children are unaffected.
+        let chosen_prime: Option<u32> = if cfg.dap {
+            let mut best: Option<(Dist, u32)> = None;
+            for child in trie.children(node) {
+                let tok = trie.node(child).token;
+                if !is_prime(tok) {
+                    continue;
+                }
+                let (prev, cur) = cols.split_at_mut(depth + 1);
+                advance_column(masked, &prev[depth], tok, self.weights, &mut cur[0]);
+                stats.nodes_visited += 1;
+                let last = *cur[0].last().expect("column non-empty");
+                if best.is_none_or(|(d, _)| last < d) {
+                    best = Some((last, child));
+                }
+            }
+            best.map(|(_, c)| c)
+        } else {
+            None
+        };
+
+        for child in trie.children(node) {
+            let tok = trie.node(child).token;
+            if cfg.dap && is_prime(tok) && Some(child) != chosen_prime {
+                continue;
+            }
+            let (prev, cur) = cols.split_at_mut(depth + 1);
+            advance_column(masked, &prev[depth], tok, self.weights, &mut cur[0]);
+            stats.nodes_visited += 1;
+            let n = trie.node(child);
+            if n.structure != NONE {
+                let d = *cur[0].last().expect("column non-empty");
+                topk.offer(SearchHit { structure: n.structure, distance: d });
+            }
+            // Box 2 line 46: explore deeper only if the column minimum can
+            // still beat the current k-th best ("min(DpCurCol) ≤ MinEditDist").
+            if n.first_child != NONE {
+                let col_min = *cur[0].iter().min().expect("column non-empty");
+                if col_min <= topk.threshold() {
+                    self.visit_children(trie, child, depth + 1, masked, cfg, topk, stats, cols);
+                }
+            }
+        }
+    }
+
+    /// INV (App. D.3): if `MaskOut` mentions a keyword other than
+    /// SELECT/FROM/WHERE, exhaustively compare only the structures in that
+    /// keyword's posting list (picking the rarest such keyword). Returns
+    /// `false` when inapplicable, in which case the caller falls back to
+    /// trie search.
+    fn search_inverted(
+        &self,
+        masked: &[StructTokId],
+        topk: &mut TopK,
+        stats: &mut SearchStats,
+    ) -> bool {
+        let mut best_postings: Option<&Vec<u32>> = None;
+        for t in masked {
+            if let StructTok::Keyword(k) = t.tok() {
+                if matches!(k, Keyword::Select | Keyword::From | Keyword::Where) {
+                    continue;
+                }
+                let postings = &self.inverted[k.index()];
+                if postings.is_empty() {
+                    continue;
+                }
+                if best_postings.is_none_or(|p| postings.len() < p.len()) {
+                    best_postings = Some(postings);
+                }
+            }
+        }
+        let Some(postings) = best_postings else {
+            return false;
+        };
+        // Arena ids are sorted by structure length, so the posting list is
+        // too. Scan outward from the candidates closest in length to the
+        // query: they carry the smallest Proposition 1 lower bounds, which
+        // tightens the early-abandon threshold immediately.
+        let m = masked.len();
+        let pivot = postings.partition_point(|&id| self.structures[id as usize].len() < m);
+        let (mut lo, mut hi) = (pivot, pivot);
+        loop {
+            // Pick whichever side is closer in length to the query.
+            let lo_gap = lo
+                .checked_sub(1)
+                .map(|i| m.abs_diff(self.structures[postings[i] as usize].len()))
+                .unwrap_or(usize::MAX);
+            let hi_gap = postings
+                .get(hi)
+                .map(|&id| m.abs_diff(self.structures[id as usize].len()))
+                .unwrap_or(usize::MAX);
+            if lo_gap == usize::MAX && hi_gap == usize::MAX {
+                break;
+            }
+            let id = if hi_gap <= lo_gap {
+                hi += 1;
+                postings[hi - 1]
+            } else {
+                lo -= 1;
+                postings[lo]
+            };
+            let target = &self.structures[id as usize].tokens;
+            let bound = topk.threshold();
+            // Proposition 1: once even the length-gap lower bound exceeds
+            // the k-th best distance, no remaining structure (all further in
+            // length) can qualify.
+            if bound < lower_bound(m, target.len(), self.weights) {
+                break;
+            }
+            stats.structures_scanned += 1;
+            let d = if bound == DIST_INF {
+                Some(weighted_lcs_distance(masked, target, self.weights))
+            } else {
+                weighted_lcs_distance_bounded(masked, target, self.weights, bound)
+            };
+            if let Some(d) = d {
+                topk.offer(SearchHit { structure: id, distance: d });
+            }
+        }
+        true
+    }
+}
+
+fn is_prime(tok: StructTokId) -> bool {
+    match tok.tok() {
+        StructTok::Keyword(k) => k.in_prime_superset(),
+        StructTok::SplChar(c) => c.in_prime_superset(),
+        StructTok::Var => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speakql_grammar::{process_transcript_text, Placeholder};
+
+    fn kw(k: Keyword) -> StructTok {
+        StructTok::Keyword(k)
+    }
+
+    fn small_index() -> &'static StructureIndex {
+        static IDX: std::sync::OnceLock<StructureIndex> = std::sync::OnceLock::new();
+        IDX.get_or_init(|| StructureIndex::from_grammar(&GeneratorConfig::small(), Weights::PAPER))
+    }
+
+    #[test]
+    fn exact_match_has_zero_distance() {
+        let idx = small_index();
+        let p = process_transcript_text("select salary from employees where name equals john");
+        let hits = idx.search(&p.masked, &SearchConfig::default());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].distance, 0);
+        assert_eq!(
+            idx.structure(hits[0].structure).render(),
+            "SELECT x1 FROM x2 WHERE x3 = x4"
+        );
+    }
+
+    #[test]
+    fn running_example_with_noise_recovers_structure() {
+        // §3.1: "select sales from employers wear first name equals Jon"
+        // masks to SELECT x FROM x x x x = x; closest structure is the
+        // 8-token SELECT x FROM x WHERE x = x.
+        let idx = small_index();
+        let p = process_transcript_text("select sales from employers wear first name equals Jon");
+        let hits = idx.search(&p.masked, &SearchConfig::default());
+        assert_eq!(
+            idx.structure(hits[0].structure).render(),
+            "SELECT x1 FROM x2 WHERE x3 = x4"
+        );
+    }
+
+    #[test]
+    fn trie_search_matches_brute_force() {
+        let idx = small_index();
+        let probes = [
+            "select star from employees",
+            "select sum open parenthesis salary close parenthesis from salaries",
+            "select a comma b from t where x greater than y and p equals q",
+            "select a from t order by b",
+            "completely unrelated words only",
+            "",
+        ];
+        for probe in probes {
+            let p = process_transcript_text(probe);
+            for k in [1usize, 5] {
+                let cfg = SearchConfig { k, ..SearchConfig::default() };
+                let trie_hits = idx.search(&p.masked, &cfg);
+                let scan_hits = idx.scan(&p.masked, k);
+                assert_eq!(trie_hits, scan_hits, "probe={probe} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn bdb_is_accuracy_preserving() {
+        let idx = small_index();
+        let p = process_transcript_text("select a from t where b equals c or d less than e");
+        for k in [1usize, 3, 5] {
+            let with = idx.search(&p.masked, &SearchConfig { k, bdb: true, ..Default::default() });
+            let without = idx.search(&p.masked, &SearchConfig { k, bdb: false, ..Default::default() });
+            assert_eq!(with, without);
+        }
+    }
+
+    #[test]
+    fn bdb_prunes_tries() {
+        let idx = small_index();
+        let p = process_transcript_text("select a from t");
+        let (_, stats_bdb) =
+            idx.search_with_stats(&p.masked, &SearchConfig { bdb: true, ..Default::default() });
+        let (_, stats_no) =
+            idx.search_with_stats(&p.masked, &SearchConfig { bdb: false, ..Default::default() });
+        assert!(stats_bdb.tries_pruned > 0);
+        assert!(stats_bdb.nodes_visited < stats_no.nodes_visited);
+    }
+
+    #[test]
+    fn dap_visits_fewer_nodes() {
+        let idx = small_index();
+        let p = process_transcript_text(
+            "select avg open parenthesis salary close parenthesis from salaries where a equals b",
+        );
+        let (hits_dap, stats_dap) =
+            idx.search_with_stats(&p.masked, &SearchConfig { dap: true, ..Default::default() });
+        let (_, stats_def) = idx.search_with_stats(&p.masked, &SearchConfig::default());
+        assert!(stats_dap.nodes_visited <= stats_def.nodes_visited);
+        assert!(!hits_dap.is_empty());
+    }
+
+    #[test]
+    fn inv_scans_posting_lists() {
+        let idx = small_index();
+        let p = process_transcript_text("select a from t where b between c and d");
+        let (hits, stats) =
+            idx.search_with_stats(&p.masked, &SearchConfig { inv: true, ..Default::default() });
+        assert!(stats.structures_scanned > 0);
+        assert_eq!(stats.tries_searched, 0);
+        // BETWEEN structures are rare, and the probe matches one exactly.
+        assert_eq!(hits[0].distance, 0);
+    }
+
+    #[test]
+    fn inv_falls_back_without_rare_keywords() {
+        let idx = small_index();
+        let p = process_transcript_text("select a from t");
+        let (hits, stats) =
+            idx.search_with_stats(&p.masked, &SearchConfig { inv: true, ..Default::default() });
+        assert!(stats.structures_scanned == 0 && stats.tries_searched > 0);
+        assert_eq!(hits[0].distance, 0);
+    }
+
+    #[test]
+    fn figure10_bidirectional_example() {
+        // Fig. 10: TransOut = A B A (3 literals); per-length tries containing
+        // {A}, {A B, C C}, {A B C, ...}. We emulate with literal-only
+        // structures of lengths 1..3 and check the search returns the
+        // 2-token structure at distance 1.0 (one delete at W_L).
+        let mk = |n: usize| {
+            Structure::new(
+                vec![StructTok::Var; n],
+                vec![Placeholder::attribute(); n],
+            )
+        };
+        let idx = StructureIndex::build(vec![mk(1), mk(2), mk(3)], Weights::PAPER);
+        let masked = vec![StructTokId::VAR; 3];
+        let hits = idx.search(&masked, &SearchConfig::default());
+        // All-Var structures: the 3-token one matches exactly.
+        assert_eq!(hits[0].distance, 0);
+        assert_eq!(idx.structure(hits[0].structure).len(), 3);
+    }
+
+    #[test]
+    fn top5_is_sorted_and_distinct() {
+        let idx = small_index();
+        let p = process_transcript_text("select a from t where b equals c");
+        let hits = idx.search(&p.masked, &SearchConfig::top_k(5));
+        assert_eq!(hits.len(), 5);
+        for w in hits.windows(2) {
+            assert!(
+                (w[0].distance, w[0].structure) < (w[1].distance, w[1].structure),
+                "hits must be strictly ordered"
+            );
+        }
+        assert_eq!(hits[0].distance, 0);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = StructureIndex::build(vec![], Weights::PAPER);
+        let masked = vec![StructTokId::from_tok(kw(Keyword::Select))];
+        assert!(idx.search(&masked, &SearchConfig::default()).is_empty());
+    }
+}

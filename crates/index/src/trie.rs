@@ -1,0 +1,179 @@
+//! Per-length tries over ground-truth structures (paper §3.3).
+//!
+//! All generated structures of one token length are packed into one trie;
+//! a path from root to leaf spells a structure's token sequence, and the
+//! leaf stores the structure's id in the arena. The paper stores "50
+//! disjoint tries, one per structure length", trading memory for latency.
+//!
+//! Nodes use the compact first-child/next-sibling representation: 16 bytes
+//! per node, no per-node allocation.
+
+use speakql_grammar::StructTokId;
+
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// One trie node. The token labels the *incoming* edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Node {
+    pub token: StructTokId,
+    pub first_child: u32,
+    pub next_sibling: u32,
+    /// Structure id if this node terminates a structure (always at depth
+    /// equal to the trie's length), else `NONE`.
+    pub structure: u32,
+}
+
+/// A trie over equal-length token sequences.
+#[derive(Debug, Clone)]
+pub struct Trie {
+    /// Token length of every sequence stored here.
+    pub len: usize,
+    /// Node arena; index 0 is the root (whose token is unused).
+    nodes: Vec<Node>,
+}
+
+impl Trie {
+    pub fn new(len: usize) -> Trie {
+        Trie {
+            len,
+            nodes: vec![Node {
+                token: StructTokId::VAR,
+                first_child: NONE,
+                next_sibling: NONE,
+                structure: NONE,
+            }],
+        }
+    }
+
+    /// Access a node by arena index (0 = root).
+    pub fn node(&self, idx: u32) -> &Node {
+        &self.nodes[idx as usize]
+    }
+
+    /// Number of nodes in the arena, including the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no sequence has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.nodes[0].first_child == NONE
+    }
+
+    /// Iterate the children of a node in insertion order.
+    pub fn children(&self, idx: u32) -> ChildIter<'_> {
+        ChildIter { trie: self, next: self.nodes[idx as usize].first_child }
+    }
+
+    /// Insert a token sequence; `structure` is its arena id. Sequences must
+    /// have exactly `self.len` tokens and be unique.
+    pub fn insert(&mut self, tokens: &[StructTokId], structure: u32) {
+        debug_assert_eq!(tokens.len(), self.len);
+        let mut cur = 0u32;
+        for &tok in tokens {
+            cur = self.child_or_insert(cur, tok);
+        }
+        debug_assert_eq!(self.nodes[cur as usize].structure, NONE, "duplicate structure");
+        self.nodes[cur as usize].structure = structure;
+    }
+
+    fn child_or_insert(&mut self, parent: u32, tok: StructTokId) -> u32 {
+        // Find an existing child with this token.
+        let mut prev = NONE;
+        let mut cur = self.nodes[parent as usize].first_child;
+        while cur != NONE {
+            if self.nodes[cur as usize].token == tok {
+                return cur;
+            }
+            prev = cur;
+            cur = self.nodes[cur as usize].next_sibling;
+        }
+        // Append a new child at the end of the sibling list so iteration
+        // order matches insertion (= arena) order, keeping search results
+        // deterministic.
+        let new_idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            token: tok,
+            first_child: NONE,
+            next_sibling: NONE,
+            structure: NONE,
+        });
+        if prev == NONE {
+            self.nodes[parent as usize].first_child = new_idx;
+        } else {
+            self.nodes[prev as usize].next_sibling = new_idx;
+        }
+        new_idx
+    }
+}
+
+/// Iterator over the children of a trie node.
+pub struct ChildIter<'a> {
+    trie: &'a Trie,
+    next: u32,
+}
+
+impl<'a> Iterator for ChildIter<'a> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.next == NONE {
+            return None;
+        }
+        let cur = self.next;
+        self.next = self.trie.nodes[cur as usize].next_sibling;
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speakql_grammar::{Keyword, StructTok};
+
+    fn kw(k: Keyword) -> StructTokId {
+        StructTokId::from_tok(StructTok::Keyword(k))
+    }
+    fn var() -> StructTokId {
+        StructTokId::VAR
+    }
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let mut t = Trie::new(3);
+        // SELECT x FROM  /  SELECT x WHERE (not a real structure; trie is
+        // agnostic) share the 2-token prefix.
+        t.insert(&[kw(Keyword::Select), var(), kw(Keyword::From)], 0);
+        t.insert(&[kw(Keyword::Select), var(), kw(Keyword::Where)], 1);
+        // root + SELECT + x + FROM + WHERE = 5 nodes
+        assert_eq!(t.node_count(), 5);
+    }
+
+    #[test]
+    fn leaves_store_structure_ids() {
+        let mut t = Trie::new(2);
+        t.insert(&[kw(Keyword::Select), var()], 42);
+        let c1 = t.children(0).next().unwrap();
+        let c2 = t.children(c1).next().unwrap();
+        assert_eq!(t.node(c2).structure, 42);
+        assert_eq!(t.node(c1).structure, NONE);
+    }
+
+    #[test]
+    fn children_iterate_in_insertion_order() {
+        let mut t = Trie::new(1);
+        t.insert(&[kw(Keyword::Where)], 0);
+        t.insert(&[kw(Keyword::Select)], 1);
+        t.insert(&[var()], 2);
+        let toks: Vec<StructTokId> =
+            t.children(0).map(|c| t.node(c).token).collect();
+        assert_eq!(toks, vec![kw(Keyword::Where), kw(Keyword::Select), var()]);
+    }
+
+    #[test]
+    fn empty_trie() {
+        let t = Trie::new(5);
+        assert!(t.is_empty());
+        assert_eq!(t.children(0).count(), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! The paper's accuracy metrics (§6.2).
+//!
+//! A query text is tokenized into a multiset of tokens (Keywords, SplChars,
+//! Literals); the reference multiset `A` (ground truth) is compared with the
+//! hypothesis multiset `B` (transcription output): e.g.
+//! `WPR = |A ∩ B| / |B|`, `WRR = |A ∩ B| / |A|`, and per-class variants.
+//! Token Edit Distance (TED) counts insert/delete operations between the
+//! token sequences — a surrogate for the user's correction effort.
+
+use serde::{Deserialize, Serialize};
+use speakql_editdist::token_edit_distance;
+use speakql_grammar::{tokenize_sql, Token, TokenClass};
+use std::collections::HashMap;
+
+/// A normalized token for metric comparison: lower-cased, quotes stripped —
+/// so raw ASR output (unquoted, lower case) is scored fairly against
+/// canonical SQL.
+fn normalize(tok: &Token) -> (TokenClass, String) {
+    let text = match tok {
+        Token::Literal(s) => s
+            .strip_prefix('\'')
+            .and_then(|t| t.strip_suffix('\''))
+            .unwrap_or(s)
+            .to_lowercase(),
+        other => other.as_str().to_lowercase(),
+    };
+    (tok.class(), text)
+}
+
+/// Tokenize and normalize a query text for metrics.
+pub fn metric_tokens(text: &str) -> Vec<(TokenClass, String)> {
+    tokenize_sql(text).iter().map(normalize).collect()
+}
+
+/// The eight precision/recall metrics of §6.2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    pub kpr: f64,
+    pub spr: f64,
+    pub lpr: f64,
+    pub wpr: f64,
+    pub krr: f64,
+    pub srr: f64,
+    pub lrr: f64,
+    pub wrr: f64,
+}
+
+impl AccuracyReport {
+    /// Fetch a metric by its paper abbreviation.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "KPR" => self.kpr,
+            "SPR" => self.spr,
+            "LPR" => self.lpr,
+            "WPR" => self.wpr,
+            "KRR" => self.krr,
+            "SRR" => self.srr,
+            "LRR" => self.lrr,
+            "WRR" => self.wrr,
+            _ => return None,
+        })
+    }
+
+    /// Element-wise max — used for "best of top k" reporting.
+    pub fn max(self, other: AccuracyReport) -> AccuracyReport {
+        AccuracyReport {
+            kpr: self.kpr.max(other.kpr),
+            spr: self.spr.max(other.spr),
+            lpr: self.lpr.max(other.lpr),
+            wpr: self.wpr.max(other.wpr),
+            krr: self.krr.max(other.krr),
+            srr: self.srr.max(other.srr),
+            lrr: self.lrr.max(other.lrr),
+            wrr: self.wrr.max(other.wrr),
+        }
+    }
+}
+
+/// The names of the eight metrics in the paper's Table 2 order.
+pub const METRIC_NAMES: [&str; 8] = ["KPR", "SPR", "LPR", "WPR", "KRR", "SRR", "LRR", "WRR"];
+
+fn multiset(tokens: &[(TokenClass, String)]) -> HashMap<&(TokenClass, String), usize> {
+    let mut m: HashMap<&(TokenClass, String), usize> = HashMap::new();
+    for t in tokens {
+        *m.entry(t).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Compute the eight metrics between a reference (ground truth) and a
+/// hypothesis query text.
+pub fn accuracy(reference: &str, hypothesis: &str) -> AccuracyReport {
+    let a = metric_tokens(reference);
+    let b = metric_tokens(hypothesis);
+    let ma = multiset(&a);
+    let mb = multiset(&b);
+
+    // Per-class intersection and totals.
+    let mut inter = [0usize; 3];
+    let mut tot_a = [0usize; 3];
+    let mut tot_b = [0usize; 3];
+    let class_idx = |c: TokenClass| match c {
+        TokenClass::Keyword => 0,
+        TokenClass::SplChar => 1,
+        TokenClass::Literal => 2,
+    };
+    for (t, &ca) in &ma {
+        tot_a[class_idx(t.0)] += ca;
+        if let Some(&cb) = mb.get(t) {
+            inter[class_idx(t.0)] += ca.min(cb);
+        }
+    }
+    for (t, &cb) in &mb {
+        tot_b[class_idx(t.0)] += cb;
+    }
+
+    let ratio = |num: usize, den: usize| if den == 0 { 1.0 } else { num as f64 / den as f64 };
+    let inter_all: usize = inter.iter().sum();
+    let tot_a_all: usize = tot_a.iter().sum();
+    let tot_b_all: usize = tot_b.iter().sum();
+
+    AccuracyReport {
+        kpr: ratio(inter[0], tot_b[0]),
+        spr: ratio(inter[1], tot_b[1]),
+        lpr: ratio(inter[2], tot_b[2]),
+        wpr: ratio(inter_all, tot_b_all),
+        krr: ratio(inter[0], tot_a[0]),
+        srr: ratio(inter[1], tot_a[1]),
+        lrr: ratio(inter[2], tot_a[2]),
+        wrr: ratio(inter_all, tot_a_all),
+    }
+}
+
+/// Token Edit Distance between reference and hypothesis (§6.2): insertions
+/// and deletions over normalized tokens.
+pub fn ted(reference: &str, hypothesis: &str) -> usize {
+    let a = metric_tokens(reference);
+    let b = metric_tokens(hypothesis);
+    token_edit_distance(&a, &b)
+}
+
+/// Mean of a set of reports (Table 2's "mean accuracy metrics").
+pub fn mean_report(reports: &[AccuracyReport]) -> AccuracyReport {
+    let n = reports.len().max(1) as f64;
+    let mut acc = AccuracyReport {
+        kpr: 0.0, spr: 0.0, lpr: 0.0, wpr: 0.0,
+        krr: 0.0, srr: 0.0, lrr: 0.0, wrr: 0.0,
+    };
+    for r in reports {
+        acc.kpr += r.kpr;
+        acc.spr += r.spr;
+        acc.lpr += r.lpr;
+        acc.wpr += r.wpr;
+        acc.krr += r.krr;
+        acc.srr += r.srr;
+        acc.lrr += r.lrr;
+        acc.wrr += r.wrr;
+    }
+    AccuracyReport {
+        kpr: acc.kpr / n, spr: acc.spr / n, lpr: acc.lpr / n, wpr: acc.wpr / n,
+        krr: acc.krr / n, srr: acc.srr / n, lrr: acc.lrr / n, wrr: acc.wrr / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_queries_are_perfect() {
+        let q = "SELECT AVG ( salary ) FROM Salaries WHERE FromDate = '1993-01-20'";
+        let r = accuracy(q, q);
+        for name in METRIC_NAMES {
+            assert_eq!(r.get(name), Some(1.0), "{name}");
+        }
+        assert_eq!(ted(q, q), 0);
+    }
+
+    #[test]
+    fn case_and_quotes_normalized() {
+        let r = accuracy(
+            "SELECT Salary FROM Employees WHERE Name = 'John'",
+            "select salary from employees where name = john",
+        );
+        assert_eq!(r.wrr, 1.0);
+        assert_eq!(r.wpr, 1.0);
+    }
+
+    #[test]
+    fn keyword_to_literal_confusion_hits_both_classes() {
+        // "SUM" transcribed as "some": reference keyword lost (KRR down),
+        // spurious hypothesis literal (LPR down).
+        let r = accuracy(
+            "SELECT SUM ( salary ) FROM Salaries",
+            "SELECT some ( salary ) FROM Salaries",
+        );
+        assert!(r.krr < 1.0);
+        assert!(r.lpr < 1.0);
+        assert_eq!(r.srr, 1.0);
+    }
+
+    #[test]
+    fn precision_vs_recall_asymmetry() {
+        // Hypothesis drops a literal: recall suffers, precision does not.
+        let r = accuracy("SELECT a , b FROM t", "SELECT a FROM t");
+        assert!(r.lrr < 1.0);
+        assert_eq!(r.lpr, 1.0);
+    }
+
+    #[test]
+    fn empty_class_denominator_is_one() {
+        let r = accuracy("SELECT a FROM t", "SELECT a FROM t");
+        assert_eq!(r.spr, 1.0); // no splchars anywhere
+    }
+
+    #[test]
+    fn ted_counts_inserts_and_deletes() {
+        assert_eq!(ted("SELECT a FROM t", "SELECT a b FROM t"), 1);
+        assert_eq!(ted("SELECT a FROM t", "SELECT FROM t"), 1);
+        assert_eq!(ted("SELECT a FROM t", "SELECT b FROM t"), 2);
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        // Duplicate tokens must be counted with multiplicity.
+        let r = accuracy("SELECT a , a FROM t", "SELECT a FROM t");
+        assert!((r.lrr - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_of_topk_elementwise_max() {
+        let a = accuracy("SELECT a FROM t", "SELECT a FROM u");
+        let b = accuracy("SELECT a FROM t", "SELECT b FROM t");
+        let m = a.max(b);
+        assert!(m.lrr >= a.lrr && m.lrr >= b.lrr);
+    }
+
+    #[test]
+    fn mean_report_averages() {
+        let a = accuracy("SELECT a FROM t", "SELECT a FROM t");
+        let b = accuracy("SELECT a FROM t", "SELECT b FROM u");
+        let m = mean_report(&[a, b]);
+        assert!((m.wrr - (a.wrr + b.wrr) / 2.0).abs() < 1e-12);
+    }
+}

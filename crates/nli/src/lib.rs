@@ -1,0 +1,106 @@
+//! # speakql-nli
+//!
+//! The NLI-comparison substrate (paper §6.6, App. B, App. F.9, Table 5):
+//! synthetic WikiSQL-style and Spider-style NL/SQL workloads, a NaLIR-like
+//! rule-based baseline, a SOTA-like slot-filling semantic parser, and the
+//! component-match / execution-accuracy scoring. Typed and spoken input
+//! paths share the same simulated ASR channel as SpeakQL. See DESIGN.md §5
+//! for the substitution rationale.
+
+pub mod matchers;
+pub mod nalir;
+pub mod score;
+pub mod sota;
+pub mod workload;
+
+pub use score::{component_match, execution_match};
+pub use workload::{phrase_of, spider_pairs, wikisql_pairs, NlSqlPair};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use speakql_asr::AsrEngine;
+use speakql_db::Database;
+
+/// Which NLI system to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    NaLir,
+    Sota,
+}
+
+/// Which workload style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    WikiSql,
+    Spider,
+}
+
+/// Predict with a baseline on typed input.
+pub fn predict_typed(system: System, workload: Workload, db: &Database, nl: &str) -> Option<String> {
+    match (system, workload) {
+        (System::NaLir, _) => nalir::predict(db, nl),
+        (System::Sota, Workload::WikiSql) => sota::predict_wikisql(db, nl),
+        (System::Sota, Workload::Spider) => sota::predict_spider(db, nl),
+    }
+}
+
+/// Predict with a baseline on spoken input: the question passes through the
+/// simulated ASR channel first.
+pub fn predict_spoken(
+    system: System,
+    workload: Workload,
+    db: &Database,
+    asr: &AsrEngine,
+    nl: &str,
+    seed: u64,
+) -> Option<String> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let transcript = asr.transcribe_text(nl, &mut rng);
+    predict_typed(system, workload, db, &transcript)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speakql_asr::AsrProfile;
+    use speakql_data::employees_db;
+
+    #[test]
+    fn spoken_path_degrades_sota() {
+        let db = employees_db();
+        let pairs = wikisql_pairs(&db, 60, 5);
+        let asr = AsrEngine::new(AsrProfile::acs_trained(), speakql_asr::Vocabulary::empty());
+        let mut typed_hits = 0;
+        let mut spoken_hits = 0;
+        for p in &pairs {
+            if predict_typed(System::Sota, Workload::WikiSql, &db, &p.nl)
+                .is_some_and(|sql| component_match(&p.sql, &sql, false))
+            {
+                typed_hits += 1;
+            }
+            if predict_spoken(System::Sota, Workload::WikiSql, &db, &asr, &p.nl, p.id as u64)
+                .is_some_and(|sql| component_match(&p.sql, &sql, false))
+            {
+                spoken_hits += 1;
+            }
+        }
+        assert!(typed_hits > pairs.len() / 2, "typed hits {typed_hits}/{}", pairs.len());
+        assert!(spoken_hits < typed_hits, "spoken {spoken_hits} !< typed {typed_hits}");
+    }
+
+    #[test]
+    fn nalir_weaker_than_sota_typed() {
+        let db = employees_db();
+        let pairs = wikisql_pairs(&db, 60, 6);
+        let score = |system| {
+            pairs
+                .iter()
+                .filter(|p| {
+                    predict_typed(system, Workload::WikiSql, &db, &p.nl)
+                        .is_some_and(|sql| component_match(&p.sql, &sql, false))
+                })
+                .count()
+        };
+        assert!(score(System::NaLir) < score(System::Sota));
+    }
+}

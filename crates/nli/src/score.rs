@@ -1,0 +1,176 @@
+//! Accuracy scoring for the NLI comparison (paper App. F.9):
+//!
+//! - **Component-match ("Spider") accuracy**: the predicted query is correct
+//!   only if its clause components match the gold query's — select items,
+//!   tables, predicate conjuncts (values optionally masked, matching the
+//!   Spider task's no-values evaluation), GROUP BY / ORDER BY / LIMIT.
+//! - **Execution accuracy**: results of gold and predicted queries match
+//!   exactly (multiset of rows).
+
+use speakql_db::{execute_sql, parse_query, Database, InSource, Predicate, Query, SelectItem};
+use std::collections::BTreeSet;
+
+/// Spider-style exact component match.
+pub fn component_match(gold: &str, pred: &str, ignore_values: bool) -> bool {
+    let (Ok(g), Ok(p)) = (parse_query(gold), parse_query(pred)) else {
+        return false;
+    };
+    components(&g, ignore_values) == components(&p, ignore_values)
+}
+
+fn components(q: &Query, ignore_values: bool) -> (BTreeSet<String>, BTreeSet<String>, BTreeSet<String>, String) {
+    let select: BTreeSet<String> = q
+        .select
+        .iter()
+        .map(|s| match s {
+            SelectItem::Star => "*".to_string(),
+            SelectItem::Column(c) => norm(&c.to_string()),
+            SelectItem::Agg(f, c) => format!("{}({})", f.as_str(), norm(&c.to_string())),
+            SelectItem::CountStar => "COUNT(*)".to_string(),
+        })
+        .collect();
+    let tables: BTreeSet<String> = q.from.iter().map(|t| norm(&t.name)).collect();
+    let mut preds: BTreeSet<String> = BTreeSet::new();
+    if let Some(p) = &q.predicate {
+        collect_pred_strings(p, ignore_values, &mut preds);
+    }
+    let tail = format!(
+        "g:{} o:{} l:{}",
+        q.group_by.as_ref().map(|c| norm(&c.to_string())).unwrap_or_default(),
+        q.order_by.as_ref().map(|c| norm(&c.to_string())).unwrap_or_default(),
+        q.limit.map(|l| l.to_string()).unwrap_or_default(),
+    );
+    (select, tables, preds, tail)
+}
+
+fn norm(s: &str) -> String {
+    s.to_lowercase().replace(' ', "")
+}
+
+fn collect_pred_strings(p: &Predicate, ignore_values: bool, out: &mut BTreeSet<String>) {
+    match p {
+        Predicate::And(a, b) => {
+            collect_pred_strings(a, ignore_values, out);
+            collect_pred_strings(b, ignore_values, out);
+        }
+        Predicate::Or(a, b) => {
+            // OR trees compared as a whole unit to preserve semantics.
+            let mut inner = BTreeSet::new();
+            collect_pred_strings(a, ignore_values, &mut inner);
+            collect_pred_strings(b, ignore_values, &mut inner);
+            out.insert(format!("or[{}]", inner.into_iter().collect::<Vec<_>>().join("|")));
+        }
+        Predicate::Cmp { lhs, op, rhs } => {
+            let l = operand_string(lhs, ignore_values);
+            let r = operand_string(rhs, ignore_values);
+            out.insert(format!("{l}{}{r}", op.as_str()));
+        }
+        Predicate::Between { col, negated, low, high } => {
+            let (lo, hi) = if ignore_values {
+                ("?".to_string(), "?".to_string())
+            } else {
+                (low.render_sql(), high.render_sql())
+            };
+            out.insert(format!(
+                "{}{}between[{lo},{hi}]",
+                norm(&col.to_string()),
+                if *negated { "not-" } else { "" }
+            ));
+        }
+        Predicate::In { col, source } => {
+            let vals = match source {
+                InSource::List(vs) if !ignore_values => {
+                    let mut rendered: Vec<String> = vs.iter().map(|v| v.render_sql()).collect();
+                    rendered.sort();
+                    rendered.join(",")
+                }
+                InSource::List(_) => "?".to_string(),
+                InSource::Subquery(q) => format!("sub[{}]", norm(&q.render())),
+            };
+            out.insert(format!("{}in[{vals}]", norm(&col.to_string())));
+        }
+    }
+}
+
+fn operand_string(o: &speakql_db::Operand, ignore_values: bool) -> String {
+    match o {
+        speakql_db::Operand::Column(c) => norm(&c.to_string()),
+        speakql_db::Operand::Literal(v) => {
+            if ignore_values {
+                "?".to_string()
+            } else {
+                v.render_sql().to_lowercase()
+            }
+        }
+        speakql_db::Operand::Subquery(q) => format!("sub[{}]", norm(&q.render())),
+    }
+}
+
+/// Execution accuracy: both queries run and return identical row multisets.
+pub fn execution_match(db: &Database, gold: &str, pred: &str) -> bool {
+    let (Ok(g), Ok(p)) = (execute_sql(db, gold), execute_sql(db, pred)) else {
+        return false;
+    };
+    g.result_equals(&p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speakql_data::employees_db;
+
+    #[test]
+    fn identical_queries_match() {
+        let q = "SELECT AVG ( salary ) FROM Salaries WHERE FromDate = '1993-01-20'";
+        assert!(component_match(q, q, false));
+        assert!(component_match(q, q, true));
+    }
+
+    #[test]
+    fn value_masking() {
+        let a = "SELECT salary FROM Salaries WHERE FromDate = '1993-01-20'";
+        let b = "SELECT salary FROM Salaries WHERE FromDate = '1999-09-09'";
+        assert!(!component_match(a, b, false));
+        assert!(component_match(a, b, true));
+    }
+
+    #[test]
+    fn conjunct_order_irrelevant() {
+        let a = "SELECT a FROM t WHERE x = 1 AND y = 2";
+        let b = "SELECT a FROM t WHERE y = 2 AND x = 1";
+        assert!(component_match(a, b, false));
+    }
+
+    #[test]
+    fn different_aggregate_differs() {
+        let a = "SELECT AVG ( salary ) FROM Salaries";
+        let b = "SELECT SUM ( salary ) FROM Salaries";
+        assert!(!component_match(a, b, false));
+    }
+
+    #[test]
+    fn unparsable_prediction_fails() {
+        assert!(!component_match("SELECT a FROM t", "SELEC a FRM t", false));
+    }
+
+    #[test]
+    fn execution_accuracy_on_employees() {
+        let db = employees_db();
+        assert!(execution_match(
+            &db,
+            "SELECT COUNT ( * ) FROM Employees",
+            "SELECT COUNT ( * ) FROM Employees",
+        ));
+        assert!(!execution_match(
+            &db,
+            "SELECT COUNT ( * ) FROM Employees",
+            "SELECT COUNT ( * ) FROM Salaries WHERE salary > 99999999",
+        ));
+        // Different SQL, same result → execution accuracy credits it.
+        assert!(execution_match(
+            &db,
+            "SELECT FirstName FROM Employees WHERE Gender = 'F'",
+            "SELECT FirstName FROM Employees WHERE Gender = 'F' ORDER BY FirstName",
+        ));
+    }
+}

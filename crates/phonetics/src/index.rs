@@ -1,0 +1,122 @@
+//! Phonetic index over a set of literals.
+//!
+//! Literal Determination (paper §4) compares *phonetic representations*:
+//! the set `B` of candidate literals for a placeholder is retrieved from a
+//! pre-computed phonetic dictionary of the queried database's table names,
+//! attribute names, and string attribute values.
+
+use serde::{Deserialize, Serialize};
+
+/// A literal and its pre-computed phonetic key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhoneticEntry {
+    /// The literal exactly as it should appear in the corrected SQL
+    /// (canonical casing, quotes for string values).
+    pub literal: String,
+    /// Its Metaphone-based key.
+    pub key: String,
+}
+
+impl PhoneticEntry {
+    /// Key a literal with the paper's Metaphone algorithm.
+    pub fn new(literal: impl Into<String>) -> PhoneticEntry {
+        PhoneticEntry::with_algorithm(literal, crate::soundex::PhoneticAlgorithm::Metaphone)
+    }
+
+    /// Key a literal with an explicit phonetic algorithm.
+    pub fn with_algorithm(
+        literal: impl Into<String>,
+        algo: crate::soundex::PhoneticAlgorithm,
+    ) -> PhoneticEntry {
+        let literal = literal.into();
+        let key = algo.key(&literal);
+        PhoneticEntry { literal, key }
+    }
+}
+
+/// An immutable, deterministic phonetic index: entries sorted by literal so
+/// vote ties can be "resolved in lexicographical order" (paper §4.3).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhoneticIndex {
+    entries: Vec<PhoneticEntry>,
+}
+
+impl PhoneticIndex {
+    /// Build from literal strings; duplicates are removed.
+    pub fn build<I, S>(literals: I) -> PhoneticIndex
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PhoneticIndex::build_with(literals, crate::soundex::PhoneticAlgorithm::Metaphone)
+    }
+
+    /// Build with an explicit phonetic algorithm (ablations).
+    pub fn build_with<I, S>(literals: I, algo: crate::soundex::PhoneticAlgorithm) -> PhoneticIndex
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut entries: Vec<PhoneticEntry> = literals
+            .into_iter()
+            .map(|l| PhoneticEntry::with_algorithm(l, algo))
+            .collect();
+        entries.sort_by(|a, b| a.literal.cmp(&b.literal));
+        entries.dedup_by(|a, b| a.literal == b.literal);
+        PhoneticIndex { entries }
+    }
+
+    /// The sorted entries.
+    pub fn entries(&self) -> &[PhoneticEntry] {
+        &self.entries
+    }
+
+    /// Number of distinct literals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the index holds no literals.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merge several indexes (e.g. all value domains of a table).
+    pub fn merged<'a, I: IntoIterator<Item = &'a PhoneticIndex>>(parts: I) -> PhoneticIndex {
+        let mut entries: Vec<PhoneticEntry> = parts
+            .into_iter()
+            .flat_map(|p| p.entries.iter().cloned())
+            .collect();
+        entries.sort_by(|a, b| a.literal.cmp(&b.literal));
+        entries.dedup_by(|a, b| a.literal == b.literal);
+        PhoneticIndex { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_deduped() {
+        let idx = PhoneticIndex::build(["Salaries", "Employees", "Salaries"]);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.entries()[0].literal, "Employees");
+        assert_eq!(idx.entries()[0].key, "EMPLYS");
+        assert_eq!(idx.entries()[1].key, "SLRS");
+    }
+
+    #[test]
+    fn merged_indexes() {
+        let a = PhoneticIndex::build(["x", "y"]);
+        let b = PhoneticIndex::build(["y", "z"]);
+        let m = PhoneticIndex::merged([&a, &b]);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = PhoneticIndex::build(Vec::<String>::new());
+        assert!(idx.is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! # speakql-phonetics
+//!
+//! Phonetic machinery for SpeakQL-rs literal determination (paper §4):
+//! the classic Metaphone algorithm — which reproduces every worked phonetic
+//! example in the paper — and a deterministic phonetic index over database
+//! literals.
+
+pub mod index;
+pub mod metaphone;
+pub mod nysiis;
+pub mod soundex;
+
+pub use index::{PhoneticEntry, PhoneticIndex};
+pub use metaphone::{metaphone, phonetic_key};
+pub use nysiis::nysiis;
+pub use soundex::{soundex, PhoneticAlgorithm};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Keys are deterministic and case-insensitive.
+        #[test]
+        fn case_insensitive(word in "[a-zA-Z]{1,16}") {
+            prop_assert_eq!(metaphone(&word), metaphone(&word.to_uppercase()));
+            prop_assert_eq!(metaphone(&word), metaphone(&word.to_lowercase()));
+        }
+
+        /// Keys never grow much beyond the input and contain no vowels after
+        /// the first character (consonant-sound condensation).
+        #[test]
+        fn key_shape(word in "[a-zA-Z]{1,24}") {
+            let key = metaphone(&word);
+            // X expands to KS, so the key can be up to twice as long.
+            prop_assert!(key.len() <= 2 * word.len());
+            for (i, c) in key.chars().enumerate() {
+                if i > 0 {
+                    prop_assert!(!matches!(c, 'A' | 'E' | 'I' | 'O' | 'U'),
+                        "vowel {} at non-initial position in {}", c, key);
+                }
+            }
+        }
+
+        /// phonetic_key is stable under quoting.
+        #[test]
+        fn quote_invariant(word in "[a-zA-Z0-9]{1,16}") {
+            prop_assert_eq!(phonetic_key(&format!("'{word}'")), phonetic_key(&word));
+        }
+    }
+}

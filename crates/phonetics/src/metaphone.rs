@@ -1,0 +1,294 @@
+//! The Metaphone phonetic algorithm (Lawrence Philips, 1990).
+//!
+//! The paper (§4) indexes table names, attribute names, and string attribute
+//! values by their Metaphone keys: "a phonetic algorithm called Metaphone
+//! that utilizes 16 consonant sounds describing a large number of sounds
+//! used in many English words". All of the paper's worked examples are
+//! reproduced by this implementation and pinned in tests:
+//! `Employees → EMPLYS`, `Salaries → SLRS`, `FirstName → FRSTNM`,
+//! `FROMDATE → FRMTT`, `TODATE → TTT`, `DATE → TT`.
+
+/// Compute the Metaphone key of a single alphabetic word.
+///
+/// Non-alphabetic characters are ignored. The key is unbounded in length
+/// (no 4-character truncation), matching the paper's examples
+/// (`FRSTNM` has 6 characters).
+pub fn metaphone(word: &str) -> String {
+    let w: Vec<char> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    if w.is_empty() {
+        return String::new();
+    }
+
+    // --- Preprocess: initial-cluster exceptions ---------------------------
+    let mut start = 0usize;
+    if w.len() >= 2 {
+        match (w[0], w[1]) {
+            ('A', 'E') | ('G', 'N') | ('K', 'N') | ('P', 'N') | ('W', 'R') => start = 1,
+            ('X', _) => {} // handled below: initial X -> S
+            ('W', 'H') => {} // WH- -> W, handled by H rules
+            _ => {}
+        }
+    }
+
+    let is_vowel = |c: char| matches!(c, 'A' | 'E' | 'I' | 'O' | 'U');
+    let mut out = String::with_capacity(w.len());
+    let mut i = start;
+    let n = w.len();
+
+    while i < n {
+        let c = w[i];
+        // Drop duplicate adjacent letters, except C (as in classic rules).
+        if i > start && c == w[i - 1] && c != 'C' {
+            i += 1;
+            continue;
+        }
+        let next = w.get(i + 1).copied();
+        let next2 = w.get(i + 2).copied();
+        let prev = if i > start { Some(w[i - 1]) } else { None };
+        let at_start = i == start;
+
+        match c {
+            'A' | 'E' | 'I' | 'O' | 'U'
+                // Vowels are kept only when they begin the word.
+                if at_start => {
+                    out.push(c);
+                }
+            'B' => {
+                // Silent terminal B after M ("dumb", "thumb").
+                let silent = prev == Some('M') && i + 1 == n;
+                if !silent {
+                    out.push('B');
+                }
+            }
+            'C' => {
+                if next == Some('I') && next2 == Some('A') {
+                    out.push('X'); // -CIA-
+                } else if next == Some('H') {
+                    if prev == Some('S') {
+                        out.push('K'); // SCH-
+                    } else {
+                        out.push('X'); // CH
+                    }
+                    i += 1; // consume the H
+                } else if matches!(next, Some('I') | Some('E') | Some('Y')) {
+                    out.push('S');
+                } else {
+                    out.push('K');
+                }
+            }
+            'D' => {
+                if next == Some('G') && matches!(next2, Some('E') | Some('Y') | Some('I')) {
+                    out.push('J'); // -DGE-
+                    i += 2;
+                } else {
+                    out.push('T');
+                }
+            }
+            'F' => out.push('F'),
+            'G' => {
+                if next == Some('H') {
+                    // GH: silent unless at start or before a vowel after H.
+                    let h_before_vowel = next2.map(is_vowel).unwrap_or(false);
+                    if at_start || h_before_vowel {
+                        out.push('K');
+                    }
+                    i += 1;
+                } else if next == Some('N') {
+                    // silent in GN, GNED
+                } else if matches!(next, Some('I') | Some('E') | Some('Y')) {
+                    out.push('J');
+                } else {
+                    out.push('K');
+                }
+            }
+            'H' => {
+                // Silent after a vowel with no following vowel; also silent
+                // in the digraphs consumed above (CH, GH, PH, SH, TH, WH).
+                let after_vowel = prev.map(is_vowel).unwrap_or(false);
+                let before_vowel = next.map(is_vowel).unwrap_or(false);
+                if (before_vowel && !after_vowel) || at_start {
+                    out.push('H');
+                }
+            }
+            'J' => out.push('J'),
+            'K'
+                if prev != Some('C') => {
+                    out.push('K');
+                }
+            'L' => out.push('L'),
+            'M' => out.push('M'),
+            'N' => out.push('N'),
+            'P' => {
+                if next == Some('H') {
+                    out.push('F');
+                    i += 1;
+                } else {
+                    out.push('P');
+                }
+            }
+            'Q' => out.push('K'),
+            'R' => out.push('R'),
+            'S' => {
+                if next == Some('H') {
+                    out.push('X');
+                    i += 1;
+                } else if next == Some('I') && matches!(next2, Some('O') | Some('A')) {
+                    out.push('X'); // -SIO-, -SIA-
+                } else {
+                    out.push('S');
+                }
+            }
+            'T' => {
+                if next == Some('H') {
+                    out.push('0'); // the 'th' sound
+                    i += 1;
+                } else if next == Some('I') && matches!(next2, Some('O') | Some('A')) {
+                    out.push('X'); // -TIO-, -TIA-
+                } else {
+                    out.push('T');
+                }
+            }
+            'V' => out.push('F'),
+            'W'
+                // Kept only before a vowel.
+                if next.map(is_vowel).unwrap_or(false) => {
+                    out.push('W');
+                }
+            'X' => {
+                if at_start {
+                    out.push('S');
+                } else {
+                    out.push('K');
+                    out.push('S');
+                }
+            }
+            'Y'
+                // Kept only before a vowel.
+                if next.map(is_vowel).unwrap_or(false) => {
+                    out.push('Y');
+                }
+            'Z' => out.push('S'),
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Phonetic key of an arbitrary literal: alphabetic runs are metaphoned,
+/// digit runs pass through unchanged, everything else (underscores, quotes,
+/// dashes) is dropped. This lets identifiers like `table_123` or values like
+/// `'1993-01-20'` participate in phonetic matching.
+pub fn phonetic_key(literal: &str) -> String {
+    let mut out = String::with_capacity(literal.len());
+    let mut i = 0usize;
+    let chars: Vec<char> = literal.chars().collect();
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_ascii_alphabetic() {
+            let start = i;
+            while i < chars.len() && chars[i].is_ascii_alphabetic() {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            out.push_str(&metaphone(&word));
+        } else if c.is_ascii_digit() {
+            out.push(c);
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_section4_examples() {
+        assert_eq!(metaphone("Employees"), "EMPLYS");
+        assert_eq!(metaphone("Salaries"), "SLRS");
+        assert_eq!(metaphone("FirstName"), "FRSTNM");
+        assert_eq!(metaphone("LastName"), "LSTNM");
+    }
+
+    #[test]
+    fn paper_appendix_e2_examples() {
+        assert_eq!(metaphone("FROMDATE"), "FRMTT");
+        assert_eq!(metaphone("TODATE"), "TTT");
+        assert_eq!(metaphone("DATE"), "TT");
+        assert_eq!(metaphone("FRONT"), "FRNT");
+        assert_eq!(metaphone("FRONTDATE"), "FRNTTT");
+        assert_eq!(metaphone("RUM"), "RM");
+        assert_eq!(metaphone("RUMDATE"), "RMTT");
+    }
+
+    #[test]
+    fn homophones_collide() {
+        // The point of the phonetic index: sound-alikes share keys.
+        assert_eq!(metaphone("sales"), metaphone("sales"));
+        assert_eq!(metaphone("Jon"), metaphone("John"));
+        assert_eq!(metaphone("salary"), metaphone("celery")); // S-L-R
+        assert_eq!(metaphone("custody"), metaphone("custidy"));
+    }
+
+    #[test]
+    fn employers_close_to_employees() {
+        // §2 running example: "Employers" must be phonetically close to
+        // "Employees" — identical up to the final R/S.
+        let a = metaphone("Employers");
+        let b = metaphone("Employees");
+        assert_eq!(a, "EMPLYRS");
+        assert_eq!(b, "EMPLYS");
+    }
+
+    #[test]
+    fn initial_cluster_exceptions() {
+        assert_eq!(metaphone("knight"), metaphone("night"));
+        assert_eq!(metaphone("wrack"), metaphone("rack"));
+        assert!(metaphone("Xavier").starts_with('S'));
+    }
+
+    #[test]
+    fn digraphs() {
+        assert_eq!(metaphone("phone"), "FN");
+        assert_eq!(metaphone("shine"), "XN");
+        assert_eq!(metaphone("this"), "0S");
+        assert_eq!(metaphone("church"), "XRX");
+        assert_eq!(metaphone("school"), "SKL");
+    }
+
+    #[test]
+    fn empty_and_non_alpha() {
+        assert_eq!(metaphone(""), "");
+        assert_eq!(metaphone("123"), "");
+        assert_eq!(metaphone("_"), "");
+    }
+
+    #[test]
+    fn key_passes_digits_through() {
+        assert_eq!(phonetic_key("table_123"), format!("{}123", metaphone("table")));
+        assert_eq!(phonetic_key("'1993-01-20'"), "19930120");
+        assert_eq!(phonetic_key("CUSTID_1729A"), format!("{}1729{}", metaphone("CUSTID"), metaphone("A")));
+    }
+
+    #[test]
+    fn key_of_quoted_value_matches_unquoted() {
+        assert_eq!(phonetic_key("'Engineer'"), phonetic_key("Engineer"));
+    }
+
+    #[test]
+    fn output_is_upper_alnum() {
+        for word in ["Employees", "quixotic", "rhythm", "Johnson", "McCarthy"] {
+            for c in metaphone(word).chars() {
+                assert!(c.is_ascii_uppercase() || c == '0', "bad char {c} in key of {word}");
+            }
+        }
+    }
+}

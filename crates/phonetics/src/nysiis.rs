@@ -1,0 +1,147 @@
+//! NYSIIS (New York State Identification and Intelligence System, 1970) —
+//! a phonetic code designed for name matching; retained here as a further
+//! ablation point between Soundex's fixed 4-character codes and Metaphone's
+//! variable-length consonant skeletons.
+
+/// Compute the NYSIIS code of a word. Non-alphabetic characters are
+/// ignored; empty input yields an empty string. This is the classic
+/// (un-truncated) variant.
+pub fn nysiis(word: &str) -> String {
+    let mut w: Vec<char> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    if w.is_empty() {
+        return String::new();
+    }
+
+    // --- 1. Initial-letter transcodes -------------------------------------
+    let replace_prefix = |w: &mut Vec<char>, from: &str, to: &str| {
+        let f: Vec<char> = from.chars().collect();
+        if w.len() >= f.len() && w[..f.len()] == f[..] {
+            let mut new: Vec<char> = to.chars().collect();
+            new.extend_from_slice(&w[f.len()..]);
+            *w = new;
+        }
+    };
+    replace_prefix(&mut w, "MAC", "MCC");
+    replace_prefix(&mut w, "KN", "NN");
+    replace_prefix(&mut w, "K", "C");
+    replace_prefix(&mut w, "PH", "FF");
+    replace_prefix(&mut w, "PF", "FF");
+    replace_prefix(&mut w, "SCH", "SSS");
+
+    // --- 2. Terminal-letter transcodes -------------------------------------
+    let replace_suffix = |w: &mut Vec<char>, from: &str, to: &str| {
+        let f: Vec<char> = from.chars().collect();
+        if w.len() >= f.len() && w[w.len() - f.len()..] == f[..] {
+            let keep = w.len() - f.len();
+            w.truncate(keep);
+            w.extend(to.chars());
+        }
+    };
+    replace_suffix(&mut w, "EE", "Y");
+    replace_suffix(&mut w, "IE", "Y");
+    for s in ["DT", "RT", "RD", "NT", "ND"] {
+        replace_suffix(&mut w, s, "D");
+    }
+
+    // --- 3. First character of the key = first character of the word ------
+    let mut key = String::new();
+    key.push(w[0]);
+
+    let is_vowel = |c: char| matches!(c, 'A' | 'E' | 'I' | 'O' | 'U');
+
+    // --- 4. Scan the rest, transcoding in place ----------------------------
+    let mut i = 1usize;
+    while i < w.len() {
+        let prev = w[i - 1];
+        let cur = w[i];
+        let next = w.get(i + 1).copied();
+        let mapped: Vec<char> = match cur {
+            'E' if next == Some('V') => {
+                w[i + 1] = 'F'; // EV -> AF
+                vec!['A']
+            }
+            'A' | 'E' | 'I' | 'O' | 'U' => vec!['A'],
+            'Q' => vec!['G'],
+            'Z' => vec!['S'],
+            'M' => vec!['N'],
+            'K' => {
+                if next == Some('N') {
+                    vec!['N']
+                } else {
+                    vec!['C']
+                }
+            }
+            'S' if next == Some('C') && w.get(i + 2) == Some(&'H') => {
+                w[i + 1] = 'S';
+                w[i + 2] = 'S';
+                vec!['S']
+            }
+            'P' if next == Some('H') => {
+                w[i + 1] = 'F';
+                vec!['F']
+            }
+            'H' if !is_vowel(prev) || next.map(|n| !is_vowel(n)).unwrap_or(true) => {
+                vec![prev]
+            }
+            'W' if is_vowel(prev) => vec![prev],
+            other => vec![other],
+        };
+        // Append unless equal to the last key character.
+        for c in mapped {
+            w[i] = c;
+            if !key.ends_with(c) {
+                key.push(c);
+            }
+        }
+        i += 1;
+    }
+
+    // --- 5. Terminal cleanups ----------------------------------------------
+    if key.ends_with('S') && key.len() > 1 {
+        key.pop();
+    }
+    if key.ends_with("AY") {
+        key.truncate(key.len() - 2);
+        key.push('Y');
+    }
+    if key.ends_with('A') && key.len() > 1 {
+        key.pop();
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_examples() {
+        // Widely-cited NYSIIS reference values.
+        assert_eq!(nysiis("MACKIE"), "MCY");
+        assert_eq!(nysiis("KNUTH"), "NAT");
+        assert_eq!(nysiis("PHILIP"), "FALAP");
+        assert_eq!(nysiis("BROWN"), "BRAN");
+    }
+
+    #[test]
+    fn sound_alikes_collide() {
+        assert_eq!(nysiis("JOHN"), nysiis("JON"));
+        assert_eq!(nysiis("BROWN"), nysiis("BRAUN"));
+    }
+
+    #[test]
+    fn empty_and_nonalpha() {
+        assert_eq!(nysiis(""), "");
+        assert_eq!(nysiis("123"), "");
+    }
+
+    #[test]
+    fn deterministic_and_upper() {
+        assert_eq!(nysiis("salary"), nysiis("SALARY"));
+        assert!(nysiis("salary").chars().all(|c| c.is_ascii_uppercase()));
+    }
+}

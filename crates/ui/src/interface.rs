@@ -1,0 +1,177 @@
+//! The interactive-interface model (paper §5): the SQL Keyboard and the
+//! token-level correction cost of editing a rendered query into the intended
+//! one.
+//!
+//! The SQL Keyboard shows full lists of SQL keywords, table names, and
+//! attribute names (one touch each); attribute values are typed with
+//! autocomplete; dates use a scrollable picker. The correction cost of a
+//! transcription is derived from the token-level diff between the rendered
+//! query and the ground truth — TED is "a surrogate for the amount of effort
+//! (touches) that the user needs when correcting a query" (§6.3).
+
+use speakql_grammar::TokenClass;
+use speakql_metrics::metric_tokens;
+
+/// Touches needed to enter one token via the SQL Keyboard.
+pub fn touches_for_token(class: TokenClass, text: &str) -> u32 {
+    match class {
+        // Keywords, table names, attribute names: one tap in a list view.
+        TokenClass::Keyword | TokenClass::SplChar => 1,
+        TokenClass::Literal => {
+            if text.chars().any(|c| c.is_ascii_digit()) && text.contains('-') {
+                // Date picker: three scrollable wheels.
+                3
+            } else if text.chars().all(|c| c.is_ascii_digit()) {
+                // Numeric keypad.
+                (text.len() as u32).max(1)
+            } else if text.len() <= 12 {
+                // Schema identifiers / short values: a tap in the list view
+                // or a short autocomplete (2 touches).
+                2
+            } else {
+                // Long values: autocomplete after a prefix.
+                3
+            }
+        }
+    }
+}
+
+/// A token-level edit script: tokens to delete from the hypothesis and
+/// tokens to insert from the reference (LCS-based, matching TED).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EditScript {
+    /// Spurious tokens in the hypothesis (one delete-touch each).
+    pub deletions: Vec<(TokenClass, String)>,
+    /// Missing reference tokens (keyboard entry each).
+    pub insertions: Vec<(TokenClass, String)>,
+}
+
+impl EditScript {
+    /// Total TED (must equal `speakql_metrics::ted`).
+    pub fn ted(&self) -> usize {
+        self.deletions.len() + self.insertions.len()
+    }
+
+    /// Total SQL-Keyboard touches to apply this script: 1 touch per
+    /// deletion (select + delete counted as one compound gesture) plus the
+    /// keyboard cost of each insertion.
+    pub fn touches(&self) -> u32 {
+        let del: u32 = self.deletions.len() as u32;
+        let ins: u32 = self
+            .insertions
+            .iter()
+            .map(|(c, t)| touches_for_token(*c, t))
+            .sum();
+        del + ins
+    }
+}
+
+/// Compute the LCS edit script between hypothesis and reference query texts.
+pub fn edit_script(reference: &str, hypothesis: &str) -> EditScript {
+    let a = metric_tokens(reference);
+    let b = metric_tokens(hypothesis);
+    // LCS table.
+    let (n, m) = (a.len(), b.len());
+    let mut lcs = vec![vec![0usize; m + 1]; n + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            lcs[i][j] = if a[i - 1] == b[j - 1] {
+                lcs[i - 1][j - 1] + 1
+            } else {
+                lcs[i - 1][j].max(lcs[i][j - 1])
+            };
+        }
+    }
+    let mut insertions = Vec::new();
+    let mut deletions = Vec::new();
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        if i > 0 && j > 0 && a[i - 1] == b[j - 1] && lcs[i][j] == lcs[i - 1][j - 1] + 1 {
+            i -= 1;
+            j -= 1;
+        } else if i > 0 && lcs[i][j] == lcs[i - 1][j] {
+            insertions.push(a[i - 1].clone());
+            i -= 1;
+        } else {
+            deletions.push(b[j - 1].clone());
+            j -= 1;
+        }
+    }
+    insertions.reverse();
+    deletions.reverse();
+    EditScript { deletions, insertions }
+}
+
+/// Keystrokes to type a query from scratch on the tablet's plain soft
+/// keyboard: one per character, including spaces.
+pub fn raw_typing_keystrokes(sql: &str) -> u32 {
+    sql.chars().count() as u32
+}
+
+/// The SQL Keyboard's panes, for display in the REPL example.
+#[derive(Debug, Clone)]
+pub struct SqlKeyboard {
+    pub keywords: Vec<String>,
+    pub tables: Vec<String>,
+    pub attributes: Vec<String>,
+}
+
+impl SqlKeyboard {
+    /// Populate the keyboard panes from a database's catalog.
+    pub fn for_database(db: &speakql_db::Database) -> SqlKeyboard {
+        SqlKeyboard {
+            keywords: speakql_grammar::ALL_KEYWORDS
+                .iter()
+                .map(|k| k.as_str().to_string())
+                .collect(),
+            tables: db.table_names(),
+            attributes: db.attribute_names(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speakql_metrics::ted;
+
+    #[test]
+    fn edit_script_ted_matches_metric() {
+        let pairs = [
+            ("SELECT a FROM t", "SELECT a FROM t"),
+            ("SELECT a FROM t", "SELECT b FROM t"),
+            ("SELECT a , b FROM t WHERE x = 1", "SELECT a FROM t"),
+            ("SELECT * FROM t", "SELECT star FROM t LIMIT 5"),
+        ];
+        for (r, h) in pairs {
+            assert_eq!(edit_script(r, h).ted(), ted(r, h), "{r} vs {h}");
+        }
+    }
+
+    #[test]
+    fn perfect_needs_no_touches() {
+        let s = edit_script("SELECT a FROM t", "SELECT a FROM t");
+        assert_eq!(s.touches(), 0);
+    }
+
+    #[test]
+    fn touch_costs_by_class() {
+        assert_eq!(touches_for_token(TokenClass::Keyword, "select"), 1);
+        assert_eq!(touches_for_token(TokenClass::Literal, "1993-01-20"), 3);
+        assert_eq!(touches_for_token(TokenClass::Literal, "70000"), 5);
+        assert_eq!(touches_for_token(TokenClass::Literal, "salary"), 2);
+    }
+
+    #[test]
+    fn substituted_token_costs_delete_plus_insert() {
+        let s = edit_script("SELECT salary FROM t", "SELECT celery FROM t");
+        assert_eq!(s.deletions.len(), 1);
+        assert_eq!(s.insertions.len(), 1);
+        assert_eq!(s.touches(), 3); // 1 delete + 2 (identifier tap)
+    }
+
+    #[test]
+    fn raw_typing_counts_chars() {
+        assert_eq!(raw_typing_keystrokes("SELECT a"), 8);
+    }
+}

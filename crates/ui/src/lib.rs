@@ -1,0 +1,74 @@
+//! # speakql-ui
+//!
+//! The interactive-interface model and simulated user study of paper §5–§6.4:
+//! the SQL Keyboard touch-cost model, token-level edit scripts, a simulated
+//! participant population, and the within-subjects SpeakQL-vs-typing study
+//! over the Table 6 query set. See DESIGN.md §5 for the human-subject
+//! substitution rationale.
+
+pub mod interface;
+pub mod participant;
+pub mod session;
+pub mod study;
+
+pub use interface::{edit_script, raw_typing_keystrokes, touches_for_token, EditScript, SqlKeyboard};
+pub use participant::{participants, Participant};
+pub use session::{dictate_and_repair, Interaction, Session};
+pub use study::{run_study, summarize, Condition, QuerySummary, StudyConfig, Trial};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speakql_asr::{AsrEngine, AsrProfile};
+    use speakql_core::{SpeakQl, SpeakQlConfig};
+    use speakql_data::{employees_db, training_vocabulary, generate_cases};
+    use speakql_grammar::GeneratorConfig;
+
+    fn study_fixture() -> &'static (SpeakQl, AsrEngine) {
+        static F: std::sync::OnceLock<(SpeakQl, AsrEngine)> = std::sync::OnceLock::new();
+        F.get_or_init(|| {
+            let db = employees_db();
+            let engine = SpeakQl::new(&db, SpeakQlConfig::small());
+            let train = generate_cases(&db, &GeneratorConfig::small(), 30, 1);
+            let vocab = training_vocabulary(&db, &train);
+            let asr = AsrEngine::new(AsrProfile::acs_trained(), vocab);
+            (engine, asr)
+        })
+    }
+
+    #[test]
+    fn study_produces_all_trials() {
+        let (engine, asr) = study_fixture();
+        let cfg = StudyConfig { participants: 4, ..StudyConfig::default() };
+        let trials = run_study(engine, asr, &cfg);
+        assert_eq!(trials.len(), 4 * 12 * 2);
+        // Deterministic.
+        let again = run_study(engine, asr, &cfg);
+        assert_eq!(trials.len(), again.len());
+        assert!((trials[0].time_s - again[0].time_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speakql_beats_typing_on_median() {
+        let (engine, asr) = study_fixture();
+        let cfg = StudyConfig { participants: 6, ..StudyConfig::default() };
+        let trials = run_study(engine, asr, &cfg);
+        let summaries = summarize(&trials);
+        let mean_speedup =
+            summaries.iter().map(|s| s.speedup).sum::<f64>() / summaries.len() as f64;
+        assert!(mean_speedup > 1.5, "mean speedup {mean_speedup}");
+        let mean_reduction =
+            summaries.iter().map(|s| s.effort_reduction).sum::<f64>() / summaries.len() as f64;
+        assert!(mean_reduction > 3.0, "mean effort reduction {mean_reduction}");
+    }
+
+    #[test]
+    fn complex_queries_take_longer() {
+        let (engine, asr) = study_fixture();
+        let cfg = StudyConfig { participants: 4, ..StudyConfig::default() };
+        let summaries = summarize(&run_study(engine, asr, &cfg));
+        let simple: f64 = summaries[..6].iter().map(|s| s.median_speakql_time_s).sum();
+        let complex: f64 = summaries[6..].iter().map(|s| s.median_speakql_time_s).sum();
+        assert!(complex > simple);
+    }
+}

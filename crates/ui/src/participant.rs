@@ -1,0 +1,64 @@
+//! Simulated study participants.
+//!
+//! This substitutes for the paper's 15 human subjects (§6.4); see DESIGN.md.
+//! Each participant has tablet-typing and speaking rates drawn from
+//! published-plausible ranges: tablet typing ~20–25 WPM (≈1.5–2.5 chars/s
+//! with two-finger touch typing), speech ~2–3 words/s, per-touch targeting
+//! ~1–2 s (Fitts-law ballpark for a tablet soft keyboard).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One simulated participant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Participant {
+    pub id: usize,
+    /// Characters per second when typing SQL on the tablet.
+    pub typing_cps: f64,
+    /// Words per second when dictating.
+    pub speaking_wps: f64,
+    /// Base planning time before starting a query, seconds.
+    pub think_base_s: f64,
+    /// Additional planning time per ground-truth token, seconds.
+    pub think_per_token_s: f64,
+    /// Seconds per touch on the SQL Keyboard (locate + tap).
+    pub touch_time_s: f64,
+    /// Probability of a typo per typed character (each costs 2 extra
+    /// keystrokes: backspace + retype).
+    pub typo_rate: f64,
+}
+
+/// Draw a deterministic participant pool.
+pub fn participants(n: usize, seed: u64) -> Vec<Participant> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|id| Participant {
+            id,
+            typing_cps: rng.gen_range(1.4..2.6),
+            speaking_wps: rng.gen_range(1.9..3.0),
+            think_base_s: rng.gen_range(2.0..5.0),
+            think_per_token_s: rng.gen_range(0.15..0.45),
+            touch_time_s: rng.gen_range(0.8..1.8),
+            typo_rate: rng.gen_range(0.02..0.08),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_pool() {
+        assert_eq!(participants(15, 7), participants(15, 7));
+        assert_eq!(participants(15, 7).len(), 15);
+    }
+
+    #[test]
+    fn rates_in_range() {
+        for p in participants(50, 1) {
+            assert!(p.typing_cps > 1.0 && p.typing_cps < 3.0);
+            assert!(p.speaking_wps > 1.5 && p.speaking_wps < 3.5);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! The interactive query session (paper §5, Fig. 5): the state machine
+//! behind the SpeakQL interface. A session holds the currently rendered
+//! query and accepts the interface's three interaction families:
+//!
+//! 1. **whole-query dictation** (the big Record button),
+//! 2. **clause-level dictation / re-dictation** (per-clause record buttons),
+//! 3. **SQL Keyboard edits** (insert / delete / replace a token in place).
+//!
+//! Every interaction is logged with its unit-of-effort cost, which is how
+//! the user study accounts effort.
+
+use speakql_asr::AsrEngine;
+use speakql_core::SpeakQl;
+use speakql_grammar::{render_tokens, tokenize_sql, ClauseKind, Token};
+use speakql_metrics::ted;
+
+/// One logged interaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Interaction {
+    Dictated { words: usize },
+    RedictatedClause { clause: &'static str, words: usize },
+    KeyboardInsert { position: usize, token: String },
+    KeyboardDelete { position: usize, token: String },
+    KeyboardReplace { position: usize, from: String, to: String },
+}
+
+impl Interaction {
+    /// Units of effort (§6.4): dictations count their record/stop touches;
+    /// keyboard operations count one touch each (list-tap model).
+    pub fn effort(&self) -> u32 {
+        match self {
+            Interaction::Dictated { .. } => 2,
+            Interaction::RedictatedClause { .. } => 2,
+            Interaction::KeyboardInsert { .. } => 1,
+            Interaction::KeyboardDelete { .. } => 1,
+            Interaction::KeyboardReplace { .. } => 2,
+        }
+    }
+}
+
+/// An interactive correction session against one engine.
+pub struct Session<'a> {
+    engine: &'a SpeakQl,
+    /// The rendered query as tokens (the editable display string).
+    tokens: Vec<Token>,
+    log: Vec<Interaction>,
+}
+
+impl<'a> Session<'a> {
+    /// Start an empty session against an engine.
+    pub fn new(engine: &'a SpeakQl) -> Session<'a> {
+        Session { engine, tokens: Vec::new(), log: Vec::new() }
+    }
+
+    /// The rendered query string shown in the display box.
+    pub fn rendered(&self) -> String {
+        render_tokens(&self.tokens)
+    }
+
+    /// The display string as tokens.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Every interaction performed so far, in order.
+    pub fn log(&self) -> &[Interaction] {
+        &self.log
+    }
+
+    /// Total units of effort expended so far.
+    pub fn total_effort(&self) -> u32 {
+        self.log.iter().map(Interaction::effort).sum()
+    }
+
+    /// Whole-query dictation: replaces the display with the engine's best
+    /// correction of `transcript`.
+    pub fn dictate(&mut self, transcript: &str) -> String {
+        let words = transcript.split_whitespace().count();
+        let t = self.engine.transcribe(transcript);
+        if let Some(best) = t.best_sql() {
+            self.tokens = tokenize_sql(best);
+        }
+        self.log.push(Interaction::Dictated { words });
+        self.last_rendered()
+    }
+
+    /// Clause-level (re-)dictation: replaces the given clause of the current
+    /// query. For `Where` this replaces everything from the WHERE token on;
+    /// for `Select` everything before FROM; for `From` the FROM..WHERE span.
+    pub fn redictate_clause(&mut self, clause: ClauseKind, transcript: &str) -> String {
+        let words = transcript.split_whitespace().count();
+        let t = self.engine.transcribe_clause(clause, transcript);
+        if let Some(clause_sql) = t.best_sql() {
+            let clause_tokens = tokenize_sql(clause_sql);
+            let (start, end) = self.clause_span(clause);
+            self.tokens.splice(start..end, clause_tokens);
+        }
+        self.log.push(Interaction::RedictatedClause {
+            clause: clause_name(clause),
+            words,
+        });
+        self.last_rendered()
+    }
+
+    /// SQL Keyboard: insert a token at `position`.
+    pub fn keyboard_insert(&mut self, position: usize, token: &str) -> String {
+        let tok = Token::classify_word(token);
+        let position = position.min(self.tokens.len());
+        self.tokens.insert(position, tok);
+        self.log.push(Interaction::KeyboardInsert { position, token: token.to_string() });
+        self.last_rendered()
+    }
+
+    /// SQL Keyboard: delete the token at `position` (no-op past the end).
+    pub fn keyboard_delete(&mut self, position: usize) -> String {
+        if position < self.tokens.len() {
+            let removed = self.tokens.remove(position);
+            self.log.push(Interaction::KeyboardDelete {
+                position,
+                token: removed.as_str().to_string(),
+            });
+        }
+        self.last_rendered()
+    }
+
+    /// SQL Keyboard: replace the token at `position`.
+    pub fn keyboard_replace(&mut self, position: usize, token: &str) -> String {
+        if position < self.tokens.len() {
+            let from = self.tokens[position].as_str().to_string();
+            self.tokens[position] = Token::classify_word(token);
+            self.log.push(Interaction::KeyboardReplace {
+                position,
+                from,
+                to: token.to_string(),
+            });
+        }
+        self.last_rendered()
+    }
+
+    /// Remaining token errors against an intended query.
+    pub fn errors_against(&self, intended: &str) -> usize {
+        ted(intended, &self.rendered())
+    }
+
+    fn last_rendered(&self) -> String {
+        self.rendered()
+    }
+
+    /// `[start, end)` token span of a clause in the current display.
+    fn clause_span(&self, clause: ClauseKind) -> (usize, usize) {
+        use speakql_grammar::Keyword;
+        let pos = |k: Keyword| {
+            self.tokens
+                .iter()
+                .position(|t| matches!(t, Token::Keyword(x) if *x == k))
+        };
+        let from = pos(Keyword::From).unwrap_or(self.tokens.len());
+        let where_ = pos(Keyword::Where);
+        let tail = [Keyword::Group, Keyword::Order, Keyword::Limit]
+            .iter()
+            .filter_map(|&k| pos(k))
+            .min();
+        match clause {
+            ClauseKind::Select => (0, from),
+            ClauseKind::From => (from, where_.or(tail).unwrap_or(self.tokens.len())),
+            ClauseKind::Where => (
+                where_.unwrap_or(self.tokens.len()),
+                tail.filter(|&t| Some(t) > where_).unwrap_or(self.tokens.len()),
+            ),
+            ClauseKind::Tail => (tail.unwrap_or(self.tokens.len()), self.tokens.len()),
+        }
+    }
+}
+
+fn clause_name(c: ClauseKind) -> &'static str {
+    match c {
+        ClauseKind::Select => "SELECT",
+        ClauseKind::From => "FROM",
+        ClauseKind::Where => "WHERE",
+        ClauseKind::Tail => "TAIL",
+    }
+}
+
+/// Run a session with an ASR in the loop: dictate `sql` through the noisy
+/// channel, then greedily repair with keyboard edits until it matches.
+/// Returns the finished session (used by tests and the examples).
+pub fn dictate_and_repair<'a, R: rand::Rng + ?Sized>(
+    engine: &'a SpeakQl,
+    asr: &AsrEngine,
+    sql: &str,
+    rng: &mut R,
+) -> Session<'a> {
+    let mut session = Session::new(engine);
+    let transcript = asr.transcribe_sql(sql, rng);
+    session.dictate(&transcript);
+    // Greedy repair: walk the edit script left to right.
+    let mut guard = 0;
+    while session.errors_against(sql) > 0 && guard < 100 {
+        guard += 1;
+        let intended = tokenize_sql(sql);
+        let current = session.tokens().to_vec();
+        // First divergence point.
+        let mut i = 0;
+        while i < intended.len() && i < current.len() && token_eq(&intended[i], &current[i]) {
+            i += 1;
+        }
+        if i >= intended.len() {
+            // Extra trailing tokens.
+            session.keyboard_delete(i);
+        } else if i >= current.len() {
+            session.keyboard_insert(i, intended[i].as_str());
+        } else {
+            session.keyboard_replace(i, intended[i].as_str());
+        }
+    }
+    session
+}
+
+fn token_eq(a: &Token, b: &Token) -> bool {
+    let norm = |t: &Token| {
+        t.as_str()
+            .trim_matches('\'')
+            .to_lowercase()
+    };
+    norm(a) == norm(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use speakql_asr::AsrProfile;
+    use speakql_core::SpeakQlConfig;
+    use speakql_data::employees_db;
+
+    fn engine() -> &'static SpeakQl {
+        static E: std::sync::OnceLock<SpeakQl> = std::sync::OnceLock::new();
+        E.get_or_init(|| SpeakQl::new(&employees_db(), SpeakQlConfig::small()))
+    }
+
+    #[test]
+    fn dictate_then_keyboard_edit() {
+        let mut s = Session::new(engine());
+        s.dictate("select salary from salaries");
+        assert!(s.rendered().starts_with("SELECT"));
+        let before = s.rendered();
+        s.keyboard_insert(s.tokens().len(), "LIMIT");
+        s.keyboard_insert(s.tokens().len(), "10");
+        assert_eq!(s.rendered(), format!("{before} LIMIT 10"));
+        assert_eq!(s.total_effort(), 2 + 1 + 1);
+    }
+
+    #[test]
+    fn clause_redictation_replaces_where() {
+        let mut s = Session::new(engine());
+        s.dictate("select salary from salaries where salary greater than 10");
+        let first = s.rendered();
+        assert!(first.contains("WHERE"), "{first}");
+        s.redictate_clause(ClauseKind::Where, "where salary less than 99");
+        let second = s.rendered();
+        assert!(second.contains('<'), "{second}");
+        assert!(second.starts_with("SELECT salary FROM Salaries"), "{second}");
+    }
+
+    #[test]
+    fn keyboard_replace_and_delete() {
+        let mut s = Session::new(engine());
+        s.dictate("select salary from salaries");
+        s.keyboard_replace(1, "ToDate");
+        assert!(s.rendered().contains("ToDate"));
+        let n = s.tokens().len();
+        s.keyboard_delete(n - 1);
+        assert_eq!(s.tokens().len(), n - 1);
+        // Out-of-range operations are no-ops.
+        s.keyboard_delete(999);
+        s.keyboard_replace(999, "x");
+        assert_eq!(s.tokens().len(), n - 1);
+    }
+
+    #[test]
+    fn repair_loop_terminates_at_zero_errors() {
+        let asr = AsrEngine::new(AsrProfile::acs_trained(), speakql_asr::Vocabulary::empty());
+        let sql = "SELECT FromDate FROM DepartmentEmployee WHERE DepartmentNumber = 'd002'";
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let session = dictate_and_repair(engine(), &asr, sql, &mut rng);
+        assert_eq!(session.errors_against(sql), 0, "rendered: {}", session.rendered());
+        assert!(session.total_effort() >= 2);
+    }
+
+    #[test]
+    fn effort_log_is_complete() {
+        let mut s = Session::new(engine());
+        s.dictate("select salary from salaries");
+        s.keyboard_insert(0, "x");
+        s.keyboard_delete(0);
+        assert_eq!(s.log().len(), 3);
+    }
+}

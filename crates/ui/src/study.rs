@@ -1,0 +1,255 @@
+//! The simulated user study (paper §6.4).
+//!
+//! Within-subjects design over the Table 6 query set: every participant
+//! completes every query in both conditions (SpeakQL dictation + correction
+//! vs raw typing), with condition order alternating across queries and
+//! participants to control for re-specification familiarity, exactly as the
+//! paper describes.
+
+use crate::interface::{edit_script, raw_typing_keystrokes};
+use crate::participant::{participants, Participant};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use speakql_asr::AsrEngine;
+use speakql_core::SpeakQl;
+use speakql_data::{StudyQuery, STUDY_QUERIES};
+use speakql_grammar::{tokenize_sql, ClauseKind};
+
+/// The condition a trial ran under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Condition {
+    SpeakQl,
+    Typing,
+}
+
+/// One (participant, query, condition) measurement.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    pub participant: usize,
+    pub query: usize,
+    pub condition: Condition,
+    /// Time to completion, seconds.
+    pub time_s: f64,
+    /// Units of effort: touches/keystrokes + dictation attempts (§6.4).
+    pub effort: u32,
+    /// Seconds spent speaking (SpeakQL condition only).
+    pub speaking_s: f64,
+    /// Seconds spent on the SQL Keyboard (SpeakQL condition only).
+    pub keyboard_s: f64,
+    /// Dictation attempts (1 + re-dictations).
+    pub dictations: u32,
+    /// SQL-Keyboard touches.
+    pub touches: u32,
+}
+
+/// Study configuration.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    pub participants: usize,
+    pub seed: u64,
+    /// Re-dictate (clause level) when more than this many token errors
+    /// remain; below it, the SQL Keyboard is faster.
+    pub redictate_threshold: usize,
+    pub max_redictations: u32,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig { participants: 15, seed: 0x57CD, redictate_threshold: 8, max_redictations: 1 }
+    }
+}
+
+/// Run the full within-subjects study; returns 2 trials per (participant,
+/// query).
+pub fn run_study(engine: &SpeakQl, asr: &AsrEngine, cfg: &StudyConfig) -> Vec<Trial> {
+    let pool = participants(cfg.participants, cfg.seed);
+    let mut trials = Vec::with_capacity(pool.len() * STUDY_QUERIES.len() * 2);
+    for p in &pool {
+        for q in &STUDY_QUERIES {
+            // Alternate which condition comes first (§6.4 study design);
+            // the second pass over the same query thinks faster.
+            let speak_first = (p.id + q.id) % 2 == 0;
+            let (first, second) = if speak_first {
+                (Condition::SpeakQl, Condition::Typing)
+            } else {
+                (Condition::Typing, Condition::SpeakQl)
+            };
+            for (order, cond) in [(0u8, first), (1u8, second)] {
+                let think_factor = if order == 0 { 1.0 } else { 0.55 };
+                let trial = match cond {
+                    Condition::SpeakQl => speakql_trial(engine, asr, p, q, think_factor, cfg),
+                    Condition::Typing => typing_trial(p, q, think_factor, cfg.seed),
+                };
+                trials.push(trial);
+            }
+        }
+    }
+    trials
+}
+
+fn think_time(p: &Participant, q: &StudyQuery, factor: f64) -> f64 {
+    let tokens = tokenize_sql(q.sql).len() as f64;
+    (p.think_base_s + p.think_per_token_s * tokens) * factor
+}
+
+/// Raw typing on the tablet soft keyboard.
+fn typing_trial(p: &Participant, q: &StudyQuery, think_factor: f64, seed: u64) -> Trial {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (p.id as u64) << 32 ^ q.id as u64);
+    // Symbols (parens, commas, quotes, operators) require a layer switch on
+    // tablet soft keyboards: 2 keystrokes each.
+    let symbol_extra = q
+        .sql
+        .chars()
+        .filter(|c| !c.is_ascii_alphanumeric() && *c != ' ')
+        .count() as u32;
+    let base_keystrokes = raw_typing_keystrokes(q.sql) + symbol_extra;
+    // Typos cost a backspace and a retype each.
+    let typos: u32 = (0..base_keystrokes)
+        .filter(|_| rng.gen_bool(p.typo_rate))
+        .count() as u32;
+    let keystrokes = base_keystrokes + 2 * typos;
+    // Long typed queries need proofreading/scrolling, which grows
+    // superlinearly with length (typing long SQL on a tablet is
+    // disproportionately painful — the paper's motivating observation).
+    let chars = q.sql.chars().count() as f64;
+    let proofread = chars * chars / 1200.0;
+    let time = think_time(p, q, think_factor) + keystrokes as f64 / p.typing_cps + proofread;
+    Trial {
+        participant: p.id,
+        query: q.id,
+        condition: Condition::Typing,
+        time_s: time,
+        effort: keystrokes,
+        speaking_s: 0.0,
+        keyboard_s: keystrokes as f64 / p.typing_cps,
+        dictations: 0,
+        touches: keystrokes,
+    }
+}
+
+/// SpeakQL condition: dictate, optionally re-dictate the WHERE clause, then
+/// fix the rest on the SQL Keyboard.
+fn speakql_trial(
+    engine: &SpeakQl,
+    asr: &AsrEngine,
+    p: &Participant,
+    q: &StudyQuery,
+    think_factor: f64,
+    cfg: &StudyConfig,
+) -> Trial {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ ((p.id as u64) << 40) ^ ((q.id as u64) << 8));
+    let spoken_words = speakql_asr::spoken_words(&speakql_asr::verbalize_sql(q.sql)).len() as f64;
+
+    let mut speaking = spoken_words / p.speaking_wps;
+    let mut dictations = 1u32;
+    let mut engine_time = 0.0f64;
+
+    let transcript = asr.transcribe_sql(q.sql, &mut rng);
+    let t = engine.transcribe(&transcript);
+    engine_time += t.elapsed.as_secs_f64();
+    let mut current = t.best_sql().unwrap_or_default().to_string();
+    let mut script = edit_script(q.sql, &current);
+
+    // Clause-level re-dictation (§5): worthwhile only when many errors
+    // remain and the query has a WHERE clause to re-dictate.
+    let mut redictations = 0u32;
+    while script.ted() > cfg.redictate_threshold
+        && redictations < cfg.max_redictations
+        && q.sql.contains(" WHERE ")
+    {
+        redictations += 1;
+        dictations += 1;
+        let where_clause = &q.sql[q.sql.find(" WHERE ").expect("checked") + 1..];
+        let clause_words =
+            speakql_asr::spoken_words(&speakql_asr::verbalize_sql(where_clause)).len() as f64;
+        speaking += clause_words / p.speaking_wps;
+        let clause_transcript = asr.transcribe_sql(where_clause, &mut rng);
+        let ct = engine.transcribe_clause(ClauseKind::Where, &clause_transcript);
+        engine_time += ct.elapsed.as_secs_f64();
+        if let Some(clause_sql) = ct.best_sql() {
+            let prefix_end = current.find(" WHERE ").unwrap_or(current.len());
+            let candidate = format!("{} {}", &current[..prefix_end], clause_sql);
+            let candidate_script = edit_script(q.sql, &candidate);
+            if candidate_script.ted() < script.ted() {
+                current = candidate;
+                script = candidate_script;
+            }
+        }
+    }
+
+    // Remaining errors fixed on the SQL Keyboard.
+    let touches = script.touches();
+    let keyboard = touches as f64 * p.touch_time_s;
+
+    // Units of effort (§6.4): touches/clicks including the record/stop/
+    // submit interactions of each dictation attempt, plus keyboard touches.
+    const TOUCHES_PER_DICTATION: u32 = 4;
+    const TOUCHES_PER_REDICTATION: u32 = 2;
+    let effort = TOUCHES_PER_DICTATION
+        + TOUCHES_PER_REDICTATION * redictations
+        + touches;
+
+    Trial {
+        participant: p.id,
+        query: q.id,
+        condition: Condition::SpeakQl,
+        time_s: think_time(p, q, think_factor) + speaking + engine_time + keyboard,
+        effort,
+        speaking_s: speaking,
+        keyboard_s: keyboard,
+        dictations,
+        touches,
+    }
+}
+
+/// Per-query aggregates used by Figs. 7 and 12.
+#[derive(Debug, Clone)]
+pub struct QuerySummary {
+    pub query: usize,
+    pub median_speakql_time_s: f64,
+    pub median_typing_time_s: f64,
+    pub median_speakql_effort: f64,
+    pub median_typing_effort: f64,
+    pub speedup: f64,
+    pub effort_reduction: f64,
+    /// Fraction of SpeakQL end-to-end time spent speaking (Fig. 12A).
+    pub speaking_fraction: f64,
+    /// Fraction spent on the SQL Keyboard (Fig. 12B).
+    pub keyboard_fraction: f64,
+}
+
+/// Summarize trials per query.
+pub fn summarize(trials: &[Trial]) -> Vec<QuerySummary> {
+    let mut out = Vec::new();
+    for q in &STUDY_QUERIES {
+        let speak: Vec<&Trial> = trials
+            .iter()
+            .filter(|t| t.query == q.id && t.condition == Condition::SpeakQl)
+            .collect();
+        let typing: Vec<&Trial> = trials
+            .iter()
+            .filter(|t| t.query == q.id && t.condition == Condition::Typing)
+            .collect();
+        let med = |xs: Vec<f64>| speakql_metrics::median(&xs);
+        let ms_time = med(speak.iter().map(|t| t.time_s).collect());
+        let mt_time = med(typing.iter().map(|t| t.time_s).collect());
+        let ms_eff = med(speak.iter().map(|t| t.effort as f64).collect());
+        let mt_eff = med(typing.iter().map(|t| t.effort as f64).collect());
+        let speaking_fraction =
+            med(speak.iter().map(|t| t.speaking_s / t.time_s.max(1e-9)).collect());
+        let keyboard_fraction =
+            med(speak.iter().map(|t| t.keyboard_s / t.time_s.max(1e-9)).collect());
+        out.push(QuerySummary {
+            query: q.id,
+            median_speakql_time_s: ms_time,
+            median_typing_time_s: mt_time,
+            median_speakql_effort: ms_eff,
+            median_typing_effort: mt_eff,
+            speedup: mt_time / ms_time.max(1e-9),
+            effort_reduction: mt_eff / ms_eff.max(1e-9),
+            speaking_fraction,
+            keyboard_fraction,
+        });
+    }
+    out
+}

@@ -1,0 +1,97 @@
+//! An interactive SpeakQL console over the Employees database.
+//!
+//! ```text
+//! cargo run --release --example interactive_repl
+//! ```
+//!
+//! Type a *transcript* the way an ASR would produce it (words, spoken
+//! operators) and SpeakQL corrects and executes it:
+//!
+//! ```text
+//! speakql> select sum open parenthesis salary close parenthesis from celeries
+//! ```
+//!
+//! Commands:
+//! - `speak: <SQL>` — verbalize the SQL, run it through the simulated noisy
+//!   ASR channel, then correct the result (full pipeline);
+//! - `where: <transcript>` — clause-level dictation of a WHERE clause;
+//! - `schema` — print the database schema;
+//! - `quit` — exit.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use speakql_asr::{AsrEngine, AsrProfile};
+use speakql_core::{SpeakQl, SpeakQlConfig};
+use speakql_data::{employees_db, generate_cases, training_vocabulary};
+use speakql_grammar::{ClauseKind, GeneratorConfig};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let db = employees_db();
+    eprintln!("building SpeakQL engine ...");
+    let cfg = GeneratorConfig::medium();
+    let engine = SpeakQl::new(&db, SpeakQlConfig { generator: cfg.clone(), ..SpeakQlConfig::paper() });
+    let train = generate_cases(&db, &cfg, 150, 0xA11CE);
+    let asr = AsrEngine::new(AsrProfile::acs_trained(), training_vocabulary(&db, &train));
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    eprintln!("ready: {} structures indexed. Type 'schema' or a transcript.", engine.index().len());
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("speakql> ");
+        std::io::stdout().flush().ok();
+        let Some(Ok(line)) = stdin.lock().lines().next() else {
+            break;
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "quit" | "exit" => break,
+            "schema" => {
+                for t in &db.tables {
+                    let cols: Vec<&str> =
+                        t.schema.columns.iter().map(|c| c.name.as_str()).collect();
+                    println!("  {} ( {} )  [{} rows]", t.schema.name, cols.join(" , "), t.rows.len());
+                }
+                continue;
+            }
+            _ => {}
+        }
+
+        let result = if let Some(sql) = line.strip_prefix("speak:") {
+            let transcript = asr.transcribe_sql(sql.trim(), &mut rng);
+            println!("ASR heard : {transcript}");
+            engine.transcribe(&transcript)
+        } else if let Some(clause) = line.strip_prefix("where:") {
+            engine.transcribe_clause(ClauseKind::Where, clause.trim())
+        } else {
+            engine.transcribe(line)
+        };
+
+        let Some(best) = result.best_sql() else {
+            println!("no candidates");
+            continue;
+        };
+        println!("corrected : {best}   ({:.0} ms)", result.elapsed.as_secs_f64() * 1000.0);
+        for (i, c) in result.candidates.iter().enumerate().skip(1).take(2) {
+            println!("   alt #{i} : {}", c.sql);
+        }
+        if best.starts_with("SELECT") {
+            match speakql_db::execute_sql(&db, best) {
+                Ok(rows) => {
+                    let shown = rows.rows.len().min(8);
+                    println!("{}", speakql_db::QueryResult {
+                        columns: rows.columns.clone(),
+                        rows: rows.rows[..shown].to_vec(),
+                    }.render_table());
+                    if rows.rows.len() > shown {
+                        println!("... {} more row(s)", rows.rows.len() - shown);
+                    }
+                }
+                Err(e) => println!("execution error: {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The multimodal correction loop of the SpeakQL interface (paper §5):
+//! dictate the whole query, re-dictate a clause, then fix stray tokens with
+//! the SQL Keyboard — counting every unit of effort along the way.
+//!
+//! ```text
+//! cargo run --release --example multimodal_correction
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use speakql_asr::{AsrEngine, AsrProfile, Vocabulary};
+use speakql_core::{SpeakQl, SpeakQlConfig};
+use speakql_data::employees_db;
+use speakql_grammar::ClauseKind;
+use speakql_ui::{edit_script, SqlKeyboard};
+
+fn main() {
+    let db = employees_db();
+    let engine = SpeakQl::new(&db, SpeakQlConfig::medium());
+    // An untrained ASR makes for a noisier, more interesting session.
+    let asr = AsrEngine::new(AsrProfile::acs(), Vocabulary::empty());
+    let mut rng = ChaCha8Rng::seed_from_u64(20);
+
+    let intended = "SELECT ToDate , MAX ( salary ) , COUNT ( salary ) , MIN ( salary ) \
+                    FROM Salaries WHERE FromDate = '1990-03-20' GROUP BY ToDate";
+    println!("intended query:\n  {intended}\n");
+
+    // --- 1. Dictate the whole query (the big Record button) --------------
+    let transcript = asr.transcribe_sql(intended, &mut rng);
+    println!("[dictation 1] ASR heard:\n  {transcript}");
+    let t = engine.transcribe(&transcript);
+    let mut current = t.best_sql().expect("candidates").to_string();
+    println!("[dictation 1] SpeakQL rendered:\n  {current}");
+    let mut script = edit_script(intended, &current);
+    println!("  -> {} token error(s) remain\n", script.ted());
+
+    // --- 2. Clause-level re-dictation (the per-clause record buttons) ----
+    if script.ted() > 0 {
+        let where_clause = &intended[intended.find("WHERE").unwrap()..];
+        let clause_transcript = asr.transcribe_sql(where_clause, &mut rng);
+        println!("[dictation 2] re-dictating the WHERE clause:\n  {clause_transcript}");
+        let ct = engine.transcribe_clause(ClauseKind::Where, &clause_transcript);
+        if let Some(clause_sql) = ct.best_sql() {
+            let prefix = current.find(" WHERE ").unwrap_or(current.len());
+            let candidate = format!("{} {}", &current[..prefix], clause_sql);
+            let cscript = edit_script(intended, &candidate);
+            if cscript.ted() < script.ted() {
+                println!("[dictation 2] clause accepted:\n  {clause_sql}");
+                current = candidate;
+                script = cscript;
+            } else {
+                println!("[dictation 2] clause no better; keeping previous rendering");
+            }
+        }
+        println!("  -> {} token error(s) remain\n", script.ted());
+    }
+
+    // --- 3. SQL Keyboard touch-up ----------------------------------------
+    let keyboard = SqlKeyboard::for_database(&db);
+    println!(
+        "[keyboard] panes: {} keywords | {} tables | {} attributes",
+        keyboard.keywords.len(),
+        keyboard.tables.len(),
+        keyboard.attributes.len()
+    );
+    if script.ted() == 0 {
+        println!("[keyboard] nothing to fix!");
+    } else {
+        for (class, tok) in &script.deletions {
+            println!("[keyboard] delete stray {class:?} token '{tok}'  (1 touch)");
+        }
+        for (class, tok) in &script.insertions {
+            println!(
+                "[keyboard] insert {class:?} token '{tok}'  ({} touch(es))",
+                speakql_ui::touches_for_token(*class, tok)
+            );
+        }
+        println!("[keyboard] total touches: {}", script.touches());
+    }
+
+    println!("\nquery before keyboard fixes:\n  {current}");
+    println!("query after keyboard fixes:\n  {intended}");
+    println!(
+        "total session effort: 1 dictation + {} re-dictation(s) + {} touches",
+        if script.ted() > 0 { 1 } else { 0 },
+        script.touches()
+    );
+}

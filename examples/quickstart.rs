@@ -1,0 +1,64 @@
+//! Quickstart: the SpeakQL pipeline on the paper's running example.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a small database, dictates "Select Salary From Employees Where
+//! Name Equals John", corrupts it the way ASR would, and shows every stage
+//! of the correction pipeline (paper Fig. 2).
+
+use speakql_core::{SpeakQl, SpeakQlConfig};
+use speakql_db::{Column, Database, Table, TableSchema, Value, ValueType};
+use speakql_grammar::render_masked;
+
+fn main() {
+    // 1. A database to query: SpeakQL works on any schema.
+    let mut db = Database::new("quickstart");
+    let mut employees = Table::new(TableSchema::new(
+        "Employees",
+        vec![
+            Column::new("Name", ValueType::Text),
+            Column::new("Salary", ValueType::Int),
+        ],
+    ));
+    employees.push_row(vec![Value::Text("John".into()), Value::Int(70000)]);
+    employees.push_row(vec![Value::Text("Perla".into()), Value::Int(82000)]);
+    db.add_table(employees);
+
+    // 2. The engine: generates the SQL structure space offline and indexes
+    //    the database's literals phonetically.
+    println!("building SpeakQL engine (structure space + phonetic catalog) ...");
+    let engine = SpeakQl::new(&db, SpeakQlConfig::small());
+    println!(
+        "  {} candidate structures indexed\n",
+        engine.index().len()
+    );
+
+    // 3. The user dictates; the ASR mishears (paper §2 running example).
+    let transcript = "select sales from employers wear name equals jon";
+    println!("ASR transcription : {transcript}");
+
+    // 4. SpeakQL corrects.
+    let result = engine.transcribe(transcript);
+    println!(
+        "masked structure  : {}",
+        render_masked(&result.processed.masked)
+    );
+    println!("ranked candidates :");
+    for (i, c) in result.candidates.iter().enumerate().take(3) {
+        println!(
+            "  #{} (distance {}): {}",
+            i + 1,
+            speakql_editdist::dist_to_string(c.distance),
+            c.sql
+        );
+    }
+    let best = result.best_sql().expect("candidates");
+    println!("\ncorrected SQL     : {best}");
+
+    // 5. Execute it.
+    let rows = speakql_db::execute_sql(&db, best).expect("valid SQL");
+    println!("\n{}", rows.render_table());
+    println!("latency: {:.1} ms", result.elapsed.as_secs_f64() * 1000.0);
+}

@@ -1,0 +1,46 @@
+//! Live dictation: the interactive display re-renders the corrected query
+//! after every recognized word (paper §5's on-screen experience), then the
+//! session state machine applies clause re-dictation and keyboard edits.
+//!
+//! ```text
+//! cargo run --release --example streaming_dictation
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use speakql_asr::{AsrEngine, AsrProfile, Vocabulary};
+use speakql_core::{SpeakQl, SpeakQlConfig, StreamingTranscriber};
+use speakql_data::employees_db;
+use speakql_ui::dictate_and_repair;
+
+fn main() {
+    let db = employees_db();
+    println!("building engine ...");
+    let engine = SpeakQl::new(&db, SpeakQlConfig::small());
+
+    // --- live word-by-word display ----------------------------------------
+    let transcript = "select sum open parenthesis salary close parenthesis \
+                      from celeries where from date equals january twentieth \
+                      nineteen ninety three";
+    println!("\n--- streaming dictation ---");
+    let mut stream = StreamingTranscriber::new(&engine);
+    for word in transcript.split_whitespace() {
+        stream.push_word(word);
+        println!("{word:>12} | {}", stream.best_sql().unwrap_or("..."));
+    }
+    let final_result = stream.finish().expect("spoken words");
+    println!("\nfinal: {}", final_result.best_sql().unwrap());
+
+    // --- a full correction session on a noisy dictation -------------------
+    println!("\n--- dictate-and-repair session ---");
+    let asr = AsrEngine::new(AsrProfile::acs(), Vocabulary::empty());
+    let intended = "SELECT LastName FROM Employees NATURAL JOIN Salaries WHERE salary > 70000";
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let session = dictate_and_repair(&engine, &asr, intended, &mut rng);
+    println!("intended : {intended}");
+    println!("final    : {}", session.rendered());
+    println!("effort   : {} units across {} interactions", session.total_effort(), session.log().len());
+    for step in session.log() {
+        println!("  - {step:?}");
+    }
+}

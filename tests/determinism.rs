@@ -1,0 +1,53 @@
+//! Whole-pipeline determinism: every randomized component is seeded, so two
+//! identical runs must agree bit-for-bit. This is what makes the experiment
+//! suite reproducible.
+
+use speakql_bench::{run_split, Context, Scale};
+use speakql_data::SpokenSqlDataset;
+use speakql_grammar::{generate_structures, GeneratorConfig};
+
+#[test]
+fn structure_generation_is_deterministic() {
+    let cfg = GeneratorConfig::small();
+    assert_eq!(generate_structures(&cfg), generate_structures(&cfg));
+}
+
+#[test]
+fn dataset_is_deterministic() {
+    let a = SpokenSqlDataset::with_sizes(&GeneratorConfig::small(), 10, 5, 5);
+    let b = SpokenSqlDataset::with_sizes(&GeneratorConfig::small(), 10, 5, 5);
+    assert_eq!(a.train, b.train);
+    assert_eq!(a.employees_test, b.employees_test);
+    assert_eq!(a.yelp_test, b.yelp_test);
+}
+
+#[test]
+fn full_runs_are_deterministic() {
+    let ctx = Context::new(Scale::Small);
+    let cases = &ctx.dataset.employees_test[..8.min(ctx.dataset.employees_test.len())];
+    let a = run_split(&ctx.asr_trained, &ctx.employees_engine, "det", cases);
+    let b = run_split(&ctx.asr_trained, &ctx.employees_engine, "det", cases);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.transcript, y.transcript);
+        assert_eq!(x.top1_sql, y.top1_sql);
+        assert_eq!(x.top1_ted, y.top1_ted);
+        assert_eq!(x.asr_report, y.asr_report);
+    }
+}
+
+#[test]
+fn parallel_split_matches_sequential() {
+    let ctx = Context::new(Scale::Small);
+    let cases = &ctx.dataset.employees_test[..12.min(ctx.dataset.employees_test.len())];
+    let parallel = run_split(&ctx.asr_trained, &ctx.employees_engine, "par", cases);
+    let sequential: Vec<_> = cases
+        .iter()
+        .map(|c| speakql_bench::run_case(&ctx.asr_trained, &ctx.employees_engine, "par", c))
+        .collect();
+    assert_eq!(parallel.len(), sequential.len());
+    for (p, s) in parallel.iter().zip(&sequential) {
+        assert_eq!(p.transcript, s.transcript);
+        assert_eq!(p.top1_sql, s.top1_sql);
+        assert_eq!(p.top5_ted, s.top5_ted);
+    }
+}

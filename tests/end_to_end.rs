@@ -1,0 +1,161 @@
+//! End-to-end integration tests spanning every crate: dataset generation →
+//! verbalization → noisy ASR → SpeakQL correction → metrics → execution.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use speakql_asr::{AsrEngine, AsrProfile};
+use speakql_bench::{run_split, Context, Scale};
+use speakql_core::{SpeakQl, SpeakQlConfig};
+use speakql_data::{employees_db, generate_cases, training_vocabulary, STUDY_QUERIES};
+use speakql_grammar::GeneratorConfig;
+use speakql_metrics::{mean_report, ted};
+
+fn context() -> &'static Context {
+    static CTX: std::sync::OnceLock<Context> = std::sync::OnceLock::new();
+    CTX.get_or_init(|| Context::new(Scale::Small))
+}
+
+#[test]
+fn speakql_improves_over_raw_asr_on_every_word_metric() {
+    let ctx = context();
+    let runs = run_split(
+        &ctx.asr_trained,
+        &ctx.employees_engine,
+        "it-e2e",
+        &ctx.dataset.employees_test[..20.min(ctx.dataset.employees_test.len())],
+    );
+    let asr = mean_report(&runs.iter().map(|r| r.asr_report).collect::<Vec<_>>());
+    let sq = mean_report(&runs.iter().map(|r| r.top1_report).collect::<Vec<_>>());
+    assert!(sq.wrr > asr.wrr, "WRR {:.3} !> {:.3}", sq.wrr, asr.wrr);
+    assert!(sq.wpr > asr.wpr, "WPR {:.3} !> {:.3}", sq.wpr, asr.wpr);
+    assert!(sq.lrr > asr.lrr, "LRR {:.3} !> {:.3}", sq.lrr, asr.lrr);
+    // Keywords and splchars end up near-perfect after correction (§6.3).
+    assert!(sq.kpr > 0.9, "KPR {:.3}", sq.kpr);
+    assert!(sq.spr > 0.9, "SPR {:.3}", sq.spr);
+}
+
+#[test]
+fn top5_never_worse_than_top1() {
+    let ctx = context();
+    let runs = run_split(
+        &ctx.asr_trained,
+        &ctx.employees_engine,
+        "it-top5",
+        &ctx.dataset.employees_test[..15.min(ctx.dataset.employees_test.len())],
+    );
+    for r in &runs {
+        assert!(r.top5_report.wrr >= r.top1_report.wrr);
+        assert!(r.top5_ted <= r.top1_ted);
+    }
+}
+
+#[test]
+fn yelp_literal_recall_below_employees() {
+    // The unseen-schema effect (§6.3): the ASR vocabulary was trained on
+    // Employees, so Yelp literals fare worse.
+    let ctx = context();
+    let emp = run_split(
+        &ctx.asr_trained,
+        &ctx.employees_engine,
+        "it-emp",
+        &ctx.dataset.employees_test[..20.min(ctx.dataset.employees_test.len())],
+    );
+    let yelp = run_split(
+        &ctx.asr_trained,
+        &ctx.yelp_engine,
+        "it-yelp",
+        &ctx.dataset.yelp_test[..20.min(ctx.dataset.yelp_test.len())],
+    );
+    let emp_lrr = mean_report(&emp.iter().map(|r| r.top1_report).collect::<Vec<_>>()).lrr;
+    let yelp_lrr = mean_report(&yelp.iter().map(|r| r.top1_report).collect::<Vec<_>>()).lrr;
+    assert!(
+        emp_lrr > yelp_lrr,
+        "Employees LRR {emp_lrr:.3} must exceed Yelp LRR {yelp_lrr:.3}"
+    );
+}
+
+#[test]
+fn perfect_transcripts_of_study_queries_roundtrip_mostly() {
+    // With a noise-free channel, SpeakQL should reproduce in-space study
+    // queries exactly; out-of-space structures (deep complex queries at
+    // Small scale) may differ, so require a majority.
+    let db = employees_db();
+    let engine = SpeakQl::new(&db, SpeakQlConfig::small());
+    let perfect = AsrProfile {
+        name: "perfect",
+        keyword_err: 0.0,
+        splchar_symbol_rate: 1.0,
+        splchar_err: 0.0,
+        literal_word_err: 0.0,
+        oov_word_err: 0.0,
+        recombine_literal: 1.0,
+        number_correct: 1.0,
+        number_split: 0.0,
+        date_correct: 1.0,
+        word_drop: 0.0,
+    };
+    let vocab = speakql_asr::Vocabulary::from_literals(
+        db.table_names()
+            .into_iter()
+            .chain(db.attribute_names())
+            .chain(db.string_attribute_values()),
+    );
+    let asr = AsrEngine::new(perfect, vocab);
+    let mut exact = 0;
+    for q in &STUDY_QUERIES {
+        let mut rng = ChaCha8Rng::seed_from_u64(q.id as u64);
+        let transcript = asr.transcribe_sql(q.sql, &mut rng);
+        let best = engine
+            .transcribe(&transcript)
+            .best_sql()
+            .unwrap_or_default()
+            .to_string();
+        if ted(q.sql, &best) == 0 {
+            exact += 1;
+        }
+    }
+    // The six simple queries (q1-q6) have in-space structures; the complex
+    // ones exceed the enumeration caps — exactly why the paper's own user
+    // study needed 19-49 correction touches for complex queries.
+    assert!(exact >= 5, "only {exact}/12 exact under a perfect channel");
+}
+
+#[test]
+fn corrected_queries_always_execute() {
+    // Whatever SpeakQL renders must be *syntactically valid* SQL of the
+    // subset: parseable and executable (unknown-name errors aside).
+    let ctx = context();
+    let runs = run_split(
+        &ctx.asr_trained,
+        &ctx.employees_engine,
+        "it-exec",
+        &ctx.dataset.employees_test[..20.min(ctx.dataset.employees_test.len())],
+    );
+    for r in &runs {
+        let parsed = speakql_db::parse_query(&r.top1_sql);
+        assert!(parsed.is_ok(), "unparsable output: {} ({parsed:?})", r.top1_sql);
+    }
+}
+
+#[test]
+fn nested_pipeline_produces_two_selects() {
+    let db = employees_db();
+    let engine = SpeakQl::new(&db, SpeakQlConfig::small());
+    let cases = speakql_data::generate_nested_cases(&db, 5, 1);
+    let train = generate_cases(&db, &GeneratorConfig::small(), 20, 2);
+    let asr = AsrEngine::new(AsrProfile::acs_trained(), training_vocabulary(&db, &train));
+    let mut with_nesting = 0;
+    for c in &cases {
+        let mut rng = ChaCha8Rng::seed_from_u64(c.id as u64 + 99);
+        let transcript = asr.transcribe_sql(&c.sql, &mut rng);
+        let best = engine
+            .transcribe(&transcript)
+            .best_sql()
+            .unwrap_or_default()
+            .to_string();
+        if best.matches("SELECT").count() == 2 {
+            with_nesting += 1;
+        }
+    }
+    assert!(with_nesting >= 3, "nesting preserved in only {with_nesting}/5");
+}

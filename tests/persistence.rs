@@ -1,0 +1,55 @@
+//! Persistence integration: an engine built around a saved-and-reloaded
+//! structure index must behave identically to the original.
+
+use speakql_core::{SpeakQl, SpeakQlConfig};
+use speakql_data::employees_db;
+use speakql_editdist::Weights;
+use speakql_grammar::GeneratorConfig;
+use speakql_index::{load_from_path, save_to_path, StructureIndex};
+use std::sync::Arc;
+
+#[test]
+fn reloaded_index_drives_identical_engine() {
+    let cfg = GeneratorConfig { max_structures: Some(5_000), ..GeneratorConfig::small() };
+    let index = StructureIndex::from_grammar(&cfg, Weights::PAPER);
+
+    let dir = std::env::temp_dir().join("speakql-it-persist");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("index.sqlx");
+    save_to_path(&index, &path).expect("save");
+    let reloaded = load_from_path(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    let db = employees_db();
+    let engine_cfg = SpeakQlConfig { generator: cfg, ..SpeakQlConfig::paper() };
+    let original = SpeakQl::with_index(&db, Arc::new(index), engine_cfg.clone());
+    let restored = SpeakQl::with_index(&db, Arc::new(reloaded), engine_cfg);
+
+    for transcript in [
+        "select salary from salaries",
+        "select sales from employers wear first name equals jon",
+        "select sum open parenthesis salary close parenthesis from celeries where from date equals january twentieth nineteen ninety three",
+        "select star from titles where title equals engineer limit ten",
+    ] {
+        let a = original.transcribe(transcript);
+        let b = restored.transcribe(transcript);
+        assert_eq!(a.best_sql(), b.best_sql(), "mismatch on: {transcript}");
+        assert_eq!(a.candidates.len(), b.candidates.len());
+        for (ca, cb) in a.candidates.iter().zip(&b.candidates) {
+            assert_eq!(ca.sql, cb.sql);
+            assert_eq!(ca.distance, cb.distance);
+        }
+    }
+}
+
+#[test]
+fn persisted_file_size_is_compact() {
+    let cfg = GeneratorConfig { max_structures: Some(5_000), ..GeneratorConfig::small() };
+    let index = StructureIndex::from_grammar(&cfg, Weights::PAPER);
+    let bytes = speakql_index::to_bytes(&index);
+    // Roughly 20-30 bytes per structure; certainly under 64.
+    assert!(bytes.len() < 5_000 * 64, "{} bytes for 5000 structures", bytes.len());
+    // And the arena reconstructs identically.
+    let reloaded = speakql_index::from_bytes(&bytes).expect("roundtrip");
+    assert_eq!(reloaded.structures(), index.structures());
+}
