@@ -105,7 +105,10 @@ pub fn corrupt_word<R: Rng + ?Sized>(word: &str, rng: &mut R) -> String {
         if !vowel_positions.is_empty() {
             let pos = vowel_positions[rng.gen_range(0..vowel_positions.len())];
             let cur = chars[pos];
-            let replacement = VOWELS[(VOWELS.iter().position(|&v| v == cur).unwrap_or(0) + 1 + rng.gen_range(0..3)) % 5];
+            let replacement = VOWELS[(VOWELS.iter().position(|&v| v == cur).unwrap_or(0)
+                + 1
+                + rng.gen_range(0..3usize))
+                % 5];
             chars[pos] = replacement;
             return chars.into_iter().collect();
         }
@@ -120,8 +123,14 @@ pub fn corrupt_word<R: Rng + ?Sized>(word: &str, rng: &mut R) -> String {
         };
     }
     // Consonant tweak: swap a common consonant pair.
-    const PAIRS: [(char, char); 6] =
-        [('b', 'p'), ('d', 't'), ('g', 'k'), ('v', 'f'), ('z', 's'), ('m', 'n')];
+    const PAIRS: [(char, char); 6] = [
+        ('b', 'p'),
+        ('d', 't'),
+        ('g', 'k'),
+        ('v', 'f'),
+        ('z', 's'),
+        ('m', 'n'),
+    ];
     for i in 0..chars.len() {
         for (a, b) in PAIRS {
             if chars[i] == a {

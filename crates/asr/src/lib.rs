@@ -14,7 +14,10 @@ pub mod verbalize;
 
 pub use channel::{AsrEngine, AsrProfile, ChannelEvent, ChannelTrace, Vocabulary};
 pub use homophones::{corrupt_word, curated_confusion, CONFUSIONS};
-pub use speak::{date_words, day_ordinal_words, digit_word, identifier_words, number_to_words, year_to_words, MONTHS};
+pub use speak::{
+    date_words, day_ordinal_words, digit_word, identifier_words, number_to_words, year_to_words,
+    MONTHS,
+};
 pub use verbalize::{spoken_words, verbalize_sql, Origin, Segment};
 
 #[cfg(test)]

@@ -61,8 +61,25 @@ fn tens_to_words(n: u64) -> Vec<String> {
 }
 
 const ONES: [&str; 20] = [
-    "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten",
-    "eleven", "twelve", "thirteen", "fourteen", "fifteen", "sixteen", "seventeen", "eighteen",
+    "zero",
+    "one",
+    "two",
+    "three",
+    "four",
+    "five",
+    "six",
+    "seven",
+    "eight",
+    "nine",
+    "ten",
+    "eleven",
+    "twelve",
+    "thirteen",
+    "fourteen",
+    "fifteen",
+    "sixteen",
+    "seventeen",
+    "eighteen",
     "nineteen",
 ];
 
@@ -81,16 +98,44 @@ pub fn digit_word(d: char) -> &'static str {
 
 /// Month names, 1-indexed.
 pub const MONTHS: [&str; 13] = [
-    "", "january", "february", "march", "april", "may", "june", "july", "august", "september",
-    "october", "november", "december",
+    "",
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
 ];
 
 /// Ordinal words for days of the month ("twentieth", "thirty first").
 pub fn day_ordinal_words(day: u8) -> Vec<String> {
     const ORD_ONES: [&str; 20] = [
-        "", "first", "second", "third", "fourth", "fifth", "sixth", "seventh", "eighth",
-        "ninth", "tenth", "eleventh", "twelfth", "thirteenth", "fourteenth", "fifteenth",
-        "sixteenth", "seventeenth", "eighteenth", "nineteenth",
+        "",
+        "first",
+        "second",
+        "third",
+        "fourth",
+        "fifth",
+        "sixth",
+        "seventh",
+        "eighth",
+        "ninth",
+        "tenth",
+        "eleventh",
+        "twelfth",
+        "thirteenth",
+        "fourteenth",
+        "fifteenth",
+        "sixteenth",
+        "seventeenth",
+        "eighteenth",
+        "nineteenth",
     ];
     let day = day as usize;
     if day == 0 || day > 31 {
@@ -193,8 +238,14 @@ mod tests {
     #[test]
     fn paper_number_example() {
         // App. F.6: "forty five thousand three hundred ten"
-        assert_eq!(joined(number_to_words(45310)), "forty five thousand three hundred ten");
-        assert_eq!(joined(number_to_words(45412)), "forty five thousand four hundred twelve");
+        assert_eq!(
+            joined(number_to_words(45310)),
+            "forty five thousand three hundred ten"
+        );
+        assert_eq!(
+            joined(number_to_words(45412)),
+            "forty five thousand four hundred twelve"
+        );
     }
 
     #[test]
@@ -210,10 +261,7 @@ mod tests {
 
     #[test]
     fn large_numbers() {
-        assert_eq!(
-            joined(number_to_words(1_000_001)),
-            "one million one"
-        );
+        assert_eq!(joined(number_to_words(1_000_001)), "one million one");
         assert_eq!(
             joined(number_to_words(2_147_483_647)),
             "two billion one hundred forty seven million four hundred eighty three thousand six hundred forty seven"
@@ -223,7 +271,10 @@ mod tests {
     #[test]
     fn paper_date_example() {
         // Table 1: 1991-05-07 spoken as "may seventh nineteen ninety one"
-        assert_eq!(joined(date_words(1991, 5, 7)), "may seventh nineteen ninety one");
+        assert_eq!(
+            joined(date_words(1991, 5, 7)),
+            "may seventh nineteen ninety one"
+        );
         assert_eq!(
             joined(date_words(1993, 1, 20)),
             "january twentieth nineteen ninety three"
@@ -251,13 +302,19 @@ mod tests {
     #[test]
     fn identifier_splitting() {
         assert_eq!(identifier_words("FromDate"), vec!["from", "date"]);
-        assert_eq!(identifier_words("table_123"), vec!["table", "underscore", "one", "two", "three"]);
+        assert_eq!(
+            identifier_words("table_123"),
+            vec!["table", "underscore", "one", "two", "three"]
+        );
         assert_eq!(
             identifier_words("CUSTID_1729A"),
             vec!["custid", "underscore", "one", "seven", "two", "nine", "a"]
         );
         assert_eq!(identifier_words("salary"), vec!["salary"]);
-        assert_eq!(identifier_words("DepartmentNumber"), vec!["department", "number"]);
+        assert_eq!(
+            identifier_words("DepartmentNumber"),
+            vec!["department", "number"]
+        );
         assert_eq!(identifier_words("d002"), vec!["d", "zero", "zero", "two"]);
         assert_eq!(identifier_words("HTTPServer"), vec!["http", "server"]);
     }

@@ -40,7 +40,10 @@ pub fn verbalize_sql(sql: &str) -> Vec<Segment> {
 
 /// Flatten segments to the plain word sequence (what the microphone hears).
 pub fn spoken_words(segments: &[Segment]) -> Vec<String> {
-    segments.iter().flat_map(|s| s.words.iter().cloned()).collect()
+    segments
+        .iter()
+        .flat_map(|s| s.words.iter().cloned())
+        .collect()
 }
 
 fn verbalize_token(tok: &Token) -> Segment {
@@ -95,14 +98,15 @@ fn verbalize_literal(text: &str) -> Segment {
             }
         }
         let _ = f;
-        return Segment { words, origin: Origin::Number, canonical: s };
+        return Segment {
+            words,
+            origin: Origin::Number,
+            canonical: s,
+        };
     }
     // Quoted multi-word text: verbalize each whitespace word.
     if quoted && bare.contains(' ') {
-        let words = bare
-            .split_whitespace()
-            .flat_map(identifier_words)
-            .collect();
+        let words = bare.split_whitespace().flat_map(identifier_words).collect();
         return Segment {
             words,
             origin: Origin::QuotedText,
@@ -111,7 +115,11 @@ fn verbalize_literal(text: &str) -> Segment {
     }
     Segment {
         words: identifier_words(bare),
-        origin: if quoted { Origin::QuotedText } else { Origin::Identifier },
+        origin: if quoted {
+            Origin::QuotedText
+        } else {
+            Origin::Identifier
+        },
         canonical: bare.to_string(),
     }
 }
@@ -176,7 +184,10 @@ mod tests {
             "where salary greater than seventy thousand"
         );
         assert_eq!(speak("LIMIT 10"), "limit ten");
-        assert_eq!(speak("WHERE stars > 3.5"), "where stars greater than three point five");
+        assert_eq!(
+            speak("WHERE stars > 3.5"),
+            "where stars greater than three point five"
+        );
     }
 
     #[test]

@@ -25,7 +25,13 @@ fn fixture() -> Fixture {
     let cfg = GeneratorConfig::small();
     let db = employees_db();
     let index = StructureIndex::from_grammar(&cfg, Weights::PAPER);
-    let engine = SpeakQl::new(&db, SpeakQlConfig { generator: cfg.clone(), ..SpeakQlConfig::paper() });
+    let engine = SpeakQl::new(
+        &db,
+        SpeakQlConfig {
+            generator: cfg.clone(),
+            ..SpeakQlConfig::paper()
+        },
+    );
     let catalog = PhoneticCatalog::build(&db);
     let cases = generate_cases(&db, &cfg, 24, 0xBE9C);
     let asr = AsrEngine::new(AsrProfile::acs_trained(), training_vocabulary(&db, &cases));
@@ -36,7 +42,12 @@ fn fixture() -> Fixture {
             asr.transcribe_sql(&c.sql, &mut rng)
         })
         .collect();
-    Fixture { index, engine, catalog, transcripts }
+    Fixture {
+        index,
+        engine,
+        catalog,
+        transcripts,
+    }
 }
 
 fn bench_structure_search(c: &mut Criterion) {
@@ -48,11 +59,56 @@ fn bench_structure_search(c: &mut Criterion) {
         .collect();
     let mut group = c.benchmark_group("structure_search");
     let configs = [
-        ("default_bdb", SearchConfig { k: 1, bdb: true, dap: false, inv: false }),
-        ("no_bdb", SearchConfig { k: 1, bdb: false, dap: false, inv: false }),
-        ("dap", SearchConfig { k: 1, bdb: true, dap: true, inv: false }),
-        ("inv", SearchConfig { k: 1, bdb: true, dap: false, inv: true }),
-        ("top5", SearchConfig { k: 5, bdb: true, dap: false, inv: false }),
+        (
+            "default_bdb",
+            SearchConfig {
+                k: 1,
+                bdb: true,
+                dap: false,
+                inv: false,
+                threads: 1,
+            },
+        ),
+        (
+            "no_bdb",
+            SearchConfig {
+                k: 1,
+                bdb: false,
+                dap: false,
+                inv: false,
+                threads: 1,
+            },
+        ),
+        (
+            "dap",
+            SearchConfig {
+                k: 1,
+                bdb: true,
+                dap: true,
+                inv: false,
+                threads: 1,
+            },
+        ),
+        (
+            "inv",
+            SearchConfig {
+                k: 1,
+                bdb: true,
+                dap: false,
+                inv: true,
+                threads: 1,
+            },
+        ),
+        (
+            "top5",
+            SearchConfig {
+                k: 5,
+                bdb: true,
+                dap: false,
+                inv: false,
+                threads: 1,
+            },
+        ),
     ];
     for (name, cfg) in configs {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
@@ -101,8 +157,13 @@ fn bench_end_to_end(c: &mut Criterion) {
 
 fn bench_metaphone(c: &mut Criterion) {
     let words = [
-        "Employees", "Salaries", "DepartmentNumber", "FromDate", "Tomokazu",
-        "Golden Dragon Noodle House", "CUSTID_1729A",
+        "Employees",
+        "Salaries",
+        "DepartmentNumber",
+        "FromDate",
+        "Tomokazu",
+        "Golden Dragon Noodle House",
+        "CUSTID_1729A",
     ];
     c.bench_function("metaphone_key", |b| {
         b.iter(|| {
@@ -125,7 +186,10 @@ fn bench_error_parse(c: &mut Criterion) {
     c.bench_function("error_correcting_parse", |b| {
         b.iter(|| {
             for m in &masked {
-                black_box(speakql_grammar::min_parse_distance(black_box(m), (12, 11, 10)));
+                black_box(speakql_grammar::min_parse_distance(
+                    black_box(m),
+                    (12, 11, 10),
+                ));
             }
         })
     });

@@ -1,0 +1,97 @@
+//! Criterion benchmarks for the parallel correction pipeline: multi-threaded
+//! structure search (per-length tries partitioned across workers with a
+//! shared branch-and-bound threshold) and batch transcription throughput on
+//! the engine's bounded worker pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use speakql_asr::{AsrEngine, AsrProfile};
+use speakql_core::{SpeakQl, SpeakQlConfig};
+use speakql_data::{employees_db, generate_cases, training_vocabulary};
+use speakql_editdist::Weights;
+use speakql_grammar::{process_transcript_text, GeneratorConfig, StructTokId};
+use speakql_index::{SearchConfig, StructureIndex};
+use std::hint::black_box;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Fixture {
+    index: StructureIndex,
+    masked: Vec<Vec<StructTokId>>,
+    transcripts: Vec<String>,
+}
+
+fn fixture() -> Fixture {
+    // A mid-size structure space: large enough that the trie walk dominates
+    // and parallel speedup is visible, small enough to build quickly.
+    let gen_cfg = GeneratorConfig {
+        max_structures: Some(50_000),
+        ..GeneratorConfig::paper()
+    };
+    let db = employees_db();
+    let index = StructureIndex::from_grammar(&gen_cfg, Weights::PAPER);
+    let cases = generate_cases(&db, &GeneratorConfig::small(), 24, 0xBE9C);
+    let asr = AsrEngine::new(AsrProfile::acs_trained(), training_vocabulary(&db, &cases));
+    let transcripts: Vec<String> = cases
+        .iter()
+        .map(|c| {
+            let mut rng = ChaCha8Rng::seed_from_u64(c.id as u64);
+            asr.transcribe_sql(&c.sql, &mut rng)
+        })
+        .collect();
+    let masked = transcripts
+        .iter()
+        .map(|t| process_transcript_text(t).masked)
+        .collect();
+    Fixture {
+        index,
+        masked,
+        transcripts,
+    }
+}
+
+fn bench_parallel_search(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("parallel_search");
+    for threads in THREAD_COUNTS {
+        let cfg = SearchConfig::top_k(5).with_threads(threads);
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| {
+                for m in &f.masked {
+                    black_box(f.index.search(black_box(m), &cfg));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_transcribe_batch(c: &mut Criterion) {
+    let f = fixture();
+    let db = employees_db();
+    let batch: Vec<&str> = f.transcripts.iter().map(String::as_str).collect();
+    let mut group = c.benchmark_group("transcribe_batch");
+    for threads in THREAD_COUNTS {
+        let engine = SpeakQl::with_index(
+            &db,
+            std::sync::Arc::new(f.index.clone()),
+            SpeakQlConfig {
+                generator: GeneratorConfig::small(),
+                ..SpeakQlConfig::paper()
+            }
+            .with_threads(threads),
+        );
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| black_box(engine.transcribe_batch(black_box(&batch))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel_search, bench_transcribe_batch,
+}
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! Usage: `experiments [all | table1 | table2 | table4 | table5 | fig6 |
 //! fig7 | fig8 | fig11 | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 |
-//! fig18] ...`
+//! fig18 | thread_scaling] ...`
 //!
 //! Scale via `SPEAKQL_SCALE=small|medium|paper` (default medium). Results
 //! are printed and also written as JSON under `results/`.
@@ -12,10 +12,28 @@ use speakql_bench::experiments::{
 };
 use speakql_bench::{Context, Scale, Suite};
 
-const ALL: [&str; 20] = [
-    "table1", "table2", "table4", "table5", "fig6", "fig7", "fig8", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "fig17", "fig18", "ablation_weights", "ablation_phonetics",
-    "baseline_parsing", "channel_calibration", "scaling",
+const ALL: [&str; 21] = [
+    "table1",
+    "table2",
+    "table4",
+    "table5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "ablation_weights",
+    "ablation_phonetics",
+    "baseline_parsing",
+    "channel_calibration",
+    "scaling",
+    "thread_scaling",
 ];
 
 fn main() {
@@ -61,6 +79,7 @@ fn main() {
             "baseline_parsing" => extensions::baseline_parsing(&suite),
             "channel_calibration" => extensions::channel_calibration(&suite),
             "scaling" => extensions::scaling(&suite),
+            "thread_scaling" => extensions::thread_scaling(&suite),
             _ => unreachable!("filtered above"),
         }
         eprintln!("[{t}] done in {:.1}s\n", start.elapsed().as_secs_f64());

@@ -30,6 +30,9 @@ fn main() {
     let struct_correct = runs.iter().filter(|r| r.structure_ted == 0).count();
     println!("mean latency: {mean_lat:.3}s; correct structures: {struct_correct}/{n}");
     for r in runs.iter().take(6) {
-        println!("---\nGT:  {}\nASR: {}\nSQL: {}", r.ground_truth, r.transcript, r.top1_sql);
+        println!(
+            "---\nGT:  {}\nASR: {}\nSQL: {}",
+            r.ground_truth, r.transcript, r.top1_sql
+        );
     }
 }

@@ -73,7 +73,10 @@ impl Context {
             generator: gen_cfg,
             ..SpeakQlConfig::paper()
         };
-        let index = Arc::new(StructureIndex::from_grammar(&config.generator, config.weights));
+        let index = Arc::new(StructureIndex::from_grammar(
+            &config.generator,
+            config.weights,
+        ));
         eprintln!(
             "[context] index: {} structures, {} trie nodes",
             index.len(),
@@ -84,7 +87,15 @@ impl Context {
         let yelp_engine = SpeakQl::with_index(&dataset.yelp, Arc::clone(&index), config);
         let asr_trained = AsrEngine::new(AsrProfile::acs_trained(), dataset.vocabulary.clone());
         let asr_gcs = AsrEngine::new(AsrProfile::gcs(), Vocabulary::empty());
-        Context { scale, dataset, index, employees_engine, yelp_engine, asr_trained, asr_gcs }
+        Context {
+            scale,
+            dataset,
+            index,
+            employees_engine,
+            yelp_engine,
+            asr_trained,
+            asr_gcs,
+        }
     }
 
     /// Deterministic per-case RNG seed.

@@ -25,8 +25,22 @@ pub fn ablation_weights(suite: &Suite) {
     let variants: [(&str, Weights); 4] = [
         ("paper (K>S>L)", Weights::PAPER),
         ("uniform", Weights::UNIFORM),
-        ("inverted (L>S>K)", Weights { keyword: 10, splchar: 11, literal: 12 }),
-        ("strong (K≫L)", Weights { keyword: 20, splchar: 15, literal: 10 }),
+        (
+            "inverted (L>S>K)",
+            Weights {
+                keyword: 10,
+                splchar: 11,
+                literal: 12,
+            },
+        ),
+        (
+            "strong (K≫L)",
+            Weights {
+                keyword: 20,
+                splchar: 15,
+                literal: 10,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     let mut payload = serde_json::Map::new();
@@ -40,7 +54,12 @@ pub fn ablation_weights(suite: &Suite) {
             let hits = index.search(&p.masked, &cfg);
             let ted = hits
                 .first()
-                .map(|h| token_edit_distance(&r.gt_structure.tokens, &index.structure(h.structure).tokens))
+                .map(|h| {
+                    token_edit_distance(
+                        &r.gt_structure.tokens,
+                        &index.structure(h.structure).tokens,
+                    )
+                })
                 .unwrap_or(r.gt_structure.len());
             if ted == 0 {
                 exact += 1;
@@ -54,9 +73,15 @@ pub fn ablation_weights(suite: &Suite) {
             format!("{exact_pct:.1}%"),
             format!("{mean_ted:.2}"),
         ]);
-        payload.insert(name.to_string(), json!({"exact_pct": exact_pct, "mean_ted": mean_ted}));
+        payload.insert(
+            name.to_string(),
+            json!({"exact_pct": exact_pct, "mean_ted": mean_ted}),
+        );
     }
-    print_table(&["weighting", "exact structures", "mean structure TED"], &rows);
+    print_table(
+        &["weighting", "exact structures", "mean structure TED"],
+        &rows,
+    );
     println!("(the paper's ordering should lead; inverted ordering should trail)");
     save_json("ablation_weights", &serde_json::Value::Object(payload));
 }
@@ -164,12 +189,7 @@ pub fn ablation_phonetics(suite: &Suite) {
         let mut total = 0usize;
         for r in runs {
             let p = process_transcript_text(&r.transcript);
-            let filled = finder.fill_aligned(
-                &p.words,
-                &p.masked,
-                &r.gt_structure,
-                Weights::PAPER,
-            );
+            let filled = finder.fill_aligned(&p.words, &p.masked, &r.gt_structure, Weights::PAPER);
             for (f, gt) in filled.iter().zip(&r.gt_literals) {
                 total += 1;
                 if f.literal.eq_ignore_ascii_case(gt) {
@@ -207,12 +227,21 @@ pub fn channel_calibration(suite: &Suite) {
     let rows = vec![
         vec![
             "splchar emitted as symbol".to_string(),
-            format!("{:.3}", trace.rate(ChannelEvent::SplCharAsSymbol, ChannelEvent::SplCharAsWords)),
+            format!(
+                "{:.3}",
+                trace.rate(ChannelEvent::SplCharAsSymbol, ChannelEvent::SplCharAsWords)
+            ),
             format!("{:.3}", p.splchar_symbol_rate),
         ],
         vec![
             "known literal recombined".to_string(),
-            format!("{:.3}", trace.rate(ChannelEvent::LiteralRecombined, ChannelEvent::LiteralWordCorrupted)),
+            format!(
+                "{:.3}",
+                trace.rate(
+                    ChannelEvent::LiteralRecombined,
+                    ChannelEvent::LiteralWordCorrupted
+                )
+            ),
             "(vs corrupted words; configured per-word)".to_string(),
         ],
         vec![
@@ -227,19 +256,40 @@ pub fn channel_calibration(suite: &Suite) {
         ],
         vec![
             "date recombined correctly".to_string(),
-            format!("{:.3}", trace.rate(ChannelEvent::DateCorrect, ChannelEvent::DateFragmented)),
+            format!(
+                "{:.3}",
+                trace.rate(ChannelEvent::DateCorrect, ChannelEvent::DateFragmented)
+            ),
             format!("{:.3}", p.date_correct),
         ],
     ];
     print_table(&["channel behaviour", "realized", "configured"], &rows);
     let counts: Vec<(&str, u64)> = vec![
-        ("keyword corruptions", trace.count(ChannelEvent::KeywordCorrupted)),
-        ("splchars as words", trace.count(ChannelEvent::SplCharAsWords)),
-        ("literal recombinations", trace.count(ChannelEvent::LiteralRecombined)),
-        ("literal word corruptions", trace.count(ChannelEvent::LiteralWordCorrupted)),
+        (
+            "keyword corruptions",
+            trace.count(ChannelEvent::KeywordCorrupted),
+        ),
+        (
+            "splchars as words",
+            trace.count(ChannelEvent::SplCharAsWords),
+        ),
+        (
+            "literal recombinations",
+            trace.count(ChannelEvent::LiteralRecombined),
+        ),
+        (
+            "literal word corruptions",
+            trace.count(ChannelEvent::LiteralWordCorrupted),
+        ),
         ("number splits", trace.count(ChannelEvent::NumberSplit)),
-        ("number digit errors", trace.count(ChannelEvent::NumberDigitError)),
-        ("date fragmentations", trace.count(ChannelEvent::DateFragmented)),
+        (
+            "number digit errors",
+            trace.count(ChannelEvent::NumberDigitError),
+        ),
+        (
+            "date fragmentations",
+            trace.count(ChannelEvent::DateFragmented),
+        ),
         ("word drops", trace.count(ChannelEvent::WordDropped)),
     ];
     println!("realized error mix over the test split (Table 1 taxonomy):");
@@ -248,7 +298,10 @@ pub fn channel_calibration(suite: &Suite) {
     }
     save_json(
         "channel_calibration",
-        &json!(counts.iter().map(|(l, c)| json!({"event": l, "count": c})).collect::<Vec<_>>()),
+        &json!(counts
+            .iter()
+            .map(|(l, c)| json!({"event": l, "count": c}))
+            .collect::<Vec<_>>()),
     );
 }
 
@@ -278,7 +331,12 @@ pub fn scaling(suite: &Suite) {
             lats.push(start.elapsed().as_secs_f64());
             let ted = hits
                 .first()
-                .map(|h| token_edit_distance(&r.gt_structure.tokens, &index.structure(h.structure).tokens))
+                .map(|h| {
+                    token_edit_distance(
+                        &r.gt_structure.tokens,
+                        &index.structure(h.structure).tokens,
+                    )
+                })
                 .unwrap_or(usize::MAX);
             if ted == 0 {
                 exact += 1;
@@ -305,9 +363,93 @@ pub fn scaling(suite: &Suite) {
         );
     }
     print_table(
-        &["structures", "trie nodes", "exact structures", "median latency", "p99 latency"],
+        &[
+            "structures",
+            "trie nodes",
+            "exact structures",
+            "median latency",
+            "p99 latency",
+        ],
         &rows,
     );
     println!("(accuracy climbs with coverage; latency grows sub-linearly thanks to BDB + pruning)");
     save_json("scaling", &serde_json::Value::Object(payload));
+}
+
+/// Thread-scaling study: parallel structure search and batch transcription
+/// throughput as the worker count grows, against the single-thread baseline.
+/// Parallel search is exact (same results at every thread count), so this is
+/// a pure latency/throughput axis.
+pub fn thread_scaling(suite: &Suite) {
+    println!("== Extension: thread-scaling study ==");
+    let runs = suite.employees_test();
+    let index = suite.ctx.index.as_ref();
+    let threads: &[usize] = &[1, 2, 4, 8];
+
+    let masked: Vec<_> = runs
+        .iter()
+        .map(|r| process_transcript_text(&r.transcript).masked)
+        .collect();
+    let transcripts: Vec<&str> = runs.iter().map(|r| r.transcript.as_str()).collect();
+
+    let mut rows = Vec::new();
+    let mut payload = serde_json::Map::new();
+    let mut search_base = 0.0f64;
+    let mut batch_base = 0.0f64;
+    for &n in threads {
+        let cfg = SearchConfig::top_k(5).with_threads(n);
+        let start = Instant::now();
+        for m in &masked {
+            std::hint::black_box(index.search(m, &cfg));
+        }
+        let search_s = start.elapsed().as_secs_f64();
+
+        let engine = speakql_core::SpeakQl::with_index(
+            &suite.ctx.dataset.employees,
+            std::sync::Arc::clone(&suite.ctx.index),
+            speakql_core::SpeakQlConfig {
+                generator: suite.ctx.scale.generator(),
+                ..speakql_core::SpeakQlConfig::paper()
+            }
+            .with_threads(n),
+        );
+        let start = Instant::now();
+        std::hint::black_box(engine.transcribe_batch(&transcripts));
+        let batch_s = start.elapsed().as_secs_f64();
+
+        if n == 1 {
+            search_base = search_s;
+            batch_base = batch_s;
+        }
+        let search_x = search_base / search_s;
+        let batch_x = batch_base / batch_s;
+        rows.push(vec![
+            format!("{n}"),
+            format!("{search_s:.3}s"),
+            format!("{search_x:.2}x"),
+            format!("{batch_s:.3}s"),
+            format!("{batch_x:.2}x"),
+        ]);
+        payload.insert(
+            n.to_string(),
+            json!({
+                "search_s": search_s,
+                "search_speedup": search_x,
+                "batch_s": batch_s,
+                "batch_speedup": batch_x,
+            }),
+        );
+    }
+    print_table(
+        &[
+            "threads",
+            "search total",
+            "search speedup",
+            "batch total",
+            "batch speedup",
+        ],
+        &rows,
+    );
+    println!("(batch transcription is embarrassingly parallel; search speedup is bounded by the largest per-length trie)");
+    save_json("thread_scaling", &serde_json::Value::Object(payload));
 }

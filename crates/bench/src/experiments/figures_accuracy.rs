@@ -4,8 +4,7 @@
 //! (char vs phonetic edit distance), Fig. 18 (nested queries).
 
 use super::util::{
-    literal_recall_by_category, norm_literal, transcript_fragments, value_edit_distances,
-    ValueKind,
+    literal_recall_by_category, norm_literal, transcript_fragments, value_edit_distances, ValueKind,
 };
 use crate::report::{print_cdf, save_json};
 use crate::suite::Suite;
@@ -74,7 +73,11 @@ pub fn fig8(suite: &Suite) {
             }
         }
     }
-    let labels = ["table-name recall", "attribute-name recall", "attribute-value recall"];
+    let labels = [
+        "table-name recall",
+        "attribute-name recall",
+        "attribute-value recall",
+    ];
     let mut payload = serde_json::Map::new();
     payload.insert("structure_ted".into(), cdf_json(&s_ted));
     for (b, label) in labels.iter().enumerate() {
@@ -97,7 +100,10 @@ pub fn fig11(suite: &Suite) {
         let sq = Cdf::new(runs.iter().map(|r| r.top1_report.get(m).unwrap()).collect());
         print_cdf(&format!("{m} (ASR)"), &asr, 5);
         print_cdf(&format!("{m} (SpeakQL)"), &sq, 5);
-        payload.insert(m.to_string(), json!({"asr": cdf_json(&asr), "speakql": cdf_json(&sq)}));
+        payload.insert(
+            m.to_string(),
+            json!({"asr": cdf_json(&asr), "speakql": cdf_json(&sq)}),
+        );
     }
     save_json("fig11", &serde_json::Value::Object(payload));
 }
@@ -122,8 +128,15 @@ pub fn fig13(suite: &Suite) {
         let wrr = Cdf::new(wrr);
         print_cdf(&format!("WPR ({name})"), &wpr, 5);
         print_cdf(&format!("WRR ({name})"), &wrr, 5);
-        println!("  {name}: mean WPR {:.2}, mean WRR {:.2}", wpr.mean(), wrr.mean());
-        payload.insert(name.to_string(), json!({"wpr": cdf_json(&wpr), "wrr": cdf_json(&wrr)}));
+        println!(
+            "  {name}: mean WPR {:.2}, mean WRR {:.2}",
+            wpr.mean(),
+            wrr.mean()
+        );
+        payload.insert(
+            name.to_string(),
+            json!({"wpr": cdf_json(&wpr), "wrr": cdf_json(&wrr)}),
+        );
     }
     println!("(paper: ACS mean WPR 0.67 vs GCS 0.62; ACS mean WRR 0.73 vs GCS 0.65)");
     save_json("fig13", &serde_json::Value::Object(payload));
@@ -247,7 +260,8 @@ pub fn fig18(suite: &Suite) {
         let t = engine.transcribe(&transcript);
         let best = t.best_sql().unwrap_or_default();
         // Structure TED over the masked token sequences of the SQL texts.
-        let gt_mask = speakql_grammar::Structure::mask_of(&speakql_grammar::tokenize_sql(&case.sql));
+        let gt_mask =
+            speakql_grammar::Structure::mask_of(&speakql_grammar::tokenize_sql(&case.sql));
         let pred_mask = speakql_grammar::Structure::mask_of(&speakql_grammar::tokenize_sql(best));
         s_ted.push(speakql_editdist::token_edit_distance(&gt_mask, &pred_mask) as f64);
         // Literal recall by category via literal-token multisets.
@@ -274,8 +288,11 @@ pub fn fig18(suite: &Suite) {
             .collect();
         #[allow(clippy::needless_range_loop)]
         for b in 0..3 {
-            let of_cat: Vec<&String> =
-                gt_lits.iter().filter(|(c, _)| *c == b).map(|(_, l)| l).collect();
+            let of_cat: Vec<&String> = gt_lits
+                .iter()
+                .filter(|(c, _)| *c == b)
+                .map(|(_, l)| l)
+                .collect();
             if of_cat.is_empty() {
                 continue;
             }

@@ -15,7 +15,10 @@ pub fn fig14(suite: &Suite) {
     println!("== Fig. 14: structure-determination latency CDF ==");
     let runs = suite.employees_test();
     let index = suite.ctx.index.as_ref();
-    let cfg = SearchConfig { k: 5, ..SearchConfig::default() };
+    let cfg = SearchConfig {
+        k: 5,
+        ..SearchConfig::default()
+    };
     let mut lat = Vec::with_capacity(runs.len());
     for r in runs {
         let p = process_transcript_text(&r.transcript);
@@ -31,10 +34,13 @@ pub fn fig14(suite: &Suite) {
         cdf.median(),
         cdf.percentile(0.99)
     );
-    save_json("fig14", &json!({"latency_s": {
-        "median": cdf.median(), "p90": cdf.percentile(0.9), "p99": cdf.percentile(0.99),
-        "series": cdf.series(20),
-    }}));
+    save_json(
+        "fig14",
+        &json!({"latency_s": {
+            "median": cdf.median(), "p90": cdf.percentile(0.9), "p99": cdf.percentile(0.99),
+            "series": cdf.series(20),
+        }}),
+    );
 }
 
 /// Fig. 15: ablation study of the search optimizations. (A) accuracy
@@ -45,11 +51,56 @@ pub fn fig15(suite: &Suite) {
     let runs = suite.employees_test();
     let index = suite.ctx.index.as_ref();
     let configs: [(&str, SearchConfig); 5] = [
-        ("Default (BDB)", SearchConfig { k: 1, bdb: true, dap: false, inv: false }),
-        ("Default - BDB", SearchConfig { k: 1, bdb: false, dap: false, inv: false }),
-        ("Default + DAP", SearchConfig { k: 1, bdb: true, dap: true, inv: false }),
-        ("Default + INV", SearchConfig { k: 1, bdb: true, dap: false, inv: true }),
-        ("Default + DAP + INV", SearchConfig { k: 1, bdb: true, dap: true, inv: true }),
+        (
+            "Default (BDB)",
+            SearchConfig {
+                k: 1,
+                bdb: true,
+                dap: false,
+                inv: false,
+                threads: 1,
+            },
+        ),
+        (
+            "Default - BDB",
+            SearchConfig {
+                k: 1,
+                bdb: false,
+                dap: false,
+                inv: false,
+                threads: 1,
+            },
+        ),
+        (
+            "Default + DAP",
+            SearchConfig {
+                k: 1,
+                bdb: true,
+                dap: true,
+                inv: false,
+                threads: 1,
+            },
+        ),
+        (
+            "Default + INV",
+            SearchConfig {
+                k: 1,
+                bdb: true,
+                dap: false,
+                inv: true,
+                threads: 1,
+            },
+        ),
+        (
+            "Default + DAP + INV",
+            SearchConfig {
+                k: 1,
+                bdb: true,
+                dap: true,
+                inv: true,
+                threads: 1,
+            },
+        ),
     ];
     let mut payload = serde_json::Map::new();
     let mut default_exact = None;
@@ -65,7 +116,12 @@ pub fn fig15(suite: &Suite) {
             nodes += stats.nodes_visited + stats.structures_scanned;
             let ted = hits
                 .first()
-                .map(|h| token_edit_distance(&r.gt_structure.tokens, &index.structure(h.structure).tokens))
+                .map(|h| {
+                    token_edit_distance(
+                        &r.gt_structure.tokens,
+                        &index.structure(h.structure).tokens,
+                    )
+                })
                 .unwrap_or(r.gt_structure.len());
             teds.push(ted as f64);
         }
@@ -81,15 +137,18 @@ pub fn fig15(suite: &Suite) {
             lat_cdf.median(),
             nodes as f64 / runs.len() as f64
         );
-        payload.insert(name.to_string(), json!({
-            "exact_structure_fraction": exact,
-            "ted_median": ted_cdf.median(),
-            "latency_median_s": lat_cdf.median(),
-            "latency_p90_s": lat_cdf.percentile(0.9),
-            "mean_nodes": nodes as f64 / runs.len() as f64,
-            "ted_series": ted_cdf.series(12),
-            "latency_series": lat_cdf.series(12),
-        }));
+        payload.insert(
+            name.to_string(),
+            json!({
+                "exact_structure_fraction": exact,
+                "ted_median": ted_cdf.median(),
+                "latency_median_s": lat_cdf.median(),
+                "latency_p90_s": lat_cdf.percentile(0.9),
+                "mean_nodes": nodes as f64 / runs.len() as f64,
+                "ted_series": ted_cdf.series(12),
+                "latency_series": lat_cdf.series(12),
+            }),
+        );
     }
     if let Some(e) = default_exact {
         println!(

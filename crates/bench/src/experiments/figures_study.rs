@@ -38,7 +38,15 @@ pub fn fig7(suite: &Suite) {
         })
         .collect();
     print_table(
-        &["query", "SpeakQL s", "typing s", "speedup", "SpeakQL effort", "typing effort", "reduction"],
+        &[
+            "query",
+            "SpeakQL s",
+            "typing s",
+            "speedup",
+            "SpeakQL effort",
+            "typing effort",
+            "reduction",
+        ],
         &rows,
     );
 
@@ -48,7 +56,10 @@ pub fn fig7(suite: &Suite) {
     let simple_reduction = mean(summaries[..6].iter().map(|s| s.effort_reduction).collect());
     let complex_reduction = mean(summaries[6..].iter().map(|s| s.effort_reduction).collect());
     let max_speedup = summaries.iter().map(|s| s.speedup).fold(0.0f64, f64::max);
-    let max_reduction = summaries.iter().map(|s| s.effort_reduction).fold(0.0f64, f64::max);
+    let max_reduction = summaries
+        .iter()
+        .map(|s| s.effort_reduction)
+        .fold(0.0f64, f64::max);
     println!(
         "speedup: simple avg {simple_speedup:.1}x, complex avg {complex_speedup:.1}x, overall avg {:.1}x, max {max_speedup:.1}x (paper: 2.4x / 2.9x / 2.7x / 6.7x)",
         mean(summaries.iter().map(|s| s.speedup).collect()),
@@ -125,10 +136,13 @@ pub fn fig12(suite: &Suite) {
     println!("(paper: simple queries mostly speaking; complex queries dominated by keyboard corrections)");
     save_json(
         "fig12",
-        &json!(summaries.iter().map(|s| json!({
-            "query": s.query,
-            "speaking_fraction": s.speaking_fraction,
-            "keyboard_fraction": s.keyboard_fraction,
-        })).collect::<Vec<_>>()),
+        &json!(summaries
+            .iter()
+            .map(|s| json!({
+                "query": s.query,
+                "speaking_fraction": s.speaking_fraction,
+                "keyboard_fraction": s.keyboard_fraction,
+            }))
+            .collect::<Vec<_>>()),
     );
 }

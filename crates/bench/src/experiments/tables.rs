@@ -32,11 +32,20 @@ pub fn table1(_suite: &Suite) {
     );
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let rows: Vec<Vec<String>> = [
-        ("Keyword → Literal homophone", "SELECT SUM ( salary ) FROM t"),
+        (
+            "Keyword → Literal homophone",
+            "SELECT SUM ( salary ) FROM t",
+        ),
         ("Literal splits into Keyword", "SELECT FromDate FROM t"),
-        ("Unbounded vocabulary", "SELECT x FROM t WHERE id = CUSTID_1729A"),
+        (
+            "Unbounded vocabulary",
+            "SELECT x FROM t WHERE id = CUSTID_1729A",
+        ),
         ("Number splitting", "SELECT x FROM t WHERE n = 45412"),
-        ("Date transcription", "SELECT x FROM t WHERE d = '1991-05-07'"),
+        (
+            "Date transcription",
+            "SELECT x FROM t WHERE d = '1991-05-07'",
+        ),
     ]
     .iter()
     .map(|(label, sql)| {
@@ -44,7 +53,10 @@ pub fn table1(_suite: &Suite) {
         vec![label.to_string(), sql.to_string(), out]
     })
     .collect();
-    print_table(&["error class", "ground truth", "simulated transcription"], &rows);
+    print_table(
+        &["error class", "ground truth", "simulated transcription"],
+        &rows,
+    );
     save_json(
         "table1",
         &json!(rows
@@ -60,6 +72,14 @@ fn report_row(label: &str, r: &AccuracyReport) -> Vec<String> {
         row.push(format!("{:.2}", r.get(m).unwrap()));
     }
     row
+}
+
+fn report_json(r: &AccuracyReport) -> serde_json::Value {
+    let mut map = serde_json::Map::new();
+    for m in METRIC_NAMES {
+        map.insert(m.to_string(), json!(r.get(m).unwrap()));
+    }
+    serde_json::Value::Object(map)
 }
 
 /// Table 2: end-to-end mean accuracy, top-1 and best-of-top-5, on the
@@ -84,14 +104,22 @@ pub fn table2(suite: &Suite) {
         rows.push(report_row(&format!("{name} top-5"), &top5));
         payload.insert(
             name.to_string(),
-            json!({"asr": asr, "top1": top1, "top5": top5, "n": runs.len()}),
+            json!({
+                "asr": report_json(&asr),
+                "top1": report_json(&top1),
+                "top5": report_json(&top5),
+                "n": runs.len()
+            }),
         );
     }
     print_table(&header, &rows);
     let etest = suite.employees_test();
     let lift = mean_report(&etest.iter().map(|r| r.top1_report).collect::<Vec<_>>()).wrr
         - mean_report(&etest.iter().map(|r| r.asr_report).collect::<Vec<_>>()).wrr;
-    println!("WRR lift over raw ASR on Employees test: +{:.1} pts (paper: ~21 pts avg)", lift * 100.0);
+    println!(
+        "WRR lift over raw ASR on Employees test: +{:.1} pts (paper: ~21 pts avg)",
+        lift * 100.0
+    );
     let wrr_samples: Vec<f64> = etest.iter().map(|r| r.top1_report.wrr).collect();
     let (lo, hi) = speakql_metrics::bootstrap_mean_ci(&wrr_samples, 1_000, 0.05, 0xC1);
     println!("Employees-test top-1 WRR 95% bootstrap CI: [{lo:.3}, {hi:.3}]");
@@ -118,7 +146,7 @@ pub fn table4(suite: &Suite) {
         }
         let mean = mean_report(&reports);
         rows.push(report_row(name, &mean));
-        payload.insert(name.to_string(), json!(mean));
+        payload.insert(name.to_string(), report_json(&mean));
     }
     print_table(&header, &rows);
     println!("(paper: GCS splchars benefit from hints; ACS wins on keywords and literals)");
@@ -145,7 +173,10 @@ pub fn table5(suite: &Suite) {
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut payload = serde_json::Map::new();
 
-    for (system, sys_name) in [(nli::System::NaLir, "NaLIR"), (nli::System::Sota, "SOTA (slot-filling)")] {
+    for (system, sys_name) in [
+        (nli::System::NaLir, "NaLIR"),
+        (nli::System::Sota, "SOTA (slot-filling)"),
+    ] {
         for spoken in [false, true] {
             let modality = if spoken { "Speech" } else { "Typed" };
             // WikiSQL-style: component accuracy + execution accuracy.
@@ -153,7 +184,14 @@ pub fn table5(suite: &Suite) {
             let mut exec_hits = 0usize;
             for p in &wiki {
                 let pred = if spoken {
-                    nli::predict_spoken(system, nli::Workload::WikiSql, db, &nl_asr, &p.nl, 0xAA00 + p.id as u64)
+                    nli::predict_spoken(
+                        system,
+                        nli::Workload::WikiSql,
+                        db,
+                        &nl_asr,
+                        &p.nl,
+                        0xAA00 + p.id as u64,
+                    )
                 } else {
                     nli::predict_typed(system, nli::Workload::WikiSql, db, &p.nl)
                 };
@@ -170,7 +208,14 @@ pub fn table5(suite: &Suite) {
             let mut spider_hits = 0usize;
             for p in &spider {
                 let pred = if spoken {
-                    nli::predict_spoken(system, nli::Workload::Spider, db, &nl_asr, &p.nl, 0xBB00 + p.id as u64)
+                    nli::predict_spoken(
+                        system,
+                        nli::Workload::Spider,
+                        db,
+                        &nl_asr,
+                        &p.nl,
+                        0xBB00 + p.id as u64,
+                    )
                 } else {
                     nli::predict_typed(system, nli::Workload::Spider, db, &p.nl)
                 };
@@ -233,7 +278,13 @@ pub fn table5(suite: &Suite) {
     );
 
     print_table(
-        &["system", "input", "WikiSQL comp%", "WikiSQL exec%", "Spider comp%"],
+        &[
+            "system",
+            "input",
+            "WikiSQL comp%",
+            "WikiSQL exec%",
+            "Spider comp%",
+        ],
         &rows,
     );
     println!("(paper shape: NLIs drop sharply under speech; SpeakQL-speech beats SOTA-speech)");

@@ -65,7 +65,10 @@ pub enum ValueKind {
 }
 
 pub fn value_kind(bare: &str) -> ValueKind {
-    if bare.len() >= 8 && bare.matches('-').count() == 2 && bare.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+    if bare.len() >= 8
+        && bare.matches('-').count() == 2
+        && bare.chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
         ValueKind::Date
     } else if bare.chars().all(|c| c.is_ascii_digit() || c == '.') && !bare.is_empty() {
         ValueKind::Number

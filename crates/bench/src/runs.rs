@@ -62,9 +62,7 @@ pub fn run_case(asr: &AsrEngine, engine: &SpeakQl, split: &str, case: &QueryCase
     }
 
     let structure_ted = top1
-        .map(|c| {
-            speakql_editdist::token_edit_distance(&case.structure.tokens, &c.structure.tokens)
-        })
+        .map(|c| speakql_editdist::token_edit_distance(&case.structure.tokens, &c.structure.tokens))
         .unwrap_or(case.structure.len());
 
     CaseRun {
@@ -91,10 +89,20 @@ pub fn run_case(asr: &AsrEngine, engine: &SpeakQl, split: &str, case: &QueryCase
 
 /// Run a whole split, in parallel across cases. Per-case seeding keeps the
 /// result identical to a sequential run.
-pub fn run_split(asr: &AsrEngine, engine: &SpeakQl, split: &str, cases: &[QueryCase]) -> Vec<CaseRun> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+pub fn run_split(
+    asr: &AsrEngine,
+    engine: &SpeakQl,
+    split: &str,
+    cases: &[QueryCase],
+) -> Vec<CaseRun> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if threads <= 1 || cases.len() < 8 {
-        return cases.iter().map(|c| run_case(asr, engine, split, c)).collect();
+        return cases
+            .iter()
+            .map(|c| run_case(asr, engine, split, c))
+            .collect();
     }
     let mut out: Vec<Option<CaseRun>> = vec![None; cases.len()];
     let chunk = cases.len().div_ceil(threads);

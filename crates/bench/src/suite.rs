@@ -25,7 +25,10 @@ impl Suite {
 
     pub fn train(&self) -> &[CaseRun] {
         self.train.get_or_init(|| {
-            eprintln!("[suite] running train split ({} cases)", self.ctx.dataset.train.len());
+            eprintln!(
+                "[suite] running train split ({} cases)",
+                self.ctx.dataset.train.len()
+            );
             run_split(
                 &self.ctx.asr_trained,
                 &self.ctx.employees_engine,

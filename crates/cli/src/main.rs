@@ -23,7 +23,12 @@ const USAGE: &str = "\
 speakql — speech-driven SQL correction (SpeakQL-rs)
 
 USAGE:
-  speakql transcribe <transcript...>        correct an ASR transcript and execute it
+  speakql transcribe <transcript...> [--threads N]
+                                            correct an ASR transcript and execute it
+  speakql transcribe --batch <file> [--threads N]
+                                            correct one transcript per line of <file>
+                                            on N worker threads (0 = all cores);
+                                            emits TSV of (transcript, corrected SQL)
   speakql speak <sql...> [--seed N]         verbalize SQL, simulate noisy ASR, correct it
   speakql dataset <n> [--seed N] [--transcripts]
                                             print n generated spoken-SQL cases;
@@ -87,9 +92,20 @@ fn take_flag(args: &[String], flag: &str) -> (Vec<String>, Option<String>) {
 }
 
 fn engine() -> SpeakQl {
+    engine_with_threads(1)
+}
+
+fn engine_with_threads(threads: usize) -> SpeakQl {
     let db = employees_db();
     eprintln!("[speakql] building engine ...");
-    SpeakQl::new(&db, SpeakQlConfig { generator: scale_config(), ..SpeakQlConfig::paper() })
+    SpeakQl::new(
+        &db,
+        SpeakQlConfig {
+            generator: scale_config(),
+            ..SpeakQlConfig::paper()
+        }
+        .with_threads(threads),
+    )
 }
 
 fn show_result(result: &speakql_core::Transcription) -> ExitCode {
@@ -120,15 +136,56 @@ fn show_result(result: &speakql_core::Transcription) -> ExitCode {
 }
 
 fn cmd_transcribe(args: &[String]) -> ExitCode {
-    if args.is_empty() {
-        eprintln!("usage: speakql transcribe <transcript...>");
+    let (rest, threads) = take_flag(args, "--threads");
+    let (rest, batch) = take_flag(&rest, "--batch");
+    let threads: usize = threads.and_then(|s| s.parse().ok()).unwrap_or(1);
+    if let Some(path) = batch {
+        return cmd_transcribe_batch(&path, threads);
+    }
+    if rest.is_empty() {
+        eprintln!("usage: speakql transcribe <transcript...> [--threads N] [--batch <file>]");
         return ExitCode::from(2);
     }
-    let transcript = args.join(" ");
-    let engine = engine();
+    let transcript = rest.join(" ");
+    let engine = engine_with_threads(threads);
     let result = engine.transcribe(&transcript);
     println!("heard     : {transcript}");
     show_result(&result)
+}
+
+/// Batch mode: one transcript per line, corrected on the engine's worker
+/// pool, output order matching input order.
+fn cmd_transcribe_batch(path: &str, threads: usize) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lines: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    if lines.is_empty() {
+        eprintln!("no transcripts in {path}");
+        return ExitCode::FAILURE;
+    }
+    let engine = engine_with_threads(threads);
+    let start = std::time::Instant::now();
+    let results = engine.transcribe_batch(&lines);
+    let elapsed = start.elapsed();
+    for (transcript, result) in lines.iter().zip(&results) {
+        println!("{}\t{}", transcript, result.best_sql().unwrap_or(""));
+    }
+    eprintln!(
+        "[speakql] {} transcript(s) in {:.3}s on {} thread(s)",
+        lines.len(),
+        elapsed.as_secs_f64(),
+        engine.config().effective_threads()
+    );
+    ExitCode::SUCCESS
 }
 
 fn cmd_speak(args: &[String]) -> ExitCode {
@@ -194,9 +251,12 @@ fn cmd_index_build(args: &[String]) -> ExitCode {
         _ => GeneratorConfig::small(),
     };
     eprintln!("[speakql] generating structures ...");
-    let index =
-        speakql_index::StructureIndex::from_grammar(&cfg, speakql_editdist::Weights::PAPER);
-    eprintln!("[speakql] {} structures, {} trie nodes", index.len(), index.total_nodes());
+    let index = speakql_index::StructureIndex::from_grammar(&cfg, speakql_editdist::Weights::PAPER);
+    eprintln!(
+        "[speakql] {} structures, {} trie nodes",
+        index.len(),
+        index.total_nodes()
+    );
     match speakql_index::save_to_path(&index, path) {
         Ok(()) => {
             println!("wrote {path}");
@@ -249,7 +309,12 @@ fn cmd_schema() -> ExitCode {
             .iter()
             .map(|c| format!("{} {:?}", c.name, c.ty))
             .collect();
-        println!("{} ({})  [{} rows]", t.schema.name, cols.join(", "), t.rows.len());
+        println!(
+            "{} ({})  [{} rows]",
+            t.schema.name,
+            cols.join(", "),
+            t.rows.len()
+        );
     }
     ExitCode::SUCCESS
 }

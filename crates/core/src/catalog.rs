@@ -37,10 +37,19 @@ impl PhoneticCatalog {
                 .iter()
                 .map(|v| v.render_sql())
                 .collect();
-            values_by_attr.insert(attr.to_lowercase(), PhoneticIndex::build_with(rendered, algorithm));
+            values_by_attr.insert(
+                attr.to_lowercase(),
+                PhoneticIndex::build_with(rendered, algorithm),
+            );
         }
         let all_values = PhoneticIndex::merged(values_by_attr.values());
-        PhoneticCatalog { tables, attributes, values_by_attr, all_values, algorithm }
+        PhoneticCatalog {
+            tables,
+            attributes,
+            values_by_attr,
+            all_values,
+            algorithm,
+        }
     }
 
     /// The phonetic algorithm the catalog was keyed with.

@@ -13,8 +13,9 @@ use speakql_grammar::{
     generate_clause_structures, process_transcript, tokenize_transcript, ClauseKind,
     GeneratorConfig, ProcessedTranscript, Structure,
 };
-use speakql_index::{SearchConfig, StructureIndex};
+use speakql_index::{SearchConfig, SearchHit, StructureIndex};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,6 +30,12 @@ pub struct SpeakQlConfig {
     pub weights: Weights,
     /// Literal-determination window and alternative count (§4).
     pub literal: LiteralConfig,
+    /// Worker threads for engine-level parallelism: candidate construction
+    /// within one `transcribe` call, and the worker pool behind
+    /// [`SpeakQl::transcribe_batch`]. `1` (the default) is fully sequential;
+    /// `0` means one worker per available core. Structure-search parallelism
+    /// is configured separately via [`SearchConfig::threads`].
+    pub threads: usize,
 }
 
 impl SpeakQlConfig {
@@ -37,20 +44,46 @@ impl SpeakQlConfig {
     pub fn paper() -> SpeakQlConfig {
         SpeakQlConfig {
             generator: GeneratorConfig::paper(),
-            search: SearchConfig { k: 5, ..SearchConfig::default() },
+            search: SearchConfig {
+                k: 5,
+                ..SearchConfig::default()
+            },
             weights: Weights::PAPER,
             literal: LiteralConfig::default(),
+            threads: 1,
         }
     }
 
     /// Medium structure space — same phenomena, CI-friendly latency.
     pub fn medium() -> SpeakQlConfig {
-        SpeakQlConfig { generator: GeneratorConfig::medium(), ..SpeakQlConfig::paper() }
+        SpeakQlConfig {
+            generator: GeneratorConfig::medium(),
+            ..SpeakQlConfig::paper()
+        }
     }
 
     /// Small structure space for unit tests.
     pub fn small() -> SpeakQlConfig {
-        SpeakQlConfig { generator: GeneratorConfig::small(), ..SpeakQlConfig::paper() }
+        SpeakQlConfig {
+            generator: GeneratorConfig::small(),
+            ..SpeakQlConfig::paper()
+        }
+    }
+
+    /// This configuration with `threads` engine workers.
+    pub fn with_threads(mut self, threads: usize) -> SpeakQlConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// The engine worker count this configuration resolves to (`0` = all
+    /// cores).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -73,6 +106,43 @@ pub struct Candidate {
     pub distance: Dist,
 }
 
+/// Per-stage wall-clock breakdown of one transcription (Fig. 2's pipeline
+/// stages). When candidate construction runs on several workers, `literal`
+/// and `render` accumulate across workers, so they measure total work rather
+/// than the (shorter) critical path; `tokenize` and `search` are always
+/// single measurements.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Transcript tokenization, SplChar handling, and masking (§3.3).
+    pub tokenize: Duration,
+    /// Structure search over the trie index (§3.4).
+    pub search: Duration,
+    /// Literal determination for every candidate (§4).
+    pub literal: Duration,
+    /// SQL rendering for every candidate.
+    pub render: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stage timings.
+    pub fn total(&self) -> Duration {
+        self.tokenize + self.search + self.literal + self.render
+    }
+}
+
+impl std::ops::Add for StageTimings {
+    type Output = StageTimings;
+
+    fn add(self, rhs: StageTimings) -> StageTimings {
+        StageTimings {
+            tokenize: self.tokenize + rhs.tokenize,
+            search: self.search + rhs.search,
+            literal: self.literal + rhs.literal,
+            render: self.render + rhs.render,
+        }
+    }
+}
+
 /// The result of transcribing one spoken query.
 #[derive(Debug, Clone)]
 pub struct Transcription {
@@ -84,6 +154,8 @@ pub struct Transcription {
     pub candidates: Vec<Candidate>,
     /// End-to-end latency of this transcription.
     pub elapsed: Duration,
+    /// Per-stage latency breakdown.
+    pub stages: StageTimings,
 }
 
 impl Transcription {
@@ -107,7 +179,10 @@ impl SpeakQl {
     /// space — expensive for the paper-scale configuration; reuse the engine
     /// across queries).
     pub fn new(db: &Database, config: SpeakQlConfig) -> SpeakQl {
-        let index = Arc::new(StructureIndex::from_grammar(&config.generator, config.weights));
+        let index = Arc::new(StructureIndex::from_grammar(
+            &config.generator,
+            config.weights,
+        ));
         SpeakQl::with_index(db, index, config)
     }
 
@@ -138,12 +213,63 @@ impl SpeakQl {
     /// Applies the nested-query heuristic when the transcript contains a
     /// second SELECT (App. F.8).
     pub fn transcribe(&self, transcript: &str) -> Transcription {
+        self.transcribe_one(transcript, false)
+    }
+
+    /// Transcribe many transcripts on a bounded worker pool of
+    /// [`SpeakQlConfig::threads`] threads. Output order matches input order,
+    /// and each result is identical to the corresponding
+    /// [`SpeakQl::transcribe`] call — the queries are independent, so this
+    /// is pure inter-query parallelism. Within each batch worker, per-call
+    /// parallelism (parallel search, parallel candidate construction) is
+    /// disabled to avoid oversubscribing the pool.
+    pub fn transcribe_batch(&self, transcripts: &[&str]) -> Vec<Transcription> {
+        let workers = self
+            .config
+            .effective_threads()
+            .min(transcripts.len().max(1));
+        if workers <= 1 {
+            return transcripts.iter().map(|t| self.transcribe(t)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, Transcription)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(t) = transcripts.get(i) else { break };
+                            done.push((i, self.transcribe_one(t, true)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<Transcription>> = (0..transcripts.len()).map(|_| None).collect();
+        for (i, t) in per_worker.into_iter().flatten() {
+            slots[i] = Some(t);
+        }
+        slots
+            .into_iter()
+            .map(|t| t.expect("every transcript transcribed"))
+            .collect()
+    }
+
+    /// One full transcription; `batch_worker` marks calls made from inside
+    /// the `transcribe_batch` pool, which must stay single-threaded.
+    fn transcribe_one(&self, transcript: &str, batch_worker: bool) -> Transcription {
         let start = Instant::now();
         let words = tokenize_transcript(transcript);
-        if let Some(result) = self.try_nested(transcript, &words, start) {
+        if let Some(result) = self.try_nested(transcript, &words, start, batch_worker) {
             return result;
         }
-        let mut t = self.transcribe_words(&words, &self.index, start);
+        let mut t = self.transcribe_words(&words, &self.index, start, batch_worker);
         t.transcript = transcript.to_string();
         t
     }
@@ -154,7 +280,7 @@ impl SpeakQl {
         let start = Instant::now();
         let index = self.clause_index(clause);
         let words = tokenize_transcript(transcript);
-        let mut t = self.transcribe_words(&words, &index, start);
+        let mut t = self.transcribe_words(&words, &index, start, false);
         t.transcript = transcript.to_string();
         t
     }
@@ -175,29 +301,101 @@ impl SpeakQl {
         words: &[String],
         index: &StructureIndex,
         start: Instant,
+        batch_worker: bool,
     ) -> Transcription {
+        let mut stages = StageTimings::default();
+
+        let t0 = Instant::now();
         let processed = process_transcript(words);
-        let hits = index.search(&processed.masked, &self.config.search);
-        let finder = LiteralFinder::new(&self.catalog, self.config.literal);
-        let candidates: Vec<Candidate> = hits
-            .into_iter()
-            .map(|hit| {
-                let structure = index.structure(hit.structure).clone();
-                let literals = finder.fill_aligned(
-                    &processed.words,
-                    &processed.masked,
-                    &structure,
-                    self.config.weights,
-                );
-                let sql = render_candidate(&structure, &literals);
-                Candidate { sql, structure, literals, distance: hit.distance }
-            })
-            .collect();
+        stages.tokenize = t0.elapsed();
+
+        let search_cfg = if batch_worker {
+            self.config.search.with_threads(1)
+        } else {
+            self.config.search
+        };
+        let t1 = Instant::now();
+        let hits = index.search(&processed.masked, &search_cfg);
+        stages.search = t1.elapsed();
+
+        let intra = if batch_worker {
+            1
+        } else {
+            self.config.effective_threads()
+        };
+        let candidates = if intra > 1 && hits.len() > 1 {
+            // Each hit's literal determination + rendering is independent;
+            // build candidates on scoped workers, one chunk per worker, and
+            // concatenate in hit order so the output is deterministic.
+            let chunk = hits.len().div_ceil(intra.min(hits.len()));
+            let per_chunk: Vec<(Vec<Candidate>, StageTimings)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = hits
+                    .chunks(chunk)
+                    .map(|hs| {
+                        scope.spawn(|| {
+                            let mut st = StageTimings::default();
+                            let cs = hs
+                                .iter()
+                                .map(|&h| self.build_candidate(index, &processed, h, &mut st))
+                                .collect();
+                            (cs, st)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("candidate worker panicked"))
+                    .collect()
+            });
+            let mut cs = Vec::with_capacity(hits.len());
+            for (chunk_cs, st) in per_chunk {
+                cs.extend(chunk_cs);
+                stages.literal += st.literal;
+                stages.render += st.render;
+            }
+            cs
+        } else {
+            hits.into_iter()
+                .map(|hit| self.build_candidate(index, &processed, hit, &mut stages))
+                .collect()
+        };
+
         Transcription {
             transcript: words.join(" "),
             processed,
             candidates,
             elapsed: start.elapsed(),
+            stages,
+        }
+    }
+
+    /// Build one candidate from a search hit: literal determination plus SQL
+    /// rendering, with both stages timed into `stages`.
+    fn build_candidate(
+        &self,
+        index: &StructureIndex,
+        processed: &ProcessedTranscript,
+        hit: SearchHit,
+        stages: &mut StageTimings,
+    ) -> Candidate {
+        let finder = LiteralFinder::new(&self.catalog, self.config.literal);
+        let structure = index.structure(hit.structure).clone();
+        let t0 = Instant::now();
+        let literals = finder.fill_aligned(
+            &processed.words,
+            &processed.masked,
+            &structure,
+            self.config.weights,
+        );
+        stages.literal += t0.elapsed();
+        let t1 = Instant::now();
+        let sql = render_candidate(&structure, &literals);
+        stages.render += t1.elapsed();
+        Candidate {
+            sql,
+            structure,
+            literals,
+            distance: hit.distance,
         }
     }
 
@@ -210,6 +408,7 @@ impl SpeakQl {
         transcript: &str,
         words: &[String],
         start: Instant,
+        batch_worker: bool,
     ) -> Option<Transcription> {
         let selects: Vec<usize> = words
             .iter()
@@ -228,14 +427,20 @@ impl SpeakQl {
         }
         // The inner query runs to the end, minus a trailing close-paren.
         let mut inner_words: Vec<String> = words[split..].to_vec();
-        if matches!(inner_words.last().map(String::as_str), Some(")") | Some("close")) {
+        if matches!(
+            inner_words.last().map(String::as_str),
+            Some(")") | Some("close")
+        ) {
             inner_words.pop();
             if matches!(inner_words.last().map(String::as_str), Some("close")) {
                 inner_words.pop();
             }
         }
         // Strip "close parenthesis" / ")" remnants.
-        while matches!(inner_words.last().map(String::as_str), Some("parenthesis") | Some("close") | Some(")")) {
+        while matches!(
+            inner_words.last().map(String::as_str),
+            Some("parenthesis") | Some("close") | Some(")")
+        ) {
             inner_words.pop();
         }
         // The outer query replaces the subquery span with a sentinel literal
@@ -254,17 +459,13 @@ impl SpeakQl {
         outer_words.push(SENTINEL.to_string());
         outer_words.push(")".to_string());
 
-        let inner = self.transcribe_words(&inner_words, &self.index, Instant::now());
-        let outer = self.transcribe_words(&outer_words, &self.index, Instant::now());
+        let inner = self.transcribe_words(&inner_words, &self.index, Instant::now(), batch_worker);
+        let outer = self.transcribe_words(&outer_words, &self.index, Instant::now(), batch_worker);
         let inner_sql = inner.best_sql()?.to_string();
 
         // Splice: in each outer candidate, the placeholder whose window
         // contains the sentinel becomes the parenthesized inner query.
-        let sentinel_pos = outer
-            .processed
-            .words
-            .iter()
-            .position(|w| w == SENTINEL)?;
+        let sentinel_pos = outer.processed.words.iter().position(|w| w == SENTINEL)?;
         let candidates: Vec<Candidate> = outer
             .candidates
             .into_iter()
@@ -294,9 +495,7 @@ impl SpeakQl {
                     .nth(target)
                     .map(|(tok_pos, _)| {
                         use speakql_grammar::{SplChar, StructTok};
-                        let prev = tok_pos
-                            .checked_sub(1)
-                            .map(|p| c.structure.tokens[p].tok());
+                        let prev = tok_pos.checked_sub(1).map(|p| c.structure.tokens[p].tok());
                         let next = c.structure.tokens.get(tok_pos + 1).map(|t| t.tok());
                         matches!(prev, Some(StructTok::SplChar(SplChar::LParen)))
                             && matches!(next, Some(StructTok::SplChar(SplChar::RParen)))
@@ -320,6 +519,7 @@ impl SpeakQl {
             processed: outer.processed,
             candidates,
             elapsed: start.elapsed(),
+            stages: inner.stages + outer.stages,
         })
     }
 }
@@ -346,8 +546,16 @@ mod tests {
                 Column::new("Salary", ValueType::Int),
             ],
         ));
-        emp.push_row(vec![Value::Int(1), Value::Text("John".into()), Value::Int(70000)]);
-        emp.push_row(vec![Value::Int(2), Value::Text("Perla".into()), Value::Int(80000)]);
+        emp.push_row(vec![
+            Value::Int(1),
+            Value::Text("John".into()),
+            Value::Int(70000),
+        ]);
+        emp.push_row(vec![
+            Value::Int(2),
+            Value::Text("Perla".into()),
+            Value::Int(80000),
+        ]);
         db.add_table(emp);
         let mut sal = Table::new(TableSchema::new(
             "Salaries",
@@ -373,7 +581,10 @@ mod tests {
         // schema's nearest equivalents).
         let t = engine().transcribe("select sales from employers wear first name equals jon");
         let best = t.best_sql().unwrap();
-        assert_eq!(best, "SELECT Salary FROM Employees WHERE FirstName = 'John'");
+        assert_eq!(
+            best,
+            "SELECT Salary FROM Employees WHERE FirstName = 'John'"
+        );
     }
 
     #[test]
@@ -435,6 +646,53 @@ mod tests {
         let t = engine().transcribe("select salary from salaries");
         assert!(t.elapsed > Duration::ZERO);
     }
+
+    #[test]
+    fn stage_timings_are_recorded() {
+        let t = engine().transcribe("select salary from employees where first name equals john");
+        assert!(t.stages.search > Duration::ZERO);
+        assert!(t.stages.literal > Duration::ZERO);
+        assert!(t.stages.total() <= t.elapsed);
+    }
+
+    fn par_engine() -> &'static SpeakQl {
+        static E: std::sync::OnceLock<SpeakQl> = std::sync::OnceLock::new();
+        E.get_or_init(|| SpeakQl::new(&toy_db(), SpeakQlConfig::small().with_threads(4)))
+    }
+
+    #[test]
+    fn parallel_candidate_construction_matches_sequential() {
+        for t in [
+            "select salary from employees",
+            "select sales from employers wear first name equals jon",
+            "select first name comma salary from employees order by salary",
+            "",
+        ] {
+            let seq = engine().transcribe(t);
+            let par = par_engine().transcribe(t);
+            assert_eq!(seq.candidates, par.candidates, "transcript: {t:?}");
+        }
+    }
+
+    #[test]
+    fn batch_output_order_matches_input_order() {
+        let transcripts = [
+            "select salary from employees",
+            "select salary from salaries",
+            "select first name from employees where salary greater than 70000",
+            "",
+            "select sales from employers wear first name equals jon",
+            "select employee number from salaries",
+            "select sum open parenthesis salary close parenthesis from salaries",
+        ];
+        let batch = par_engine().transcribe_batch(&transcripts);
+        assert_eq!(batch.len(), transcripts.len());
+        for (b, t) in batch.iter().zip(&transcripts) {
+            let seq = engine().transcribe(t);
+            assert_eq!(b.transcript, *t, "output order must match input order");
+            assert_eq!(b.candidates, seq.candidates, "transcript: {t:?}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -459,7 +717,10 @@ mod config_tests {
     fn engine_with(search: SearchConfig) -> SpeakQl {
         SpeakQl::new(
             &db(),
-            SpeakQlConfig { search, ..SpeakQlConfig::small() },
+            SpeakQlConfig {
+                search,
+                ..SpeakQlConfig::small()
+            },
         )
     }
 
@@ -468,20 +729,25 @@ mod config_tests {
         let transcript = "select salary from employees where name equals john";
         let expected = "SELECT Salary FROM Employees WHERE Name = 'John'";
         for (dap, inv) in [(false, false), (true, false), (false, true), (true, true)] {
-            let engine = engine_with(SearchConfig { k: 3, bdb: true, dap, inv });
+            let engine = engine_with(SearchConfig {
+                k: 3,
+                bdb: true,
+                dap,
+                inv,
+                threads: 1,
+            });
             let t = engine.transcribe(transcript);
-            assert_eq!(
-                t.best_sql(),
-                Some(expected),
-                "dap={dap} inv={inv}"
-            );
+            assert_eq!(t.best_sql(), Some(expected), "dap={dap} inv={inv}");
         }
     }
 
     #[test]
     fn k_controls_candidate_count() {
         for k in [1usize, 2, 5] {
-            let engine = engine_with(SearchConfig { k, ..SearchConfig::default() });
+            let engine = engine_with(SearchConfig {
+                k,
+                ..SearchConfig::default()
+            });
             let t = engine.transcribe("select salary from employees");
             assert_eq!(t.candidates.len(), k);
         }

@@ -21,9 +21,12 @@ pub mod streaming;
 
 pub use align::align_vars;
 pub use catalog::PhoneticCatalog;
-pub use engine::{Candidate, SpeakQl, SpeakQlConfig, Transcription};
+pub use engine::{Candidate, SpeakQl, SpeakQlConfig, StageTimings, Transcription};
+pub use literal::{
+    enumerate_strings, enumerate_strings_with, parse_number_words, FilledLiteral, LiteralConfig,
+    LiteralFinder,
+};
 pub use streaming::StreamingTranscriber;
-pub use literal::{enumerate_strings, enumerate_strings_with, parse_number_words, FilledLiteral, LiteralConfig, LiteralFinder};
 
 #[cfg(test)]
 mod fuzz {

@@ -42,7 +42,10 @@ pub struct LiteralConfig {
 
 impl Default for LiteralConfig {
     fn default() -> Self {
-        LiteralConfig { window_size: 3, alternatives: 5 }
+        LiteralConfig {
+            window_size: 3,
+            alternatives: 5,
+        }
     }
 }
 
@@ -112,10 +115,7 @@ impl<'a> LiteralFinder<'a> {
             }
             // ... and never swallows the tokens a later placeholder is
             // anchored to.
-            if let Some(&next_anchor) = anchors[ph_idx + 1..]
-                .iter()
-                .flatten()
-                .find(|&&p| p > begin)
+            if let Some(&next_anchor) = anchors[ph_idx + 1..].iter().flatten().find(|&&p| p > begin)
             {
                 end = end.min(next_anchor);
             }
@@ -134,7 +134,11 @@ impl<'a> LiteralFinder<'a> {
                 self.assign_phonetic(trans_out, begin, end, candidates)
             };
 
-            filled.push(FilledLiteral { literal, alternatives, window: (begin, end) });
+            filled.push(FilledLiteral {
+                literal,
+                alternatives,
+                window: (begin, end),
+            });
             running = consumed_to;
         }
         filled
@@ -158,7 +162,11 @@ impl<'a> LiteralFinder<'a> {
         // Fragmented dates ("may 07 19 91", "january twentieth nineteen
         // ninety three") defeat phonetic voting; when the candidate domain
         // contains dates, try structural reassembly first.
-        if candidates.entries().iter().any(|e| is_date_literal(&e.literal)) {
+        if candidates
+            .entries()
+            .iter()
+            .any(|e| is_date_literal(&e.literal))
+        {
             if let Some(date) = reassemble_date(&trans_out[begin..end]) {
                 let rendered = format!("'{date}'");
                 if let Some(e) = candidates.entries().iter().find(|e| e.literal == rendered) {
@@ -322,28 +330,84 @@ fn is_date_literal(lit: &str) -> bool {
 }
 
 const MONTHS: [&str; 12] = [
-    "january", "february", "march", "april", "may", "june", "july", "august", "september",
-    "october", "november", "december",
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
 ];
 
 const DAY_ORDINALS: [(&str, u8); 31] = [
-    ("first", 1), ("second", 2), ("third", 3), ("fourth", 4), ("fifth", 5), ("sixth", 6),
-    ("seventh", 7), ("eighth", 8), ("ninth", 9), ("tenth", 10), ("eleventh", 11),
-    ("twelfth", 12), ("thirteenth", 13), ("fourteenth", 14), ("fifteenth", 15),
-    ("sixteenth", 16), ("seventeenth", 17), ("eighteenth", 18), ("nineteenth", 19),
-    ("twentieth", 20), ("thirtieth", 30),
+    ("first", 1),
+    ("second", 2),
+    ("third", 3),
+    ("fourth", 4),
+    ("fifth", 5),
+    ("sixth", 6),
+    ("seventh", 7),
+    ("eighth", 8),
+    ("ninth", 9),
+    ("tenth", 10),
+    ("eleventh", 11),
+    ("twelfth", 12),
+    ("thirteenth", 13),
+    ("fourteenth", 14),
+    ("fifteenth", 15),
+    ("sixteenth", 16),
+    ("seventeenth", 17),
+    ("eighteenth", 18),
+    ("nineteenth", 19),
+    ("twentieth", 20),
+    ("thirtieth", 30),
     // compound forms handled by the "twenty"/"thirty" prefix logic below
-    ("twentyfirst", 21), ("twentysecond", 22), ("twentythird", 23), ("twentyfourth", 24),
-    ("twentyfifth", 25), ("twentysixth", 26), ("twentyseventh", 27), ("twentyeighth", 28),
-    ("twentyninth", 29), ("thirtyfirst", 31),
+    ("twentyfirst", 21),
+    ("twentysecond", 22),
+    ("twentythird", 23),
+    ("twentyfourth", 24),
+    ("twentyfifth", 25),
+    ("twentysixth", 26),
+    ("twentyseventh", 27),
+    ("twentyeighth", 28),
+    ("twentyninth", 29),
+    ("thirtyfirst", 31),
 ];
 
 const NUMBER_WORDS: [(&str, u32); 28] = [
-    ("zero", 0), ("one", 1), ("two", 2), ("three", 3), ("four", 4), ("five", 5), ("six", 6),
-    ("seven", 7), ("eight", 8), ("nine", 9), ("ten", 10), ("eleven", 11), ("twelve", 12),
-    ("thirteen", 13), ("fourteen", 14), ("fifteen", 15), ("sixteen", 16), ("seventeen", 17),
-    ("eighteen", 18), ("nineteen", 19), ("twenty", 20), ("thirty", 30), ("forty", 40),
-    ("fifty", 50), ("sixty", 60), ("seventy", 70), ("eighty", 80), ("ninety", 90),
+    ("zero", 0),
+    ("one", 1),
+    ("two", 2),
+    ("three", 3),
+    ("four", 4),
+    ("five", 5),
+    ("six", 6),
+    ("seven", 7),
+    ("eight", 8),
+    ("nine", 9),
+    ("ten", 10),
+    ("eleven", 11),
+    ("twelve", 12),
+    ("thirteen", 13),
+    ("fourteen", 14),
+    ("fifteen", 15),
+    ("sixteen", 16),
+    ("seventeen", 17),
+    ("eighteen", 18),
+    ("nineteen", 19),
+    ("twenty", 20),
+    ("thirty", 30),
+    ("forty", 40),
+    ("fifty", 50),
+    ("sixty", 60),
+    ("seventy", 70),
+    ("eighty", 80),
+    ("ninety", 90),
 ];
 
 fn number_word(w: &str) -> Option<u32> {
@@ -560,7 +624,12 @@ mod tests {
         db.add_table(t);
         let catalog = PhoneticCatalog::build(&db);
         let s = Structure::new(
-            vec![StructTok::Keyword(Keyword::Select), StructTok::Var, StructTok::Keyword(Keyword::From), StructTok::Var],
+            vec![
+                StructTok::Keyword(Keyword::Select),
+                StructTok::Var,
+                StructTok::Keyword(Keyword::From),
+                StructTok::Var,
+            ],
             vec![Placeholder::attribute(), Placeholder::table()],
         );
         let finder = LiteralFinder::new(&catalog, LiteralConfig::default());
@@ -583,7 +652,12 @@ mod tests {
         )));
         let catalog = PhoneticCatalog::build(&db);
         let s = Structure::new(
-            vec![StructTok::Keyword(Keyword::Select), StructTok::Var, StructTok::Keyword(Keyword::From), StructTok::Var],
+            vec![
+                StructTok::Keyword(Keyword::Select),
+                StructTok::Var,
+                StructTok::Keyword(Keyword::From),
+                StructTok::Var,
+            ],
             vec![Placeholder::attribute(), Placeholder::table()],
         );
         let finder = LiteralFinder::new(&catalog, LiteralConfig::default());
@@ -639,7 +713,11 @@ mod tests {
                 StructTok::Keyword(Keyword::Limit),
                 StructTok::Var,
             ],
-            vec![Placeholder::attribute(), Placeholder::table(), Placeholder::number()],
+            vec![
+                Placeholder::attribute(),
+                Placeholder::table(),
+                Placeholder::number(),
+            ],
         );
         let filled = finder.fill(&words("select salary from salaries limit 45000 412"), &s);
         assert_eq!(filled[2].literal, "45412");
@@ -668,9 +746,16 @@ mod tests {
 
     #[test]
     fn date_reassembly_forms() {
-        let w = |s: &str| s.split_whitespace().map(|x| x.to_string()).collect::<Vec<_>>();
+        let w = |s: &str| {
+            s.split_whitespace()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+        };
         // Table 1's error output for 1991-05-07.
-        assert_eq!(reassemble_date(&w("may 07 19 91")), Some("1991-05-07".into()));
+        assert_eq!(
+            reassemble_date(&w("may 07 19 91")),
+            Some("1991-05-07".into())
+        );
         assert_eq!(reassemble_date(&w("may 7 1991")), Some("1991-05-07".into()));
         // Raw spoken words, no recombination at all.
         assert_eq!(
@@ -719,14 +804,24 @@ mod tests {
                 Placeholder::value(Some(2)),
             ],
         );
-        let filled = finder.fill(&words("select from date from t where from date = may 07 19 91"), &s);
+        let filled = finder.fill(
+            &words("select from date from t where from date = may 07 19 91"),
+            &s,
+        );
         assert_eq!(filled[3].literal, "'1991-05-07'");
     }
 
     #[test]
     fn spoken_number_words_parse() {
-        let w = |s: &str| s.split_whitespace().map(|x| x.to_string()).collect::<Vec<_>>();
-        assert_eq!(parse_number_words(&w("forty five thousand three hundred ten")), Some(45310));
+        let w = |s: &str| {
+            s.split_whitespace()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            parse_number_words(&w("forty five thousand three hundred ten")),
+            Some(45310)
+        );
         assert_eq!(parse_number_words(&w("seventy thousand")), Some(70000));
         assert_eq!(parse_number_words(&w("ten")), Some(10));
         assert_eq!(parse_number_words(&w("two hundred")), Some(200));
@@ -748,7 +843,11 @@ mod tests {
                 StructTok::Keyword(Keyword::Limit),
                 StructTok::Var,
             ],
-            vec![Placeholder::attribute(), Placeholder::table(), Placeholder::number()],
+            vec![
+                Placeholder::attribute(),
+                Placeholder::table(),
+                Placeholder::number(),
+            ],
         );
         let filled = finder.fill(&words("select salary from salaries limit twenty five"), &s);
         assert_eq!(filled[2].literal, "25");

@@ -20,7 +20,12 @@ pub struct StreamingTranscriber<'a> {
 
 impl<'a> StreamingTranscriber<'a> {
     pub fn new(engine: &'a SpeakQl) -> StreamingTranscriber<'a> {
-        StreamingTranscriber { engine, words: Vec::new(), last: None, updates: 0 }
+        StreamingTranscriber {
+            engine,
+            words: Vec::new(),
+            last: None,
+            updates: 0,
+        }
     }
 
     /// Feed the next recognized word; returns the refreshed best SQL.
@@ -31,7 +36,10 @@ impl<'a> StreamingTranscriber<'a> {
     }
 
     /// Feed several words at once (a partial-hypothesis chunk).
-    pub fn push_words<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, words: I) -> Option<&str> {
+    pub fn push_words<I: IntoIterator<Item = S>, S: Into<String>>(
+        &mut self,
+        words: I,
+    ) -> Option<&str> {
         for w in words {
             self.words.push(w.into());
         }
@@ -41,7 +49,10 @@ impl<'a> StreamingTranscriber<'a> {
 
     /// Replace the whole hypothesis (ASR partials are revisable).
     pub fn set_hypothesis(&mut self, transcript: &str) {
-        self.words = transcript.split_whitespace().map(|w| w.to_string()).collect();
+        self.words = transcript
+            .split_whitespace()
+            .map(|w| w.to_string())
+            .collect();
         self.refresh();
     }
 

@@ -45,7 +45,14 @@ impl SpokenSqlDataset {
         let employees_test = generate_cases(&employees, cfg, employees_test, 0xB0B);
         let yelp_test = generate_cases(&yelp, cfg, yelp_test, 0xCA51);
         let vocabulary = training_vocabulary(&employees, &train);
-        SpokenSqlDataset { employees, yelp, train, employees_test, yelp_test, vocabulary }
+        SpokenSqlDataset {
+            employees,
+            yelp,
+            train,
+            employees_test,
+            yelp_test,
+            vocabulary,
+        }
     }
 }
 
@@ -87,7 +94,13 @@ mod tests {
         assert!(ds.vocabulary.canonical_of("business").is_none());
         assert!(ds.vocabulary.canonical_of("checkin date").is_none());
         // Employees identifiers are.
-        assert_eq!(ds.vocabulary.canonical_of("salaries").map(String::as_str), Some("Salaries"));
-        assert_eq!(ds.vocabulary.canonical_of("from date").map(String::as_str), Some("FromDate"));
+        assert_eq!(
+            ds.vocabulary.canonical_of("salaries").map(String::as_str),
+            Some("Salaries")
+        );
+        assert_eq!(
+            ds.vocabulary.canonical_of("from date").map(String::as_str),
+            Some("FromDate")
+        );
     }
 }

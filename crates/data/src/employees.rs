@@ -11,20 +11,90 @@ use speakql_db::{Column, Database, Date, Table, TableSchema, Value, ValueType};
 
 /// First names include every name Table 6 mentions.
 pub const FIRST_NAMES: &[&str] = &[
-    "Karsten", "Tomokazu", "Goh", "Narain", "Perla", "Shimshon", "Georgi", "Bezalel", "Parto",
-    "Chirstian", "Kyoichi", "Anneke", "Sumant", "Duangkaew", "Mary", "Patricio", "Eberhardt",
-    "Otmar", "Florian", "Mayuko", "Ramzi", "Premal", "Zvonko", "Kazuhito", "Lillian", "Sudharsan",
-    "Kendra", "Berni", "Guoxiang", "Cristinel", "Kazuhide", "Lee", "Tse", "Mokhtar", "Gao",
-    "Erez", "Mona", "Danel", "Jon", "Marla", "Hilari", "Teiji", "Mayumi", "Gino", "Luisa",
-    "Sanjiv", "Rebecka", "Mihalis", "Jeong", "Alain",
+    "Karsten",
+    "Tomokazu",
+    "Goh",
+    "Narain",
+    "Perla",
+    "Shimshon",
+    "Georgi",
+    "Bezalel",
+    "Parto",
+    "Chirstian",
+    "Kyoichi",
+    "Anneke",
+    "Sumant",
+    "Duangkaew",
+    "Mary",
+    "Patricio",
+    "Eberhardt",
+    "Otmar",
+    "Florian",
+    "Mayuko",
+    "Ramzi",
+    "Premal",
+    "Zvonko",
+    "Kazuhito",
+    "Lillian",
+    "Sudharsan",
+    "Kendra",
+    "Berni",
+    "Guoxiang",
+    "Cristinel",
+    "Kazuhide",
+    "Lee",
+    "Tse",
+    "Mokhtar",
+    "Gao",
+    "Erez",
+    "Mona",
+    "Danel",
+    "Jon",
+    "Marla",
+    "Hilari",
+    "Teiji",
+    "Mayumi",
+    "Gino",
+    "Luisa",
+    "Sanjiv",
+    "Rebecka",
+    "Mihalis",
+    "Jeong",
+    "Alain",
 ];
 
 /// Last names.
 pub const LAST_NAMES: &[&str] = &[
-    "Facello", "Simmel", "Bamford", "Koblick", "Maliniak", "Preusig", "Zielinski", "Kalloufi",
-    "Peac", "Piveteau", "Sluis", "Bridgland", "Terkki", "Genin", "Nooteboom", "Cappelletti",
-    "Bouloucos", "Peha", "Haddadi", "Baek", "Pettey", "Heyers", "Berztiss", "Delgrande",
-    "Babb", "Lortz", "Zschoche", "Schusler", "Stamatiou", "Brender",
+    "Facello",
+    "Simmel",
+    "Bamford",
+    "Koblick",
+    "Maliniak",
+    "Preusig",
+    "Zielinski",
+    "Kalloufi",
+    "Peac",
+    "Piveteau",
+    "Sluis",
+    "Bridgland",
+    "Terkki",
+    "Genin",
+    "Nooteboom",
+    "Cappelletti",
+    "Bouloucos",
+    "Peha",
+    "Haddadi",
+    "Baek",
+    "Pettey",
+    "Heyers",
+    "Berztiss",
+    "Delgrande",
+    "Babb",
+    "Lortz",
+    "Zschoche",
+    "Schusler",
+    "Stamatiou",
+    "Brender",
 ];
 
 /// Department names.
@@ -109,7 +179,10 @@ pub fn employees_db() -> Database {
         ],
     ));
     for (num, name) in DEPARTMENTS {
-        departments.push_row(vec![Value::Text(num.to_string()), Value::Text(name.to_string())]);
+        departments.push_row(vec![
+            Value::Text(num.to_string()),
+            Value::Text(name.to_string()),
+        ]);
     }
     db.add_table(departments);
 
@@ -176,8 +249,8 @@ pub fn employees_db() -> Database {
     for i in 0..N_EMPLOYEES {
         let salary = 40_000 + (rng.gen_range(0..900) * 100) as i64;
         let from = match i % 23 {
-            0 => date(1993, 1, 20),  // Q5
-            1 => date(1990, 3, 20),  // Q7
+            0 => date(1993, 1, 20), // Q5
+            1 => date(1990, 3, 20), // Q7
             _ => rand_date(&mut rng, 1986, 2001),
         };
         let to = if i % 19 == 0 {
@@ -185,7 +258,12 @@ pub fn employees_db() -> Database {
         } else {
             rand_date(&mut rng, 2002, 2010)
         };
-        salaries.push_row(vec![Value::Int(10001 + i as i64), Value::Int(salary), from, to]);
+        salaries.push_row(vec![
+            Value::Int(10001 + i as i64),
+            Value::Int(salary),
+            from,
+            to,
+        ]);
     }
     db.add_table(salaries);
 

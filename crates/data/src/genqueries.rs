@@ -149,12 +149,7 @@ pub fn bind_structure<R: Rng + ?Sized>(
 
 /// Generate `n` query cases from `db` under the grammar caps, deterministic
 /// in `seed`.
-pub fn generate_cases(
-    db: &Database,
-    cfg: &GeneratorConfig,
-    n: usize,
-    seed: u64,
-) -> Vec<QueryCase> {
+pub fn generate_cases(db: &Database, cfg: &GeneratorConfig, n: usize, seed: u64) -> Vec<QueryCase> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut cases = Vec::with_capacity(n);
     while cases.len() < n {
@@ -162,7 +157,12 @@ pub fn generate_cases(
         if let Some(literals) = bind_structure(db, &s, &mut rng) {
             let tokens = s.bind(&literals);
             let sql = speakql_grammar::render_tokens(&tokens);
-            cases.push(QueryCase { id: cases.len(), sql, structure: s, literals });
+            cases.push(QueryCase {
+                id: cases.len(),
+                sql,
+                structure: s,
+                literals,
+            });
         }
     }
     cases
@@ -241,7 +241,12 @@ pub fn generate_nested_cases(db: &Database, n: usize, seed: u64) -> Vec<QueryCas
         let structure = Structure::new(tokens, placeholders);
         let literals = vec![a1, t1, k.clone(), k, t2, a2, v];
         let sql = speakql_grammar::render_tokens(&structure.bind(&literals));
-        out.push(QueryCase { id: out.len(), sql, structure, literals });
+        out.push(QueryCase {
+            id: out.len(),
+            sql,
+            structure,
+            literals,
+        });
     }
     out
 }

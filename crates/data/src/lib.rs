@@ -11,7 +11,9 @@ pub mod genqueries;
 pub mod user_study;
 pub mod yelp;
 
-pub use dataset::{training_vocabulary, SpokenSqlDataset, EMPLOYEES_TEST_SIZE, TRAIN_SIZE, YELP_TEST_SIZE};
+pub use dataset::{
+    training_vocabulary, SpokenSqlDataset, EMPLOYEES_TEST_SIZE, TRAIN_SIZE, YELP_TEST_SIZE,
+};
 pub use employees::employees_db;
 pub use genqueries::{bind_structure, generate_cases, generate_nested_cases, QueryCase};
 pub use user_study::{StudyQuery, STUDY_QUERIES};

@@ -59,8 +59,8 @@ pub const CITIES: &[(&str, &str)] = &[
 /// User names.
 pub const USER_NAMES: &[&str] = &[
     "Aisha", "Brandon", "Carmen", "Dmitri", "Elena", "Farid", "Gretchen", "Hiro", "Ingrid",
-    "Jamal", "Keiko", "Lorenzo", "Miriam", "Nadia", "Owen", "Priya", "Quentin", "Rosa",
-    "Stefan", "Tara", "Umar", "Violet", "Wendell", "Ximena", "Yusuf", "Zelda",
+    "Jamal", "Keiko", "Lorenzo", "Miriam", "Nadia", "Owen", "Priya", "Quentin", "Rosa", "Stefan",
+    "Tara", "Umar", "Violet", "Wendell", "Ximena", "Yusuf", "Zelda",
 ];
 
 pub const N_BUSINESSES: usize = 30;
@@ -74,8 +74,12 @@ pub fn yelp_db() -> Database {
 
     let rand_date = |rng: &mut ChaCha8Rng, lo: i32, hi: i32| {
         Value::Date(
-            Date::new(rng.gen_range(lo..=hi), rng.gen_range(1..=12), rng.gen_range(1..=28))
-                .expect("valid date"),
+            Date::new(
+                rng.gen_range(lo..=hi),
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28),
+            )
+            .expect("valid date"),
         )
     };
 
@@ -215,9 +219,6 @@ mod tests {
     #[test]
     fn multiword_values_exist() {
         let db = yelp_db();
-        assert!(db
-            .string_attribute_values()
-            .iter()
-            .any(|s| s.contains(' ')));
+        assert!(db.string_attribute_values().iter().any(|s| s.contains(' ')));
     }
 }

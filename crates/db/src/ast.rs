@@ -14,11 +14,17 @@ pub struct ColRef {
 
 impl ColRef {
     pub fn bare(column: impl Into<String>) -> ColRef {
-        ColRef { table: None, column: column.into() }
+        ColRef {
+            table: None,
+            column: column.into(),
+        }
     }
 
     pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> ColRef {
-        ColRef { table: Some(table.into()), column: column.into() }
+        ColRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
     }
 }
 
@@ -212,7 +218,12 @@ fn render_predicate(p: &Predicate, out: &mut String) {
             out.push(' ');
             render_operand(rhs, out);
         }
-        Predicate::Between { col, negated, low, high } => {
+        Predicate::Between {
+            col,
+            negated,
+            low,
+            high,
+        } => {
             out.push_str(&col.to_string());
             if *negated {
                 out.push_str(" NOT");
@@ -265,7 +276,10 @@ mod tests {
     fn render_simple() {
         let q = Query {
             select: vec![SelectItem::Agg(AggFunc::Avg, ColRef::bare("salary"))],
-            from: vec![TableRef { name: "Salaries".into(), join: JoinKind::First }],
+            from: vec![TableRef {
+                name: "Salaries".into(),
+                join: JoinKind::First,
+            }],
             predicate: None,
             group_by: None,
             order_by: None,
@@ -279,8 +293,14 @@ mod tests {
         let q = Query {
             select: vec![SelectItem::Column(ColRef::bare("Lastname"))],
             from: vec![
-                TableRef { name: "Employees".into(), join: JoinKind::First },
-                TableRef { name: "Salaries".into(), join: JoinKind::Natural },
+                TableRef {
+                    name: "Employees".into(),
+                    join: JoinKind::First,
+                },
+                TableRef {
+                    name: "Salaries".into(),
+                    join: JoinKind::Natural,
+                },
             ],
             predicate: Some(Predicate::Cmp {
                 lhs: Operand::Column(ColRef::bare("Salary")),

@@ -17,7 +17,10 @@ pub enum DbError {
 
 impl DbError {
     pub fn parse(position: usize, message: impl Into<String>) -> DbError {
-        DbError::Parse { position, message: message.into() }
+        DbError::Parse {
+            position,
+            message: message.into(),
+        }
     }
 }
 

@@ -83,9 +83,7 @@ impl Rel {
     fn resolve(&self, c: &ColRef) -> DbResult<usize> {
         let hit = self.cols.iter().position(|(t, n)| {
             n.eq_ignore_ascii_case(&c.column)
-                && c.table
-                    .as_ref()
-                    .is_none_or(|ct| t.eq_ignore_ascii_case(ct))
+                && c.table.as_ref().is_none_or(|ct| t.eq_ignore_ascii_case(ct))
         });
         hit.ok_or_else(|| DbError::UnknownColumn(c.to_string()))
     }
@@ -199,7 +197,10 @@ fn apply_ready_conjuncts(rel: &mut Rel, conjuncts: &mut Vec<Predicate>) -> DbRes
 }
 
 fn build_from(db: &Database, from: &[TableRef], conjuncts: &mut Vec<Predicate>) -> DbResult<Rel> {
-    let mut rel = Rel { cols: Vec::new(), rows: vec![Vec::new()] };
+    let mut rel = Rel {
+        cols: Vec::new(),
+        rows: vec![Vec::new()],
+    };
     for tref in from {
         let table = db
             .table(&tref.name)
@@ -272,8 +273,15 @@ fn resolve_subqueries(db: &Database, p: &Predicate) -> DbResult<Predicate> {
             op: *op,
             rhs: resolve_operand(db, rhs)?,
         },
-        Predicate::Between { .. } | Predicate::In { source: InSource::List(_), .. } => p.clone(),
-        Predicate::In { col, source: InSource::Subquery(q) } => {
+        Predicate::Between { .. }
+        | Predicate::In {
+            source: InSource::List(_),
+            ..
+        } => p.clone(),
+        Predicate::In {
+            col,
+            source: InSource::Subquery(q),
+        } => {
             let res = execute(db, q)?;
             if res.columns.len() != 1 {
                 return Err(DbError::Invalid(
@@ -281,7 +289,10 @@ fn resolve_subqueries(db: &Database, p: &Predicate) -> DbResult<Predicate> {
                 ));
             }
             let vals = res.rows.into_iter().map(|mut r| r.remove(0)).collect();
-            Predicate::In { col: col.clone(), source: InSource::List(vals) }
+            Predicate::In {
+                col: col.clone(),
+                source: InSource::List(vals),
+            }
         }
         Predicate::And(a, b) => Predicate::And(
             Box::new(resolve_subqueries(db, a)?),
@@ -317,7 +328,10 @@ fn resolve_operand(db: &Database, o: &Operand) -> DbResult<Operand> {
 fn eval_operand(cols: &[(String, String)], row: &[Value], o: &Operand) -> DbResult<Value> {
     match o {
         Operand::Column(c) => {
-            let rel = Rel { cols: cols.to_vec(), rows: vec![] };
+            let rel = Rel {
+                cols: cols.to_vec(),
+                rows: vec![],
+            };
             Ok(row[rel.resolve(c)?].clone())
         }
         Operand::Literal(v) => Ok(v.clone()),
@@ -340,7 +354,12 @@ fn eval_predicate(cols: &[(String, String)], row: &[Value], p: &Predicate) -> Db
                 }
             }
         }
-        Predicate::Between { col, negated, low, high } => {
+        Predicate::Between {
+            col,
+            negated,
+            low,
+            high,
+        } => {
             let v = eval_operand(cols, row, &Operand::Column(col.clone()))?;
             let hit = !matches!(v, Value::Null) && &v >= low && &v <= high;
             hit != *negated
@@ -354,12 +373,8 @@ fn eval_predicate(cols: &[(String, String)], row: &[Value], p: &Predicate) -> Db
                 }
             }
         }
-        Predicate::And(a, b) => {
-            eval_predicate(cols, row, a)? && eval_predicate(cols, row, b)?
-        }
-        Predicate::Or(a, b) => {
-            eval_predicate(cols, row, a)? || eval_predicate(cols, row, b)?
-        }
+        Predicate::And(a, b) => eval_predicate(cols, row, a)? && eval_predicate(cols, row, b)?,
+        Predicate::Or(a, b) => eval_predicate(cols, row, a)? || eval_predicate(cols, row, b)?,
     })
 }
 
@@ -415,7 +430,9 @@ fn execute_aggregate(rel: &Rel, query: &Query) -> DbResult<QueryResult> {
     for item in &query.select {
         match item {
             SelectItem::Star => {
-                return Err(DbError::Invalid("SELECT * cannot be mixed with aggregates".into()))
+                return Err(DbError::Invalid(
+                    "SELECT * cannot be mixed with aggregates".into(),
+                ))
             }
             SelectItem::Column(c) => columns.push(c.column.clone()),
             SelectItem::Agg(f, c) => columns.push(format!("{} ( {} )", f.as_str(), c.column)),
@@ -473,8 +490,16 @@ fn aggregate<'a, I: Iterator<Item = &'a Value>>(f: AggFunc, values: I) -> Value 
     }
     match f {
         AggFunc::Count => Value::Int(non_null.len() as i64),
-        AggFunc::Max => non_null.iter().max().map(|v| (*v).clone()).unwrap_or(Value::Null),
-        AggFunc::Min => non_null.iter().min().map(|v| (*v).clone()).unwrap_or(Value::Null),
+        AggFunc::Max => non_null
+            .iter()
+            .max()
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
+        AggFunc::Min => non_null
+            .iter()
+            .min()
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
         AggFunc::Sum => sum_values(&non_null),
         AggFunc::Avg => match sum_values(&non_null) {
             Value::Int(s) => Value::Float(s as f64 / non_null.len() as f64),
@@ -487,10 +512,15 @@ fn aggregate<'a, I: Iterator<Item = &'a Value>>(f: AggFunc, values: I) -> Value 
 fn sum_values(values: &[&Value]) -> Value {
     let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
     if all_int {
-        Value::Int(values.iter().map(|v| match v {
-            Value::Int(i) => *i,
-            _ => 0,
-        }).sum())
+        Value::Int(
+            values
+                .iter()
+                .map(|v| match v {
+                    Value::Int(i) => *i,
+                    _ => 0,
+                })
+                .sum(),
+        )
     } else {
         let mut acc = 0.0;
         for v in values {
@@ -521,9 +551,24 @@ mod tests {
             ],
         ));
         let d = |s: &str| Value::Date(Date::parse(s).unwrap());
-        emp.push_row(vec![Value::Int(1), Value::Text("Karsten".into()), Value::Text("M".into()), d("1996-05-10")]);
-        emp.push_row(vec![Value::Int(2), Value::Text("Goh".into()), Value::Text("F".into()), d("1993-01-20")]);
-        emp.push_row(vec![Value::Int(3), Value::Text("Perla".into()), Value::Text("F".into()), d("2001-10-09")]);
+        emp.push_row(vec![
+            Value::Int(1),
+            Value::Text("Karsten".into()),
+            Value::Text("M".into()),
+            d("1996-05-10"),
+        ]);
+        emp.push_row(vec![
+            Value::Int(2),
+            Value::Text("Goh".into()),
+            Value::Text("F".into()),
+            d("1993-01-20"),
+        ]);
+        emp.push_row(vec![
+            Value::Int(3),
+            Value::Text("Perla".into()),
+            Value::Text("F".into()),
+            d("2001-10-09"),
+        ]);
         db.add_table(emp);
         let mut sal = Table::new(TableSchema::new(
             "Salaries",
@@ -559,7 +604,11 @@ mod tests {
         assert_eq!(r.rows, vec![vec![Value::Float(70000.0)]]);
         let r = execute_sql(&db(), "SELECT COUNT ( * ) FROM Employees").unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(3)]]);
-        let r = execute_sql(&db(), "SELECT MAX ( Salary ) , MIN ( Salary ) FROM Salaries").unwrap();
+        let r = execute_sql(
+            &db(),
+            "SELECT MAX ( Salary ) , MIN ( Salary ) FROM Salaries",
+        )
+        .unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(80000), Value::Int(60000)]]);
     }
 
@@ -604,10 +653,17 @@ mod tests {
 
     #[test]
     fn order_by_and_limit() {
-        let r = execute_sql(&db(), "SELECT FirstName FROM Employees ORDER BY HireDate LIMIT 2").unwrap();
+        let r = execute_sql(
+            &db(),
+            "SELECT FirstName FROM Employees ORDER BY HireDate LIMIT 2",
+        )
+        .unwrap();
         assert_eq!(
             r.rows,
-            vec![vec![Value::Text("Goh".into())], vec![Value::Text("Karsten".into())]]
+            vec![
+                vec![Value::Text("Goh".into())],
+                vec![Value::Text("Karsten".into())]
+            ]
         );
     }
 
@@ -615,7 +671,11 @@ mod tests {
     fn between_and_in() {
         let r = execute_sql(&db(), "SELECT FirstName FROM Employees NATURAL JOIN Salaries WHERE Salary BETWEEN 60000 AND 70000").unwrap();
         assert_eq!(r.rows.len(), 2);
-        let r = execute_sql(&db(), "SELECT FirstName FROM Employees WHERE FirstName IN ( 'Goh' , 'Perla' )").unwrap();
+        let r = execute_sql(
+            &db(),
+            "SELECT FirstName FROM Employees WHERE FirstName IN ( 'Goh' , 'Perla' )",
+        )
+        .unwrap();
         assert_eq!(r.rows.len(), 2);
         let r = execute_sql(&db(), "SELECT FirstName FROM Employees NATURAL JOIN Salaries WHERE Salary NOT BETWEEN 60000 AND 70000").unwrap();
         assert_eq!(r.rows.len(), 1);
@@ -623,9 +683,17 @@ mod tests {
 
     #[test]
     fn date_comparison() {
-        let r = execute_sql(&db(), "SELECT FirstName FROM Employees WHERE HireDate = '1993-01-20'").unwrap();
+        let r = execute_sql(
+            &db(),
+            "SELECT FirstName FROM Employees WHERE HireDate = '1993-01-20'",
+        )
+        .unwrap();
         assert_eq!(r.rows, vec![vec![Value::Text("Goh".into())]]);
-        let r = execute_sql(&db(), "SELECT FirstName FROM Employees WHERE HireDate > '1995-01-01'").unwrap();
+        let r = execute_sql(
+            &db(),
+            "SELECT FirstName FROM Employees WHERE HireDate > '1995-01-01'",
+        )
+        .unwrap();
         assert_eq!(r.rows.len(), 2);
     }
 
@@ -674,9 +742,17 @@ mod tests {
 
     #[test]
     fn empty_group_aggregate() {
-        let r = execute_sql(&db(), "SELECT COUNT ( Salary ) FROM Salaries WHERE Salary > 999999").unwrap();
+        let r = execute_sql(
+            &db(),
+            "SELECT COUNT ( Salary ) FROM Salaries WHERE Salary > 999999",
+        )
+        .unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(0)]]);
-        let r = execute_sql(&db(), "SELECT MAX ( Salary ) FROM Salaries WHERE Salary > 999999").unwrap();
+        let r = execute_sql(
+            &db(),
+            "SELECT MAX ( Salary ) FROM Salaries WHERE Salary > 999999",
+        )
+        .unwrap();
         assert_eq!(r.rows, vec![vec![Value::Null]]);
     }
 
@@ -699,7 +775,10 @@ mod edge_tests {
         let mut db = Database::new("edge");
         db.add_table(Table::new(TableSchema::new(
             "T",
-            vec![Column::new("a", ValueType::Int), Column::new("b", ValueType::Text)],
+            vec![
+                Column::new("a", ValueType::Int),
+                Column::new("b", ValueType::Text),
+            ],
         )));
         db
     }
@@ -726,9 +805,20 @@ mod edge_tests {
     #[test]
     fn limit_zero_and_oversized() {
         let mut db = empty_db();
-        db.table_mut("T").unwrap().push_row(vec![Value::Int(1), Value::Text("x".into())]);
-        assert!(execute_sql(&db, "SELECT a FROM T LIMIT 0").unwrap().rows.is_empty());
-        assert_eq!(execute_sql(&db, "SELECT a FROM T LIMIT 999").unwrap().rows.len(), 1);
+        db.table_mut("T")
+            .unwrap()
+            .push_row(vec![Value::Int(1), Value::Text("x".into())]);
+        assert!(execute_sql(&db, "SELECT a FROM T LIMIT 0")
+            .unwrap()
+            .rows
+            .is_empty());
+        assert_eq!(
+            execute_sql(&db, "SELECT a FROM T LIMIT 999")
+                .unwrap()
+                .rows
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -741,7 +831,10 @@ mod edge_tests {
         // rejected? No aliases in the subset; joining distinct tables only.
         let mut u = Table::new(TableSchema::new(
             "U",
-            vec![Column::new("a", ValueType::Int), Column::new("c", ValueType::Int)],
+            vec![
+                Column::new("a", ValueType::Int),
+                Column::new("c", ValueType::Int),
+            ],
         ));
         u.push_row(vec![Value::Int(1), Value::Int(10)]);
         u.push_row(vec![Value::Int(3), Value::Int(30)]);
@@ -779,7 +872,9 @@ mod edge_tests {
     #[test]
     fn between_bounds_inverted_is_empty_not_error() {
         let mut db = empty_db();
-        db.table_mut("T").unwrap().push_row(vec![Value::Int(5), Value::Text("x".into())]);
+        db.table_mut("T")
+            .unwrap()
+            .push_row(vec![Value::Int(5), Value::Text("x".into())]);
         let r = execute_sql(&db, "SELECT a FROM T WHERE a BETWEEN 9 AND 1").unwrap();
         assert!(r.rows.is_empty());
         let r = execute_sql(&db, "SELECT a FROM T WHERE a NOT BETWEEN 9 AND 1").unwrap();
@@ -800,7 +895,9 @@ mod edge_tests {
     #[test]
     fn star_with_aggregate_rejected() {
         let mut db = empty_db();
-        db.table_mut("T").unwrap().push_row(vec![Value::Int(1), Value::Text("x".into())]);
+        db.table_mut("T")
+            .unwrap()
+            .push_row(vec![Value::Int(1), Value::Text("x".into())]);
         assert!(matches!(
             execute_sql(&db, "SELECT * , COUNT ( a ) FROM T"),
             Err(DbError::Invalid(_))

@@ -13,7 +13,10 @@ use speakql_grammar::{tokenize_sql, Keyword, SplChar, Token};
 /// Parse a SQL string into a [`Query`].
 pub fn parse_query(text: &str) -> DbResult<Query> {
     let tokens = tokenize_sql(text);
-    let mut p = Parser { tokens: &tokens, pos: 0 };
+    let mut p = Parser {
+        tokens: &tokens,
+        pos: 0,
+    };
     let q = p.query(0)?;
     if p.pos != p.tokens.len() {
         return Err(DbError::parse(p.pos, "trailing tokens after query"));
@@ -79,14 +82,20 @@ impl<'a> Parser<'a> {
         if self.eat_sc(c) {
             Ok(())
         } else {
-            Err(DbError::parse(self.pos, format!("expected '{}'", c.as_str())))
+            Err(DbError::parse(
+                self.pos,
+                format!("expected '{}'", c.as_str()),
+            ))
         }
     }
 
     fn literal_text(&mut self) -> DbResult<String> {
         match self.bump() {
             Some(Token::Literal(s)) => Ok(s.clone()),
-            _ => Err(DbError::parse(self.pos.saturating_sub(1), "expected identifier or value")),
+            _ => Err(DbError::parse(
+                self.pos.saturating_sub(1),
+                "expected identifier or value",
+            )),
         }
     }
 
@@ -117,9 +126,9 @@ impl<'a> Parser<'a> {
                 q.order_by = Some(self.col_ref()?);
             } else if self.eat_kw(Keyword::Limit) {
                 let n = self.literal_text()?;
-                let n: u64 = n
-                    .parse()
-                    .map_err(|_| DbError::Invalid(format!("LIMIT must be a non-negative integer, got {n}")))?;
+                let n: u64 = n.parse().map_err(|_| {
+                    DbError::Invalid(format!("LIMIT must be a non-negative integer, got {n}"))
+                })?;
                 q.limit = Some(n);
             } else {
                 break;
@@ -163,14 +172,23 @@ impl<'a> Parser<'a> {
     }
 
     fn table_list(&mut self) -> DbResult<Vec<TableRef>> {
-        let mut tables = vec![TableRef { name: self.literal_text()?, join: JoinKind::First }];
+        let mut tables = vec![TableRef {
+            name: self.literal_text()?,
+            join: JoinKind::First,
+        }];
         loop {
             if self.eat_sc(SplChar::Comma) {
-                tables.push(TableRef { name: self.literal_text()?, join: JoinKind::Comma });
+                tables.push(TableRef {
+                    name: self.literal_text()?,
+                    join: JoinKind::Comma,
+                });
             } else if self.at_kw(Keyword::Natural) {
                 self.pos += 1;
                 self.expect_kw(Keyword::Join)?;
-                tables.push(TableRef { name: self.literal_text()?, join: JoinKind::Natural });
+                tables.push(TableRef {
+                    name: self.literal_text()?,
+                    join: JoinKind::Natural,
+                });
             } else {
                 break;
             }
@@ -222,25 +240,38 @@ impl<'a> Parser<'a> {
             let low = self.value()?;
             self.expect_kw(Keyword::And)?;
             let high = self.value()?;
-            return Ok(Predicate::Between { col, negated, low, high });
+            return Ok(Predicate::Between {
+                col,
+                negated,
+                low,
+                high,
+            });
         }
         if self.eat_kw(Keyword::In) {
             let col = operand_as_col(lhs_col, self.pos)?;
             self.expect_sc(SplChar::LParen)?;
             if self.at_kw(Keyword::Select) {
                 if depth >= MAX_NESTING {
-                    return Err(DbError::Invalid("only one level of nesting is supported".into()));
+                    return Err(DbError::Invalid(
+                        "only one level of nesting is supported".into(),
+                    ));
                 }
                 let sub = self.query(depth + 1)?;
                 self.expect_sc(SplChar::RParen)?;
-                return Ok(Predicate::In { col, source: InSource::Subquery(Box::new(sub)) });
+                return Ok(Predicate::In {
+                    col,
+                    source: InSource::Subquery(Box::new(sub)),
+                });
             }
             let mut vals = vec![self.value()?];
             while self.eat_sc(SplChar::Comma) {
                 vals.push(self.value()?);
             }
             self.expect_sc(SplChar::RParen)?;
-            return Ok(Predicate::In { col, source: InSource::List(vals) });
+            return Ok(Predicate::In {
+                col,
+                source: InSource::List(vals),
+            });
         }
         let op = match self.bump() {
             Some(Token::SplChar(SplChar::Eq)) => CmpOp::Eq,
@@ -254,14 +285,20 @@ impl<'a> Parser<'a> {
             }
         };
         let rhs = self.operand(depth)?;
-        Ok(Predicate::Cmp { lhs: lhs_col, op, rhs })
+        Ok(Predicate::Cmp {
+            lhs: lhs_col,
+            op,
+            rhs,
+        })
     }
 
     /// Parse an operand that may also open a nested subquery.
     fn operand(&mut self, depth: usize) -> DbResult<Operand> {
         if self.eat_sc(SplChar::LParen) {
             if depth >= MAX_NESTING {
-                return Err(DbError::Invalid("only one level of nesting is supported".into()));
+                return Err(DbError::Invalid(
+                    "only one level of nesting is supported".into(),
+                ));
             }
             let sub = self.query(depth + 1)?;
             self.expect_sc(SplChar::RParen)?;
@@ -295,7 +332,10 @@ impl<'a> Parser<'a> {
 fn operand_as_col(o: Operand, pos: usize) -> DbResult<ColRef> {
     match o {
         Operand::Column(c) => Ok(c),
-        _ => Err(DbError::parse(pos, "left side of BETWEEN/IN must be a column")),
+        _ => Err(DbError::parse(
+            pos,
+            "left side of BETWEEN/IN must be a column",
+        )),
     }
 }
 
@@ -306,7 +346,10 @@ mod tests {
     #[test]
     fn parses_table6_q1() {
         let q = parse_query("SELECT AVG ( salary ) FROM Salaries").unwrap();
-        assert_eq!(q.select, vec![SelectItem::Agg(AggFunc::Avg, ColRef::bare("salary"))]);
+        assert_eq!(
+            q.select,
+            vec![SelectItem::Agg(AggFunc::Avg, ColRef::bare("salary"))]
+        );
         assert_eq!(q.from.len(), 1);
         assert!(q.predicate.is_none());
     }
@@ -321,7 +364,10 @@ mod tests {
         assert_eq!(q.from[1].join, JoinKind::Natural);
         assert_eq!(q.order_by, Some(ColRef::bare("HireDate")));
         match q.predicate.unwrap() {
-            Predicate::Cmp { rhs: Operand::Literal(Value::Text(s)), .. } => {
+            Predicate::Cmp {
+                rhs: Operand::Literal(Value::Text(s)),
+                ..
+            } => {
                 assert_eq!(s, "Karsten");
             }
             other => panic!("unexpected predicate {other:?}"),
@@ -337,7 +383,10 @@ mod tests {
         .unwrap();
         assert_eq!(q.select.len(), 3);
         match q.predicate.unwrap() {
-            Predicate::In { source: InSource::List(vals), .. } => assert_eq!(vals.len(), 5),
+            Predicate::In {
+                source: InSource::List(vals),
+                ..
+            } => assert_eq!(vals.len(), 5),
             other => panic!("unexpected predicate {other:?}"),
         }
     }
@@ -352,7 +401,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.from.len(), 3);
-        assert_eq!(q.group_by, Some(ColRef::qualified("Employees", "FirstName")));
+        assert_eq!(
+            q.group_by,
+            Some(ColRef::qualified("Employees", "FirstName"))
+        );
         assert!(matches!(q.predicate, Some(Predicate::And(_, _))));
     }
 
@@ -407,7 +459,10 @@ mod tests {
         .unwrap();
         assert!(matches!(
             q.predicate.unwrap(),
-            Predicate::In { source: InSource::Subquery(_), .. }
+            Predicate::In {
+                source: InSource::Subquery(_),
+                ..
+            }
         ));
     }
 
@@ -419,7 +474,10 @@ mod tests {
         .unwrap();
         assert!(matches!(
             q.predicate.unwrap(),
-            Predicate::Cmp { rhs: Operand::Subquery(_), .. }
+            Predicate::Cmp {
+                rhs: Operand::Subquery(_),
+                ..
+            }
         ));
     }
 

@@ -18,7 +18,10 @@ pub struct Column {
 impl Column {
     /// Define a column.
     pub fn new(name: impl Into<String>, ty: ValueType) -> Column {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -32,7 +35,10 @@ pub struct TableSchema {
 impl TableSchema {
     /// Define a table schema.
     pub fn new(name: impl Into<String>, columns: Vec<Column>) -> TableSchema {
-        TableSchema { name: name.into(), columns }
+        TableSchema {
+            name: name.into(),
+            columns,
+        }
     }
 
     /// Case-insensitive column lookup.
@@ -53,7 +59,10 @@ pub struct Table {
 impl Table {
     /// Create an empty table with this schema.
     pub fn new(schema: TableSchema) -> Table {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row; panics if arity mismatches (construction-time bug).
@@ -89,7 +98,10 @@ pub struct Database {
 impl Database {
     /// Create an empty database.
     pub fn new(name: impl Into<String>) -> Database {
-        Database { name: name.into(), tables: Vec::new() }
+        Database {
+            name: name.into(),
+            tables: Vec::new(),
+        }
     }
 
     pub fn add_table(&mut self, table: Table) {
@@ -249,7 +261,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "row arity")]
     fn arity_mismatch_panics() {
-        let mut t = Table::new(TableSchema::new("T", vec![Column::new("a", ValueType::Int)]));
+        let mut t = Table::new(TableSchema::new(
+            "T",
+            vec![Column::new("a", ValueType::Int)],
+        ));
         t.push_row(vec![Value::Int(1), Value::Int(2)]);
     }
 }

@@ -239,7 +239,14 @@ mod tests {
     #[test]
     fn date_parse_and_display() {
         let d = Date::parse("1993-01-20").unwrap();
-        assert_eq!(d, Date { year: 1993, month: 1, day: 20 });
+        assert_eq!(
+            d,
+            Date {
+                year: 1993,
+                month: 1,
+                day: 20
+            }
+        );
         assert_eq!(d.to_string(), "1993-01-20");
         assert!(Date::parse("1993-13-01").is_none());
         assert!(Date::parse("1993-02-30").is_none());
@@ -256,7 +263,10 @@ mod tests {
 
     #[test]
     fn literal_parsing() {
-        assert_eq!(Value::parse_literal("'d002'"), Some(Value::Text("d002".into())));
+        assert_eq!(
+            Value::parse_literal("'d002'"),
+            Some(Value::Text("d002".into()))
+        );
         assert_eq!(
             Value::parse_literal("'1993-01-20'"),
             Some(Value::Date(Date::parse("1993-01-20").unwrap()))

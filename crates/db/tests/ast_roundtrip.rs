@@ -15,7 +15,10 @@ fn ident() -> impl Strategy<Value = String> {
 }
 
 fn col_ref() -> impl Strategy<Value = ColRef> {
-    (ident(), prop::option::of(ident())).prop_map(|(c, t)| ColRef { table: t, column: c })
+    (ident(), prop::option::of(ident())).prop_map(|(c, t)| ColRef {
+        table: t,
+        column: c,
+    })
 }
 
 fn value() -> impl Strategy<Value = Value> {
@@ -64,7 +67,12 @@ fn leaf_predicate() -> impl Strategy<Value = Predicate> {
             rhs,
         }),
         (col_ref(), any::<bool>(), value(), value()).prop_map(|(col, negated, low, high)| {
-            Predicate::Between { col, negated, low, high }
+            Predicate::Between {
+                col,
+                negated,
+                low,
+                high,
+            }
         }),
         (col_ref(), prop::collection::vec(value(), 1..4)).prop_map(|(col, vals)| Predicate::In {
             col,
@@ -113,14 +121,16 @@ fn query() -> impl Strategy<Value = Query> {
         prop::option::of(col_ref()),
         prop::option::of(0u64..1000),
     )
-        .prop_map(|(select, from, predicate, group_by, order_by, limit)| Query {
-            select,
-            from,
-            predicate,
-            group_by,
-            order_by,
-            limit,
-        })
+        .prop_map(
+            |(select, from, predicate, group_by, order_by, limit)| Query {
+                select,
+                from,
+                predicate,
+                group_by,
+                order_by,
+                limit,
+            },
+        )
 }
 
 proptest! {

@@ -59,6 +59,44 @@ pub fn advance_column(
     }
 }
 
+/// A per-worker arena of incremental DP columns, one per trie depth.
+///
+/// Trie search keeps the column for every prefix on the current root-to-node
+/// path so siblings can re-derive from the parent column without recomputing
+/// the whole matrix. Owning the columns in a dedicated workspace (rather
+/// than a raw `Vec<Vec<Dist>>` threaded through the recursion) lets each
+/// search worker carry its own reusable buffers: the workspace is `Send`,
+/// allocation is amortized across every trie the worker walks, and the
+/// parent/child split borrow lives here instead of at every call site.
+#[derive(Debug, Clone)]
+pub struct ColumnWorkspace {
+    cols: Vec<Vec<Dist>>,
+}
+
+impl ColumnWorkspace {
+    /// Workspace for matching `source` against targets of length at most
+    /// `max_depth`. Depth 0 holds the base column (empty target prefix).
+    pub fn new(source: &[StructTokId], w: Weights, max_depth: usize) -> ColumnWorkspace {
+        let mut cols = vec![Vec::new(); max_depth + 1];
+        cols[0] = base_column(source, w);
+        ColumnWorkspace { cols }
+    }
+
+    /// Compute the column at `depth + 1` by extending the column at `depth`
+    /// with target token `token`, and return it.
+    pub fn advance(
+        &mut self,
+        source: &[StructTokId],
+        depth: usize,
+        token: StructTokId,
+        w: Weights,
+    ) -> &[Dist] {
+        let (prev, cur) = self.cols.split_at_mut(depth + 1);
+        advance_column(source, &prev[depth], token, w, &mut cur[0]);
+        &self.cols[depth + 1]
+    }
+}
+
 /// Weighted LCS distance with early abandoning: returns `None` as soon as
 /// every cell of a DP column exceeds `bound` (the distance is then certainly
 /// greater than `bound`). Used by the INV posting-list scan.
@@ -153,7 +191,12 @@ mod tests {
     #[test]
     fn figure9_memo() {
         let source = vec![kw(Keyword::Select), var(), var(), kw(Keyword::From), var()];
-        let target = vec![kw(Keyword::Select), sc(SplChar::Star), kw(Keyword::From), var()];
+        let target = vec![
+            kw(Keyword::Select),
+            sc(SplChar::Star),
+            kw(Keyword::From),
+            var(),
+        ];
         let w = Weights::PAPER;
 
         assert_eq!(base_column(&source, w), vec![0, 12, 22, 32, 44, 54]);
@@ -195,7 +238,12 @@ mod tests {
         // Insert/delete duality: d(a,b) = d(b,a) because inserting b_j in one
         // direction is deleting it in the other, with the same class weight.
         let a = vec![kw(Keyword::Select), var(), var(), kw(Keyword::From), var()];
-        let b = vec![kw(Keyword::Select), sc(SplChar::Star), kw(Keyword::From), var()];
+        let b = vec![
+            kw(Keyword::Select),
+            sc(SplChar::Star),
+            kw(Keyword::From),
+            var(),
+        ];
         assert_eq!(
             weighted_lcs_distance(&a, &b, Weights::PAPER),
             weighted_lcs_distance(&b, &a, Weights::PAPER)
@@ -205,7 +253,12 @@ mod tests {
     #[test]
     fn uniform_weights_match_unweighted_ted() {
         let a = vec![kw(Keyword::Select), var(), var(), kw(Keyword::From), var()];
-        let b = vec![kw(Keyword::Select), sc(SplChar::Star), kw(Keyword::From), var()];
+        let b = vec![
+            kw(Keyword::Select),
+            sc(SplChar::Star),
+            kw(Keyword::From),
+            var(),
+        ];
         let d = weighted_lcs_distance(&a, &b, Weights::UNIFORM);
         assert_eq!(d as usize, 10 * token_edit_distance(&a, &b));
     }

@@ -20,7 +20,7 @@ pub mod weights;
 pub use bounds::{lower_bound, upper_bound};
 pub use lcs::{
     advance_column, base_column, char_lcs_distance, levenshtein, token_edit_distance,
-    weighted_lcs_distance, weighted_lcs_distance_bounded,
+    weighted_lcs_distance, weighted_lcs_distance_bounded, ColumnWorkspace,
 };
 pub use weights::{dist_to_f64, dist_to_string, Dist, Weights, DIST_INF};
 
@@ -31,10 +31,7 @@ mod proptests {
     use speakql_grammar::{StructTokId, STRUCT_ALPHABET};
 
     fn arb_toks(max_len: usize) -> impl Strategy<Value = Vec<StructTokId>> {
-        prop::collection::vec(
-            (0..STRUCT_ALPHABET as u8).prop_map(StructTokId),
-            0..max_len,
-        )
+        prop::collection::vec((0..STRUCT_ALPHABET as u8).prop_map(StructTokId), 0..max_len)
     }
 
     proptest! {
@@ -94,6 +91,19 @@ mod proptests {
                 std::mem::swap(&mut prev, &mut cur);
             }
             prop_assert_eq!(prev[a.len()], weighted_lcs_distance(&a, &b, w));
+        }
+
+        /// The per-worker column workspace computes the same columns as the
+        /// raw incremental recurrence.
+        #[test]
+        fn workspace_matches_batch(a in arb_toks(16), b in arb_toks(16)) {
+            let w = Weights::PAPER;
+            let mut ws = ColumnWorkspace::new(&a, w, b.len());
+            let mut last = base_column(&a, w);
+            for (depth, &t) in b.iter().enumerate() {
+                last = ws.advance(&a, depth, t, w).to_vec();
+            }
+            prop_assert_eq!(last[a.len()], weighted_lcs_distance(&a, &b, w));
         }
 
         /// Levenshtein never exceeds char-LCS distance.

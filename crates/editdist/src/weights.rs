@@ -29,11 +29,19 @@ pub struct Weights {
 
 impl Weights {
     /// The paper's weights: `W_K = 1.2, W_S = 1.1, W_L = 1.0`.
-    pub const PAPER: Weights = Weights { keyword: 12, splchar: 11, literal: 10 };
+    pub const PAPER: Weights = Weights {
+        keyword: 12,
+        splchar: 11,
+        literal: 10,
+    };
 
     /// Uniform weights (classic unweighted LCS distance), useful for
     /// ablations and for the TED accuracy metric.
-    pub const UNIFORM: Weights = Weights { keyword: 10, splchar: 10, literal: 10 };
+    pub const UNIFORM: Weights = Weights {
+        keyword: 10,
+        splchar: 10,
+        literal: 10,
+    };
 
     /// Weight of a token class.
     pub fn of_class(self, class: TokenClass) -> Dist {
@@ -95,8 +103,14 @@ mod tests {
     #[test]
     fn class_weights() {
         let w = Weights::PAPER;
-        assert_eq!(w.of(StructTokId::from_tok(StructTok::Keyword(Keyword::Select))), 12);
-        assert_eq!(w.of(StructTokId::from_tok(StructTok::SplChar(SplChar::Eq))), 11);
+        assert_eq!(
+            w.of(StructTokId::from_tok(StructTok::Keyword(Keyword::Select))),
+            12
+        );
+        assert_eq!(
+            w.of(StructTokId::from_tok(StructTok::SplChar(SplChar::Eq))),
+            11
+        );
         assert_eq!(w.of(StructTokId::VAR), 10);
     }
 

@@ -97,8 +97,19 @@ pub(crate) fn productions() -> &'static [(Nt, &'static [Sym])] {
         (C, &[N(C), Sc(SplChar::Comma), N(Item)]),
         // Item → L | SEL_OP ( L ) | COUNT ( * )
         (Item, &[Var]),
-        (Item, &[AggKw, Sc(SplChar::LParen), Var, Sc(SplChar::RParen)]),
-        (Item, &[Kw(Count), Sc(SplChar::LParen), Sc(SplChar::Star), Sc(SplChar::RParen)]),
+        (
+            Item,
+            &[AggKw, Sc(SplChar::LParen), Var, Sc(SplChar::RParen)],
+        ),
+        (
+            Item,
+            &[
+                Kw(Count),
+                Sc(SplChar::LParen),
+                Sc(SplChar::Star),
+                Sc(SplChar::RParen),
+            ],
+        ),
         // F → FROM L | FROM L CF
         (F, &[Kw(From), Var]),
         (F, &[Kw(From), Var, N(Cf)]),
@@ -125,8 +136,21 @@ pub(crate) fn productions() -> &'static [(Nt, &'static [Sym])] {
         (Agg, &[N(Wd), Kw(Limit), Var]),
         (Agg, &[Var, Kw(Between), Var, Kw(And), Var]),
         (Agg, &[Var, Kw(Not), Kw(Between), Var, Kw(And), Var]),
-        (Agg, &[Var, Kw(In), Sc(SplChar::LParen), Var, Sc(SplChar::RParen)]),
-        (Agg, &[Var, Kw(In), Sc(SplChar::LParen), Var, N(Cs), Sc(SplChar::RParen)]),
+        (
+            Agg,
+            &[Var, Kw(In), Sc(SplChar::LParen), Var, Sc(SplChar::RParen)],
+        ),
+        (
+            Agg,
+            &[
+                Var,
+                Kw(In),
+                Sc(SplChar::LParen),
+                Var,
+                N(Cs),
+                Sc(SplChar::RParen),
+            ],
+        ),
         // CS → , L | CS , L
         (Cs, &[Sc(SplChar::Comma), Var]),
         (Cs, &[N(Cs), Sc(SplChar::Comma), Var]),
@@ -172,7 +196,15 @@ pub fn recognize(masked: &[StructTokId]) -> bool {
     // Seed with the goal productions.
     for (pi, (head, _)) in prods.iter().enumerate() {
         if *head == Nt::Q {
-            push(&mut sets, 0, Item { prod: pi, dot: 0, origin: 0 });
+            push(
+                &mut sets,
+                0,
+                Item {
+                    prod: pi,
+                    dot: 0,
+                    origin: 0,
+                },
+            );
         }
     }
 
@@ -210,7 +242,15 @@ pub fn recognize(masked: &[StructTokId]) -> bool {
                     // Prediction.
                     for (pi, (h, _)) in prods.iter().enumerate() {
                         if *h == nt {
-                            push(&mut sets, k, Item { prod: pi, dot: 0, origin: k });
+                            push(
+                                &mut sets,
+                                k,
+                                Item {
+                                    prod: pi,
+                                    dot: 0,
+                                    origin: k,
+                                },
+                            );
                         }
                     }
                 }
@@ -220,7 +260,11 @@ pub fn recognize(masked: &[StructTokId]) -> bool {
                         push(
                             &mut sets,
                             k + 1,
-                            Item { prod: item.prod, dot: item.dot + 1, origin: item.origin },
+                            Item {
+                                prod: item.prod,
+                                dot: item.dot + 1,
+                                origin: item.origin,
+                            },
                         );
                     }
                 }
@@ -292,7 +336,11 @@ mod tests {
             ..GeneratorConfig::small()
         });
         for s in &structures {
-            assert!(recognize(&s.tokens), "generator emitted unparsable: {}", s.render());
+            assert!(
+                recognize(&s.tokens),
+                "generator emitted unparsable: {}",
+                s.render()
+            );
         }
     }
 
@@ -302,7 +350,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(99);
         for _ in 0..300 {
             let s = sample_structure(&cfg, &mut rng);
-            assert!(recognize(&s.tokens), "sampler emitted unparsable: {}", s.render());
+            assert!(
+                recognize(&s.tokens),
+                "sampler emitted unparsable: {}",
+                s.render()
+            );
         }
     }
 }

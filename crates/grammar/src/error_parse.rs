@@ -69,7 +69,15 @@ pub fn min_parse_distance(masked: &[StructTokId], weights: ParseWeights) -> Pars
     let mut worklist: Vec<(usize, Item, ParseDist)> = Vec::new();
     for (pi, (head, _)) in prods.iter().enumerate() {
         if *head == Nt::Q {
-            worklist.push((0, Item { prod: pi as u16, dot: 0, origin: 0 }, 0));
+            worklist.push((
+                0,
+                Item {
+                    prod: pi as u16,
+                    dot: 0,
+                    origin: 0,
+                },
+                0,
+            ));
         }
     }
 
@@ -100,10 +108,8 @@ pub fn min_parse_distance(masked: &[StructTokId], weights: ParseWeights) -> Pars
             if (item.dot as usize) == body.len() {
                 // Completion: advance every item at `origin` waiting on head.
                 let origin = item.origin as usize;
-                let waiting: Vec<(Item, ParseDist)> = chart[origin]
-                    .iter()
-                    .map(|(&i, &c)| (i, c))
-                    .collect();
+                let waiting: Vec<(Item, ParseDist)> =
+                    chart[origin].iter().map(|(&i, &c)| (i, c)).collect();
                 for (w_item, w_cost) in waiting {
                     let (_, w_body) = prods[w_item.prod as usize];
                     if (w_item.dot as usize) < w_body.len() {
@@ -129,7 +135,11 @@ pub fn min_parse_distance(masked: &[StructTokId], weights: ParseWeights) -> Pars
                     for (pi, (h, _)) in prods.iter().enumerate() {
                         if *h == nt {
                             queue.push((
-                                Item { prod: pi as u16, dot: 0, origin: k as u16 },
+                                Item {
+                                    prod: pi as u16,
+                                    dot: 0,
+                                    origin: k as u16,
+                                },
                                 0,
                             ));
                         }
@@ -146,7 +156,11 @@ pub fn min_parse_distance(masked: &[StructTokId], weights: ParseWeights) -> Pars
                         .collect();
                     for c2 in completed {
                         queue.push((
-                            Item { prod: item.prod, dot: item.dot + 1, origin: item.origin },
+                            Item {
+                                prod: item.prod,
+                                dot: item.dot + 1,
+                                origin: item.origin,
+                            },
                             cost + c2,
                         ));
                     }
@@ -156,13 +170,21 @@ pub fn min_parse_distance(masked: &[StructTokId], weights: ParseWeights) -> Pars
                     if k < n && terminal.matches(masked[k]) {
                         worklist.push((
                             k + 1,
-                            Item { prod: item.prod, dot: item.dot + 1, origin: item.origin },
+                            Item {
+                                prod: item.prod,
+                                dot: item.dot + 1,
+                                origin: item.origin,
+                            },
                             cost,
                         ));
                     }
                     // Insert the terminal (advance without consuming).
                     queue.push((
-                        Item { prod: item.prod, dot: item.dot + 1, origin: item.origin },
+                        Item {
+                            prod: item.prod,
+                            dot: item.dot + 1,
+                            origin: item.origin,
+                        },
                         cost + terminal_weight(terminal, weights),
                     ));
                 }
@@ -225,7 +247,11 @@ mod tests {
         prev[a.len()]
     }
 
-    fn scan_min(masked: &[StructTokId], structures: &[crate::Structure], w: ParseWeights) -> ParseDist {
+    fn scan_min(
+        masked: &[StructTokId],
+        structures: &[crate::Structure],
+        w: ParseWeights,
+    ) -> ParseDist {
         structures
             .iter()
             .map(|s| lcs_distance(masked, &s.tokens, w))

@@ -444,13 +444,35 @@ pub fn generate_clause_structures(cfg: &GeneratorConfig, clause: ClauseKind) -> 
 /// enumeration, so sampled structures lie in the enumerated space (up to the
 /// `max_structures` truncation).
 pub fn sample_structure<R: Rng + ?Sized>(cfg: &GeneratorConfig, rng: &mut R) -> Structure {
+    // Rejection-sample: derivations are cheap, and retrying keeps samples
+    // inside the enumeration's token cap. Tiny caps (< 30) may be
+    // unsatisfiable by any derivation, so give up after a bounded number of
+    // attempts and return the shortest candidate seen.
+    let mut best: Option<Structure> = None;
+    for _ in 0..64 {
+        let s = sample_structure_once(cfg, rng);
+        if s.tokens.len() <= cfg.max_tokens {
+            return s;
+        }
+        if best
+            .as_ref()
+            .is_none_or(|b| s.tokens.len() < b.tokens.len())
+        {
+            best = Some(s);
+        }
+    }
+    best.expect("at least one sample drawn")
+}
+
+fn sample_structure_once<R: Rng + ?Sized>(cfg: &GeneratorConfig, rng: &mut R) -> Structure {
     let items = select_item_variants();
     // SELECT clause
     let mut q = Frag::new().kw(Keyword::Select);
     if rng.gen_bool(0.08) {
         q = q.sc(SplChar::Star);
     } else {
-        let n_items = weighted_choice(rng, &[(1usize, 55), (2, 30), (3, 15)]).min(cfg.max_select_items);
+        let n_items =
+            weighted_choice(rng, &[(1usize, 55), (2, 30), (3, 15)]).min(cfg.max_select_items);
         for i in 0..n_items {
             if i > 0 {
                 q.toks.push(StructTok::SplChar(SplChar::Comma));
@@ -492,7 +514,10 @@ pub fn sample_structure<R: Rng + ?Sized>(cfg: &GeneratorConfig, rng: &mut R) -> 
         } else if pick < 0.13 {
             // IN list
             let gov = q.phs.len() as u16;
-            q = q.var(Placeholder::attribute()).kw(Keyword::In).sc(SplChar::LParen);
+            q = q
+                .var(Placeholder::attribute())
+                .kw(Keyword::In)
+                .sc(SplChar::LParen);
             let n = rng.gen_range(1..=cfg.max_in_list);
             for i in 0..n {
                 if i > 0 {
@@ -503,11 +528,14 @@ pub fn sample_structure<R: Rng + ?Sized>(cfg: &GeneratorConfig, rng: &mut R) -> 
             q = q.sc(SplChar::RParen);
         } else {
             // predicate chain
-            let n_preds =
-                weighted_choice(rng, &[(1usize, 70), (2, 30)]).min(cfg.max_predicates);
+            let n_preds = weighted_choice(rng, &[(1usize, 70), (2, 30)]).min(cfg.max_predicates);
             for i in 0..n_preds {
                 if i > 0 {
-                    let conn = if rng.gen_bool(0.6) { Keyword::And } else { Keyword::Or };
+                    let conn = if rng.gen_bool(0.6) {
+                        Keyword::And
+                    } else {
+                        Keyword::Or
+                    };
                     q.toks.push(StructTok::Keyword(conn));
                 }
                 q.append(&sample_exp(rng));
@@ -532,7 +560,6 @@ pub fn sample_structure<R: Rng + ?Sized>(cfg: &GeneratorConfig, rng: &mut R) -> 
             q = q.kw(Keyword::Limit).var(Placeholder::number());
         }
     }
-    debug_assert!(q.len() <= cfg.max_tokens || cfg.max_tokens < 30);
     q.into_structure()
 }
 
@@ -541,7 +568,7 @@ fn sample_exp<R: Rng + ?Sized>(rng: &mut R) -> Frag {
     // Weight plain `attr OP value` higher, matching typical queries.
     let idx = if rng.gen_bool(0.6) {
         // lhs plain, rhs value: variants 0..3 step by rhs_dotted=false
-        let op = rng.gen_range(0..3);
+        let op = rng.gen_range(0..3usize);
         op * 2 // (lhs plain block: indices 0,2,4 are rhs plain)
     } else {
         rng.gen_range(0..exps.len())
@@ -650,7 +677,10 @@ mod tests {
 
     #[test]
     fn respects_token_cap() {
-        let cfg = GeneratorConfig { max_tokens: 8, ..GeneratorConfig::small() };
+        let cfg = GeneratorConfig {
+            max_tokens: 8,
+            ..GeneratorConfig::small()
+        };
         for s in generate_structures(&cfg) {
             assert!(s.len() <= 8);
         }
@@ -658,7 +688,10 @@ mod tests {
 
     #[test]
     fn respects_structure_cap() {
-        let cfg = GeneratorConfig { max_structures: Some(100), ..GeneratorConfig::small() };
+        let cfg = GeneratorConfig {
+            max_structures: Some(100),
+            ..GeneratorConfig::small()
+        };
         assert_eq!(generate_structures(&cfg).len(), 100);
     }
 
@@ -683,10 +716,7 @@ mod tests {
             // Every governor points at an earlier attribute placeholder.
             for p in &s.placeholders {
                 if let Some(g) = p.governor {
-                    assert_eq!(
-                        s.placeholders[g as usize].category,
-                        LitCategory::Attribute
-                    );
+                    assert_eq!(s.placeholders[g as usize].category, LitCategory::Attribute);
                 }
             }
         }
@@ -695,7 +725,12 @@ mod tests {
     #[test]
     fn clause_structures_nonempty() {
         let cfg = GeneratorConfig::small();
-        for kind in [ClauseKind::Select, ClauseKind::From, ClauseKind::Where, ClauseKind::Tail] {
+        for kind in [
+            ClauseKind::Select,
+            ClauseKind::From,
+            ClauseKind::Where,
+            ClauseKind::Tail,
+        ] {
             assert!(!generate_clause_structures(&cfg, kind).is_empty());
         }
     }

@@ -26,17 +26,15 @@ pub mod tokenizer;
 pub use earley::{recognize, recognize_text};
 pub use error_parse::{min_parse_distance, ParseDist, ParseWeights, PARSE_DIST_INF};
 pub use generator::{
-    generate_clause_structures, generate_structures, sample_structure, ClauseKind,
-    GeneratorConfig, BOX1_GRAMMAR,
+    generate_clause_structures, generate_structures, sample_structure, ClauseKind, GeneratorConfig,
+    BOX1_GRAMMAR,
 };
 pub use masking::{
-    handle_splchars, in_dictionaries, process_transcript, process_transcript_text,
-    render_masked, ProcessedTranscript,
+    handle_splchars, in_dictionaries, process_transcript, process_transcript_text, render_masked,
+    ProcessedTranscript,
 };
 pub use structure::{LitCategory, Placeholder, StructTok, StructTokId, Structure, STRUCT_ALPHABET};
-pub use token::{
-    render_tokens, Keyword, SplChar, Token, TokenClass, ALL_KEYWORDS, ALL_SPLCHARS,
-};
+pub use token::{render_tokens, Keyword, SplChar, Token, TokenClass, ALL_KEYWORDS, ALL_SPLCHARS};
 pub use tokenizer::{tokenize_sql, tokenize_transcript};
 
 #[cfg(test)]

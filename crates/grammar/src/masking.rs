@@ -80,7 +80,11 @@ pub fn process_transcript(words: &[String]) -> ProcessedTranscript {
     let words = handle_splchars(words);
     let tokens: Vec<Token> = words.iter().map(|w| Token::classify_word(w)).collect();
     let masked = crate::structure::Structure::mask_of(&tokens);
-    ProcessedTranscript { words, tokens, masked }
+    ProcessedTranscript {
+        words,
+        tokens,
+        masked,
+    }
 }
 
 /// Convenience: process a raw transcript string.

@@ -116,16 +116,28 @@ pub struct Placeholder {
 
 impl Placeholder {
     pub fn table() -> Self {
-        Placeholder { category: LitCategory::Table, governor: None }
+        Placeholder {
+            category: LitCategory::Table,
+            governor: None,
+        }
     }
     pub fn attribute() -> Self {
-        Placeholder { category: LitCategory::Attribute, governor: None }
+        Placeholder {
+            category: LitCategory::Attribute,
+            governor: None,
+        }
     }
     pub fn value(governor: Option<u16>) -> Self {
-        Placeholder { category: LitCategory::Value, governor }
+        Placeholder {
+            category: LitCategory::Value,
+            governor,
+        }
     }
     pub fn number() -> Self {
-        Placeholder { category: LitCategory::Number, governor: None }
+        Placeholder {
+            category: LitCategory::Number,
+            governor: None,
+        }
     }
 }
 
@@ -142,7 +154,10 @@ impl Structure {
     /// Build from unintered tokens, checking that the number of `Var` tokens
     /// matches the placeholder metadata.
     pub fn new(tokens: Vec<StructTok>, placeholders: Vec<Placeholder>) -> Structure {
-        let vars = tokens.iter().filter(|t| matches!(t, StructTok::Var)).count();
+        let vars = tokens
+            .iter()
+            .filter(|t| matches!(t, StructTok::Var))
+            .count();
         assert_eq!(
             vars,
             placeholders.len(),
@@ -202,7 +217,11 @@ impl Structure {
     /// Substitute literal strings for the placeholders, yielding a concrete
     /// token sequence. `literals.len()` must equal [`Self::var_count`].
     pub fn bind(&self, literals: &[String]) -> Vec<Token> {
-        assert_eq!(literals.len(), self.var_count(), "one literal per placeholder");
+        assert_eq!(
+            literals.len(),
+            self.var_count(),
+            "one literal per placeholder"
+        );
         let mut var = 0usize;
         self.tokens
             .iter()
@@ -275,7 +294,10 @@ mod tests {
 
     #[test]
     fn render_running_example() {
-        assert_eq!(simple_structure().render(), "SELECT x1 FROM x2 WHERE x3 = x4");
+        assert_eq!(
+            simple_structure().render(),
+            "SELECT x1 FROM x2 WHERE x3 = x4"
+        );
     }
 
     #[test]

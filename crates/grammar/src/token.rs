@@ -306,7 +306,10 @@ mod tests {
             Token::classify_word("Salary"),
             Token::Literal("Salary".into())
         );
-        assert_eq!(Token::classify_word("select"), Token::Keyword(Keyword::Select));
+        assert_eq!(
+            Token::classify_word("select"),
+            Token::Keyword(Keyword::Select)
+        );
         assert_eq!(Token::classify_word("="), Token::SplChar(SplChar::Eq));
     }
 

@@ -109,14 +109,18 @@ mod tests {
 
     #[test]
     fn tokenizes_quoted_values_with_dates() {
-        let toks = tokenize_sql("SELECT FromDate FROM DepartmentEmployee WHERE DepartmentNumber = 'd002'");
+        let toks =
+            tokenize_sql("SELECT FromDate FROM DepartmentEmployee WHERE DepartmentNumber = 'd002'");
         assert_eq!(toks.last().unwrap(), &Token::Literal("'d002'".into()));
     }
 
     #[test]
     fn quoted_value_may_contain_spaces() {
         let toks = tokenize_sql("WHERE title = 'Senior Engineer'");
-        assert_eq!(toks.last().unwrap(), &Token::Literal("'Senior Engineer'".into()));
+        assert_eq!(
+            toks.last().unwrap(),
+            &Token::Literal("'Senior Engineer'".into())
+        );
     }
 
     #[test]

@@ -62,5 +62,24 @@ mod proptests {
             let without = idx.search(&masked, &SearchConfig { bdb: false, ..Default::default() });
             prop_assert_eq!(with, without);
         }
+
+        /// Parallel search is byte-identical to the sequential path and to a
+        /// brute-force scan — same hits, same order, same distances — at
+        /// every thread count, with and without BDB.
+        #[test]
+        fn parallel_search_is_exact(
+            masked in prop::collection::vec((0..STRUCT_ALPHABET as u8).prop_map(StructTokId), 0..20),
+            k in 1usize..6,
+            bdb in any::<bool>(),
+        ) {
+            let idx = small_index();
+            let base = SearchConfig { k, bdb, ..SearchConfig::default() };
+            let sequential = idx.search(&masked, &base);
+            prop_assert_eq!(&sequential, &idx.scan(&masked, k));
+            for threads in [2usize, 8] {
+                let parallel = idx.search(&masked, &base.with_threads(threads));
+                prop_assert_eq!(&sequential, &parallel, "threads={}", threads);
+            }
+        }
     }
 }

@@ -153,7 +153,10 @@ pub fn from_bytes(mut data: &[u8]) -> Result<StructureIndex, PersistError> {
         if vars != n_ph {
             return Err(PersistError::Corrupt("placeholder count mismatch"));
         }
-        structures.push(Structure { tokens, placeholders });
+        structures.push(Structure {
+            tokens,
+            placeholders,
+        });
     }
     if data.has_remaining() {
         return Err(PersistError::Corrupt("trailing bytes"));
@@ -181,7 +184,10 @@ mod tests {
 
     fn small_index() -> StructureIndex {
         StructureIndex::from_grammar(
-            &GeneratorConfig { max_structures: Some(2_000), ..GeneratorConfig::small() },
+            &GeneratorConfig {
+                max_structures: Some(2_000),
+                ..GeneratorConfig::small()
+            },
             Weights::PAPER,
         )
     }
@@ -194,8 +200,14 @@ mod tests {
         assert_eq!(restored.weights(), index.weights());
         let p = process_transcript_text("select sales from employers wear name equals jon");
         for k in [1usize, 5] {
-            let cfg = SearchConfig { k, ..SearchConfig::default() };
-            assert_eq!(index.search(&p.masked, &cfg), restored.search(&p.masked, &cfg));
+            let cfg = SearchConfig {
+                k,
+                ..SearchConfig::default()
+            };
+            assert_eq!(
+                index.search(&p.masked, &cfg),
+                restored.search(&p.masked, &cfg)
+            );
         }
     }
 
@@ -217,7 +229,10 @@ mod tests {
         assert!(matches!(from_bytes(b""), Err(PersistError::BadMagic)));
         let mut bad_version = to_bytes(&small_index()).to_vec();
         bad_version[5] = 99;
-        assert!(matches!(from_bytes(&bad_version), Err(PersistError::BadVersion(_))));
+        assert!(matches!(
+            from_bytes(&bad_version),
+            Err(PersistError::BadVersion(_))
+        ));
     }
 
     #[test]
@@ -227,7 +242,10 @@ mod tests {
         assert!(from_bytes(truncated).is_err());
         let mut trailing = good.clone();
         trailing.push(0);
-        assert!(matches!(from_bytes(&trailing), Err(PersistError::Corrupt(_))));
+        assert!(matches!(
+            from_bytes(&trailing),
+            Err(PersistError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -235,6 +253,10 @@ mod tests {
         let index = small_index();
         let bytes = to_bytes(&index);
         // ~20 bytes per structure on average for the small grammar.
-        assert!(bytes.len() < index.len() * 40, "format too fat: {} bytes", bytes.len());
+        assert!(
+            bytes.len() < index.len() * 40,
+            "format too fat: {} bytes",
+            bytes.len()
+        );
     }
 }

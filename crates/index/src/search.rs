@@ -10,12 +10,13 @@
 
 use crate::trie::{Trie, NONE};
 use speakql_editdist::{
-    advance_column, base_column, lower_bound, weighted_lcs_distance,
-    weighted_lcs_distance_bounded, Dist, Weights, DIST_INF,
+    lower_bound, weighted_lcs_distance, weighted_lcs_distance_bounded, ColumnWorkspace, Dist,
+    Weights, DIST_INF,
 };
 use speakql_grammar::{
     generate_structures, GeneratorConfig, Keyword, StructTok, StructTokId, Structure,
 };
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// A search hit: a structure id in the index arena and its distance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,18 +38,47 @@ pub struct SearchConfig {
     pub dap: bool,
     /// Inverted keyword index (approximate).
     pub inv: bool,
+    /// Worker threads for the trie walk. `1` (the default) is the fully
+    /// sequential paper algorithm; `0` means one worker per available core.
+    /// Parallel search partitions the per-length tries across workers and
+    /// shares the branch-and-bound threshold through an atomic, so results
+    /// are byte-identical to the sequential path at any thread count.
+    pub threads: usize,
 }
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        SearchConfig { k: 1, bdb: true, dap: false, inv: false }
+        SearchConfig {
+            k: 1,
+            bdb: true,
+            dap: false,
+            inv: false,
+            threads: 1,
+        }
     }
 }
 
 impl SearchConfig {
     /// Default configuration returning the k closest structures.
     pub fn top_k(k: usize) -> SearchConfig {
-        SearchConfig { k, ..SearchConfig::default() }
+        SearchConfig {
+            k,
+            ..SearchConfig::default()
+        }
+    }
+
+    /// This configuration with `threads` search workers.
+    pub fn with_threads(self, threads: usize) -> SearchConfig {
+        SearchConfig { threads, ..self }
+    }
+
+    /// The worker count this configuration resolves to (`0` = all cores).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -76,7 +106,10 @@ struct TopK {
 
 impl TopK {
     fn new(k: usize) -> TopK {
-        TopK { k: k.max(1), hits: Vec::with_capacity(k.max(1) + 1) }
+        TopK {
+            k: k.max(1),
+            hits: Vec::with_capacity(k.max(1) + 1),
+        }
     }
 
     fn key(h: &SearchHit) -> (Dist, u32) {
@@ -105,6 +138,49 @@ impl TopK {
 
     fn into_vec(self) -> Vec<SearchHit> {
         self.hits
+    }
+}
+
+/// Per-worker search state: the local top-k heap, work counters, and (in
+/// parallel mode) the threshold shared across workers.
+///
+/// The shared atomic holds the minimum of every worker's local k-th-best
+/// distance, maintained with `fetch_min`. It is always an *upper bound* on
+/// the final global k-th distance — each local threshold is — so pruning
+/// against it (branch cut-off and BDB trie skipping) can never drop a true
+/// top-k member. That is what keeps parallel search byte-identical to the
+/// sequential algorithm. Relaxed ordering suffices: the bound only ever
+/// decreases, and a stale read merely prunes less.
+struct SearchState<'a> {
+    topk: TopK,
+    stats: SearchStats,
+    shared: Option<&'a AtomicU32>,
+}
+
+impl<'a> SearchState<'a> {
+    fn new(k: usize, shared: Option<&'a AtomicU32>) -> SearchState<'a> {
+        SearchState {
+            topk: TopK::new(k),
+            stats: SearchStats::default(),
+            shared,
+        }
+    }
+
+    fn offer(&mut self, hit: SearchHit) {
+        self.topk.offer(hit);
+        if let Some(shared) = self.shared {
+            shared.fetch_min(self.topk.threshold(), Ordering::Relaxed);
+        }
+    }
+
+    /// The tightest pruning bound visible to this worker: its own k-th best,
+    /// improved by whatever the other workers have found so far.
+    fn threshold(&self) -> Dist {
+        let local = self.topk.threshold();
+        match self.shared {
+            Some(shared) => local.min(shared.load(Ordering::Relaxed)),
+            None => local,
+        }
     }
 }
 
@@ -142,7 +218,13 @@ impl StructureIndex {
                 }
             }
         }
-        StructureIndex { structures, tries, weights, inverted, max_len }
+        StructureIndex {
+            structures,
+            tries,
+            weights,
+            inverted,
+            max_len,
+        }
     }
 
     /// Generate structures from the grammar under `cfg` and index them.
@@ -192,40 +274,114 @@ impl StructureIndex {
         masked: &[StructTokId],
         cfg: &SearchConfig,
     ) -> (Vec<SearchHit>, SearchStats) {
-        let mut topk = TopK::new(cfg.k);
-        let mut stats = SearchStats::default();
+        let mut state = SearchState::new(cfg.k, None);
         if self.structures.is_empty() {
-            return (topk.into_vec(), stats);
+            return (state.topk.into_vec(), state.stats);
         }
-        if cfg.inv && self.search_inverted(masked, &mut topk, &mut stats) {
-            return (topk.into_vec(), stats);
+        if cfg.inv && self.search_inverted(masked, &mut state) {
+            return (state.topk.into_vec(), state.stats);
         }
 
+        // Bidirectional order: from m downwards, then upwards (App. D.2),
+        // restricted to the non-empty tries.
         let m = masked.len();
-        // Reusable DP columns, one per depth.
-        let mut cols: Vec<Vec<Dist>> = vec![Vec::new(); self.max_len + 1];
-        cols[0] = base_column(masked, self.weights);
+        let order: Vec<usize> = (1..=m.min(self.max_len))
+            .rev()
+            .chain((m + 1)..=self.max_len)
+            .filter(|&j| !self.tries[j].is_empty())
+            .collect();
 
-        let run = |j: usize, topk: &mut TopK, stats: &mut SearchStats, cols: &mut Vec<Vec<Dist>>| {
-            if j == 0 || j > self.max_len || self.tries[j].is_empty() {
-                return;
-            }
-            if cfg.bdb && topk.threshold() < lower_bound(m, j, self.weights) {
-                stats.tries_pruned += 1;
-                return;
-            }
-            stats.tries_searched += 1;
-            self.search_trie(&self.tries[j], masked, cfg, topk, stats, cols);
-        };
+        let workers = cfg.effective_threads().min(order.len().max(1));
+        if workers > 1 {
+            return self.search_parallel(masked, cfg, &order, workers);
+        }
 
-        // Bidirectional order: from m downwards, then upwards (App. D.2).
-        for j in (1..=m.min(self.max_len)).rev() {
-            run(j, &mut topk, &mut stats, &mut cols);
+        let mut cols = ColumnWorkspace::new(masked, self.weights, self.max_len);
+        for &j in &order {
+            self.search_length(j, masked, cfg, &mut state, &mut cols);
         }
-        for j in (m + 1)..=self.max_len {
-            run(j, &mut topk, &mut stats, &mut cols);
+        (state.topk.into_vec(), state.stats)
+    }
+
+    /// Search the per-length tries in `order` with `workers` scoped threads.
+    ///
+    /// Tries are handed out through an atomic cursor (so a worker stuck in a
+    /// large trie does not hold up the rest), each worker keeps its own
+    /// [`TopK`] and [`ColumnWorkspace`], and the branch-and-bound threshold
+    /// is shared through an [`AtomicU32`] so pruning improves globally as any
+    /// worker finds closer structures. Per-length tries hold disjoint
+    /// structure sets, so re-offering every worker's hits into one final
+    /// [`TopK`] yields exactly the sequential result: same hits, same
+    /// `(distance, structure id)` order. Only the [`SearchStats`] are
+    /// schedule-dependent (how much work pruning saved varies run to run).
+    fn search_parallel(
+        &self,
+        masked: &[StructTokId],
+        cfg: &SearchConfig,
+        order: &[usize],
+        workers: usize,
+    ) -> (Vec<SearchHit>, SearchStats) {
+        let shared = AtomicU32::new(DIST_INF);
+        // Warm the shared bound on the calling thread before spawning: the
+        // first trie in the bidirectional order is the one closest in length
+        // to the query, and its hits carry the tightest initial threshold.
+        // Without this, workers race into far-length tries the sequential
+        // algorithm would have BDB-skipped outright.
+        let mut seed = SearchState::new(cfg.k, Some(&shared));
+        if let Some(&j0) = order.first() {
+            let mut cols = ColumnWorkspace::new(masked, self.weights, self.max_len);
+            self.search_length(j0, masked, cfg, &mut seed, &mut cols);
         }
-        (topk.into_vec(), stats)
+        let cursor = AtomicUsize::new(1);
+        let worker_results: Vec<(TopK, SearchStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut state = SearchState::new(cfg.k, Some(&shared));
+                        let mut cols = ColumnWorkspace::new(masked, self.weights, self.max_len);
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&j) = order.get(i) else { break };
+                            self.search_length(j, masked, cfg, &mut state, &mut cols);
+                        }
+                        (state.topk, state.stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        });
+
+        let mut state = SearchState::new(cfg.k, None);
+        for (topk, stats) in std::iter::once((seed.topk, seed.stats)).chain(worker_results) {
+            for hit in topk.into_vec() {
+                state.topk.offer(hit);
+            }
+            state.stats.nodes_visited += stats.nodes_visited;
+            state.stats.tries_searched += stats.tries_searched;
+            state.stats.tries_pruned += stats.tries_pruned;
+            state.stats.structures_scanned += stats.structures_scanned;
+        }
+        (state.topk.into_vec(), state.stats)
+    }
+
+    /// Search one per-length trie (assumed non-empty), with the BDB skip.
+    fn search_length(
+        &self,
+        j: usize,
+        masked: &[StructTokId],
+        cfg: &SearchConfig,
+        state: &mut SearchState<'_>,
+        cols: &mut ColumnWorkspace,
+    ) {
+        if cfg.bdb && state.threshold() < lower_bound(masked.len(), j, self.weights) {
+            state.stats.tries_pruned += 1;
+            return;
+        }
+        state.stats.tries_searched += 1;
+        self.search_trie(&self.tries[j], masked, cfg, state, cols);
     }
 
     /// Brute-force reference scan over every structure; used by tests to
@@ -234,7 +390,10 @@ impl StructureIndex {
         let mut topk = TopK::new(k);
         for (id, s) in self.structures.iter().enumerate() {
             let d = weighted_lcs_distance(masked, &s.tokens, self.weights);
-            topk.offer(SearchHit { structure: id as u32, distance: d });
+            topk.offer(SearchHit {
+                structure: id as u32,
+                distance: d,
+            });
         }
         topk.into_vec()
     }
@@ -244,70 +403,18 @@ impl StructureIndex {
         trie: &Trie,
         masked: &[StructTokId],
         cfg: &SearchConfig,
-        topk: &mut TopK,
-        stats: &mut SearchStats,
-        cols: &mut Vec<Vec<Dist>>,
+        state: &mut SearchState<'_>,
+        cols: &mut ColumnWorkspace,
     ) {
-        self.visit_children(trie, 0, 0, masked, cfg, topk, stats, cols);
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn visit_children(
-        &self,
-        trie: &Trie,
-        node: u32,
-        depth: usize,
-        masked: &[StructTokId],
-        cfg: &SearchConfig,
-        topk: &mut TopK,
-        stats: &mut SearchStats,
-        cols: &mut Vec<Vec<Dist>>,
-    ) {
-        // DAP (App. D.3): among sibling children whose tokens are in the
-        // prime superset, explore only the one whose column's last row is
-        // minimal; other children are unaffected.
-        let chosen_prime: Option<u32> = if cfg.dap {
-            let mut best: Option<(Dist, u32)> = None;
-            for child in trie.children(node) {
-                let tok = trie.node(child).token;
-                if !is_prime(tok) {
-                    continue;
-                }
-                let (prev, cur) = cols.split_at_mut(depth + 1);
-                advance_column(masked, &prev[depth], tok, self.weights, &mut cur[0]);
-                stats.nodes_visited += 1;
-                let last = *cur[0].last().expect("column non-empty");
-                if best.is_none_or(|(d, _)| last < d) {
-                    best = Some((last, child));
-                }
-            }
-            best.map(|(_, c)| c)
-        } else {
-            None
-        };
-
-        for child in trie.children(node) {
-            let tok = trie.node(child).token;
-            if cfg.dap && is_prime(tok) && Some(child) != chosen_prime {
-                continue;
-            }
-            let (prev, cur) = cols.split_at_mut(depth + 1);
-            advance_column(masked, &prev[depth], tok, self.weights, &mut cur[0]);
-            stats.nodes_visited += 1;
-            let n = trie.node(child);
-            if n.structure != NONE {
-                let d = *cur[0].last().expect("column non-empty");
-                topk.offer(SearchHit { structure: n.structure, distance: d });
-            }
-            // Box 2 line 46: explore deeper only if the column minimum can
-            // still beat the current k-th best ("min(DpCurCol) ≤ MinEditDist").
-            if n.first_child != NONE {
-                let col_min = *cur[0].iter().min().expect("column non-empty");
-                if col_min <= topk.threshold() {
-                    self.visit_children(trie, child, depth + 1, masked, cfg, topk, stats, cols);
-                }
-            }
+        TrieWalk {
+            index: self,
+            trie,
+            masked,
+            cfg,
+            state,
+            cols,
         }
+        .visit_children(0, 0);
     }
 
     /// INV (App. D.3): if `MaskOut` mentions a keyword other than
@@ -315,12 +422,7 @@ impl StructureIndex {
     /// keyword's posting list (picking the rarest such keyword). Returns
     /// `false` when inapplicable, in which case the caller falls back to
     /// trie search.
-    fn search_inverted(
-        &self,
-        masked: &[StructTokId],
-        topk: &mut TopK,
-        stats: &mut SearchStats,
-    ) -> bool {
+    fn search_inverted(&self, masked: &[StructTokId], state: &mut SearchState<'_>) -> bool {
         let mut best_postings: Option<&Vec<u32>> = None;
         for t in masked {
             if let StructTok::Keyword(k) = t.tok() {
@@ -367,24 +469,88 @@ impl StructureIndex {
                 postings[lo]
             };
             let target = &self.structures[id as usize].tokens;
-            let bound = topk.threshold();
+            let bound = state.threshold();
             // Proposition 1: once even the length-gap lower bound exceeds
             // the k-th best distance, no remaining structure (all further in
             // length) can qualify.
             if bound < lower_bound(m, target.len(), self.weights) {
                 break;
             }
-            stats.structures_scanned += 1;
+            state.stats.structures_scanned += 1;
             let d = if bound == DIST_INF {
                 Some(weighted_lcs_distance(masked, target, self.weights))
             } else {
                 weighted_lcs_distance_bounded(masked, target, self.weights, bound)
             };
             if let Some(d) = d {
-                topk.offer(SearchHit { structure: id, distance: d });
+                state.offer(SearchHit {
+                    structure: id,
+                    distance: d,
+                });
             }
         }
         true
+    }
+}
+
+/// One trie walk: the recursion of Box 2's `SearchRecursively` with the
+/// query, config, per-worker state, and DP columns bundled together.
+struct TrieWalk<'a, 'b, 'c> {
+    index: &'a StructureIndex,
+    trie: &'a Trie,
+    masked: &'a [StructTokId],
+    cfg: &'a SearchConfig,
+    state: &'b mut SearchState<'c>,
+    cols: &'b mut ColumnWorkspace,
+}
+
+impl TrieWalk<'_, '_, '_> {
+    fn visit_children(&mut self, node: u32, depth: usize) {
+        let w = self.index.weights;
+        // DAP (App. D.3): among sibling children whose tokens are in the
+        // prime superset, explore only the one whose column's last row is
+        // minimal; other children are unaffected.
+        let chosen_prime: Option<u32> = if self.cfg.dap {
+            let mut best: Option<(Dist, u32)> = None;
+            for child in self.trie.children(node) {
+                let tok = self.trie.node(child).token;
+                if !is_prime(tok) {
+                    continue;
+                }
+                let col = self.cols.advance(self.masked, depth, tok, w);
+                self.state.stats.nodes_visited += 1;
+                let last = *col.last().expect("column non-empty");
+                if best.is_none_or(|(d, _)| last < d) {
+                    best = Some((last, child));
+                }
+            }
+            best.map(|(_, c)| c)
+        } else {
+            None
+        };
+
+        for child in self.trie.children(node) {
+            let tok = self.trie.node(child).token;
+            if self.cfg.dap && is_prime(tok) && Some(child) != chosen_prime {
+                continue;
+            }
+            let col = self.cols.advance(self.masked, depth, tok, w);
+            self.state.stats.nodes_visited += 1;
+            let last = *col.last().expect("column non-empty");
+            let col_min = *col.iter().min().expect("column non-empty");
+            let n = self.trie.node(child);
+            if n.structure != NONE {
+                self.state.offer(SearchHit {
+                    structure: n.structure,
+                    distance: last,
+                });
+            }
+            // Box 2 line 46: explore deeper only if the column minimum can
+            // still beat the current k-th best ("min(DpCurCol) ≤ MinEditDist").
+            if n.first_child != NONE && col_min <= self.state.threshold() {
+                self.visit_children(child, depth + 1);
+            }
+        }
     }
 }
 
@@ -451,7 +617,10 @@ mod tests {
         for probe in probes {
             let p = process_transcript_text(probe);
             for k in [1usize, 5] {
-                let cfg = SearchConfig { k, ..SearchConfig::default() };
+                let cfg = SearchConfig {
+                    k,
+                    ..SearchConfig::default()
+                };
                 let trie_hits = idx.search(&p.masked, &cfg);
                 let scan_hits = idx.scan(&p.masked, k);
                 assert_eq!(trie_hits, scan_hits, "probe={probe} k={k}");
@@ -464,8 +633,22 @@ mod tests {
         let idx = small_index();
         let p = process_transcript_text("select a from t where b equals c or d less than e");
         for k in [1usize, 3, 5] {
-            let with = idx.search(&p.masked, &SearchConfig { k, bdb: true, ..Default::default() });
-            let without = idx.search(&p.masked, &SearchConfig { k, bdb: false, ..Default::default() });
+            let with = idx.search(
+                &p.masked,
+                &SearchConfig {
+                    k,
+                    bdb: true,
+                    ..Default::default()
+                },
+            );
+            let without = idx.search(
+                &p.masked,
+                &SearchConfig {
+                    k,
+                    bdb: false,
+                    ..Default::default()
+                },
+            );
             assert_eq!(with, without);
         }
     }
@@ -474,10 +657,20 @@ mod tests {
     fn bdb_prunes_tries() {
         let idx = small_index();
         let p = process_transcript_text("select a from t");
-        let (_, stats_bdb) =
-            idx.search_with_stats(&p.masked, &SearchConfig { bdb: true, ..Default::default() });
-        let (_, stats_no) =
-            idx.search_with_stats(&p.masked, &SearchConfig { bdb: false, ..Default::default() });
+        let (_, stats_bdb) = idx.search_with_stats(
+            &p.masked,
+            &SearchConfig {
+                bdb: true,
+                ..Default::default()
+            },
+        );
+        let (_, stats_no) = idx.search_with_stats(
+            &p.masked,
+            &SearchConfig {
+                bdb: false,
+                ..Default::default()
+            },
+        );
         assert!(stats_bdb.tries_pruned > 0);
         assert!(stats_bdb.nodes_visited < stats_no.nodes_visited);
     }
@@ -488,8 +681,13 @@ mod tests {
         let p = process_transcript_text(
             "select avg open parenthesis salary close parenthesis from salaries where a equals b",
         );
-        let (hits_dap, stats_dap) =
-            idx.search_with_stats(&p.masked, &SearchConfig { dap: true, ..Default::default() });
+        let (hits_dap, stats_dap) = idx.search_with_stats(
+            &p.masked,
+            &SearchConfig {
+                dap: true,
+                ..Default::default()
+            },
+        );
         let (_, stats_def) = idx.search_with_stats(&p.masked, &SearchConfig::default());
         assert!(stats_dap.nodes_visited <= stats_def.nodes_visited);
         assert!(!hits_dap.is_empty());
@@ -499,8 +697,13 @@ mod tests {
     fn inv_scans_posting_lists() {
         let idx = small_index();
         let p = process_transcript_text("select a from t where b between c and d");
-        let (hits, stats) =
-            idx.search_with_stats(&p.masked, &SearchConfig { inv: true, ..Default::default() });
+        let (hits, stats) = idx.search_with_stats(
+            &p.masked,
+            &SearchConfig {
+                inv: true,
+                ..Default::default()
+            },
+        );
         assert!(stats.structures_scanned > 0);
         assert_eq!(stats.tries_searched, 0);
         // BETWEEN structures are rare, and the probe matches one exactly.
@@ -511,8 +714,13 @@ mod tests {
     fn inv_falls_back_without_rare_keywords() {
         let idx = small_index();
         let p = process_transcript_text("select a from t");
-        let (hits, stats) =
-            idx.search_with_stats(&p.masked, &SearchConfig { inv: true, ..Default::default() });
+        let (hits, stats) = idx.search_with_stats(
+            &p.masked,
+            &SearchConfig {
+                inv: true,
+                ..Default::default()
+            },
+        );
         assert!(stats.structures_scanned == 0 && stats.tries_searched > 0);
         assert_eq!(hits[0].distance, 0);
     }
@@ -523,12 +731,8 @@ mod tests {
         // {A}, {A B, C C}, {A B C, ...}. We emulate with literal-only
         // structures of lengths 1..3 and check the search returns the
         // 2-token structure at distance 1.0 (one delete at W_L).
-        let mk = |n: usize| {
-            Structure::new(
-                vec![StructTok::Var; n],
-                vec![Placeholder::attribute(); n],
-            )
-        };
+        let mk =
+            |n: usize| Structure::new(vec![StructTok::Var; n], vec![Placeholder::attribute(); n]);
         let idx = StructureIndex::build(vec![mk(1), mk(2), mk(3)], Weights::PAPER);
         let masked = vec![StructTokId::VAR; 3];
         let hits = idx.search(&masked, &SearchConfig::default());

@@ -62,7 +62,10 @@ impl Trie {
 
     /// Iterate the children of a node in insertion order.
     pub fn children(&self, idx: u32) -> ChildIter<'_> {
-        ChildIter { trie: self, next: self.nodes[idx as usize].first_child }
+        ChildIter {
+            trie: self,
+            next: self.nodes[idx as usize].first_child,
+        }
     }
 
     /// Insert a token sequence; `structure` is its arena id. Sequences must
@@ -73,7 +76,10 @@ impl Trie {
         for &tok in tokens {
             cur = self.child_or_insert(cur, tok);
         }
-        debug_assert_eq!(self.nodes[cur as usize].structure, NONE, "duplicate structure");
+        debug_assert_eq!(
+            self.nodes[cur as usize].structure, NONE,
+            "duplicate structure"
+        );
         self.nodes[cur as usize].structure = structure;
     }
 
@@ -165,8 +171,7 @@ mod tests {
         t.insert(&[kw(Keyword::Where)], 0);
         t.insert(&[kw(Keyword::Select)], 1);
         t.insert(&[var()], 2);
-        let toks: Vec<StructTokId> =
-            t.children(0).map(|c| t.node(c).token).collect();
+        let toks: Vec<StructTokId> = t.children(0).map(|c| t.node(c).token).collect();
         assert_eq!(toks, vec![kw(Keyword::Where), kw(Keyword::Select), var()]);
     }
 

@@ -114,7 +114,13 @@ pub fn accuracy(reference: &str, hypothesis: &str) -> AccuracyReport {
         tot_b[class_idx(t.0)] += cb;
     }
 
-    let ratio = |num: usize, den: usize| if den == 0 { 1.0 } else { num as f64 / den as f64 };
+    let ratio = |num: usize, den: usize| {
+        if den == 0 {
+            1.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
     let inter_all: usize = inter.iter().sum();
     let tot_a_all: usize = tot_a.iter().sum();
     let tot_b_all: usize = tot_b.iter().sum();
@@ -143,8 +149,14 @@ pub fn ted(reference: &str, hypothesis: &str) -> usize {
 pub fn mean_report(reports: &[AccuracyReport]) -> AccuracyReport {
     let n = reports.len().max(1) as f64;
     let mut acc = AccuracyReport {
-        kpr: 0.0, spr: 0.0, lpr: 0.0, wpr: 0.0,
-        krr: 0.0, srr: 0.0, lrr: 0.0, wrr: 0.0,
+        kpr: 0.0,
+        spr: 0.0,
+        lpr: 0.0,
+        wpr: 0.0,
+        krr: 0.0,
+        srr: 0.0,
+        lrr: 0.0,
+        wrr: 0.0,
     };
     for r in reports {
         acc.kpr += r.kpr;
@@ -157,8 +169,14 @@ pub fn mean_report(reports: &[AccuracyReport]) -> AccuracyReport {
         acc.wrr += r.wrr;
     }
     AccuracyReport {
-        kpr: acc.kpr / n, spr: acc.spr / n, lpr: acc.lpr / n, wpr: acc.wpr / n,
-        krr: acc.krr / n, srr: acc.srr / n, lrr: acc.lrr / n, wrr: acc.wrr / n,
+        kpr: acc.kpr / n,
+        spr: acc.spr / n,
+        lpr: acc.lpr / n,
+        wpr: acc.wpr / n,
+        krr: acc.krr / n,
+        srr: acc.srr / n,
+        lrr: acc.lrr / n,
+        wrr: acc.wrr / n,
     }
 }
 

@@ -139,7 +139,11 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> (f64, f64, f64) {
     let nf = n as f64;
     let mean_w = nf * (nf + 1.0) / 4.0;
     let sd_w = (nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0).sqrt();
-    let z = if sd_w > 0.0 { (w_plus - mean_w) / sd_w } else { 0.0 };
+    let z = if sd_w > 0.0 {
+        (w_plus - mean_w) / sd_w
+    } else {
+        0.0
+    };
     let p = 2.0 * (1.0 - normal_cdf(z.abs()));
     (w_plus, z, p)
 }
@@ -237,7 +241,10 @@ pub fn bootstrap_mean_ci(samples: &[f64], iters: usize, alpha: f64, seed: u64) -
         means.push(sum / samples.len() as f64);
     }
     let cdf = Cdf::new(means);
-    (cdf.percentile(alpha / 2.0), cdf.percentile(1.0 - alpha / 2.0))
+    (
+        cdf.percentile(alpha / 2.0),
+        cdf.percentile(1.0 - alpha / 2.0),
+    )
 }
 
 #[cfg(test)]

@@ -36,7 +36,12 @@ pub enum Workload {
 }
 
 /// Predict with a baseline on typed input.
-pub fn predict_typed(system: System, workload: Workload, db: &Database, nl: &str) -> Option<String> {
+pub fn predict_typed(
+    system: System,
+    workload: Workload,
+    db: &Database,
+    nl: &str,
+) -> Option<String> {
     match (system, workload) {
         (System::NaLir, _) => nalir::predict(db, nl),
         (System::Sota, Workload::WikiSql) => sota::predict_wikisql(db, nl),
@@ -78,14 +83,28 @@ mod tests {
             {
                 typed_hits += 1;
             }
-            if predict_spoken(System::Sota, Workload::WikiSql, &db, &asr, &p.nl, p.id as u64)
-                .is_some_and(|sql| component_match(&p.sql, &sql, false))
+            if predict_spoken(
+                System::Sota,
+                Workload::WikiSql,
+                &db,
+                &asr,
+                &p.nl,
+                p.id as u64,
+            )
+            .is_some_and(|sql| component_match(&p.sql, &sql, false))
             {
                 spoken_hits += 1;
             }
         }
-        assert!(typed_hits > pairs.len() / 2, "typed hits {typed_hits}/{}", pairs.len());
-        assert!(spoken_hits < typed_hits, "spoken {spoken_hits} !< typed {typed_hits}");
+        assert!(
+            typed_hits > pairs.len() / 2,
+            "typed hits {typed_hits}/{}",
+            pairs.len()
+        );
+        assert!(
+            spoken_hits < typed_hits,
+            "spoken {spoken_hits} !< typed {typed_hits}"
+        );
     }
 
     #[test]

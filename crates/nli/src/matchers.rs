@@ -48,9 +48,10 @@ pub fn match_value(db: &Database, column: &str, text: &str) -> Option<Value> {
         return Some(v.clone());
     }
     // Fuzzy on text values.
-    if let Some(v) = domain.iter().find(|v| {
-        matches!(v, Value::Text(_)) && fuzzy_eq(&v.render_bare(), text)
-    }) {
+    if let Some(v) = domain
+        .iter()
+        .find(|v| matches!(v, Value::Text(_)) && fuzzy_eq(&v.render_bare(), text))
+    {
         return Some(v.clone());
     }
     Value::parse_literal(text).or_else(|| Value::parse_literal(&format!("'{text}'")))

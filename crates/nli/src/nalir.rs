@@ -113,8 +113,19 @@ fn exact_value(db: &Database, column: &str, text: &str) -> Option<Value> {
 fn is_filler(text: &str) -> bool {
     matches!(
         text,
-        "is" | "the" | "of" | "a" | "an" | "to" | "for" | "with" | "where" | "whose"
-            | "equals" | "happens" | "read" | "records"
+        "is" | "the"
+            | "of"
+            | "a"
+            | "an"
+            | "to"
+            | "for"
+            | "with"
+            | "where"
+            | "whose"
+            | "equals"
+            | "happens"
+            | "read"
+            | "records"
     )
 }
 
@@ -126,7 +137,10 @@ mod tests {
     #[test]
     fn grounds_a_simple_question() {
         let db = employees_db();
-        let sql = predict(&db, "what is the average salary of salaries where from date is 1993-01-20");
+        let sql = predict(
+            &db,
+            "what is the average salary of salaries where from date is 1993-01-20",
+        );
         assert!(sql.is_some());
         let sql = sql.unwrap();
         assert!(sql.contains("FROM Salaries"), "{sql}");

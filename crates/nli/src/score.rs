@@ -18,7 +18,10 @@ pub fn component_match(gold: &str, pred: &str, ignore_values: bool) -> bool {
     components(&g, ignore_values) == components(&p, ignore_values)
 }
 
-fn components(q: &Query, ignore_values: bool) -> (BTreeSet<String>, BTreeSet<String>, BTreeSet<String>, String) {
+fn components(
+    q: &Query,
+    ignore_values: bool,
+) -> (BTreeSet<String>, BTreeSet<String>, BTreeSet<String>, String) {
     let select: BTreeSet<String> = q
         .select
         .iter()
@@ -36,8 +39,14 @@ fn components(q: &Query, ignore_values: bool) -> (BTreeSet<String>, BTreeSet<Str
     }
     let tail = format!(
         "g:{} o:{} l:{}",
-        q.group_by.as_ref().map(|c| norm(&c.to_string())).unwrap_or_default(),
-        q.order_by.as_ref().map(|c| norm(&c.to_string())).unwrap_or_default(),
+        q.group_by
+            .as_ref()
+            .map(|c| norm(&c.to_string()))
+            .unwrap_or_default(),
+        q.order_by
+            .as_ref()
+            .map(|c| norm(&c.to_string()))
+            .unwrap_or_default(),
         q.limit.map(|l| l.to_string()).unwrap_or_default(),
     );
     (select, tables, preds, tail)
@@ -58,14 +67,22 @@ fn collect_pred_strings(p: &Predicate, ignore_values: bool, out: &mut BTreeSet<S
             let mut inner = BTreeSet::new();
             collect_pred_strings(a, ignore_values, &mut inner);
             collect_pred_strings(b, ignore_values, &mut inner);
-            out.insert(format!("or[{}]", inner.into_iter().collect::<Vec<_>>().join("|")));
+            out.insert(format!(
+                "or[{}]",
+                inner.into_iter().collect::<Vec<_>>().join("|")
+            ));
         }
         Predicate::Cmp { lhs, op, rhs } => {
             let l = operand_string(lhs, ignore_values);
             let r = operand_string(rhs, ignore_values);
             out.insert(format!("{l}{}{r}", op.as_str()));
         }
-        Predicate::Between { col, negated, low, high } => {
+        Predicate::Between {
+            col,
+            negated,
+            low,
+            high,
+        } => {
             let (lo, hi) = if ignore_values {
                 ("?".to_string(), "?".to_string())
             } else {

@@ -48,7 +48,10 @@ pub fn wikisql_pairs(db: &Database, n: usize, seed: u64) -> Vec<NlSqlPair> {
         let cols = &table.schema.columns;
         // Condition column/value.
         let cond_col = &cols[rng.gen_range(0..cols.len())];
-        let cond_idx = table.schema.column_index(&cond_col.name).expect("own column");
+        let cond_idx = table
+            .schema
+            .column_index(&cond_col.name)
+            .expect("own column");
         let domain = table.distinct_values(cond_idx);
         if domain.is_empty() {
             continue;
@@ -99,7 +102,11 @@ pub fn wikisql_pairs(db: &Database, n: usize, seed: u64) -> Vec<NlSqlPair> {
             // Rare phrasing (≈12%).
             format!("could you pull up whichever {select_phrase} the {table_phrase} records carry whenever their {cond_phrase} happens to read {val_text}")
         };
-        out.push(NlSqlPair { id: out.len(), nl, sql });
+        out.push(NlSqlPair {
+            id: out.len(),
+            nl,
+            sql,
+        });
     }
     out
 }
@@ -142,8 +149,12 @@ pub fn spider_pairs(db: &Database, n: usize, seed: u64) -> Vec<NlSqlPair> {
             .map(|c| c.name.clone())
             .collect();
         let (Some(agg_col), Some(group_col)) = (
-            numeric.first().map(|_| numeric[rng.gen_range(0..numeric.len())].clone()),
-            textual.first().map(|_| textual[rng.gen_range(0..textual.len())].clone()),
+            numeric
+                .first()
+                .map(|_| numeric[rng.gen_range(0..numeric.len())].clone()),
+            textual
+                .first()
+                .map(|_| textual[rng.gen_range(0..textual.len())].clone()),
         ) else {
             continue;
         };
@@ -183,7 +194,11 @@ pub fn spider_pairs(db: &Database, n: usize, seed: u64) -> Vec<NlSqlPair> {
                 phrase_of(&t2.schema.name),
             )
         };
-        out.push(NlSqlPair { id: out.len(), nl, sql });
+        out.push(NlSqlPair {
+            id: out.len(),
+            nl,
+            sql,
+        });
     }
     out
 }

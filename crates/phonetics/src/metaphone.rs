@@ -28,7 +28,7 @@ pub fn metaphone(word: &str) -> String {
     if w.len() >= 2 {
         match (w[0], w[1]) {
             ('A', 'E') | ('G', 'N') | ('K', 'N') | ('P', 'N') | ('W', 'R') => start = 1,
-            ('X', _) => {} // handled below: initial X -> S
+            ('X', _) => {}   // handled below: initial X -> S
             ('W', 'H') => {} // WH- -> W, handled by H rules
             _ => {}
         }
@@ -273,9 +273,15 @@ mod tests {
 
     #[test]
     fn key_passes_digits_through() {
-        assert_eq!(phonetic_key("table_123"), format!("{}123", metaphone("table")));
+        assert_eq!(
+            phonetic_key("table_123"),
+            format!("{}123", metaphone("table"))
+        );
         assert_eq!(phonetic_key("'1993-01-20'"), "19930120");
-        assert_eq!(phonetic_key("CUSTID_1729A"), format!("{}1729{}", metaphone("CUSTID"), metaphone("A")));
+        assert_eq!(
+            phonetic_key("CUSTID_1729A"),
+            format!("{}1729{}", metaphone("CUSTID"), metaphone("A"))
+        );
     }
 
     #[test]
@@ -287,7 +293,10 @@ mod tests {
     fn output_is_upper_alnum() {
         for word in ["Employees", "quixotic", "rhythm", "Johnson", "McCarthy"] {
             for c in metaphone(word).chars() {
-                assert!(c.is_ascii_uppercase() || c == '0', "bad char {c} in key of {word}");
+                assert!(
+                    c.is_ascii_uppercase() || c == '0',
+                    "bad char {c} in key of {word}"
+                );
             }
         }
     }

@@ -152,6 +152,9 @@ mod tests {
         assert_eq!(PhoneticAlgorithm::Metaphone.key("Employees"), "EMPLYS");
         assert_eq!(PhoneticAlgorithm::Soundex.key("Employees"), "E514");
         assert_eq!(PhoneticAlgorithm::Identity.key("'d002'"), "d002");
-        assert_eq!(PhoneticAlgorithm::Soundex.key("table_123"), format!("{}123", soundex("table")));
+        assert_eq!(
+            PhoneticAlgorithm::Soundex.key("table_123"),
+            format!("{}123", soundex("table"))
+        );
     }
 }

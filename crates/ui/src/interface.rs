@@ -99,7 +99,10 @@ pub fn edit_script(reference: &str, hypothesis: &str) -> EditScript {
     }
     insertions.reverse();
     deletions.reverse();
-    EditScript { deletions, insertions }
+    EditScript {
+        deletions,
+        insertions,
+    }
 }
 
 /// Keystrokes to type a query from scratch on the tablet's plain soft

@@ -11,7 +11,9 @@ pub mod participant;
 pub mod session;
 pub mod study;
 
-pub use interface::{edit_script, raw_typing_keystrokes, touches_for_token, EditScript, SqlKeyboard};
+pub use interface::{
+    edit_script, raw_typing_keystrokes, touches_for_token, EditScript, SqlKeyboard,
+};
 pub use participant::{participants, Participant};
 pub use session::{dictate_and_repair, Interaction, Session};
 pub use study::{run_study, summarize, Condition, QuerySummary, StudyConfig, Trial};
@@ -21,7 +23,7 @@ mod tests {
     use super::*;
     use speakql_asr::{AsrEngine, AsrProfile};
     use speakql_core::{SpeakQl, SpeakQlConfig};
-    use speakql_data::{employees_db, training_vocabulary, generate_cases};
+    use speakql_data::{employees_db, generate_cases, training_vocabulary};
     use speakql_grammar::GeneratorConfig;
 
     fn study_fixture() -> &'static (SpeakQl, AsrEngine) {
@@ -39,7 +41,10 @@ mod tests {
     #[test]
     fn study_produces_all_trials() {
         let (engine, asr) = study_fixture();
-        let cfg = StudyConfig { participants: 4, ..StudyConfig::default() };
+        let cfg = StudyConfig {
+            participants: 4,
+            ..StudyConfig::default()
+        };
         let trials = run_study(engine, asr, &cfg);
         assert_eq!(trials.len(), 4 * 12 * 2);
         // Deterministic.
@@ -51,7 +56,10 @@ mod tests {
     #[test]
     fn speakql_beats_typing_on_median() {
         let (engine, asr) = study_fixture();
-        let cfg = StudyConfig { participants: 6, ..StudyConfig::default() };
+        let cfg = StudyConfig {
+            participants: 6,
+            ..StudyConfig::default()
+        };
         let trials = run_study(engine, asr, &cfg);
         let summaries = summarize(&trials);
         let mean_speedup =
@@ -59,13 +67,19 @@ mod tests {
         assert!(mean_speedup > 1.5, "mean speedup {mean_speedup}");
         let mean_reduction =
             summaries.iter().map(|s| s.effort_reduction).sum::<f64>() / summaries.len() as f64;
-        assert!(mean_reduction > 3.0, "mean effort reduction {mean_reduction}");
+        assert!(
+            mean_reduction > 3.0,
+            "mean effort reduction {mean_reduction}"
+        );
     }
 
     #[test]
     fn complex_queries_take_longer() {
         let (engine, asr) = study_fixture();
-        let cfg = StudyConfig { participants: 4, ..StudyConfig::default() };
+        let cfg = StudyConfig {
+            participants: 4,
+            ..StudyConfig::default()
+        };
         let summaries = summarize(&run_study(engine, asr, &cfg));
         let simple: f64 = summaries[..6].iter().map(|s| s.median_speakql_time_s).sum();
         let complex: f64 = summaries[6..].iter().map(|s| s.median_speakql_time_s).sum();

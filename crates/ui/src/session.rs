@@ -17,11 +17,26 @@ use speakql_metrics::ted;
 /// One logged interaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Interaction {
-    Dictated { words: usize },
-    RedictatedClause { clause: &'static str, words: usize },
-    KeyboardInsert { position: usize, token: String },
-    KeyboardDelete { position: usize, token: String },
-    KeyboardReplace { position: usize, from: String, to: String },
+    Dictated {
+        words: usize,
+    },
+    RedictatedClause {
+        clause: &'static str,
+        words: usize,
+    },
+    KeyboardInsert {
+        position: usize,
+        token: String,
+    },
+    KeyboardDelete {
+        position: usize,
+        token: String,
+    },
+    KeyboardReplace {
+        position: usize,
+        from: String,
+        to: String,
+    },
 }
 
 impl Interaction {
@@ -49,7 +64,11 @@ pub struct Session<'a> {
 impl<'a> Session<'a> {
     /// Start an empty session against an engine.
     pub fn new(engine: &'a SpeakQl) -> Session<'a> {
-        Session { engine, tokens: Vec::new(), log: Vec::new() }
+        Session {
+            engine,
+            tokens: Vec::new(),
+            log: Vec::new(),
+        }
     }
 
     /// The rendered query string shown in the display box.
@@ -107,7 +126,10 @@ impl<'a> Session<'a> {
         let tok = Token::classify_word(token);
         let position = position.min(self.tokens.len());
         self.tokens.insert(position, tok);
-        self.log.push(Interaction::KeyboardInsert { position, token: token.to_string() });
+        self.log.push(Interaction::KeyboardInsert {
+            position,
+            token: token.to_string(),
+        });
         self.last_rendered()
     }
 
@@ -165,7 +187,8 @@ impl<'a> Session<'a> {
             ClauseKind::From => (from, where_.or(tail).unwrap_or(self.tokens.len())),
             ClauseKind::Where => (
                 where_.unwrap_or(self.tokens.len()),
-                tail.filter(|&t| Some(t) > where_).unwrap_or(self.tokens.len()),
+                tail.filter(|&t| Some(t) > where_)
+                    .unwrap_or(self.tokens.len()),
             ),
             ClauseKind::Tail => (tail.unwrap_or(self.tokens.len()), self.tokens.len()),
         }
@@ -217,11 +240,7 @@ pub fn dictate_and_repair<'a, R: rand::Rng + ?Sized>(
 }
 
 fn token_eq(a: &Token, b: &Token) -> bool {
-    let norm = |t: &Token| {
-        t.as_str()
-            .trim_matches('\'')
-            .to_lowercase()
-    };
+    let norm = |t: &Token| t.as_str().trim_matches('\'').to_lowercase();
     norm(a) == norm(b)
 }
 
@@ -260,7 +279,10 @@ mod tests {
         s.redictate_clause(ClauseKind::Where, "where salary less than 99");
         let second = s.rendered();
         assert!(second.contains('<'), "{second}");
-        assert!(second.starts_with("SELECT salary FROM Salaries"), "{second}");
+        assert!(
+            second.starts_with("SELECT salary FROM Salaries"),
+            "{second}"
+        );
     }
 
     #[test]
@@ -284,7 +306,12 @@ mod tests {
         let sql = "SELECT FromDate FROM DepartmentEmployee WHERE DepartmentNumber = 'd002'";
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let session = dictate_and_repair(engine(), &asr, sql, &mut rng);
-        assert_eq!(session.errors_against(sql), 0, "rendered: {}", session.rendered());
+        assert_eq!(
+            session.errors_against(sql),
+            0,
+            "rendered: {}",
+            session.rendered()
+        );
         assert!(session.total_effort() >= 2);
     }
 

@@ -55,7 +55,12 @@ pub struct StudyConfig {
 
 impl Default for StudyConfig {
     fn default() -> Self {
-        StudyConfig { participants: 15, seed: 0x57CD, redictate_threshold: 8, max_redictations: 1 }
+        StudyConfig {
+            participants: 15,
+            seed: 0x57CD,
+            redictate_threshold: 8,
+            max_redictations: 1,
+        }
     }
 }
 
@@ -137,7 +142,8 @@ fn speakql_trial(
     think_factor: f64,
     cfg: &StudyConfig,
 ) -> Trial {
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ ((p.id as u64) << 40) ^ ((q.id as u64) << 8));
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(cfg.seed ^ ((p.id as u64) << 40) ^ ((q.id as u64) << 8));
     let spoken_words = speakql_asr::spoken_words(&speakql_asr::verbalize_sql(q.sql)).len() as f64;
 
     let mut speaking = spoken_words / p.speaking_wps;
@@ -185,9 +191,7 @@ fn speakql_trial(
     // submit interactions of each dictation attempt, plus keyboard touches.
     const TOUCHES_PER_DICTATION: u32 = 4;
     const TOUCHES_PER_REDICTATION: u32 = 2;
-    let effort = TOUCHES_PER_DICTATION
-        + TOUCHES_PER_REDICTATION * redictations
-        + touches;
+    let effort = TOUCHES_PER_DICTATION + TOUCHES_PER_REDICTATION * redictations + touches;
 
     Trial {
         participant: p.id,
@@ -235,10 +239,14 @@ pub fn summarize(trials: &[Trial]) -> Vec<QuerySummary> {
         let mt_time = med(typing.iter().map(|t| t.time_s).collect());
         let ms_eff = med(speak.iter().map(|t| t.effort as f64).collect());
         let mt_eff = med(typing.iter().map(|t| t.effort as f64).collect());
-        let speaking_fraction =
-            med(speak.iter().map(|t| t.speaking_s / t.time_s.max(1e-9)).collect());
-        let keyboard_fraction =
-            med(speak.iter().map(|t| t.keyboard_s / t.time_s.max(1e-9)).collect());
+        let speaking_fraction = med(speak
+            .iter()
+            .map(|t| t.speaking_s / t.time_s.max(1e-9))
+            .collect());
+        let keyboard_fraction = med(speak
+            .iter()
+            .map(|t| t.keyboard_s / t.time_s.max(1e-9))
+            .collect());
         out.push(QuerySummary {
             query: q.id,
             median_speakql_time_s: ms_time,

@@ -32,7 +32,10 @@ fn main() {
     println!("building SpeakQL engine ...");
     let engine = SpeakQl::new(
         &db,
-        SpeakQlConfig { generator: cfg, ..SpeakQlConfig::paper() },
+        SpeakQlConfig {
+            generator: cfg,
+            ..SpeakQlConfig::paper()
+        },
     );
     println!("  {} structures indexed\n", engine.index().len());
 

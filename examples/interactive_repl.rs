@@ -30,11 +30,20 @@ fn main() {
     let db = employees_db();
     eprintln!("building SpeakQL engine ...");
     let cfg = GeneratorConfig::medium();
-    let engine = SpeakQl::new(&db, SpeakQlConfig { generator: cfg.clone(), ..SpeakQlConfig::paper() });
+    let engine = SpeakQl::new(
+        &db,
+        SpeakQlConfig {
+            generator: cfg.clone(),
+            ..SpeakQlConfig::paper()
+        },
+    );
     let train = generate_cases(&db, &cfg, 150, 0xA11CE);
     let asr = AsrEngine::new(AsrProfile::acs_trained(), training_vocabulary(&db, &train));
     let mut rng = ChaCha8Rng::seed_from_u64(42);
-    eprintln!("ready: {} structures indexed. Type 'schema' or a transcript.", engine.index().len());
+    eprintln!(
+        "ready: {} structures indexed. Type 'schema' or a transcript.",
+        engine.index().len()
+    );
 
     let stdin = std::io::stdin();
     loop {
@@ -53,7 +62,12 @@ fn main() {
                 for t in &db.tables {
                     let cols: Vec<&str> =
                         t.schema.columns.iter().map(|c| c.name.as_str()).collect();
-                    println!("  {} ( {} )  [{} rows]", t.schema.name, cols.join(" , "), t.rows.len());
+                    println!(
+                        "  {} ( {} )  [{} rows]",
+                        t.schema.name,
+                        cols.join(" , "),
+                        t.rows.len()
+                    );
                 }
                 continue;
             }
@@ -74,7 +88,10 @@ fn main() {
             println!("no candidates");
             continue;
         };
-        println!("corrected : {best}   ({:.0} ms)", result.elapsed.as_secs_f64() * 1000.0);
+        println!(
+            "corrected : {best}   ({:.0} ms)",
+            result.elapsed.as_secs_f64() * 1000.0
+        );
         for (i, c) in result.candidates.iter().enumerate().skip(1).take(2) {
             println!("   alt #{i} : {}", c.sql);
         }
@@ -82,10 +99,14 @@ fn main() {
             match speakql_db::execute_sql(&db, best) {
                 Ok(rows) => {
                     let shown = rows.rows.len().min(8);
-                    println!("{}", speakql_db::QueryResult {
-                        columns: rows.columns.clone(),
-                        rows: rows.rows[..shown].to_vec(),
-                    }.render_table());
+                    println!(
+                        "{}",
+                        speakql_db::QueryResult {
+                            columns: rows.columns.clone(),
+                            rows: rows.rows[..shown].to_vec(),
+                        }
+                        .render_table()
+                    );
                     if rows.rows.len() > shown {
                         println!("... {} more row(s)", rows.rows.len() - shown);
                     }

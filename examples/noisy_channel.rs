@@ -16,9 +16,7 @@ use speakql_grammar::render_masked;
 fn main() {
     let db = employees_db();
     let engine = SpeakQl::new(&db, SpeakQlConfig::small());
-    let vocab = Vocabulary::from_literals(
-        db.table_names().into_iter().chain(db.attribute_names()),
-    );
+    let vocab = Vocabulary::from_literals(db.table_names().into_iter().chain(db.attribute_names()));
     let asr = AsrEngine::new(AsrProfile::acs_trained(), vocab);
 
     let cases: [(&str, &str); 5] = [

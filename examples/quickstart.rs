@@ -30,10 +30,7 @@ fn main() {
     //    the database's literals phonetically.
     println!("building SpeakQL engine (structure space + phonetic catalog) ...");
     let engine = SpeakQl::new(&db, SpeakQlConfig::small());
-    println!(
-        "  {} candidate structures indexed\n",
-        engine.index().len()
-    );
+    println!("  {} candidate structures indexed\n", engine.index().len());
 
     // 3. The user dictates; the ASR mishears (paper §2 running example).
     let transcript = "select sales from employers wear name equals jon";

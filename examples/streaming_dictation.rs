@@ -39,7 +39,11 @@ fn main() {
     let session = dictate_and_repair(&engine, &asr, intended, &mut rng);
     println!("intended : {intended}");
     println!("final    : {}", session.rendered());
-    println!("effort   : {} units across {} interactions", session.total_effort(), session.log().len());
+    println!(
+        "effort   : {} units across {} interactions",
+        session.total_effort(),
+        session.log().len()
+    );
     for step in session.log() {
         println!("  - {step:?}");
     }

@@ -133,7 +133,11 @@ fn corrected_queries_always_execute() {
     );
     for r in &runs {
         let parsed = speakql_db::parse_query(&r.top1_sql);
-        assert!(parsed.is_ok(), "unparsable output: {} ({parsed:?})", r.top1_sql);
+        assert!(
+            parsed.is_ok(),
+            "unparsable output: {} ({parsed:?})",
+            r.top1_sql
+        );
     }
 }
 
@@ -157,5 +161,8 @@ fn nested_pipeline_produces_two_selects() {
             with_nesting += 1;
         }
     }
-    assert!(with_nesting >= 3, "nesting preserved in only {with_nesting}/5");
+    assert!(
+        with_nesting >= 3,
+        "nesting preserved in only {with_nesting}/5"
+    );
 }

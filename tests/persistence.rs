@@ -10,7 +10,10 @@ use std::sync::Arc;
 
 #[test]
 fn reloaded_index_drives_identical_engine() {
-    let cfg = GeneratorConfig { max_structures: Some(5_000), ..GeneratorConfig::small() };
+    let cfg = GeneratorConfig {
+        max_structures: Some(5_000),
+        ..GeneratorConfig::small()
+    };
     let index = StructureIndex::from_grammar(&cfg, Weights::PAPER);
 
     let dir = std::env::temp_dir().join("speakql-it-persist");
@@ -21,7 +24,10 @@ fn reloaded_index_drives_identical_engine() {
     std::fs::remove_file(&path).ok();
 
     let db = employees_db();
-    let engine_cfg = SpeakQlConfig { generator: cfg, ..SpeakQlConfig::paper() };
+    let engine_cfg = SpeakQlConfig {
+        generator: cfg,
+        ..SpeakQlConfig::paper()
+    };
     let original = SpeakQl::with_index(&db, Arc::new(index), engine_cfg.clone());
     let restored = SpeakQl::with_index(&db, Arc::new(reloaded), engine_cfg);
 
@@ -44,11 +50,18 @@ fn reloaded_index_drives_identical_engine() {
 
 #[test]
 fn persisted_file_size_is_compact() {
-    let cfg = GeneratorConfig { max_structures: Some(5_000), ..GeneratorConfig::small() };
+    let cfg = GeneratorConfig {
+        max_structures: Some(5_000),
+        ..GeneratorConfig::small()
+    };
     let index = StructureIndex::from_grammar(&cfg, Weights::PAPER);
     let bytes = speakql_index::to_bytes(&index);
     // Roughly 20-30 bytes per structure; certainly under 64.
-    assert!(bytes.len() < 5_000 * 64, "{} bytes for 5000 structures", bytes.len());
+    assert!(
+        bytes.len() < 5_000 * 64,
+        "{} bytes for 5000 structures",
+        bytes.len()
+    );
     // And the arena reconstructs identically.
     let reloaded = speakql_index::from_bytes(&bytes).expect("roundtrip");
     assert_eq!(reloaded.structures(), index.structures());

@@ -35,7 +35,10 @@ fn default_search_is_exact_on_noisy_transcripts() {
     for t in transcripts {
         let p = process_transcript_text(t);
         for k in [1usize, 5] {
-            let cfg = SearchConfig { k, ..SearchConfig::default() };
+            let cfg = SearchConfig {
+                k,
+                ..SearchConfig::default()
+            };
             assert_eq!(
                 index.search(&p.masked, &cfg),
                 index.scan(&p.masked, k),
@@ -54,7 +57,13 @@ fn inv_returns_subset_quality() {
     for t in transcripts {
         let p = process_transcript_text(t);
         let exact = index.search(&p.masked, &SearchConfig::default());
-        let inv = index.search(&p.masked, &SearchConfig { inv: true, ..Default::default() });
+        let inv = index.search(
+            &p.masked,
+            &SearchConfig {
+                inv: true,
+                ..Default::default()
+            },
+        );
         if let (Some(e), Some(i)) = (exact.first(), inv.first()) {
             assert!(i.distance >= e.distance, "INV cannot beat exact search");
         }
@@ -67,8 +76,13 @@ fn dap_visits_no_more_nodes_than_default() {
     for t in transcripts {
         let p = process_transcript_text(t);
         let (_, d_stats) = index.search_with_stats(&p.masked, &SearchConfig::default());
-        let (_, dap_stats) =
-            index.search_with_stats(&p.masked, &SearchConfig { dap: true, ..Default::default() });
+        let (_, dap_stats) = index.search_with_stats(
+            &p.masked,
+            &SearchConfig {
+                dap: true,
+                ..Default::default()
+            },
+        );
         assert!(dap_stats.nodes_visited <= d_stats.nodes_visited, "on {t}");
     }
 }
@@ -80,10 +94,18 @@ fn bdb_prunes_but_preserves_results_at_scale() {
     for t in transcripts {
         let p = process_transcript_text(t);
         let (with, s1) = index.search_with_stats(&p.masked, &SearchConfig::default());
-        let (without, _) =
-            index.search_with_stats(&p.masked, &SearchConfig { bdb: false, ..Default::default() });
+        let (without, _) = index.search_with_stats(
+            &p.masked,
+            &SearchConfig {
+                bdb: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(with, without);
         total_pruned += s1.tries_pruned as u64;
     }
-    assert!(total_pruned > 0, "BDB never pruned anything across 40 real transcripts");
+    assert!(
+        total_pruned > 0,
+        "BDB never pruned anything across 40 real transcripts"
+    );
 }

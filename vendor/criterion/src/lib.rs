@@ -1,0 +1,211 @@
+//! Offline vendored subset of the `criterion` benchmark harness.
+//!
+//! Provides [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`],
+//! and the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! straightforward calibrated-sample design: one warmup iteration sizes the
+//! batch, then `sample_size` batches are timed and the median per-iteration
+//! time is reported. No plotting, baselines, or statistical regression.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for a single timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` appends `--bench`; any bare trailing argument is a
+        // substring filter on benchmark names, as with upstream criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 100,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run_one<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            per_iter: None,
+        };
+        f(&mut bencher);
+        match bencher.per_iter {
+            Some(per_iter) => println!("{name:<40} time: [{}]", format_duration(per_iter)),
+            None => println!("{name:<40} (no measurement)"),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.0);
+        self.criterion.run_one(&name, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time the routine: calibrate a batch size from one warmup pass, then
+    /// record `sample_size` timed batches and keep the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warmup_start = Instant::now();
+        std::hint::black_box(routine());
+        let warmup = warmup_start.elapsed().max(Duration::from_nanos(1));
+
+        let iters_per_sample =
+            (SAMPLE_TARGET.as_nanos() / warmup.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+        samples.sort();
+        self.per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        c.bench_function("noop_sum", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        group.bench_function(BenchmarkId::from_parameter("fast"), |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: None,
+        };
+        trivial_bench(&mut c);
+    }
+
+    #[test]
+    fn filter_skips() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: Some("nomatch".to_string()),
+        };
+        // Must return without ever timing the (panicking) routine.
+        c.bench_function("other", |_b| panic!("filtered benchmarks must not run"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(format_duration(Duration::from_micros(3)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(3)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

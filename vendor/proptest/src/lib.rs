@@ -1,0 +1,677 @@
+//! Offline vendored subset of the `proptest` property-testing framework.
+//!
+//! Implements the API surface this workspace uses: the [`strategy::Strategy`]
+//! trait with `prop_map` / `prop_filter` / `prop_recursive`, strategies for
+//! ranges, tuples, `Just`, regex-subset string patterns, `prop::collection::vec`
+//! and `prop::option::of`, `any::<T>()`, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` / `prop_oneof!` macros.
+//!
+//! Unlike upstream proptest there is no shrinking and no persistence of
+//! regression seeds; case generation is deterministic per (test name, case
+//! index), so failures reproduce across runs.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Error returned from a failing property body.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic RNG handed to strategies.
+    pub struct TestRng {
+        inner: rand_chacha::ChaCha8Rng,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str, case: u64) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            use rand::SeedableRng;
+            TestRng {
+                inner: rand_chacha::ChaCha8Rng::seed_from_u64(h),
+            }
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.inner.next_u32()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.inner.fill_bytes(dest)
+        }
+    }
+
+    /// Drives one `proptest!`-generated test function.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            TestRunner { config, name }
+        }
+
+        pub fn run<F>(&mut self, mut body: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.config.cases {
+                let mut rng = TestRng::deterministic(self.name, case as u64);
+                if let Err(err) = body(&mut rng) {
+                    panic!(
+                        "proptest failed: test `{}`, case {}/{}: {}",
+                        self.name, case, self.config.cases, err
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                whence: whence.into(),
+                f,
+            }
+        }
+
+        /// Build a recursive strategy: `depth` levels of `recurse` stacked on
+        /// top of `self` as the leaf. `_desired_size` and `_expected_branch_size`
+        /// are accepted for upstream signature compatibility.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> ArcStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(ArcStrategy<Self::Value>) -> R,
+        {
+            let leaf = arc(self);
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let deeper = arc(recurse(current));
+                current = arc(one_of(vec![leaf.clone(), deeper]));
+            }
+            current
+        }
+    }
+
+    /// A clonable, type-erased strategy (the vendored analogue of upstream's
+    /// `BoxedStrategy`).
+    pub struct ArcStrategy<T> {
+        generator: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for ArcStrategy<T> {
+        fn clone(&self) -> Self {
+            ArcStrategy {
+                generator: Rc::clone(&self.generator),
+            }
+        }
+    }
+
+    impl<T> Strategy for ArcStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.generator)(rng)
+        }
+    }
+
+    /// Type-erase any strategy into an [`ArcStrategy`].
+    pub fn arc<S>(strategy: S) -> ArcStrategy<S::Value>
+    where
+        S: Strategy + 'static,
+    {
+        ArcStrategy {
+            generator: Rc::new(move |rng| strategy.generate(rng)),
+        }
+    }
+
+    /// Uniform choice among alternatives (backs `prop_oneof!`).
+    pub struct OneOf<T> {
+        options: Vec<ArcStrategy<T>>,
+    }
+
+    pub fn one_of<T>(options: Vec<ArcStrategy<T>>) -> OneOf<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { options }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rand::Rng::gen_range(rng, 0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        source: S,
+        whence: String,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let value = self.source.generate(rng);
+                if (self.f)(&value) {
+                    return value;
+                }
+            }
+            panic!(
+                "prop_filter rejected 10000 consecutive values: {}",
+                self.whence
+            );
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: Copy + rand::SampleUniform,
+        std::ops::Range<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rand::Rng::gen_range(rng, self.start..self.end)
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        T: Copy + rand::SampleUniform,
+        std::ops::RangeInclusive<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rand::Rng::gen_range(rng, *self.start()..=*self.end())
+        }
+    }
+
+    /// `&'static str` patterns generate strings from a regex subset:
+    /// concatenations of `[class]` atoms (ranges and literal characters)
+    /// with optional `{n}` / `{m,n}` quantifiers.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident : $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    /// The strategy for `T`'s whole domain, as in `any::<i32>()`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rand::RngCore::next_u32(rng) & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty => $via:ident),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rand::RngCore::$via(rng) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(
+        u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+        usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+        i64 => next_u64, isize => next_u64
+    );
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.size.start..self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rand::Rng::gen_range(rng, 0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+mod string {
+    use crate::test_runner::TestRng;
+
+    /// Generate a string from the regex subset `([class]{m,n} | [class])+`.
+    /// Classes support `a-z` ranges and literal characters; quantifiers are
+    /// `{n}` or `{m,n}` (inclusive), defaulting to exactly one.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let class: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                        + i;
+                    let members = expand_class(&chars[i + 1..close], pattern);
+                    i = close + 1;
+                    members
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                    i += 2;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("bad quantifier"),
+                        n.trim().parse::<usize>().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let reps = rand::Rng::gen_range(rng, lo..=hi);
+            for _ in 0..reps {
+                let idx = rand::Rng::gen_range(rng, 0..class.len());
+                out.push(class[idx]);
+            }
+        }
+        out
+    }
+
+    fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+        assert!(!body.is_empty(), "empty class in pattern {pattern:?}");
+        let mut members = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+                assert!(lo <= hi, "bad range in class in pattern {pattern:?}");
+                for c in lo..=hi {
+                    members.push(char::from_u32(c).unwrap());
+                }
+                i += 3;
+            } else {
+                members.push(body[i]);
+                i += 1;
+            }
+        }
+        members
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Namespaced strategy modules, as in `prop::collection::vec`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+            runner.run(|rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                let case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    { $body }
+                    ::std::result::Result::Ok(())
+                };
+                case()
+            });
+        }
+    )*};
+}
+
+/// Assert a condition inside a `proptest!` body; failure aborts the case
+/// with a [`test_runner::TestCaseError`] rather than panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Choose uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::arc($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_per_case() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec(0u32..100, 1..10);
+        let a = strat.generate(&mut TestRng::deterministic("x", 3));
+        let b = strat.generate(&mut TestRng::deterministic("x", 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn string_pattern_shape() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        for case in 0..50 {
+            let s = "[A-Za-z][A-Za-z0-9_]{0,10}".generate(&mut TestRng::deterministic("p", case));
+            assert!(!s.is_empty() && s.len() <= 11, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic(), "{s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_roundtrip(xs in prop::collection::vec(0i64..50, 0..8), flip in any::<bool>()) {
+            let mut ys = xs.clone();
+            ys.reverse();
+            if flip {
+                ys.reverse();
+                prop_assert_eq!(&xs, &ys);
+            }
+            prop_assert_eq!(xs.len(), ys.len(), "lengths differ: {}", xs.len());
+            prop_assert!(xs.len() < 8);
+        }
+
+        #[test]
+        fn oneof_and_filter(word in prop_oneof![
+            Just("alpha".to_string()),
+            "[a-z]{2,5}",
+        ], n in 1u8..=4) {
+            prop_assert!(!word.is_empty());
+            prop_assert!((1..=4u8).contains(&n));
+        }
+    }
+}

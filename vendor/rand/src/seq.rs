@@ -1,0 +1,23 @@
+//! Slice sampling helpers (`SliceRandom`).
+
+use crate::{Rng, RngCore};
+
+/// Random selection from slices.
+pub trait SliceRandom {
+    type Item;
+
+    /// Uniformly choose one element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+}

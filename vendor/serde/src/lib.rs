@@ -1,0 +1,19 @@
+//! Offline vendored `serde` facade.
+//!
+//! The workspace only uses serde as `#[derive(Serialize, Deserialize)]`
+//! markers on plain data types — no generic `Serialize` bounds and no
+//! typed (de)serialization. This facade therefore ships marker traits with
+//! blanket impls plus no-op derive macros, which keeps every annotated type
+//! compiling without a registry.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; blanket-implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; blanket-implemented for every sized type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,506 @@
+//! Offline vendored subset of `serde_json`: the [`Value`] data model, the
+//! [`json!`] macro, and [`to_string_pretty`]. Only what the bench harness
+//! uses — no typed (de)serialization, no parsing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+/// A JSON number: integer or double.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+/// A JSON object with sorted keys (matches upstream serde_json's default
+/// `BTreeMap` backing).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: BTreeMap<String, Value>,
+}
+
+impl Map {
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.entries.insert(key, value)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter()
+    }
+}
+
+/// Conversion into a [`Value`] by reference; what `json!` interpolation
+/// uses, so that place expressions (e.g. `row[0]`) need not move.
+pub trait ToJson {
+    fn to_json(&self) -> Value;
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+macro_rules! impl_to_json_signed {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::I64(*self as i64))
+            }
+        }
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::I64(v as i64))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_to_json_unsigned {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::U64(v as u64))
+            }
+        }
+    )*};
+}
+
+impl_to_json_signed!(i8, i16, i32, i64, isize);
+impl_to_json_unsigned!(u8, u16, u32, u64, usize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F64(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Serialization error (unused by the pretty printer, which is total, but
+/// kept for call-site signature compatibility).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Pretty-print a value with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_value(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_string(out, key);
+                out.push_str(": ");
+                write_value(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    use std::fmt::Write;
+    match n {
+        Number::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::F64(v) if v.is_finite() => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        // JSON has no NaN/Infinity; match serde_json's closest behaviour.
+        Number::F64(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+/// Construct a [`Value`] from JSON-like syntax with expression
+/// interpolation. Supports objects, arrays, `null`/`true`/`false`, and any
+/// expression convertible via [`ToJson`].
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => {
+        $crate::json_internal!($($json)+)
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    // Array element accumulation. The accumulated elements live in `[...]`.
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // Object entry accumulation: (@object map (partial key) (unparsed)).
+    (@object $object:ident () ()) => {};
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*)) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*)) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*)) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*)) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*)) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*)) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr)) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Committed entry: insert, then continue with the rest.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    // Munch one token into the pending key.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*)) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*));
+    };
+
+    // Entry points.
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(vec![])
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => {
+        $crate::ToJson::to_json(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(true), Value::Bool(true));
+        assert_eq!(json!(1.5), Value::Number(Number::F64(1.5)));
+        assert_eq!(json!("hi"), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn interpolation_does_not_move() {
+        let rows = [["a".to_string(), "b".to_string()]];
+        let v = json!({"first": rows[0][0], "second": rows[0][1]});
+        assert_eq!(
+            v,
+            json!({"second": "b", "first": "a"}),
+            "maps compare by content"
+        );
+        assert_eq!(rows[0][0], "a");
+    }
+
+    #[test]
+    fn nested_objects_and_arrays() {
+        let xs = vec![1.0f64, 2.0];
+        let v = json!({
+            "stats": { "mean": 1.5, "n": 2usize },
+            "series": xs,
+            "pairs": [[0.0, 1.0], [0.5, 2.0]],
+            "flag": false,
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"mean\": 1.5"), "{s}");
+        assert!(s.contains("\"n\": 2"), "{s}");
+        assert!(s.contains('['), "{s}");
+    }
+
+    #[test]
+    fn pretty_printing_shape() {
+        let v = json!({"b": 1i64, "a": [true, null]});
+        let s = to_string_pretty(&v).unwrap();
+        // BTreeMap ordering: "a" before "b".
+        let a_pos = s.find("\"a\"").unwrap();
+        let b_pos = s.find("\"b\"").unwrap();
+        assert!(a_pos < b_pos);
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn tuple_series_render_as_pairs() {
+        let series: Vec<(f64, f64)> = vec![(0.0, 0.5), (1.0, 0.9)];
+        let v = json!(series);
+        match v {
+            Value::Array(items) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[0], json!([0.0, 0.5]));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = json!("line\n\"quoted\"");
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "\"line\\n\\\"quoted\\\"\"");
+    }
+}
