@@ -1,0 +1,271 @@
+//! `perf_snapshot` — deterministic perf-regression snapshot for CI.
+//!
+//! Replays a fixed-seed workload (50 000-structure index, 200 ASR
+//! transcripts, single-threaded for exact counter reproducibility) through
+//! the full correction pipeline with observability enabled, then emits a
+//! `BENCH_<date>.json` snapshot of per-stage latency percentiles and work
+//! counters.
+//!
+//! ```text
+//! perf_snapshot [--out FILE]              write a snapshot (default BENCH_<date>.json)
+//! perf_snapshot --check BASELINE [--out FILE]
+//!                                         also compare against a committed baseline:
+//!                                         counters must match exactly, wall-clock may
+//!                                         not regress more than +30%; exits 1 with a
+//!                                         diff table on regression
+//! ```
+//!
+//! Counter totals are exact because every seed is pinned and both the trie
+//! search and the batch queue run on one thread; wall-clock is the only
+//! machine-dependent field, so the check gives it a ±30% band while holding
+//! every counter to equality.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::{json, Map, Value};
+use speakql_asr::{AsrEngine, AsrProfile};
+use speakql_core::{SpeakQl, SpeakQlConfig};
+use speakql_data::{employees_db, generate_cases, training_vocabulary};
+use speakql_grammar::GeneratorConfig;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Structure-space cap: large enough that trie search dominates.
+const MAX_STRUCTURES: usize = 50_000;
+/// Transcripts replayed through the pipeline.
+const NUM_TRANSCRIPTS: usize = 200;
+/// Seed for the spoken-SQL case generator.
+const CASE_SEED: u64 = 0xBE9C;
+/// Wall-clock regression tolerance (fraction of baseline).
+const WALL_CLOCK_TOLERANCE: f64 = 0.30;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, out) = take_flag(&args, "--out");
+    let (args, check) = take_flag(&args, "--check");
+    if !args.is_empty() {
+        eprintln!("usage: perf_snapshot [--out FILE] [--check BASELINE.json]");
+        return ExitCode::from(2);
+    }
+    let out = out.unwrap_or_else(|| format!("BENCH_{}.json", today_utc()));
+
+    let snapshot = run_workload();
+
+    if let Err(e) = std::fs::write(&out, serde_json::to_string_pretty(&snapshot).unwrap()) {
+        eprintln!("error writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[perf_snapshot] wrote {out}");
+
+    if let Some(baseline_path) = check {
+        let baseline: Value = match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+        {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error reading baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return compare(&baseline, &snapshot, &baseline_path);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Split off a `--flag value` pair from free-form args.
+fn take_flag(args: &[String], flag: &str) -> (Vec<String>, Option<String>) {
+    let mut rest = Vec::new();
+    let mut value = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag && i + 1 < args.len() {
+            value = Some(args[i + 1].clone());
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (rest, value)
+}
+
+/// Build the fixed-seed workload, run it, and snapshot the recorder.
+fn run_workload() -> Value {
+    eprintln!("[perf_snapshot] building {MAX_STRUCTURES}-structure engine ...");
+    let gen_cfg = GeneratorConfig {
+        max_structures: Some(MAX_STRUCTURES),
+        ..GeneratorConfig::paper()
+    };
+    let db = employees_db();
+    let engine = SpeakQl::new(
+        &db,
+        SpeakQlConfig {
+            generator: gen_cfg,
+            ..SpeakQlConfig::paper()
+        }
+        .with_threads(1)
+        .with_observability(true),
+    );
+
+    eprintln!("[perf_snapshot] generating {NUM_TRANSCRIPTS} transcripts ...");
+    let cases = generate_cases(&db, &GeneratorConfig::small(), NUM_TRANSCRIPTS, CASE_SEED);
+    let asr = AsrEngine::new(AsrProfile::acs_trained(), training_vocabulary(&db, &cases));
+    let transcripts: Vec<String> = cases
+        .iter()
+        .map(|c| {
+            let mut rng = ChaCha8Rng::seed_from_u64(c.id as u64);
+            asr.transcribe_sql(&c.sql, &mut rng)
+        })
+        .collect();
+    let batch: Vec<&str> = transcripts.iter().map(String::as_str).collect();
+
+    eprintln!("[perf_snapshot] replaying workload ...");
+    let start = Instant::now();
+    let results = engine.transcribe_batch(&batch);
+    let wall_clock_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(results.len(), NUM_TRANSCRIPTS);
+
+    let report = engine.report();
+    eprint!("{}", report.render_table());
+    eprintln!("[perf_snapshot] wall clock: {wall_clock_ms:.1} ms");
+
+    let mut counters = Map::new();
+    for c in &report.counters {
+        counters.insert(c.name.to_string(), json!(c.total));
+    }
+    let mut stages = Map::new();
+    for s in &report.stages {
+        stages.insert(
+            s.name.to_string(),
+            json!({
+                "count": s.count,
+                "sum_micros": s.sum_micros,
+                "min_micros": s.min_micros,
+                "max_micros": s.max_micros,
+                "p50_micros": s.p50_micros,
+                "p95_micros": s.p95_micros,
+                "p99_micros": s.p99_micros,
+            }),
+        );
+    }
+    json!({
+        "schema": "speakql-perf-snapshot/v1",
+        "workload": {
+            "max_structures": MAX_STRUCTURES,
+            "transcripts": NUM_TRANSCRIPTS,
+            "case_seed": CASE_SEED,
+            "threads": 1,
+        },
+        "wall_clock_ms": wall_clock_ms,
+        "counters": Value::Object(counters),
+        "stages": Value::Object(stages),
+    })
+}
+
+/// Compare a fresh snapshot against the committed baseline.
+///
+/// Counters must match exactly (they are seed-deterministic); wall-clock may
+/// drift but fails the check when more than [`WALL_CLOCK_TOLERANCE`] slower
+/// than baseline. Prints a row-per-metric diff table either way.
+fn compare(baseline: &Value, current: &Value, baseline_path: &str) -> ExitCode {
+    let mut rows: Vec<(String, String, String, String)> = Vec::new();
+    let mut regressions = 0usize;
+
+    let base_counters = baseline
+        .get("counters")
+        .and_then(Value::as_object)
+        .cloned()
+        .unwrap_or_default();
+    let cur_counters = current
+        .get("counters")
+        .and_then(Value::as_object)
+        .cloned()
+        .unwrap_or_default();
+    let mut names: Vec<&String> = base_counters.keys().chain(cur_counters.keys()).collect();
+    names.sort();
+    names.dedup();
+    for name in names {
+        let base = base_counters.get(name.as_str()).and_then(Value::as_u64);
+        let cur = cur_counters.get(name.as_str()).and_then(Value::as_u64);
+        let status = match (base, cur) {
+            (Some(b), Some(c)) if b == c => "ok".to_string(),
+            (Some(_), Some(_)) => {
+                regressions += 1;
+                "MISMATCH".to_string()
+            }
+            _ => {
+                regressions += 1;
+                "MISSING".to_string()
+            }
+        };
+        rows.push((
+            name.clone(),
+            base.map_or("-".into(), |v| v.to_string()),
+            cur.map_or("-".into(), |v| v.to_string()),
+            status,
+        ));
+    }
+
+    let base_wall = baseline.get("wall_clock_ms").and_then(Value::as_f64);
+    let cur_wall = current.get("wall_clock_ms").and_then(Value::as_f64);
+    if let (Some(b), Some(c)) = (base_wall, cur_wall) {
+        let ratio = if b > 0.0 { c / b } else { f64::INFINITY };
+        let status = if ratio > 1.0 + WALL_CLOCK_TOLERANCE {
+            regressions += 1;
+            format!("REGRESSION (+{:.0}%)", (ratio - 1.0) * 100.0)
+        } else if ratio < 1.0 - WALL_CLOCK_TOLERANCE {
+            // Faster than the band: fine for CI, but worth refreshing the
+            // baseline so the band re-centres.
+            format!("ok (faster, {:.0}%)", (1.0 - ratio) * 100.0)
+        } else {
+            format!("ok ({:+.0}%)", (ratio - 1.0) * 100.0)
+        };
+        rows.push((
+            "wall_clock_ms".into(),
+            format!("{b:.1}"),
+            format!("{c:.1}"),
+            status,
+        ));
+    }
+
+    println!(
+        "{:<34} {:>16} {:>16}  status",
+        "metric", "baseline", "current"
+    );
+    for (name, base, cur, status) in &rows {
+        println!("{name:<34} {base:>16} {cur:>16}  {status}");
+    }
+
+    if regressions > 0 {
+        eprintln!(
+            "\n[perf_snapshot] FAIL: {regressions} metric(s) regressed vs {baseline_path}. \
+             If the change is intentional, regenerate the baseline with \
+             `cargo run --release -p speakql-bench --bin perf_snapshot -- --out {baseline_path}`."
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!("\n[perf_snapshot] PASS: counters exact, wall-clock within ±30% of baseline.");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days; no chrono dependency).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days algorithm.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}

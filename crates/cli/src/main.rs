@@ -23,12 +23,15 @@ const USAGE: &str = "\
 speakql — speech-driven SQL correction (SpeakQL-rs)
 
 USAGE:
-  speakql transcribe <transcript...> [--threads N]
+  speakql transcribe <transcript...> [--threads N] [--report FILE]
                                             correct an ASR transcript and execute it
-  speakql transcribe --batch <file> [--threads N]
+  speakql transcribe --batch <file> [--threads N] [--report FILE]
                                             correct one transcript per line of <file>
                                             on N worker threads (0 = all cores);
-                                            emits TSV of (transcript, corrected SQL)
+                                            emits TSV of (transcript, corrected SQL).
+                                            --report writes a JSON pipeline
+                                            observability report (stage latency
+                                            percentiles + work counters) to FILE
   speakql speak <sql...> [--seed N]         verbalize SQL, simulate noisy ASR, correct it
   speakql dataset <n> [--seed N] [--transcripts]
                                             print n generated spoken-SQL cases;
@@ -92,10 +95,10 @@ fn take_flag(args: &[String], flag: &str) -> (Vec<String>, Option<String>) {
 }
 
 fn engine() -> SpeakQl {
-    engine_with_threads(1)
+    engine_with(1, false)
 }
 
-fn engine_with_threads(threads: usize) -> SpeakQl {
+fn engine_with(threads: usize, observe: bool) -> SpeakQl {
     let db = employees_db();
     eprintln!("[speakql] building engine ...");
     SpeakQl::new(
@@ -104,8 +107,23 @@ fn engine_with_threads(threads: usize) -> SpeakQl {
             generator: scale_config(),
             ..SpeakQlConfig::paper()
         }
-        .with_threads(threads),
+        .with_threads(threads)
+        .with_observability(observe),
     )
+}
+
+/// Write the engine's observability report as JSON to `path`.
+fn write_report(engine: &SpeakQl, path: &str) -> bool {
+    match std::fs::write(path, engine.report().to_json()) {
+        Ok(()) => {
+            eprintln!("[speakql] observability report written to {path}");
+            true
+        }
+        Err(e) => {
+            eprintln!("error writing report to {path}: {e}");
+            false
+        }
+    }
 }
 
 fn show_result(result: &speakql_core::Transcription) -> ExitCode {
@@ -138,24 +156,33 @@ fn show_result(result: &speakql_core::Transcription) -> ExitCode {
 fn cmd_transcribe(args: &[String]) -> ExitCode {
     let (rest, threads) = take_flag(args, "--threads");
     let (rest, batch) = take_flag(&rest, "--batch");
+    let (rest, report) = take_flag(&rest, "--report");
     let threads: usize = threads.and_then(|s| s.parse().ok()).unwrap_or(1);
     if let Some(path) = batch {
-        return cmd_transcribe_batch(&path, threads);
+        return cmd_transcribe_batch(&path, threads, report.as_deref());
     }
     if rest.is_empty() {
-        eprintln!("usage: speakql transcribe <transcript...> [--threads N] [--batch <file>]");
+        eprintln!(
+            "usage: speakql transcribe <transcript...> [--threads N] [--batch <file>] [--report FILE]"
+        );
         return ExitCode::from(2);
     }
     let transcript = rest.join(" ");
-    let engine = engine_with_threads(threads);
+    let engine = engine_with(threads, report.is_some());
     let result = engine.transcribe(&transcript);
     println!("heard     : {transcript}");
-    show_result(&result)
+    let code = show_result(&result);
+    if let Some(path) = report {
+        if !write_report(&engine, &path) {
+            return ExitCode::FAILURE;
+        }
+    }
+    code
 }
 
 /// Batch mode: one transcript per line, corrected on the engine's worker
 /// pool, output order matching input order.
-fn cmd_transcribe_batch(path: &str, threads: usize) -> ExitCode {
+fn cmd_transcribe_batch(path: &str, threads: usize, report: Option<&str>) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -172,7 +199,7 @@ fn cmd_transcribe_batch(path: &str, threads: usize) -> ExitCode {
         eprintln!("no transcripts in {path}");
         return ExitCode::FAILURE;
     }
-    let engine = engine_with_threads(threads);
+    let engine = engine_with(threads, report.is_some());
     let start = std::time::Instant::now();
     let results = engine.transcribe_batch(&lines);
     let elapsed = start.elapsed();
@@ -185,6 +212,11 @@ fn cmd_transcribe_batch(path: &str, threads: usize) -> ExitCode {
         elapsed.as_secs_f64(),
         engine.config().effective_threads()
     );
+    if let Some(path) = report {
+        if !write_report(&engine, path) {
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 

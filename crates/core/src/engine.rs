@@ -14,6 +14,7 @@ use speakql_grammar::{
     GeneratorConfig, ProcessedTranscript, Structure,
 };
 use speakql_index::{SearchConfig, SearchHit, StructureIndex};
+use speakql_observe::{CounterId, PipelineReport, Recorder, SpanId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -36,6 +37,11 @@ pub struct SpeakQlConfig {
     /// `0` means one worker per available core. Structure-search parallelism
     /// is configured separately via [`SearchConfig::threads`].
     pub threads: usize,
+    /// Record pipeline observability metrics (stage latencies, search and
+    /// voting work counters) into the engine's [`Recorder`], retrievable via
+    /// [`SpeakQl::report`]. `false` (the default) makes every metric hook a
+    /// no-op; the transcriptions produced are identical either way.
+    pub observe: bool,
 }
 
 impl SpeakQlConfig {
@@ -51,6 +57,7 @@ impl SpeakQlConfig {
             weights: Weights::PAPER,
             literal: LiteralConfig::default(),
             threads: 1,
+            observe: false,
         }
     }
 
@@ -73,6 +80,12 @@ impl SpeakQlConfig {
     /// This configuration with `threads` engine workers.
     pub fn with_threads(mut self, threads: usize) -> SpeakQlConfig {
         self.threads = threads;
+        self
+    }
+
+    /// This configuration with metric recording switched on or off.
+    pub fn with_observability(mut self, observe: bool) -> SpeakQlConfig {
+        self.observe = observe;
         self
     }
 
@@ -172,6 +185,8 @@ pub struct SpeakQl {
     config: SpeakQlConfig,
     /// Lazily built per-clause indexes for clause-level dictation.
     clause_indexes: Mutex<HashMap<ClauseKind, Arc<StructureIndex>>>,
+    /// Pipeline metric registry; a no-op unless [`SpeakQlConfig::observe`].
+    recorder: Recorder,
 }
 
 impl SpeakQl {
@@ -192,6 +207,7 @@ impl SpeakQl {
         SpeakQl {
             index,
             catalog: PhoneticCatalog::build(db),
+            recorder: Recorder::new(config.observe),
             config,
             clause_indexes: Mutex::new(HashMap::new()),
         }
@@ -209,6 +225,18 @@ impl SpeakQl {
         &self.config
     }
 
+    /// The engine's metric recorder (disabled unless
+    /// [`SpeakQlConfig::observe`] was set).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Snapshot every pipeline counter and stage-latency histogram recorded
+    /// so far. All-zero when observability is off.
+    pub fn report(&self) -> PipelineReport {
+        self.recorder.report()
+    }
+
     /// Transcribe a raw ASR transcript into ranked corrected-SQL candidates.
     /// Applies the nested-query heuristic when the transcript contains a
     /// second SELECT (App. F.8).
@@ -224,13 +252,23 @@ impl SpeakQl {
     /// parallelism (parallel search, parallel candidate construction) is
     /// disabled to avoid oversubscribing the pool.
     pub fn transcribe_batch(&self, transcripts: &[&str]) -> Vec<Transcription> {
-        let workers = self
-            .config
-            .effective_threads()
-            .min(transcripts.len().max(1));
-        if workers <= 1 {
-            return transcripts.iter().map(|t| self.transcribe(t)).collect();
+        // An empty batch must not spin up (or even size) the worker pool.
+        if transcripts.is_empty() {
+            return Vec::new();
         }
+        let workers = self.config.effective_threads().min(transcripts.len());
+        if workers <= 1 {
+            return transcripts
+                .iter()
+                .map(|t| {
+                    self.recorder.incr(CounterId::BatchJobs);
+                    self.transcribe(t)
+                })
+                .collect();
+        }
+        // Queue-wait clock: jobs are submitted all at once, so a job's wait
+        // is the time from here until a worker dequeues it.
+        let submitted = self.recorder.is_enabled().then(Instant::now);
         let cursor = AtomicUsize::new(0);
         let per_worker: Vec<Vec<(usize, Transcription)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -240,6 +278,11 @@ impl SpeakQl {
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(t) = transcripts.get(i) else { break };
+                            if let Some(t0) = submitted {
+                                self.recorder
+                                    .record_duration(SpanId::BatchQueueWait, t0.elapsed());
+                            }
+                            self.recorder.incr(CounterId::BatchJobs);
                             done.push((i, self.transcribe_one(t, true)));
                         }
                         done
@@ -266,11 +309,16 @@ impl SpeakQl {
     fn transcribe_one(&self, transcript: &str, batch_worker: bool) -> Transcription {
         let start = Instant::now();
         let words = tokenize_transcript(transcript);
-        if let Some(result) = self.try_nested(transcript, &words, start, batch_worker) {
-            return result;
-        }
-        let mut t = self.transcribe_words(&words, &self.index, start, batch_worker);
-        t.transcript = transcript.to_string();
+        let t = if let Some(result) = self.try_nested(transcript, &words, start, batch_worker) {
+            self.recorder.incr(CounterId::NestedSplits);
+            result
+        } else {
+            let mut t = self.transcribe_words(&words, &self.index, start, batch_worker);
+            t.transcript = transcript.to_string();
+            t
+        };
+        self.recorder.incr(CounterId::Transcriptions);
+        self.recorder.record_duration(SpanId::Transcribe, t.elapsed);
         t
     }
 
@@ -282,6 +330,8 @@ impl SpeakQl {
         let words = tokenize_transcript(transcript);
         let mut t = self.transcribe_words(&words, &index, start, false);
         t.transcript = transcript.to_string();
+        self.recorder.incr(CounterId::Transcriptions);
+        self.recorder.record_duration(SpanId::Transcribe, t.elapsed);
         t
     }
 
@@ -315,7 +365,7 @@ impl SpeakQl {
             self.config.search
         };
         let t1 = Instant::now();
-        let hits = index.search(&processed.masked, &search_cfg);
+        let (hits, _) = index.search_observed(&processed.masked, &search_cfg, &self.recorder);
         stages.search = t1.elapsed();
 
         let intra = if batch_worker {
@@ -360,6 +410,15 @@ impl SpeakQl {
                 .collect()
         };
 
+        self.recorder
+            .add(CounterId::CandidatesBuilt, candidates.len() as u64);
+        self.recorder
+            .record_duration(SpanId::Tokenize, stages.tokenize);
+        self.recorder.record_duration(SpanId::Search, stages.search);
+        self.recorder
+            .record_duration(SpanId::Literal, stages.literal);
+        self.recorder.record_duration(SpanId::Render, stages.render);
+
         Transcription {
             transcript: words.join(" "),
             processed,
@@ -378,7 +437,8 @@ impl SpeakQl {
         hit: SearchHit,
         stages: &mut StageTimings,
     ) -> Candidate {
-        let finder = LiteralFinder::new(&self.catalog, self.config.literal);
+        let finder = LiteralFinder::new(&self.catalog, self.config.literal)
+            .with_recorder(self.recorder.clone());
         let structure = index.structure(hit.structure).clone();
         let t0 = Instant::now();
         let literals = finder.fill_aligned(
@@ -672,6 +732,84 @@ mod tests {
             let par = par_engine().transcribe(t);
             assert_eq!(seq.candidates, par.candidates, "transcript: {t:?}");
         }
+    }
+
+    #[test]
+    fn empty_batch_returns_empty_without_worker_pool() {
+        // Regression: an empty slice must short-circuit before the pool is
+        // even sized, on both the sequential and the parallel engine.
+        assert!(engine().transcribe_batch(&[]).is_empty());
+        assert!(par_engine().transcribe_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_transcribe() {
+        let t = "select salary from employees";
+        let batch = par_engine().transcribe_batch(&[t]);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].candidates, engine().transcribe(t).candidates);
+    }
+
+    fn observed_engine() -> &'static SpeakQl {
+        static E: std::sync::OnceLock<SpeakQl> = std::sync::OnceLock::new();
+        E.get_or_init(|| SpeakQl::new(&toy_db(), SpeakQlConfig::small().with_observability(true)))
+    }
+
+    #[test]
+    fn observed_engine_produces_identical_output() {
+        for t in [
+            "select salary from employees",
+            "select sales from employers wear first name equals jon",
+            "",
+        ] {
+            let plain = engine().transcribe(t);
+            let observed = observed_engine().transcribe(t);
+            assert_eq!(plain.candidates, observed.candidates, "transcript: {t:?}");
+            assert_eq!(plain.processed, observed.processed, "transcript: {t:?}");
+        }
+    }
+
+    #[test]
+    fn report_reflects_pipeline_work() {
+        let engine = SpeakQl::new(&toy_db(), SpeakQlConfig::small().with_observability(true));
+        assert!(engine.recorder().is_enabled());
+        engine.transcribe("select salary from employees where first name equals john");
+        let report = engine.report();
+        assert_eq!(report.counter(CounterId::Transcriptions), 1);
+        assert!(report.counter(CounterId::SearchNodesVisited) > 0);
+        assert!(report.counter(CounterId::EditDistCells) > 0);
+        assert!(report.counter(CounterId::VoteComparisons) > 0);
+        assert_eq!(report.counter(CounterId::CandidatesBuilt), 5);
+        let search = report.stage(SpanId::Search).unwrap();
+        assert_eq!(search.count, 1);
+        let walks = report.stage(SpanId::TrieWalk).unwrap();
+        assert!(walks.count > 0);
+        // Batch counters stay untouched outside transcribe_batch.
+        assert_eq!(report.counter(CounterId::BatchJobs), 0);
+    }
+
+    #[test]
+    fn disabled_recorder_reports_all_zero() {
+        let report = engine().report();
+        assert!(!engine().recorder().is_enabled());
+        assert!(report.counters.iter().all(|c| c.total == 0));
+        assert!(report.stages.iter().all(|s| s.count == 0));
+    }
+
+    #[test]
+    fn batch_records_queue_waits() {
+        let engine = SpeakQl::new(
+            &toy_db(),
+            SpeakQlConfig::small()
+                .with_threads(4)
+                .with_observability(true),
+        );
+        let transcripts = ["select salary from employees"; 6];
+        engine.transcribe_batch(&transcripts);
+        let report = engine.report();
+        assert_eq!(report.counter(CounterId::BatchJobs), 6);
+        assert_eq!(report.stage(SpanId::BatchQueueWait).unwrap().count, 6);
+        assert_eq!(report.counter(CounterId::Transcriptions), 6);
     }
 
     #[test]

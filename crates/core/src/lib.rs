@@ -27,6 +27,9 @@ pub use literal::{
     LiteralFinder,
 };
 pub use streaming::StreamingTranscriber;
+// Re-exported so downstream crates can drive observability without a direct
+// speakql-observe dependency.
+pub use speakql_observe::{CounterId, PipelineReport, Recorder, SpanId, StageReport};
 
 #[cfg(test)]
 mod fuzz {

@@ -13,8 +13,8 @@
 //!    lexicographically (§4.3, worked examples in App. E.2).
 
 use crate::catalog::PhoneticCatalog;
-use speakql_editdist::levenshtein;
 use speakql_grammar::{in_dictionaries, LitCategory, Structure};
+use speakql_observe::{CounterId, Recorder};
 use speakql_phonetics::PhoneticIndex;
 use std::collections::HashMap;
 
@@ -54,11 +54,24 @@ impl Default for LiteralConfig {
 pub struct LiteralFinder<'a> {
     catalog: &'a PhoneticCatalog,
     config: LiteralConfig,
+    recorder: Recorder,
 }
 
 impl<'a> LiteralFinder<'a> {
     pub fn new(catalog: &'a PhoneticCatalog, config: LiteralConfig) -> LiteralFinder<'a> {
-        LiteralFinder { catalog, config }
+        LiteralFinder {
+            catalog,
+            config,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// This finder publishing voting work (`literal.vote_comparisons`,
+    /// `literal.strings_enumerated`) into `recorder`. The filled literals
+    /// are identical with or without a recorder attached.
+    pub fn with_recorder(mut self, recorder: Recorder) -> LiteralFinder<'a> {
+        self.recorder = recorder;
+        self
     }
 
     /// Fill every placeholder of `structure` from `trans_out` (the word
@@ -193,25 +206,19 @@ impl<'a> LiteralFinder<'a> {
         // candidate.
         let mut count: HashMap<usize, u32> = HashMap::new();
         let mut location: HashMap<usize, usize> = HashMap::new();
+        let mut comparisons = 0u64;
         for (key_a, last_pos) in &set_a {
-            let mut best = usize::MAX;
-            let mut winners: Vec<usize> = Vec::new();
-            for (bi, b) in candidates.entries().iter().enumerate() {
-                let d = levenshtein(key_a, &b.key);
-                if d < best {
-                    best = d;
-                    winners.clear();
-                    winners.push(bi);
-                } else if d == best {
-                    winners.push(bi);
-                }
-            }
-            for bi in winners {
+            let vote = candidates.nearest(key_a).expect("candidates non-empty");
+            comparisons += vote.comparisons;
+            for bi in vote.winners {
                 *count.entry(bi).or_insert(0) += 1;
                 let loc = location.entry(bi).or_insert(0);
                 *loc = (*loc).max(*last_pos);
             }
         }
+        self.recorder.add(CounterId::VoteComparisons, comparisons);
+        self.recorder
+            .add(CounterId::VoteEnumerations, set_a.len() as u64);
 
         // Rank candidates by (votes desc, literal lexicographic asc).
         let mut ranked: Vec<(usize, u32)> = count.into_iter().collect();

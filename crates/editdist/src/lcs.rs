@@ -71,6 +71,7 @@ pub fn advance_column(
 #[derive(Debug, Clone)]
 pub struct ColumnWorkspace {
     cols: Vec<Vec<Dist>>,
+    cells: u64,
 }
 
 impl ColumnWorkspace {
@@ -79,7 +80,7 @@ impl ColumnWorkspace {
     pub fn new(source: &[StructTokId], w: Weights, max_depth: usize) -> ColumnWorkspace {
         let mut cols = vec![Vec::new(); max_depth + 1];
         cols[0] = base_column(source, w);
-        ColumnWorkspace { cols }
+        ColumnWorkspace { cols, cells: 0 }
     }
 
     /// Compute the column at `depth + 1` by extending the column at `depth`
@@ -93,7 +94,20 @@ impl ColumnWorkspace {
     ) -> &[Dist] {
         let (prev, cur) = self.cols.split_at_mut(depth + 1);
         advance_column(source, &prev[depth], token, w, &mut cur[0]);
+        self.cells += source.len() as u64 + 1;
         &self.cols[depth + 1]
+    }
+
+    /// Total DP cells evaluated through this workspace (one column of
+    /// `source.len() + 1` cells per [`ColumnWorkspace::advance`] call).
+    pub fn cells_evaluated(&self) -> u64 {
+        self.cells
+    }
+
+    /// Read and reset the DP-cell counter; search workers drain it into
+    /// their work stats once per walk instead of counting per node.
+    pub fn take_cells(&mut self) -> u64 {
+        std::mem::take(&mut self.cells)
     }
 }
 

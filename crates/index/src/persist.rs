@@ -116,6 +116,13 @@ pub fn from_bytes(mut data: &[u8]) -> Result<StructureIndex, PersistError> {
         literal: data.get_u32(),
     };
     let count = data.get_u32() as usize;
+    // Don't trust the claimed count for pre-allocation: every structure
+    // occupies at least 2 bytes (token count + placeholder count), so a
+    // count exceeding remaining/2 is certainly corrupt and would otherwise
+    // drive `with_capacity` into a multi-gigabyte allocation.
+    if count > data.remaining() / 2 {
+        return Err(PersistError::Corrupt("structure count exceeds payload"));
+    }
     let mut structures = Vec::with_capacity(count);
     for _ in 0..count {
         if data.remaining() < 1 {

@@ -16,6 +16,7 @@ use speakql_editdist::{
 use speakql_grammar::{
     generate_structures, GeneratorConfig, Keyword, StructTok, StructTokId, Structure,
 };
+use speakql_observe::{CounterId, Recorder, SpanId};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// A search hit: a structure id in the index arena and its distance.
@@ -93,6 +94,22 @@ pub struct SearchStats {
     pub tries_pruned: u32,
     /// Structures compared exhaustively (INV path).
     pub structures_scanned: u64,
+    /// Weighted-LCS DP cells evaluated by the trie-walk workspaces.
+    pub cells_evaluated: u64,
+}
+
+impl SearchStats {
+    /// Publish this search's work counters into a [`Recorder`].
+    fn record_into(&self, recorder: &Recorder) {
+        if !recorder.is_enabled() {
+            return;
+        }
+        recorder.add(CounterId::SearchNodesVisited, self.nodes_visited);
+        recorder.add(CounterId::SearchTriesSearched, self.tries_searched as u64);
+        recorder.add(CounterId::SearchTriesPruned, self.tries_pruned as u64);
+        recorder.add(CounterId::SearchStructuresScanned, self.structures_scanned);
+        recorder.add(CounterId::EditDistCells, self.cells_evaluated);
+    }
 }
 
 /// Bounded top-k accumulator ordered by `(distance, structure id)` — the
@@ -274,6 +291,29 @@ impl StructureIndex {
         masked: &[StructTokId],
         cfg: &SearchConfig,
     ) -> (Vec<SearchHit>, SearchStats) {
+        self.search_observed(masked, cfg, &Recorder::disabled())
+    }
+
+    /// Top-k search that additionally publishes work counters and per-trie
+    /// walk latencies into `recorder` (a strict no-op when the recorder is
+    /// disabled — the hits are byte-identical either way).
+    pub fn search_observed(
+        &self,
+        masked: &[StructTokId],
+        cfg: &SearchConfig,
+        recorder: &Recorder,
+    ) -> (Vec<SearchHit>, SearchStats) {
+        let (hits, stats) = self.search_inner(masked, cfg, recorder);
+        stats.record_into(recorder);
+        (hits, stats)
+    }
+
+    fn search_inner(
+        &self,
+        masked: &[StructTokId],
+        cfg: &SearchConfig,
+        recorder: &Recorder,
+    ) -> (Vec<SearchHit>, SearchStats) {
         let mut state = SearchState::new(cfg.k, None);
         if self.structures.is_empty() {
             return (state.topk.into_vec(), state.stats);
@@ -293,13 +333,14 @@ impl StructureIndex {
 
         let workers = cfg.effective_threads().min(order.len().max(1));
         if workers > 1 {
-            return self.search_parallel(masked, cfg, &order, workers);
+            return self.search_parallel(masked, cfg, &order, workers, recorder);
         }
 
         let mut cols = ColumnWorkspace::new(masked, self.weights, self.max_len);
         for &j in &order {
-            self.search_length(j, masked, cfg, &mut state, &mut cols);
+            self.search_length(j, masked, cfg, &mut state, &mut cols, recorder);
         }
+        state.stats.cells_evaluated += cols.take_cells();
         (state.topk.into_vec(), state.stats)
     }
 
@@ -320,6 +361,7 @@ impl StructureIndex {
         cfg: &SearchConfig,
         order: &[usize],
         workers: usize,
+        recorder: &Recorder,
     ) -> (Vec<SearchHit>, SearchStats) {
         let shared = AtomicU32::new(DIST_INF);
         // Warm the shared bound on the calling thread before spawning: the
@@ -330,7 +372,8 @@ impl StructureIndex {
         let mut seed = SearchState::new(cfg.k, Some(&shared));
         if let Some(&j0) = order.first() {
             let mut cols = ColumnWorkspace::new(masked, self.weights, self.max_len);
-            self.search_length(j0, masked, cfg, &mut seed, &mut cols);
+            self.search_length(j0, masked, cfg, &mut seed, &mut cols, recorder);
+            seed.stats.cells_evaluated += cols.take_cells();
         }
         let cursor = AtomicUsize::new(1);
         let worker_results: Vec<(TopK, SearchStats)> = std::thread::scope(|scope| {
@@ -342,8 +385,9 @@ impl StructureIndex {
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&j) = order.get(i) else { break };
-                            self.search_length(j, masked, cfg, &mut state, &mut cols);
+                            self.search_length(j, masked, cfg, &mut state, &mut cols, recorder);
                         }
+                        state.stats.cells_evaluated += cols.take_cells();
                         (state.topk, state.stats)
                     })
                 })
@@ -363,11 +407,13 @@ impl StructureIndex {
             state.stats.tries_searched += stats.tries_searched;
             state.stats.tries_pruned += stats.tries_pruned;
             state.stats.structures_scanned += stats.structures_scanned;
+            state.stats.cells_evaluated += stats.cells_evaluated;
         }
         (state.topk.into_vec(), state.stats)
     }
 
     /// Search one per-length trie (assumed non-empty), with the BDB skip.
+    /// Each walked trie records one `search.trie_walk` latency sample.
     fn search_length(
         &self,
         j: usize,
@@ -375,12 +421,14 @@ impl StructureIndex {
         cfg: &SearchConfig,
         state: &mut SearchState<'_>,
         cols: &mut ColumnWorkspace,
+        recorder: &Recorder,
     ) {
         if cfg.bdb && state.threshold() < lower_bound(masked.len(), j, self.weights) {
             state.stats.tries_pruned += 1;
             return;
         }
         state.stats.tries_searched += 1;
+        let _span = recorder.span(SpanId::TrieWalk);
         self.search_trie(&self.tries[j], masked, cfg, state, cols);
     }
 

@@ -1,0 +1,302 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Buckets are powers of two in microseconds: bucket 0 holds `[0, 1)` µs,
+//! bucket `i` (for `1 ≤ i < NUM_BUCKETS − 1`) holds `[2^(i−1), 2^i)` µs, and
+//! the final bucket holds everything from `2^(NUM_BUCKETS−2)` µs up. With
+//! [`NUM_BUCKETS`] = 40 the penultimate bucket tops out above 76 hours, far
+//! beyond any pipeline stage. Every mutation is a relaxed atomic, so one
+//! histogram can be shared freely across search and batch workers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets (one underflow bucket, 38 power-of-two
+/// buckets, one overflow bucket).
+pub const NUM_BUCKETS: usize = 40;
+
+/// A thread-safe fixed-bucket latency histogram over microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    min_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// An owned point-in-time copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see module docs for bucket bounds).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values, in microseconds.
+    pub sum_micros: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min_micros: u64,
+    /// Largest recorded value (0 when empty).
+    pub max_micros: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            min_micros: AtomicU64::new(u64::MAX),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a microsecond value falls into: 0 for sub-µs, then
+    /// `floor(log2(us)) + 1`, clamped into the overflow bucket.
+    pub fn bucket_index(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            ((63 - us.leading_zeros()) as usize + 1).min(NUM_BUCKETS - 1)
+        }
+    }
+
+    /// The `[lower, upper)` microsecond bounds of bucket `i`. The overflow
+    /// bucket's upper bound is `u64::MAX`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < NUM_BUCKETS, "bucket index out of range");
+        if i == 0 {
+            (0, 1)
+        } else if i == NUM_BUCKETS - 1 {
+            (1 << (i - 1), u64::MAX)
+        } else {
+            (1 << (i - 1), 1 << i)
+        }
+    }
+
+    /// Record one microsecond sample.
+    pub fn record_micros(&self, us: u64) {
+        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(us, Ordering::Relaxed);
+        self.min_micros.fetch_min(us, Ordering::Relaxed);
+        self.max_micros.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Record one [`Duration`] sample (saturating at `u64::MAX` µs).
+    pub fn record(&self, d: Duration) {
+        self.record_micros(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copy the current state out of the atomics.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count,
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            min_micros: if count == 0 {
+                0
+            } else {
+                self.min_micros.load(Ordering::Relaxed)
+            },
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every bucket and statistic to the empty state.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_micros.store(0, Ordering::Relaxed);
+        self.min_micros.store(u64::MAX, Ordering::Relaxed);
+        self.max_micros.store(0, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) in microseconds; see
+    /// [`HistogramSnapshot::percentile`].
+    pub fn percentile(&self, q: f64) -> f64 {
+        self.snapshot().percentile(q)
+    }
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) in microseconds.
+    ///
+    /// The sample of rank `r = max(1, ceil(q·n))` is located in its bucket
+    /// and linearly interpolated across the bucket's `[lower, upper)` span:
+    /// `lower + (upper − lower) · (r − rank_before_bucket) / bucket_count`.
+    /// The overflow bucket interpolates up to the observed maximum + 1
+    /// instead of `u64::MAX`. Returns 0.0 when the histogram is empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut before = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if rank <= before + c {
+                let (lo, hi) = Histogram::bucket_bounds(i);
+                let hi = if i == NUM_BUCKETS - 1 {
+                    self.max_micros.saturating_add(1)
+                } else {
+                    hi
+                };
+                let frac = (rank - before) as f64 / c as f64;
+                return lo as f64 + (hi - lo) as f64 * frac;
+            }
+            before += c;
+        }
+        self.max_micros as f64
+    }
+
+    /// Mean of the recorded values in microseconds (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        // Underflow bucket.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        // Each power-of-two lower edge opens its own bucket.
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        // Overflow bucket swallows everything huge.
+        assert_eq!(Histogram::bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_index(1 << 38), NUM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_index((1 << 38) - 1), NUM_BUCKETS - 2);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_axis() {
+        // Buckets partition [0, u64::MAX) with no gaps or overlaps.
+        let mut expected_lo = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i} lower bound");
+            assert!(hi > lo, "bucket {i} is non-empty");
+            // Every value in [lo, hi) maps back to bucket i.
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(hi - 1), i);
+            expected_lo = hi;
+        }
+        assert_eq!(expected_lo, u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_one_bucket() {
+        // 100 samples of 1 µs all land in bucket 1 = [1, 2).
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record_micros(1);
+        }
+        assert_eq!(h.percentile(0.50), 1.50);
+        assert_eq!(h.percentile(0.95), 1.95);
+        assert_eq!(h.percentile(0.99), 1.99);
+        assert_eq!(h.percentile(0.01), 1.01);
+        assert_eq!(h.percentile(1.0), 2.0);
+    }
+
+    #[test]
+    fn percentiles_across_bucket_edge() {
+        // 50 samples in bucket 1 = [1, 2) and 50 in bucket 2 = [2, 4):
+        // rank 50 is the last sample of bucket 1, so p50 sits exactly on the
+        // bucket edge; p95 (rank 95) interpolates 45/50 into [2, 4).
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record_micros(1);
+        }
+        for _ in 0..50 {
+            h.record_micros(2);
+        }
+        assert_eq!(h.percentile(0.50), 2.0);
+        assert_eq!(h.percentile(0.95), 2.0 + 2.0 * (45.0 / 50.0));
+        assert_eq!(h.percentile(0.99), 2.0 + 2.0 * (49.0 / 50.0));
+    }
+
+    #[test]
+    fn overflow_bucket_interpolates_to_observed_max() {
+        let h = Histogram::new();
+        let big = 1u64 << 39; // firmly in the overflow bucket
+        h.record_micros(big);
+        let (lo, _) = Histogram::bucket_bounds(NUM_BUCKETS - 1);
+        // Single sample: rank 1 of 1 interpolates all the way to max + 1.
+        assert_eq!(h.percentile(0.5), (big + 1) as f64);
+        assert!(h.percentile(0.5) > lo as f64);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min_micros, 0);
+        assert_eq!(s.max_micros, 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_tracks_min_max_sum() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_micros(30));
+        h.record(Duration::from_micros(20));
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum_micros, 60);
+        assert_eq!(s.min_micros, 10);
+        assert_eq!(s.max_micros, 30);
+        assert_eq!(s.mean(), 20.0);
+        h.reset();
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..1000u64 {
+                        h.record_micros(i % 64);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().buckets.iter().sum::<u64>(), 4000);
+    }
+}

@@ -1,0 +1,181 @@
+//! # speakql-observe
+//!
+//! Zero-dependency observability for the SpeakQL pipeline: thread-safe
+//! [counters](CounterId) and fixed-bucket latency [histograms](Histogram)
+//! (p50/p95/p99), scoped [span timers](Span), and a serializable
+//! [`PipelineReport`] — all behind a cheaply clonable [`Recorder`] handle
+//! that is a strict no-op when disabled.
+//!
+//! The crate sits at the bottom of the workspace dependency graph so every
+//! hot path (trie search, literal voting, DP cell evaluation, the engine
+//! stages) can record into one shared registry:
+//!
+//! ```
+//! use speakql_observe::{CounterId, Recorder, SpanId};
+//! use std::time::Duration;
+//!
+//! let rec = Recorder::enabled();
+//! {
+//!     let _span = rec.span(SpanId::Search); // records on drop
+//!     rec.add(CounterId::SearchNodesVisited, 42);
+//! }
+//! rec.record_duration(SpanId::Tokenize, Duration::from_micros(7));
+//! let report = rec.report();
+//! assert_eq!(report.counter(CounterId::SearchNodesVisited), 42);
+//! assert!(report.to_json().contains("search.nodes_visited"));
+//!
+//! // Disabled recorders never touch the clock or any atomic.
+//! let off = Recorder::disabled();
+//! off.add(CounterId::SearchNodesVisited, 42);
+//! assert_eq!(off.report().counter(CounterId::SearchNodesVisited), 0);
+//! ```
+
+pub mod hist;
+pub mod recorder;
+pub mod report;
+
+pub use hist::{Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use recorder::{Recorder, Span};
+pub use report::{CounterReport, PipelineReport, StageReport};
+
+/// Work counters recorded by the pipeline. Each id names one monotonically
+/// increasing total; the set is closed so the registry can be a fixed array
+/// of atomics with no allocation or hashing on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum CounterId {
+    /// Trie nodes whose DP column was computed during structure search.
+    SearchNodesVisited,
+    /// Per-length tries actually walked.
+    SearchTriesSearched,
+    /// Per-length tries skipped by the bidirectional bounds (BDB).
+    SearchTriesPruned,
+    /// Structures compared exhaustively on the INV posting-list path.
+    SearchStructuresScanned,
+    /// Weighted-LCS DP cells evaluated by the trie search workspaces.
+    EditDistCells,
+    /// Phonetic distance comparisons made by literal voting.
+    VoteComparisons,
+    /// Candidate strings enumerated for literal voting windows.
+    VoteEnumerations,
+    /// Candidates constructed (literal determination + rendering).
+    CandidatesBuilt,
+    /// Full transcriptions completed.
+    Transcriptions,
+    /// Transcriptions executed through the batch worker pool.
+    BatchJobs,
+    /// Transcripts split by the nested-query heuristic.
+    NestedSplits,
+}
+
+/// Number of distinct [`CounterId`]s.
+pub const COUNTER_COUNT: usize = CounterId::ALL.len();
+
+impl CounterId {
+    /// Every counter, in registry order.
+    pub const ALL: [CounterId; 11] = [
+        CounterId::SearchNodesVisited,
+        CounterId::SearchTriesSearched,
+        CounterId::SearchTriesPruned,
+        CounterId::SearchStructuresScanned,
+        CounterId::EditDistCells,
+        CounterId::VoteComparisons,
+        CounterId::VoteEnumerations,
+        CounterId::CandidatesBuilt,
+        CounterId::Transcriptions,
+        CounterId::BatchJobs,
+        CounterId::NestedSplits,
+    ];
+
+    /// Stable dotted name used in reports and `BENCH_*.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterId::SearchNodesVisited => "search.nodes_visited",
+            CounterId::SearchTriesSearched => "search.tries_searched",
+            CounterId::SearchTriesPruned => "search.tries_pruned_bdb",
+            CounterId::SearchStructuresScanned => "search.structures_scanned_inv",
+            CounterId::EditDistCells => "editdist.cells_evaluated",
+            CounterId::VoteComparisons => "literal.vote_comparisons",
+            CounterId::VoteEnumerations => "literal.strings_enumerated",
+            CounterId::CandidatesBuilt => "engine.candidates_built",
+            CounterId::Transcriptions => "engine.transcriptions",
+            CounterId::BatchJobs => "engine.batch_jobs",
+            CounterId::NestedSplits => "engine.nested_splits",
+        }
+    }
+}
+
+/// Timed pipeline stages and sub-stages. Each id owns one latency
+/// [`Histogram`] in the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum SpanId {
+    /// Transcript tokenization, SplChar handling, and masking (§3.3).
+    Tokenize,
+    /// Structure search over the trie index (§3.4).
+    Search,
+    /// Literal determination across all candidates (§4).
+    Literal,
+    /// SQL rendering across all candidates.
+    Render,
+    /// End-to-end transcription latency.
+    Transcribe,
+    /// One per-length trie walk inside structure search.
+    TrieWalk,
+    /// Time a batch job waited in the queue before a worker picked it up.
+    BatchQueueWait,
+}
+
+/// Number of distinct [`SpanId`]s.
+pub const SPAN_COUNT: usize = SpanId::ALL.len();
+
+impl SpanId {
+    /// Every span, in registry order.
+    pub const ALL: [SpanId; 7] = [
+        SpanId::Tokenize,
+        SpanId::Search,
+        SpanId::Literal,
+        SpanId::Render,
+        SpanId::Transcribe,
+        SpanId::TrieWalk,
+        SpanId::BatchQueueWait,
+    ];
+
+    /// Stable dotted name used in reports and `BENCH_*.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanId::Tokenize => "stage.tokenize",
+            SpanId::Search => "stage.search",
+            SpanId::Literal => "stage.literal",
+            SpanId::Render => "stage.render",
+            SpanId::Transcribe => "stage.transcribe",
+            SpanId::TrieWalk => "search.trie_walk",
+            SpanId::BatchQueueWait => "engine.batch_queue_wait",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_are_distinct() {
+        for (i, &a) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(a as usize, i, "registry order must match discriminant");
+            for b in &CounterId::ALL[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn span_names_are_distinct() {
+        for (i, &a) in SpanId::ALL.iter().enumerate() {
+            assert_eq!(a as usize, i, "registry order must match discriminant");
+            for b in &SpanId::ALL[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
+}

@@ -34,6 +34,17 @@ impl PhoneticEntry {
     }
 }
 
+/// The outcome of one [`PhoneticIndex::nearest`] vote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NearestVote {
+    /// Indices of every entry at the minimal distance, ascending.
+    pub winners: Vec<usize>,
+    /// The minimal Levenshtein distance found.
+    pub distance: usize,
+    /// Distance comparisons performed (one per entry).
+    pub comparisons: u64,
+}
+
 /// An immutable, deterministic phonetic index: entries sorted by literal so
 /// vote ties can be "resolved in lexicographical order" (paper §4.3).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -81,6 +92,36 @@ impl PhoneticIndex {
         self.entries.is_empty()
     }
 
+    /// Find the entries phonetically closest to `key` under character-level
+    /// Levenshtein distance — one vote of the literal-determination scheme
+    /// (paper §4.3). Returns every tied-closest entry index (ascending, i.e.
+    /// lexicographic by literal) so the caller can distribute the vote, plus
+    /// the number of distance comparisons performed, which the observability
+    /// layer accumulates as `literal.vote_comparisons`. Returns `None` on an
+    /// empty index.
+    pub fn nearest(&self, key: &str) -> Option<NearestVote> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut best = usize::MAX;
+        let mut winners: Vec<usize> = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            let d = speakql_editdist::levenshtein(key, &e.key);
+            if d < best {
+                best = d;
+                winners.clear();
+                winners.push(i);
+            } else if d == best {
+                winners.push(i);
+            }
+        }
+        Some(NearestVote {
+            winners,
+            distance: best,
+            comparisons: self.entries.len() as u64,
+        })
+    }
+
     /// Merge several indexes (e.g. all value domains of a table).
     pub fn merged<'a, I: IntoIterator<Item = &'a PhoneticIndex>>(parts: I) -> PhoneticIndex {
         let mut entries: Vec<PhoneticEntry> = parts
@@ -118,5 +159,25 @@ mod tests {
     fn empty_index() {
         let idx = PhoneticIndex::build(Vec::<String>::new());
         assert!(idx.is_empty());
+        assert_eq!(idx.nearest("SLRS"), None);
+    }
+
+    #[test]
+    fn nearest_counts_comparisons_and_reports_ties() {
+        let idx = PhoneticIndex::build(["FROMDATE", "TODATE"]);
+        // "TT" (phonetic key of "date") ties FROMDATE (FRMTT) nowhere: TODATE
+        // (TTT) is strictly closer.
+        let vote = idx.nearest("TT").unwrap();
+        assert_eq!(vote.comparisons, 2);
+        assert_eq!(
+            vote.winners
+                .iter()
+                .map(|&i| idx.entries()[i].literal.as_str())
+                .collect::<Vec<_>>(),
+            ["TODATE"]
+        );
+        // An equidistant key splits its vote across both entries, ascending.
+        let tie = idx.nearest("FRMTT PADDED TO BE FAR").unwrap();
+        assert!(tie.winners.windows(2).all(|w| w[0] < w[1]));
     }
 }

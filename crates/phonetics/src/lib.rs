@@ -10,7 +10,7 @@ pub mod metaphone;
 pub mod nysiis;
 pub mod soundex;
 
-pub use index::{PhoneticEntry, PhoneticIndex};
+pub use index::{NearestVote, PhoneticEntry, PhoneticIndex};
 pub use metaphone::{metaphone, phonetic_key};
 pub use nysiis::nysiis;
 pub use soundex::{soundex, PhoneticAlgorithm};

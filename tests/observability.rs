@@ -1,0 +1,97 @@
+//! Observability must be a pure observer: an engine with the recorder
+//! enabled and an identically configured engine with it disabled must
+//! produce byte-identical transcriptions on any input, while only the
+//! enabled engine accumulates counters.
+
+use proptest::prelude::*;
+use speakql_core::{CounterId, SpanId, SpeakQl, SpeakQlConfig};
+use speakql_db::{Column, Database, Table, TableSchema, Value, ValueType};
+use std::sync::OnceLock;
+
+/// A pair of engines differing only in the `observe` flag.
+fn engines() -> &'static (SpeakQl, SpeakQl) {
+    static E: OnceLock<(SpeakQl, SpeakQl)> = OnceLock::new();
+    E.get_or_init(|| {
+        let mut db = Database::new("obs");
+        let mut t = Table::new(TableSchema::new(
+            "Employees",
+            vec![
+                Column::new("Name", ValueType::Text),
+                Column::new("Salary", ValueType::Int),
+            ],
+        ));
+        t.push_row(vec![Value::Text("jon".into()), Value::Int(70_000)]);
+        t.push_row(vec![Value::Text("ana".into()), Value::Int(82_000)]);
+        db.add_table(t);
+        let cfg = SpeakQlConfig {
+            generator: speakql_grammar::GeneratorConfig {
+                max_structures: Some(3_000),
+                ..speakql_grammar::GeneratorConfig::small()
+            },
+            ..SpeakQlConfig::small()
+        };
+        let plain = SpeakQl::new(&db, cfg.clone().with_observability(false));
+        let observed = SpeakQl::new(&db, cfg.with_observability(true));
+        (plain, observed)
+    })
+}
+
+fn arb_transcript() -> impl Strategy<Value = String> {
+    let word = prop_oneof![
+        Just("select".to_string()),
+        Just("from".to_string()),
+        Just("where".to_string()),
+        Just("equals".to_string()),
+        Just("salary".to_string()),
+        Just("employees".to_string()),
+        Just("name".to_string()),
+        Just("jon".to_string()),
+        Just("comma".to_string()),
+        Just("open".to_string()),
+        Just("parenthesis".to_string()),
+        "[a-z]{1,8}",
+        "[0-9]{1,5}",
+    ];
+    prop::collection::vec(word, 0..18).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Recorder-enabled and recorder-disabled engines are observationally
+    /// equivalent: same candidates, same SQL, same distances, same literals,
+    /// in the same order.
+    #[test]
+    fn observability_never_changes_output(t in arb_transcript()) {
+        let (plain, observed) = engines();
+        let a = plain.transcribe(&t);
+        let b = observed.transcribe(&t);
+        prop_assert_eq!(a.best_sql(), b.best_sql(), "best_sql diverged on '{}'", &t);
+        prop_assert_eq!(a.candidates.len(), b.candidates.len());
+        for (ca, cb) in a.candidates.iter().zip(&b.candidates) {
+            prop_assert_eq!(&ca.sql, &cb.sql);
+            prop_assert_eq!(ca.distance, cb.distance);
+            prop_assert_eq!(&ca.literals, &cb.literals);
+        }
+    }
+}
+
+#[test]
+fn only_the_enabled_engine_accumulates_metrics() {
+    let (plain, observed) = engines();
+    plain.transcribe("select salary from employees");
+    observed.transcribe("select salary from employees");
+
+    let disabled = plain.report();
+    for c in &disabled.counters {
+        assert_eq!(c.total, 0, "disabled recorder counted {}", c.name);
+    }
+    for s in &disabled.stages {
+        assert_eq!(s.count, 0, "disabled recorder timed {}", s.name);
+    }
+
+    let enabled = observed.report();
+    assert!(enabled.counter(CounterId::Transcriptions) >= 1);
+    assert!(enabled.counter(CounterId::SearchNodesVisited) > 0);
+    assert!(enabled.stage(SpanId::Search).unwrap().count >= 1);
+}

@@ -1,11 +1,16 @@
 //! Persistence integration: an engine built around a saved-and-reloaded
-//! structure index must behave identically to the original.
+//! structure index must behave identically to the original, the binary
+//! format must round-trip arbitrary structure arenas, and corrupt input
+//! must surface a [`PersistError`] rather than panic.
 
+use proptest::prelude::*;
 use speakql_core::{SpeakQl, SpeakQlConfig};
 use speakql_data::employees_db;
 use speakql_editdist::Weights;
-use speakql_grammar::GeneratorConfig;
-use speakql_index::{load_from_path, save_to_path, StructureIndex};
+use speakql_grammar::{GeneratorConfig, LitCategory, Placeholder, StructTokId, Structure};
+use speakql_index::{
+    from_bytes, load_from_path, save_to_path, to_bytes, PersistError, StructureIndex,
+};
 use std::sync::Arc;
 
 #[test]
@@ -65,4 +70,133 @@ fn persisted_file_size_is_compact() {
     // And the arena reconstructs identically.
     let reloaded = speakql_index::from_bytes(&bytes).expect("roundtrip");
     assert_eq!(reloaded.structures(), index.structures());
+}
+
+/// One random but well-formed structure: tokens over the full alphabet with
+/// placeholder metadata matching the `Var` count. A pool of placeholders is
+/// drawn alongside the tokens and truncated to the realized `Var` count;
+/// governors stay below the `u16::MAX` sentinel the format reserves for
+/// "none".
+fn arb_structure() -> impl Strategy<Value = Structure> {
+    let placeholder = (
+        prop_oneof![
+            Just(LitCategory::Table),
+            Just(LitCategory::Attribute),
+            Just(LitCategory::Value),
+            Just(LitCategory::Number),
+        ],
+        prop::option::of(0u16..u16::MAX),
+    )
+        .prop_map(|(category, governor)| Placeholder { category, governor });
+    (
+        prop::collection::vec(0u8..28, 1..14),
+        prop::collection::vec(placeholder, 14..15),
+    )
+        .prop_map(|(ids, pool)| {
+            let tokens: Vec<StructTokId> = ids.into_iter().map(StructTokId).collect();
+            let vars = tokens.iter().filter(|t| t.is_var()).count();
+            Structure {
+                tokens,
+                placeholders: pool[..vars].to_vec(),
+            }
+        })
+}
+
+fn arb_weights() -> impl Strategy<Value = Weights> {
+    (1u32..=100, 1u32..=100, 1u32..=100).prop_map(|(keyword, splchar, literal)| Weights {
+        keyword,
+        splchar,
+        literal,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `from_bytes(to_bytes(index))` reconstructs the arena and weights of
+    /// any randomly sampled index exactly.
+    #[test]
+    fn roundtrip_arbitrary_indexes(
+        structures in prop::collection::vec(arb_structure(), 1..40),
+        weights in arb_weights(),
+    ) {
+        // The trie index (like the grammar generator feeding it) requires
+        // distinct token sequences; keep the first of each.
+        let mut seen = std::collections::HashSet::new();
+        let structures: Vec<Structure> = structures
+            .into_iter()
+            .filter(|s| seen.insert(s.tokens.clone()))
+            .collect();
+        let index = StructureIndex::build(structures, weights);
+        let bytes = to_bytes(&index);
+        let restored = from_bytes(&bytes).expect("roundtrip");
+        prop_assert_eq!(restored.structures(), index.structures());
+        prop_assert_eq!(restored.weights(), index.weights());
+        prop_assert_eq!(restored.len(), index.len());
+    }
+
+    /// Corrupting any single byte of a valid image either round-trips to a
+    /// well-formed index or fails with a `PersistError` — never a panic.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        structures in prop::collection::vec(arb_structure(), 1..10),
+        pos_seed in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let index = StructureIndex::build(structures, Weights::PAPER);
+        let mut bytes = to_bytes(&index).to_vec();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= xor;
+        let _ = from_bytes(&bytes);
+    }
+}
+
+#[test]
+fn corrupted_header_reports_each_error_path() {
+    let index = StructureIndex::build(
+        vec![Structure {
+            tokens: vec![StructTokId(1), StructTokId(0)],
+            placeholders: vec![Placeholder::table()],
+        }],
+        Weights::PAPER,
+    );
+    let good = to_bytes(&index).to_vec();
+
+    // Magic torn up -> BadMagic.
+    let mut bad_magic = good.clone();
+    bad_magic[0] = b'X';
+    assert!(matches!(
+        from_bytes(&bad_magic),
+        Err(PersistError::BadMagic)
+    ));
+
+    // Version bumped -> BadVersion carrying the offending version.
+    let mut bad_version = good.clone();
+    bad_version[4] = 0x7f;
+    match from_bytes(&bad_version) {
+        Err(PersistError::BadVersion(v)) => assert_eq!(v, 0x7f00 + u16::from(good[5])),
+        other => panic!("expected BadVersion, got {other:?}"),
+    }
+
+    // Header cut off mid-weights -> Corrupt("truncated header").
+    match from_bytes(&good[..10]) {
+        Err(PersistError::Corrupt(what)) => assert!(what.contains("truncated"), "{what}"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+
+    // Structure count claims more than the payload holds -> Corrupt.
+    let mut overcount = good.clone();
+    overcount[18] = 0xff; // most-significant byte of the big-endian u32 count
+    assert!(matches!(
+        from_bytes(&overcount),
+        Err(PersistError::Corrupt(_))
+    ));
+
+    // Errors render as readable messages (Display path).
+    assert_eq!(
+        PersistError::BadMagic.to_string(),
+        "not a SpeakQL index file"
+    );
+    assert!(PersistError::BadVersion(9).to_string().contains('9'));
+    assert!(PersistError::Corrupt("x").to_string().contains('x'));
 }
