@@ -1,0 +1,310 @@
+//! Engine 2: the grammar/dictionary verifier.
+//!
+//! The Box 1 grammar, the KeywordDict/SplCharDict, the Earley recognizer,
+//! and the Structure Generator are four views of the same language. A
+//! keyword added to a production but missing from the dictionary (or vice
+//! versa) silently breaks transcription masking at runtime; an unreachable
+//! nonterminal is dead grammar the recognizer pretends to support. This
+//! module cross-checks all four views offline:
+//!
+//! 1. **Grammar hygiene** — every nonterminal is defined, reachable from
+//!    the start symbol, and productive (derives some terminal string).
+//! 2. **Dictionary coverage, both directions** — every terminal in a
+//!    production round-trips through its dictionary (including the spoken
+//!    forms SplChar handling maps back), and every dictionary entry is
+//!    producible by some production.
+//! 3. **Recognizer cross-validation** — a bounded enumeration from the
+//!    Structure Generator is replayed through the Earley recognizer; a
+//!    rejection means generator and recognizer disagree about the language.
+//! 4. **Placeholder typing** — every generated placeholder carries a valid
+//!    T/A/V/N category, and every value's governor points at an earlier
+//!    Attribute placeholder.
+
+use speakql_grammar::introspect::{aggregate_keywords, comparison_splchars};
+use speakql_grammar::{
+    generate_structures, handle_splchars, in_dictionaries, production_rules, recognize,
+    GeneratorConfig, GrammarSym, LitCategory, ProductionRule, ALL_KEYWORDS, ALL_SPLCHARS,
+    START_SYMBOL,
+};
+use std::collections::BTreeSet;
+
+/// How many generated structures the recognizer cross-validation replays.
+pub const CROSS_VALIDATION_SAMPLE: usize = 1500;
+
+/// The verifier's result: findings (empty = verified) plus summary stats.
+#[derive(Debug, Clone, Default)]
+pub struct GrammarReport {
+    /// Human-readable problems; empty means every check passed.
+    pub findings: Vec<String>,
+    /// Number of production rules checked.
+    pub rules: usize,
+    /// Number of distinct nonterminals.
+    pub nonterminals: usize,
+    /// Number of generated structures replayed through the recognizer.
+    pub structures_checked: usize,
+    /// Number of literal placeholders type-checked.
+    pub placeholders_checked: usize,
+}
+
+/// Run every grammar/dictionary check.
+pub fn verify() -> GrammarReport {
+    let rules = production_rules();
+    let mut report = GrammarReport {
+        rules: rules.len(),
+        ..GrammarReport::default()
+    };
+    check_hygiene(&rules, &mut report);
+    check_dictionary_coverage(&rules, &mut report);
+    check_recognizer_agreement(&mut report);
+    report
+}
+
+fn heads(rules: &[ProductionRule]) -> BTreeSet<&'static str> {
+    rules.iter().map(|r| r.head).collect()
+}
+
+fn check_hygiene(rules: &[ProductionRule], report: &mut GrammarReport) {
+    let defined = heads(rules);
+    report.nonterminals = defined.len();
+
+    if !defined.contains(START_SYMBOL) {
+        report
+            .findings
+            .push(format!("start symbol `{START_SYMBOL}` has no productions"));
+        return;
+    }
+
+    // Undefined: nonterminals referenced in bodies with no production.
+    for rule in rules {
+        for sym in &rule.body {
+            if let GrammarSym::Nonterminal(nt) = sym {
+                if !defined.contains(nt) {
+                    report.findings.push(format!(
+                        "nonterminal `{nt}` used in `{}` but never defined",
+                        rule.head
+                    ));
+                }
+            }
+        }
+    }
+
+    // Reachability: BFS over production bodies from the start symbol.
+    let mut reachable = BTreeSet::from([START_SYMBOL]);
+    let mut queue = vec![START_SYMBOL];
+    while let Some(nt) = queue.pop() {
+        for rule in rules.iter().filter(|r| r.head == nt) {
+            for sym in &rule.body {
+                if let GrammarSym::Nonterminal(child) = sym {
+                    if reachable.insert(child) {
+                        queue.push(child);
+                    }
+                }
+            }
+        }
+    }
+    for nt in &defined {
+        if !reachable.contains(nt) {
+            report.findings.push(format!(
+                "nonterminal `{nt}` is unreachable from `{START_SYMBOL}`"
+            ));
+        }
+    }
+
+    // Productivity: fixpoint — a nonterminal is productive if some
+    // production's body uses only terminals and productive nonterminals.
+    let mut productive: BTreeSet<&'static str> = BTreeSet::new();
+    loop {
+        let before = productive.len();
+        for rule in rules {
+            if productive.contains(rule.head) {
+                continue;
+            }
+            let all_productive = rule.body.iter().all(|sym| match sym {
+                GrammarSym::Nonterminal(nt) => productive.contains(nt),
+                _ => true,
+            });
+            if all_productive {
+                productive.insert(rule.head);
+            }
+        }
+        if productive.len() == before {
+            break;
+        }
+    }
+    for nt in &defined {
+        if !productive.contains(nt) {
+            report.findings.push(format!(
+                "nonterminal `{nt}` is non-productive (cannot derive any terminal string)"
+            ));
+        }
+    }
+}
+
+fn check_dictionary_coverage(rules: &[ProductionRule], report: &mut GrammarReport) {
+    // Forward: every terminal mentioned by the grammar must be covered by
+    // the dictionaries, including its spoken form.
+    let mut grammar_keywords: BTreeSet<&'static str> = BTreeSet::new();
+    let mut grammar_splchars: BTreeSet<&'static str> = BTreeSet::new();
+    let mut uses_any_aggregate = false;
+    let mut uses_any_comparison = false;
+
+    for rule in rules {
+        for sym in &rule.body {
+            match sym {
+                GrammarSym::Keyword(k) => {
+                    grammar_keywords.insert(k.as_str());
+                    if !in_dictionaries(k.as_str()) || !in_dictionaries(&k.as_str().to_lowercase())
+                    {
+                        report.findings.push(format!(
+                            "grammar keyword `{k}` (in `{}`) missing from KeywordDict",
+                            rule.head
+                        ));
+                    }
+                }
+                GrammarSym::SplChar(c) => {
+                    grammar_splchars.insert(c.as_str());
+                    if !in_dictionaries(c.as_str()) {
+                        report.findings.push(format!(
+                            "grammar splchar `{c}` (in `{}`) missing from SplCharDict",
+                            rule.head
+                        ));
+                    }
+                    // The spoken form must map back to the symbol through
+                    // SplChar handling (paper §3.1).
+                    let spoken: Vec<String> = c.spoken().iter().map(|w| w.to_string()).collect();
+                    if handle_splchars(&spoken) != vec![c.as_str().to_string()] {
+                        report.findings.push(format!(
+                            "spoken form {:?} of `{c}` does not map back through SplChar handling",
+                            c.spoken()
+                        ));
+                    }
+                }
+                GrammarSym::AnyAggregate => uses_any_aggregate = true,
+                GrammarSym::AnyComparison => uses_any_comparison = true,
+                GrammarSym::Nonterminal(_) | GrammarSym::Var => {}
+            }
+        }
+    }
+    for k in aggregate_keywords() {
+        if uses_any_aggregate {
+            grammar_keywords.insert(k.as_str());
+        }
+    }
+    for c in comparison_splchars() {
+        if uses_any_comparison {
+            grammar_splchars.insert(c.as_str());
+        }
+    }
+
+    // Reverse: every dictionary entry must be producible by some production
+    // — an unproducible entry can never appear in a corrected query, so it
+    // is dead dictionary weight (or a typo'd production).
+    for k in ALL_KEYWORDS {
+        if !grammar_keywords.contains(k.as_str()) {
+            report.findings.push(format!(
+                "KeywordDict entry `{k}` is not producible by any grammar production"
+            ));
+        }
+    }
+    for c in ALL_SPLCHARS {
+        if !grammar_splchars.contains(c.as_str()) {
+            report.findings.push(format!(
+                "SplCharDict entry `{c}` is not producible by any grammar production"
+            ));
+        }
+    }
+}
+
+fn check_recognizer_agreement(report: &mut GrammarReport) {
+    let structures = generate_structures(&GeneratorConfig {
+        max_structures: Some(CROSS_VALIDATION_SAMPLE),
+        ..GeneratorConfig::small()
+    });
+    report.structures_checked = structures.len();
+
+    for s in &structures {
+        if !recognize(&s.tokens) {
+            report.findings.push(format!(
+                "generator/recognizer disagree: generated structure `{}` is rejected by Earley",
+                s.render()
+            ));
+        }
+        let var_count = s.tokens.iter().filter(|t| t.is_var()).count();
+        if var_count != s.placeholders.len() {
+            report.findings.push(format!(
+                "structure `{}` has {var_count} Var tokens but {} placeholder records",
+                s.render(),
+                s.placeholders.len()
+            ));
+        }
+        for (idx, ph) in s.placeholders.iter().enumerate() {
+            report.placeholders_checked += 1;
+            if !matches!(ph.category.code(), 'T' | 'A' | 'V' | 'N') {
+                report.findings.push(format!(
+                    "structure `{}` placeholder {idx} has invalid category code",
+                    s.render()
+                ));
+            }
+            if let Some(gov) = ph.governor {
+                let gov = usize::from(gov);
+                if gov >= idx {
+                    report.findings.push(format!(
+                        "structure `{}` placeholder {idx}: governor {gov} does not precede it",
+                        s.render()
+                    ));
+                } else if s.placeholders[gov].category != LitCategory::Attribute {
+                    report.findings.push(format!(
+                        "structure `{}` placeholder {idx}: governor {gov} is not an Attribute",
+                        s.render()
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_at_head_verifies_clean() {
+        let report = verify();
+        assert!(
+            report.findings.is_empty(),
+            "grammar verifier found problems:\n{}",
+            report.findings.join("\n")
+        );
+        assert!(report.rules >= 30);
+        assert!(report.nonterminals >= 10);
+        assert!(report.structures_checked >= 100);
+        assert!(report.placeholders_checked > report.structures_checked);
+    }
+
+    #[test]
+    fn hygiene_catches_undefined_and_unreachable() {
+        // Feed a synthetic bad grammar through the hygiene pass directly.
+        let rules = vec![
+            ProductionRule {
+                head: "Q",
+                body: vec![GrammarSym::Nonterminal("Ghost")],
+            },
+            ProductionRule {
+                head: "Orphan",
+                body: vec![GrammarSym::Var],
+            },
+        ];
+        let mut report = GrammarReport::default();
+        check_hygiene(&rules, &mut report);
+        assert!(report.findings.iter().any(|f| f.contains("`Ghost`")));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.contains("`Orphan`") && f.contains("unreachable")));
+        // Q -> Ghost can never terminate: non-productive.
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.contains("`Q`") && f.contains("non-productive")));
+    }
+}

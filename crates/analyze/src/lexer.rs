@@ -1,0 +1,356 @@
+//! A small, hand-rolled Rust lexer for lint scanning.
+//!
+//! The lints in [`crate::lints`] must never fire on text inside string
+//! literals, character literals, or comments — `// calls .unwrap() here` is
+//! documentation, not a violation. This lexer reduces a source file to
+//! per-line views where string/char interiors are blanked out and comments
+//! are separated from code, so lint patterns can match against code alone.
+//!
+//! It understands the token shapes that matter for that guarantee:
+//!
+//! - line comments (`//`), doc comments (`///`, `//!`),
+//! - nested block comments (`/* /* */ */`, `/** */`, `/*! */`),
+//! - string literals with escapes (`"\""`), raw strings (`r#"..."#`),
+//!   byte strings (`b"..."`, `br#"..."#`),
+//! - character literals (`'x'`, `'\n'`, `'\u{1F600}'`) vs. lifetimes (`'a`).
+//!
+//! It is *not* a full Rust parser: it tracks just enough state to classify
+//! every byte as code, comment, or literal interior. A property test in the
+//! crate's test suite asserts that `unwrap()`-like text placed inside
+//! strings and comments never reaches the code view.
+
+/// One lexed source line.
+#[derive(Debug, Clone, Default)]
+pub struct LexedLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line's code: comments removed, string/char interiors blanked
+    /// with spaces (delimiters kept so token shapes survive).
+    pub code: String,
+    /// The line's comment text, without `//`/`/*` markers.
+    pub comment: String,
+    /// True if the comment on this line is a doc comment (`///`, `//!`,
+    /// `/** */`, `/*! */`).
+    pub is_doc_comment: bool,
+    /// True if this line is inside a `#[cfg(test)]` module block.
+    pub in_test_mod: bool,
+}
+
+/// A lexed source file: per-line code/comment views.
+#[derive(Debug, Clone, Default)]
+pub struct LexedFile {
+    /// The lines, in order.
+    pub lines: Vec<LexedLine>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    /// Inside a block comment at the given nesting depth; `doc` marks
+    /// `/**`/`/*!` comments.
+    Block {
+        depth: usize,
+        doc: bool,
+    },
+    /// Inside a `"..."` string literal.
+    Str,
+    /// Inside a raw string terminated by `"` followed by `hashes` `#`s.
+    RawStr {
+        hashes: usize,
+    },
+    /// Inside a character literal.
+    Char,
+}
+
+/// Lex a source file into per-line code and comment views.
+pub fn lex(source: &str) -> LexedFile {
+    let mut lines: Vec<LexedLine> = Vec::new();
+    let mut state = State::Code;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let mut line = LexedLine {
+            number: idx + 1,
+            ..LexedLine::default()
+        };
+        // A multi-line doc block comment marks every line it covers.
+        if let State::Block { doc: true, .. } = state {
+            line.is_doc_comment = true;
+        }
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        // Line comment to end of line.
+                        let text: String = chars[i + 2..].iter().collect();
+                        line.is_doc_comment = text.starts_with('/') && !text.starts_with("//")
+                            || text.starts_with('!');
+                        line.comment.push_str(text.trim_start_matches(['/', '!']));
+                        i = chars.len();
+                    }
+                    '/' if next == Some('*') => {
+                        let doc = matches!(chars.get(i + 2), Some('*' | '!'))
+                            && chars.get(i + 3) != Some(&'*');
+                        if doc {
+                            line.is_doc_comment = true;
+                        }
+                        state = State::Block { depth: 1, doc };
+                        i += 2;
+                    }
+                    '"' => {
+                        line.code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    }
+                    'r' | 'b' if !prev_is_ident(&chars, i) => {
+                        // Possible raw/byte string: r"", r#""#, b"", br#""#.
+                        let mut j = i + 1;
+                        if c == 'b' && chars.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0usize;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') && (hashes > 0 || j > i) {
+                            for _ in i..=j {
+                                line.code.push(' ');
+                            }
+                            line.code.push('"');
+                            state = State::RawStr { hashes };
+                            i = j + 1;
+                        } else {
+                            line.code.push(c);
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        // Char literal or lifetime. A lifetime is `'ident`
+                        // not followed by a closing quote.
+                        let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
+                            && chars.get(i + 2) != Some(&'\'');
+                        if is_lifetime {
+                            line.code.push('\'');
+                            i += 1;
+                        } else {
+                            line.code.push('\'');
+                            state = State::Char;
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                },
+                State::Block { depth, doc } => {
+                    if c == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block {
+                                depth: depth - 1,
+                                doc,
+                            }
+                        };
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::Block {
+                            depth: depth + 1,
+                            doc,
+                        };
+                        i += 2;
+                    } else {
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => match c {
+                    '\\' => {
+                        line.code.push_str("  ");
+                        i += 2;
+                    }
+                    '"' => {
+                        line.code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    }
+                    _ => {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                },
+                State::RawStr { hashes } => {
+                    if c == '"'
+                        && chars[i + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|h| **h == '#')
+                            .count()
+                            == hashes
+                    {
+                        line.code.push('"');
+                        for _ in 0..hashes {
+                            line.code.push(' ');
+                        }
+                        state = State::Code;
+                        i += 1 + hashes;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Char => match c {
+                    '\\' => {
+                        line.code.push_str("  ");
+                        i += 2;
+                    }
+                    '\'' => {
+                        line.code.push('\'');
+                        state = State::Code;
+                        i += 1;
+                    }
+                    _ => {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                },
+            }
+        }
+        // A string or char literal never spans a newline unraw-escaped, but
+        // raw strings and block comments do; string state also survives a
+        // trailing backslash. Reset char state defensively at end of line so
+        // a stray quote cannot poison the rest of the file.
+        if state == State::Char {
+            state = State::Code;
+        }
+        lines.push(line);
+    }
+
+    mark_test_modules(&mut lines);
+    LexedFile { lines }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Mark lines belonging to `#[cfg(test)] mod { ... }` blocks by tracking
+/// brace depth over the code view.
+fn mark_test_modules(lines: &mut [LexedLine]) {
+    let mut depth: i64 = 0;
+    let mut pending_cfg_test = false;
+    let mut test_mod_depth: Option<i64> = None;
+
+    for line in lines.iter_mut() {
+        let code = line.code.trim();
+        if test_mod_depth.is_some() {
+            line.in_test_mod = true;
+        }
+        if code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        let declares_mod = code.contains("mod ") || code.starts_with("mod ");
+        if pending_cfg_test && declares_mod && test_mod_depth.is_none() {
+            // The module body starts at this line's opening brace.
+            test_mod_depth = Some(depth);
+            line.in_test_mod = true;
+            pending_cfg_test = false;
+        } else if pending_cfg_test && !code.is_empty() && !code.starts_with("#[") && !declares_mod {
+            // Some other item followed the attribute (e.g. `#[cfg(test)] fn`)
+            // — not a module; stop waiting.
+            pending_cfg_test = false;
+        }
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        depth += opens - closes;
+        if let Some(d) = test_mod_depth {
+            if depth <= d {
+                test_mod_depth = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> String {
+        lex(src)
+            .lines
+            .iter()
+            .map(|l| l.code.clone())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn strips_line_comments() {
+        let f = lex("let x = 1; // calls .unwrap() here");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].comment.contains("unwrap"));
+    }
+
+    #[test]
+    fn blanks_string_interiors() {
+        let c = code_of(r#"let s = "foo.unwrap()"; s.len();"#);
+        assert!(!c.contains("unwrap"));
+        assert!(c.contains("len()"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let c = code_of(r##"let s = r#"x.unwrap()"#; t.unwrap();"##);
+        assert_eq!(c.matches("unwrap").count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let c = code_of("a /* x /* y.unwrap() */ z */ b");
+        assert!(!c.contains("unwrap"));
+        assert!(c.contains('a') && c.contains('b'));
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let c = code_of("a /* one\n two.unwrap()\n three */ b.unwrap()");
+        assert_eq!(c.matches("unwrap").count(), 1);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let c = code_of("fn f<'a>(x: &'a str) { let q = '\"'; x.find(q) }");
+        assert!(c.contains("fn f<'a>(x: &'a str)"));
+        // the double-quote char literal must not open a string
+        assert!(c.contains("find"));
+    }
+
+    #[test]
+    fn doc_comments_flagged() {
+        let f = lex("/// docs here\npub fn f() {}\n// plain\n//! inner");
+        assert!(f.lines[0].is_doc_comment);
+        assert!(!f.lines[2].is_doc_comment);
+        assert!(f.lines[3].is_doc_comment);
+    }
+
+    #[test]
+    fn test_modules_marked() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\npub fn lib2() {}\n";
+        let f = lex(src);
+        assert!(!f.lines[0].in_test_mod);
+        assert!(f.lines[3].in_test_mod);
+        assert!(!f.lines[5].in_test_mod);
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let c = code_of(r#"let s = "a\"b.unwrap()"; y.len()"#);
+        assert!(!c.contains("unwrap"));
+        assert!(c.contains("len"));
+    }
+}

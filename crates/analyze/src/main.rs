@@ -1,0 +1,271 @@
+//! The `speakql-analyze` CLI.
+//!
+//! Modes:
+//!
+//! - `--check` (default): run source lints against the waiver ratchet,
+//!   verify vendored-source integrity, and run the grammar verifier.
+//!   Exit 0 only if all three hold.
+//! - `--file <path>...`: lint specific files with every lint enabled and no
+//!   waivers — used by the negative-fixture tests.
+//! - `--update-waivers [--allow-growth]`: rewrite the waiver file from
+//!   actual counts; refuses to grow any count unless `--allow-growth`.
+//! - `--update-vendor-manifest`: re-baseline the vendor integrity manifest.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use speakql_analyze::{
+    count_findings, discover_sources, grammar_check, lint_source, selection_for, vendor, waivers,
+    Finding, LintSelection,
+};
+use std::path::{Path, PathBuf};
+
+/// Relative path of the waiver file.
+const WAIVER_FILE: &str = "results/lint_waivers.toml";
+/// Relative path of the vendor integrity manifest.
+const VENDOR_MANIFEST: &str = "results/vendor_manifest.txt";
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+#[derive(Debug, Default)]
+struct Options {
+    check: bool,
+    update_waivers: bool,
+    allow_growth: bool,
+    update_vendor_manifest: bool,
+    skip_grammar: bool,
+    files: Vec<String>,
+    root: Option<PathBuf>,
+}
+
+fn parse_args(args: Vec<String>) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--update-waivers" => opts.update_waivers = true,
+            "--allow-growth" => opts.allow_growth = true,
+            "--update-vendor-manifest" => opts.update_vendor_manifest = true,
+            "--skip-grammar" => opts.skip_grammar = true,
+            "--file" => {
+                let path = it.next().ok_or("--file requires a path")?;
+                opts.files.push(path);
+            }
+            "--root" => {
+                let path = it.next().ok_or("--root requires a path")?;
+                opts.root = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "speakql-analyze [--check] [--file <path>...] [--root <dir>]\n\
+                     \x20               [--update-waivers [--allow-growth]]\n\
+                     \x20               [--update-vendor-manifest] [--skip-grammar]"
+                );
+                return Err(String::new());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Resolve the workspace root: `--root`, else the compiled-in manifest
+/// location (works under `cargo run` from anywhere), else the cwd.
+fn workspace_root(opts: &Options) -> PathBuf {
+    if let Some(root) = &opts.root {
+        return root.clone();
+    }
+    let compiled = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if compiled.join("crates").is_dir() {
+        return compiled;
+    }
+    PathBuf::from(".")
+}
+
+fn run(args: Vec<String>) -> i32 {
+    let opts = match parse_args(args) {
+        Ok(o) => o,
+        Err(msg) if msg.is_empty() => return 0, // --help
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return 2;
+        }
+    };
+    let root = workspace_root(&opts);
+    let result = if !opts.files.is_empty() {
+        lint_explicit_files(&opts.files)
+    } else if opts.update_waivers {
+        update_waivers(&root, opts.allow_growth)
+    } else if opts.update_vendor_manifest {
+        update_vendor_manifest(&root)
+    } else {
+        check(&root, opts.skip_grammar)
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            2
+        }
+    }
+}
+
+/// `--file` mode: every lint, no waivers. Exit 1 if anything fires.
+fn lint_explicit_files(files: &[String]) -> Result<i32, String> {
+    let mut total = 0usize;
+    for path in files {
+        let content =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let findings = lint_source(path, &content, LintSelection::all());
+        for f in &findings {
+            println!("{f}");
+        }
+        total += findings.len();
+    }
+    println!(
+        "speakql-analyze: {total} finding(s) in {} file(s)",
+        files.len()
+    );
+    Ok(if total == 0 { 0 } else { 1 })
+}
+
+/// Run the workspace lints, returning all findings.
+fn workspace_findings(root: &Path) -> Result<Vec<Finding>, String> {
+    let sources = discover_sources(root).map_err(|e| format!("source discovery: {e}"))?;
+    let mut findings = Vec::new();
+    for file in &sources {
+        let sel = selection_for(file);
+        findings.extend(lint_source(&file.rel_path, &file.content, sel));
+    }
+    Ok(findings)
+}
+
+/// Default `--check` mode.
+fn check(root: &Path, skip_grammar: bool) -> Result<i32, String> {
+    let mut failures = 0usize;
+
+    // Engine 1a: source lints against the waiver ratchet.
+    let findings = workspace_findings(root)?;
+    let actual = count_findings(&findings);
+    let waiver_path = root.join(WAIVER_FILE);
+    let waived = match std::fs::read_to_string(&waiver_path) {
+        Ok(text) => waivers::parse(&text)?,
+        Err(_) => waivers::Counts::new(),
+    };
+    let issues = waivers::check(&actual, &waived);
+    for issue in &issues {
+        eprintln!("{issue}");
+        // For grown counts, print the individual findings so the offending
+        // lines are directly actionable.
+        if let waivers::RatchetIssue::Grew { lint, path, .. } = issue {
+            for f in findings
+                .iter()
+                .filter(|f| f.lint == lint.as_str() && &f.path == path)
+            {
+                eprintln!("  {f}");
+            }
+        }
+    }
+    failures += issues.len();
+
+    // Engine 1b: vendored-source integrity (L005).
+    let hashes = vendor::hash_vendor_tree(root).map_err(|e| format!("vendor scan: {e}"))?;
+    let manifest_path = root.join(VENDOR_MANIFEST);
+    match std::fs::read_to_string(&manifest_path) {
+        Ok(text) => {
+            let manifest = vendor::parse_manifest(&text)?;
+            let drift = vendor::diff(&hashes, &manifest);
+            for d in &drift {
+                eprintln!("L005: {d}");
+            }
+            failures += drift.len();
+        }
+        Err(e) => {
+            eprintln!(
+                "L005: cannot read {} ({e}); baseline with --update-vendor-manifest",
+                manifest_path.display()
+            );
+            failures += 1;
+        }
+    }
+
+    // Engine 2: grammar/dictionary verifier.
+    if skip_grammar {
+        println!("grammar verifier: skipped (--skip-grammar)");
+    } else {
+        let report = grammar_check::verify();
+        for f in &report.findings {
+            eprintln!("grammar: {f}");
+        }
+        failures += report.findings.len();
+        println!(
+            "grammar verifier: {} rules, {} nonterminals, {} structures and {} placeholders \
+             cross-validated, {} finding(s)",
+            report.rules,
+            report.nonterminals,
+            report.structures_checked,
+            report.placeholders_checked,
+            report.findings.len()
+        );
+    }
+
+    println!(
+        "speakql-analyze: {} lint finding(s) across {} lint(s), {} failure(s)",
+        findings.len(),
+        actual.len(),
+        failures
+    );
+    Ok(if failures == 0 { 0 } else { 1 })
+}
+
+/// `--update-waivers`: rewrite the waiver file from actual counts.
+fn update_waivers(root: &Path, allow_growth: bool) -> Result<i32, String> {
+    let findings = workspace_findings(root)?;
+    let actual = count_findings(&findings);
+    let waiver_path = root.join(WAIVER_FILE);
+    if !allow_growth {
+        if let Ok(text) = std::fs::read_to_string(&waiver_path) {
+            let old = waivers::parse(&text)?;
+            let grown: Vec<_> = waivers::check(&actual, &old)
+                .into_iter()
+                .filter(|i| matches!(i, waivers::RatchetIssue::Grew { .. }))
+                .collect();
+            if !grown.is_empty() {
+                for g in &grown {
+                    eprintln!("{g}");
+                }
+                eprintln!(
+                    "refusing to grow {} waiver(s); fix the violations or pass --allow-growth",
+                    grown.len()
+                );
+                return Ok(1);
+            }
+        }
+    }
+    std::fs::write(&waiver_path, waivers::render(&actual))
+        .map_err(|e| format!("write {}: {e}", waiver_path.display()))?;
+    println!(
+        "wrote {} ({} finding(s) waived)",
+        waiver_path.display(),
+        findings.len()
+    );
+    Ok(0)
+}
+
+/// `--update-vendor-manifest`: re-baseline vendor integrity.
+fn update_vendor_manifest(root: &Path) -> Result<i32, String> {
+    let hashes = vendor::hash_vendor_tree(root).map_err(|e| format!("vendor scan: {e}"))?;
+    let manifest_path = root.join(VENDOR_MANIFEST);
+    std::fs::write(&manifest_path, vendor::render_manifest(&hashes))
+        .map_err(|e| format!("write {}: {e}", manifest_path.display()))?;
+    println!(
+        "wrote {} ({} file(s))",
+        manifest_path.display(),
+        hashes.len()
+    );
+    Ok(0)
+}

@@ -1,0 +1,156 @@
+//! Vendored-source integrity (lint L005).
+//!
+//! The workspace builds offline against dependency stubs committed under
+//! `vendor/`. Silent edits there change the meaning of every crate that
+//! depends on them, so the analyzer hashes each vendored file with FNV-1a
+//! (64-bit) and compares against the committed manifest
+//! `results/vendor_manifest.txt`. Any drift — modified, missing, or
+//! untracked files — fails the check; unlike source lints, integrity
+//! violations cannot be waived, only re-baselined explicitly with
+//! `--update-vendor-manifest`.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit hash — tiny, dependency-free, and stable across platforms.
+/// This is an integrity tripwire against accidental edits, not a
+/// cryptographic defense.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Hash every file under `<root>/vendor/`, keyed by `/`-separated path
+/// relative to the workspace root, sorted.
+pub fn hash_vendor_tree(root: &Path) -> io::Result<BTreeMap<String, u64>> {
+    let vendor = root.join("vendor");
+    let mut paths: Vec<PathBuf> = Vec::new();
+    collect(&vendor, &mut paths)?;
+    paths.sort();
+    let mut hashes = BTreeMap::new();
+    for path in paths {
+        let rel: Vec<String> = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect();
+        let bytes = std::fs::read(&path)?;
+        hashes.insert(rel.join("/"), fnv1a64(&bytes));
+    }
+    Ok(hashes)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            // vendored crates never build into their own target/, but be
+            // defensive about editor droppings
+            if name != "target" && name != ".git" {
+                collect(&path, out)?;
+            }
+        } else {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Render a manifest: one `<16-hex-digit-hash>  <path>` line per file.
+pub fn render_manifest(hashes: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from(
+        "# FNV-1a-64 integrity manifest for vendor/ (lint L005).\n\
+         # Regenerate with: cargo run -p speakql-analyze -- --update-vendor-manifest\n",
+    );
+    for (path, hash) in hashes {
+        out.push_str(&format!("{hash:016x}  {path}\n"));
+    }
+    out
+}
+
+/// Parse a manifest produced by [`render_manifest`].
+pub fn parse_manifest(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut hashes = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (hash, path) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("manifest line {}: expected `<hash>  <path>`", idx + 1))?;
+        let hash = u64::from_str_radix(hash.trim(), 16)
+            .map_err(|_| format!("manifest line {}: bad hash", idx + 1))?;
+        hashes.insert(path.trim().to_string(), hash);
+    }
+    Ok(hashes)
+}
+
+/// Compare actual hashes against the manifest. Each returned string is one
+/// L005 violation.
+pub fn diff(actual: &BTreeMap<String, u64>, manifest: &BTreeMap<String, u64>) -> Vec<String> {
+    let mut issues = Vec::new();
+    for (path, hash) in actual {
+        match manifest.get(path) {
+            None => issues.push(format!("untracked vendored file: {path}")),
+            Some(h) if h != hash => issues.push(format!(
+                "vendored file modified: {path} (manifest {h:016x}, actual {hash:016x})"
+            )),
+            Some(_) => {}
+        }
+    }
+    for path in manifest.keys() {
+        if !actual.contains_key(path) {
+            issues.push(format!("vendored file missing: {path}"));
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn manifest_roundtrip() -> Result<(), String> {
+        let mut h = BTreeMap::new();
+        h.insert("vendor/serde/src/lib.rs".to_string(), 0xdead_beef_u64);
+        h.insert("vendor/bytes/Cargo.toml".to_string(), 7);
+        let parsed = parse_manifest(&render_manifest(&h))?;
+        assert_eq!(parsed, h);
+        Ok(())
+    }
+
+    #[test]
+    fn diff_reports_all_drift() {
+        let mut manifest = BTreeMap::new();
+        manifest.insert("a".to_string(), 1u64);
+        manifest.insert("b".to_string(), 2u64);
+        let mut actual = BTreeMap::new();
+        actual.insert("a".to_string(), 9u64); // modified
+        actual.insert("c".to_string(), 3u64); // untracked
+        let issues = diff(&actual, &manifest);
+        assert_eq!(issues.len(), 3); // modified a, untracked c, missing b
+        assert!(issues.iter().any(|i| i.contains("modified: a")));
+        assert!(issues.iter().any(|i| i.contains("untracked")));
+        assert!(issues.iter().any(|i| i.contains("missing: b")));
+    }
+}

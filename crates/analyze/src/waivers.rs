@@ -1,0 +1,222 @@
+//! The ratcheted lint-waiver file.
+//!
+//! Existing violations are grandfathered in `results/lint_waivers.toml` as
+//! exact per-file counts. The ratchet is two-sided:
+//!
+//! - a file's actual count **above** its waived count is a new violation —
+//!   CI fails until the code is fixed;
+//! - a count **below** the waiver is a stale waiver — CI fails until the
+//!   waiver is shrunk, so burned-down debt can never silently regrow.
+//!
+//! The file is plain TOML restricted to the subset this module parses:
+//! `#` comments, `[LINT]` section headers, and `"path" = count` entries.
+//! No TOML crate is vendored, so the parser is hand-rolled; `render` always
+//! emits the same subset, making the pair round-trip stable.
+
+use std::collections::BTreeMap;
+
+/// Per-lint, per-file waived violation counts.
+pub type Counts = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// Parse the waiver file. Returns an error naming the offending line for
+/// anything outside the supported TOML subset.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts: Counts = BTreeMap::new();
+    let mut section: Option<String> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = Some(name.trim().to_string());
+            counts.entry(name.trim().to_string()).or_default();
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("waivers line {lineno}: expected `\"path\" = count`"))?;
+        let key = key.trim();
+        let key = key
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("waivers line {lineno}: path must be double-quoted"))?;
+        let count: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("waivers line {lineno}: count must be a non-negative integer"))?;
+        let sect = section
+            .clone()
+            .ok_or_else(|| format!("waivers line {lineno}: entry before any [LINT] section"))?;
+        if counts
+            .entry(sect)
+            .or_default()
+            .insert(key.to_string(), count)
+            .is_some()
+        {
+            return Err(format!("waivers line {lineno}: duplicate entry for {key}"));
+        }
+    }
+    Ok(counts)
+}
+
+/// Render waiver counts in the canonical format. Zero counts are dropped —
+/// a clean file needs no waiver.
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from(
+        "# Lint waivers for `speakql-analyze` (see crates/analyze).\n\
+         #\n\
+         # Each entry grandfathers an EXACT violation count for one file.\n\
+         # CI fails if a count grows (new violation) or shrinks without the\n\
+         # waiver being updated (stale waiver) - the ratchet only tightens.\n\
+         # Regenerate with: cargo run -p speakql-analyze -- --update-waivers\n",
+    );
+    for (lint, files) in counts {
+        if files.values().all(|&c| c == 0) {
+            continue;
+        }
+        out.push('\n');
+        out.push('[');
+        out.push_str(lint);
+        out.push_str("]\n");
+        for (path, count) in files {
+            if *count > 0 {
+                out.push_str(&format!("\"{path}\" = {count}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// One ratchet violation: actual counts diverging from the waiver file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RatchetIssue {
+    /// A file's violation count exceeds its waiver (waived may be 0).
+    Grew {
+        lint: String,
+        path: String,
+        actual: usize,
+        waived: usize,
+    },
+    /// A file's waiver exceeds its actual count: the waiver must shrink.
+    Stale {
+        lint: String,
+        path: String,
+        actual: usize,
+        waived: usize,
+    },
+}
+
+impl std::fmt::Display for RatchetIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RatchetIssue::Grew {
+                lint,
+                path,
+                actual,
+                waived,
+            } => write!(
+                f,
+                "{lint}: {path}: {actual} violation(s), {waived} waived - fix the new ones"
+            ),
+            RatchetIssue::Stale {
+                lint,
+                path,
+                actual,
+                waived,
+            } => write!(
+                f,
+                "{lint}: {path}: waiver is stale ({waived} waived, {actual} actual) - \
+                 shrink it with --update-waivers"
+            ),
+        }
+    }
+}
+
+/// Compare actual counts against waived counts; empty result means the
+/// ratchet holds exactly.
+pub fn check(actual: &Counts, waived: &Counts) -> Vec<RatchetIssue> {
+    let mut issues = Vec::new();
+    let lints: std::collections::BTreeSet<&String> = actual.keys().chain(waived.keys()).collect();
+    for lint in lints {
+        let empty = BTreeMap::new();
+        let a = actual.get(lint).unwrap_or(&empty);
+        let w = waived.get(lint).unwrap_or(&empty);
+        let paths: std::collections::BTreeSet<&String> = a.keys().chain(w.keys()).collect();
+        for path in paths {
+            let actual_n = a.get(path).copied().unwrap_or(0);
+            let waived_n = w.get(path).copied().unwrap_or(0);
+            if actual_n > waived_n {
+                issues.push(RatchetIssue::Grew {
+                    lint: lint.clone(),
+                    path: path.clone(),
+                    actual: actual_n,
+                    waived: waived_n,
+                });
+            } else if actual_n < waived_n {
+                issues.push(RatchetIssue::Stale {
+                    lint: lint.clone(),
+                    path: path.clone(),
+                    actual: actual_n,
+                    waived: waived_n,
+                });
+            }
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(entries: &[(&str, &str, usize)]) -> Counts {
+        let mut c = Counts::new();
+        for (lint, path, n) in entries {
+            c.entry(lint.to_string())
+                .or_default()
+                .insert(path.to_string(), *n);
+        }
+        c
+    }
+
+    #[test]
+    fn roundtrip() -> Result<(), String> {
+        let c = counts(&[("L001", "crates/db/src/exec.rs", 42), ("L004", "a.rs", 1)]);
+        let parsed = parse(&render(&c))?;
+        assert_eq!(parsed, c);
+        Ok(())
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("L001 = 3").is_err()); // entry before section
+        assert!(parse("[L001]\npath = x").is_err()); // unquoted path is ambiguous
+        assert!(parse("[L001]\n\"p\" = -1").is_err());
+        assert!(parse("[L001]\n\"p\" = 1\n\"p\" = 2").is_err());
+    }
+
+    #[test]
+    fn ratchet_two_sided() {
+        let waived = counts(&[("L001", "a.rs", 2)]);
+        assert!(check(&waived, &waived).is_empty());
+        let grew = counts(&[("L001", "a.rs", 3)]);
+        assert!(matches!(
+            check(&grew, &waived)[0],
+            RatchetIssue::Grew { .. }
+        ));
+        let shrank = counts(&[("L001", "a.rs", 1)]);
+        assert!(matches!(
+            check(&shrank, &waived)[0],
+            RatchetIssue::Stale { .. }
+        ));
+        // a brand-new file with violations has no waiver at all
+        let fresh = counts(&[("L001", "b.rs", 1)]);
+        assert!(matches!(
+            check(&fresh, &Counts::new())[0],
+            RatchetIssue::Grew { waived: 0, .. }
+        ));
+        assert_eq!(check(&fresh, &waived).len(), 2); // stale a.rs + new b.rs
+    }
+}

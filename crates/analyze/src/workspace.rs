@@ -1,0 +1,109 @@
+//! Workspace source discovery.
+//!
+//! Enumerates the `.rs` sources of every first-party crate under `crates/`.
+//! Vendored dependency stubs under `vendor/` are deliberately excluded from
+//! lint scanning (they are covered by the integrity check in
+//! [`crate::vendor`] instead), as are build artifacts and the analyzer's own
+//! lint fixtures (which *must* contain violations).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One discovered first-party source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated
+    /// (e.g. `crates/db/src/exec.rs`).
+    pub rel_path: String,
+    /// The crate directory name (e.g. `db`).
+    pub crate_name: String,
+    /// True if the file lives under the crate's `src/` tree (library or
+    /// binary sources, as opposed to `tests/` / `benches/`).
+    pub in_src: bool,
+    /// True if the file is a binary entry point (`src/main.rs` or under
+    /// `src/bin/`).
+    pub is_binary_entry: bool,
+    /// The file's contents.
+    pub content: String,
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", "fixtures", ".git"];
+
+/// Discover all first-party sources under `<root>/crates/`, sorted by path
+/// for deterministic reports.
+pub fn discover_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let crates_dir = root.join("crates");
+    let mut paths: Vec<PathBuf> = Vec::new();
+    walk(&crates_dir, &mut paths)?;
+    paths.sort();
+
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let rel: Vec<String> = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect();
+        let rel_path = rel.join("/");
+        let crate_name = rel.get(1).cloned().unwrap_or_default();
+        let in_src = rel.get(2).map(String::as_str) == Some("src");
+        let is_binary_entry = in_src
+            && (rel.last().map(String::as_str) == Some("main.rs")
+                || rel.get(3).map(String::as_str) == Some("bin"));
+        let content = std::fs::read_to_string(&path)?;
+        files.push(SourceFile {
+            rel_path,
+            crate_name,
+            in_src,
+            is_binary_entry,
+            content,
+        });
+    }
+    Ok(files)
+}
+
+/// Recursively collect `.rs` files, skipping [`SKIP_DIRS`].
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovers_own_sources() -> Result<(), String> {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = discover_sources(&root).map_err(|e| e.to_string())?;
+        let me = files
+            .iter()
+            .find(|f| f.rel_path == "crates/analyze/src/workspace.rs")
+            .ok_or("did not find self")?;
+        assert_eq!(me.crate_name, "analyze");
+        assert!(me.in_src);
+        assert!(!me.is_binary_entry);
+        let main = files
+            .iter()
+            .find(|f| f.rel_path == "crates/analyze/src/main.rs");
+        if let Some(m) = main {
+            assert!(m.is_binary_entry);
+        }
+        // the fixtures directory must be invisible to discovery
+        assert!(!files.iter().any(|f| f.rel_path.contains("fixtures/")));
+        Ok(())
+    }
+}

@@ -1,0 +1,21 @@
+//! Negative-control fixture: nothing here should fire any lint. Mentions of
+//! `.unwrap()` and `x as u8` in comments or strings must be ignored.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counter with a justified memory ordering.
+pub static CLEAN_HITS: AtomicUsize = AtomicUsize::new(0);
+
+/// Records a hit.
+///
+/// The string below spells out `.unwrap()` but is data, not a call.
+pub fn record_clean() -> &'static str {
+    // ordering: monotonic counter, no synchronisation needed
+    CLEAN_HITS.fetch_add(1, Ordering::Relaxed);
+    "please never call .unwrap() or .expect( in library code"
+}
+
+/// Divides, returning `None` on zero instead of panicking.
+pub fn checked_div(a: u32, b: u32) -> Option<u32> {
+    a.checked_div(b)
+}

@@ -1,0 +1,8 @@
+//! Negative fixture: library code calling `unwrap()` / `expect(` (L001).
+
+/// Looks up a configuration value and panics if it is absent.
+pub fn must_get(map: &std::collections::HashMap<String, i32>, key: &str) -> i32 {
+    let first = map.get(key).unwrap();
+    let second = map.get(key).expect("key must exist");
+    first + second
+}

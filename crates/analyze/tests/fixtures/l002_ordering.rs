@@ -1,0 +1,11 @@
+//! Negative fixture: atomic `Ordering` with no adjacent justification (L002).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A counter bumped from multiple threads.
+pub static HITS: AtomicUsize = AtomicUsize::new(0);
+
+/// Records a hit.
+pub fn record() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}

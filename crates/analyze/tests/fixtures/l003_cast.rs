@@ -1,0 +1,6 @@
+//! Negative fixture: lossy `as` narrowing with no justification (L003).
+
+/// Packs a length into a single byte, silently truncating large values.
+pub fn pack_len(n: usize) -> u8 {
+    n as u8
+}

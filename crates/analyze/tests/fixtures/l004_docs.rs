@@ -1,0 +1,5 @@
+//! Negative fixture: public item with no doc comment (L004).
+
+pub fn undocumented_api() -> u32 {
+    42
+}

@@ -7,6 +7,8 @@
 //! profile-configurable error rates. See DESIGN.md §5 for the substitution
 //! rationale.
 
+#![forbid(unsafe_code)]
+
 pub mod channel;
 pub mod homophones;
 pub mod speak;

@@ -201,9 +201,9 @@ fn bench_persistence(c: &mut Criterion) {
         ..GeneratorConfig::small()
     });
     let index = StructureIndex::build(structures, Weights::PAPER);
-    let bytes = speakql_index::to_bytes(&index);
+    let bytes = speakql_index::to_bytes(&index).expect("serialize");
     c.bench_function("index_serialize_5k", |b| {
-        b.iter(|| black_box(speakql_index::to_bytes(black_box(&index))))
+        b.iter(|| black_box(speakql_index::to_bytes(black_box(&index)).expect("serialize")))
     });
     c.bench_function("index_deserialize_5k", |b| {
         b.iter(|| black_box(speakql_index::from_bytes(black_box(&bytes)).expect("roundtrip")))

@@ -4,6 +4,8 @@
 //! engines, ASR profiles) and per-case evaluation plumbing. The
 //! `experiments` binary regenerates every table and figure of the paper.
 
+#![forbid(unsafe_code)]
+
 pub mod context;
 pub mod experiments;
 pub mod report;

@@ -11,6 +11,8 @@
 //! All subcommands run against the built-in Employees database; this tool is
 //! the scriptable counterpart of the `interactive_repl` example.
 
+#![forbid(unsafe_code)]
+
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use speakql_asr::{AsrEngine, AsrProfile};

@@ -13,6 +13,8 @@
 //! Plus clause-level transcription for the multimodal interface (§5) and the
 //! one-level nested-query heuristic (App. F.8).
 
+#![forbid(unsafe_code)]
+
 pub mod align;
 pub mod catalog;
 pub mod engine;

@@ -5,6 +5,8 @@
 //! scalable spoken-SQL dataset-generation procedure of §6.1, and the Table 6
 //! user-study query set.
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod employees;
 pub mod genqueries;

@@ -16,6 +16,7 @@ pub enum DbError {
 }
 
 impl DbError {
+    /// Build a [`DbError::Parse`] at a token position.
     pub fn parse(position: usize, message: impl Into<String>) -> DbError {
         DbError::Parse {
             position,
@@ -39,4 +40,5 @@ impl fmt::Display for DbError {
 
 impl std::error::Error for DbError {}
 
+/// Shorthand for `Result` with a [`DbError`] payload.
 pub type DbResult<T> = Result<T, DbError>;

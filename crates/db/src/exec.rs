@@ -539,7 +539,16 @@ mod tests {
     use crate::schema::{Column, Table, TableSchema};
     use crate::value::{Date, ValueType};
 
-    fn db() -> Database {
+    // Tests return DbResult and propagate with `?` instead of unwrapping:
+    // a failure reports the actual DbError, and the module stays L001-clean.
+
+    fn d(s: &str) -> DbResult<Value> {
+        Date::parse(s)
+            .map(Value::Date)
+            .ok_or_else(|| DbError::Invalid(format!("bad test date {s}")))
+    }
+
+    fn db() -> DbResult<Database> {
         let mut db = Database::new("test");
         let mut emp = Table::new(TableSchema::new(
             "Employees",
@@ -550,24 +559,23 @@ mod tests {
                 Column::new("HireDate", ValueType::Date),
             ],
         ));
-        let d = |s: &str| Value::Date(Date::parse(s).unwrap());
         emp.push_row(vec![
             Value::Int(1),
             Value::Text("Karsten".into()),
             Value::Text("M".into()),
-            d("1996-05-10"),
+            d("1996-05-10")?,
         ]);
         emp.push_row(vec![
             Value::Int(2),
             Value::Text("Goh".into()),
             Value::Text("F".into()),
-            d("1993-01-20"),
+            d("1993-01-20")?,
         ]);
         emp.push_row(vec![
             Value::Int(3),
             Value::Text("Perla".into()),
             Value::Text("F".into()),
-            d("2001-10-09"),
+            d("2001-10-09")?,
         ]);
         db.add_table(emp);
         let mut sal = Table::new(TableSchema::new(
@@ -581,67 +589,68 @@ mod tests {
         sal.push_row(vec![Value::Int(2), Value::Int(80000)]);
         sal.push_row(vec![Value::Int(3), Value::Int(70000)]);
         db.add_table(sal);
-        db
+        Ok(db)
     }
 
     #[test]
-    fn simple_projection_and_filter() {
-        let r = execute_sql(&db(), "SELECT FirstName FROM Employees WHERE Gender = 'F'").unwrap();
+    fn simple_projection_and_filter() -> DbResult<()> {
+        let r = execute_sql(&db()?, "SELECT FirstName FROM Employees WHERE Gender = 'F'")?;
         assert_eq!(r.columns, vec!["FirstName"]);
         assert_eq!(r.rows.len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn select_star() {
-        let r = execute_sql(&db(), "SELECT * FROM Salaries").unwrap();
+    fn select_star() -> DbResult<()> {
+        let r = execute_sql(&db()?, "SELECT * FROM Salaries")?;
         assert_eq!(r.columns, vec!["EmployeeNumber", "Salary"]);
         assert_eq!(r.rows.len(), 3);
+        Ok(())
     }
 
     #[test]
-    fn global_aggregate() {
-        let r = execute_sql(&db(), "SELECT AVG ( Salary ) FROM Salaries").unwrap();
+    fn global_aggregate() -> DbResult<()> {
+        let r = execute_sql(&db()?, "SELECT AVG ( Salary ) FROM Salaries")?;
         assert_eq!(r.rows, vec![vec![Value::Float(70000.0)]]);
-        let r = execute_sql(&db(), "SELECT COUNT ( * ) FROM Employees").unwrap();
+        let r = execute_sql(&db()?, "SELECT COUNT ( * ) FROM Employees")?;
         assert_eq!(r.rows, vec![vec![Value::Int(3)]]);
         let r = execute_sql(
-            &db(),
+            &db()?,
             "SELECT MAX ( Salary ) , MIN ( Salary ) FROM Salaries",
-        )
-        .unwrap();
+        )?;
         assert_eq!(r.rows, vec![vec![Value::Int(80000), Value::Int(60000)]]);
+        Ok(())
     }
 
     #[test]
-    fn natural_join() {
+    fn natural_join() -> DbResult<()> {
         let r = execute_sql(
-            &db(),
+            &db()?,
             "SELECT FirstName FROM Employees NATURAL JOIN Salaries WHERE Salary > 65000",
-        )
-        .unwrap();
+        )?;
         let mut names: Vec<String> = r.rows.iter().map(|r| r[0].render_bare()).collect();
         names.sort();
         assert_eq!(names, vec!["Goh", "Perla"]);
+        Ok(())
     }
 
     #[test]
-    fn comma_join_with_qualified_predicate() {
+    fn comma_join_with_qualified_predicate() -> DbResult<()> {
         let r = execute_sql(
-            &db(),
+            &db()?,
             "SELECT FirstName , Salary FROM Employees , Salaries \
              WHERE Employees . EmployeeNumber = Salaries . EmployeeNumber",
-        )
-        .unwrap();
+        )?;
         assert_eq!(r.rows.len(), 3);
+        Ok(())
     }
 
     #[test]
-    fn group_by_with_count() {
+    fn group_by_with_count() -> DbResult<()> {
         let r = execute_sql(
-            &db(),
+            &db()?,
             "SELECT Gender , COUNT ( EmployeeNumber ) FROM Employees GROUP BY Gender",
-        )
-        .unwrap();
+        )?;
         assert_eq!(
             r.rows,
             vec![
@@ -649,15 +658,15 @@ mod tests {
                 vec![Value::Text("M".into()), Value::Int(1)],
             ]
         );
+        Ok(())
     }
 
     #[test]
-    fn order_by_and_limit() {
+    fn order_by_and_limit() -> DbResult<()> {
         let r = execute_sql(
-            &db(),
+            &db()?,
             "SELECT FirstName FROM Employees ORDER BY HireDate LIMIT 2",
-        )
-        .unwrap();
+        )?;
         assert_eq!(
             r.rows,
             vec![
@@ -665,103 +674,122 @@ mod tests {
                 vec![Value::Text("Karsten".into())]
             ]
         );
+        Ok(())
     }
 
     #[test]
-    fn between_and_in() {
-        let r = execute_sql(&db(), "SELECT FirstName FROM Employees NATURAL JOIN Salaries WHERE Salary BETWEEN 60000 AND 70000").unwrap();
+    fn between_and_in() -> DbResult<()> {
+        let r = execute_sql(&db()?, "SELECT FirstName FROM Employees NATURAL JOIN Salaries WHERE Salary BETWEEN 60000 AND 70000")?;
         assert_eq!(r.rows.len(), 2);
         let r = execute_sql(
-            &db(),
+            &db()?,
             "SELECT FirstName FROM Employees WHERE FirstName IN ( 'Goh' , 'Perla' )",
-        )
-        .unwrap();
+        )?;
         assert_eq!(r.rows.len(), 2);
-        let r = execute_sql(&db(), "SELECT FirstName FROM Employees NATURAL JOIN Salaries WHERE Salary NOT BETWEEN 60000 AND 70000").unwrap();
+        let r = execute_sql(&db()?, "SELECT FirstName FROM Employees NATURAL JOIN Salaries WHERE Salary NOT BETWEEN 60000 AND 70000")?;
         assert_eq!(r.rows.len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn date_comparison() {
+    fn date_comparison() -> DbResult<()> {
         let r = execute_sql(
-            &db(),
+            &db()?,
             "SELECT FirstName FROM Employees WHERE HireDate = '1993-01-20'",
-        )
-        .unwrap();
+        )?;
         assert_eq!(r.rows, vec![vec![Value::Text("Goh".into())]]);
         let r = execute_sql(
-            &db(),
+            &db()?,
             "SELECT FirstName FROM Employees WHERE HireDate > '1995-01-01'",
-        )
-        .unwrap();
+        )?;
         assert_eq!(r.rows.len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn nested_in_subquery_executes() {
+    fn nested_in_subquery_executes() -> DbResult<()> {
         let r = execute_sql(
-            &db(),
+            &db()?,
             "SELECT FirstName FROM Employees WHERE EmployeeNumber IN \
              ( SELECT EmployeeNumber FROM Salaries WHERE Salary > 65000 )",
-        )
-        .unwrap();
+        )?;
         assert_eq!(r.rows.len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn nested_scalar_subquery_executes() {
+    fn nested_scalar_subquery_executes() -> DbResult<()> {
         let r = execute_sql(
-            &db(),
+            &db()?,
             "SELECT FirstName FROM Employees NATURAL JOIN Salaries WHERE Salary = \
              ( SELECT MAX ( Salary ) FROM Salaries )",
-        )
-        .unwrap();
+        )?;
         assert_eq!(r.rows, vec![vec![Value::Text("Goh".into())]]);
+        Ok(())
     }
 
     #[test]
-    fn unknown_names_error() {
+    fn unknown_names_error() -> DbResult<()> {
         assert!(matches!(
-            execute_sql(&db(), "SELECT x FROM Nope"),
+            execute_sql(&db()?, "SELECT x FROM Nope"),
             Err(DbError::UnknownTable(_))
         ));
         assert!(matches!(
-            execute_sql(&db(), "SELECT Nope FROM Employees"),
+            execute_sql(&db()?, "SELECT Nope FROM Employees"),
             Err(DbError::UnknownColumn(_))
         ));
+        Ok(())
     }
 
     #[test]
-    fn result_multiset_equality() {
-        let a = execute_sql(&db(), "SELECT FirstName FROM Employees").unwrap();
-        let b = execute_sql(&db(), "SELECT FirstName FROM Employees ORDER BY HireDate").unwrap();
-        assert!(a.result_equals(&b));
-        let c = execute_sql(&db(), "SELECT FirstName FROM Employees LIMIT 2").unwrap();
-        assert!(!a.result_equals(&c));
-    }
-
-    #[test]
-    fn empty_group_aggregate() {
+    fn non_ascii_query_text_errors_instead_of_panicking() -> DbResult<()> {
+        // Regression: the SQL tokenizer indexed by byte offset and panicked
+        // on any multi-byte character ("byte index is not a char boundary"),
+        // so these inputs crashed before reaching name resolution.
         let r = execute_sql(
-            &db(),
+            &db()?,
+            "SELECT FirstName FROM Employees WHERE FirstName = 'Zoë'",
+        )?;
+        assert!(r.rows.is_empty());
+        assert!(matches!(
+            execute_sql(&db()?, "SELECT naïve FROM Employees"),
+            Err(DbError::UnknownColumn(_))
+        ));
+        Ok(())
+    }
+
+    #[test]
+    fn result_multiset_equality() -> DbResult<()> {
+        let a = execute_sql(&db()?, "SELECT FirstName FROM Employees")?;
+        let b = execute_sql(&db()?, "SELECT FirstName FROM Employees ORDER BY HireDate")?;
+        assert!(a.result_equals(&b));
+        let c = execute_sql(&db()?, "SELECT FirstName FROM Employees LIMIT 2")?;
+        assert!(!a.result_equals(&c));
+        Ok(())
+    }
+
+    #[test]
+    fn empty_group_aggregate() -> DbResult<()> {
+        let r = execute_sql(
+            &db()?,
             "SELECT COUNT ( Salary ) FROM Salaries WHERE Salary > 999999",
-        )
-        .unwrap();
+        )?;
         assert_eq!(r.rows, vec![vec![Value::Int(0)]]);
         let r = execute_sql(
-            &db(),
+            &db()?,
             "SELECT MAX ( Salary ) FROM Salaries WHERE Salary > 999999",
-        )
-        .unwrap();
+        )?;
         assert_eq!(r.rows, vec![vec![Value::Null]]);
+        Ok(())
     }
 
     #[test]
-    fn render_table_smoke() {
-        let r = execute_sql(&db(), "SELECT FirstName , Gender FROM Employees LIMIT 1").unwrap();
+    fn render_table_smoke() -> DbResult<()> {
+        let r = execute_sql(&db()?, "SELECT FirstName , Gender FROM Employees LIMIT 1")?;
         let t = r.render_table();
         assert!(t.contains("FirstName"));
         assert!(t.contains("Karsten"));
+        Ok(())
     }
 }
 
@@ -783,48 +811,51 @@ mod edge_tests {
         db
     }
 
+    fn table<'a>(db: &'a mut Database, name: &str) -> DbResult<&'a mut Table> {
+        db.table_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.into()))
+    }
+
+    fn date(s: &str) -> DbResult<Value> {
+        crate::value::Date::parse(s)
+            .map(Value::Date)
+            .ok_or_else(|| DbError::Invalid(format!("bad test date {s}")))
+    }
+
     #[test]
-    fn queries_over_empty_tables() {
+    fn queries_over_empty_tables() -> DbResult<()> {
         let db = empty_db();
-        assert!(execute_sql(&db, "SELECT a FROM T").unwrap().rows.is_empty());
+        assert!(execute_sql(&db, "SELECT a FROM T")?.rows.is_empty());
         assert_eq!(
-            execute_sql(&db, "SELECT COUNT ( * ) FROM T").unwrap().rows,
+            execute_sql(&db, "SELECT COUNT ( * ) FROM T")?.rows,
             vec![vec![Value::Int(0)]]
         );
         assert_eq!(
-            execute_sql(&db, "SELECT SUM ( a ) FROM T").unwrap().rows,
+            execute_sql(&db, "SELECT SUM ( a ) FROM T")?.rows,
             vec![vec![Value::Null]]
         );
         // GROUP BY over empty input yields no groups.
-        assert!(execute_sql(&db, "SELECT b , COUNT ( a ) FROM T GROUP BY b")
-            .unwrap()
-            .rows
-            .is_empty());
-    }
-
-    #[test]
-    fn limit_zero_and_oversized() {
-        let mut db = empty_db();
-        db.table_mut("T")
-            .unwrap()
-            .push_row(vec![Value::Int(1), Value::Text("x".into())]);
-        assert!(execute_sql(&db, "SELECT a FROM T LIMIT 0")
-            .unwrap()
-            .rows
-            .is_empty());
-        assert_eq!(
-            execute_sql(&db, "SELECT a FROM T LIMIT 999")
-                .unwrap()
+        assert!(
+            execute_sql(&db, "SELECT b , COUNT ( a ) FROM T GROUP BY b")?
                 .rows
-                .len(),
-            1
+                .is_empty()
         );
+        Ok(())
     }
 
     #[test]
-    fn self_joinish_three_way() {
+    fn limit_zero_and_oversized() -> DbResult<()> {
         let mut db = empty_db();
-        let t = db.table_mut("T").unwrap();
+        table(&mut db, "T")?.push_row(vec![Value::Int(1), Value::Text("x".into())]);
+        assert!(execute_sql(&db, "SELECT a FROM T LIMIT 0")?.rows.is_empty());
+        assert_eq!(execute_sql(&db, "SELECT a FROM T LIMIT 999")?.rows.len(), 1);
+        Ok(())
+    }
+
+    #[test]
+    fn self_joinish_three_way() -> DbResult<()> {
+        let mut db = empty_db();
+        let t = table(&mut db, "T")?;
         t.push_row(vec![Value::Int(1), Value::Text("x".into())]);
         t.push_row(vec![Value::Int(2), Value::Text("y".into())]);
         // Cartesian square via comma join of the same table twice is
@@ -840,67 +871,67 @@ mod edge_tests {
         u.push_row(vec![Value::Int(3), Value::Int(30)]);
         db.add_table(u);
         // Natural join on shared column `a`.
-        let r = execute_sql(&db, "SELECT b , c FROM T NATURAL JOIN U").unwrap();
+        let r = execute_sql(&db, "SELECT b , c FROM T NATURAL JOIN U")?;
         assert_eq!(r.rows, vec![vec![Value::Text("x".into()), Value::Int(10)]]);
         // Comma join + explicit qualification.
-        let r = execute_sql(&db, "SELECT c FROM T , U WHERE T . a = U . a").unwrap();
+        let r = execute_sql(&db, "SELECT c FROM T , U WHERE T . a = U . a")?;
         assert_eq!(r.rows.len(), 1);
         // Degenerate natural join with no matching rows.
-        let r = execute_sql(&db, "SELECT b FROM T NATURAL JOIN U WHERE c > 10").unwrap();
+        let r = execute_sql(&db, "SELECT b FROM T NATURAL JOIN U WHERE c > 10")?;
         assert!(r.rows.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn order_by_dates_and_nulls_last_semantics() {
+    fn order_by_dates_and_nulls_last_semantics() -> DbResult<()> {
         let mut db = Database::new("d");
         let mut t = Table::new(TableSchema::new(
             "T",
             vec![Column::new("d", ValueType::Date)],
         ));
-        let date = |s: &str| Value::Date(crate::value::Date::parse(s).unwrap());
-        t.push_row(vec![date("2001-10-09")]);
+        t.push_row(vec![date("2001-10-09")?]);
         t.push_row(vec![Value::Null]);
-        t.push_row(vec![date("1993-01-20")]);
+        t.push_row(vec![date("1993-01-20")?]);
         db.add_table(t);
-        let r = execute_sql(&db, "SELECT d FROM T ORDER BY d").unwrap();
+        let r = execute_sql(&db, "SELECT d FROM T ORDER BY d")?;
         // Null sorts first under the total order (rank 0).
         assert_eq!(r.rows[0], vec![Value::Null]);
-        assert_eq!(r.rows[1], vec![date("1993-01-20")]);
-        assert_eq!(r.rows[2], vec![date("2001-10-09")]);
+        assert_eq!(r.rows[1], vec![date("1993-01-20")?]);
+        assert_eq!(r.rows[2], vec![date("2001-10-09")?]);
+        Ok(())
     }
 
     #[test]
-    fn between_bounds_inverted_is_empty_not_error() {
+    fn between_bounds_inverted_is_empty_not_error() -> DbResult<()> {
         let mut db = empty_db();
-        db.table_mut("T")
-            .unwrap()
-            .push_row(vec![Value::Int(5), Value::Text("x".into())]);
-        let r = execute_sql(&db, "SELECT a FROM T WHERE a BETWEEN 9 AND 1").unwrap();
+        table(&mut db, "T")?.push_row(vec![Value::Int(5), Value::Text("x".into())]);
+        let r = execute_sql(&db, "SELECT a FROM T WHERE a BETWEEN 9 AND 1")?;
         assert!(r.rows.is_empty());
-        let r = execute_sql(&db, "SELECT a FROM T WHERE a NOT BETWEEN 9 AND 1").unwrap();
+        let r = execute_sql(&db, "SELECT a FROM T WHERE a NOT BETWEEN 9 AND 1")?;
         assert_eq!(r.rows.len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn mixed_agg_and_column_without_group_by() {
+    fn mixed_agg_and_column_without_group_by() -> DbResult<()> {
         let mut db = empty_db();
-        let t = db.table_mut("T").unwrap();
+        let t = table(&mut db, "T")?;
         t.push_row(vec![Value::Int(1), Value::Text("x".into())]);
         t.push_row(vec![Value::Int(3), Value::Text("y".into())]);
         // MySQL-loose semantics: first value of the ungrouped column.
-        let r = execute_sql(&db, "SELECT b , MAX ( a ) FROM T").unwrap();
+        let r = execute_sql(&db, "SELECT b , MAX ( a ) FROM T")?;
         assert_eq!(r.rows, vec![vec![Value::Text("x".into()), Value::Int(3)]]);
+        Ok(())
     }
 
     #[test]
-    fn star_with_aggregate_rejected() {
+    fn star_with_aggregate_rejected() -> DbResult<()> {
         let mut db = empty_db();
-        db.table_mut("T")
-            .unwrap()
-            .push_row(vec![Value::Int(1), Value::Text("x".into())]);
+        table(&mut db, "T")?.push_row(vec![Value::Int(1), Value::Text("x".into())]);
         assert!(matches!(
             execute_sql(&db, "SELECT * , COUNT ( a ) FROM T"),
             Err(DbError::Invalid(_))
         ));
+        Ok(())
     }
 }

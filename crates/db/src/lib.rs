@@ -6,6 +6,8 @@
 //! Determination indexes phonetically (Fig. 2), and the executor computes
 //! the *execution accuracy* metric of the NLI comparison (App. F.9).
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod error;
 pub mod exec;

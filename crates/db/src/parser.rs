@@ -343,27 +343,35 @@ fn operand_as_col(o: Operand, pos: usize) -> DbResult<ColRef> {
 mod tests {
     use super::*;
 
+    // Tests return DbResult and propagate with `?` instead of unwrapping:
+    // a failure reports the actual DbError, and the module stays L001-clean.
+
+    fn pred(q: Query) -> DbResult<Predicate> {
+        q.predicate
+            .ok_or_else(|| DbError::Invalid("expected a predicate".into()))
+    }
+
     #[test]
-    fn parses_table6_q1() {
-        let q = parse_query("SELECT AVG ( salary ) FROM Salaries").unwrap();
+    fn parses_table6_q1() -> DbResult<()> {
+        let q = parse_query("SELECT AVG ( salary ) FROM Salaries")?;
         assert_eq!(
             q.select,
             vec![SelectItem::Agg(AggFunc::Avg, ColRef::bare("salary"))]
         );
         assert_eq!(q.from.len(), 1);
         assert!(q.predicate.is_none());
+        Ok(())
     }
 
     #[test]
-    fn parses_table6_q4() {
+    fn parses_table6_q4() -> DbResult<()> {
         let q = parse_query(
             "SELECT FromDate FROM Employees natural join DepartmentManager \
              WHERE FirstName = 'Karsten' ORDER BY HireDate",
-        )
-        .unwrap();
+        )?;
         assert_eq!(q.from[1].join, JoinKind::Natural);
         assert_eq!(q.order_by, Some(ColRef::bare("HireDate")));
-        match q.predicate.unwrap() {
+        match pred(q)? {
             Predicate::Cmp {
                 rhs: Operand::Literal(Value::Text(s)),
                 ..
@@ -372,122 +380,122 @@ mod tests {
             }
             other => panic!("unexpected predicate {other:?}"),
         }
+        Ok(())
     }
 
     #[test]
-    fn parses_table6_q8_in_list() {
+    fn parses_table6_q8_in_list() -> DbResult<()> {
         let q = parse_query(
             "SELECT FromDate , salary , ToDate FROM Employees natural join Salaries \
              WHERE FirstName IN ( 'Tomokazu' , 'Goh' , 'Narain' , 'Perla' , 'Shimshon' )",
-        )
-        .unwrap();
+        )?;
         assert_eq!(q.select.len(), 3);
-        match q.predicate.unwrap() {
+        match pred(q)? {
             Predicate::In {
                 source: InSource::List(vals),
                 ..
             } => assert_eq!(vals.len(), 5),
             other => panic!("unexpected predicate {other:?}"),
         }
+        Ok(())
     }
 
     #[test]
-    fn parses_table6_q9_qualified_joins() {
+    fn parses_table6_q9_qualified_joins() -> DbResult<()> {
         let q = parse_query(
             "SELECT FirstName , AVG ( salary ) FROM Employees , Salaries , DepartmentManager \
              WHERE Employees . EmployeeNumber = Salaries . EmployeeNumber AND \
              Employees . EmployeeNumber = DepartmentManager . EmployeeNumber \
              GROUP BY Employees . FirstName",
-        )
-        .unwrap();
+        )?;
         assert_eq!(q.from.len(), 3);
         assert_eq!(
             q.group_by,
             Some(ColRef::qualified("Employees", "FirstName"))
         );
         assert!(matches!(q.predicate, Some(Predicate::And(_, _))));
+        Ok(())
     }
 
     #[test]
-    fn parses_table6_q10_or_chain_with_limit() {
+    fn parses_table6_q10_or_chain_with_limit() -> DbResult<()> {
         let q = parse_query(
             "SELECT * FROM Employees natural join Titles WHERE ToDate = '2001-10-09' \
              OR HireDate = '1996-05-10' OR title = 'Engineer' LIMIT 10",
-        )
-        .unwrap();
+        )?;
         assert_eq!(q.limit, Some(10));
         assert!(matches!(q.predicate, Some(Predicate::Or(_, _))));
         assert_eq!(q.select, vec![SelectItem::Star]);
+        Ok(())
     }
 
     #[test]
-    fn and_binds_tighter_than_or() {
-        let q = parse_query("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3").unwrap();
-        match q.predicate.unwrap() {
+    fn and_binds_tighter_than_or() -> DbResult<()> {
+        let q = parse_query("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")?;
+        match pred(q)? {
             Predicate::Or(lhs, rhs) => {
                 assert!(matches!(*lhs, Predicate::Cmp { .. }));
                 assert!(matches!(*rhs, Predicate::And(_, _)));
             }
             other => panic!("unexpected {other:?}"),
         }
+        Ok(())
     }
 
     #[test]
-    fn between_and_is_not_conjunction() {
-        let q = parse_query("SELECT a FROM t WHERE b BETWEEN 1 AND 5 AND c = 2").unwrap();
-        match q.predicate.unwrap() {
+    fn between_and_is_not_conjunction() -> DbResult<()> {
+        let q = parse_query("SELECT a FROM t WHERE b BETWEEN 1 AND 5 AND c = 2")?;
+        match pred(q)? {
             Predicate::And(lhs, _) => assert!(matches!(*lhs, Predicate::Between { .. })),
             other => panic!("unexpected {other:?}"),
         }
+        Ok(())
     }
 
     #[test]
-    fn not_between() {
-        let q = parse_query("SELECT a FROM t WHERE b NOT BETWEEN 1 AND 5").unwrap();
-        assert!(matches!(
-            q.predicate.unwrap(),
-            Predicate::Between { negated: true, .. }
-        ));
+    fn not_between() -> DbResult<()> {
+        let q = parse_query("SELECT a FROM t WHERE b NOT BETWEEN 1 AND 5")?;
+        assert!(matches!(pred(q)?, Predicate::Between { negated: true, .. }));
+        Ok(())
     }
 
     #[test]
-    fn nested_in_subquery() {
+    fn nested_in_subquery() -> DbResult<()> {
         let q = parse_query(
             "SELECT name FROM Employees WHERE EmployeeNumber IN \
              ( SELECT EmployeeNumber FROM Salaries WHERE Salary > 70000 )",
-        )
-        .unwrap();
+        )?;
         assert!(matches!(
-            q.predicate.unwrap(),
+            pred(q)?,
             Predicate::In {
                 source: InSource::Subquery(_),
                 ..
             }
         ));
+        Ok(())
     }
 
     #[test]
-    fn nested_scalar_subquery() {
+    fn nested_scalar_subquery() -> DbResult<()> {
         let q = parse_query(
             "SELECT name FROM Employees WHERE Salary = ( SELECT MAX ( Salary ) FROM Salaries )",
-        )
-        .unwrap();
+        )?;
         assert!(matches!(
-            q.predicate.unwrap(),
+            pred(q)?,
             Predicate::Cmp {
                 rhs: Operand::Subquery(_),
                 ..
             }
         ));
+        Ok(())
     }
 
     #[test]
     fn two_level_nesting_rejected() {
-        let err = parse_query(
+        let r = parse_query(
             "SELECT a FROM t WHERE x IN ( SELECT b FROM u WHERE y IN ( SELECT c FROM v ) )",
-        )
-        .unwrap_err();
-        assert!(matches!(err, DbError::Invalid(_)));
+        );
+        assert!(matches!(r, Err(DbError::Invalid(_))));
     }
 
     #[test]
@@ -500,7 +508,25 @@ mod tests {
     }
 
     #[test]
-    fn roundtrips_through_render() {
+    fn non_ascii_query_text_errors_instead_of_panicking() -> DbResult<()> {
+        // Regression: the SQL tokenizer indexed by byte offset and panicked
+        // on any multi-byte character before the parser ever saw it. Both
+        // inputs must now parse (or fail) gracefully.
+        let q = parse_query("SELECT a FROM t WHERE n = 'Zoë—Müller'")?;
+        assert!(matches!(
+            pred(q)?,
+            Predicate::Cmp {
+                rhs: Operand::Literal(Value::Text(_)),
+                ..
+            }
+        ));
+        let q = parse_query("SELECT naïve FROM t")?;
+        assert_eq!(q.select.len(), 1);
+        Ok(())
+    }
+
+    #[test]
+    fn roundtrips_through_render() -> DbResult<()> {
         let texts = [
             "SELECT AVG ( salary ) FROM Salaries",
             "SELECT * FROM Employees NATURAL JOIN Titles WHERE ToDate = '2001-10-09' OR title = 'Engineer' LIMIT 10",
@@ -509,10 +535,11 @@ mod tests {
             "SELECT a FROM t WHERE b IN ( 1 , 2 , 3 )",
         ];
         for text in texts {
-            let q = parse_query(text).unwrap();
+            let q = parse_query(text)?;
             assert_eq!(q.render(), text);
             // render -> parse -> render is a fixed point
-            assert_eq!(parse_query(&q.render()).unwrap(), q);
+            assert_eq!(parse_query(&q.render())?, q);
         }
+        Ok(())
     }
 }

@@ -13,6 +13,8 @@
 //!   [`levenshtein`], and [`char_lcs_distance`] for literal/phonetic
 //!   comparison.
 
+#![forbid(unsafe_code)]
+
 pub mod bounds;
 pub mod lcs;
 pub mod weights;

@@ -49,6 +49,30 @@ pub(crate) enum Nt {
     G,
 }
 
+impl Nt {
+    /// The Box 1 name of this nonterminal, for public introspection.
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            Nt::Q => "Q",
+            Nt::S => "S",
+            Nt::C => "C",
+            Nt::Item => "Item",
+            Nt::F => "F",
+            Nt::Cf => "CF",
+            Nt::W => "W",
+            Nt::Wd => "WD",
+            Nt::Exp => "EXP",
+            Nt::Opnd => "Opnd",
+            Nt::Wdd => "WDD",
+            Nt::Agg => "AGG",
+            Nt::Cs => "CS",
+            Nt::Cls => "CLS",
+            Nt::Tgt => "Tgt",
+            Nt::G => "G",
+        }
+    }
+}
+
 /// A grammar symbol: nonterminal or terminal predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Sym {
@@ -64,6 +88,19 @@ pub(crate) enum Sym {
 }
 
 impl Sym {
+    /// The public introspection view of this symbol.
+    pub(crate) fn public_sym(self) -> crate::introspect::GrammarSym {
+        use crate::introspect::GrammarSym;
+        match self {
+            Sym::N(nt) => GrammarSym::Nonterminal(nt.name()),
+            Sym::Var => GrammarSym::Var,
+            Sym::Kw(k) => GrammarSym::Keyword(k),
+            Sym::Sc(c) => GrammarSym::SplChar(c),
+            Sym::AggKw => GrammarSym::AnyAggregate,
+            Sym::CmpOp => GrammarSym::AnyComparison,
+        }
+    }
+
     pub(crate) fn matches(self, tok: StructTokId) -> bool {
         match (self, tok.tok()) {
             (Sym::Var, StructTok::Var) => true,

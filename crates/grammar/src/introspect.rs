@@ -1,0 +1,99 @@
+//! Public introspection of the Box 1 production rules.
+//!
+//! The Earley recognizer's internal production table ([`crate::earley`]) is
+//! the executable form of the paper's Box 1 grammar. Static analysis — the
+//! `speakql-analyze` grammar verifier — needs to walk those rules to prove
+//! reachability, productivity, and dictionary coverage *offline*, before a
+//! bad production can reach a user query. This module exposes a stable,
+//! public view of the rule table without leaking the recognizer's internal
+//! `Nt`/`Sym` types.
+
+use crate::earley;
+use crate::token::{Keyword, SplChar};
+
+/// The start symbol of the grammar (`Q` in Box 1).
+pub const START_SYMBOL: &str = "Q";
+
+/// A public view of one grammar symbol as it appears in a production body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrammarSym {
+    /// A nonterminal, named as in Box 1 (`S`, `F`, `WD`, ...).
+    Nonterminal(&'static str),
+    /// A literal placeholder (`L` in Box 1, `x` in rendered structures).
+    Var,
+    /// A fixed keyword terminal drawn from `KeywordDict`.
+    Keyword(Keyword),
+    /// A fixed special-character terminal drawn from `SplCharDict`.
+    SplChar(SplChar),
+    /// The aggregate keyword class (`SEL_OP` plus `COUNT`): matches any
+    /// keyword for which [`Keyword::is_aggregate`] holds.
+    AnyAggregate,
+    /// The comparison-operator class (`OP`): matches `=`, `<`, `>`.
+    AnyComparison,
+}
+
+/// One production rule: `head -> body`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProductionRule {
+    /// The nonterminal being defined, named as in Box 1.
+    pub head: &'static str,
+    /// The right-hand side, left to right.
+    pub body: Vec<GrammarSym>,
+}
+
+/// All production rules of the grammar, in the recognizer's order.
+///
+/// This is the same table [`crate::recognize`] runs on, so any property
+/// proved over these rules holds for the recognizer itself.
+pub fn production_rules() -> Vec<ProductionRule> {
+    earley::productions()
+        .iter()
+        .map(|(head, body)| ProductionRule {
+            head: head.name(),
+            body: body.iter().map(|s| s.public_sym()).collect(),
+        })
+        .collect()
+}
+
+/// The keywords matched by the [`GrammarSym::AnyAggregate`] terminal class.
+pub fn aggregate_keywords() -> Vec<Keyword> {
+    crate::token::ALL_KEYWORDS
+        .iter()
+        .copied()
+        .filter(|k| k.is_aggregate())
+        .collect()
+}
+
+/// The special characters matched by the [`GrammarSym::AnyComparison`]
+/// terminal class.
+pub fn comparison_splchars() -> Vec<SplChar> {
+    [SplChar::Eq, SplChar::Lt, SplChar::Gt].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_nonempty_and_start_defined() {
+        let rules = production_rules();
+        assert!(rules.len() >= 30);
+        assert!(rules.iter().any(|r| r.head == START_SYMBOL));
+    }
+
+    #[test]
+    fn every_body_symbol_is_well_formed() {
+        for rule in production_rules() {
+            assert!(!rule.body.is_empty(), "empty production for {}", rule.head);
+        }
+    }
+
+    #[test]
+    fn aggregate_class_matches_keyword_predicate() {
+        for k in aggregate_keywords() {
+            assert!(k.is_aggregate());
+        }
+        assert_eq!(aggregate_keywords().len(), 5);
+        assert_eq!(comparison_splchars().len(), 3);
+    }
+}

@@ -15,9 +15,12 @@
 //!   placeholder,
 //! - random structure sampling for dataset generation (§6.1).
 
+#![forbid(unsafe_code)]
+
 pub mod earley;
 pub mod error_parse;
 pub mod generator;
+pub mod introspect;
 pub mod masking;
 pub mod structure;
 pub mod token;
@@ -29,6 +32,7 @@ pub use generator::{
     generate_clause_structures, generate_structures, sample_structure, ClauseKind, GeneratorConfig,
     BOX1_GRAMMAR,
 };
+pub use introspect::{production_rules, GrammarSym, ProductionRule, START_SYMBOL};
 pub use masking::{
     handle_splchars, in_dictionaries, process_transcript, process_transcript_text, render_masked,
     ProcessedTranscript,

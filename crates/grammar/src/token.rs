@@ -182,6 +182,14 @@ impl SplChar {
         ALL_SPLCHARS.iter().copied().find(|c| c.as_str() == s)
     }
 
+    /// Parse a single character (all symbols are one ASCII char).
+    pub fn parse_char(ch: char) -> Option<SplChar> {
+        ALL_SPLCHARS
+            .iter()
+            .copied()
+            .find(|c| c.as_str().chars().eq(std::iter::once(ch)))
+    }
+
     /// Stable dense index in `0..8`, used for token interning.
     pub fn index(self) -> usize {
         ALL_SPLCHARS

@@ -16,11 +16,16 @@ use crate::token::{SplChar, Token};
 /// - case-insensitive keywords,
 /// - everything else as literals (identifiers, numbers, dates).
 pub fn tokenize_sql(text: &str) -> Vec<Token> {
+    // Iterate over char boundaries, never raw bytes: slicing at a byte
+    // offset inside a multi-byte character panics, and query text reaches
+    // this function unsanitized (user input, ASR output).
     let mut tokens = Vec::new();
-    let bytes = text.as_bytes();
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let end = text.len();
+    let offset_after = |i: usize| chars.get(i + 1).map_or(end, |&(o, _)| o);
     let mut i = 0usize;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
+    while i < chars.len() {
+        let (start, c) = chars[i];
         if c.is_whitespace() {
             i += 1;
             continue;
@@ -28,23 +33,25 @@ pub fn tokenize_sql(text: &str) -> Vec<Token> {
         if c == '\'' {
             // Quoted literal: scan to the closing quote (it may contain
             // spaces); unterminated quotes run to end of input.
-            let start = i;
             i += 1;
-            while i < bytes.len() && bytes[i] as char != '\'' {
+            while i < chars.len() && chars[i].1 != '\'' {
                 i += 1;
             }
-            if i < bytes.len() {
+            let stop = if i < chars.len() {
                 i += 1; // consume the closing quote
-            }
-            tokens.push(Token::Literal(text[start..i].to_string()));
+                offset_after(i - 1)
+            } else {
+                end
+            };
+            tokens.push(Token::Literal(text[start..stop].to_string()));
             continue;
         }
-        if let Some(sc) = SplChar::parse(&text[i..i + 1]) {
+        if let Some(sc) = SplChar::parse_char(c) {
             // `.` inside a number (e.g. 3.14) is part of the literal, not the
             // dot operator; detect digit.digit context.
             let prev_digit = matches!(tokens.last(), Some(Token::Literal(s))
                 if s.chars().all(|c| c.is_ascii_digit()) && !s.is_empty());
-            let next_digit = i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit();
+            let next_digit = i + 1 < chars.len() && chars[i + 1].1.is_ascii_digit();
             if sc == SplChar::Dot && prev_digit && next_digit {
                 // merge into the previous numeric literal
                 let mut num = match tokens.pop() {
@@ -53,8 +60,8 @@ pub fn tokenize_sql(text: &str) -> Vec<Token> {
                 };
                 num.push('.');
                 i += 1;
-                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
-                    num.push(bytes[i] as char);
+                while i < chars.len() && chars[i].1.is_ascii_digit() {
+                    num.push(chars[i].1);
                     i += 1;
                 }
                 tokens.push(Token::Literal(num));
@@ -65,23 +72,24 @@ pub fn tokenize_sql(text: &str) -> Vec<Token> {
             continue;
         }
         // word: letters, digits, '_', '-', and ':' (dates/times) run together
-        let start = i;
-        while i < bytes.len() {
-            let c = bytes[i] as char;
+        let word_start = i;
+        while i < chars.len() {
+            let c = chars[i].1;
             if c.is_alphanumeric() || c == '_' || c == '-' || c == ':' {
                 i += 1;
             } else {
                 break;
             }
         }
-        if start == i {
+        if word_start == i {
             // Unknown single character (not whitespace, splchar, or word
             // char): keep it as a literal so nothing is silently dropped.
-            tokens.push(Token::Literal(text[i..i + 1].to_string()));
+            tokens.push(Token::Literal(c.to_string()));
             i += 1;
             continue;
         }
-        tokens.push(Token::classify_word(&text[start..i]));
+        let stop = offset_after(i - 1);
+        tokens.push(Token::classify_word(&text[start..stop]));
     }
     tokens
 }
@@ -155,6 +163,22 @@ mod tests {
     fn empty_input() {
         assert!(tokenize_sql("").is_empty());
         assert!(tokenize_sql("   \n\t ").is_empty());
+    }
+
+    #[test]
+    fn non_ascii_input_does_not_panic() {
+        // Regression: the byte-indexed tokenizer panicked on any multi-byte
+        // character ("byte index is not a char boundary").
+        let toks = tokenize_sql("SELECT naïve FROM t");
+        assert_eq!(render_tokens(&toks), "SELECT naïve FROM t");
+        let toks = tokenize_sql("SELECT a FROM t WHERE n = 'Zoë—Müller'");
+        assert_eq!(toks.last().unwrap(), &Token::Literal("'Zoë—Müller'".into()));
+        // Lone multi-byte symbol outside any class is kept as a literal.
+        let toks = tokenize_sql("a … b");
+        assert_eq!(toks[1], Token::Literal("…".into()));
+        // Unterminated quote with multi-byte content runs to end of input.
+        let toks = tokenize_sql("WHERE x = 'héllo");
+        assert_eq!(toks.last().unwrap(), &Token::Literal("'héllo".into()));
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   branch pruning, **BDB** bidirectional bounds, and the opt-in **DAP**
 //!   and **INV** accuracy–latency tradeoffs.
 
+#![forbid(unsafe_code)]
+
 pub mod persist;
 pub mod search;
 pub mod trie;

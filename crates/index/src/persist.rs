@@ -29,6 +29,9 @@ pub enum PersistError {
     BadVersion(u16),
     /// Structurally invalid payload.
     Corrupt(&'static str),
+    /// The index cannot be represented in the format's length fields
+    /// (e.g. a structure longer than 255 tokens).
+    TooLarge(&'static str),
 }
 
 impl fmt::Display for PersistError {
@@ -38,6 +41,7 @@ impl fmt::Display for PersistError {
             PersistError::BadMagic => f.write_str("not a SpeakQL index file"),
             PersistError::BadVersion(v) => write!(f, "unsupported index version {v}"),
             PersistError::Corrupt(what) => write!(f, "corrupt index file: {what}"),
+            PersistError::TooLarge(what) => write!(f, "index not representable: {what}"),
         }
     }
 }
@@ -69,8 +73,17 @@ fn category_from(code: u8) -> Result<LitCategory, PersistError> {
     })
 }
 
+/// Checked narrowing for the format's one-byte length fields: a silent
+/// `as u8` here would truncate and corrupt the index at rest.
+fn len_u8(n: usize, what: &'static str) -> Result<u8, PersistError> {
+    u8::try_from(n).map_err(|_| PersistError::TooLarge(what))
+}
+
 /// Serialize the index's structure arena and weights.
-pub fn to_bytes(index: &StructureIndex) -> Bytes {
+///
+/// Fails with [`PersistError::TooLarge`] if any length exceeds the format's
+/// fixed-width fields instead of silently truncating.
+pub fn to_bytes(index: &StructureIndex) -> Result<Bytes, PersistError> {
     let structures = index.structures();
     let mut buf = BytesMut::with_capacity(16 + structures.len() * 24);
     buf.put_slice(MAGIC);
@@ -79,19 +92,24 @@ pub fn to_bytes(index: &StructureIndex) -> Bytes {
     buf.put_u32(w.keyword);
     buf.put_u32(w.splchar);
     buf.put_u32(w.literal);
-    buf.put_u32(structures.len() as u32);
+    let count = u32::try_from(structures.len())
+        .map_err(|_| PersistError::TooLarge("more than u32::MAX structures"))?;
+    buf.put_u32(count);
     for s in structures {
-        buf.put_u8(s.tokens.len() as u8);
+        buf.put_u8(len_u8(s.tokens.len(), "structure longer than 255 tokens")?);
         for t in &s.tokens {
             buf.put_u8(t.0);
         }
-        buf.put_u8(s.placeholders.len() as u8);
+        buf.put_u8(len_u8(
+            s.placeholders.len(),
+            "structure with more than 255 placeholders",
+        )?);
         for p in &s.placeholders {
             buf.put_u8(category_code(p.category));
             buf.put_u16(p.governor.unwrap_or(GOVERNOR_NONE));
         }
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Deserialize and rebuild an index.
@@ -173,7 +191,7 @@ pub fn from_bytes(mut data: &[u8]) -> Result<StructureIndex, PersistError> {
 
 /// Save to a file.
 pub fn save_to_path(index: &StructureIndex, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    fs::write(path, to_bytes(index))?;
+    fs::write(path, to_bytes(index)?)?;
     Ok(())
 }
 
@@ -200,9 +218,9 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_preserves_search_behaviour() {
+    fn roundtrip_preserves_search_behaviour() -> Result<(), PersistError> {
         let index = small_index();
-        let restored = from_bytes(&to_bytes(&index)).expect("roundtrip");
+        let restored = from_bytes(&to_bytes(&index)?)?;
         assert_eq!(restored.len(), index.len());
         assert_eq!(restored.weights(), index.weights());
         let p = process_transcript_text("select sales from employers wear name equals jon");
@@ -216,35 +234,38 @@ mod tests {
                 restored.search(&p.masked, &cfg)
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn file_roundtrip() {
+    fn file_roundtrip() -> Result<(), PersistError> {
         let index = small_index();
         let dir = std::env::temp_dir().join("speakql-index-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("test.sqlx");
-        save_to_path(&index, &path).expect("save");
-        let restored = load_from_path(&path).expect("load");
+        save_to_path(&index, &path)?;
+        let restored = load_from_path(&path)?;
         assert_eq!(restored.len(), index.len());
         std::fs::remove_file(path).ok();
+        Ok(())
     }
 
     #[test]
-    fn rejects_garbage() {
+    fn rejects_garbage() -> Result<(), PersistError> {
         assert!(matches!(from_bytes(b"nope"), Err(PersistError::BadMagic)));
         assert!(matches!(from_bytes(b""), Err(PersistError::BadMagic)));
-        let mut bad_version = to_bytes(&small_index()).to_vec();
+        let mut bad_version = to_bytes(&small_index())?.to_vec();
         bad_version[5] = 99;
         assert!(matches!(
             from_bytes(&bad_version),
             Err(PersistError::BadVersion(_))
         ));
+        Ok(())
     }
 
     #[test]
-    fn rejects_truncation_and_trailing() {
-        let good = to_bytes(&small_index()).to_vec();
+    fn rejects_truncation_and_trailing() -> Result<(), PersistError> {
+        let good = to_bytes(&small_index())?.to_vec();
         let truncated = &good[..good.len() / 2];
         assert!(from_bytes(truncated).is_err());
         let mut trailing = good.clone();
@@ -253,17 +274,19 @@ mod tests {
             from_bytes(&trailing),
             Err(PersistError::Corrupt(_))
         ));
+        Ok(())
     }
 
     #[test]
-    fn compactness() {
+    fn compactness() -> Result<(), PersistError> {
         let index = small_index();
-        let bytes = to_bytes(&index);
+        let bytes = to_bytes(&index)?;
         // ~20 bytes per structure on average for the small grammar.
         assert!(
             bytes.len() < index.len() * 40,
             "format too fat: {} bytes",
             bytes.len()
         );
+        Ok(())
     }
 }

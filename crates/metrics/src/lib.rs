@@ -5,6 +5,8 @@
 //! empirical CDFs, summary statistics, and the Wilcoxon signed-rank test
 //! used for the user-study hypothesis tests.
 
+#![forbid(unsafe_code)]
+
 pub mod accuracy;
 pub mod cdf;
 

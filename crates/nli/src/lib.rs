@@ -7,6 +7,8 @@
 //! paths share the same simulated ASR channel as SpeakQL. See DESIGN.md §5
 //! for the substitution rationale.
 
+#![forbid(unsafe_code)]
+
 pub mod matchers;
 pub mod nalir;
 pub mod score;

@@ -30,6 +30,8 @@
 //! assert_eq!(off.report().counter(CounterId::SearchNodesVisited), 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod hist;
 pub mod recorder;
 pub mod report;

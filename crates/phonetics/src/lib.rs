@@ -5,6 +5,8 @@
 //! example in the paper — and a deterministic phonetic index over database
 //! literals.
 
+#![forbid(unsafe_code)]
+
 pub mod index;
 pub mod metaphone;
 pub mod nysiis;

@@ -6,6 +6,8 @@
 //! over the Table 6 query set. See DESIGN.md §5 for the human-subject
 //! substitution rationale.
 
+#![forbid(unsafe_code)]
+
 pub mod interface;
 pub mod participant;
 pub mod session;

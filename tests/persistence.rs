@@ -60,7 +60,7 @@ fn persisted_file_size_is_compact() {
         ..GeneratorConfig::small()
     };
     let index = StructureIndex::from_grammar(&cfg, Weights::PAPER);
-    let bytes = speakql_index::to_bytes(&index);
+    let bytes = speakql_index::to_bytes(&index).expect("serialize");
     // Roughly 20-30 bytes per structure; certainly under 64.
     assert!(
         bytes.len() < 5_000 * 64,
@@ -128,7 +128,7 @@ proptest! {
             .filter(|s| seen.insert(s.tokens.clone()))
             .collect();
         let index = StructureIndex::build(structures, weights);
-        let bytes = to_bytes(&index);
+        let bytes = to_bytes(&index).expect("serialize");
         let restored = from_bytes(&bytes).expect("roundtrip");
         prop_assert_eq!(restored.structures(), index.structures());
         prop_assert_eq!(restored.weights(), index.weights());
@@ -144,7 +144,7 @@ proptest! {
         xor in 1u8..=255,
     ) {
         let index = StructureIndex::build(structures, Weights::PAPER);
-        let mut bytes = to_bytes(&index).to_vec();
+        let mut bytes = to_bytes(&index).expect("serialize").to_vec();
         let pos = (pos_seed % bytes.len() as u64) as usize;
         bytes[pos] ^= xor;
         let _ = from_bytes(&bytes);
@@ -160,7 +160,7 @@ fn corrupted_header_reports_each_error_path() {
         }],
         Weights::PAPER,
     );
-    let good = to_bytes(&index).to_vec();
+    let good = to_bytes(&index).expect("serialize").to_vec();
 
     // Magic torn up -> BadMagic.
     let mut bad_magic = good.clone();
