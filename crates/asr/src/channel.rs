@@ -128,6 +128,7 @@ pub struct Vocabulary {
 }
 
 impl Vocabulary {
+    /// A vocabulary with no known literals or words (an untrained model).
     pub fn empty() -> Vocabulary {
         Vocabulary::default()
     }
@@ -145,6 +146,8 @@ impl Vocabulary {
         v
     }
 
+    /// Add one canonical literal, registering its spoken form and each of
+    /// its constituent words.
     pub fn insert(&mut self, literal: &str) {
         let words = crate::speak::identifier_words(literal);
         for w in &words {
@@ -153,18 +156,23 @@ impl Vocabulary {
         self.literals.insert(words.join(" "), literal.to_string());
     }
 
+    /// True when `word` (case-insensitively) is part of any known literal.
     pub fn contains_word(&self, word: &str) -> bool {
         self.words.contains(&word.to_lowercase())
     }
 
+    /// The canonical literal for a spoken form (lower-case words joined by
+    /// spaces), if the model was trained on it.
     pub fn canonical_of(&self, spoken: &str) -> Option<&String> {
         self.literals.get(spoken)
     }
 
+    /// Number of known literals.
     pub fn len(&self) -> usize {
         self.literals.len()
     }
 
+    /// True when no literals are known.
     pub fn is_empty(&self) -> bool {
         self.literals.is_empty()
     }
@@ -195,14 +203,17 @@ pub struct ChannelTrace {
 }
 
 impl ChannelTrace {
+    /// Record one realized channel event.
     pub fn record(&mut self, e: ChannelEvent) {
         *self.counts.entry(e).or_insert(0) += 1;
     }
 
+    /// How many times `e` was recorded.
     pub fn count(&self, e: ChannelEvent) -> u64 {
         self.counts.get(&e).copied().unwrap_or(0)
     }
 
+    /// Accumulate another trace's tallies into this one.
     pub fn merge(&mut self, other: &ChannelTrace) {
         for (e, c) in &other.counts {
             *self.counts.entry(*e).or_insert(0) += c;
@@ -229,6 +240,7 @@ pub struct AsrEngine {
 }
 
 impl AsrEngine {
+    /// An engine with the given error profile and trained vocabulary.
     pub fn new(profile: AsrProfile, vocab: Vocabulary) -> AsrEngine {
         AsrEngine { profile, vocab }
     }

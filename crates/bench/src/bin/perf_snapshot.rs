@@ -13,21 +13,32 @@
 //!                                         counters must match exactly, wall-clock may
 //!                                         not regress more than +30%; exits 1 with a
 //!                                         diff table on regression
+//! perf_snapshot --zipf [--out FILE]       replay a Zipfian repeated-query workload
+//!                                         twice over one shared index — skeleton
+//!                                         cache off, then on — and gate on the
+//!                                         deterministic cache invariants: identical
+//!                                         outputs (no stale hits), hit rate above
+//!                                         the floor, and fewer DP cells with the
+//!                                         cache warm
 //! ```
 //!
 //! Counter totals are exact because every seed is pinned and both the trie
 //! search and the batch queue run on one thread; wall-clock is the only
 //! machine-dependent field, so the check gives it a ±30% band while holding
-//! every counter to equality.
+//! every counter to equality. The Zipfian mode gates only on counters and
+//! output equality for the same reason — its wall-clock improvement is
+//! reported but never failed on.
 
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde_json::{json, Map, Value};
 use speakql_asr::{AsrEngine, AsrProfile};
-use speakql_core::{SpeakQl, SpeakQlConfig};
+use speakql_core::{CounterId, PipelineReport, SpanId, SpeakQl, SpeakQlConfig};
 use speakql_data::{employees_db, generate_cases, training_vocabulary};
 use speakql_grammar::GeneratorConfig;
+use speakql_index::StructureIndex;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Structure-space cap: large enough that trie search dominates.
@@ -38,14 +49,51 @@ const NUM_TRANSCRIPTS: usize = 200;
 const CASE_SEED: u64 = 0xBE9C;
 /// Wall-clock regression tolerance (fraction of baseline).
 const WALL_CLOCK_TOLERANCE: f64 = 0.30;
+/// Distinct transcripts in the Zipfian workload.
+const ZIPF_DISTINCT: usize = 40;
+/// Total draws replayed from the Zipfian rank distribution.
+const ZIPF_DRAWS: usize = 400;
+/// Zipf exponent (1.0 = classic rank-inverse popularity).
+const ZIPF_EXPONENT: f64 = 1.0;
+/// Seed for the Zipfian rank draws.
+const ZIPF_SEED: u64 = 0x21F5;
+/// Skeleton-cache capacity for the warm engine (large enough that the
+/// workload's distinct skeletons never evict each other).
+const ZIPF_CACHE_CAPACITY: usize = 256;
+/// Minimum acceptable skeleton-cache hit rate over the Zipfian replay.
+const ZIPF_MIN_HIT_RATE: f64 = 0.5;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let zipf = args.iter().any(|a| a == "--zipf");
+    let args: Vec<String> = args.into_iter().filter(|a| a != "--zipf").collect();
     let (args, out) = take_flag(&args, "--out");
     let (args, check) = take_flag(&args, "--check");
-    if !args.is_empty() {
-        eprintln!("usage: perf_snapshot [--out FILE] [--check BASELINE.json]");
+    if !args.is_empty() || (zipf && check.is_some()) {
+        eprintln!("usage: perf_snapshot [--out FILE] [--check BASELINE.json | --zipf]");
         return ExitCode::from(2);
+    }
+    if zipf {
+        let out = out.unwrap_or_else(|| format!("ZIPF_{}.json", today_utc()));
+        let (snapshot, pass) = run_zipf_workload();
+        match serde_json::to_string_pretty(&snapshot) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&out, text) {
+                    eprintln!("error writing {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[perf_snapshot] wrote {out}");
+            }
+            Err(e) => {
+                eprintln!("error serializing snapshot: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return if pass {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     let out = out.unwrap_or_else(|| format!("BENCH_{}.json", today_utc()));
 
@@ -160,6 +208,194 @@ fn run_workload() -> Value {
         "wall_clock_ms": wall_clock_ms,
         "counters": Value::Object(counters),
         "stages": Value::Object(stages),
+    })
+}
+
+/// Replay the Zipfian repeated-query workload through a cache-off and a
+/// cache-on engine sharing one structure index, and gate on the cache's
+/// deterministic invariants. Returns the snapshot and whether every gate
+/// passed.
+fn run_zipf_workload() -> (Value, bool) {
+    eprintln!("[perf_snapshot] building shared {MAX_STRUCTURES}-structure index ...");
+    let gen_cfg = GeneratorConfig {
+        max_structures: Some(MAX_STRUCTURES),
+        ..GeneratorConfig::paper()
+    };
+    let base_cfg = SpeakQlConfig {
+        generator: gen_cfg,
+        ..SpeakQlConfig::paper()
+    }
+    .with_threads(1)
+    .with_observability(true);
+    let db = employees_db();
+    let index = Arc::new(StructureIndex::from_grammar(
+        &base_cfg.generator,
+        base_cfg.weights,
+    ));
+    let cold = SpeakQl::with_index(&db, index.clone(), base_cfg.clone());
+    let warm = SpeakQl::with_index(
+        &db,
+        index,
+        base_cfg.with_cache_capacity(ZIPF_CACHE_CAPACITY),
+    );
+
+    eprintln!(
+        "[perf_snapshot] sampling {ZIPF_DRAWS} draws over {ZIPF_DISTINCT} distinct transcripts ..."
+    );
+    let cases = generate_cases(&db, &GeneratorConfig::small(), ZIPF_DISTINCT, CASE_SEED);
+    let asr = AsrEngine::new(AsrProfile::acs_trained(), training_vocabulary(&db, &cases));
+    let transcripts: Vec<String> = cases
+        .iter()
+        .map(|c| {
+            let mut rng = ChaCha8Rng::seed_from_u64(c.id as u64);
+            asr.transcribe_sql(&c.sql, &mut rng)
+        })
+        .collect();
+    // Inverse-CDF sampling over the Zipf rank weights 1/r^s, pinned seed.
+    let cumulative: Vec<f64> = transcripts
+        .iter()
+        .enumerate()
+        .scan(0.0, |acc, (r, _)| {
+            *acc += 1.0 / ((r + 1) as f64).powf(ZIPF_EXPONENT);
+            Some(*acc)
+        })
+        .collect();
+    let total = cumulative.last().copied().unwrap_or(1.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(ZIPF_SEED);
+    let workload: Vec<&str> = (0..ZIPF_DRAWS)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..total);
+            let rank = cumulative.partition_point(|&c| c <= u);
+            transcripts[rank.min(ZIPF_DISTINCT - 1)].as_str()
+        })
+        .collect();
+
+    eprintln!("[perf_snapshot] replaying with cache off ...");
+    let t0 = Instant::now();
+    let cold_results = cold.transcribe_batch(&workload);
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!("[perf_snapshot] replaying with cache on ({ZIPF_CACHE_CAPACITY} entries) ...");
+    let t1 = Instant::now();
+    let warm_results = warm.transcribe_batch(&workload);
+    let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let cold_report = cold.report();
+    let warm_report = warm.report();
+
+    // Gate 1 — stale-hit check: every cached transcription must be
+    // byte-identical to its uncached twin.
+    let mismatches = cold_results
+        .iter()
+        .zip(&warm_results)
+        .filter(|(c, w)| c.candidates != w.candidates)
+        .count();
+    // Gate 2 — the cache must actually be exercised: hits above the floor.
+    let hits = warm_report.counter(CounterId::CacheSkeletonHits);
+    let misses = warm_report.counter(CounterId::CacheSkeletonMisses);
+    let lookups = hits + misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    };
+    // Gate 3 — hits must translate into skipped search work.
+    let cold_cells = cold_report.counter(CounterId::EditDistCells);
+    let warm_cells = warm_report.counter(CounterId::EditDistCells);
+
+    let cold_hot_us = hot_path_micros(&cold_report);
+    let warm_hot_us = hot_path_micros(&warm_report);
+    let hot_improvement = if cold_hot_us > 0 {
+        1.0 - warm_hot_us as f64 / cold_hot_us as f64
+    } else {
+        0.0
+    };
+
+    eprintln!(
+        "[perf_snapshot] zipf: hit rate {:.1}% ({hits}/{lookups}), \
+         cells {cold_cells} -> {warm_cells}, \
+         search+literal {:.1} ms -> {:.1} ms ({:+.1}%), \
+         wall {cold_ms:.1} ms -> {warm_ms:.1} ms",
+        hit_rate * 100.0,
+        cold_hot_us as f64 / 1e3,
+        warm_hot_us as f64 / 1e3,
+        -hot_improvement * 100.0,
+    );
+
+    let mut pass = true;
+    if mismatches > 0 {
+        eprintln!(
+            "[perf_snapshot] FAIL: {mismatches}/{ZIPF_DRAWS} cached transcriptions \
+             differ from the uncached run (stale or corrupt cache hits)"
+        );
+        pass = false;
+    }
+    if hits == 0 || hit_rate < ZIPF_MIN_HIT_RATE {
+        eprintln!(
+            "[perf_snapshot] FAIL: skeleton-cache hit rate {:.1}% below the \
+             {:.0}% floor (cache not being exercised)",
+            hit_rate * 100.0,
+            ZIPF_MIN_HIT_RATE * 100.0
+        );
+        pass = false;
+    }
+    if warm_cells >= cold_cells {
+        eprintln!(
+            "[perf_snapshot] FAIL: warm run evaluated {warm_cells} DP cells, \
+             not fewer than the cold run's {cold_cells}"
+        );
+        pass = false;
+    }
+    if pass {
+        eprintln!(
+            "[perf_snapshot] PASS: outputs identical, hit rate and cell savings above floor."
+        );
+    }
+
+    let snapshot = json!({
+        "schema": "speakql-zipf-snapshot/v1",
+        "workload": {
+            "max_structures": MAX_STRUCTURES,
+            "distinct_transcripts": ZIPF_DISTINCT,
+            "draws": ZIPF_DRAWS,
+            "exponent": ZIPF_EXPONENT,
+            "case_seed": CASE_SEED,
+            "zipf_seed": ZIPF_SEED,
+            "cache_capacity": ZIPF_CACHE_CAPACITY,
+            "threads": 1,
+        },
+        "gates": {
+            "output_mismatches": mismatches,
+            "hit_rate": hit_rate,
+            "min_hit_rate": ZIPF_MIN_HIT_RATE,
+            "pass": pass,
+        },
+        "cold": zipf_run_json(&cold_report, cold_ms, cold_hot_us),
+        "warm": zipf_run_json(&warm_report, warm_ms, warm_hot_us),
+        "hot_path_improvement": hot_improvement,
+    });
+    (snapshot, pass)
+}
+
+/// Total microseconds spent in the cache-bypassable hot path: structure
+/// search plus literal determination.
+fn hot_path_micros(report: &PipelineReport) -> u64 {
+    [SpanId::Search, SpanId::Literal]
+        .iter()
+        .filter_map(|&id| report.stage(id))
+        .map(|s| s.sum_micros)
+        .sum()
+}
+
+/// Counters and timings of one Zipfian run as JSON.
+fn zipf_run_json(report: &PipelineReport, wall_ms: f64, hot_us: u64) -> Value {
+    let mut counters = Map::new();
+    for c in &report.counters {
+        counters.insert(c.name.to_string(), json!(c.total));
+    }
+    json!({
+        "wall_clock_ms": wall_ms,
+        "search_plus_literal_micros": hot_us,
+        "counters": Value::Object(counters),
     })
 }
 

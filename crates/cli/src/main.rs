@@ -25,12 +25,15 @@ const USAGE: &str = "\
 speakql — speech-driven SQL correction (SpeakQL-rs)
 
 USAGE:
-  speakql transcribe <transcript...> [--threads N] [--report FILE]
+  speakql transcribe <transcript...> [--threads N] [--cache N] [--report FILE]
                                             correct an ASR transcript and execute it
-  speakql transcribe --batch <file> [--threads N] [--report FILE]
+  speakql transcribe --batch <file> [--threads N] [--cache N] [--report FILE]
                                             correct one transcript per line of <file>
                                             on N worker threads (0 = all cores);
                                             emits TSV of (transcript, corrected SQL).
+                                            --cache N enables the cross-query
+                                            skeleton-result cache with N entries
+                                            (0 = off, the default).
                                             --report writes a JSON pipeline
                                             observability report (stage latency
                                             percentiles + work counters) to FILE
@@ -97,10 +100,10 @@ fn take_flag(args: &[String], flag: &str) -> (Vec<String>, Option<String>) {
 }
 
 fn engine() -> SpeakQl {
-    engine_with(1, false)
+    engine_with(1, false, 0)
 }
 
-fn engine_with(threads: usize, observe: bool) -> SpeakQl {
+fn engine_with(threads: usize, observe: bool, cache: usize) -> SpeakQl {
     let db = employees_db();
     eprintln!("[speakql] building engine ...");
     SpeakQl::new(
@@ -110,7 +113,8 @@ fn engine_with(threads: usize, observe: bool) -> SpeakQl {
             ..SpeakQlConfig::paper()
         }
         .with_threads(threads)
-        .with_observability(observe),
+        .with_observability(observe)
+        .with_cache_capacity(cache),
     )
 }
 
@@ -158,19 +162,21 @@ fn show_result(result: &speakql_core::Transcription) -> ExitCode {
 fn cmd_transcribe(args: &[String]) -> ExitCode {
     let (rest, threads) = take_flag(args, "--threads");
     let (rest, batch) = take_flag(&rest, "--batch");
+    let (rest, cache) = take_flag(&rest, "--cache");
     let (rest, report) = take_flag(&rest, "--report");
     let threads: usize = threads.and_then(|s| s.parse().ok()).unwrap_or(1);
+    let cache: usize = cache.and_then(|s| s.parse().ok()).unwrap_or(0);
     if let Some(path) = batch {
-        return cmd_transcribe_batch(&path, threads, report.as_deref());
+        return cmd_transcribe_batch(&path, threads, cache, report.as_deref());
     }
     if rest.is_empty() {
         eprintln!(
-            "usage: speakql transcribe <transcript...> [--threads N] [--batch <file>] [--report FILE]"
+            "usage: speakql transcribe <transcript...> [--threads N] [--cache N] [--batch <file>] [--report FILE]"
         );
         return ExitCode::from(2);
     }
     let transcript = rest.join(" ");
-    let engine = engine_with(threads, report.is_some());
+    let engine = engine_with(threads, report.is_some(), cache);
     let result = engine.transcribe(&transcript);
     println!("heard     : {transcript}");
     let code = show_result(&result);
@@ -184,7 +190,12 @@ fn cmd_transcribe(args: &[String]) -> ExitCode {
 
 /// Batch mode: one transcript per line, corrected on the engine's worker
 /// pool, output order matching input order.
-fn cmd_transcribe_batch(path: &str, threads: usize, report: Option<&str>) -> ExitCode {
+fn cmd_transcribe_batch(
+    path: &str,
+    threads: usize,
+    cache: usize,
+    report: Option<&str>,
+) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -201,7 +212,7 @@ fn cmd_transcribe_batch(path: &str, threads: usize, report: Option<&str>) -> Exi
         eprintln!("no transcripts in {path}");
         return ExitCode::FAILURE;
     }
-    let engine = engine_with(threads, report.is_some());
+    let engine = engine_with(threads, report.is_some(), cache);
     let start = std::time::Instant::now();
     let results = engine.transcribe_batch(&lines);
     let elapsed = start.elapsed();

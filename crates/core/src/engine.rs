@@ -4,8 +4,9 @@
 //! literal determination → ranked SQL candidates`, with clause-level
 //! transcription (§5) and the one-level nested-query heuristic (App. F.8).
 
+use crate::cache::SkeletonCache;
 use crate::catalog::PhoneticCatalog;
-use crate::literal::{FilledLiteral, LiteralConfig, LiteralFinder};
+use crate::literal::{FilledLiteral, LiteralConfig, LiteralFinder, WindowEncodings};
 use parking_lot::Mutex;
 use speakql_db::Database;
 use speakql_editdist::{Dist, Weights};
@@ -42,6 +43,13 @@ pub struct SpeakQlConfig {
     /// [`SpeakQl::report`]. `false` (the default) makes every metric hook a
     /// no-op; the transcriptions produced are identical either way.
     pub observe: bool,
+    /// Capacity (in entries) of the cross-query [`SkeletonCache`] memoizing
+    /// structure-search results by masked skeleton. `0` (the default)
+    /// disables caching entirely — every search walks the index, exactly as
+    /// before the cache existed. The cache is shared by [`SpeakQl::transcribe`]
+    /// and [`SpeakQl::transcribe_batch`]; clause-level transcription never
+    /// consults it (clause indexes hold different structure arenas).
+    pub cache_capacity: usize,
 }
 
 impl SpeakQlConfig {
@@ -58,6 +66,7 @@ impl SpeakQlConfig {
             literal: LiteralConfig::default(),
             threads: 1,
             observe: false,
+            cache_capacity: 0,
         }
     }
 
@@ -86,6 +95,13 @@ impl SpeakQlConfig {
     /// This configuration with metric recording switched on or off.
     pub fn with_observability(mut self, observe: bool) -> SpeakQlConfig {
         self.observe = observe;
+        self
+    }
+
+    /// This configuration with a skeleton-result cache of `capacity` entries
+    /// (`0` disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> SpeakQlConfig {
+        self.cache_capacity = capacity;
         self
     }
 
@@ -187,6 +203,12 @@ pub struct SpeakQl {
     clause_indexes: Mutex<HashMap<ClauseKind, Arc<StructureIndex>>>,
     /// Pipeline metric registry; a no-op unless [`SpeakQlConfig::observe`].
     recorder: Recorder,
+    /// Cross-query skeleton-result cache; `None` unless
+    /// [`SpeakQlConfig::cache_capacity`] is non-zero. Only ever consulted for
+    /// searches against the main index — clause indexes hold different
+    /// structure arenas, so their hits must never share keys with the main
+    /// index's.
+    skeleton_cache: Option<SkeletonCache>,
 }
 
 impl SpeakQl {
@@ -208,6 +230,8 @@ impl SpeakQl {
             index,
             catalog: PhoneticCatalog::build(db),
             recorder: Recorder::new(config.observe),
+            skeleton_cache: (config.cache_capacity > 0)
+                .then(|| SkeletonCache::new(config.cache_capacity)),
             config,
             clause_indexes: Mutex::new(HashMap::new()),
         }
@@ -229,6 +253,12 @@ impl SpeakQl {
     /// [`SpeakQlConfig::observe`] was set).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// The engine's skeleton-result cache, or `None` when
+    /// [`SpeakQlConfig::cache_capacity`] is `0`.
+    pub fn skeleton_cache(&self) -> Option<&SkeletonCache> {
+        self.skeleton_cache.as_ref()
     }
 
     /// Snapshot every pipeline counter and stage-latency histogram recorded
@@ -313,7 +343,13 @@ impl SpeakQl {
             self.recorder.incr(CounterId::NestedSplits);
             result
         } else {
-            let mut t = self.transcribe_words(&words, &self.index, start, batch_worker);
+            let mut t = self.transcribe_words(
+                &words,
+                &self.index,
+                self.skeleton_cache.as_ref(),
+                start,
+                batch_worker,
+            );
             t.transcript = transcript.to_string();
             t
         };
@@ -328,7 +364,7 @@ impl SpeakQl {
         let start = Instant::now();
         let index = self.clause_index(clause);
         let words = tokenize_transcript(transcript);
-        let mut t = self.transcribe_words(&words, &index, start, false);
+        let mut t = self.transcribe_words(&words, &index, None, start, false);
         t.transcript = transcript.to_string();
         self.recorder.incr(CounterId::Transcriptions);
         self.recorder.record_duration(SpanId::Transcribe, t.elapsed);
@@ -345,11 +381,15 @@ impl SpeakQl {
             .clone()
     }
 
-    /// Core pipeline over pre-tokenized transcript words.
+    /// Core pipeline over pre-tokenized transcript words. `cache` is the
+    /// skeleton-result cache to consult for the structure search, or `None`
+    /// when the results would not be reusable (clause-level indexes, or
+    /// caching disabled).
     fn transcribe_words(
         &self,
         words: &[String],
         index: &StructureIndex,
+        cache: Option<&SkeletonCache>,
         start: Instant,
         batch_worker: bool,
     ) -> Transcription {
@@ -365,7 +405,18 @@ impl SpeakQl {
             self.config.search
         };
         let t1 = Instant::now();
-        let (hits, _) = index.search_observed(&processed.masked, &search_cfg, &self.recorder);
+        let cached = cache.and_then(|c| c.get(&search_cfg, &processed.masked, &self.recorder));
+        let hits = match cached {
+            Some(hits) => hits,
+            None => {
+                let (hits, _) =
+                    index.search_observed(&processed.masked, &search_cfg, &self.recorder);
+                if let Some(c) = cache {
+                    c.insert(&search_cfg, &processed.masked, hits.clone(), &self.recorder);
+                }
+                hits
+            }
+        };
         stages.search = t1.elapsed();
 
         let intra = if batch_worker {
@@ -373,6 +424,10 @@ impl SpeakQl {
         } else {
             self.config.effective_threads()
         };
+        // One window-encoding memo per transcription: the top-k candidates
+        // repeatedly enumerate the same transcript windows, and the memo is
+        // shared across candidate-construction workers.
+        let encodings = WindowEncodings::new();
         let candidates = if intra > 1 && hits.len() > 1 {
             // Each hit's literal determination + rendering is independent;
             // build candidates on scoped workers, one chunk per worker, and
@@ -386,7 +441,9 @@ impl SpeakQl {
                             let mut st = StageTimings::default();
                             let cs = hs
                                 .iter()
-                                .map(|&h| self.build_candidate(index, &processed, h, &mut st))
+                                .map(|&h| {
+                                    self.build_candidate(index, &processed, &encodings, h, &mut st)
+                                })
                                 .collect();
                             (cs, st)
                         })
@@ -406,7 +463,7 @@ impl SpeakQl {
             cs
         } else {
             hits.into_iter()
-                .map(|hit| self.build_candidate(index, &processed, hit, &mut stages))
+                .map(|hit| self.build_candidate(index, &processed, &encodings, hit, &mut stages))
                 .collect()
         };
 
@@ -434,11 +491,13 @@ impl SpeakQl {
         &self,
         index: &StructureIndex,
         processed: &ProcessedTranscript,
+        encodings: &WindowEncodings,
         hit: SearchHit,
         stages: &mut StageTimings,
     ) -> Candidate {
         let finder = LiteralFinder::new(&self.catalog, self.config.literal)
-            .with_recorder(self.recorder.clone());
+            .with_recorder(self.recorder.clone())
+            .with_encodings(encodings);
         let structure = index.structure(hit.structure).clone();
         let t0 = Instant::now();
         let literals = finder.fill_aligned(
@@ -519,8 +578,21 @@ impl SpeakQl {
         outer_words.push(SENTINEL.to_string());
         outer_words.push(")".to_string());
 
-        let inner = self.transcribe_words(&inner_words, &self.index, Instant::now(), batch_worker);
-        let outer = self.transcribe_words(&outer_words, &self.index, Instant::now(), batch_worker);
+        let cache = self.skeleton_cache.as_ref();
+        let inner = self.transcribe_words(
+            &inner_words,
+            &self.index,
+            cache,
+            Instant::now(),
+            batch_worker,
+        );
+        let outer = self.transcribe_words(
+            &outer_words,
+            &self.index,
+            cache,
+            Instant::now(),
+            batch_worker,
+        );
         let inner_sql = inner.best_sql()?.to_string();
 
         // Splice: in each outer candidate, the placeholder whose window

@@ -16,17 +16,19 @@
 #![forbid(unsafe_code)]
 
 pub mod align;
+pub mod cache;
 pub mod catalog;
 pub mod engine;
 pub mod literal;
 pub mod streaming;
 
 pub use align::align_vars;
+pub use cache::SkeletonCache;
 pub use catalog::PhoneticCatalog;
 pub use engine::{Candidate, SpeakQl, SpeakQlConfig, StageTimings, Transcription};
 pub use literal::{
     enumerate_strings, enumerate_strings_with, parse_number_words, FilledLiteral, LiteralConfig,
-    LiteralFinder,
+    LiteralFinder, WindowEncodings,
 };
 pub use streaming::StreamingTranscriber;
 // Re-exported so downstream crates can drive observability without a direct

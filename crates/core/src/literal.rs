@@ -13,10 +13,12 @@
 //!    lexicographically (§4.3, worked examples in App. E.2).
 
 use crate::catalog::PhoneticCatalog;
+use parking_lot::Mutex;
 use speakql_grammar::{in_dictionaries, LitCategory, Structure};
 use speakql_observe::{CounterId, Recorder};
 use speakql_phonetics::PhoneticIndex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One filled placeholder.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,12 +51,57 @@ impl Default for LiteralConfig {
     }
 }
 
+/// A per-transcript memo of enumerated window encodings, shared by every
+/// candidate of one transcription.
+///
+/// The enumeration of a window `[begin, end)` depends only on the transcript
+/// words, the window size, and the phonetic algorithm — all fixed for the
+/// lifetime of one transcription — while the top-k candidates repeatedly
+/// land their placeholders on the same few windows. Memoizing by `(begin,
+/// end)` means each distinct window is keyed exactly once no matter how many
+/// candidates (or candidate-construction workers) consume it; results are
+/// identical to recomputing, so filled literals are unaffected.
+#[derive(Debug, Default)]
+pub struct WindowEncodings {
+    memo: Mutex<HashMap<(usize, usize), SharedEncodings>>,
+}
+
+/// One window's enumerated `(string, word_count)` encodings, shared between
+/// the candidates (and workers) that consume the window.
+type SharedEncodings = Arc<Vec<(String, usize)>>;
+
+impl WindowEncodings {
+    /// An empty memo for one transcription.
+    pub fn new() -> WindowEncodings {
+        WindowEncodings::default()
+    }
+
+    /// The memoized encodings for `[begin, end)`, computing them with
+    /// `compute` on first use. The compute closure runs under the memo lock,
+    /// so each window is encoded exactly once even when candidate workers
+    /// race — which keeps the `literal.strings_enumerated` counter
+    /// deterministic at any thread count.
+    fn get_or_compute(
+        &self,
+        begin: usize,
+        end: usize,
+        compute: impl FnOnce() -> Vec<(String, usize)>,
+    ) -> SharedEncodings {
+        self.memo
+            .lock()
+            .entry((begin, end))
+            .or_insert_with(|| Arc::new(compute()))
+            .clone()
+    }
+}
+
 /// The Literal Determination component.
 #[derive(Debug, Clone)]
 pub struct LiteralFinder<'a> {
     catalog: &'a PhoneticCatalog,
     config: LiteralConfig,
     recorder: Recorder,
+    encodings: Option<&'a WindowEncodings>,
 }
 
 impl<'a> LiteralFinder<'a> {
@@ -63,6 +110,7 @@ impl<'a> LiteralFinder<'a> {
             catalog,
             config,
             recorder: Recorder::disabled(),
+            encodings: None,
         }
     }
 
@@ -71,6 +119,14 @@ impl<'a> LiteralFinder<'a> {
     /// are identical with or without a recorder attached.
     pub fn with_recorder(mut self, recorder: Recorder) -> LiteralFinder<'a> {
         self.recorder = recorder;
+        self
+    }
+
+    /// This finder reading and filling the shared per-transcript window
+    /// memo instead of re-enumerating every window per candidate. The filled
+    /// literals are identical with or without a memo attached.
+    pub fn with_encodings(mut self, encodings: &'a WindowEncodings) -> LiteralFinder<'a> {
+        self.encodings = Some(encodings);
         self
     }
 
@@ -187,13 +243,7 @@ impl<'a> LiteralFinder<'a> {
                 }
             }
         }
-        let set_a = enumerate_strings_with(
-            trans_out,
-            begin,
-            end,
-            self.config.window_size,
-            self.catalog.algorithm(),
-        );
+        let set_a = self.window_encodings(trans_out, begin, end);
         if set_a.is_empty() {
             // Empty window: fall back to the lexicographically first
             // candidate (deterministic, matches the tie rule).
@@ -207,9 +257,11 @@ impl<'a> LiteralFinder<'a> {
         let mut count: HashMap<usize, u32> = HashMap::new();
         let mut location: HashMap<usize, usize> = HashMap::new();
         let mut comparisons = 0u64;
-        for (key_a, last_pos) in &set_a {
+        let mut exact_hits = 0u64;
+        for (key_a, last_pos) in set_a.iter() {
             let vote = candidates.nearest(key_a).expect("candidates non-empty");
             comparisons += vote.comparisons;
+            exact_hits += vote.exact as u64;
             for bi in vote.winners {
                 *count.entry(bi).or_insert(0) += 1;
                 let loc = location.entry(bi).or_insert(0);
@@ -217,8 +269,7 @@ impl<'a> LiteralFinder<'a> {
             }
         }
         self.recorder.add(CounterId::VoteComparisons, comparisons);
-        self.recorder
-            .add(CounterId::VoteEnumerations, set_a.len() as u64);
+        self.recorder.add(CounterId::PhoneticExactHits, exact_hits);
 
         // Rank candidates by (votes desc, literal lexicographic asc).
         let mut ranked: Vec<(usize, u32)> = count.into_iter().collect();
@@ -239,6 +290,29 @@ impl<'a> LiteralFinder<'a> {
             .collect();
         let consumed_to = location.get(&winner).copied().unwrap_or(begin) + 1;
         (literal, alternatives, consumed_to)
+    }
+
+    /// Enumerated encodings for one window, via the shared memo when one is
+    /// attached. `literal.strings_enumerated` counts actual enumeration
+    /// work, so memoized re-reads of an already-encoded window do not
+    /// re-count.
+    fn window_encodings(&self, trans_out: &[String], begin: usize, end: usize) -> SharedEncodings {
+        let compute = || {
+            let set = enumerate_strings_with(
+                trans_out,
+                begin,
+                end,
+                self.config.window_size,
+                self.catalog.algorithm(),
+            );
+            self.recorder
+                .add(CounterId::VoteEnumerations, set.len() as u64);
+            set
+        };
+        match self.encodings {
+            Some(memo) => memo.get_or_compute(begin, end, compute),
+            None => Arc::new(compute()),
+        }
     }
 
     /// Number placeholders (the LIMIT argument): take the first numeric

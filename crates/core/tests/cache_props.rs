@@ -1,0 +1,183 @@
+//! Skeleton-cache property tests: an engine with the cross-query cache
+//! enabled must be observationally identical to an uncached engine — same
+//! candidates, byte for byte — for any transcript, at any engine thread
+//! count, with BDB pruning on or off, and under eviction churn.
+//!
+//! Both engines share one [`StructureIndex`] via [`SpeakQl::with_index`] so
+//! the comparison isolates the cache itself.
+
+use proptest::prelude::*;
+use speakql_core::{CounterId, SpeakQl, SpeakQlConfig};
+use speakql_db::{Column, Database, Table, TableSchema, Value, ValueType};
+use speakql_index::StructureIndex;
+use std::sync::{Arc, OnceLock};
+
+/// Word pool the transcript generator draws from: keywords, schema terms,
+/// misrecognitions, and literals — enough variety to produce distinct
+/// masked skeletons and phonetic votes.
+const WORDS: &[&str] = &[
+    "select",
+    "salary",
+    "from",
+    "employees",
+    "where",
+    "first",
+    "name",
+    "equals",
+    "john",
+    "greater",
+    "than",
+    "70000",
+    "and",
+    "sum",
+    "open",
+    "parenthesis",
+    "close",
+    "star",
+    "employee",
+    "number",
+    "in",
+    "salaries",
+    "sales",
+    "employers",
+    "wear",
+];
+
+fn toy_db() -> Database {
+    let mut db = Database::new("toy");
+    let mut emp = Table::new(TableSchema::new(
+        "Employees",
+        vec![
+            Column::new("EmployeeNumber", ValueType::Int),
+            Column::new("FirstName", ValueType::Text),
+            Column::new("Salary", ValueType::Int),
+        ],
+    ));
+    emp.push_row(vec![
+        Value::Int(1),
+        Value::Text("John".into()),
+        Value::Int(70000),
+    ]);
+    emp.push_row(vec![
+        Value::Int(2),
+        Value::Text("Perla".into()),
+        Value::Int(80000),
+    ]);
+    db.add_table(emp);
+    let mut sal = Table::new(TableSchema::new(
+        "Salaries",
+        vec![
+            Column::new("EmployeeNumber", ValueType::Int),
+            Column::new("salary", ValueType::Int),
+        ],
+    ));
+    sal.push_row(vec![Value::Int(1), Value::Int(70000)]);
+    db.add_table(sal);
+    db
+}
+
+/// One structure index shared by every engine in this file, so cached and
+/// uncached runs search the exact same arena.
+fn shared_index() -> Arc<StructureIndex> {
+    static INDEX: OnceLock<Arc<StructureIndex>> = OnceLock::new();
+    INDEX
+        .get_or_init(|| {
+            let cfg = SpeakQlConfig::small();
+            Arc::new(StructureIndex::from_grammar(&cfg.generator, cfg.weights))
+        })
+        .clone()
+}
+
+fn transcripts_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..WORDS.len(), 1..10)
+            .prop_map(|idxs| idxs.iter().map(|&i| WORDS[i]).collect::<Vec<_>>().join(" ")),
+        1..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For every engine thread count in {1, 2, 8} and BDB on/off, a cached
+    /// engine returns byte-identical candidates to an uncached one — on the
+    /// first (miss) pass, and again on a fully warm second pass where every
+    /// skeleton resolves from the cache.
+    #[test]
+    fn cached_equals_uncached_across_threads_and_bdb(transcripts in transcripts_strategy()) {
+        let db = toy_db();
+        let batch: Vec<&str> = transcripts
+            .iter()
+            .chain(transcripts.iter())
+            .map(String::as_str)
+            .collect();
+        for &threads in &[1usize, 2, 8] {
+            for &bdb in &[true, false] {
+                let mut cfg = SpeakQlConfig::small()
+                    .with_threads(threads)
+                    .with_observability(true);
+                cfg.search.bdb = bdb;
+                let uncached = SpeakQl::with_index(&db, shared_index(), cfg.clone());
+                let cached =
+                    SpeakQl::with_index(&db, shared_index(), cfg.with_cache_capacity(64));
+
+                let expect = uncached.transcribe_batch(&batch);
+                let first = cached.transcribe_batch(&batch);
+                let warm = cached.transcribe_batch(&batch);
+                for ((e, f), w) in expect.iter().zip(&first).zip(&warm) {
+                    prop_assert_eq!(&e.candidates, &f.candidates,
+                        "cold cache diverged (threads={}, bdb={})", threads, bdb);
+                    prop_assert_eq!(&e.candidates, &w.candidates,
+                        "warm cache diverged (threads={}, bdb={})", threads, bdb);
+                }
+                // The warm pass must actually have been served by the cache.
+                let hits = cached.report().counter(CounterId::CacheSkeletonHits);
+                prop_assert!(hits > 0, "no cache hits (threads={}, bdb={})", threads, bdb);
+            }
+        }
+    }
+}
+
+/// A capacity-2 cache thrashed by four distinct skeletons keeps evicting and
+/// re-filling, and every answer — hit, miss, or post-eviction recompute —
+/// still matches the uncached engine exactly.
+#[test]
+fn eviction_churn_preserves_results() {
+    // Four structurally distinct transcripts: their masked skeletons differ,
+    // so cycling them through a 2-entry cache forces continual eviction.
+    let queries = [
+        "select salary from employees",
+        "select salary from employees where first name equals john",
+        "select salary from employees where salary greater than 70000 and first name equals john",
+        "select sum open parenthesis salary close parenthesis from employees",
+    ];
+    let db = toy_db();
+    let cfg = SpeakQlConfig::small()
+        .with_threads(1)
+        .with_observability(true);
+    let uncached = SpeakQl::with_index(&db, shared_index(), cfg.clone());
+    let cached = SpeakQl::with_index(&db, shared_index(), cfg.with_cache_capacity(2));
+
+    for round in 0..3 {
+        for q in &queries {
+            let e = uncached.transcribe(q);
+            let c = cached.transcribe(q);
+            assert_eq!(
+                e.candidates, c.candidates,
+                "round {round}: cached result diverged for {q:?}"
+            );
+        }
+    }
+
+    let report = cached.report();
+    let evictions = report.counter(CounterId::CacheSkeletonEvictions);
+    let misses = report.counter(CounterId::CacheSkeletonMisses);
+    assert!(
+        evictions > 0,
+        "four skeletons cycling through a 2-entry cache must evict (got {evictions})"
+    );
+    assert!(
+        misses >= queries.len() as u64,
+        "each distinct skeleton must miss at least once (got {misses})"
+    );
+}

@@ -9,6 +9,7 @@
 //! keyword index), are opt-in, exactly as in the paper.
 
 use crate::trie::{Trie, NONE};
+use parking_lot::Mutex;
 use speakql_editdist::{
     lower_bound, weighted_lcs_distance, weighted_lcs_distance_bounded, ColumnWorkspace, Dist,
     Weights, DIST_INF,
@@ -18,6 +19,72 @@ use speakql_grammar::{
 };
 use speakql_observe::{CounterId, Recorder, SpanId};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// Upper bound on idle [`ColumnWorkspace`]s kept in an index's pool. Steady
+/// state needs one workspace per concurrently searching worker; anything
+/// beyond this cap is dropped on check-in rather than hoarded.
+const WORKSPACE_POOL_CAP: usize = 64;
+
+/// A pool of reusable DP [`ColumnWorkspace`]s shared by every search against
+/// one index. Column buffers are the only per-search allocation on the trie
+/// walk, so recycling them across queries (and across the jobs of one batch)
+/// removes the allocator from the steady-state hot path. Check-outs reset
+/// the workspace for the new query; check-ins above [`WORKSPACE_POOL_CAP`]
+/// drop the workspace instead.
+struct WorkspacePool {
+    free: Mutex<Vec<ColumnWorkspace>>,
+}
+
+impl WorkspacePool {
+    fn new() -> WorkspacePool {
+        WorkspacePool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A workspace targeted at `masked`, recycled from the pool when one is
+    /// available (counted in [`SearchStats::workspaces_reused`]).
+    fn checkout(
+        &self,
+        masked: &[StructTokId],
+        w: Weights,
+        max_depth: usize,
+        stats: &mut SearchStats,
+    ) -> ColumnWorkspace {
+        match self.free.lock().pop() {
+            Some(mut ws) => {
+                ws.reset(masked, w, max_depth);
+                stats.workspaces_reused += 1;
+                ws
+            }
+            None => ColumnWorkspace::new(masked, w, max_depth),
+        }
+    }
+
+    /// Return a workspace for later reuse.
+    fn checkin(&self, ws: ColumnWorkspace) {
+        let mut free = self.free.lock();
+        if free.len() < WORKSPACE_POOL_CAP {
+            free.push(ws);
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkspacePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkspacePool")
+            .field("idle", &self.free.lock().len())
+            .finish()
+    }
+}
+
+impl Clone for WorkspacePool {
+    /// Cloned indexes start with an empty pool; workspaces are cheap to
+    /// rebuild and tied to no particular query.
+    fn clone(&self) -> WorkspacePool {
+        WorkspacePool::new()
+    }
+}
 
 /// A search hit: a structure id in the index arena and its distance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +163,8 @@ pub struct SearchStats {
     pub structures_scanned: u64,
     /// Weighted-LCS DP cells evaluated by the trie-walk workspaces.
     pub cells_evaluated: u64,
+    /// DP workspaces recycled from the index pool instead of allocated.
+    pub workspaces_reused: u64,
 }
 
 impl SearchStats {
@@ -109,6 +178,7 @@ impl SearchStats {
         recorder.add(CounterId::SearchTriesPruned, self.tries_pruned as u64);
         recorder.add(CounterId::SearchStructuresScanned, self.structures_scanned);
         recorder.add(CounterId::EditDistCells, self.cells_evaluated);
+        recorder.add(CounterId::SearchWorkspacesReused, self.workspaces_reused);
     }
 }
 
@@ -212,6 +282,8 @@ pub struct StructureIndex {
     /// Posting lists by keyword index (SELECT/FROM/WHERE left empty).
     inverted: Vec<Vec<u32>>,
     max_len: usize,
+    /// Recycled DP workspaces, shared by every search against this index.
+    workspaces: WorkspacePool,
 }
 
 impl StructureIndex {
@@ -241,6 +313,7 @@ impl StructureIndex {
             weights,
             inverted,
             max_len,
+            workspaces: WorkspacePool::new(),
         }
     }
 
@@ -336,11 +409,14 @@ impl StructureIndex {
             return self.search_parallel(masked, cfg, &order, workers, recorder);
         }
 
-        let mut cols = ColumnWorkspace::new(masked, self.weights, self.max_len);
+        let mut cols =
+            self.workspaces
+                .checkout(masked, self.weights, self.max_len, &mut state.stats);
         for &j in &order {
             self.search_length(j, masked, cfg, &mut state, &mut cols, recorder);
         }
         state.stats.cells_evaluated += cols.take_cells();
+        self.workspaces.checkin(cols);
         (state.topk.into_vec(), state.stats)
     }
 
@@ -371,9 +447,12 @@ impl StructureIndex {
         // algorithm would have BDB-skipped outright.
         let mut seed = SearchState::new(cfg.k, Some(&shared));
         if let Some(&j0) = order.first() {
-            let mut cols = ColumnWorkspace::new(masked, self.weights, self.max_len);
+            let mut cols =
+                self.workspaces
+                    .checkout(masked, self.weights, self.max_len, &mut seed.stats);
             self.search_length(j0, masked, cfg, &mut seed, &mut cols, recorder);
             seed.stats.cells_evaluated += cols.take_cells();
+            self.workspaces.checkin(cols);
         }
         let cursor = AtomicUsize::new(1);
         let worker_results: Vec<(TopK, SearchStats)> = std::thread::scope(|scope| {
@@ -381,13 +460,19 @@ impl StructureIndex {
                 .map(|_| {
                     scope.spawn(|| {
                         let mut state = SearchState::new(cfg.k, Some(&shared));
-                        let mut cols = ColumnWorkspace::new(masked, self.weights, self.max_len);
+                        let mut cols = self.workspaces.checkout(
+                            masked,
+                            self.weights,
+                            self.max_len,
+                            &mut state.stats,
+                        );
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&j) = order.get(i) else { break };
                             self.search_length(j, masked, cfg, &mut state, &mut cols, recorder);
                         }
                         state.stats.cells_evaluated += cols.take_cells();
+                        self.workspaces.checkin(cols);
                         (state.topk, state.stats)
                     })
                 })
@@ -408,6 +493,7 @@ impl StructureIndex {
             state.stats.tries_pruned += stats.tries_pruned;
             state.stats.structures_scanned += stats.structures_scanned;
             state.stats.cells_evaluated += stats.cells_evaluated;
+            state.stats.workspaces_reused += stats.workspaces_reused;
         }
         (state.topk.into_vec(), state.stats)
     }
@@ -429,7 +515,7 @@ impl StructureIndex {
         }
         state.stats.tries_searched += 1;
         let _span = recorder.span(SpanId::TrieWalk);
-        self.search_trie(&self.tries[j], masked, cfg, state, cols);
+        self.search_trie(&self.tries[j], masked, cfg, state, cols, recorder);
     }
 
     /// Brute-force reference scan over every structure; used by tests to
@@ -453,6 +539,7 @@ impl StructureIndex {
         cfg: &SearchConfig,
         state: &mut SearchState<'_>,
         cols: &mut ColumnWorkspace,
+        recorder: &Recorder,
     ) {
         TrieWalk {
             index: self,
@@ -461,6 +548,7 @@ impl StructureIndex {
             cfg,
             state,
             cols,
+            recorder,
         }
         .visit_children(0, 0);
     }
@@ -550,6 +638,7 @@ struct TrieWalk<'a, 'b, 'c> {
     cfg: &'a SearchConfig,
     state: &'b mut SearchState<'c>,
     cols: &'b mut ColumnWorkspace,
+    recorder: &'a Recorder,
 }
 
 impl TrieWalk<'_, '_, '_> {
@@ -577,7 +666,9 @@ impl TrieWalk<'_, '_, '_> {
             None
         };
 
+        let mut fanout: u64 = 0;
         for child in self.trie.children(node) {
+            fanout += 1;
             let tok = self.trie.node(child).token;
             if self.cfg.dap && is_prime(tok) && Some(child) != chosen_prime {
                 continue;
@@ -599,6 +690,7 @@ impl TrieWalk<'_, '_, '_> {
                 self.visit_children(child, depth + 1);
             }
         }
+        self.recorder.record_value(SpanId::TrieFanout, fanout);
     }
 }
 

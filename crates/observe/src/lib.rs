@@ -68,6 +68,17 @@ pub enum CounterId {
     BatchJobs,
     /// Transcripts split by the nested-query heuristic.
     NestedSplits,
+    /// Structure searches answered from the skeleton-result cache.
+    CacheSkeletonHits,
+    /// Structure searches that missed the skeleton-result cache.
+    CacheSkeletonMisses,
+    /// Entries evicted from the skeleton-result cache.
+    CacheSkeletonEvictions,
+    /// Literal votes resolved by an exact Metaphone-key bucket hit.
+    PhoneticExactHits,
+    /// DP column workspaces checked out of the search pool instead of being
+    /// freshly allocated.
+    SearchWorkspacesReused,
 }
 
 /// Number of distinct [`CounterId`]s.
@@ -75,7 +86,7 @@ pub const COUNTER_COUNT: usize = CounterId::ALL.len();
 
 impl CounterId {
     /// Every counter, in registry order.
-    pub const ALL: [CounterId; 11] = [
+    pub const ALL: [CounterId; 16] = [
         CounterId::SearchNodesVisited,
         CounterId::SearchTriesSearched,
         CounterId::SearchTriesPruned,
@@ -87,6 +98,11 @@ impl CounterId {
         CounterId::Transcriptions,
         CounterId::BatchJobs,
         CounterId::NestedSplits,
+        CounterId::CacheSkeletonHits,
+        CounterId::CacheSkeletonMisses,
+        CounterId::CacheSkeletonEvictions,
+        CounterId::PhoneticExactHits,
+        CounterId::SearchWorkspacesReused,
     ];
 
     /// Stable dotted name used in reports and `BENCH_*.json`.
@@ -103,6 +119,11 @@ impl CounterId {
             CounterId::Transcriptions => "engine.transcriptions",
             CounterId::BatchJobs => "engine.batch_jobs",
             CounterId::NestedSplits => "engine.nested_splits",
+            CounterId::CacheSkeletonHits => "cache.skeleton_hits",
+            CounterId::CacheSkeletonMisses => "cache.skeleton_misses",
+            CounterId::CacheSkeletonEvictions => "cache.skeleton_evictions",
+            CounterId::PhoneticExactHits => "phonetics.exact_hits",
+            CounterId::SearchWorkspacesReused => "search.workspaces_reused",
         }
     }
 }
@@ -126,6 +147,10 @@ pub enum SpanId {
     TrieWalk,
     /// Time a batch job waited in the queue before a worker picked it up.
     BatchQueueWait,
+    /// Fan-out (child count) of each trie node visited during search — a
+    /// value distribution, not a latency: one unitless sample per visited
+    /// node, so the "micros" fields of its report read as child counts.
+    TrieFanout,
 }
 
 /// Number of distinct [`SpanId`]s.
@@ -133,7 +158,7 @@ pub const SPAN_COUNT: usize = SpanId::ALL.len();
 
 impl SpanId {
     /// Every span, in registry order.
-    pub const ALL: [SpanId; 7] = [
+    pub const ALL: [SpanId; 8] = [
         SpanId::Tokenize,
         SpanId::Search,
         SpanId::Literal,
@@ -141,6 +166,7 @@ impl SpanId {
         SpanId::Transcribe,
         SpanId::TrieWalk,
         SpanId::BatchQueueWait,
+        SpanId::TrieFanout,
     ];
 
     /// Stable dotted name used in reports and `BENCH_*.json`.
@@ -153,6 +179,7 @@ impl SpanId {
             SpanId::Transcribe => "stage.transcribe",
             SpanId::TrieWalk => "search.trie_walk",
             SpanId::BatchQueueWait => "engine.batch_queue_wait",
+            SpanId::TrieFanout => "search.trie_fanout",
         }
     }
 }

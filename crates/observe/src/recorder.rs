@@ -94,6 +94,17 @@ impl Recorder {
         }
     }
 
+    /// Record one raw value sample into a span histogram. Used for value
+    /// distributions (e.g. trie fan-out) that share the histogram machinery
+    /// with latencies; the sample lands in the bucket its magnitude selects,
+    /// exactly as a microsecond latency of the same value would.
+    #[inline]
+    pub fn record_value(&self, id: SpanId, value: u64) {
+        if let Some(reg) = &self.inner {
+            reg.spans[id as usize].record_micros(value);
+        }
+    }
+
     /// Start a scoped span timer; the elapsed time is recorded when the
     /// returned guard drops. When disabled, the clock is never read.
     #[inline]

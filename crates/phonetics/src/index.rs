@@ -6,6 +6,7 @@
 //! attribute names, and string attribute values.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// A literal and its pre-computed phonetic key.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,8 +42,13 @@ pub struct NearestVote {
     pub winners: Vec<usize>,
     /// The minimal Levenshtein distance found.
     pub distance: usize,
-    /// Distance comparisons performed (one per entry).
+    /// Distance comparisons performed (one per entry on the scan path, one
+    /// bucket probe on the exact path).
     pub comparisons: u64,
+    /// True when the vote was answered by the exact-key bucket in O(1)
+    /// instead of the nearest scan. The winners are identical either way; an
+    /// exact key match has distance 0, which no scan result can beat.
+    pub exact: bool,
 }
 
 /// An immutable, deterministic phonetic index: entries sorted by literal so
@@ -50,6 +56,10 @@ pub struct NearestVote {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhoneticIndex {
     entries: Vec<PhoneticEntry>,
+    /// Exact-match fast path: phonetic key → indices of every entry with
+    /// that key, ascending (i.e. lexicographic by literal, matching the scan
+    /// path's tie order). Derived from `entries`, rebuilt on construction.
+    buckets: HashMap<String, Vec<usize>>,
 }
 
 impl PhoneticIndex {
@@ -74,7 +84,17 @@ impl PhoneticIndex {
             .collect();
         entries.sort_by(|a, b| a.literal.cmp(&b.literal));
         entries.dedup_by(|a, b| a.literal == b.literal);
-        PhoneticIndex { entries }
+        PhoneticIndex::from_entries(entries)
+    }
+
+    /// Assemble an index from sorted, deduplicated entries, deriving the
+    /// exact-key buckets.
+    fn from_entries(entries: Vec<PhoneticEntry>) -> PhoneticIndex {
+        let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, e) in entries.iter().enumerate() {
+            buckets.entry(e.key.clone()).or_default().push(i);
+        }
+        PhoneticIndex { entries, buckets }
     }
 
     /// The sorted entries.
@@ -103,6 +123,18 @@ impl PhoneticIndex {
         if self.entries.is_empty() {
             return None;
         }
+        // Exact-key fast path: a bucket hit means distance 0, which nothing
+        // on the scan path can beat, and the bucket holds every entry with
+        // that key in ascending order — exactly the scan path's tied-winner
+        // set. One hash probe replaces `len()` Levenshtein computations.
+        if let Some(bucket) = self.buckets.get(key) {
+            return Some(NearestVote {
+                winners: bucket.clone(),
+                distance: 0,
+                comparisons: 1,
+                exact: true,
+            });
+        }
         let mut best = usize::MAX;
         let mut winners: Vec<usize> = Vec::new();
         for (i, e) in self.entries.iter().enumerate() {
@@ -119,6 +151,7 @@ impl PhoneticIndex {
             winners,
             distance: best,
             comparisons: self.entries.len() as u64,
+            exact: false,
         })
     }
 
@@ -130,7 +163,7 @@ impl PhoneticIndex {
             .collect();
         entries.sort_by(|a, b| a.literal.cmp(&b.literal));
         entries.dedup_by(|a, b| a.literal == b.literal);
-        PhoneticIndex { entries }
+        PhoneticIndex::from_entries(entries)
     }
 }
 
@@ -179,5 +212,53 @@ mod tests {
         // An equidistant key splits its vote across both entries, ascending.
         let tie = idx.nearest("FRMTT PADDED TO BE FAR").unwrap();
         assert!(tie.winners.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn exact_key_fast_path_matches_scan_result() {
+        // Every entry's own key must resolve through the bucket fast path to
+        // exactly the winner set a linear scan would produce: all entries
+        // sharing that key, ascending.
+        let idx = PhoneticIndex::build(["Salaries", "Employees", "FirstName", "FromDate"]);
+        for e in idx.entries() {
+            let Some(vote) = idx.nearest(&e.key) else {
+                panic!("index is non-empty");
+            };
+            assert!(vote.exact, "key {} should hit the bucket", e.key);
+            assert_eq!(vote.distance, 0);
+            assert_eq!(vote.comparisons, 1);
+            let expected: Vec<usize> = idx
+                .entries()
+                .iter()
+                .enumerate()
+                .filter(|(_, x)| x.key == e.key)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(vote.winners, expected);
+        }
+    }
+
+    #[test]
+    fn non_exact_key_falls_back_to_scan() {
+        let idx = PhoneticIndex::build(["FROMDATE", "TODATE"]);
+        let Some(vote) = idx.nearest("XQZ") else {
+            panic!("index is non-empty");
+        };
+        assert!(!vote.exact);
+        assert_eq!(vote.comparisons, 2);
+        assert!(vote.distance > 0);
+    }
+
+    #[test]
+    fn merged_index_rebuilds_buckets() {
+        let a = PhoneticIndex::build(["Salaries"]);
+        let b = PhoneticIndex::build(["Employees"]);
+        let m = PhoneticIndex::merged([&a, &b]);
+        for e in m.entries() {
+            let Some(vote) = m.nearest(&e.key) else {
+                panic!("index is non-empty");
+            };
+            assert!(vote.exact);
+        }
     }
 }
