@@ -149,7 +149,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     c.bench_function("end_to_end_transcribe", |b| {
         b.iter(|| {
             for t in &f.transcripts {
-                black_box(f.engine.transcribe(black_box(t)));
+                let _ = black_box(f.engine.transcribe(black_box(t)));
             }
         })
     });

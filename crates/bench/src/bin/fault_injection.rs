@@ -1,0 +1,23 @@
+//! CI fault-injection gate: replay the adversarial corpus through every
+//! pipeline layer and fail (exit 1) if any case panics or misclassifies.
+//!
+//! ```text
+//! cargo run --release -p speakql-bench --bin fault_injection
+//! ```
+
+use speakql_bench::fault::run_fault_injection;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let report = run_fault_injection();
+    print!("{}", report.render_table());
+    let failures = report.failures().count();
+    let total = report.outcomes.len();
+    if failures == 0 {
+        println!("\nfault injection: all {total} cases passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nfault injection: {failures} of {total} cases FAILED");
+        ExitCode::FAILURE
+    }
+}

@@ -283,11 +283,15 @@ fn run_zipf_workload() -> (Value, bool) {
     let warm_report = warm.report();
 
     // Gate 1 — stale-hit check: every cached transcription must be
-    // byte-identical to its uncached twin.
+    // byte-identical to its uncached twin (Ok/Err status included).
     let mismatches = cold_results
         .iter()
         .zip(&warm_results)
-        .filter(|(c, w)| c.candidates != w.candidates)
+        .filter(|(c, w)| match (c, w) {
+            (Ok(c), Ok(w)) => c.candidates != w.candidates,
+            (Err(c), Err(w)) => c != w,
+            _ => true,
+        })
         .count();
     // Gate 2 — the cache must actually be exercised: hits above the floor.
     let hits = warm_report.counter(CounterId::CacheSkeletonHits);

@@ -257,8 +257,8 @@ pub fn fig18(suite: &Suite) {
         let mut rng =
             ChaCha8Rng::seed_from_u64(crate::context::Context::case_seed("nested", case.id));
         let transcript = asr.transcribe_sql(&case.sql, &mut rng);
-        let t = engine.transcribe(&transcript);
-        let best = t.best_sql().unwrap_or_default();
+        let t = engine.transcribe(&transcript).ok();
+        let best = t.as_ref().and_then(|t| t.best_sql()).unwrap_or_default();
         // Structure TED over the masked token sequences of the SQL texts.
         let gt_mask =
             speakql_grammar::Structure::mask_of(&speakql_grammar::tokenize_sql(&case.sql));

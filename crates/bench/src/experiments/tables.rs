@@ -249,7 +249,8 @@ pub fn table5(suite: &Suite) {
         for p in pairs {
             let mut rng = ChaCha8Rng::seed_from_u64(salt + p.id as u64);
             let transcript = asr.transcribe_sql(&p.sql, &mut rng);
-            if let Some(sql) = engine.transcribe(&transcript).best_sql() {
+            let t = engine.transcribe(&transcript).ok();
+            if let Some(sql) = t.as_ref().and_then(|t| t.best_sql()) {
                 if nli::component_match(&p.sql, sql, true) {
                     comp += 1;
                 }

@@ -1,0 +1,406 @@
+//! Fault-injection harness: replay an adversarial transcript corpus through
+//! every layer of the pipeline (engine, batch pool, clause dictation,
+//! streaming) plus the index-persistence decoder, asserting that nothing
+//! panics, that every failure is classified into a deterministic
+//! [`SpeakQlError`] class, and that the `engine.errors.*` counters record
+//! each class.
+//!
+//! The same runner backs the `fault_injection` CI binary and the
+//! `fault_injection` integration test.
+
+use speakql_core::{
+    CounterId, FaultHook, SpeakQl, SpeakQlConfig, SpeakQlError, StreamingTranscriber,
+};
+use speakql_db::{Column, Database, Table, TableSchema, Value, ValueType};
+use speakql_grammar::ClauseKind;
+use speakql_index::StructureIndex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Transcript marker the poisoned-batch fault hook panics on.
+pub const POISON_MARKER: &str = "__speakql_poison__";
+
+/// What a corpus case must produce at the engine boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// `Ok` with a non-empty candidate list.
+    Candidates,
+    /// `Err` whose [`SpeakQlError::class`] equals this name.
+    ErrorClass(&'static str),
+}
+
+/// One adversarial transcript plus its required classification.
+pub struct FaultCase {
+    /// Corpus-stable case name.
+    pub name: &'static str,
+    /// The transcript replayed through each layer.
+    pub transcript: String,
+    /// Required outcome at the engine boundary.
+    pub expected: Expected,
+}
+
+/// The adversarial corpus from the PR 5 issue: empty, whitespace-only,
+/// non-ASCII/multibyte, pathologically long, keyword-free, and SplChar-only
+/// transcripts (poisoned and corrupted-index cases are driven separately).
+pub fn adversarial_corpus() -> Vec<FaultCase> {
+    vec![
+        FaultCase {
+            name: "empty",
+            transcript: String::new(),
+            expected: Expected::ErrorClass("empty_transcript"),
+        },
+        FaultCase {
+            name: "whitespace_only",
+            transcript: " \t \n\u{00a0} ".to_string(),
+            expected: Expected::ErrorClass("empty_transcript"),
+        },
+        FaultCase {
+            name: "non_ascii_multibyte",
+            transcript: "sëlect sàlary frôm 従業員 🦀 naïve Zoe\u{0308}".to_string(),
+            expected: Expected::Candidates,
+        },
+        FaultCase {
+            name: "pathologically_long",
+            transcript: vec!["select"; 2_000].join(" "),
+            expected: Expected::ErrorClass("transcript_too_long"),
+        },
+        FaultCase {
+            name: "keyword_free",
+            transcript: "banana umbrella quixotic marmalade zephyr".to_string(),
+            expected: Expected::Candidates,
+        },
+        FaultCase {
+            name: "splchar_only",
+            transcript: "( ) , = . ( )".to_string(),
+            expected: Expected::Candidates,
+        },
+    ]
+}
+
+/// One layer's verdict on one case.
+pub struct CaseOutcome {
+    /// Corpus case name (or synthetic harness case).
+    pub case: String,
+    /// Pipeline layer the case was replayed through.
+    pub layer: &'static str,
+    /// Observed classification (`candidates`, an error class, or `panic`).
+    pub observed: String,
+    /// Whether the observation matched the expectation.
+    pub pass: bool,
+}
+
+/// Everything the harness measured.
+pub struct FaultReport {
+    /// Per-case, per-layer outcomes.
+    pub outcomes: Vec<CaseOutcome>,
+}
+
+impl FaultReport {
+    /// True when every outcome passed.
+    pub fn all_passed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.pass)
+    }
+
+    /// Outcomes that failed.
+    pub fn failures(&self) -> impl Iterator<Item = &CaseOutcome> {
+        self.outcomes.iter().filter(|o| !o.pass)
+    }
+
+    /// Render the outcome table, one line per case × layer.
+    pub fn render_table(&self) -> String {
+        let mut out =
+            String::from("case                    layer      observed                 pass\n");
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "{:<23} {:<10} {:<24} {}\n",
+                o.case,
+                o.layer,
+                o.observed,
+                if o.pass { "ok" } else { "FAIL" }
+            ));
+        }
+        out
+    }
+}
+
+fn harness_db() -> Database {
+    let mut db = Database::new("fault");
+    let mut t = Table::new(TableSchema::new(
+        "Employees",
+        vec![
+            Column::new("Name", ValueType::Text),
+            Column::new("Salary", ValueType::Int),
+        ],
+    ));
+    t.push_row(vec![Value::Text("John".into()), Value::Int(70000)]);
+    t.push_row(vec![Value::Text("Perla".into()), Value::Int(82000)]);
+    db.add_table(t);
+    db
+}
+
+/// The harness engine: small structure space, observability on, a modest
+/// word cap so the pathological case trips it, and a fault hook that
+/// panics on [`POISON_MARKER`].
+fn harness_engine(threads: usize) -> SpeakQl {
+    SpeakQl::new(
+        &harness_db(),
+        SpeakQlConfig::small()
+            .with_threads(threads)
+            .with_observability(true)
+            .with_max_transcript_words(1024)
+            .with_fault_hook(FaultHook::new(|t| {
+                assert!(!t.contains(POISON_MARKER), "injected fault");
+            })),
+    )
+}
+
+/// Classify one engine-boundary result for the outcome table.
+fn classify(r: &Result<speakql_core::Transcription, SpeakQlError>) -> String {
+    match r {
+        Ok(t) if !t.candidates.is_empty() => "candidates".to_string(),
+        Ok(_) => "ok_but_no_candidates".to_string(),
+        Err(e) => e.class().to_string(),
+    }
+}
+
+fn expected_label(e: Expected) -> String {
+    match e {
+        Expected::Candidates => "candidates".to_string(),
+        Expected::ErrorClass(c) => c.to_string(),
+    }
+}
+
+/// Run `work` trapping any escaped panic as the string `panic`, so a
+/// containment regression shows up as a table failure instead of killing
+/// the harness.
+fn trap(work: impl FnOnce() -> String) -> String {
+    catch_unwind(AssertUnwindSafe(work)).unwrap_or_else(|_| "panic".to_string())
+}
+
+/// Replay the corpus through every layer and run the synthetic cases
+/// (poisoned batch slot, empty index, corrupted persisted bytes).
+pub fn run_fault_injection() -> FaultReport {
+    let mut outcomes = Vec::new();
+    let engine = harness_engine(1);
+    let corpus = adversarial_corpus();
+
+    // --- Engine layer: classification must match and be deterministic. ---
+    for case in &corpus {
+        let want = expected_label(case.expected);
+        let first = trap(|| classify(&engine.transcribe(&case.transcript)));
+        let second = trap(|| classify(&engine.transcribe(&case.transcript)));
+        outcomes.push(CaseOutcome {
+            case: case.name.to_string(),
+            layer: "engine",
+            pass: first == want && second == want,
+            observed: if first == second {
+                first
+            } else {
+                format!("{first}/{second}")
+            },
+        });
+    }
+
+    // --- Clause layer: same corpus against the WHERE-clause index. The
+    // clause index is never empty and clause search is total over word
+    // soup, so expectations carry over unchanged. ---
+    for case in &corpus {
+        let want = expected_label(case.expected);
+        let got = trap(|| classify(&engine.transcribe_clause(ClauseKind::Where, &case.transcript)));
+        outcomes.push(CaseOutcome {
+            case: case.name.to_string(),
+            layer: "clause",
+            pass: got == want,
+            observed: got,
+        });
+    }
+
+    // --- Streaming layer: a refresh that fails must keep the session
+    // alive (no panic) and park the error; word-free hypotheses reset the
+    // display instead of erroring. ---
+    for case in &corpus {
+        let got = trap(|| {
+            let mut s = StreamingTranscriber::new(&engine);
+            s.set_hypothesis(&case.transcript);
+            match (s.current(), s.last_error()) {
+                (_, Some(e)) => e.class().to_string(),
+                (Some(t), None) if !t.candidates.is_empty() => "candidates".to_string(),
+                (Some(_), None) => "ok_but_no_candidates".to_string(),
+                (None, None) => "reset".to_string(),
+            }
+        });
+        let want = match case.expected {
+            Expected::Candidates => "candidates".to_string(),
+            // The streaming display treats a word-free hypothesis as a
+            // reset, not an error; other error classes surface as parked
+            // typed errors.
+            Expected::ErrorClass("empty_transcript") => "reset".to_string(),
+            Expected::ErrorClass(c) => c.to_string(),
+        };
+        outcomes.push(CaseOutcome {
+            case: case.name.to_string(),
+            layer: "streaming",
+            pass: got == want,
+            observed: got,
+        });
+    }
+
+    // --- Batch layer: the whole corpus plus one poisoned transcript in a
+    // single parallel batch. Every slot must fill in input order, the
+    // poisoned slot (and only it) as a worker panic. ---
+    {
+        let par = harness_engine(4);
+        let poisoned = format!("select {POISON_MARKER} from employees");
+        let mut transcripts: Vec<&str> = corpus.iter().map(|c| c.transcript.as_str()).collect();
+        let poison_slot = transcripts.len() / 2;
+        transcripts.insert(poison_slot, &poisoned);
+        let got = trap(|| {
+            let results = par.transcribe_batch(&transcripts);
+            if results.len() != transcripts.len() {
+                return format!("{} of {} slots", results.len(), transcripts.len());
+            }
+            let panics = results
+                .iter()
+                .filter(|r| matches!(r, Err(SpeakQlError::WorkerPanic { .. })))
+                .count();
+            if panics != 1 || !matches!(results[poison_slot], Err(SpeakQlError::WorkerPanic { .. }))
+            {
+                return format!("{panics} worker panics (slot mismatch)");
+            }
+            // Every non-poisoned slot must classify exactly as the
+            // sequential engine classifies the same transcript.
+            for (i, case) in corpus.iter().enumerate() {
+                let slot = if i < poison_slot { i } else { i + 1 };
+                if classify(&results[slot]) != expected_label(case.expected) {
+                    return format!("slot {slot} ({}) misclassified", case.name);
+                }
+            }
+            "one_poisoned_slot".to_string()
+        });
+        outcomes.push(CaseOutcome {
+            case: "poisoned_batch".to_string(),
+            layer: "batch",
+            pass: got == "one_poisoned_slot",
+            observed: got,
+        });
+    }
+
+    // --- Error counters: the engine-layer replays above must have counted
+    // every class they produced (two engine passes + one clause pass). ---
+    {
+        let report = engine.report();
+        let checks = [
+            // 2 cases × (2 engine passes + 1 clause pass); the streaming
+            // layer resets on word-free hypotheses without calling the
+            // engine, so it contributes nothing here.
+            (CounterId::ErrorsEmptyTranscript, 6u64),
+            // 1 case × (2 engine + 1 clause + 1 streaming refresh).
+            (CounterId::ErrorsTranscriptTooLong, 4),
+        ];
+        for (counter, want) in checks {
+            let got = report.counter(counter);
+            outcomes.push(CaseOutcome {
+                case: counter.name().to_string(),
+                layer: "counters",
+                pass: got == want,
+                observed: format!("{got} (want {want})"),
+            });
+        }
+        let solo = harness_engine(1);
+        let got = trap(|| classify(&solo.transcribe(&format!("a {POISON_MARKER}"))));
+        let counted = solo.report().counter(CounterId::ErrorsWorkerPanic);
+        outcomes.push(CaseOutcome {
+            case: "engine.errors.worker_panic".to_string(),
+            layer: "counters",
+            pass: got == "worker_panic" && counted == 1,
+            observed: format!("{got} ({counted} counted)"),
+        });
+    }
+
+    // --- Empty index: an engine with zero structures returns a typed
+    // error, not a panic and not an empty candidate list. ---
+    {
+        let empty = SpeakQl::with_index(
+            &harness_db(),
+            std::sync::Arc::new(StructureIndex::build(
+                Vec::new(),
+                speakql_editdist::Weights::PAPER,
+            )),
+            SpeakQlConfig::small().with_observability(true),
+        );
+        let got = trap(|| classify(&empty.transcribe("select salary from employees")));
+        let counted = empty.report().counter(CounterId::ErrorsEmptyIndex) == 1;
+        outcomes.push(CaseOutcome {
+            case: "empty_index".to_string(),
+            layer: "engine",
+            pass: got == "empty_index" && counted,
+            observed: got,
+        });
+    }
+
+    // --- Persistence layer: truncated and bit-flipped index bytes must
+    // decode to an error, never a panic. ---
+    outcomes.extend(run_corrupted_index_cases());
+
+    FaultReport { outcomes }
+}
+
+/// Serialize a small index, then replay truncations and bit-flips through
+/// the decoder. Every corruption must yield `Err(PersistError)`.
+fn run_corrupted_index_cases() -> Vec<CaseOutcome> {
+    let cfg = SpeakQlConfig::small();
+    let index = StructureIndex::from_grammar(&cfg.generator, cfg.weights);
+    let bytes = match speakql_index::to_bytes(&index) {
+        Ok(b) => b,
+        Err(e) => {
+            return vec![CaseOutcome {
+                case: "serialize_index".to_string(),
+                layer: "persist",
+                pass: false,
+                observed: format!("serialize failed: {e}"),
+            }]
+        }
+    };
+
+    let mut outcomes = Vec::new();
+    let mut check = |case: String, data: Vec<u8>, must_error: bool| {
+        let got = trap(|| match speakql_index::from_bytes(&data) {
+            Ok(_) => "decoded".to_string(),
+            Err(e) => format!("err:{e}"),
+        });
+        outcomes.push(CaseOutcome {
+            case,
+            layer: "persist",
+            pass: if must_error {
+                got.starts_with("err:")
+            } else {
+                got != "panic"
+            },
+            observed: got,
+        });
+    };
+
+    // Truncations at the header boundary, mid-payload, and one byte short —
+    // the format's trailing-bytes check makes every truncation an error.
+    for cut in [0usize, 3, 9, bytes.len() / 2, bytes.len() - 1] {
+        check(format!("truncated_at_{cut}"), bytes[..cut].to_vec(), true);
+    }
+    // Bit flips in the magic, the version, and the structure-count field
+    // must all be rejected.
+    for (name, pos) in [("magic", 1usize), ("version", 5), ("count", 18)] {
+        if pos < bytes.len() {
+            let mut data = bytes.to_vec();
+            data[pos] ^= 0x80;
+            check(format!("bitflip_{name}"), data, true);
+        }
+    }
+    // A body flip may land on a field (e.g. a placeholder governor) whose
+    // every value decodes; the contract there is no-panic, not must-error.
+    if bytes.len() > 40 {
+        let mut data = bytes.to_vec();
+        data[40] ^= 0x80;
+        check("bitflip_body".to_string(), data, false);
+    }
+    // Garbage of plausible length.
+    check("garbage".to_string(), vec![0xAB; 256], true);
+    outcomes
+}

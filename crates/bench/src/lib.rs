@@ -8,6 +8,7 @@
 
 pub mod context;
 pub mod experiments;
+pub mod fault;
 pub mod report;
 pub mod runs;
 pub mod suite;

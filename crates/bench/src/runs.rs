@@ -48,15 +48,20 @@ pub fn run_case(asr: &AsrEngine, engine: &SpeakQl, split: &str, case: &QueryCase
     let asr_report = accuracy(&case.sql, &transcript);
     let asr_ted = ted(&case.sql, &transcript);
 
-    let t = engine.transcribe(&transcript);
-    let top1 = t.candidates.first();
+    // A transcription error scores as zero candidates: the ASR baseline
+    // still gets measured, SpeakQL's rows record an empty top-1.
+    let (candidates, latency_s) = match engine.transcribe(&transcript) {
+        Ok(t) => (t.candidates, t.elapsed.as_secs_f64()),
+        Err(_) => (Vec::new(), 0.0),
+    };
+    let top1 = candidates.first();
     let top1_sql = top1.map(|c| c.sql.clone()).unwrap_or_default();
     let top1_report = accuracy(&case.sql, &top1_sql);
     let top1_ted = ted(&case.sql, &top1_sql);
 
     let mut top5_report = top1_report;
     let mut top5_ted = top1_ted;
-    for c in t.candidates.iter().skip(1) {
+    for c in candidates.iter().skip(1) {
         top5_report = top5_report.max(accuracy(&case.sql, &c.sql));
         top5_ted = top5_ted.min(ted(&case.sql, &c.sql));
     }
@@ -77,7 +82,7 @@ pub fn run_case(asr: &AsrEngine, engine: &SpeakQl, split: &str, case: &QueryCase
         top5_report,
         top5_ted,
         structure_ted,
-        latency_s: t.elapsed.as_secs_f64(),
+        latency_s,
         gt_structure: case.structure.clone(),
         gt_literals: case.literals.clone(),
         top1_structure: top1.map(|c| c.structure.clone()),

@@ -1,0 +1,58 @@
+//! Tier-1 fault-injection suite: the adversarial corpus must replay through
+//! engine, clause, streaming, batch, counter, and persistence layers with
+//! zero panics and deterministic error classification. The same runner backs
+//! the `fault_injection` CI binary.
+
+use speakql_bench::fault::{adversarial_corpus, run_fault_injection, Expected};
+
+#[test]
+fn adversarial_corpus_covers_the_issue_classes() {
+    let corpus = adversarial_corpus();
+    let names: Vec<&str> = corpus.iter().map(|c| c.name).collect();
+    for required in [
+        "empty",
+        "whitespace_only",
+        "non_ascii_multibyte",
+        "pathologically_long",
+        "keyword_free",
+        "splchar_only",
+    ] {
+        assert!(names.contains(&required), "missing corpus case {required}");
+    }
+    // Both outcomes are represented: typed errors and graceful correction.
+    assert!(corpus
+        .iter()
+        .any(|c| matches!(c.expected, Expected::ErrorClass(_))));
+    assert!(corpus
+        .iter()
+        .any(|c| matches!(c.expected, Expected::Candidates)));
+}
+
+#[test]
+fn no_layer_panics_and_every_case_classifies_deterministically() {
+    let report = run_fault_injection();
+    let failed: Vec<String> = report
+        .failures()
+        .map(|o| format!("{} [{}] -> {}", o.case, o.layer, o.observed))
+        .collect();
+    assert!(
+        failed.is_empty(),
+        "fault-injection failures:\n{}\n{}",
+        failed.join("\n"),
+        report.render_table()
+    );
+    // The harness exercised every layer named in the issue.
+    for layer in [
+        "engine",
+        "clause",
+        "streaming",
+        "batch",
+        "counters",
+        "persist",
+    ] {
+        assert!(
+            report.outcomes.iter().any(|o| o.layer == layer),
+            "no outcomes for layer {layer}"
+        );
+    }
+}

@@ -132,7 +132,16 @@ fn write_report(engine: &SpeakQl, path: &str) -> bool {
     }
 }
 
-fn show_result(result: &speakql_core::Transcription) -> ExitCode {
+fn show_result(result: &speakql_core::SpeakQlResult<speakql_core::Transcription>) -> ExitCode {
+    // A typed pipeline error (empty transcript, over-long input, contained
+    // worker fault) is a clean failure exit, never a panic.
+    let result = match result {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let Some(best) = result.best_sql() else {
         eprintln!("no candidates");
         return ExitCode::FAILURE;
@@ -216,8 +225,20 @@ fn cmd_transcribe_batch(
     let start = std::time::Instant::now();
     let results = engine.transcribe_batch(&lines);
     let elapsed = start.elapsed();
+    let mut errors = 0usize;
     for (transcript, result) in lines.iter().zip(&results) {
-        println!("{}\t{}", transcript, result.best_sql().unwrap_or(""));
+        match result {
+            Ok(t) => println!("{}\t{}", transcript, t.best_sql().unwrap_or("")),
+            // Per-slot containment: a failed transcript reports its error
+            // class in its own output row and the batch keeps going.
+            Err(e) => {
+                errors += 1;
+                println!("{}\t<error: {}>", transcript, e.class());
+            }
+        }
+    }
+    if errors > 0 {
+        eprintln!("[speakql] {errors} transcript(s) failed");
     }
     eprintln!(
         "[speakql] {} transcript(s) in {:.3}s on {} thread(s)",

@@ -1,0 +1,96 @@
+//! CLI-layer fault injection: adversarial inputs driven through the real
+//! `speakql` binary must exit with clean status codes and typed error
+//! messages — never a panic (no "panicked at" on stderr, no abort signal).
+
+use std::process::{Command, Output};
+
+fn speakql(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_speakql"))
+        .args(args)
+        .env("SPEAKQL_SCALE", "small")
+        .output()
+        .expect("spawn speakql binary")
+}
+
+fn assert_no_panic(out: &Output, what: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("panicked at"),
+        "{what}: binary panicked:\n{stderr}"
+    );
+    assert!(
+        out.status.code().is_some(),
+        "{what}: killed by signal (status {:?})",
+        out.status
+    );
+}
+
+#[test]
+fn overlong_transcript_is_a_clean_failure_exit() {
+    let words: Vec<String> = vec!["select".to_string(); 2_000];
+    let mut args = vec!["transcribe"];
+    args.extend(words.iter().map(String::as_str));
+    let out = speakql(&args);
+    assert_no_panic(&out, "overlong transcribe");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "missing typed error:\n{stderr}");
+    assert!(stderr.contains("2000"), "error should name the word count");
+}
+
+#[test]
+fn non_ascii_transcript_succeeds() {
+    let out = speakql(&["transcribe", "sélect", "salary", "frôm", "employées"]);
+    assert_no_panic(&out, "non-ascii transcribe");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("corrected :"), "no correction:\n{stdout}");
+}
+
+#[test]
+fn batch_with_poisoned_line_reports_per_slot_errors() {
+    let dir = std::env::temp_dir().join("speakql-fault-cli");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("batch.txt");
+    let overlong = vec!["select"; 1_100].join(" ");
+    std::fs::write(
+        &path,
+        format!("select salary from employees\n{overlong}\nselect name from employees\n"),
+    )
+    .expect("write batch file");
+
+    let out = speakql(&["transcribe", "--batch", path.to_str().expect("utf-8 path")]);
+    std::fs::remove_file(&path).ok();
+    assert_no_panic(&out, "poisoned batch");
+    // Batch mode keeps going past failed slots and exits successfully.
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let rows: Vec<&str> = stdout.lines().filter(|l| l.contains('\t')).collect();
+    assert_eq!(rows.len(), 3, "one TSV row per input line:\n{stdout}");
+    assert!(
+        rows[1].contains("<error: transcript_too_long>"),
+        "poisoned slot must carry its error class:\n{stdout}"
+    );
+    assert!(rows[0].contains("SELECT"), "good slot corrected:\n{stdout}");
+    assert!(rows[2].contains("SELECT"), "good slot corrected:\n{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("1 transcript(s) failed"),
+        "failure tally missing:\n{stderr}"
+    );
+}
+
+#[test]
+fn corrupted_index_file_is_a_typed_error() {
+    let dir = std::env::temp_dir().join("speakql-fault-cli");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("corrupt.sqlx");
+    std::fs::write(&path, b"SQLXgarbage-not-an-index").expect("write corrupt index");
+
+    let out = speakql(&["index-info", path.to_str().expect("utf-8 path")]);
+    std::fs::remove_file(&path).ok();
+    assert_no_panic(&out, "corrupt index-info");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "missing typed error:\n{stderr}");
+}

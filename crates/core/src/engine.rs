@@ -6,6 +6,7 @@
 
 use crate::cache::SkeletonCache;
 use crate::catalog::PhoneticCatalog;
+use crate::error::{panic_message, SpeakQlError, SpeakQlResult};
 use crate::literal::{FilledLiteral, LiteralConfig, LiteralFinder, WindowEncodings};
 use parking_lot::Mutex;
 use speakql_db::Database;
@@ -17,9 +18,38 @@ use speakql_grammar::{
 use speakql_index::{SearchConfig, SearchHit, StructureIndex};
 use speakql_observe::{CounterId, PipelineReport, Recorder, SpanId};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Fault-injection hook for robustness testing: when set on a
+/// [`SpeakQlConfig`], the hook runs against each raw transcript before the
+/// pipeline does. A hook that panics simulates a poisoned input — the engine
+/// must contain the panic to a per-transcript
+/// [`SpeakQlError::WorkerPanic`] instead of unwinding into the caller or
+/// aborting a batch. The CI fault-injection harness is the intended user;
+/// production configurations leave this unset.
+#[derive(Clone)]
+pub struct FaultHook(Arc<dyn Fn(&str) + Send + Sync>);
+
+impl FaultHook {
+    /// Wrap a closure to run against every transcript before transcription.
+    pub fn new(hook: impl Fn(&str) + Send + Sync + 'static) -> FaultHook {
+        FaultHook(Arc::new(hook))
+    }
+
+    /// Run the hook against one transcript.
+    pub fn fire(&self, transcript: &str) {
+        (self.0)(transcript)
+    }
+}
+
+impl std::fmt::Debug for FaultHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FaultHook(..)")
+    }
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -50,6 +80,16 @@ pub struct SpeakQlConfig {
     /// and [`SpeakQl::transcribe_batch`]; clause-level transcription never
     /// consults it (clause indexes hold different structure arenas).
     pub cache_capacity: usize,
+    /// Upper bound on transcript length in words. The structure search is
+    /// quadratic in transcript length, so a pathologically long input could
+    /// monopolize a worker for minutes; anything longer than this cap is
+    /// rejected up front with [`SpeakQlError::TranscriptTooLong`]. The
+    /// default (1024) is two orders of magnitude above the longest query the
+    /// paper's workloads dictate.
+    pub max_transcript_words: usize,
+    /// Fault-injection hook for robustness testing; `None` (the default) in
+    /// any real configuration. See [`FaultHook`].
+    pub fault_hook: Option<FaultHook>,
 }
 
 impl SpeakQlConfig {
@@ -67,6 +107,8 @@ impl SpeakQlConfig {
             threads: 1,
             observe: false,
             cache_capacity: 0,
+            max_transcript_words: 1024,
+            fault_hook: None,
         }
     }
 
@@ -102,6 +144,19 @@ impl SpeakQlConfig {
     /// (`0` disables caching).
     pub fn with_cache_capacity(mut self, capacity: usize) -> SpeakQlConfig {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// This configuration with a transcript word cap of `max` words.
+    pub fn with_max_transcript_words(mut self, max: usize) -> SpeakQlConfig {
+        self.max_transcript_words = max;
+        self
+    }
+
+    /// This configuration with a [`FaultHook`] installed (robustness tests
+    /// only).
+    pub fn with_fault_hook(mut self, hook: FaultHook) -> SpeakQlConfig {
+        self.fault_hook = Some(hook);
         self
     }
 
@@ -179,7 +234,9 @@ pub struct Transcription {
     pub transcript: String,
     /// The processed transcript (after SplChar handling and masking).
     pub processed: ProcessedTranscript,
-    /// Ranked candidates, best first. Non-empty unless the index is empty.
+    /// Ranked candidates, best first. Always non-empty: an engine whose
+    /// index is empty returns [`SpeakQlError::EmptyIndex`] instead of a
+    /// candidate-less transcription.
     pub candidates: Vec<Candidate>,
     /// End-to-end latency of this transcription.
     pub elapsed: Duration,
@@ -237,14 +294,17 @@ impl SpeakQl {
         }
     }
 
+    /// The structure index the engine searches.
     pub fn index(&self) -> &StructureIndex {
         &self.index
     }
 
+    /// The phonetic catalog literals are voted from.
     pub fn catalog(&self) -> &PhoneticCatalog {
         &self.catalog
     }
 
+    /// The configuration the engine was built with.
     pub fn config(&self) -> &SpeakQlConfig {
         &self.config
     }
@@ -270,8 +330,14 @@ impl SpeakQl {
     /// Transcribe a raw ASR transcript into ranked corrected-SQL candidates.
     /// Applies the nested-query heuristic when the transcript contains a
     /// second SELECT (App. F.8).
-    pub fn transcribe(&self, transcript: &str) -> Transcription {
-        self.transcribe_one(transcript, false)
+    ///
+    /// Never panics: malformed input is classified into a typed
+    /// [`SpeakQlError`] (empty transcript, transcript over the word cap,
+    /// empty index), and any panic a pipeline worker raises is contained at
+    /// this boundary and returned as [`SpeakQlError::WorkerPanic`]. Each
+    /// error class increments its `engine.errors.*` counter.
+    pub fn transcribe(&self, transcript: &str) -> SpeakQlResult<Transcription> {
+        self.transcribe_guarded(transcript, false)
     }
 
     /// Transcribe many transcripts on a bounded worker pool of
@@ -281,7 +347,12 @@ impl SpeakQl {
     /// is pure inter-query parallelism. Within each batch worker, per-call
     /// parallelism (parallel search, parallel candidate construction) is
     /// disabled to avoid oversubscribing the pool.
-    pub fn transcribe_batch(&self, transcripts: &[&str]) -> Vec<Transcription> {
+    ///
+    /// Failure is contained per slot: a transcript that panics a worker (or
+    /// fails validation) yields an `Err` in its own output position while
+    /// every other slot completes normally — one poisoned transcript can
+    /// never abort the batch.
+    pub fn transcribe_batch(&self, transcripts: &[&str]) -> Vec<SpeakQlResult<Transcription>> {
         // An empty batch must not spin up (or even size) the worker pool.
         if transcripts.is_empty() {
             return Vec::new();
@@ -300,45 +371,104 @@ impl SpeakQl {
         // is the time from here until a worker dequeues it.
         let submitted = self.recorder.is_enabled().then(Instant::now);
         let cursor = AtomicUsize::new(0);
-        let per_worker: Vec<Vec<(usize, Transcription)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut done = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(t) = transcripts.get(i) else { break };
-                            if let Some(t0) = submitted {
-                                self.recorder
-                                    .record_duration(SpanId::BatchQueueWait, t0.elapsed());
+        let per_worker: Vec<Vec<(usize, SpeakQlResult<Transcription>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut done = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(t) = transcripts.get(i) else { break };
+                                if let Some(t0) = submitted {
+                                    self.recorder
+                                        .record_duration(SpanId::BatchQueueWait, t0.elapsed());
+                                }
+                                self.recorder.incr(CounterId::BatchJobs);
+                                // Per-slot containment happens inside
+                                // `transcribe_guarded`; a poisoned transcript
+                                // leaves this loop (and thread) alive.
+                                done.push((i, self.transcribe_guarded(t, true)));
                             }
-                            self.recorder.incr(CounterId::BatchJobs);
-                            done.push((i, self.transcribe_one(t, true)));
-                        }
-                        done
+                            done
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("batch worker panicked"))
-                .collect()
-        });
-        let mut slots: Vec<Option<Transcription>> = (0..transcripts.len()).map(|_| None).collect();
+                    .collect();
+                handles
+                    .into_iter()
+                    // A worker can only die from a panic escaping the
+                    // containment boundary (e.g. inside the recorder). Treat
+                    // its lost slots as worker panics below rather than
+                    // aborting the surviving ones.
+                    .map(|h| h.join().unwrap_or_default())
+                    .collect()
+            });
+        let mut slots: Vec<Option<SpeakQlResult<Transcription>>> =
+            (0..transcripts.len()).map(|_| None).collect();
         for (i, t) in per_worker.into_iter().flatten() {
             slots[i] = Some(t);
         }
         slots
             .into_iter()
-            .map(|t| t.expect("every transcript transcribed"))
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    let e = SpeakQlError::WorkerPanic {
+                        message: "batch worker terminated before completing this slot".to_string(),
+                    };
+                    self.recorder.incr(e.counter());
+                    Err(e)
+                })
+            })
             .collect()
     }
 
-    /// One full transcription; `batch_worker` marks calls made from inside
-    /// the `transcribe_batch` pool, which must stay single-threaded.
-    fn transcribe_one(&self, transcript: &str, batch_worker: bool) -> Transcription {
+    /// Containment boundary shared by every public transcription entry
+    /// point: runs `work` under `catch_unwind`, converts an escaped panic to
+    /// [`SpeakQlError::WorkerPanic`], and counts every error class.
+    fn contain(
+        &self,
+        work: impl FnOnce() -> SpeakQlResult<Transcription>,
+    ) -> SpeakQlResult<Transcription> {
+        // AssertUnwindSafe: the engine's shared state is parking_lot mutexes
+        // (no poisoning) and monotone atomics; a contained panic can leave
+        // them mid-update only in ways the next call tolerates.
+        let result = catch_unwind(AssertUnwindSafe(work)).unwrap_or_else(|payload| {
+            Err(SpeakQlError::WorkerPanic {
+                message: panic_message(payload),
+            })
+        });
+        if let Err(e) = &result {
+            self.recorder.incr(e.counter());
+        }
+        result
+    }
+
+    /// One guarded transcription; `batch_worker` marks calls made from
+    /// inside the `transcribe_batch` pool, which must stay single-threaded.
+    fn transcribe_guarded(
+        &self,
+        transcript: &str,
+        batch_worker: bool,
+    ) -> SpeakQlResult<Transcription> {
+        self.contain(|| self.transcribe_checked(transcript, batch_worker))
+    }
+
+    /// Input validation plus the full pipeline; panics raised below here are
+    /// contained by [`SpeakQl::contain`].
+    fn transcribe_checked(
+        &self,
+        transcript: &str,
+        batch_worker: bool,
+    ) -> SpeakQlResult<Transcription> {
+        if let Some(hook) = &self.config.fault_hook {
+            hook.fire(transcript);
+        }
         let start = Instant::now();
         let words = tokenize_transcript(transcript);
+        self.validate(&words)?;
+        if self.index.is_empty() {
+            return Err(SpeakQlError::EmptyIndex);
+        }
         let t = if let Some(result) = self.try_nested(transcript, &words, start, batch_worker) {
             self.recorder.incr(CounterId::NestedSplits);
             result
@@ -355,20 +485,49 @@ impl SpeakQl {
         };
         self.recorder.incr(CounterId::Transcriptions);
         self.recorder.record_duration(SpanId::Transcribe, t.elapsed);
-        t
+        Ok(t)
+    }
+
+    /// Shared transcript validation: word presence and the length cap.
+    fn validate(&self, words: &[String]) -> SpeakQlResult<()> {
+        if words.is_empty() {
+            return Err(SpeakQlError::EmptyTranscript);
+        }
+        if words.len() > self.config.max_transcript_words {
+            return Err(SpeakQlError::TranscriptTooLong {
+                words: words.len(),
+                max: self.config.max_transcript_words,
+            });
+        }
+        Ok(())
     }
 
     /// Clause-level transcription (§5): search only the structures of one
-    /// clause kind, e.g. re-dictating just the WHERE clause.
-    pub fn transcribe_clause(&self, clause: ClauseKind, transcript: &str) -> Transcription {
-        let start = Instant::now();
-        let index = self.clause_index(clause);
-        let words = tokenize_transcript(transcript);
-        let mut t = self.transcribe_words(&words, &index, None, start, false);
-        t.transcript = transcript.to_string();
-        self.recorder.incr(CounterId::Transcriptions);
-        self.recorder.record_duration(SpanId::Transcribe, t.elapsed);
-        t
+    /// clause kind, e.g. re-dictating just the WHERE clause. Shares
+    /// [`SpeakQl::transcribe`]'s error contract: typed errors, contained
+    /// panics, never an unwind into the caller.
+    pub fn transcribe_clause(
+        &self,
+        clause: ClauseKind,
+        transcript: &str,
+    ) -> SpeakQlResult<Transcription> {
+        self.contain(|| {
+            if let Some(hook) = &self.config.fault_hook {
+                hook.fire(transcript);
+            }
+            let start = Instant::now();
+            let words = tokenize_transcript(transcript);
+            self.validate(&words)?;
+            let index = self.clause_index(clause);
+            if index.is_empty() {
+                return Err(SpeakQlError::EmptyIndex);
+            }
+            let mut t = self.transcribe_words(&words, &index, None, start, false);
+            t.transcript = transcript.to_string();
+            self.recorder.incr(CounterId::Transcriptions);
+            self.recorder.record_duration(SpanId::Transcribe, t.elapsed);
+            Ok(t)
+        })
     }
 
     fn clause_index(&self, clause: ClauseKind) -> Arc<StructureIndex> {
@@ -451,7 +610,13 @@ impl SpeakQl {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("candidate worker panicked"))
+                    // Re-raise worker panics on the calling thread so the
+                    // `contain` boundary converts them into a typed error
+                    // instead of aborting the whole scope.
+                    .map(|h| match h.join() {
+                        Ok(chunk) => chunk,
+                        Err(payload) => resume_unwind(payload),
+                    })
                     .collect()
             });
             let mut cs = Vec::with_capacity(hits.len());
@@ -706,31 +871,46 @@ mod tests {
         E.get_or_init(|| SpeakQl::new(&toy_db(), SpeakQlConfig::small()))
     }
 
+    /// Assert-unwrap a transcription result with a readable failure message.
+    fn ok(r: SpeakQlResult<Transcription>) -> Transcription {
+        match r {
+            Ok(t) => t,
+            Err(e) => panic!("transcription failed: {e}"),
+        }
+    }
+
+    /// Assert-unwrap the best candidate SQL.
+    fn best(t: &Transcription) -> &str {
+        match t.best_sql() {
+            Some(s) => s,
+            None => panic!("transcription produced no candidates"),
+        }
+    }
+
     #[test]
     fn end_to_end_running_example() {
         // Fig. 2: "select sales from employers wear name equals Jon" →
         // SELECT Salary FROM Employees WHERE FirstName = 'John' (our toy
         // schema's nearest equivalents).
-        let t = engine().transcribe("select sales from employers wear first name equals jon");
-        let best = t.best_sql().unwrap();
+        let t = ok(engine().transcribe("select sales from employers wear first name equals jon"));
         assert_eq!(
-            best,
+            best(&t),
             "SELECT Salary FROM Employees WHERE FirstName = 'John'"
         );
     }
 
     #[test]
     fn perfect_transcript_roundtrips() {
-        let t = engine().transcribe("select salary from salaries");
+        let t = ok(engine().transcribe("select salary from salaries"));
         // The toy schema has both Employees.Salary and Salaries.salary; the
         // lexicographic tie-break picks the capitalized one.
-        assert_eq!(t.best_sql().unwrap(), "SELECT Salary FROM Salaries");
+        assert_eq!(best(&t), "SELECT Salary FROM Salaries");
         assert_eq!(t.candidates[0].distance, 0);
     }
 
     #[test]
     fn top_k_candidates_ranked() {
-        let t = engine().transcribe("select salary from employees");
+        let t = ok(engine().transcribe("select salary from employees"));
         assert_eq!(t.candidates.len(), 5);
         for w in t.candidates.windows(2) {
             assert!(w[0].distance <= w[1].distance);
@@ -739,28 +919,29 @@ mod tests {
 
     #[test]
     fn clause_level_where_dictation() {
-        let t = engine().transcribe_clause(ClauseKind::Where, "where salary greater than 70000");
-        let best = t.best_sql().unwrap();
+        let t =
+            ok(engine().transcribe_clause(ClauseKind::Where, "where salary greater than 70000"));
+        let best = best(&t);
         assert!(best.starts_with("WHERE"), "got {best}");
         assert!(best.contains('>'), "got {best}");
     }
 
     #[test]
     fn clause_level_select_dictation() {
-        let t = engine().transcribe_clause(
+        let t = ok(engine().transcribe_clause(
             ClauseKind::Select,
             "select sum open parenthesis salary close parenthesis",
-        );
-        assert_eq!(t.best_sql().unwrap(), "SELECT SUM ( Salary )");
+        ));
+        assert_eq!(best(&t), "SELECT SUM ( Salary )");
     }
 
     #[test]
     fn nested_query_heuristic() {
-        let t = engine().transcribe(
+        let t = ok(engine().transcribe(
             "select first name from employees where employee number in open parenthesis \
              select employee number from salaries where salary greater than 70000 close parenthesis",
-        );
-        let best = t.best_sql().unwrap();
+        ));
+        let best = best(&t);
         assert!(best.contains("IN ( SELECT"), "got: {best}");
         assert!(best.ends_with(')'), "got: {best}");
         // The inner query must itself be well-formed.
@@ -768,20 +949,50 @@ mod tests {
     }
 
     #[test]
-    fn empty_transcript_still_returns() {
-        let t = engine().transcribe("");
+    fn empty_transcript_is_a_typed_error() {
+        assert!(matches!(
+            engine().transcribe(""),
+            Err(SpeakQlError::EmptyTranscript)
+        ));
+        assert!(matches!(
+            engine().transcribe("   \t  \n "),
+            Err(SpeakQlError::EmptyTranscript)
+        ));
+        assert!(matches!(
+            engine().transcribe_clause(ClauseKind::Where, ""),
+            Err(SpeakQlError::EmptyTranscript)
+        ));
+    }
+
+    #[test]
+    fn overlong_transcript_is_rejected_up_front() {
+        let engine = SpeakQl::new(
+            &toy_db(),
+            SpeakQlConfig::small().with_max_transcript_words(8),
+        );
+        let long = "select salary from employees where first name equals john or salary";
+        match engine.transcribe(long) {
+            Err(SpeakQlError::TranscriptTooLong { words, max }) => {
+                assert_eq!(words, 11);
+                assert_eq!(max, 8);
+            }
+            other => panic!("expected TranscriptTooLong, got {other:?}"),
+        }
+        // At or below the cap the pipeline runs normally.
+        let t = ok(engine.transcribe("select salary from employees"));
         assert!(!t.candidates.is_empty());
     }
 
     #[test]
     fn latency_is_recorded() {
-        let t = engine().transcribe("select salary from salaries");
+        let t = ok(engine().transcribe("select salary from salaries"));
         assert!(t.elapsed > Duration::ZERO);
     }
 
     #[test]
     fn stage_timings_are_recorded() {
-        let t = engine().transcribe("select salary from employees where first name equals john");
+        let t =
+            ok(engine().transcribe("select salary from employees where first name equals john"));
         assert!(t.stages.search > Duration::ZERO);
         assert!(t.stages.literal > Duration::ZERO);
         assert!(t.stages.total() <= t.elapsed);
@@ -798,12 +1009,16 @@ mod tests {
             "select salary from employees",
             "select sales from employers wear first name equals jon",
             "select first name comma salary from employees order by salary",
-            "",
         ] {
-            let seq = engine().transcribe(t);
-            let par = par_engine().transcribe(t);
+            let seq = ok(engine().transcribe(t));
+            let par = ok(par_engine().transcribe(t));
             assert_eq!(seq.candidates, par.candidates, "transcript: {t:?}");
         }
+        // Error classification is thread-count independent too.
+        assert!(matches!(
+            par_engine().transcribe(""),
+            Err(SpeakQlError::EmptyTranscript)
+        ));
     }
 
     #[test]
@@ -817,9 +1032,86 @@ mod tests {
     #[test]
     fn batch_of_one_matches_single_transcribe() {
         let t = "select salary from employees";
-        let batch = par_engine().transcribe_batch(&[t]);
+        let mut batch = par_engine().transcribe_batch(&[t]);
         assert_eq!(batch.len(), 1);
-        assert_eq!(batch[0].candidates, engine().transcribe(t).candidates);
+        let only = ok(batch.remove(0));
+        assert_eq!(only.candidates, ok(engine().transcribe(t)).candidates);
+    }
+
+    #[test]
+    fn poisoned_transcript_fails_its_own_batch_slot_only() {
+        // A fault hook that panics on one marker transcript simulates a
+        // pipeline worker blowing up mid-batch.
+        let engine = SpeakQl::new(
+            &toy_db(),
+            SpeakQlConfig::small()
+                .with_threads(4)
+                .with_fault_hook(FaultHook::new(|t| {
+                    assert!(!t.contains("poison"), "injected fault");
+                })),
+        );
+        let transcripts = [
+            "select salary from employees",
+            "select salary from salaries",
+            "select poison from employees",
+            "select first name from employees",
+            "select employee number from salaries",
+        ];
+        let batch = engine.transcribe_batch(&transcripts);
+        assert_eq!(batch.len(), transcripts.len(), "every slot must be filled");
+        for (i, slot) in batch.iter().enumerate() {
+            if i == 2 {
+                match slot {
+                    Err(SpeakQlError::WorkerPanic { message }) => {
+                        assert!(message.contains("injected fault"), "{message}");
+                    }
+                    other => panic!("slot 2 should be WorkerPanic, got {other:?}"),
+                }
+            } else {
+                let t = match slot {
+                    Ok(t) => t,
+                    Err(e) => panic!("slot {i} should succeed, got {e}"),
+                };
+                assert_eq!(t.transcript, transcripts[i], "input-order output");
+                assert!(!t.candidates.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn contained_panic_is_a_typed_error_on_single_calls() {
+        let engine = SpeakQl::new(
+            &toy_db(),
+            SpeakQlConfig::small().with_fault_hook(FaultHook::new(|_| panic!("kaboom"))),
+        );
+        match engine.transcribe("select salary from employees") {
+            Err(SpeakQlError::WorkerPanic { message }) => assert_eq!(message, "kaboom"),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        assert!(matches!(
+            engine.transcribe_clause(ClauseKind::Where, "where salary greater than 70000"),
+            Err(SpeakQlError::WorkerPanic { .. })
+        ));
+    }
+
+    #[test]
+    fn error_counters_classify_failures() {
+        let engine = SpeakQl::new(
+            &toy_db(),
+            SpeakQlConfig::small()
+                .with_observability(true)
+                .with_max_transcript_words(4),
+        );
+        let _ = engine.transcribe("");
+        let _ = engine.transcribe("   ");
+        let _ = engine.transcribe("select salary from employees where salary");
+        let report = engine.report();
+        assert_eq!(report.counter(CounterId::ErrorsEmptyTranscript), 2);
+        assert_eq!(report.counter(CounterId::ErrorsTranscriptTooLong), 1);
+        assert_eq!(report.counter(CounterId::ErrorsEmptyIndex), 0);
+        assert_eq!(report.counter(CounterId::ErrorsWorkerPanic), 0);
+        // Failed calls never count as completed transcriptions.
+        assert_eq!(report.counter(CounterId::Transcriptions), 0);
     }
 
     fn observed_engine() -> &'static SpeakQl {
@@ -832,29 +1124,38 @@ mod tests {
         for t in [
             "select salary from employees",
             "select sales from employers wear first name equals jon",
-            "",
         ] {
-            let plain = engine().transcribe(t);
-            let observed = observed_engine().transcribe(t);
+            let plain = ok(engine().transcribe(t));
+            let observed = ok(observed_engine().transcribe(t));
             assert_eq!(plain.candidates, observed.candidates, "transcript: {t:?}");
             assert_eq!(plain.processed, observed.processed, "transcript: {t:?}");
         }
+        assert!(matches!(
+            observed_engine().transcribe(""),
+            Err(SpeakQlError::EmptyTranscript)
+        ));
     }
 
     #[test]
     fn report_reflects_pipeline_work() {
         let engine = SpeakQl::new(&toy_db(), SpeakQlConfig::small().with_observability(true));
         assert!(engine.recorder().is_enabled());
-        engine.transcribe("select salary from employees where first name equals john");
+        ok(engine.transcribe("select salary from employees where first name equals john"));
         let report = engine.report();
         assert_eq!(report.counter(CounterId::Transcriptions), 1);
         assert!(report.counter(CounterId::SearchNodesVisited) > 0);
         assert!(report.counter(CounterId::EditDistCells) > 0);
         assert!(report.counter(CounterId::VoteComparisons) > 0);
         assert_eq!(report.counter(CounterId::CandidatesBuilt), 5);
-        let search = report.stage(SpanId::Search).unwrap();
+        let search = match report.stage(SpanId::Search) {
+            Some(s) => s,
+            None => panic!("search stage missing from report"),
+        };
         assert_eq!(search.count, 1);
-        let walks = report.stage(SpanId::TrieWalk).unwrap();
+        let walks = match report.stage(SpanId::TrieWalk) {
+            Some(s) => s,
+            None => panic!("trie-walk stage missing from report"),
+        };
         assert!(walks.count > 0);
         // Batch counters stay untouched outside transcribe_batch.
         assert_eq!(report.counter(CounterId::BatchJobs), 0);
@@ -877,10 +1178,15 @@ mod tests {
                 .with_observability(true),
         );
         let transcripts = ["select salary from employees"; 6];
-        engine.transcribe_batch(&transcripts);
+        let batch = engine.transcribe_batch(&transcripts);
+        assert!(batch.iter().all(|r| r.is_ok()));
         let report = engine.report();
         assert_eq!(report.counter(CounterId::BatchJobs), 6);
-        assert_eq!(report.stage(SpanId::BatchQueueWait).unwrap().count, 6);
+        let waits = match report.stage(SpanId::BatchQueueWait) {
+            Some(s) => s,
+            None => panic!("queue-wait stage missing from report"),
+        };
+        assert_eq!(waits.count, 6);
         assert_eq!(report.counter(CounterId::Transcriptions), 6);
     }
 
@@ -897,10 +1203,20 @@ mod tests {
         ];
         let batch = par_engine().transcribe_batch(&transcripts);
         assert_eq!(batch.len(), transcripts.len());
-        for (b, t) in batch.iter().zip(&transcripts) {
-            let seq = engine().transcribe(t);
-            assert_eq!(b.transcript, *t, "output order must match input order");
-            assert_eq!(b.candidates, seq.candidates, "transcript: {t:?}");
+        for (slot, t) in batch.iter().zip(&transcripts) {
+            match engine().transcribe(t) {
+                Ok(seq) => {
+                    let b = match slot {
+                        Ok(b) => b,
+                        Err(e) => panic!("batch slot for {t:?} failed: {e}"),
+                    };
+                    assert_eq!(b.transcript, *t, "output order must match input order");
+                    assert_eq!(b.candidates, seq.candidates, "transcript: {t:?}");
+                }
+                // The empty transcript's slot carries the same typed error
+                // the sequential call returns.
+                Err(seq_err) => assert_eq!(slot.as_ref().err(), Some(&seq_err)),
+            }
         }
     }
 }
@@ -934,6 +1250,14 @@ mod config_tests {
         )
     }
 
+    /// Assert-unwrap a transcription result with a readable failure message.
+    fn ok(r: SpeakQlResult<Transcription>) -> Transcription {
+        match r {
+            Ok(t) => t,
+            Err(e) => panic!("transcription failed: {e}"),
+        }
+    }
+
     #[test]
     fn engine_runs_under_every_search_mode() {
         let transcript = "select salary from employees where name equals john";
@@ -946,7 +1270,7 @@ mod config_tests {
                 inv,
                 threads: 1,
             });
-            let t = engine.transcribe(transcript);
+            let t = ok(engine.transcribe(transcript));
             assert_eq!(t.best_sql(), Some(expected), "dap={dap} inv={inv}");
         }
     }
@@ -958,7 +1282,7 @@ mod config_tests {
                 k,
                 ..SearchConfig::default()
             });
-            let t = engine.transcribe("select salary from employees");
+            let t = ok(engine.transcribe("select salary from employees"));
             assert_eq!(t.candidates.len(), k);
         }
     }
@@ -968,7 +1292,7 @@ mod config_tests {
         let engine = engine_with(SearchConfig::top_k(1));
         // A window containing both attribute sounds: votes split between
         // Name and Salary, so the loser surfaces as a keyboard suggestion.
-        let t = engine.transcribe("select salary name from employees");
+        let t = ok(engine.transcribe("select salary name from employees"));
         let c = &t.candidates[0];
         let attr = &c.literals[0];
         let mut seen = vec![attr.literal.clone()];

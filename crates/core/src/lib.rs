@@ -19,13 +19,15 @@ pub mod align;
 pub mod cache;
 pub mod catalog;
 pub mod engine;
+pub mod error;
 pub mod literal;
 pub mod streaming;
 
 pub use align::align_vars;
 pub use cache::SkeletonCache;
 pub use catalog::PhoneticCatalog;
-pub use engine::{Candidate, SpeakQl, SpeakQlConfig, StageTimings, Transcription};
+pub use engine::{Candidate, FaultHook, SpeakQl, SpeakQlConfig, StageTimings, Transcription};
+pub use error::{SpeakQlError, SpeakQlResult};
 pub use literal::{
     enumerate_strings, enumerate_strings_with, parse_number_words, FilledLiteral, LiteralConfig,
     LiteralFinder, WindowEncodings,
@@ -89,20 +91,28 @@ mod fuzz {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
-        /// The engine never panics on arbitrary transcript soup, always
-        /// returns candidates, and every candidate parses as valid SQL of
-        /// the subset.
+        /// The engine never panics on arbitrary transcript soup: word-bearing
+        /// input always yields candidates, empty input yields the typed
+        /// empty-transcript error, and every candidate parses as valid SQL
+        /// of the subset.
         #[test]
         fn engine_total_on_arbitrary_transcripts(t in arb_transcript()) {
-            let result = engine().transcribe(&t);
-            prop_assert!(!result.candidates.is_empty());
-            for c in &result.candidates {
-                prop_assert!(
-                    speakql_db::parse_query(&c.sql).is_ok(),
-                    "unparsable candidate for '{}': {}",
-                    t,
-                    c.sql
-                );
+            match engine().transcribe(&t) {
+                Ok(result) => {
+                    prop_assert!(!result.candidates.is_empty());
+                    for c in &result.candidates {
+                        prop_assert!(
+                            speakql_db::parse_query(&c.sql).is_ok(),
+                            "unparsable candidate for '{}': {}",
+                            t,
+                            c.sql
+                        );
+                    }
+                }
+                Err(e) => {
+                    prop_assert_eq!(e, SpeakQlError::EmptyTranscript);
+                    prop_assert!(t.split_whitespace().next().is_none());
+                }
             }
         }
 
@@ -110,9 +120,10 @@ mod fuzz {
         /// placeholder bound exactly once).
         #[test]
         fn candidates_fully_bound(t in arb_transcript()) {
-            let result = engine().transcribe(&t);
-            for c in &result.candidates {
-                prop_assert_eq!(c.literals.len(), c.structure.var_count());
+            if let Ok(result) = engine().transcribe(&t) {
+                for c in &result.candidates {
+                    prop_assert_eq!(c.literals.len(), c.structure.var_count());
+                }
             }
         }
     }

@@ -105,6 +105,8 @@ pub struct LiteralFinder<'a> {
 }
 
 impl<'a> LiteralFinder<'a> {
+    /// Build a finder voting literals out of `catalog` under `config`, with
+    /// observability off and no shared window-encoding memo.
     pub fn new(catalog: &'a PhoneticCatalog, config: LiteralConfig) -> LiteralFinder<'a> {
         LiteralFinder {
             catalog,
@@ -259,7 +261,11 @@ impl<'a> LiteralFinder<'a> {
         let mut comparisons = 0u64;
         let mut exact_hits = 0u64;
         for (key_a, last_pos) in set_a.iter() {
-            let vote = candidates.nearest(key_a).expect("candidates non-empty");
+            // A candidate bucket can only be empty if the catalog column had
+            // no values; skip the window's vote rather than panic on it.
+            let Some(vote) = candidates.nearest(key_a) else {
+                continue;
+            };
             comparisons += vote.comparisons;
             exact_hits += vote.exact as u64;
             for bi in vote.winners {
@@ -862,8 +868,12 @@ mod tests {
             "T",
             vec![Column::new("FromDate", ValueType::Date)],
         ));
-        t.push_row(vec![Value::Date(DbDate::parse("1993-01-20").unwrap())]);
-        t.push_row(vec![Value::Date(DbDate::parse("1991-05-07").unwrap())]);
+        let date = |s: &str| match DbDate::parse(s) {
+            Some(d) => d,
+            None => panic!("fixture date must parse: {s}"),
+        };
+        t.push_row(vec![Value::Date(date("1993-01-20"))]);
+        t.push_row(vec![Value::Date(date("1991-05-07"))]);
         db.add_table(t);
         let catalog = PhoneticCatalog::build(&db);
         let finder = LiteralFinder::new(&catalog, LiteralConfig::default());

@@ -6,24 +6,34 @@
 //! received so far. Re-searching on every word is affordable because the
 //! structure search runs in well under a millisecond; a small stability
 //! heuristic avoids flickering between equally-distant candidates.
+//!
+//! Errors never interrupt a dictation: when a refresh fails (e.g. the
+//! growing hypothesis exceeds the word cap), the previous rendering stays on
+//! screen and the typed error is parked in [`StreamingTranscriber::last_error`]
+//! until a later refresh succeeds.
 
 use crate::engine::{SpeakQl, Transcription};
+use crate::error::SpeakQlError;
 
 /// Incremental transcription session over one utterance.
 pub struct StreamingTranscriber<'a> {
     engine: &'a SpeakQl,
     words: Vec<String>,
     last: Option<Transcription>,
+    /// The error from the most recent refresh, if it failed.
+    error: Option<SpeakQlError>,
     /// Count of re-searches performed (for instrumentation).
     updates: usize,
 }
 
 impl<'a> StreamingTranscriber<'a> {
+    /// Start an empty dictation session against `engine`.
     pub fn new(engine: &'a SpeakQl) -> StreamingTranscriber<'a> {
         StreamingTranscriber {
             engine,
             words: Vec::new(),
             last: None,
+            error: None,
             updates: 0,
         }
     }
@@ -71,6 +81,12 @@ impl<'a> StreamingTranscriber<'a> {
         self.last.as_ref()
     }
 
+    /// The error from the most recent refresh, or `None` when it succeeded.
+    /// A failed refresh keeps the previous [`Self::best_sql`] on display.
+    pub fn last_error(&self) -> Option<&SpeakQlError> {
+        self.error.as_ref()
+    }
+
     /// Number of engine re-searches performed so far.
     pub fn updates(&self) -> usize {
         self.updates
@@ -87,15 +103,24 @@ impl<'a> StreamingTranscriber<'a> {
     fn refresh(&mut self) {
         if self.words.is_empty() {
             self.last = None;
+            self.error = None;
             return;
         }
         let transcript = self.words.join(" ");
-        let next = self.engine.transcribe(&transcript);
         self.updates += 1;
-        // Stability: keep the previous rendering when the new best is not
-        // strictly better *relative to the growing input* — i.e. when the
-        // new candidate is merely a tie that would make the display flicker.
-        self.last = Some(next);
+        match self.engine.transcribe(&transcript) {
+            Ok(next) => {
+                // Stability: keep the previous rendering when the new best is
+                // not strictly better *relative to the growing input* — i.e.
+                // when the new candidate is merely a tie that would make the
+                // display flicker.
+                self.last = Some(next);
+                self.error = None;
+            }
+            // A failed refresh must not blank the display mid-dictation:
+            // keep the last good rendering and surface the typed error.
+            Err(e) => self.error = Some(e),
+        }
     }
 }
 
@@ -122,15 +147,23 @@ mod tests {
         })
     }
 
+    /// Assert-unwrap an optional SQL rendering.
+    fn sql(s: Option<&str>) -> &str {
+        match s {
+            Some(s) => s,
+            None => panic!("no rendering available"),
+        }
+    }
+
     #[test]
     fn grows_toward_the_full_query() {
         let mut s = StreamingTranscriber::new(engine());
         s.push_words(["select", "salary"]);
-        let early = s.best_sql().unwrap().to_string();
+        let early = sql(s.best_sql()).to_string();
         assert!(early.starts_with("SELECT"), "{early}");
         s.push_words(["from", "employees", "where", "name", "equals", "john"]);
         assert_eq!(
-            s.best_sql().unwrap(),
+            sql(s.best_sql()),
             "SELECT Salary FROM Employees WHERE Name = 'John'"
         );
         assert_eq!(s.updates(), 2);
@@ -142,7 +175,7 @@ mod tests {
         s.push_word("select");
         s.set_hypothesis("select salary from employees");
         assert_eq!(s.words().len(), 4);
-        assert_eq!(s.best_sql().unwrap(), "SELECT Salary FROM Employees");
+        assert_eq!(sql(s.best_sql()), "SELECT Salary FROM Employees");
     }
 
     #[test]
@@ -152,8 +185,14 @@ mod tests {
         for w in transcript.split_whitespace() {
             s.push_word(w);
         }
-        let streamed = s.finish().unwrap();
-        let batch = engine().transcribe(transcript);
+        let streamed = match s.finish() {
+            Some(t) => t,
+            None => panic!("stream produced no transcription"),
+        };
+        let batch = match engine().transcribe(transcript) {
+            Ok(t) => t,
+            Err(e) => panic!("transcription failed: {e}"),
+        };
         assert_eq!(streamed.best_sql(), batch.best_sql());
     }
 
@@ -162,5 +201,29 @@ mod tests {
         let s = StreamingTranscriber::new(engine());
         assert!(s.best_sql().is_none());
         assert!(s.finish().is_none());
+    }
+
+    #[test]
+    fn failed_refresh_keeps_previous_rendering() {
+        let mut db = Database::new("cap");
+        let mut t = Table::new(TableSchema::new(
+            "Employees",
+            vec![Column::new("Salary", ValueType::Int)],
+        ));
+        t.push_row(vec![Value::Int(1)]);
+        db.add_table(t);
+        let engine = SpeakQl::new(&db, SpeakQlConfig::small().with_max_transcript_words(4));
+        let mut s = StreamingTranscriber::new(&engine);
+        s.push_words(["select", "salary", "from", "employees"]);
+        let good = sql(s.best_sql()).to_string();
+        assert!(s.last_error().is_none());
+        // The fifth word pushes the hypothesis over the cap: the display
+        // keeps the last good rendering and the error is surfaced.
+        s.push_word("overflow");
+        assert_eq!(sql(s.best_sql()), good);
+        assert!(matches!(
+            s.last_error(),
+            Some(SpeakQlError::TranscriptTooLong { words: 5, max: 4 })
+        ));
     }
 }

@@ -7,7 +7,9 @@
 //! the comparison isolates the cache itself.
 
 use proptest::prelude::*;
-use speakql_core::{CounterId, SpeakQl, SpeakQlConfig};
+use speakql_core::{
+    Candidate, CounterId, SpeakQl, SpeakQlConfig, SpeakQlError, SpeakQlResult, Transcription,
+};
 use speakql_db::{Column, Database, Table, TableSchema, Value, ValueType};
 use speakql_index::StructureIndex;
 use std::sync::{Arc, OnceLock};
@@ -88,6 +90,12 @@ fn shared_index() -> Arc<StructureIndex> {
         .clone()
 }
 
+/// Comparable view of a transcription result: the candidate list on
+/// success, the typed error otherwise.
+fn view(r: &SpeakQlResult<Transcription>) -> Result<&[Candidate], &SpeakQlError> {
+    r.as_ref().map(|t| t.candidates.as_slice())
+}
+
 fn transcripts_strategy() -> impl Strategy<Value = Vec<String>> {
     proptest::collection::vec(
         proptest::collection::vec(0..WORDS.len(), 1..10)
@@ -125,9 +133,9 @@ proptest! {
                 let first = cached.transcribe_batch(&batch);
                 let warm = cached.transcribe_batch(&batch);
                 for ((e, f), w) in expect.iter().zip(&first).zip(&warm) {
-                    prop_assert_eq!(&e.candidates, &f.candidates,
+                    prop_assert_eq!(view(e), view(f),
                         "cold cache diverged (threads={}, bdb={})", threads, bdb);
-                    prop_assert_eq!(&e.candidates, &w.candidates,
+                    prop_assert_eq!(view(e), view(w),
                         "warm cache diverged (threads={}, bdb={})", threads, bdb);
                 }
                 // The warm pass must actually have been served by the cache.
@@ -163,7 +171,8 @@ fn eviction_churn_preserves_results() {
             let e = uncached.transcribe(q);
             let c = cached.transcribe(q);
             assert_eq!(
-                e.candidates, c.candidates,
+                view(&e),
+                view(&c),
                 "round {round}: cached result diverged for {q:?}"
             );
         }

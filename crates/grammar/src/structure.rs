@@ -42,8 +42,10 @@ pub struct StructTokId(pub u8);
 pub const STRUCT_ALPHABET: usize = 1 + 19 + 8;
 
 impl StructTokId {
+    /// The id of the literal placeholder token (`Var`).
     pub const VAR: StructTokId = StructTokId(0);
 
+    /// Intern a [`StructTok`] into its dense id.
     pub fn from_tok(tok: StructTok) -> StructTokId {
         match tok {
             StructTok::Var => StructTokId(0),
@@ -52,6 +54,7 @@ impl StructTokId {
         }
     }
 
+    /// Decode the id back into its [`StructTok`].
     pub fn tok(self) -> StructTok {
         match self.0 {
             0 => StructTok::Var,
@@ -61,10 +64,12 @@ impl StructTokId {
         }
     }
 
+    /// The token class (keyword / splchar / literal) this id maps to.
     pub fn class(self) -> TokenClass {
         self.tok().class()
     }
 
+    /// True for the literal placeholder id ([`StructTokId::VAR`]).
     pub fn is_var(self) -> bool {
         self.0 == 0
     }
@@ -91,6 +96,7 @@ pub enum LitCategory {
 }
 
 impl LitCategory {
+    /// One-letter category code used in skeleton notation (`T`/`A`/`V`/`N`).
     pub fn code(self) -> char {
         match self {
             LitCategory::Table => 'T',
@@ -115,24 +121,29 @@ pub struct Placeholder {
 }
 
 impl Placeholder {
+    /// A table-name placeholder.
     pub fn table() -> Self {
         Placeholder {
             category: LitCategory::Table,
             governor: None,
         }
     }
+    /// An attribute-name placeholder.
     pub fn attribute() -> Self {
         Placeholder {
             category: LitCategory::Attribute,
             governor: None,
         }
     }
+    /// A value placeholder, optionally governed by the attribute at
+    /// placeholder index `governor`.
     pub fn value(governor: Option<u16>) -> Self {
         Placeholder {
             category: LitCategory::Value,
             governor,
         }
     }
+    /// A numeric value placeholder (the `LIMIT` argument).
     pub fn number() -> Self {
         Placeholder {
             category: LitCategory::Number,
@@ -174,6 +185,7 @@ impl Structure {
         self.tokens.len()
     }
 
+    /// True when the structure holds no tokens.
     pub fn is_empty(&self) -> bool {
         self.tokens.is_empty()
     }

@@ -107,6 +107,14 @@ mod tests {
     use super::*;
     use crate::token::{render_tokens, Keyword};
 
+    /// Assert-unwrap the final token of a non-empty tokenization.
+    fn last(toks: &[Token]) -> &Token {
+        match toks.last() {
+            Some(t) => t,
+            None => panic!("tokenizer returned no tokens"),
+        }
+    }
+
     #[test]
     fn tokenizes_table6_q1() {
         let toks = tokenize_sql("SELECT AVG ( salary ) FROM Salaries");
@@ -119,16 +127,13 @@ mod tests {
     fn tokenizes_quoted_values_with_dates() {
         let toks =
             tokenize_sql("SELECT FromDate FROM DepartmentEmployee WHERE DepartmentNumber = 'd002'");
-        assert_eq!(toks.last().unwrap(), &Token::Literal("'d002'".into()));
+        assert_eq!(last(&toks), &Token::Literal("'d002'".into()));
     }
 
     #[test]
     fn quoted_value_may_contain_spaces() {
         let toks = tokenize_sql("WHERE title = 'Senior Engineer'");
-        assert_eq!(
-            toks.last().unwrap(),
-            &Token::Literal("'Senior Engineer'".into())
-        );
+        assert_eq!(last(&toks), &Token::Literal("'Senior Engineer'".into()));
     }
 
     #[test]
@@ -150,13 +155,13 @@ mod tests {
     #[test]
     fn decimal_number_is_one_literal() {
         let toks = tokenize_sql("WHERE stars > 3.5");
-        assert_eq!(toks.last().unwrap(), &Token::Literal("3.5".into()));
+        assert_eq!(last(&toks), &Token::Literal("3.5".into()));
     }
 
     #[test]
     fn date_is_one_literal() {
         let toks = tokenize_sql("WHERE FromDate = '1993-01-20'");
-        assert_eq!(toks.last().unwrap(), &Token::Literal("'1993-01-20'".into()));
+        assert_eq!(last(&toks), &Token::Literal("'1993-01-20'".into()));
     }
 
     #[test]
@@ -172,13 +177,32 @@ mod tests {
         let toks = tokenize_sql("SELECT naïve FROM t");
         assert_eq!(render_tokens(&toks), "SELECT naïve FROM t");
         let toks = tokenize_sql("SELECT a FROM t WHERE n = 'Zoë—Müller'");
-        assert_eq!(toks.last().unwrap(), &Token::Literal("'Zoë—Müller'".into()));
+        assert_eq!(last(&toks), &Token::Literal("'Zoë—Müller'".into()));
         // Lone multi-byte symbol outside any class is kept as a literal.
         let toks = tokenize_sql("a … b");
         assert_eq!(toks[1], Token::Literal("…".into()));
         // Unterminated quote with multi-byte content runs to end of input.
         let toks = tokenize_sql("WHERE x = 'héllo");
-        assert_eq!(toks.last().unwrap(), &Token::Literal("'héllo".into()));
+        assert_eq!(last(&toks), &Token::Literal("'héllo".into()));
+    }
+
+    #[test]
+    fn multibyte_adjacent_to_every_boundary_kind() {
+        // Multi-byte characters directly against each slicing boundary the
+        // tokenizer computes: splchar-adjacent, quote-adjacent, word-final,
+        // and a 4-byte scalar (emoji) as its own word.
+        let toks = tokenize_sql("AVG(salaïre)=façade");
+        assert_eq!(render_tokens(&toks), "AVG ( salaïre ) = façade");
+        let toks = tokenize_sql("WHERE n='é'");
+        assert_eq!(last(&toks), &Token::Literal("'é'".into()));
+        let toks = tokenize_sql("WHERE x = 🦀");
+        assert_eq!(last(&toks), &Token::Literal("🦀".into()));
+        // CJK words (alphanumeric per Unicode) stay single word tokens.
+        let toks = tokenize_sql("SELECT 名前 FROM 従業員");
+        assert_eq!(render_tokens(&toks), "SELECT 名前 FROM 従業員");
+        // Combining-mark content inside a quoted literal round-trips.
+        let toks = tokenize_sql("WHERE n = 'Zoe\u{0308}'");
+        assert_eq!(last(&toks), &Token::Literal("'Zoe\u{0308}'".into()));
     }
 
     #[test]

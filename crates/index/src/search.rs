@@ -479,7 +479,13 @@ impl StructureIndex {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("search worker panicked"))
+                // Re-raise worker panics on the calling thread: the engine's
+                // containment boundary converts the unwind into a typed
+                // error, so no partial top-k ever escapes a poisoned search.
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
 
@@ -656,7 +662,9 @@ impl TrieWalk<'_, '_, '_> {
                 }
                 let col = self.cols.advance(self.masked, depth, tok, w);
                 self.state.stats.nodes_visited += 1;
-                let last = *col.last().expect("column non-empty");
+                // A DP column always has masked.len()+1 rows; an empty one
+                // can only mean a workspace bug, and INF makes it inert.
+                let last = *col.last().unwrap_or(&DIST_INF);
                 if best.is_none_or(|(d, _)| last < d) {
                     best = Some((last, child));
                 }
@@ -675,8 +683,10 @@ impl TrieWalk<'_, '_, '_> {
             }
             let col = self.cols.advance(self.masked, depth, tok, w);
             self.state.stats.nodes_visited += 1;
-            let last = *col.last().expect("column non-empty");
-            let col_min = *col.iter().min().expect("column non-empty");
+            // As above: a column is structurally non-empty, and INF keeps a
+            // hypothetical empty one from producing a hit or a descent.
+            let last = *col.last().unwrap_or(&DIST_INF);
+            let col_min = *col.iter().min().unwrap_or(&DIST_INF);
             let n = self.trie.node(child);
             if n.structure != NONE {
                 self.state.offer(SearchHit {

@@ -79,6 +79,15 @@ pub enum CounterId {
     /// DP column workspaces checked out of the search pool instead of being
     /// freshly allocated.
     SearchWorkspacesReused,
+    /// Transcriptions rejected because the transcript had no words.
+    ErrorsEmptyTranscript,
+    /// Transcriptions rejected because the transcript exceeded the word cap.
+    ErrorsTranscriptTooLong,
+    /// Transcriptions rejected because the structure index holds nothing.
+    ErrorsEmptyIndex,
+    /// Worker panics contained at the engine boundary and returned as
+    /// typed errors instead of aborting the process.
+    ErrorsWorkerPanic,
 }
 
 /// Number of distinct [`CounterId`]s.
@@ -86,7 +95,7 @@ pub const COUNTER_COUNT: usize = CounterId::ALL.len();
 
 impl CounterId {
     /// Every counter, in registry order.
-    pub const ALL: [CounterId; 16] = [
+    pub const ALL: [CounterId; 20] = [
         CounterId::SearchNodesVisited,
         CounterId::SearchTriesSearched,
         CounterId::SearchTriesPruned,
@@ -103,6 +112,10 @@ impl CounterId {
         CounterId::CacheSkeletonEvictions,
         CounterId::PhoneticExactHits,
         CounterId::SearchWorkspacesReused,
+        CounterId::ErrorsEmptyTranscript,
+        CounterId::ErrorsTranscriptTooLong,
+        CounterId::ErrorsEmptyIndex,
+        CounterId::ErrorsWorkerPanic,
     ];
 
     /// Stable dotted name used in reports and `BENCH_*.json`.
@@ -124,6 +137,10 @@ impl CounterId {
             CounterId::CacheSkeletonEvictions => "cache.skeleton_evictions",
             CounterId::PhoneticExactHits => "phonetics.exact_hits",
             CounterId::SearchWorkspacesReused => "search.workspaces_reused",
+            CounterId::ErrorsEmptyTranscript => "engine.errors.empty_transcript",
+            CounterId::ErrorsTranscriptTooLong => "engine.errors.transcript_too_long",
+            CounterId::ErrorsEmptyIndex => "engine.errors.empty_index",
+            CounterId::ErrorsWorkerPanic => "engine.errors.worker_panic",
         }
     }
 }

@@ -95,9 +95,12 @@ impl<'a> Session<'a> {
     /// correction of `transcript`.
     pub fn dictate(&mut self, transcript: &str) -> String {
         let words = transcript.split_whitespace().count();
-        let t = self.engine.transcribe(transcript);
-        if let Some(best) = t.best_sql() {
-            self.tokens = tokenize_sql(best);
+        // A failed transcription (empty dictation, contained engine fault)
+        // leaves the display unchanged; the interaction is still logged.
+        if let Ok(t) = self.engine.transcribe(transcript) {
+            if let Some(best) = t.best_sql() {
+                self.tokens = tokenize_sql(best);
+            }
         }
         self.log.push(Interaction::Dictated { words });
         self.last_rendered()
@@ -108,11 +111,14 @@ impl<'a> Session<'a> {
     /// for `Select` everything before FROM; for `From` the FROM..WHERE span.
     pub fn redictate_clause(&mut self, clause: ClauseKind, transcript: &str) -> String {
         let words = transcript.split_whitespace().count();
-        let t = self.engine.transcribe_clause(clause, transcript);
-        if let Some(clause_sql) = t.best_sql() {
-            let clause_tokens = tokenize_sql(clause_sql);
-            let (start, end) = self.clause_span(clause);
-            self.tokens.splice(start..end, clause_tokens);
+        // As in `dictate`: a failed clause transcription keeps the current
+        // clause on display rather than corrupting the token stream.
+        if let Ok(t) = self.engine.transcribe_clause(clause, transcript) {
+            if let Some(clause_sql) = t.best_sql() {
+                let clause_tokens = tokenize_sql(clause_sql);
+                let (start, end) = self.clause_span(clause);
+                self.tokens.splice(start..end, clause_tokens);
+            }
         }
         self.log.push(Interaction::RedictatedClause {
             clause: clause_name(clause),

@@ -151,9 +151,13 @@ fn speakql_trial(
     let mut engine_time = 0.0f64;
 
     let transcript = asr.transcribe_sql(q.sql, &mut rng);
-    let t = engine.transcribe(&transcript);
-    engine_time += t.elapsed.as_secs_f64();
-    let mut current = t.best_sql().unwrap_or_default().to_string();
+    // A failed transcription leaves the participant with an empty display
+    // (everything must be fixed on the keyboard), mirroring the real UI.
+    let mut current = String::new();
+    if let Ok(t) = engine.transcribe(&transcript) {
+        engine_time += t.elapsed.as_secs_f64();
+        current = t.best_sql().unwrap_or_default().to_string();
+    }
     let mut script = edit_script(q.sql, &current);
 
     // Clause-level re-dictation (§5): worthwhile only when many errors
@@ -170,7 +174,11 @@ fn speakql_trial(
             speakql_asr::spoken_words(&speakql_asr::verbalize_sql(where_clause)).len() as f64;
         speaking += clause_words / p.speaking_wps;
         let clause_transcript = asr.transcribe_sql(where_clause, &mut rng);
-        let ct = engine.transcribe_clause(ClauseKind::Where, &clause_transcript);
+        let Ok(ct) = engine.transcribe_clause(ClauseKind::Where, &clause_transcript) else {
+            // A failed re-dictation costs its speaking time but improves
+            // nothing; the loop's threshold check decides whether to retry.
+            continue;
+        };
         engine_time += ct.elapsed.as_secs_f64();
         if let Some(clause_sql) = ct.best_sql() {
             let prefix_end = current.find(" WHERE ").unwrap_or(current.len());

@@ -43,7 +43,7 @@ fn main() {
     for q in &STUDY_QUERIES {
         let mut rng = ChaCha8Rng::seed_from_u64(q.id as u64);
         let transcript = asr.transcribe_sql(q.sql, &mut rng);
-        let result = engine.transcribe(&transcript);
+        let result = engine.transcribe(&transcript).expect("valid dictation");
         let best = result.best_sql().unwrap_or_default();
         let errors = ted(q.sql, best);
         if errors == 0 {

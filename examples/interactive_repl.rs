@@ -84,6 +84,16 @@ fn main() {
             engine.transcribe(line)
         };
 
+        // Typed errors (empty input, over-long input, contained faults)
+        // print and return to the prompt instead of killing the session.
+        let result = match result {
+            Ok(t) => t,
+            Err(e) => {
+                println!("error: {e}");
+                continue;
+            }
+        };
+
         let Some(best) = result.best_sql() else {
             println!("no candidates");
             continue;

@@ -28,7 +28,7 @@ fn main() {
     // --- 1. Dictate the whole query (the big Record button) --------------
     let transcript = asr.transcribe_sql(intended, &mut rng);
     println!("[dictation 1] ASR heard:\n  {transcript}");
-    let t = engine.transcribe(&transcript);
+    let t = engine.transcribe(&transcript).expect("valid dictation");
     let mut current = t.best_sql().expect("candidates").to_string();
     println!("[dictation 1] SpeakQL rendered:\n  {current}");
     let mut script = edit_script(intended, &current);
@@ -39,7 +39,9 @@ fn main() {
         let where_clause = &intended[intended.find("WHERE").unwrap()..];
         let clause_transcript = asr.transcribe_sql(where_clause, &mut rng);
         println!("[dictation 2] re-dictating the WHERE clause:\n  {clause_transcript}");
-        let ct = engine.transcribe_clause(ClauseKind::Where, &clause_transcript);
+        let ct = engine
+            .transcribe_clause(ClauseKind::Where, &clause_transcript)
+            .expect("valid clause dictation");
         if let Some(clause_sql) = ct.best_sql() {
             let prefix = current.find(" WHERE ").unwrap_or(current.len());
             let candidate = format!("{} {}", &current[..prefix], clause_sql);

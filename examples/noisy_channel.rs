@@ -51,7 +51,7 @@ fn main() {
         for seed in 0..2u64 {
             let mut rng = ChaCha8Rng::seed_from_u64(seed * 7919 + i as u64);
             let transcript = asr.transcribe_sql(sql, &mut rng);
-            let result = engine.transcribe(&transcript);
+            let result = engine.transcribe(&transcript).expect("valid dictation");
             println!("ASR heard    : {transcript}");
             println!("masked       : {}", render_masked(&result.processed.masked));
             println!("SpeakQL      : {}", result.best_sql().unwrap_or("<none>"));

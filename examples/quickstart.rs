@@ -36,8 +36,10 @@ fn main() {
     let transcript = "select sales from employers wear name equals jon";
     println!("ASR transcription : {transcript}");
 
-    // 4. SpeakQL corrects.
-    let result = engine.transcribe(transcript);
+    // 4. SpeakQL corrects. `transcribe` returns a typed error for garbage
+    //    input (empty transcript, over-long transcript, contained panic);
+    //    this known-good dictation always succeeds.
+    let result = engine.transcribe(transcript).expect("valid dictation");
     println!(
         "masked structure  : {}",
         render_masked(&result.processed.masked)

@@ -64,14 +64,19 @@ proptest! {
     #[test]
     fn observability_never_changes_output(t in arb_transcript()) {
         let (plain, observed) = engines();
-        let a = plain.transcribe(&t);
-        let b = observed.transcribe(&t);
-        prop_assert_eq!(a.best_sql(), b.best_sql(), "best_sql diverged on '{}'", &t);
-        prop_assert_eq!(a.candidates.len(), b.candidates.len());
-        for (ca, cb) in a.candidates.iter().zip(&b.candidates) {
-            prop_assert_eq!(&ca.sql, &cb.sql);
-            prop_assert_eq!(ca.distance, cb.distance);
-            prop_assert_eq!(&ca.literals, &cb.literals);
+        match (plain.transcribe(&t), observed.transcribe(&t)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.best_sql(), b.best_sql(), "best_sql diverged on '{}'", &t);
+                prop_assert_eq!(a.candidates.len(), b.candidates.len());
+                for (ca, cb) in a.candidates.iter().zip(&b.candidates) {
+                    prop_assert_eq!(&ca.sql, &cb.sql);
+                    prop_assert_eq!(ca.distance, cb.distance);
+                    prop_assert_eq!(&ca.literals, &cb.literals);
+                }
+            }
+            // Error classification must be observation-independent too.
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb, "error class diverged on '{}'", &t),
+            (a, b) => prop_assert!(false, "ok/err diverged on '{}': {:?} vs {:?}", &t, a, b),
         }
     }
 }
@@ -79,8 +84,8 @@ proptest! {
 #[test]
 fn only_the_enabled_engine_accumulates_metrics() {
     let (plain, observed) = engines();
-    plain.transcribe("select salary from employees");
-    observed.transcribe("select salary from employees");
+    assert!(plain.transcribe("select salary from employees").is_ok());
+    assert!(observed.transcribe("select salary from employees").is_ok());
 
     let disabled = plain.report();
     for c in &disabled.counters {

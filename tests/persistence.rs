@@ -42,8 +42,8 @@ fn reloaded_index_drives_identical_engine() {
         "select sum open parenthesis salary close parenthesis from celeries where from date equals january twentieth nineteen ninety three",
         "select star from titles where title equals engineer limit ten",
     ] {
-        let a = original.transcribe(transcript);
-        let b = restored.transcribe(transcript);
+        let a = original.transcribe(transcript).expect("transcribe original");
+        let b = restored.transcribe(transcript).expect("transcribe restored");
         assert_eq!(a.best_sql(), b.best_sql(), "mismatch on: {transcript}");
         assert_eq!(a.candidates.len(), b.candidates.len());
         for (ca, cb) in a.candidates.iter().zip(&b.candidates) {
