@@ -67,6 +67,7 @@ fn bench_structure_search(c: &mut Criterion) {
                 dap: false,
                 inv: false,
                 threads: 1,
+                ..SearchConfig::default()
             },
         ),
         (
@@ -77,6 +78,7 @@ fn bench_structure_search(c: &mut Criterion) {
                 dap: false,
                 inv: false,
                 threads: 1,
+                ..SearchConfig::default()
             },
         ),
         (
@@ -87,6 +89,7 @@ fn bench_structure_search(c: &mut Criterion) {
                 dap: true,
                 inv: false,
                 threads: 1,
+                ..SearchConfig::default()
             },
         ),
         (
@@ -97,6 +100,7 @@ fn bench_structure_search(c: &mut Criterion) {
                 dap: false,
                 inv: true,
                 threads: 1,
+                ..SearchConfig::default()
             },
         ),
         (
@@ -107,6 +111,7 @@ fn bench_structure_search(c: &mut Criterion) {
                 dap: false,
                 inv: false,
                 threads: 1,
+                ..SearchConfig::default()
             },
         ),
     ];

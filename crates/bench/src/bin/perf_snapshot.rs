@@ -8,6 +8,10 @@
 //!
 //! ```text
 //! perf_snapshot [--out FILE]              write a snapshot (default BENCH_<date>.json)
+//! perf_snapshot --kernel {auto|scalar|soa}
+//!                                         force a DP kernel for the replay (default
+//!                                         auto); outputs are byte-identical across
+//!                                         kernels, so this only moves wall-clock
 //! perf_snapshot --check BASELINE [--out FILE]
 //!                                         also compare against a committed baseline:
 //!                                         counters must match exactly, wall-clock may
@@ -25,9 +29,17 @@
 //! Counter totals are exact because every seed is pinned and both the trie
 //! search and the batch queue run on one thread; wall-clock is the only
 //! machine-dependent field, so the check gives it a ±30% band while holding
-//! every counter to equality. The Zipfian mode gates only on counters and
-//! output equality for the same reason — its wall-clock improvement is
-//! reported but never failed on.
+//! every counter to equality — except the two *ratcheted* work counters,
+//! `editdist.cells_evaluated` and `search.nodes_visited`, which get a
+//! two-sided band instead: the check fails if they regress above baseline
+//! **or** improve by more than 10x without a baseline refresh. The upper
+//! side catches regressions; the lower side catches silent drift — a search
+//! suddenly doing 10x less work than its committed baseline means the
+//! workload or the algorithm changed out from under the baseline, which
+//! must be acknowledged by regenerating it, exactly like the lint-waiver
+//! ratchet. The Zipfian mode gates only on counters and output equality for
+//! the same reason — its wall-clock improvement is reported but never
+//! failed on.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -36,7 +48,7 @@ use speakql_asr::{AsrEngine, AsrProfile};
 use speakql_core::{CounterId, PipelineReport, SpanId, SpeakQl, SpeakQlConfig};
 use speakql_data::{employees_db, generate_cases, training_vocabulary};
 use speakql_grammar::GeneratorConfig;
-use speakql_index::StructureIndex;
+use speakql_index::{DpKernel, StructureIndex};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -49,6 +61,12 @@ const NUM_TRANSCRIPTS: usize = 200;
 const CASE_SEED: u64 = 0xBE9C;
 /// Wall-clock regression tolerance (fraction of baseline).
 const WALL_CLOCK_TOLERANCE: f64 = 0.30;
+/// Counters under the two-sided ratchet instead of strict equality: the
+/// bulk work metrics that every search-engine optimization moves.
+const RATCHETED_COUNTERS: [&str; 2] = ["editdist.cells_evaluated", "search.nodes_visited"];
+/// Lower side of the ratchet band: a ratcheted counter improving by more
+/// than this factor without a baseline refresh fails the check.
+const RATCHET_MAX_IMPROVEMENT: u64 = 10;
 /// Distinct transcripts in the Zipfian workload.
 const ZIPF_DISTINCT: usize = 40;
 /// Total draws replayed from the Zipfian rank distribution.
@@ -69,8 +87,21 @@ fn main() -> ExitCode {
     let args: Vec<String> = args.into_iter().filter(|a| a != "--zipf").collect();
     let (args, out) = take_flag(&args, "--out");
     let (args, check) = take_flag(&args, "--check");
+    let (args, kernel) = take_flag(&args, "--kernel");
+    let kernel = match kernel.as_deref() {
+        None | Some("auto") => DpKernel::Auto,
+        Some("scalar") => DpKernel::Scalar,
+        Some("soa") => DpKernel::Soa,
+        Some(other) => {
+            eprintln!("unknown --kernel {other:?} (expected auto, scalar, or soa)");
+            return ExitCode::from(2);
+        }
+    };
     if !args.is_empty() || (zipf && check.is_some()) {
-        eprintln!("usage: perf_snapshot [--out FILE] [--check BASELINE.json | --zipf]");
+        eprintln!(
+            "usage: perf_snapshot [--out FILE] [--kernel auto|scalar|soa] \
+             [--check BASELINE.json | --zipf]"
+        );
         return ExitCode::from(2);
     }
     if zipf {
@@ -97,7 +128,7 @@ fn main() -> ExitCode {
     }
     let out = out.unwrap_or_else(|| format!("BENCH_{}.json", today_utc()));
 
-    let snapshot = run_workload();
+    let snapshot = run_workload(kernel);
 
     if let Err(e) = std::fs::write(&out, serde_json::to_string_pretty(&snapshot).unwrap()) {
         eprintln!("error writing {out}: {e}");
@@ -138,23 +169,24 @@ fn take_flag(args: &[String], flag: &str) -> (Vec<String>, Option<String>) {
     (rest, value)
 }
 
-/// Build the fixed-seed workload, run it, and snapshot the recorder.
-fn run_workload() -> Value {
-    eprintln!("[perf_snapshot] building {MAX_STRUCTURES}-structure engine ...");
+/// Build the fixed-seed workload, run it under `kernel`, and snapshot the
+/// recorder. The kernel never changes outputs or counters — only wall-clock
+/// — so snapshots taken under different kernels diff cleanly.
+fn run_workload(kernel: DpKernel) -> Value {
+    eprintln!("[perf_snapshot] building {MAX_STRUCTURES}-structure engine ({kernel:?} kernel) ...");
     let gen_cfg = GeneratorConfig {
         max_structures: Some(MAX_STRUCTURES),
         ..GeneratorConfig::paper()
     };
     let db = employees_db();
-    let engine = SpeakQl::new(
-        &db,
-        SpeakQlConfig {
-            generator: gen_cfg,
-            ..SpeakQlConfig::paper()
-        }
-        .with_threads(1)
-        .with_observability(true),
-    );
+    let mut cfg = SpeakQlConfig {
+        generator: gen_cfg,
+        ..SpeakQlConfig::paper()
+    }
+    .with_threads(1)
+    .with_observability(true);
+    cfg.search.kernel = kernel;
+    let engine = SpeakQl::new(&db, cfg);
 
     eprintln!("[perf_snapshot] generating {NUM_TRANSCRIPTS} transcripts ...");
     let cases = generate_cases(&db, &GeneratorConfig::small(), NUM_TRANSCRIPTS, CASE_SEED);
@@ -204,6 +236,7 @@ fn run_workload() -> Value {
             "transcripts": NUM_TRANSCRIPTS,
             "case_seed": CASE_SEED,
             "threads": 1,
+            "kernel": format!("{kernel:?}"),
         },
         "wall_clock_ms": wall_clock_ms,
         "counters": Value::Object(counters),
@@ -428,8 +461,30 @@ fn compare(baseline: &Value, current: &Value, baseline_path: &str) -> ExitCode {
     for name in names {
         let base = base_counters.get(name.as_str()).and_then(Value::as_u64);
         let cur = cur_counters.get(name.as_str()).and_then(Value::as_u64);
+        let ratcheted = RATCHETED_COUNTERS.contains(&name.as_str());
         let status = match (base, cur) {
             (Some(b), Some(c)) if b == c => "ok".to_string(),
+            // Two-sided ratchet: within (baseline / 10, baseline) is an
+            // acceptable improvement; above baseline is a regression; at or
+            // below a tenth of baseline is silent drift that demands a
+            // baseline refresh.
+            (Some(b), Some(c)) if ratcheted && c > b => {
+                regressions += 1;
+                format!("REGRESSION (+{:.0}%)", (c as f64 / b as f64 - 1.0) * 100.0)
+            }
+            (Some(b), Some(c)) if ratcheted && c.saturating_mul(RATCHET_MAX_IMPROVEMENT) < b => {
+                regressions += 1;
+                format!(
+                    "DRIFT ({:.0}x better than baseline; refresh it)",
+                    b as f64 / c.max(1) as f64
+                )
+            }
+            (Some(b), Some(c)) if ratcheted => {
+                format!(
+                    "ok (-{:.0}%, ratchet band)",
+                    (1.0 - c as f64 / b as f64) * 100.0
+                )
+            }
             (Some(_), Some(_)) => {
                 regressions += 1;
                 "MISMATCH".to_string()
@@ -485,7 +540,10 @@ fn compare(baseline: &Value, current: &Value, baseline_path: &str) -> ExitCode {
         );
         ExitCode::FAILURE
     } else {
-        eprintln!("\n[perf_snapshot] PASS: counters exact, wall-clock within ±30% of baseline.");
+        eprintln!(
+            "\n[perf_snapshot] PASS: counters exact (ratcheted ones in band), \
+             wall-clock within ±30% of baseline."
+        );
         ExitCode::SUCCESS
     }
 }

@@ -59,6 +59,7 @@ pub fn fig15(suite: &Suite) {
                 dap: false,
                 inv: false,
                 threads: 1,
+                ..SearchConfig::default()
             },
         ),
         (
@@ -69,6 +70,7 @@ pub fn fig15(suite: &Suite) {
                 dap: false,
                 inv: false,
                 threads: 1,
+                ..SearchConfig::default()
             },
         ),
         (
@@ -79,6 +81,7 @@ pub fn fig15(suite: &Suite) {
                 dap: true,
                 inv: false,
                 threads: 1,
+                ..SearchConfig::default()
             },
         ),
         (
@@ -89,6 +92,7 @@ pub fn fig15(suite: &Suite) {
                 dap: false,
                 inv: true,
                 threads: 1,
+                ..SearchConfig::default()
             },
         ),
         (
@@ -99,6 +103,7 @@ pub fn fig15(suite: &Suite) {
                 dap: true,
                 inv: true,
                 threads: 1,
+                ..SearchConfig::default()
             },
         ),
     ];

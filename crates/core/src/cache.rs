@@ -31,9 +31,10 @@ use std::collections::HashMap;
 const MAX_SHARDS: usize = 8;
 
 /// The search-configuration fields that affect which hits a search returns.
-/// `threads` is deliberately excluded: parallel search is byte-identical to
-/// sequential, so a sequential engine may reuse a parallel engine's entries
-/// (and vice versa) when they share a cache.
+/// `threads` and `kernel` are deliberately excluded: parallel search is
+/// byte-identical to sequential and the SoA DP kernel is byte-identical to
+/// the scalar one, so engines differing only in those mechanism knobs may
+/// reuse each other's entries when they share a cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct ConfigFingerprint {
     k: usize,

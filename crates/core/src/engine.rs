@@ -1268,7 +1268,7 @@ mod config_tests {
                 bdb: true,
                 dap,
                 inv,
-                threads: 1,
+                ..SearchConfig::default()
             });
             let t = ok(engine.transcribe(transcript));
             assert_eq!(t.best_sql(), Some(expected), "dap={dap} inv={inv}");

@@ -51,8 +51,8 @@ impl Default for LiteralConfig {
     }
 }
 
-/// A per-transcript memo of enumerated window encodings, shared by every
-/// candidate of one transcription.
+/// A per-transcript memo of enumerated window encodings and completed
+/// placeholder fills, shared by every candidate of one transcription.
 ///
 /// The enumeration of a window `[begin, end)` depends only on the transcript
 /// words, the window size, and the phonetic algorithm — all fixed for the
@@ -61,14 +61,32 @@ impl Default for LiteralConfig {
 /// end)` means each distinct window is keyed exactly once no matter how many
 /// candidates (or candidate-construction workers) consume it; results are
 /// identical to recomputing, so filled literals are unaffected.
+///
+/// The fill memo goes one level higher: the entire voting result of one
+/// placeholder is a pure function of its window, its T/A/V/N category, and
+/// the governing attribute restricting candidate set B — and the top-k
+/// candidates are near-identical structures whose placeholders land on the
+/// same `(window, category, governor)` triples over and over. Memoizing the
+/// finished [`FilledLiteral`] ingredients skips the whole enumerate-and-vote
+/// pass for every repeat, not just the enumeration.
 #[derive(Debug, Default)]
 pub struct WindowEncodings {
     memo: Mutex<HashMap<(usize, usize), SharedEncodings>>,
+    fills: Mutex<HashMap<FillKey, SharedFill>>,
 }
 
 /// One window's enumerated `(string, word_count)` encodings, shared between
 /// the candidates (and workers) that consume the window.
 type SharedEncodings = Arc<Vec<(String, usize)>>;
+
+/// Everything a placeholder fill depends on within one transcription: the
+/// window, the category code (`T`/`A`/`V`/`N`), and the governing attribute
+/// (which selects candidate set B for values).
+type FillKey = (usize, usize, char, Option<String>);
+
+/// One completed fill — `(literal, alternatives, consumed_to)` exactly as
+/// `assign_phonetic`/`assign_number` return it.
+type SharedFill = Arc<(String, Vec<String>, usize)>;
 
 impl WindowEncodings {
     /// An empty memo for one transcription.
@@ -92,6 +110,25 @@ impl WindowEncodings {
             .entry((begin, end))
             .or_insert_with(|| Arc::new(compute()))
             .clone()
+    }
+
+    /// The memoized fill for `key`, computing it with `compute` on first
+    /// use; the `bool` reports whether this was a memo hit. As with the
+    /// encodings memo, the compute closure runs under the lock so each
+    /// distinct key is voted exactly once — the voting counters and the hit
+    /// count stay deterministic at any candidate-worker thread count.
+    fn fill_or_compute(
+        &self,
+        key: FillKey,
+        compute: impl FnOnce() -> (String, Vec<String>, usize),
+    ) -> (SharedFill, bool) {
+        let mut fills = self.fills.lock();
+        if let Some(fill) = fills.get(&key) {
+            return (fill.clone(), true);
+        }
+        let fill = Arc::new(compute());
+        fills.insert(key, fill.clone());
+        (fill, false)
     }
 }
 
@@ -197,13 +234,8 @@ impl<'a> LiteralFinder<'a> {
                     .get(g as usize)
                     .map(|f: &FilledLiteral| strip_quotes(&f.literal).to_string())
             });
-            let candidates = self.catalog.candidates(ph.category, governed.as_deref());
-
-            let (literal, alternatives, consumed_to) = if ph.category == LitCategory::Number {
-                self.assign_number(trans_out, begin, end)
-            } else {
-                self.assign_phonetic(trans_out, begin, end, candidates)
-            };
+            let (literal, alternatives, consumed_to) =
+                self.assign(trans_out, begin, end, ph.category, governed);
 
             filled.push(FilledLiteral {
                 literal,
@@ -213,6 +245,41 @@ impl<'a> LiteralFinder<'a> {
             running = consumed_to;
         }
         filled
+    }
+
+    /// Fill one placeholder, via the shared per-transcript fill memo when
+    /// one is attached. The fill is a pure function of the key (window ×
+    /// category × governor) given the fixed transcript, catalog, and config,
+    /// so memoized repeats — the common case across near-identical top-k
+    /// candidates — return the identical result without re-voting. Memo hits
+    /// count into `literal.fill_memo_hits`.
+    fn assign(
+        &self,
+        trans_out: &[String],
+        begin: usize,
+        end: usize,
+        category: LitCategory,
+        governed: Option<String>,
+    ) -> (String, Vec<String>, usize) {
+        let compute = |governed: Option<&str>| {
+            let candidates = self.catalog.candidates(category, governed);
+            if category == LitCategory::Number {
+                self.assign_number(trans_out, begin, end)
+            } else {
+                self.assign_phonetic(trans_out, begin, end, candidates)
+            }
+        };
+        match self.encodings {
+            Some(memo) => {
+                let key = (begin, end, category.code(), governed);
+                let (fill, hit) = memo.fill_or_compute(key.clone(), || compute(key.3.as_deref()));
+                if hit {
+                    self.recorder.add(CounterId::LiteralFillMemoHits, 1);
+                }
+                (*fill).clone()
+            }
+            None => compute(governed.as_deref()),
+        }
     }
 
     /// EnumerateStrings + LiteralAssignment (Box 3). Returns the winner, the

@@ -17,6 +17,7 @@
 
 pub mod bounds;
 pub mod lcs;
+pub mod soa;
 pub mod weights;
 
 pub use bounds::{lower_bound, upper_bound};
@@ -24,7 +25,8 @@ pub use lcs::{
     advance_column, base_column, char_lcs_distance, levenshtein, token_edit_distance,
     weighted_lcs_distance, weighted_lcs_distance_bounded, ColumnWorkspace,
 };
-pub use weights::{dist_to_f64, dist_to_string, Dist, Weights, DIST_INF};
+pub use soa::{ChunkStats, SoaWorkspace, SOA_LANES};
+pub use weights::{dist_to_f64, dist_to_string, Dist, LaneWeights, Weights, DIST_INF};
 
 #[cfg(test)]
 mod proptests {

@@ -10,7 +10,7 @@
 //! platforms and free of float-comparison hazards in the search engine.
 
 use serde::{Deserialize, Serialize};
-use speakql_grammar::{StructTokId, TokenClass};
+use speakql_grammar::{StructTokId, TokenClass, STRUCT_ALPHABET};
 
 /// Fixed-point distance value, in tenths (`31` means `3.1`).
 pub type Dist = u32;
@@ -76,6 +76,41 @@ impl Default for Weights {
     }
 }
 
+/// [`Weights`] lowered to a per-token-id `u16` lookup table — the lane
+/// representation the structure-of-arrays DP kernel consumes.
+///
+/// The paper's weights are exact in tenths (`12/11/10`), so they fit a `u16`
+/// lane with enormous headroom; the table is indexed by the dense
+/// [`StructTokId`] so the kernel's inner loop replaces the
+/// `tok() → class() → match` chain with a single array load. Lowering is
+/// checked: a weight that cannot round-trip through `u16` exactly (only
+/// possible for pathological ablation configurations) yields `None`, and the
+/// caller falls back to the scalar `u32` kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneWeights {
+    /// `by_tok[id]` is the class weight of [`StructTokId`] `id`, in tenths.
+    pub by_tok: [u16; STRUCT_ALPHABET],
+}
+
+impl LaneWeights {
+    /// Lower `w` into the u16 lane table; `None` if any class weight
+    /// overflows a `u16` (the round-trip would be lossy).
+    pub fn lower(w: Weights) -> Option<LaneWeights> {
+        let mut by_tok = [0u16; STRUCT_ALPHABET];
+        for (id, slot) in by_tok.iter_mut().enumerate() {
+            *slot = u16::try_from(w.of(StructTokId(id as u8))).ok()?;
+        }
+        Some(LaneWeights { by_tok })
+    }
+
+    /// Weight of an interned structure token, widened back to [`Dist`].
+    /// Exact inverse of [`LaneWeights::lower`] for every representable
+    /// weight configuration.
+    pub fn of(&self, tok: StructTokId) -> Dist {
+        self.by_tok[tok.0 as usize] as Dist
+    }
+}
+
 /// Render a fixed-point distance as its decimal form, e.g. `31 -> "3.1"`.
 pub fn dist_to_string(d: Dist) -> String {
     format!("{}.{}", d / 10, d % 10)
@@ -119,5 +154,59 @@ mod tests {
         assert_eq!(dist_to_string(31), "3.1");
         assert_eq!(dist_to_string(0), "0.0");
         assert!((dist_to_f64(31) - 3.1).abs() < 1e-9);
+    }
+
+    /// Every token class round-trips exactly through the u16 lane table:
+    /// `LaneWeights::of ∘ lower ≡ Weights::of` for every alphabet id, under
+    /// both shipped weight configurations.
+    #[test]
+    fn lane_weights_round_trip_exactly() {
+        for w in [Weights::PAPER, Weights::UNIFORM] {
+            let lanes = match LaneWeights::lower(w) {
+                Some(l) => l,
+                None => panic!("in-range weights must lower"),
+            };
+            for id in 0..STRUCT_ALPHABET as u8 {
+                let tok = StructTokId(id);
+                assert_eq!(lanes.of(tok), w.of(tok), "token id {id}");
+                assert_eq!(lanes.of(tok), w.of_class(tok.class()), "token id {id}");
+            }
+        }
+    }
+
+    /// Round-trip holds for every class at the u16 boundary, and lowering
+    /// refuses weights that would truncate.
+    #[test]
+    fn lane_weights_boundary_and_overflow() {
+        let max_fit = Weights {
+            keyword: u16::MAX as Dist,
+            splchar: 1,
+            literal: 0,
+        };
+        let lanes = match LaneWeights::lower(max_fit) {
+            Some(l) => l,
+            None => panic!("u16::MAX still fits a lane"),
+        };
+        assert_eq!(
+            lanes.of(StructTokId::from_tok(StructTok::Keyword(Keyword::Select))),
+            u16::MAX as Dist
+        );
+        assert_eq!(lanes.of(StructTokId::VAR), 0);
+        for overflowing in [
+            Weights {
+                keyword: u16::MAX as Dist + 1,
+                ..Weights::PAPER
+            },
+            Weights {
+                splchar: Dist::MAX,
+                ..Weights::PAPER
+            },
+            Weights {
+                literal: u16::MAX as Dist + 1,
+                ..Weights::PAPER
+            },
+        ] {
+            assert_eq!(LaneWeights::lower(overflowing), None, "{overflowing:?}");
+        }
     }
 }

@@ -17,7 +17,7 @@ pub mod search;
 pub mod trie;
 
 pub use persist::{from_bytes, load_from_path, save_to_path, to_bytes, PersistError};
-pub use search::{SearchConfig, SearchHit, SearchStats, StructureIndex};
+pub use search::{DpKernel, SearchConfig, SearchHit, SearchStats, StructureIndex};
 pub use trie::Trie;
 
 #[cfg(test)]

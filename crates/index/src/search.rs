@@ -12,7 +12,7 @@ use crate::trie::{Trie, NONE};
 use parking_lot::Mutex;
 use speakql_editdist::{
     lower_bound, weighted_lcs_distance, weighted_lcs_distance_bounded, ColumnWorkspace, Dist,
-    Weights, DIST_INF,
+    SoaWorkspace, Weights, DIST_INF, SOA_LANES,
 };
 use speakql_grammar::{
     generate_structures, GeneratorConfig, Keyword, StructTok, StructTokId, Structure,
@@ -25,47 +25,96 @@ use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 /// beyond this cap is dropped on check-in rather than hoarded.
 const WORKSPACE_POOL_CAP: usize = 64;
 
-/// A pool of reusable DP [`ColumnWorkspace`]s shared by every search against
-/// one index. Column buffers are the only per-search allocation on the trie
+/// The DP column buffers one search worker walks a trie with: either the
+/// scalar reference [`ColumnWorkspace`] or the branchless SoA
+/// [`SoaWorkspace`]. The variant is chosen once per search (see
+/// [`StructureIndex::choose_kernel`]); both kernels produce byte-identical
+/// hits and counters, so the choice is pure mechanism.
+enum DpCols {
+    Scalar(ColumnWorkspace),
+    Soa(SoaWorkspace),
+}
+
+impl DpCols {
+    /// Drain the DP-cell counter of whichever kernel ran.
+    fn take_cells(&mut self) -> u64 {
+        match self {
+            DpCols::Scalar(ws) => ws.take_cells(),
+            DpCols::Soa(ws) => ws.take_cells(),
+        }
+    }
+}
+
+/// A pool of reusable DP workspaces ([`ColumnWorkspace`] and
+/// [`SoaWorkspace`], pooled separately) shared by every search against one
+/// index. Column buffers are the only per-search allocation on the trie
 /// walk, so recycling them across queries (and across the jobs of one batch)
 /// removes the allocator from the steady-state hot path. Check-outs reset
 /// the workspace for the new query; check-ins above [`WORKSPACE_POOL_CAP`]
-/// drop the workspace instead.
+/// (per kernel) drop the workspace instead.
 struct WorkspacePool {
-    free: Mutex<Vec<ColumnWorkspace>>,
+    scalar: Mutex<Vec<ColumnWorkspace>>,
+    soa: Mutex<Vec<SoaWorkspace>>,
 }
 
 impl WorkspacePool {
     fn new() -> WorkspacePool {
         WorkspacePool {
-            free: Mutex::new(Vec::new()),
+            scalar: Mutex::new(Vec::new()),
+            soa: Mutex::new(Vec::new()),
         }
     }
 
-    /// A workspace targeted at `masked`, recycled from the pool when one is
-    /// available (counted in [`SearchStats::workspaces_reused`]).
+    /// A workspace of the requested kernel targeted at `masked`, recycled
+    /// from the pool when one is available (counted in
+    /// [`SearchStats::workspaces_reused`]). `soa` must only be requested
+    /// after [`SoaWorkspace::fits`] passed for this query.
     fn checkout(
         &self,
+        soa: bool,
         masked: &[StructTokId],
         w: Weights,
         max_depth: usize,
         stats: &mut SearchStats,
-    ) -> ColumnWorkspace {
-        match self.free.lock().pop() {
+    ) -> DpCols {
+        if soa {
+            if let Some(mut ws) = self.soa.lock().pop() {
+                if ws.reset(masked, w, max_depth) {
+                    stats.workspaces_reused += 1;
+                    return DpCols::Soa(ws);
+                }
+            }
+            if let Some(ws) = SoaWorkspace::new(masked, w, max_depth) {
+                return DpCols::Soa(ws);
+            }
+            // Unreachable when the caller honored the `fits` contract; fall
+            // through to the scalar kernel rather than panic.
+        }
+        match self.scalar.lock().pop() {
             Some(mut ws) => {
                 ws.reset(masked, w, max_depth);
                 stats.workspaces_reused += 1;
-                ws
+                DpCols::Scalar(ws)
             }
-            None => ColumnWorkspace::new(masked, w, max_depth),
+            None => DpCols::Scalar(ColumnWorkspace::new(masked, w, max_depth)),
         }
     }
 
     /// Return a workspace for later reuse.
-    fn checkin(&self, ws: ColumnWorkspace) {
-        let mut free = self.free.lock();
-        if free.len() < WORKSPACE_POOL_CAP {
-            free.push(ws);
+    fn checkin(&self, ws: DpCols) {
+        match ws {
+            DpCols::Scalar(ws) => {
+                let mut free = self.scalar.lock();
+                if free.len() < WORKSPACE_POOL_CAP {
+                    free.push(ws);
+                }
+            }
+            DpCols::Soa(ws) => {
+                let mut free = self.soa.lock();
+                if free.len() < WORKSPACE_POOL_CAP {
+                    free.push(ws);
+                }
+            }
         }
     }
 }
@@ -73,7 +122,8 @@ impl WorkspacePool {
 impl std::fmt::Debug for WorkspacePool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkspacePool")
-            .field("idle", &self.free.lock().len())
+            .field("idle_scalar", &self.scalar.lock().len())
+            .field("idle_soa", &self.soa.lock().len())
             .finish()
     }
 }
@@ -91,6 +141,26 @@ impl Clone for WorkspacePool {
 pub struct SearchHit {
     pub structure: u32,
     pub distance: Dist,
+}
+
+/// Which DP kernel the trie walk runs. Both kernels compute the identical
+/// weighted-LCS recurrence cell for cell — same hits, same counters — so
+/// this knob trades nothing but mechanism: the SoA kernel batches sibling
+/// columns into branchless u16 lanes the compiler auto-vectorizes, the
+/// scalar kernel is the one-column-at-a-time reference implementation the
+/// parity suite certifies it against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum DpKernel {
+    /// Use the SoA kernel whenever the query is eligible (weights lower to
+    /// u16 and the Proposition 1 ceiling fits a lane), the scalar kernel
+    /// otherwise. The default.
+    #[default]
+    Auto,
+    /// Always use the scalar reference kernel.
+    Scalar,
+    /// Prefer the SoA kernel; identical to [`DpKernel::Auto`] today, but
+    /// spelled explicitly for benchmarks and parity tests.
+    Soa,
 }
 
 /// Search configuration. Defaults mirror the paper's "SpeakQL Default":
@@ -112,6 +182,9 @@ pub struct SearchConfig {
     /// shares the branch-and-bound threshold through an atomic, so results
     /// are byte-identical to the sequential path at any thread count.
     pub threads: usize,
+    /// DP kernel selection. Like `threads`, this never changes outputs —
+    /// only how fast the columns are computed.
+    pub kernel: DpKernel,
 }
 
 impl Default for SearchConfig {
@@ -122,6 +195,7 @@ impl Default for SearchConfig {
             dap: false,
             inv: false,
             threads: 1,
+            kernel: DpKernel::Auto,
         }
     }
 }
@@ -138,6 +212,11 @@ impl SearchConfig {
     /// This configuration with `threads` search workers.
     pub fn with_threads(self, threads: usize) -> SearchConfig {
         SearchConfig { threads, ..self }
+    }
+
+    /// This configuration with an explicit DP kernel.
+    pub fn with_kernel(self, kernel: DpKernel) -> SearchConfig {
+        SearchConfig { kernel, ..self }
     }
 
     /// The worker count this configuration resolves to (`0` = all cores).
@@ -381,6 +460,21 @@ impl StructureIndex {
         (hits, stats)
     }
 
+    /// Resolve `cfg.kernel` for this query: `true` = SoA kernel.
+    ///
+    /// DAP's prime pre-pass re-derives individual sibling columns out of
+    /// chunk order, so the approximate DAP mode stays on the scalar
+    /// reference kernel; everything else takes the SoA kernel whenever the
+    /// query fits the u16 lane envelope.
+    fn choose_kernel(&self, masked: &[StructTokId], cfg: &SearchConfig) -> bool {
+        match cfg.kernel {
+            DpKernel::Scalar => false,
+            DpKernel::Auto | DpKernel::Soa => {
+                !cfg.dap && SoaWorkspace::fits(masked.len(), self.max_len, self.weights)
+            }
+        }
+    }
+
     fn search_inner(
         &self,
         masked: &[StructTokId],
@@ -404,14 +498,15 @@ impl StructureIndex {
             .filter(|&j| !self.tries[j].is_empty())
             .collect();
 
+        let soa = self.choose_kernel(masked, cfg);
         let workers = cfg.effective_threads().min(order.len().max(1));
         if workers > 1 {
-            return self.search_parallel(masked, cfg, &order, workers, recorder);
+            return self.search_parallel(masked, cfg, soa, &order, workers, recorder);
         }
 
         let mut cols =
             self.workspaces
-                .checkout(masked, self.weights, self.max_len, &mut state.stats);
+                .checkout(soa, masked, self.weights, self.max_len, &mut state.stats);
         for &j in &order {
             self.search_length(j, masked, cfg, &mut state, &mut cols, recorder);
         }
@@ -435,6 +530,7 @@ impl StructureIndex {
         &self,
         masked: &[StructTokId],
         cfg: &SearchConfig,
+        soa: bool,
         order: &[usize],
         workers: usize,
         recorder: &Recorder,
@@ -449,7 +545,7 @@ impl StructureIndex {
         if let Some(&j0) = order.first() {
             let mut cols =
                 self.workspaces
-                    .checkout(masked, self.weights, self.max_len, &mut seed.stats);
+                    .checkout(soa, masked, self.weights, self.max_len, &mut seed.stats);
             self.search_length(j0, masked, cfg, &mut seed, &mut cols, recorder);
             seed.stats.cells_evaluated += cols.take_cells();
             self.workspaces.checkin(cols);
@@ -461,6 +557,7 @@ impl StructureIndex {
                     scope.spawn(|| {
                         let mut state = SearchState::new(cfg.k, Some(&shared));
                         let mut cols = self.workspaces.checkout(
+                            soa,
                             masked,
                             self.weights,
                             self.max_len,
@@ -512,7 +609,7 @@ impl StructureIndex {
         masked: &[StructTokId],
         cfg: &SearchConfig,
         state: &mut SearchState<'_>,
-        cols: &mut ColumnWorkspace,
+        cols: &mut DpCols,
         recorder: &Recorder,
     ) {
         if cfg.bdb && state.threshold() < lower_bound(masked.len(), j, self.weights) {
@@ -521,7 +618,7 @@ impl StructureIndex {
         }
         state.stats.tries_searched += 1;
         let _span = recorder.span(SpanId::TrieWalk);
-        self.search_trie(&self.tries[j], masked, cfg, state, cols, recorder);
+        self.search_trie(&self.tries[j], j, masked, cfg, state, cols, recorder);
     }
 
     /// Brute-force reference scan over every structure; used by tests to
@@ -538,25 +635,38 @@ impl StructureIndex {
         topk.into_vec()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn search_trie(
         &self,
         trie: &Trie,
+        target_len: usize,
         masked: &[StructTokId],
         cfg: &SearchConfig,
         state: &mut SearchState<'_>,
-        cols: &mut ColumnWorkspace,
+        cols: &mut DpCols,
         recorder: &Recorder,
     ) {
-        TrieWalk {
-            index: self,
-            trie,
-            masked,
-            cfg,
-            state,
-            cols,
-            recorder,
+        match cols {
+            DpCols::Scalar(cols) => TrieWalk {
+                index: self,
+                trie,
+                target_len,
+                masked,
+                cfg,
+                state,
+                cols,
+                recorder,
+            }
+            .visit_children(0, 0),
+            DpCols::Soa(cols) => SoaTrieWalk {
+                trie,
+                target_len,
+                state,
+                cols,
+                recorder,
+            }
+            .visit_children(0, 0, 0),
         }
-        .visit_children(0, 0);
     }
 
     /// INV (App. D.3): if `MaskOut` mentions a keyword other than
@@ -640,6 +750,8 @@ impl StructureIndex {
 struct TrieWalk<'a, 'b, 'c> {
     index: &'a StructureIndex,
     trie: &'a Trie,
+    /// Token length of every structure in this trie (tries are per-length).
+    target_len: usize,
     masked: &'a [StructTokId],
     cfg: &'a SearchConfig,
     state: &'b mut SearchState<'c>,
@@ -686,7 +798,22 @@ impl TrieWalk<'_, '_, '_> {
             // As above: a column is structurally non-empty, and INF keeps a
             // hypothetical empty one from producing a hit or a descent.
             let last = *col.last().unwrap_or(&DIST_INF);
-            let col_min = *col.iter().min().unwrap_or(&DIST_INF);
+            // Banded descend bound: cell `i` still has to reconcile `m − i`
+            // source tokens with the `rem` target tokens below this child,
+            // which costs at least `w_min · |(m − i) − rem|` (Proposition 1).
+            // Adding that completion cost cell-wise tightens Box 2's raw
+            // column minimum into a diagonal band while staying an exact
+            // lower bound on every descendant's final distance. Must compute
+            // the identical value to the SoA kernel's `ChunkStats::bound`.
+            let rem = self.target_len - (depth + 1);
+            let m = self.masked.len();
+            let wmin = w.min_weight();
+            let bound = col
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v + wmin * (m - i).abs_diff(rem) as Dist)
+                .min()
+                .unwrap_or(DIST_INF);
             let n = self.trie.node(child);
             if n.structure != NONE {
                 self.state.offer(SearchHit {
@@ -694,13 +821,108 @@ impl TrieWalk<'_, '_, '_> {
                     distance: last,
                 });
             }
-            // Box 2 line 46: explore deeper only if the column minimum can
+            // Box 2 line 46: explore deeper only if the banded bound can
             // still beat the current k-th best ("min(DpCurCol) ≤ MinEditDist").
-            if n.first_child != NONE && col_min <= self.state.threshold() {
+            if n.first_child != NONE && bound <= self.state.threshold() {
                 self.visit_children(child, depth + 1);
             }
         }
         self.recorder.record_value(SpanId::TrieFanout, fanout);
+    }
+}
+
+/// The chunked trie walk over the branchless SoA kernel.
+///
+/// Same recursion as [`TrieWalk`], but sibling children are advanced in
+/// chunks of up to [`SOA_LANES`]: one [`SoaWorkspace::advance_chunk`] call
+/// computes every sibling's DP column simultaneously, so each
+/// transcript-token load (and each parent-column cell load) amortizes over
+/// the whole chunk instead of being re-fetched per child.
+///
+/// Traversal order is *identical* to the scalar walk. The scalar loop
+/// advances every child's column unconditionally (pruning only gates the
+/// descent), so hoisting the column computation to the chunk head changes
+/// neither which columns are computed nor the offer/descend sequence — each
+/// lane's offer and descend still happen in sibling order, with the
+/// threshold exactly as tight as the scalar walk would have it at that
+/// point. Hits, `nodes_visited`, and `cells_evaluated` are all
+/// byte-identical; the kernel-parity suite enforces this.
+struct SoaTrieWalk<'a, 'b, 'c> {
+    trie: &'a Trie,
+    /// Token length of every structure in this trie (tries are per-length).
+    target_len: usize,
+    state: &'b mut SearchState<'c>,
+    cols: &'b mut SoaWorkspace,
+    recorder: &'a Recorder,
+}
+
+impl SoaTrieWalk<'_, '_, '_> {
+    /// Visit the children of `node`, whose own DP column lives at lane
+    /// `parent_lane` of block `depth` in the workspace. Descending into the
+    /// child at lane `c` only ever writes blocks deeper than `depth + 1`, so
+    /// the chunk's sibling columns stay intact across recursion.
+    fn visit_children(&mut self, node: u32, depth: usize, parent_lane: usize) {
+        let rem = self.target_len - (depth + 1);
+        let mut fanout: u64 = 0;
+        let mut children = self.trie.children(node);
+        let mut pending = children.next();
+        while let Some(first) = pending {
+            pending = children.next();
+            // Fanout-1 nodes dominate real tries; route them through the
+            // padless single-column kernel with no gather arrays and no
+            // ChunkStats round-trip through memory.
+            if pending.is_none() && fanout == 0 {
+                fanout = 1;
+                let tok = self.trie.node(first).token;
+                let (last, bound) = self.cols.advance_single(depth, parent_lane, tok, rem);
+                self.visit_one(first, depth, 0, last, bound);
+                break;
+            }
+            let mut ids = [0u32; SOA_LANES];
+            let mut toks = [StructTokId(0); SOA_LANES];
+            ids[0] = first;
+            toks[0] = self.trie.node(first).token;
+            let mut n = 1;
+            while let Some(child) = pending {
+                ids[n] = child;
+                toks[n] = self.trie.node(child).token;
+                n += 1;
+                pending = children.next();
+                if n == SOA_LANES {
+                    break;
+                }
+            }
+            fanout += n as u64;
+            if n == 1 {
+                let (last, bound) = self.cols.advance_single(depth, parent_lane, toks[0], rem);
+                self.visit_one(ids[0], depth, 0, last, bound);
+                continue;
+            }
+            let chunk = self.cols.advance_chunk(depth, parent_lane, &toks[..n], rem);
+            for (c, &child) in ids[..n].iter().enumerate() {
+                self.visit_one(child, depth, c, chunk.last[c], chunk.bound[c]);
+            }
+        }
+        self.recorder.record_value(SpanId::TrieFanout, fanout);
+    }
+
+    /// Offer-and-descend for one freshly advanced child column: exactly the
+    /// per-child tail of the scalar walk's loop body.
+    #[inline]
+    fn visit_one(&mut self, child: u32, depth: usize, lane: usize, last: Dist, bound: Dist) {
+        self.state.stats.nodes_visited += 1;
+        let nd = self.trie.node(child);
+        if nd.structure != NONE {
+            self.state.offer(SearchHit {
+                structure: nd.structure,
+                distance: last,
+            });
+        }
+        // Box 2 line 46, per lane: descend only while the banded bound can
+        // still beat the current k-th best.
+        if nd.first_child != NONE && bound <= self.state.threshold() {
+            self.visit_children(child, depth + 1, lane);
+        }
     }
 }
 

@@ -33,6 +33,8 @@ pub struct Trie {
 }
 
 impl Trie {
+    /// An empty trie for token sequences of exactly `len` tokens, holding
+    /// only the root node.
     pub fn new(len: usize) -> Trie {
         Trie {
             len,
@@ -159,8 +161,12 @@ mod tests {
     fn leaves_store_structure_ids() {
         let mut t = Trie::new(2);
         t.insert(&[kw(Keyword::Select), var()], 42);
-        let c1 = t.children(0).next().unwrap();
-        let c2 = t.children(c1).next().unwrap();
+        let Some(c1) = t.children(0).next() else {
+            panic!("root must have a child after insert");
+        };
+        let Some(c2) = t.children(c1).next() else {
+            panic!("depth-1 node must have a child after insert");
+        };
         assert_eq!(t.node(c2).structure, 42);
         assert_eq!(t.node(c1).structure, NONE);
     }

@@ -76,6 +76,9 @@ pub enum CounterId {
     CacheSkeletonEvictions,
     /// Literal votes resolved by an exact Metaphone-key bucket hit.
     PhoneticExactHits,
+    /// Placeholder fills answered from the per-transcript fill memo instead
+    /// of re-running window enumeration and voting.
+    LiteralFillMemoHits,
     /// DP column workspaces checked out of the search pool instead of being
     /// freshly allocated.
     SearchWorkspacesReused,
@@ -95,7 +98,7 @@ pub const COUNTER_COUNT: usize = CounterId::ALL.len();
 
 impl CounterId {
     /// Every counter, in registry order.
-    pub const ALL: [CounterId; 20] = [
+    pub const ALL: [CounterId; 21] = [
         CounterId::SearchNodesVisited,
         CounterId::SearchTriesSearched,
         CounterId::SearchTriesPruned,
@@ -111,6 +114,7 @@ impl CounterId {
         CounterId::CacheSkeletonMisses,
         CounterId::CacheSkeletonEvictions,
         CounterId::PhoneticExactHits,
+        CounterId::LiteralFillMemoHits,
         CounterId::SearchWorkspacesReused,
         CounterId::ErrorsEmptyTranscript,
         CounterId::ErrorsTranscriptTooLong,
@@ -136,6 +140,7 @@ impl CounterId {
             CounterId::CacheSkeletonMisses => "cache.skeleton_misses",
             CounterId::CacheSkeletonEvictions => "cache.skeleton_evictions",
             CounterId::PhoneticExactHits => "phonetics.exact_hits",
+            CounterId::LiteralFillMemoHits => "literal.fill_memo_hits",
             CounterId::SearchWorkspacesReused => "search.workspaces_reused",
             CounterId::ErrorsEmptyTranscript => "engine.errors.empty_transcript",
             CounterId::ErrorsTranscriptTooLong => "engine.errors.transcript_too_long",

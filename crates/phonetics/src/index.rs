@@ -137,8 +137,14 @@ impl PhoneticIndex {
         }
         let mut best = usize::MAX;
         let mut winners: Vec<usize> = Vec::new();
+        let mut scan = LevScan::new(key);
         for (i, e) in self.entries.iter().enumerate() {
-            let d = speakql_editdist::levenshtein(key, &e.key);
+            // `within` returns the exact distance whenever d <= best, and
+            // None only when d > best — a skipped entry can never join the
+            // winner set, so winners and ties match the unbounded scan.
+            let Some(d) = scan.within(&e.key, best) else {
+                continue;
+            };
             if d < best {
                 best = d;
                 winners.clear();
@@ -167,9 +173,69 @@ impl PhoneticIndex {
     }
 }
 
+/// Bounded Levenshtein against one fixed query, with DP buffers reused
+/// across calls so a full index scan performs no per-entry allocation.
+struct LevScan {
+    query: Vec<char>,
+    cand: Vec<char>,
+    prev: Vec<usize>,
+    cur: Vec<usize>,
+}
+
+impl LevScan {
+    fn new(query: &str) -> LevScan {
+        LevScan {
+            query: query.chars().collect(),
+            cand: Vec::new(),
+            prev: Vec::new(),
+            cur: Vec::new(),
+        }
+    }
+
+    /// Character-level Levenshtein distance between the query and `other`,
+    /// exact whenever it is `<= bound`; `None` guarantees the distance
+    /// strictly exceeds `bound`. Two abandons keep the scan cheap: the
+    /// length gap is a lower bound on the distance, and each DP row's
+    /// minimum is a lower bound on every later row (costs never decrease
+    /// down a column), so once it passes `bound` no suffix can recover.
+    fn within(&mut self, other: &str, bound: usize) -> Option<usize> {
+        self.cand.clear();
+        self.cand.extend(other.chars());
+        let (la, lb) = (self.query.len(), self.cand.len());
+        if la.abs_diff(lb) > bound {
+            return None;
+        }
+        if la == 0 || lb == 0 {
+            let d = la + lb;
+            return (d <= bound).then_some(d);
+        }
+        self.prev.clear();
+        self.prev.extend(0..=lb);
+        self.cur.clear();
+        self.cur.resize(lb + 1, 0);
+        for (i, &qa) in self.query.iter().enumerate() {
+            self.cur[0] = i + 1;
+            let mut row_min = self.cur[0];
+            for (j, &cb) in self.cand.iter().enumerate() {
+                let sub = self.prev[j] + usize::from(qa != cb);
+                let v = sub.min(self.prev[j + 1] + 1).min(self.cur[j] + 1);
+                self.cur[j + 1] = v;
+                row_min = row_min.min(v);
+            }
+            if row_min > bound {
+                return None;
+            }
+            std::mem::swap(&mut self.prev, &mut self.cur);
+        }
+        let d = self.prev[lb];
+        (d <= bound).then_some(d)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn builds_sorted_deduped() {
@@ -247,6 +313,52 @@ mod tests {
         assert!(!vote.exact);
         assert_eq!(vote.comparisons, 2);
         assert!(vote.distance > 0);
+    }
+
+    proptest! {
+        /// The early-abandoning scan must produce exactly the winners, tie
+        /// set, and distance of a naive unbounded Levenshtein scan.
+        #[test]
+        fn bounded_scan_matches_naive_scan(
+            key in "[A-Z]{0,8}",
+            lits in proptest::collection::vec("[A-Za-z]{1,10}", 1..20),
+        ) {
+            let idx = PhoneticIndex::build(lits);
+            if idx.buckets.contains_key(key.as_str()) {
+                // Bucket hit takes the exact path; nothing to compare.
+                return Ok(());
+            }
+            let Some(vote) = idx.nearest(&key) else {
+                panic!("index is non-empty");
+            };
+            let mut best = usize::MAX;
+            let mut winners: Vec<usize> = Vec::new();
+            for (i, e) in idx.entries().iter().enumerate() {
+                let d = speakql_editdist::levenshtein(&key, &e.key);
+                if d < best {
+                    best = d;
+                    winners.clear();
+                    winners.push(i);
+                } else if d == best {
+                    winners.push(i);
+                }
+            }
+            prop_assert_eq!(vote.distance, best);
+            prop_assert_eq!(vote.winners, winners);
+        }
+
+        /// `LevScan::within` agrees with the unbounded reference at every
+        /// bound: the exact distance when it fits, `None` strictly above.
+        #[test]
+        fn within_is_exact_under_its_bound(
+            a in "[a-z]{0,8}",
+            b in "[a-z]{0,8}",
+            bound in 0usize..10,
+        ) {
+            let d = speakql_editdist::levenshtein(&a, &b);
+            let got = LevScan::new(&a).within(&b, bound);
+            prop_assert_eq!(got, (d <= bound).then_some(d));
+        }
     }
 
     #[test]
