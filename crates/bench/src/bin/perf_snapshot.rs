@@ -130,7 +130,14 @@ fn main() -> ExitCode {
 
     let snapshot = run_workload(kernel);
 
-    if let Err(e) = std::fs::write(&out, serde_json::to_string_pretty(&snapshot).unwrap()) {
+    let text = match serde_json::to_string_pretty(&snapshot) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error serializing snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, text) {
         eprintln!("error writing {out}: {e}");
         return ExitCode::FAILURE;
     }

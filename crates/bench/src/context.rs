@@ -31,6 +31,7 @@ impl Scale {
         }
     }
 
+    /// The structure-generator configuration for this scale.
     pub fn generator(self) -> GeneratorConfig {
         match self {
             Scale::Small => GeneratorConfig::small(),
@@ -63,6 +64,8 @@ pub struct Context {
 }
 
 impl Context {
+    /// Build the dataset, shared index, engines, and ASR profiles for
+    /// `scale` (the expensive, run-once setup every experiment shares).
     pub fn new(scale: Scale) -> Context {
         let gen_cfg = scale.generator();
         let (train, etest, ytest) = scale.dataset_sizes();

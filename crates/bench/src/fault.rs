@@ -14,7 +14,15 @@ use speakql_core::{
 use speakql_db::{Column, Database, Table, TableSchema, Value, ValueType};
 use speakql_grammar::ClauseKind;
 use speakql_index::StructureIndex;
+use speakql_server::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response, Server,
+    ServerConfig, TenantRegistry, CLASS_UNKNOWN_TENANT,
+};
+use std::io::Write;
+use std::net::TcpStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Transcript marker the poisoned-batch fault hook panics on.
 pub const POISON_MARKER: &str = "__speakql_poison__";
@@ -341,7 +349,260 @@ pub fn run_fault_injection() -> FaultReport {
     // decode to an error, never a panic. ---
     outcomes.extend(run_corrupted_index_cases());
 
+    // --- Server layer: hostile clients and concurrent faults against a
+    // running multi-tenant server. ---
+    outcomes.extend(run_server_fault_cases());
+
     FaultReport { outcomes }
+}
+
+/// A one-tenant server over the harness schema (tenant `"fault"`, poisoned
+/// transcripts panic via the fault hook), bound to an ephemeral loopback
+/// port.
+fn fault_server(workers: usize, io_timeout: Duration) -> (Server, Option<std::net::SocketAddr>) {
+    let cfg = SpeakQlConfig::small()
+        .with_threads(1)
+        .with_max_transcript_words(1024)
+        .with_fault_hook(FaultHook::new(|t| {
+            assert!(!t.contains(POISON_MARKER), "injected fault");
+        }));
+    let index = Arc::new(StructureIndex::from_grammar(&cfg.generator, cfg.weights));
+    let mut registry = TenantRegistry::new(64, true);
+    registry.register("fault", &harness_db(), index, cfg);
+    let mut server = Server::serve(
+        registry,
+        ServerConfig {
+            workers,
+            queue_capacity: 32,
+            request_budget: Duration::from_secs(60),
+            max_retries: 2,
+            io_timeout,
+        },
+    );
+    let addr = server.listen("127.0.0.1:0").ok();
+    (server, addr)
+}
+
+/// Send one framed request and decode the framed response (None on any
+/// transport failure — the caller folds that into the case verdict).
+fn server_request(addr: std::net::SocketAddr, tenant: &str, transcript: &str) -> Option<Response> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .ok()?;
+    let req = Request {
+        tenant: tenant.to_string(),
+        transcript: transcript.to_string(),
+    };
+    write_frame(&mut stream, &encode_request(&req)).ok()?;
+    let payload = read_frame(&mut stream).ok()??;
+    decode_response(&payload).ok()
+}
+
+/// Wait (bounded) for a server counter to reach `want` — hostile-client
+/// cases race the handler thread's bookkeeping.
+fn await_counter(server: &Server, id: CounterId, want: u64) -> u64 {
+    for _ in 0..500 {
+        let got = server.recorder().counter(id);
+        if got >= want {
+            return got;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.recorder().counter(id)
+}
+
+/// Hostile clients and concurrent faults against a live server: a
+/// slow-loris client must be disconnected by the io timeout, a mid-request
+/// disconnect must not wedge the handler, a poisoned request in a busy
+/// pool must fail alone, and a tenant whose persisted index bytes are
+/// corrupted must be rejected at load time while the healthy fleet keeps
+/// serving.
+fn run_server_fault_cases() -> Vec<CaseOutcome> {
+    let healthy = "select salary from employees";
+    let mut outcomes = Vec::new();
+
+    // --- Slow loris: a client that sends two bytes of a length prefix and
+    // stalls is disconnected once `io_timeout` fires (we observe the
+    // server-side close as a clean EOF), counted as a protocol error, and
+    // the server keeps serving fresh connections. ---
+    {
+        let (server, addr) = fault_server(2, Duration::from_millis(150));
+        let got = trap(|| {
+            let Some(addr) = addr else {
+                return "bind failed".to_string();
+            };
+            let Ok(mut stream) = TcpStream::connect(addr) else {
+                return "connect failed".to_string();
+            };
+            if stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .is_err()
+                || stream.write_all(&[0, 0]).is_err()
+            {
+                return "stall setup failed".to_string();
+            }
+            // The server must hang up on us, not the other way round.
+            if !matches!(read_frame(&mut stream), Ok(None)) {
+                return "server did not drop the stalled client".to_string();
+            }
+            let counted = await_counter(&server, CounterId::ServerProtocolErrors, 1);
+            let served = matches!(
+                server_request(addr, "fault", healthy),
+                Some(Response::Ok { ref sql }) if !sql.is_empty()
+            );
+            if counted == 1 && served {
+                "dropped_then_served".to_string()
+            } else {
+                format!("counted {counted}, fresh connection served: {served}")
+            }
+        });
+        server.shutdown();
+        outcomes.push(CaseOutcome {
+            case: "slow_loris".to_string(),
+            layer: "server",
+            pass: got == "dropped_then_served",
+            observed: got,
+        });
+    }
+
+    // --- Mid-request disconnect: a client that dies halfway through a
+    // frame is counted (truncated read) and never wedges the handler. ---
+    {
+        let (server, addr) = fault_server(2, Duration::from_secs(5));
+        let got = trap(|| {
+            let Some(addr) = addr else {
+                return "bind failed".to_string();
+            };
+            let mut wire = Vec::new();
+            let req = Request {
+                tenant: "fault".to_string(),
+                transcript: healthy.to_string(),
+            };
+            if write_frame(&mut wire, &encode_request(&req)).is_err() {
+                return "frame encode failed".to_string();
+            }
+            match TcpStream::connect(addr) {
+                Ok(mut stream) => {
+                    if stream.write_all(&wire[..wire.len() / 2]).is_err() {
+                        return "partial write failed".to_string();
+                    }
+                    drop(stream);
+                }
+                Err(_) => return "connect failed".to_string(),
+            }
+            let counted = await_counter(&server, CounterId::ServerProtocolErrors, 1);
+            let served = matches!(
+                server_request(addr, "fault", healthy),
+                Some(Response::Ok { ref sql }) if !sql.is_empty()
+            );
+            if counted == 1 && served {
+                "counted_then_served".to_string()
+            } else {
+                format!("counted {counted}, fresh connection served: {served}")
+            }
+        });
+        server.shutdown();
+        outcomes.push(CaseOutcome {
+            case: "mid_request_disconnect".to_string(),
+            layer: "server",
+            pass: got == "counted_then_served",
+            observed: got,
+        });
+    }
+
+    // --- Poisoned request in a busy pool: one poisoned transcript among
+    // concurrent healthy ones exhausts its retries and fails alone; every
+    // healthy request still answers identically. ---
+    {
+        let (server, _) = fault_server(2, Duration::from_secs(5));
+        let got = trap(|| {
+            let handle = server.handle();
+            let poisoned = format!("select {POISON_MARKER} from employees");
+            let mut pending = Vec::new();
+            for i in 0..9 {
+                let transcript = if i == 4 { poisoned.as_str() } else { healthy };
+                pending.push((i, handle.submit("fault", transcript)));
+            }
+            let mut healthy_sqls = Vec::new();
+            let mut poisoned_class = String::new();
+            for (i, rx) in pending {
+                match rx.recv() {
+                    Ok(Response::Ok { sql }) if i != 4 => healthy_sqls.push(sql),
+                    Ok(Response::Err { class, .. }) if i == 4 => poisoned_class = class,
+                    Ok(_) => return format!("slot {i} misclassified"),
+                    Err(_) => return format!("slot {i} got no answer"),
+                }
+            }
+            let retries = server.recorder().counter(CounterId::ServerRetries);
+            if poisoned_class != "worker_panic" {
+                return format!("poisoned slot classified {poisoned_class:?}");
+            }
+            if retries != 2 {
+                return format!("{retries} retries (want 2)");
+            }
+            if healthy_sqls.len() != 8
+                || healthy_sqls
+                    .iter()
+                    .any(|s| s.is_empty() || s != &healthy_sqls[0])
+            {
+                return "healthy slots diverged".to_string();
+            }
+            "one_poisoned_slot".to_string()
+        });
+        server.shutdown();
+        outcomes.push(CaseOutcome {
+            case: "poisoned_busy_pool".to_string(),
+            layer: "server",
+            pass: got == "one_poisoned_slot",
+            observed: got,
+        });
+    }
+
+    // --- Corrupted tenant index: bit-flipped persisted bytes are rejected
+    // by the decoder, so the tenant never registers; the rest of the fleet
+    // keeps serving and requests for the missing tenant get the typed
+    // unknown-tenant class. ---
+    {
+        let (server, addr) = fault_server(2, Duration::from_secs(5));
+        let got = trap(|| {
+            let cfg = SpeakQlConfig::small();
+            let index = StructureIndex::from_grammar(&cfg.generator, cfg.weights);
+            let mut bytes = match speakql_index::to_bytes(&index) {
+                Ok(b) => b.to_vec(),
+                Err(e) => return format!("serialize failed: {e}"),
+            };
+            bytes[1] ^= 0x80;
+            if speakql_index::from_bytes(&bytes).is_ok() {
+                return "corrupted bytes decoded".to_string();
+            }
+            let Some(addr) = addr else {
+                return "bind failed".to_string();
+            };
+            let rejected = matches!(
+                server_request(addr, "corrupt", healthy),
+                Some(Response::Err { ref class, .. }) if class == CLASS_UNKNOWN_TENANT
+            );
+            let served = matches!(
+                server_request(addr, "fault", healthy),
+                Some(Response::Ok { ref sql }) if !sql.is_empty()
+            );
+            if rejected && served {
+                "rejected_at_load_time".to_string()
+            } else {
+                format!("unknown-tenant answered: {rejected}, healthy served: {served}")
+            }
+        });
+        server.shutdown();
+        outcomes.push(CaseOutcome {
+            case: "corrupted_index_tenant".to_string(),
+            layer: "server",
+            pass: got == "rejected_at_load_time",
+            observed: got,
+        });
+    }
+
+    outcomes
 }
 
 /// Serialize a small index, then replay truncations and bit-flips through

@@ -9,6 +9,7 @@
 pub mod context;
 pub mod experiments;
 pub mod fault;
+pub mod load;
 pub mod report;
 pub mod runs;
 pub mod suite;

@@ -120,5 +120,7 @@ pub fn run_split(
             });
         }
     });
-    out.into_iter().map(|r| r.expect("all cases ran")).collect()
+    out.into_iter()
+        .map(|r| r.unwrap_or_else(|| panic!("all cases ran")))
+        .collect()
 }

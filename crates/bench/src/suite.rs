@@ -14,6 +14,7 @@ pub struct Suite {
 }
 
 impl Suite {
+    /// Wrap `ctx` with empty (not-yet-run) split caches.
     pub fn new(ctx: Context) -> Suite {
         Suite {
             ctx,
@@ -23,6 +24,7 @@ impl Suite {
         }
     }
 
+    /// Per-case runs over the training split (computed on first use).
     pub fn train(&self) -> &[CaseRun] {
         self.train.get_or_init(|| {
             eprintln!(
@@ -38,6 +40,7 @@ impl Suite {
         })
     }
 
+    /// Per-case runs over the Employees test split (computed on first use).
     pub fn employees_test(&self) -> &[CaseRun] {
         self.employees_test.get_or_init(|| {
             eprintln!(
@@ -53,6 +56,7 @@ impl Suite {
         })
     }
 
+    /// Per-case runs over the Yelp test split (computed on first use).
     pub fn yelp_test(&self) -> &[CaseRun] {
         self.yelp_test.get_or_init(|| {
             eprintln!(

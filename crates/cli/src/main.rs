@@ -19,6 +19,7 @@ use speakql_asr::{AsrEngine, AsrProfile};
 use speakql_core::{SpeakQl, SpeakQlConfig};
 use speakql_data::{employees_db, generate_cases, training_vocabulary};
 use speakql_grammar::GeneratorConfig;
+use speakql_server::{Server, ServerConfig, TenantRegistry};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -45,6 +46,14 @@ USAGE:
   speakql index-build <path> [--scale S]    build and persist the structure index
                                             (S = small | medium | paper)
   speakql index-info <path>                 inspect a persisted structure index
+  speakql serve [--addr A] [--workers N] [--queue N] [--timeout-ms N] [--cache N]
+                                            run the multi-tenant correction server
+                                            (tenants: employees, yelp) on A
+                                            (default 127.0.0.1:5717) with N workers
+                                            (default 4), an N-slot admission queue
+                                            (default 64), an N ms per-request budget
+                                            (default 30000), and an N-entry shared
+                                            skeleton cache (default 1024)
   speakql schema                            print the Employees schema
 
 The engine scale defaults to 'small' for instant startup; set
@@ -62,6 +71,7 @@ fn main() -> ExitCode {
         "dataset" => cmd_dataset(&args[1..]),
         "index-build" => cmd_index_build(&args[1..]),
         "index-info" => cmd_index_info(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "schema" => cmd_schema(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -363,6 +373,78 @@ fn cmd_index_info(args: &[String]) -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Run the multi-tenant server: the `employees` and `yelp` tenants over one
+/// shared structure index (so same-schema queries warm each other's
+/// skeleton cache), bounded admission, per-request budgets, and the framed
+/// TCP protocol of `speakql-server`. Blocks until killed.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let (rest, addr) = take_flag(args, "--addr");
+    let (rest, workers) = take_flag(&rest, "--workers");
+    let (rest, queue) = take_flag(&rest, "--queue");
+    let (rest, timeout_ms) = take_flag(&rest, "--timeout-ms");
+    let (rest, cache) = take_flag(&rest, "--cache");
+    if !rest.is_empty() {
+        eprintln!(
+            "usage: speakql serve [--addr A] [--workers N] [--queue N] [--timeout-ms N] [--cache N]"
+        );
+        return ExitCode::from(2);
+    }
+    let addr = addr.unwrap_or_else(|| "127.0.0.1:5717".to_string());
+    let workers: usize = workers.and_then(|s| s.parse().ok()).unwrap_or(4);
+    let queue: usize = queue.and_then(|s| s.parse().ok()).unwrap_or(64);
+    let timeout_ms: u64 = timeout_ms.and_then(|s| s.parse().ok()).unwrap_or(30_000);
+    let cache: usize = cache.and_then(|s| s.parse().ok()).unwrap_or(1024);
+
+    eprintln!("[speakql] building shared structure index ...");
+    let config = SpeakQlConfig {
+        generator: scale_config(),
+        ..SpeakQlConfig::paper()
+    }
+    .with_threads(1);
+    let index = std::sync::Arc::new(speakql_index::StructureIndex::from_grammar(
+        &config.generator,
+        config.weights,
+    ));
+    let mut registry = TenantRegistry::new(cache, true);
+    registry.register(
+        "employees",
+        &employees_db(),
+        std::sync::Arc::clone(&index),
+        config.clone(),
+    );
+    registry.register("yelp", &speakql_data::yelp_db(), index, config);
+
+    let mut server = Server::serve(
+        registry,
+        ServerConfig {
+            workers,
+            queue_capacity: queue,
+            request_budget: std::time::Duration::from_millis(timeout_ms),
+            max_retries: 2,
+            io_timeout: std::time::Duration::from_secs(10),
+        },
+    );
+    let bound = match server.listen(&addr) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error binding {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for tenant in server.registry().tenant_names() {
+        eprintln!("[speakql] tenant registered: {tenant}");
+    }
+    eprintln!(
+        "[speakql] serving on {bound} ({workers} workers, {queue}-slot queue, \
+         {timeout_ms} ms budget); protocol: 4-byte BE length-prefixed frames, \
+         request = \"tenant\\ntranscript\""
+    );
+    // Serve until killed: the acceptor and workers own all the activity.
+    loop {
+        std::thread::park();
     }
 }
 

@@ -14,11 +14,16 @@
 //! counts are reproducible run to run, which the CI perf-snapshot gate
 //! relies on.
 //!
-//! Invalidation is structural: a cache belongs to one engine and therefore
-//! to one [`StructureIndex`](speakql_index::StructureIndex). Hits reference
-//! structures by arena id, which is only meaningful for the index the search
-//! ran against; rebuilding the index means building a new engine, which
-//! starts with an empty cache.
+//! Invalidation is structural: hits reference structures by arena id, which
+//! is only meaningful for the [`StructureIndex`](speakql_index::StructureIndex)
+//! the search ran against, so every key carries that index's
+//! [`generation`](speakql_index::StructureIndex::generation). A private
+//! per-engine cache sees a single generation forever (rebuilding the index
+//! means building a new engine, which starts cold); a cache shared across
+//! engines — the multi-tenant server hands one `Arc<SkeletonCache>` to every
+//! engine — lets tenants on the *same* index reuse each other's warm
+//! results, while tenants on different arenas can never collide because
+//! their generations differ.
 
 use parking_lot::Mutex;
 use speakql_grammar::StructTokId;
@@ -54,9 +59,11 @@ impl ConfigFingerprint {
     }
 }
 
-/// Cache key: the masked skeleton plus the result-affecting config fields.
+/// Cache key: the masked skeleton, the result-affecting config fields, and
+/// the arena generation of the index the hits came from.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Key {
+    generation: u64,
     fp: ConfigFingerprint,
     masked: Vec<StructTokId>,
 }
@@ -151,15 +158,18 @@ impl SkeletonCache {
         self.len() == 0
     }
 
-    /// Look up the memoized hits for `masked` under `cfg`, bumping the LRU
-    /// stamp and the hit/miss counters.
+    /// Look up the memoized hits for `masked` under `cfg` against the index
+    /// arena identified by `generation`, bumping the LRU stamp and the
+    /// hit/miss counters.
     pub fn get(
         &self,
+        generation: u64,
         cfg: &SearchConfig,
         masked: &[StructTokId],
         recorder: &Recorder,
     ) -> Option<Vec<SearchHit>> {
         let key = Key {
+            generation,
             fp: ConfigFingerprint::of(cfg),
             masked: masked.to_vec(),
         };
@@ -172,17 +182,19 @@ impl SkeletonCache {
         hit
     }
 
-    /// Memoize `hits` for `masked` under `cfg`, evicting the shard's
-    /// least-recently-used entries if it is full (counted in
-    /// `cache.skeleton_evictions`).
+    /// Memoize `hits` for `masked` under `cfg` against the index arena
+    /// identified by `generation`, evicting the shard's least-recently-used
+    /// entries if it is full (counted in `cache.skeleton_evictions`).
     pub fn insert(
         &self,
+        generation: u64,
         cfg: &SearchConfig,
         masked: &[StructTokId],
         hits: Vec<SearchHit>,
         recorder: &Recorder,
     ) {
         let key = Key {
+            generation,
             fp: ConfigFingerprint::of(cfg),
             masked: masked.to_vec(),
         };
@@ -203,6 +215,9 @@ impl SkeletonCache {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         };
+        for b in key.generation.to_le_bytes() {
+            eat(b);
+        }
         for b in key.fp.k.to_le_bytes() {
             eat(b);
         }
@@ -236,10 +251,10 @@ mod tests {
         let cache = SkeletonCache::new(16);
         let cfg = SearchConfig::top_k(5);
         let rec = Recorder::disabled();
-        assert!(cache.get(&cfg, &skeleton(4), &rec).is_none());
-        cache.insert(&cfg, &skeleton(4), vec![hit(1), hit(2)], &rec);
+        assert!(cache.get(7, &cfg, &skeleton(4), &rec).is_none());
+        cache.insert(7, &cfg, &skeleton(4), vec![hit(1), hit(2)], &rec);
         assert_eq!(
-            cache.get(&cfg, &skeleton(4), &rec),
+            cache.get(7, &cfg, &skeleton(4), &rec),
             Some(vec![hit(1), hit(2)])
         );
         assert_eq!(cache.len(), 1);
@@ -251,14 +266,14 @@ mod tests {
         let rec = Recorder::disabled();
         let top1 = SearchConfig::top_k(1);
         let top5 = SearchConfig::top_k(5);
-        cache.insert(&top1, &skeleton(4), vec![hit(1)], &rec);
-        assert!(cache.get(&top5, &skeleton(4), &rec).is_none());
+        cache.insert(7, &top1, &skeleton(4), vec![hit(1)], &rec);
+        assert!(cache.get(7, &top5, &skeleton(4), &rec).is_none());
         let dap = SearchConfig {
             dap: true,
             ..SearchConfig::top_k(1)
         };
-        assert!(cache.get(&dap, &skeleton(4), &rec).is_none());
-        assert_eq!(cache.get(&top1, &skeleton(4), &rec), Some(vec![hit(1)]));
+        assert!(cache.get(7, &dap, &skeleton(4), &rec).is_none());
+        assert_eq!(cache.get(7, &top1, &skeleton(4), &rec), Some(vec![hit(1)]));
     }
 
     #[test]
@@ -269,8 +284,23 @@ mod tests {
         let rec = Recorder::disabled();
         let seq = SearchConfig::top_k(5);
         let par = seq.with_threads(8);
-        cache.insert(&seq, &skeleton(6), vec![hit(3)], &rec);
-        assert_eq!(cache.get(&par, &skeleton(6), &rec), Some(vec![hit(3)]));
+        cache.insert(7, &seq, &skeleton(6), vec![hit(3)], &rec);
+        assert_eq!(cache.get(7, &par, &skeleton(6), &rec), Some(vec![hit(3)]));
+    }
+
+    #[test]
+    fn distinct_generations_do_not_collide() {
+        // The same skeleton under the same config belongs to two different
+        // arenas: each generation sees only its own entry.
+        let cache = SkeletonCache::new(16);
+        let cfg = SearchConfig::top_k(3);
+        let rec = Recorder::disabled();
+        cache.insert(1, &cfg, &skeleton(5), vec![hit(10)], &rec);
+        cache.insert(2, &cfg, &skeleton(5), vec![hit(20)], &rec);
+        assert_eq!(cache.get(1, &cfg, &skeleton(5), &rec), Some(vec![hit(10)]));
+        assert_eq!(cache.get(2, &cfg, &skeleton(5), &rec), Some(vec![hit(20)]));
+        assert!(cache.get(3, &cfg, &skeleton(5), &rec).is_none());
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]
@@ -282,7 +312,7 @@ mod tests {
         let cfg = SearchConfig::top_k(1);
         let rec = Recorder::new(true);
         for n in 1..=6 {
-            cache.insert(&cfg, &skeleton(n), vec![hit(n as u32)], &rec);
+            cache.insert(7, &cfg, &skeleton(n), vec![hit(n as u32)], &rec);
         }
         assert!(cache.len() <= 2);
         assert!(rec.counter(CounterId::CacheSkeletonEvictions) >= 4);
@@ -300,13 +330,13 @@ mod tests {
         };
         let cfg = SearchConfig::top_k(1);
         let rec = Recorder::disabled();
-        cache.insert(&cfg, &skeleton(1), vec![hit(1)], &rec); // A
-        cache.insert(&cfg, &skeleton(2), vec![hit(2)], &rec); // B
-        assert!(cache.get(&cfg, &skeleton(1), &rec).is_some()); // touch A
-        cache.insert(&cfg, &skeleton(3), vec![hit(3)], &rec); // C evicts B
-        assert!(cache.get(&cfg, &skeleton(1), &rec).is_some());
-        assert!(cache.get(&cfg, &skeleton(2), &rec).is_none());
-        assert!(cache.get(&cfg, &skeleton(3), &rec).is_some());
+        cache.insert(7, &cfg, &skeleton(1), vec![hit(1)], &rec); // A
+        cache.insert(7, &cfg, &skeleton(2), vec![hit(2)], &rec); // B
+        assert!(cache.get(7, &cfg, &skeleton(1), &rec).is_some()); // touch A
+        cache.insert(7, &cfg, &skeleton(3), vec![hit(3)], &rec); // C evicts B
+        assert!(cache.get(7, &cfg, &skeleton(1), &rec).is_some());
+        assert!(cache.get(7, &cfg, &skeleton(2), &rec).is_none());
+        assert!(cache.get(7, &cfg, &skeleton(3), &rec).is_some());
     }
 
     #[test]
@@ -314,9 +344,9 @@ mod tests {
         let cache = SkeletonCache::new(2);
         let cfg = SearchConfig::top_k(1);
         let rec = Recorder::new(true);
-        cache.get(&cfg, &skeleton(1), &rec); // miss
-        cache.insert(&cfg, &skeleton(1), vec![hit(1)], &rec);
-        cache.get(&cfg, &skeleton(1), &rec); // hit
+        cache.get(7, &cfg, &skeleton(1), &rec); // miss
+        cache.insert(7, &cfg, &skeleton(1), vec![hit(1)], &rec);
+        cache.get(7, &cfg, &skeleton(1), &rec); // hit
         assert_eq!(rec.counter(CounterId::CacheSkeletonHits), 1);
         assert_eq!(rec.counter(CounterId::CacheSkeletonMisses), 1);
     }
@@ -334,8 +364,8 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..64u32 {
                         let sk = skeleton(((w * 64 + i) % 13) as usize + 1);
-                        if cache.get(cfg, &sk, &rec).is_none() {
-                            cache.insert(cfg, &sk, vec![hit(i)], &rec);
+                        if cache.get(7, cfg, &sk, &rec).is_none() {
+                            cache.insert(7, cfg, &sk, vec![hit(i)], &rec);
                         }
                     }
                 });

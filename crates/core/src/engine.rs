@@ -265,7 +265,7 @@ pub struct SpeakQl {
     /// searches against the main index — clause indexes hold different
     /// structure arenas, so their hits must never share keys with the main
     /// index's.
-    skeleton_cache: Option<SkeletonCache>,
+    skeleton_cache: Option<Arc<SkeletonCache>>,
 }
 
 impl SpeakQl {
@@ -288,7 +288,36 @@ impl SpeakQl {
             catalog: PhoneticCatalog::build(db),
             recorder: Recorder::new(config.observe),
             skeleton_cache: (config.cache_capacity > 0)
-                .then(|| SkeletonCache::new(config.cache_capacity)),
+                .then(|| Arc::new(SkeletonCache::new(config.cache_capacity))),
+            config,
+            clause_indexes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Build an engine around a pre-built structure index *and* an existing
+    /// skeleton cache shared with other engines. Entries are keyed by the
+    /// index's arena [`generation`](StructureIndex::generation), so engines
+    /// over the same `Arc<StructureIndex>` (multi-tenant sessions on one
+    /// schema) reuse each other's warm search results, while engines over
+    /// different arenas sharing the same cache can never collide.
+    ///
+    /// The caller also supplies the [`Recorder`], so a fleet of engines can
+    /// aggregate metrics into one report (the multi-tenant server does).
+    /// [`SpeakQlConfig::cache_capacity`] and [`SpeakQlConfig::observe`] are
+    /// ignored here: the shared cache's capacity and the passed recorder's
+    /// enabled-ness govern.
+    pub fn with_shared_cache(
+        db: &Database,
+        index: Arc<StructureIndex>,
+        cache: Arc<SkeletonCache>,
+        recorder: Recorder,
+        config: SpeakQlConfig,
+    ) -> SpeakQl {
+        SpeakQl {
+            index,
+            catalog: PhoneticCatalog::build(db),
+            recorder,
+            skeleton_cache: Some(cache),
             config,
             clause_indexes: Mutex::new(HashMap::new()),
         }
@@ -318,7 +347,7 @@ impl SpeakQl {
     /// The engine's skeleton-result cache, or `None` when
     /// [`SpeakQlConfig::cache_capacity`] is `0`.
     pub fn skeleton_cache(&self) -> Option<&SkeletonCache> {
-        self.skeleton_cache.as_ref()
+        self.skeleton_cache.as_deref()
     }
 
     /// Snapshot every pipeline counter and stage-latency histogram recorded
@@ -476,7 +505,7 @@ impl SpeakQl {
             let mut t = self.transcribe_words(
                 &words,
                 &self.index,
-                self.skeleton_cache.as_ref(),
+                self.skeleton_cache.as_deref(),
                 start,
                 batch_worker,
             );
@@ -564,14 +593,22 @@ impl SpeakQl {
             self.config.search
         };
         let t1 = Instant::now();
-        let cached = cache.and_then(|c| c.get(&search_cfg, &processed.masked, &self.recorder));
+        let generation = index.generation();
+        let cached =
+            cache.and_then(|c| c.get(generation, &search_cfg, &processed.masked, &self.recorder));
         let hits = match cached {
             Some(hits) => hits,
             None => {
                 let (hits, _) =
                     index.search_observed(&processed.masked, &search_cfg, &self.recorder);
                 if let Some(c) = cache {
-                    c.insert(&search_cfg, &processed.masked, hits.clone(), &self.recorder);
+                    c.insert(
+                        generation,
+                        &search_cfg,
+                        &processed.masked,
+                        hits.clone(),
+                        &self.recorder,
+                    );
                 }
                 hits
             }
@@ -743,7 +780,7 @@ impl SpeakQl {
         outer_words.push(SENTINEL.to_string());
         outer_words.push(")".to_string());
 
-        let cache = self.skeleton_cache.as_ref();
+        let cache = self.skeleton_cache.as_deref();
         let inner = self.transcribe_words(
             &inner_words,
             &self.index,

@@ -48,6 +48,24 @@ pub enum SpeakQlError {
         /// The panic payload's message, when it was a string.
         message: String,
     },
+    /// The server's admission queue was full, so the request was shed
+    /// instead of queued unboundedly. Overload must degrade into explicit,
+    /// fast rejections: an unbounded queue turns a traffic spike into
+    /// unbounded tail latency for everyone.
+    Overloaded {
+        /// Requests already waiting when this one was rejected.
+        queued: usize,
+        /// The admission queue's configured bound.
+        capacity: usize,
+    },
+    /// The request exceeded its latency budget before a worker could finish
+    /// it (typically: it aged out while waiting in the admission queue).
+    Timeout {
+        /// How long the request had been waiting, in milliseconds.
+        waited_ms: u64,
+        /// The configured per-request budget, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl SpeakQlError {
@@ -59,6 +77,8 @@ impl SpeakQlError {
             SpeakQlError::TranscriptTooLong { .. } => "transcript_too_long",
             SpeakQlError::EmptyIndex => "empty_index",
             SpeakQlError::WorkerPanic { .. } => "worker_panic",
+            SpeakQlError::Overloaded { .. } => "overloaded",
+            SpeakQlError::Timeout { .. } => "timeout",
         }
     }
 
@@ -69,6 +89,8 @@ impl SpeakQlError {
             SpeakQlError::TranscriptTooLong { .. } => CounterId::ErrorsTranscriptTooLong,
             SpeakQlError::EmptyIndex => CounterId::ErrorsEmptyIndex,
             SpeakQlError::WorkerPanic { .. } => CounterId::ErrorsWorkerPanic,
+            SpeakQlError::Overloaded { .. } => CounterId::ErrorsOverloaded,
+            SpeakQlError::Timeout { .. } => CounterId::ErrorsTimeout,
         }
     }
 }
@@ -90,6 +112,21 @@ impl std::fmt::Display for SpeakQlError {
             }
             SpeakQlError::WorkerPanic { message } => {
                 write!(f, "pipeline worker panicked: {message}")
+            }
+            SpeakQlError::Overloaded { queued, capacity } => {
+                write!(
+                    f,
+                    "server overloaded: {queued} requests queued at capacity {capacity}"
+                )
+            }
+            SpeakQlError::Timeout {
+                waited_ms,
+                budget_ms,
+            } => {
+                write!(
+                    f,
+                    "request timed out after {waited_ms}ms (budget {budget_ms}ms)"
+                )
             }
         }
     }
@@ -134,6 +171,14 @@ mod tests {
             SpeakQlError::EmptyIndex,
             SpeakQlError::WorkerPanic {
                 message: "boom".into(),
+            },
+            SpeakQlError::Overloaded {
+                queued: 8,
+                capacity: 8,
+            },
+            SpeakQlError::Timeout {
+                waited_ms: 120,
+                budget_ms: 100,
             },
         ];
         for (i, a) in errors.iter().enumerate() {

@@ -107,7 +107,7 @@ impl SoaWorkspace {
     /// `source_len`-token query against targets up to `max_depth` tokens:
     /// the weights must lower to `u16`, and Proposition 1's cell ceiling
     /// *plus* the largest banded completion cost (at most the same ceiling
-    /// again) must stay strictly below the [`SAT`] sentinel, so the fused
+    /// again) must stay strictly below the `SAT` sentinel, so the fused
     /// `cell + lb` bound accumulation cannot wrap either.
     pub fn fits(source_len: usize, max_depth: usize, w: Weights) -> bool {
         LaneWeights::lower(w).is_some()

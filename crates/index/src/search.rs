@@ -363,7 +363,13 @@ pub struct StructureIndex {
     max_len: usize,
     /// Recycled DP workspaces, shared by every search against this index.
     workspaces: WorkspacePool,
+    /// Process-unique arena generation; see [`StructureIndex::generation`].
+    generation: u64,
 }
+
+/// Source of arena generation ids: every [`StructureIndex::build`] call gets
+/// the next value, so two indexes built in the same process never share one.
+static NEXT_GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl StructureIndex {
     /// Build an index over the given structures.
@@ -393,6 +399,9 @@ impl StructureIndex {
             inverted,
             max_len,
             workspaces: WorkspacePool::new(),
+            // ordering: the id only needs uniqueness, not synchronization
+            // with any other memory — Relaxed fetch_add is sufficient.
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -414,6 +423,17 @@ impl StructureIndex {
     /// The edit-operation weights the index was built with.
     pub fn weights(&self) -> Weights {
         self.weights
+    }
+
+    /// Process-unique id of this structure arena. [`SearchHit`]s reference
+    /// structures by arena index, which is only meaningful against the index
+    /// that produced them — callers memoizing hits across engines (the
+    /// shared skeleton cache) must key on this so results from a rebuilt or
+    /// different-schema index can never be replayed against the wrong arena.
+    /// Clones share the generation (same arena, same ids); every
+    /// [`StructureIndex::build`] mints a fresh one.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Access a structure by arena id (as returned in a [`SearchHit`]).

@@ -91,6 +91,23 @@ pub enum CounterId {
     /// Worker panics contained at the engine boundary and returned as
     /// typed errors instead of aborting the process.
     ErrorsWorkerPanic,
+    /// Requests shed by server admission control because the bounded queue
+    /// was full (graceful overload degradation, never unbounded queueing).
+    ErrorsOverloaded,
+    /// Requests that exceeded their latency budget (shed from the queue past
+    /// their deadline, or completed too late to be useful).
+    ErrorsTimeout,
+    /// Requests accepted off the wire (or the in-process submit path) by the
+    /// server front-end, before admission control.
+    ServerRequests,
+    /// Server-side retries of transcriptions that failed with a transient
+    /// `WorkerPanic`; each retry attempt counts once.
+    ServerRetries,
+    /// Requests addressed to a tenant the registry does not know.
+    ServerUnknownTenant,
+    /// Wire-protocol violations (oversized, truncated, or malformed frames)
+    /// observed by server connection handlers.
+    ServerProtocolErrors,
 }
 
 /// Number of distinct [`CounterId`]s.
@@ -98,7 +115,7 @@ pub const COUNTER_COUNT: usize = CounterId::ALL.len();
 
 impl CounterId {
     /// Every counter, in registry order.
-    pub const ALL: [CounterId; 21] = [
+    pub const ALL: [CounterId; 27] = [
         CounterId::SearchNodesVisited,
         CounterId::SearchTriesSearched,
         CounterId::SearchTriesPruned,
@@ -120,6 +137,12 @@ impl CounterId {
         CounterId::ErrorsTranscriptTooLong,
         CounterId::ErrorsEmptyIndex,
         CounterId::ErrorsWorkerPanic,
+        CounterId::ErrorsOverloaded,
+        CounterId::ErrorsTimeout,
+        CounterId::ServerRequests,
+        CounterId::ServerRetries,
+        CounterId::ServerUnknownTenant,
+        CounterId::ServerProtocolErrors,
     ];
 
     /// Stable dotted name used in reports and `BENCH_*.json`.
@@ -146,6 +169,12 @@ impl CounterId {
             CounterId::ErrorsTranscriptTooLong => "engine.errors.transcript_too_long",
             CounterId::ErrorsEmptyIndex => "engine.errors.empty_index",
             CounterId::ErrorsWorkerPanic => "engine.errors.worker_panic",
+            CounterId::ErrorsOverloaded => "engine.errors.overloaded",
+            CounterId::ErrorsTimeout => "engine.errors.timeout",
+            CounterId::ServerRequests => "server.requests",
+            CounterId::ServerRetries => "server.retries",
+            CounterId::ServerUnknownTenant => "server.unknown_tenant",
+            CounterId::ServerProtocolErrors => "server.protocol_errors",
         }
     }
 }
@@ -173,6 +202,12 @@ pub enum SpanId {
     /// value distribution, not a latency: one unitless sample per visited
     /// node, so the "micros" fields of its report read as child counts.
     TrieFanout,
+    /// Time a server request waited in the admission queue before a worker
+    /// dequeued it (the backpressure signal under load).
+    ServerQueueWait,
+    /// End-to-end server-side handling of one request: queue wait plus
+    /// transcription plus any retries.
+    ServerHandle,
 }
 
 /// Number of distinct [`SpanId`]s.
@@ -180,7 +215,7 @@ pub const SPAN_COUNT: usize = SpanId::ALL.len();
 
 impl SpanId {
     /// Every span, in registry order.
-    pub const ALL: [SpanId; 8] = [
+    pub const ALL: [SpanId; 10] = [
         SpanId::Tokenize,
         SpanId::Search,
         SpanId::Literal,
@@ -189,6 +224,8 @@ impl SpanId {
         SpanId::TrieWalk,
         SpanId::BatchQueueWait,
         SpanId::TrieFanout,
+        SpanId::ServerQueueWait,
+        SpanId::ServerHandle,
     ];
 
     /// Stable dotted name used in reports and `BENCH_*.json`.
@@ -202,6 +239,8 @@ impl SpanId {
             SpanId::TrieWalk => "search.trie_walk",
             SpanId::BatchQueueWait => "engine.batch_queue_wait",
             SpanId::TrieFanout => "search.trie_fanout",
+            SpanId::ServerQueueWait => "server.queue_wait",
+            SpanId::ServerHandle => "server.handle",
         }
     }
 }

@@ -1,0 +1,96 @@
+//! Per-tenant engine registry.
+//!
+//! Each tenant is one schema (a [`Database`]) served by one [`SpeakQl`]
+//! engine. Every engine in a registry shares a single [`SkeletonCache`]:
+//! entries are keyed by the structure index's arena
+//! [`generation`](speakql_index::StructureIndex::generation), so tenants
+//! registered over the *same* `Arc<StructureIndex>` warm each other's
+//! structure searches (the cross-engine reuse PR 4 deferred), while tenants
+//! over different arenas can never replay each other's hits — their
+//! generations differ, so their keys do.
+//!
+//! The registry is immutable once built (tenants are registered before the
+//! server starts), which keeps the request path lock-free: lookups borrow
+//! from a plain `HashMap` behind an `Arc`.
+
+use speakql_core::{Recorder, SkeletonCache, SpeakQl, SpeakQlConfig};
+use speakql_db::Database;
+use speakql_index::StructureIndex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An immutable tenant → engine map over one shared skeleton cache and one
+/// shared metrics recorder.
+pub struct TenantRegistry {
+    tenants: HashMap<String, Arc<SpeakQl>>,
+    cache: Arc<SkeletonCache>,
+    recorder: Recorder,
+}
+
+impl TenantRegistry {
+    /// An empty registry whose engines will share a skeleton cache of
+    /// `cache_capacity` entries (minimum 1; the shared cache always exists —
+    /// a server that wants caching off can set the capacity to 1 and let
+    /// every entry evict immediately) and, when `observe` is true, record
+    /// all pipeline + server metrics into one aggregated recorder.
+    pub fn new(cache_capacity: usize, observe: bool) -> TenantRegistry {
+        TenantRegistry {
+            tenants: HashMap::new(),
+            cache: Arc::new(SkeletonCache::new(cache_capacity.max(1))),
+            recorder: Recorder::new(observe),
+        }
+    }
+
+    /// Register `name` as an engine over `db` and `index`, sharing the
+    /// registry's skeleton cache and recorder. Re-registering a name
+    /// replaces its engine.
+    pub fn register(
+        &mut self,
+        name: &str,
+        db: &Database,
+        index: Arc<StructureIndex>,
+        config: SpeakQlConfig,
+    ) {
+        let engine = SpeakQl::with_shared_cache(
+            db,
+            index,
+            Arc::clone(&self.cache),
+            self.recorder.clone(),
+            config,
+        );
+        self.tenants.insert(name.to_string(), Arc::new(engine));
+    }
+
+    /// The engine serving `tenant`, if registered.
+    pub fn engine(&self, tenant: &str) -> Option<&Arc<SpeakQl>> {
+        self.tenants.get(tenant)
+    }
+
+    /// Registered tenant names, sorted (for listings and reports).
+    pub fn tenant_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tenants.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// True when no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// The skeleton cache shared by every registered engine.
+    pub fn shared_cache(&self) -> &Arc<SkeletonCache> {
+        &self.cache
+    }
+
+    /// The metrics recorder shared by every registered engine (and adopted
+    /// by the server for its own counters).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+}

@@ -1,0 +1,107 @@
+//! Protocol property tests: encode/decode roundtrips for every frame and
+//! payload shape, and — the robustness half — *no input, however mangled,
+//! may panic the decoder*. Truncated streams, oversized length prefixes,
+//! random bytes, and multibyte text must all map onto typed errors or clean
+//! roundtrips.
+
+use proptest::prelude::*;
+use speakql_server::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    FrameError, Request, Response, MAX_FRAME,
+};
+
+/// Tenant names: non-empty, no newline (the one structural constraint).
+fn tenant() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_-]{1,24}"
+}
+
+/// Transcript-ish text including multibyte characters, spaces, and embedded
+/// newlines (the decoder must treat only the *first* newline as structural).
+fn text() -> impl Strategy<Value = String> {
+    // The class ends with a literal newline: embedded newlines must survive
+    // the roundtrip (only the first one in a request is structural).
+    "[ a-zA-Z0-9_àéîöü漢字(){}<>=*,.'\n]{0,64}"
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrip(tenant in tenant(), transcript in text()) {
+        let req = Request { tenant, transcript };
+        let decoded = decode_request(&encode_request(&req));
+        prop_assert_eq!(decoded, Ok(req));
+    }
+
+    #[test]
+    fn ok_response_roundtrip(sql in text()) {
+        let resp = Response::Ok { sql };
+        let decoded = decode_response(&encode_response(&resp));
+        prop_assert_eq!(decoded, Ok(resp));
+    }
+
+    #[test]
+    fn err_response_roundtrip(class in tenant(), message in text()) {
+        let resp = Response::Err { class, message };
+        let decoded = decode_response(&encode_response(&resp));
+        prop_assert_eq!(decoded, Ok(resp));
+    }
+
+    #[test]
+    fn framed_request_roundtrips_over_a_byte_stream(tenant in tenant(), transcript in text()) {
+        let req = Request { tenant, transcript };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&req)).expect("Vec write cannot fail");
+        let mut r = wire.as_slice();
+        let payload = read_frame(&mut r).expect("frame parses").expect("frame present");
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(decode_request(&payload), Ok(req));
+    }
+
+    #[test]
+    fn random_payloads_never_panic_the_decoders(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        // Typed error or success — never a panic. The assertions only force
+        // evaluation of the results.
+        let _ = decode_request(&bytes).is_ok();
+        let _ = decode_response(&bytes).is_ok();
+    }
+
+    #[test]
+    fn truncated_streams_are_typed_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..96), cut in 0usize..96) {
+        // Frame a valid payload, then cut the wire anywhere: the reader must
+        // yield the payload (cut beyond the frame), a clean EOF (cut at 0),
+        // or a typed Truncated/Oversized error — never panic.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &bytes).expect("Vec write cannot fail");
+        let cut = cut.min(wire.len());
+        let mut r = &wire[..cut];
+        match read_frame(&mut r) {
+            Ok(Some(payload)) => prop_assert_eq!(payload, bytes),
+            Ok(None) => prop_assert_eq!(cut, 0),
+            Err(FrameError::Truncated) => prop_assert!(cut < wire.len()),
+            Err(e) => prop_assert!(false, "unexpected error: {}", e),
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefixes_never_allocate_or_panic(declared in (MAX_FRAME as u64 + 1)..u32::MAX as u64, junk in prop::collection::vec(any::<u8>(), 0..16)) {
+        // A length prefix above MAX_FRAME must be rejected from the prefix
+        // alone, regardless of how many payload bytes follow.
+        let mut wire = Vec::new();
+        let declared32 = u32::try_from(declared).expect("range keeps it in u32");
+        wire.extend_from_slice(&declared32.to_be_bytes());
+        wire.extend_from_slice(&junk);
+        let mut r = wire.as_slice();
+        match read_frame(&mut r) {
+            Err(FrameError::Oversized { declared: d }) => {
+                prop_assert_eq!(d as u64, declared);
+            }
+            other => prop_assert!(false, "expected Oversized, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn arbitrary_prefix_bytes_never_panic_the_reader(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Interpret raw fuzz as a frame stream; drain it to exhaustion.
+        let mut r = bytes.as_slice();
+        while let Ok(Some(_)) = read_frame(&mut r) {}
+    }
+}
