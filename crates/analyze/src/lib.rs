@@ -3,22 +3,29 @@
 //! Offline static analysis for the SpeakQL workspace. Two engines:
 //!
 //! 1. **Source lints** ([`lints`]) — a hand-rolled, string/char/comment-aware
-//!    Rust lexer ([`lexer`]) drives lints L001–L004 over every first-party
-//!    crate, plus vendored-source integrity (L005, [`vendor`]). Existing
-//!    violations are grandfathered in a ratcheted waiver file ([`waivers`]):
-//!    counts may only shrink, never grow.
-//! 2. **Grammar verifier** ([`grammar_check`]) — cross-checks the Box 1
+//!    Rust lexer ([`lexer`]) drives lints L001–L004 and L009 over every
+//!    first-party crate, plus vendored-source integrity (L005, [`vendor`]).
+//!    Existing violations are grandfathered in a ratcheted waiver file
+//!    ([`waivers`]): counts may only shrink, never grow.
+//! 2. **Semantic passes** — a lightweight symbol layer ([`symbols`]) over
+//!    the lexer feeds the lock-order graph and blocking-under-lock analysis
+//!    (L006/L007, [`locks`]) and the observability-taxonomy coverage check
+//!    (L008, [`coverage`]).
+//! 3. **Grammar verifier** ([`grammar_check`]) — cross-checks the Box 1
 //!    production rules against the Keyword/SplChar dictionaries, the Earley
 //!    recognizer, and the Structure Generator's placeholder typing.
 //!
-//! Both run in CI via `cargo run -p speakql-analyze -- --check`; see the
+//! All run in CI via `cargo run -p speakql-analyze -- --check`; see the
 //! README's "Static analysis" section for the lint catalog and workflow.
 
 #![forbid(unsafe_code)]
 
+pub mod coverage;
 pub mod grammar_check;
 pub mod lexer;
 pub mod lints;
+pub mod locks;
+pub mod symbols;
 pub mod vendor;
 pub mod waivers;
 pub mod workspace;

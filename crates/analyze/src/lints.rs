@@ -1,4 +1,4 @@
-//! Source lints L001–L004 over the lexed code view.
+//! Source lints L001–L009 over the lexed code view.
 //!
 //! | Lint | Fires on |
 //! |------|----------|
@@ -6,12 +6,20 @@
 //! | L002 | atomic `Ordering::*` without a nearby `// ordering:` comment, outside the whitelist |
 //! | L003 | lossy `as` numeric narrowing in the configured serialization hot-spots |
 //! | L004 | missing `///` docs on public items of library sources |
+//! | L006 | lock-order cycles in the global acquisition graph ([`crate::locks`]) |
+//! | L007 | blocking calls under a live lock guard in server/core ([`crate::locks`]) |
+//! | L008 | counter/error taxonomy drift ([`crate::coverage`]) |
+//! | L009 | panics and unchecked indexing inside `pub` functions of core/server |
+//!
+//! (L005 is the vendored-dependency integrity check, driven from `main`.)
 //!
 //! All lints match against the lexer's code view ([`crate::lexer`]), so text
 //! inside string literals and comments can never fire. Counts are ratcheted
 //! per file via [`crate::waivers`].
 
 use crate::lexer::{lex, LexedFile};
+use crate::locks;
+use crate::symbols::{functions, line_owners};
 use crate::workspace::SourceFile;
 
 /// A single lint violation.
@@ -48,6 +56,10 @@ pub struct LintSelection {
     pub l003: bool,
     /// Run L004 (missing docs on public items).
     pub l004: bool,
+    /// Run L007 (blocking calls while holding a lock guard).
+    pub l007: bool,
+    /// Run L009 (panic paths inside `pub` API functions).
+    pub l009: bool,
 }
 
 impl LintSelection {
@@ -58,6 +70,8 @@ impl LintSelection {
             l002: true,
             l003: true,
             l004: true,
+            l007: true,
+            l009: true,
         }
     }
 }
@@ -89,6 +103,13 @@ pub fn selection_for(file: &SourceFile) -> LintSelection {
         // Docs are a library contract: skip binary entry points and
         // test modules (handled per-line via the lexer's test-mod marking).
         l004: file.in_src && !file.is_binary_entry,
+        // Blocking-under-lock matters where locks guard shared service
+        // state: the server and the engine core.
+        l007: file.in_src && (p.starts_with("crates/server/") || p.starts_with("crates/core/")),
+        // Panic-freedom is an API contract of the two crates external
+        // callers embed.
+        l009: file.in_src
+            && (p.starts_with("crates/core/src/") || p.starts_with("crates/server/src/")),
     }
 }
 
@@ -107,6 +128,12 @@ pub fn lint_source(rel_path: &str, source: &str, sel: LintSelection) -> Vec<Find
     }
     if sel.l004 {
         l004_missing_docs(rel_path, &lexed, &mut findings);
+    }
+    if sel.l007 {
+        findings.extend(locks::analyze_file(rel_path, &lexed, true).blocking);
+    }
+    if sel.l009 {
+        l009_api_panics(rel_path, &lexed, &mut findings);
     }
     findings
 }
@@ -256,6 +283,72 @@ fn l004_missing_docs(path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Panic macros that abort a request when reached.
+const L009_MACROS: [&str; 4] = ["panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
+/// L009: `pub` functions are the API boundary of core/server — a panic
+/// there escapes into the embedding caller. Flags panic-family macros and
+/// unchecked indexing/slicing (`x[i]`, `&s[a..b]`) inside `pub fn` bodies.
+/// A bounds argument proven elsewhere is waived with a nearby
+/// `// panic-safe:` comment.
+fn l009_api_panics(path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
+    let fns = functions(lexed);
+    let owners = line_owners(lexed, &fns);
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if line.in_test_mod {
+            continue;
+        }
+        let Some(owner) = owners[idx] else { continue };
+        let f = &fns[owner];
+        if !f.is_pub || f.in_test_mod {
+            continue;
+        }
+        if justified(lexed, idx, "panic-safe:") {
+            continue;
+        }
+        for needle in L009_MACROS {
+            for _ in line.code.matches(needle) {
+                out.push(Finding {
+                    lint: "L009",
+                    path: path.to_string(),
+                    line: line.number,
+                    message: format!(
+                        "`{}` inside public API fn `{}`; return a typed error or add a \
+                         `// panic-safe:` justification",
+                        needle.trim_end_matches('('),
+                        f.name
+                    ),
+                });
+            }
+        }
+        // Indexing: a `[` whose previous non-space character ends an
+        // expression (identifier, `]`, or `)`). Attribute `#[`, macro
+        // `vec![`, and type positions `&[u8]` / `: [u8; N]` all fail that
+        // test and never fire.
+        let chars: Vec<char> = line.code.chars().collect();
+        for (i, c) in chars.iter().enumerate() {
+            if *c != '[' {
+                continue;
+            }
+            let prev = chars[..i].iter().rev().find(|p| !p.is_whitespace());
+            let indexes_expr =
+                prev.is_some_and(|p| p.is_alphanumeric() || *p == '_' || *p == ']' || *p == ')');
+            if indexes_expr {
+                out.push(Finding {
+                    lint: "L009",
+                    path: path.to_string(),
+                    line: line.number,
+                    message: format!(
+                        "unchecked indexing inside public API fn `{}`; use `.get(..)` or add a \
+                         `// panic-safe:` justification",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Walk upward from the item line over attributes, blank lines, and plain
 /// comments; true if a doc comment is found before other code.
 fn has_doc_above(lexed: &LexedFile, item_idx: usize) -> bool {
@@ -363,6 +456,48 @@ mod tests {
     }
 
     #[test]
+    fn l009_panics_in_pub_fns_only() {
+        let f = lint("/// Doc.\npub fn api(i: usize) {\n    panic!(\"boom\");\n}\n");
+        assert_eq!(codes(&f), ["L009"]);
+        let f = lint("fn private(i: usize) {\n    panic!(\"boom\");\n}\n");
+        assert!(f.is_empty());
+        let f = lint(
+            "/// Doc.\npub fn api() {\n    // panic-safe: input validated above\n    \
+             unreachable!();\n}\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn l009_indexing_heuristic() {
+        let f = lint("/// Doc.\npub fn api(v: &[u8], i: usize) -> u8 {\n    v[i]\n}\n");
+        assert_eq!(codes(&f), ["L009"]);
+        // Slicing is indexing too.
+        let f = lint("/// Doc.\npub fn api(s: &str) -> &str {\n    &s[1..]\n}\n");
+        assert_eq!(codes(&f), ["L009"]);
+        // Types, attributes, macros, and literals are not.
+        let f = lint(
+            "/// Doc.\npub fn api(v: &[u8]) -> Vec<u8> {\n    #[allow(unused)]\n    \
+             let x: [u8; 2] = [0, 1];\n    vec![1, 2]\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn l009_skips_test_modules() {
+        let f = lint(
+            "#[cfg(test)]\nmod tests {\n    pub fn t(v: &[u8]) -> u8 {\n        v[0]\n    }\n}\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn l007_through_lint_source() {
+        let f = lint("fn f(&self) {\n    let g = self.state.lock();\n    handle.join();\n}\n");
+        assert_eq!(codes(&f), ["L007"]);
+    }
+
+    #[test]
     fn selection_policy() {
         use crate::workspace::SourceFile;
         let mk = |rel: &str, in_src: bool, is_bin: bool| SourceFile {
@@ -374,6 +509,11 @@ mod tests {
         };
         let lib = selection_for(&mk("crates/db/src/exec.rs", true, false));
         assert!(lib.l001 && lib.l002 && lib.l004 && !lib.l003);
+        assert!(!lib.l007 && !lib.l009);
+        let core = selection_for(&mk("crates/core/src/engine.rs", true, false));
+        assert!(core.l007 && core.l009);
+        let srv = selection_for(&mk("crates/server/src/server.rs", true, false));
+        assert!(srv.l007 && srv.l009);
         let persist = selection_for(&mk("crates/index/src/persist.rs", true, false));
         assert!(persist.l003);
         let obs = selection_for(&mk("crates/observe/src/hist.rs", true, false));

@@ -1,0 +1,813 @@
+//! Concurrency lints: L006 lock-order cycles and L007 blocking-under-lock.
+//!
+//! Both lints work from *lock acquisition sites*: calls of `.lock()`,
+//! `.read()`, or `.write()` with empty argument lists (the `Mutex`/`RwLock`
+//! shapes — I/O `read`/`write` always take a buffer, so the empty-parens
+//! requirement excludes them) on a named receiver. Receivers are normalized
+//! to a dotted path with index expressions stripped (`self.shards[i]` →
+//! `shards`), and each distinct `(file, receiver)` pair becomes one node of
+//! the global lock graph.
+//!
+//! Guard liveness is tracked per function with a statement-level heuristic:
+//!
+//! - `let g = recv.lock();` (optionally followed by poisoning-recovery
+//!   combinators `unwrap`/`expect`/`unwrap_or_else`) binds a guard that
+//!   lives until `drop(g)`, the end of its block, or the end of the
+//!   function;
+//! - any other acquisition is a temporary whose guard dies at the end of
+//!   its statement.
+//!
+//! While a guard is live, every further acquisition records a lock-order
+//! edge `held → acquired`; two temporaries in one statement record an edge
+//! too (Rust keeps the first alive until the full statement ends). **L006**
+//! fails when the union of all edges contains a cycle — two threads taking
+//! the same pair of locks in opposite orders is a deadlock, and a cycle
+//! through more locks is the same bug with more steps. **L007** fails when
+//! a statement executed under a live guard contains a known *blocking*
+//! call (TCP accept/connect, frame I/O, `JoinHandle::join`, channel
+//! `recv`, `thread::sleep`, or an engine `transcribe*` entry point):
+//! blocking while holding a lock turns one slow peer into a pile-up of
+//! every thread behind that lock. `Condvar::wait` is deliberately *not* a
+//! needle — it releases the guard while parked.
+//!
+//! The heuristic is intraprocedural and textual; what it guarantees is
+//! that the *direct* nesting patterns in each function are captured, with
+//! string/comment contents excluded by construction (the lexer blanks
+//! them before this module ever looks).
+
+use crate::lexer::LexedFile;
+use crate::lints::Finding;
+use crate::symbols::{functions, FnItem};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a lock was taken (affects only the report text; the graph treats
+/// shared and exclusive acquisitions alike, which is conservative for
+/// deadlock detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// `.lock()` on a `Mutex`.
+    Lock,
+    /// `.read()` on an `RwLock`.
+    Read,
+    /// `.write()` on an `RwLock`.
+    Write,
+}
+
+impl LockKind {
+    fn method(self) -> &'static str {
+        match self {
+            LockKind::Lock => ".lock()",
+            LockKind::Read => ".read()",
+            LockKind::Write => ".write()",
+        }
+    }
+}
+
+/// One lock acquisition extracted from a statement.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// Graph node: `<rel_path>::<receiver>`.
+    pub node: String,
+    /// Shape of the call.
+    pub kind: LockKind,
+    /// 1-based source line of the statement.
+    pub line: usize,
+    /// Byte offset of the call within its statement (orders multiple
+    /// acquisitions in one statement).
+    pos: usize,
+}
+
+/// One ordered pair of nested acquisitions: `held` was live when
+/// `acquired` was taken.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Node of the lock already held.
+    pub held: String,
+    /// Node of the lock acquired under it.
+    pub acquired: String,
+    /// Workspace-relative file recording the pair.
+    pub path: String,
+    /// 1-based line of the inner acquisition.
+    pub line: usize,
+    /// Function the nesting occurs in.
+    pub function: String,
+}
+
+/// Everything lock-related extracted from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileLockReport {
+    /// Every acquisition site (graph nodes derive from these).
+    pub acquisitions: Vec<Acquisition>,
+    /// Nested-acquisition pairs (graph edges).
+    pub edges: Vec<LockEdge>,
+    /// L007 blocking-under-lock findings.
+    pub blocking: Vec<Finding>,
+}
+
+/// Calls that block the current thread for an unbounded or externally
+/// controlled duration; executing one while holding a lock serializes every
+/// other thread needing that lock behind the slow peer.
+const BLOCKING_NEEDLES: [(&str, &str); 12] = [
+    (".join()", "JoinHandle::join blocks until the thread exits"),
+    ("thread::sleep", "sleeping holds the lock for the whole nap"),
+    (".recv()", "channel recv blocks until a sender acts"),
+    (".recv_timeout(", "channel recv blocks up to the timeout"),
+    ("TcpStream::connect", "TCP connect blocks on the network"),
+    ("TcpListener::bind", "binding a socket can block on the OS"),
+    (".accept()", "accept blocks until a client connects"),
+    ("read_frame(", "frame reads block on client I/O"),
+    ("write_frame(", "frame writes block on client I/O"),
+    (".transcribe(", "engine transcription is unbounded work"),
+    (
+        ".transcribe_batch(",
+        "engine batch transcription is unbounded work",
+    ),
+    (
+        ".transcribe_clause(",
+        "engine clause transcription is unbounded work",
+    ),
+];
+
+/// A guard currently live inside a function.
+#[derive(Debug, Clone)]
+struct LiveGuard {
+    /// The bound variable name (`inner` in `let inner = q.lock();`).
+    var: String,
+    /// The node it guards.
+    node: String,
+    /// Brace depth at the binding; the guard dies when depth drops below.
+    depth: i64,
+}
+
+/// Analyze one file: extract acquisitions, nested pairs, and (when
+/// `check_blocking`) L007 findings. `rel_path` names the file in nodes and
+/// findings.
+pub fn analyze_file(rel_path: &str, lexed: &LexedFile, check_blocking: bool) -> FileLockReport {
+    let fns = functions(lexed);
+    let mut report = FileLockReport::default();
+    for f in &fns {
+        if f.in_test_mod {
+            continue;
+        }
+        analyze_fn(rel_path, lexed, f, check_blocking, &mut report);
+    }
+    report
+}
+
+/// Walk one function's statements tracking guard liveness.
+fn analyze_fn(
+    rel_path: &str,
+    lexed: &LexedFile,
+    f: &FnItem,
+    check_blocking: bool,
+    report: &mut FileLockReport,
+) {
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    let mut depth: i64 = 0;
+    let mut stmt = String::new();
+    let mut stmt_line = 0usize;
+
+    // Lines are 1-based; iterate the body inclusive of signature and
+    // closing brace. Nested fns are re-walked here with empty initial
+    // guard state, which is exactly right: guards do not cross fn items.
+    let lines = &lexed.lines[f.start - 1..f.end.min(lexed.lines.len())];
+    for line in lines {
+        for c in line.code.chars() {
+            match c {
+                ';' => {
+                    flush(
+                        rel_path,
+                        f,
+                        &stmt,
+                        stmt_line,
+                        depth,
+                        &mut guards,
+                        check_blocking,
+                        report,
+                    );
+                    stmt.clear();
+                }
+                '{' => {
+                    flush(
+                        rel_path,
+                        f,
+                        &stmt,
+                        stmt_line,
+                        depth,
+                        &mut guards,
+                        check_blocking,
+                        report,
+                    );
+                    stmt.clear();
+                    depth += 1;
+                }
+                '}' => {
+                    flush(
+                        rel_path,
+                        f,
+                        &stmt,
+                        stmt_line,
+                        depth,
+                        &mut guards,
+                        check_blocking,
+                        report,
+                    );
+                    stmt.clear();
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                }
+                _ => {
+                    if stmt.trim_start().is_empty() && !c.is_whitespace() {
+                        stmt_line = line.number;
+                    }
+                    stmt.push(c);
+                }
+            }
+        }
+        stmt.push(' ');
+    }
+    flush(
+        rel_path,
+        f,
+        &stmt,
+        stmt_line,
+        depth,
+        &mut guards,
+        check_blocking,
+        report,
+    );
+}
+
+/// Process one completed statement: record acquisitions, edges, blocking
+/// findings, guard bindings, and drops.
+#[allow(clippy::too_many_arguments)]
+fn flush(
+    rel_path: &str,
+    f: &FnItem,
+    stmt: &str,
+    stmt_line: usize,
+    depth: i64,
+    guards: &mut Vec<LiveGuard>,
+    check_blocking: bool,
+    report: &mut FileLockReport,
+) {
+    let text = stmt.trim();
+    if text.is_empty() {
+        return;
+    }
+
+    // `drop(g)` / `mem::drop(g)` releases a bound guard early.
+    for g_idx in (0..guards.len()).rev() {
+        if dropped(text, &guards[g_idx].var) {
+            guards.remove(g_idx);
+        }
+    }
+
+    let acqs = find_acquisitions(rel_path, text, stmt_line);
+
+    // Edges: every live guard orders before every acquisition in this
+    // statement; multiple acquisitions in one statement order textually
+    // (the earlier temporary lives until the full statement ends).
+    for (i, acq) in acqs.iter().enumerate() {
+        for g in guards.iter() {
+            push_edge(report, g.node.clone(), acq, rel_path, f);
+        }
+        for later in &acqs[i + 1..] {
+            push_edge(report, acq.node.clone(), later, rel_path, f);
+        }
+    }
+
+    // L007: a blocking needle in a statement that runs under a live guard,
+    // or after an acquisition within the same statement.
+    if check_blocking && (!guards.is_empty() || !acqs.is_empty()) {
+        let first_acq = acqs.first().map(|a| a.pos).unwrap_or(0);
+        for (needle, why) in BLOCKING_NEEDLES {
+            if let Some(pos) = text.find(needle) {
+                let under_bound_guard = !guards.is_empty();
+                let after_acquisition = !acqs.is_empty() && pos > first_acq;
+                if under_bound_guard || after_acquisition {
+                    let held = guards
+                        .last()
+                        .map(|g| g.node.clone())
+                        .or_else(|| acqs.first().map(|a| a.node.clone()))
+                        .unwrap_or_default();
+                    report.blocking.push(Finding {
+                        lint: "L007",
+                        path: rel_path.to_string(),
+                        line: stmt_line,
+                        message: format!(
+                            "blocking call `{}` while holding lock `{}` in `{}`: {}",
+                            needle.trim_matches(['.', '(']),
+                            held,
+                            f.name,
+                            why
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Binding: `let g = recv.lock();` with only guard-preserving suffixes.
+    if let Some(acq) = acqs.last() {
+        if let Some(var) = bound_guard_var(text, acq.kind) {
+            guards.push(LiveGuard {
+                var,
+                node: acq.node.clone(),
+                depth,
+            });
+        }
+    }
+
+    report.acquisitions.extend(acqs);
+}
+
+/// Record one nested-acquisition edge. Self-edges (`held == acquired`) are
+/// kept: re-acquiring a lock you already hold is a self-deadlock with
+/// std's non-reentrant `Mutex`, and cycle detection reports them.
+fn push_edge(report: &mut FileLockReport, held: String, acq: &Acquisition, path: &str, f: &FnItem) {
+    report.edges.push(LockEdge {
+        held,
+        acquired: acq.node.clone(),
+        path: path.to_string(),
+        line: acq.line,
+        function: f.name.clone(),
+    });
+}
+
+/// True if `text` drops guard variable `var`.
+fn dropped(text: &str, var: &str) -> bool {
+    for pat in [format!("drop({var})"), format!("drop( {var} )")] {
+        if let Some(pos) = text.find(&pat) {
+            // Require a word boundary before `drop` so `airdrop(x)` or
+            // similar identifiers never match.
+            let before = text[..pos].chars().next_back();
+            if !before.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Find every acquisition in a statement, in textual order.
+fn find_acquisitions(rel_path: &str, text: &str, line: usize) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    for (needle, kind) in [
+        (".lock()", LockKind::Lock),
+        (".read()", LockKind::Read),
+        (".write()", LockKind::Write),
+    ] {
+        let mut search = 0usize;
+        while let Some(rel) = text[search..].find(needle) {
+            let pos = search + rel;
+            let receiver = receiver_before(&text[..pos]);
+            out.push(Acquisition {
+                node: format!("{rel_path}::{receiver}"),
+                kind,
+                line,
+                pos,
+            });
+            search = pos + needle.len();
+        }
+    }
+    out.sort_by_key(|a| a.pos);
+    out
+}
+
+/// Extract the receiver path immediately before an acquisition call: walk
+/// backwards over identifiers, `.` separators, and `[...]` index
+/// expressions (which are stripped). `self.shards[self.shard_of(&key)]`
+/// normalizes to `shards`.
+fn receiver_before(prefix: &str) -> String {
+    let chars: Vec<char> = prefix.chars().collect();
+    let mut i = chars.len();
+    let mut segments: Vec<String> = Vec::new();
+    let mut current = String::new();
+    while i > 0 {
+        let c = chars[i - 1];
+        if c.is_alphanumeric() || c == '_' {
+            current.push(c);
+            i -= 1;
+        } else if c == ']' {
+            // Skip the index expression (nesting-aware).
+            if !current.is_empty() {
+                break;
+            }
+            let mut nest = 1;
+            i -= 1;
+            while i > 0 && nest > 0 {
+                match chars[i - 1] {
+                    ']' => nest += 1,
+                    '[' => nest -= 1,
+                    _ => {}
+                }
+                i -= 1;
+            }
+        } else if c == '.' {
+            if current.is_empty() && segments.is_empty() {
+                // Leading `.` of the acquisition itself.
+                i -= 1;
+                continue;
+            }
+            segments.push(current.chars().rev().collect());
+            current = String::new();
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    if !current.is_empty() {
+        segments.push(current.chars().rev().collect());
+    }
+    segments.reverse();
+    // `self.` is noise: the receiver identity is the field path.
+    if segments.first().map(String::as_str) == Some("self") && segments.len() > 1 {
+        segments.remove(0);
+    }
+    if segments.is_empty() {
+        "<expr>".to_string()
+    } else {
+        segments.join(".")
+    }
+}
+
+/// If this statement binds the final acquisition's guard to a variable,
+/// return the variable name. Shapes accepted: `let [mut] NAME =
+/// <expr ending in the acquisition>` followed only by the
+/// poisoning-recovery combinators `unwrap()` / `expect(..)` /
+/// `unwrap_or_else(..)`.
+fn bound_guard_var(text: &str, kind: LockKind) -> Option<String> {
+    let text = text.trim();
+    let rest = text.strip_prefix("let ")?;
+    // Destructuring patterns (`let Some(x) = ...`) never bind the guard
+    // itself.
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+        return None;
+    }
+    // The name must be immediately followed by `=` or `:` (a type
+    // ascription), not `(` (tuple-struct pattern).
+    let after = rest[name.len()..].trim_start();
+    if !(after.starts_with('=') || after.starts_with(':')) {
+        return None;
+    }
+    // Everything after the *last* acquisition must be guard-preserving.
+    let pos = text.rfind(kind.method())?;
+    let mut suffix = &text[pos + kind.method().len()..];
+    loop {
+        suffix = suffix.trim_start();
+        if suffix.is_empty() || suffix == "?" {
+            break;
+        }
+        let mut matched = false;
+        for comb in [".unwrap()", ".expect(", ".unwrap_or_else("] {
+            if let Some(rest) = suffix.strip_prefix(comb) {
+                // Skip the combinator's argument list when it has one.
+                suffix = if comb.ends_with('(') {
+                    skip_to_close(rest)
+                } else {
+                    rest
+                };
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return None;
+        }
+    }
+    Some(name)
+}
+
+/// Skip past the closing `)` matching an already-open paren.
+fn skip_to_close(s: &str) -> &str {
+    let mut nest = 1usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => nest += 1,
+            ')' => {
+                nest -= 1;
+                if nest == 0 {
+                    return &s[i + 1..];
+                }
+            }
+            _ => {}
+        }
+    }
+    ""
+}
+
+/// The global lock-order graph, assembled from per-file reports.
+#[derive(Debug, Clone, Default)]
+pub struct LockGraph {
+    /// Every lock node observed (acquisition sites).
+    pub nodes: BTreeSet<String>,
+    /// Directed edges with one witness site each (`held → acquired`).
+    pub edges: BTreeMap<(String, String), LockEdge>,
+}
+
+/// Build the graph from file reports.
+pub fn build_graph(reports: &[FileLockReport]) -> LockGraph {
+    let mut graph = LockGraph::default();
+    for r in reports {
+        for a in &r.acquisitions {
+            graph.nodes.insert(a.node.clone());
+        }
+        for e in &r.edges {
+            graph.nodes.insert(e.held.clone());
+            graph.nodes.insert(e.acquired.clone());
+            graph
+                .edges
+                .entry((e.held.clone(), e.acquired.clone()))
+                .or_insert_with(|| e.clone());
+        }
+    }
+    graph
+}
+
+/// L006: report every lock-order cycle in the graph (including self-edges,
+/// which deadlock on std's non-reentrant locks).
+pub fn find_cycles(graph: &LockGraph) -> Vec<Finding> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (held, acquired) in graph.edges.keys() {
+        adj.entry(held.as_str())
+            .or_default()
+            .push(acquired.as_str());
+    }
+    let mut findings = Vec::new();
+
+    // Self-edges first: trivially cycles.
+    for ((held, acquired), edge) in &graph.edges {
+        if held == acquired {
+            findings.push(Finding {
+                lint: "L006",
+                path: edge.path.clone(),
+                line: edge.line,
+                message: format!(
+                    "lock `{held}` re-acquired while already held in `{}` \
+                     (self-deadlock on a non-reentrant lock)",
+                    edge.function
+                ),
+            });
+        }
+    }
+
+    // DFS for longer cycles; each cycle is reported once, canonically
+    // rotated to start at its lexicographically smallest node so the
+    // output is deterministic regardless of traversal order.
+    let all_nodes: Vec<&str> = graph.nodes.iter().map(String::as_str).collect();
+    let mut state: BTreeMap<&str, Color> = all_nodes.iter().map(|n| (*n, Color::White)).collect();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in &all_nodes {
+        if state.get(start) == Some(&Color::White) {
+            let mut path: Vec<&str> = Vec::new();
+            dfs(
+                start,
+                &adj,
+                &mut state,
+                &mut path,
+                &mut reported,
+                graph,
+                &mut findings,
+            );
+        }
+    }
+    findings
+}
+
+/// DFS node colors for cycle detection.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Color {
+    White,
+    Gray,
+    Black,
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    state: &mut BTreeMap<&'a str, Color>,
+    path: &mut Vec<&'a str>,
+    reported: &mut BTreeSet<Vec<String>>,
+    graph: &LockGraph,
+    findings: &mut Vec<Finding>,
+) {
+    state.insert(node, Color::Gray);
+    path.push(node);
+    for &next in adj.get(node).into_iter().flatten() {
+        if next == node {
+            continue; // self-edges reported separately
+        }
+        match state.get(next).copied().unwrap_or(Color::White) {
+            Color::White => dfs(next, adj, state, path, reported, graph, findings),
+            Color::Gray => {
+                // Back edge: the suffix of `path` from `next` onward plus
+                // this edge is a cycle.
+                let Some(start_idx) = path.iter().position(|n| *n == next) else {
+                    continue;
+                };
+                let mut cycle: Vec<String> =
+                    path[start_idx..].iter().map(|s| s.to_string()).collect();
+                let min_idx = cycle
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                cycle.rotate_left(min_idx);
+                if !reported.insert(cycle.clone()) {
+                    continue;
+                }
+                let witness = graph.edges.get(&(node.to_string(), next.to_string()));
+                let (path_str, line) = witness
+                    .map(|e| (e.path.clone(), e.line))
+                    .unwrap_or_else(|| ("<unknown>".to_string(), 0));
+                findings.push(Finding {
+                    lint: "L006",
+                    path: path_str,
+                    line,
+                    message: format!(
+                        "lock-order cycle: {} → {} (threads taking these locks in \
+                         different orders can deadlock)",
+                        cycle.join(" → "),
+                        cycle[0]
+                    ),
+                });
+            }
+            Color::Black => {}
+        }
+    }
+    path.pop();
+    state.insert(node, Color::Black);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn analyze(src: &str) -> FileLockReport {
+        analyze_file("crates/x/src/lib.rs", &lex(src), true)
+    }
+
+    #[test]
+    fn finds_acquisitions_and_receivers() {
+        let r = analyze("fn f(&self) {\n    let g = self.inner.lock();\n    g.push(1);\n}\n");
+        assert_eq!(r.acquisitions.len(), 1);
+        assert_eq!(r.acquisitions[0].node, "crates/x/src/lib.rs::inner");
+        assert!(r.edges.is_empty());
+    }
+
+    #[test]
+    fn index_expressions_are_stripped() {
+        let r = analyze("fn f(&self) {\n    self.shards[self.pick(&k)].lock().get(&k);\n}\n");
+        assert_eq!(r.acquisitions[0].node, "crates/x/src/lib.rs::shards");
+    }
+
+    #[test]
+    fn nested_bound_guards_record_an_edge() {
+        let r = analyze(
+            "fn f(&self) {\n    let a = self.first.lock();\n    let b = self.second.lock();\n}\n",
+        );
+        assert_eq!(r.edges.len(), 1);
+        assert_eq!(r.edges[0].held, "crates/x/src/lib.rs::first");
+        assert_eq!(r.edges[0].acquired, "crates/x/src/lib.rs::second");
+    }
+
+    #[test]
+    fn two_temporaries_in_one_statement_record_an_edge() {
+        let r = analyze("fn f(&self) {\n    g(self.a.lock().len(), self.b.lock().len());\n}\n");
+        assert_eq!(r.edges.len(), 1);
+        assert_eq!(r.edges[0].held, "crates/x/src/lib.rs::a");
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let r = analyze(
+            "fn f(&self) {\n    let a = self.first.lock();\n    drop(a);\n    \
+             let b = self.second.lock();\n}\n",
+        );
+        assert!(r.edges.is_empty());
+    }
+
+    #[test]
+    fn block_scope_releases_the_guard() {
+        let r = analyze(
+            "fn f(&self) {\n    if x {\n        let a = self.first.lock();\n    }\n    \
+             let b = self.second.lock();\n}\n",
+        );
+        assert!(r.edges.is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_does_not_outlive_its_statement() {
+        let r = analyze(
+            "fn f(&self) {\n    self.first.lock().push(1);\n    \
+             let b = self.second.lock();\n}\n",
+        );
+        assert!(r.edges.is_empty());
+    }
+
+    #[test]
+    fn poisoning_recovery_still_binds() {
+        let r = analyze(
+            "fn f(&self) {\n    let a = self.first.lock().unwrap_or_else(|e| e.into_inner());\n    \
+             let b = self.second.lock();\n}\n",
+        );
+        assert_eq!(r.edges.len(), 1);
+    }
+
+    #[test]
+    fn blocking_under_lock_fires() {
+        let r = analyze("fn f(&self) {\n    let g = self.state.lock();\n    handle.join();\n}\n");
+        assert_eq!(r.blocking.len(), 1);
+        assert!(r.blocking[0].message.contains("join"));
+    }
+
+    #[test]
+    fn blocking_without_lock_is_fine() {
+        let r = analyze("fn f(&self) {\n    handle.join();\n}\n");
+        assert!(r.blocking.is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_is_not_blocking() {
+        let r = analyze(
+            "fn f(&self) {\n    let mut g = self.inner.lock();\n    \
+             g = self.ready.wait(g);\n}\n",
+        );
+        assert!(r.blocking.is_empty());
+    }
+
+    #[test]
+    fn needles_in_strings_never_fire() {
+        let r = analyze(
+            "fn f(&self) {\n    let g = self.state.lock();\n    \
+             log(\"call .join() and q.lock() here\");\n}\n",
+        );
+        assert!(r.blocking.is_empty());
+        assert_eq!(r.acquisitions.len(), 1);
+    }
+
+    #[test]
+    fn io_read_write_with_args_are_not_locks() {
+        let r = analyze("fn f(&self) {\n    stream.read(&mut buf);\n    stream.write(&buf);\n}\n");
+        assert!(r.acquisitions.is_empty());
+    }
+
+    #[test]
+    fn rwlock_read_write_are_locks() {
+        let r = analyze("fn f(&self) {\n    let g = self.map.read();\n    self.log.write();\n}\n");
+        assert_eq!(r.acquisitions.len(), 2);
+        assert_eq!(r.edges.len(), 1);
+    }
+
+    #[test]
+    fn cycle_detection_reports_opposite_orders() {
+        let a = analyze(
+            "fn f(&self) {\n    let a = self.first.lock();\n    let b = self.second.lock();\n}\n\
+             fn g(&self) {\n    let b = self.second.lock();\n    let a = self.first.lock();\n}\n",
+        );
+        let graph = build_graph(&[a]);
+        let cycles = find_cycles(&graph);
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        assert!(cycles[0].message.contains("cycle"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let a = analyze(
+            "fn f(&self) {\n    let a = self.first.lock();\n    let b = self.second.lock();\n}\n\
+             fn g(&self) {\n    let a = self.first.lock();\n    let b = self.second.lock();\n}\n",
+        );
+        let graph = build_graph(&[a]);
+        assert!(find_cycles(&graph).is_empty());
+        assert_eq!(graph.edges.len(), 1);
+    }
+
+    #[test]
+    fn self_edge_is_a_finding() {
+        let a = analyze(
+            "fn f(&self) {\n    let a = self.inner.lock();\n    let b = self.inner.lock();\n}\n",
+        );
+        let graph = build_graph(&[a]);
+        let cycles = find_cycles(&graph);
+        assert_eq!(cycles.len(), 1);
+        assert!(cycles[0].message.contains("re-acquired"));
+    }
+
+    #[test]
+    fn test_mod_code_is_skipped() {
+        let r = analyze(
+            "#[cfg(test)]\nmod tests {\n    fn t(&self) {\n        let a = self.x.lock();\n        \
+             let b = self.y.lock();\n    }\n}\n",
+        );
+        assert!(r.acquisitions.is_empty());
+    }
+}

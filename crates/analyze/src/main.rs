@@ -2,22 +2,33 @@
 //!
 //! Modes:
 //!
-//! - `--check` (default): run source lints against the waiver ratchet,
-//!   verify vendored-source integrity, and run the grammar verifier.
-//!   Exit 0 only if all three hold.
+//! - `--check` (default): run source lints (L001–L004, L007, L009), the
+//!   lock-order graph (L006), the observability-coverage pass (L008), and
+//!   vendored-source integrity (L005) against the waiver ratchet, then the
+//!   grammar verifier. Exit 0 only if everything holds.
 //! - `--file <path>...`: lint specific files with every lint enabled and no
-//!   waivers — used by the negative-fixture tests.
+//!   waivers — used by the negative-fixture tests. The lock graph is built
+//!   per file, so a single fixture can demonstrate an L006 cycle.
 //! - `--update-waivers [--allow-growth]`: rewrite the waiver file from
 //!   actual counts; refuses to grow any count unless `--allow-growth`.
+//!   Output is rendered from sorted maps, so reruns are byte-identical.
 //! - `--update-vendor-manifest`: re-baseline the vendor integrity manifest.
+//!
+//! Output flags (compose with the modes above):
+//!
+//! - `--json`: emit one machine-readable JSON document on stdout instead of
+//!   human-oriented lines.
+//! - `--github`: additionally emit GitHub Actions workflow commands
+//!   (`::error file=..`/`::warning file=..`) so findings annotate the PR
+//!   diff inline when run from CI.
 //!
 //! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
 
 #![forbid(unsafe_code)]
 
 use speakql_analyze::{
-    count_findings, discover_sources, grammar_check, lint_source, selection_for, vendor, waivers,
-    Finding, LintSelection,
+    count_findings, coverage, discover_sources, grammar_check, lex, lint_source, locks,
+    selection_for, vendor, waivers, Finding, LintSelection,
 };
 use std::path::{Path, PathBuf};
 
@@ -37,6 +48,8 @@ struct Options {
     allow_growth: bool,
     update_vendor_manifest: bool,
     skip_grammar: bool,
+    json: bool,
+    github: bool,
     files: Vec<String>,
     root: Option<PathBuf>,
 }
@@ -51,6 +64,8 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
             "--allow-growth" => opts.allow_growth = true,
             "--update-vendor-manifest" => opts.update_vendor_manifest = true,
             "--skip-grammar" => opts.skip_grammar = true,
+            "--json" => opts.json = true,
+            "--github" => opts.github = true,
             "--file" => {
                 let path = it.next().ok_or("--file requires a path")?;
                 opts.files.push(path);
@@ -63,7 +78,8 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                 println!(
                     "speakql-analyze [--check] [--file <path>...] [--root <dir>]\n\
                      \x20               [--update-waivers [--allow-growth]]\n\
-                     \x20               [--update-vendor-manifest] [--skip-grammar]"
+                     \x20               [--update-vendor-manifest] [--skip-grammar]\n\
+                     \x20               [--json] [--github]"
                 );
                 return Err(String::new());
             }
@@ -97,13 +113,13 @@ fn run(args: Vec<String>) -> i32 {
     };
     let root = workspace_root(&opts);
     let result = if !opts.files.is_empty() {
-        lint_explicit_files(&opts.files)
+        lint_explicit_files(&opts.files, opts.json)
     } else if opts.update_waivers {
         update_waivers(&root, opts.allow_growth)
     } else if opts.update_vendor_manifest {
         update_vendor_manifest(&root)
     } else {
-        check(&root, opts.skip_grammar)
+        check(&root, &opts)
     };
     match result {
         Ok(code) => code,
@@ -114,42 +130,109 @@ fn run(args: Vec<String>) -> i32 {
     }
 }
 
-/// `--file` mode: every lint, no waivers. Exit 1 if anything fires.
-fn lint_explicit_files(files: &[String]) -> Result<i32, String> {
-    let mut total = 0usize;
+/// `--file` mode: every lint, no waivers. The lock graph is built from each
+/// file in isolation so fixtures can demonstrate cycles. Exit 1 if
+/// anything fires.
+fn lint_explicit_files(files: &[String], json: bool) -> Result<i32, String> {
+    let mut all: Vec<Finding> = Vec::new();
     for path in files {
         let content =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let findings = lint_source(path, &content, LintSelection::all());
-        for f in &findings {
-            println!("{f}");
+        let mut findings = lint_source(path, &content, LintSelection::all());
+        let report = locks::analyze_file(path, &lex(&content), false);
+        findings.extend(locks::find_cycles(&locks::build_graph(&[report])));
+        sort_findings(&mut findings);
+        if !json {
+            for f in &findings {
+                println!("{f}");
+            }
         }
-        total += findings.len();
+        all.extend(findings);
     }
-    println!(
-        "speakql-analyze: {total} finding(s) in {} file(s)",
-        files.len()
-    );
-    Ok(if total == 0 { 0 } else { 1 })
+    if json {
+        println!(
+            "{{\"findings\":{},\"failures\":{}}}",
+            findings_json(&all),
+            all.len()
+        );
+    } else {
+        println!(
+            "speakql-analyze: {} finding(s) in {} file(s)",
+            all.len(),
+            files.len()
+        );
+    }
+    Ok(if all.is_empty() { 0 } else { 1 })
 }
 
-/// Run the workspace lints, returning all findings.
-fn workspace_findings(root: &Path) -> Result<Vec<Finding>, String> {
+/// Everything the workspace analysis produced beyond the findings list.
+struct AnalysisStats {
+    lock_nodes: usize,
+    lock_edges: usize,
+    coverage: coverage::CoverageSummary,
+}
+
+/// Run the workspace lints plus the semantic passes, returning all findings
+/// sorted by (lint, path, line) for deterministic output.
+fn workspace_findings(root: &Path) -> Result<(Vec<Finding>, AnalysisStats), String> {
     let sources = discover_sources(root).map_err(|e| format!("source discovery: {e}"))?;
     let mut findings = Vec::new();
     for file in &sources {
         let sel = selection_for(file);
         findings.extend(lint_source(&file.rel_path, &file.content, sel));
     }
-    Ok(findings)
+
+    // Semantic passes share one lexing sweep over the library sources.
+    let lexed: Vec<(&str, speakql_analyze::LexedFile)> = sources
+        .iter()
+        .filter(|f| f.in_src)
+        .map(|f| (f.rel_path.as_str(), lex(&f.content)))
+        .collect();
+
+    // L006: the lock-order graph is global — a cycle only exists across
+    // files, so it cannot be a per-file lint pass.
+    let reports: Vec<locks::FileLockReport> = lexed
+        .iter()
+        .map(|(rel, lx)| locks::analyze_file(rel, lx, false))
+        .collect();
+    let graph = locks::build_graph(&reports);
+    findings.extend(locks::find_cycles(&graph));
+
+    // L008: taxonomy coverage, also a whole-workspace property.
+    let cov_files: Vec<coverage::CoverageFile> = lexed
+        .iter()
+        .map(|(rel, lx)| coverage::CoverageFile {
+            rel_path: rel,
+            lexed: lx,
+        })
+        .collect();
+    let (cov_findings, cov_summary) = coverage::check_coverage(&cov_files);
+    findings.extend(cov_findings);
+
+    sort_findings(&mut findings);
+    Ok((
+        findings,
+        AnalysisStats {
+            lock_nodes: graph.nodes.len(),
+            lock_edges: graph.edges.len(),
+            coverage: cov_summary,
+        },
+    ))
+}
+
+fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.lint, &a.path, a.line, &a.message).cmp(&(b.lint, &b.path, b.line, &b.message))
+    });
 }
 
 /// Default `--check` mode.
-fn check(root: &Path, skip_grammar: bool) -> Result<i32, String> {
+fn check(root: &Path, opts: &Options) -> Result<i32, String> {
     let mut failures = 0usize;
+    let mut annotations: Vec<String> = Vec::new();
 
-    // Engine 1a: source lints against the waiver ratchet.
-    let findings = workspace_findings(root)?;
+    // Engine 1a: source lints + semantic passes against the waiver ratchet.
+    let (findings, stats) = workspace_findings(root)?;
     let actual = count_findings(&findings);
     let waiver_path = root.join(WAIVER_FILE);
     let waived = match std::fs::read_to_string(&waiver_path) {
@@ -167,7 +250,14 @@ fn check(root: &Path, skip_grammar: bool) -> Result<i32, String> {
                 .filter(|f| f.lint == lint.as_str() && &f.path == path)
             {
                 eprintln!("  {f}");
+                annotations.push(github_annotation("error", f));
             }
+        }
+        if let waivers::RatchetIssue::Stale { lint, path, .. } = issue {
+            annotations.push(format!(
+                "::warning file={path},title={lint} stale waiver::waiver exceeds actual count; \
+                 run --update-waivers to ratchet down",
+            ));
         }
     }
     failures += issues.len();
@@ -181,6 +271,10 @@ fn check(root: &Path, skip_grammar: bool) -> Result<i32, String> {
             let drift = vendor::diff(&hashes, &manifest);
             for d in &drift {
                 eprintln!("L005: {d}");
+                annotations.push(format!(
+                    "::error title=L005 vendor integrity::{}",
+                    github_escape(&d.to_string())
+                ));
             }
             failures += drift.len();
         }
@@ -194,37 +288,81 @@ fn check(root: &Path, skip_grammar: bool) -> Result<i32, String> {
     }
 
     // Engine 2: grammar/dictionary verifier.
-    if skip_grammar {
-        println!("grammar verifier: skipped (--skip-grammar)");
+    let mut grammar_findings = 0usize;
+    if opts.skip_grammar {
+        if !opts.json {
+            println!("grammar verifier: skipped (--skip-grammar)");
+        }
     } else {
         let report = grammar_check::verify();
         for f in &report.findings {
             eprintln!("grammar: {f}");
+            annotations.push(format!(
+                "::error title=grammar verifier::{}",
+                github_escape(f)
+            ));
         }
-        failures += report.findings.len();
-        println!(
-            "grammar verifier: {} rules, {} nonterminals, {} structures and {} placeholders \
-             cross-validated, {} finding(s)",
-            report.rules,
-            report.nonterminals,
-            report.structures_checked,
-            report.placeholders_checked,
-            report.findings.len()
-        );
+        grammar_findings = report.findings.len();
+        failures += grammar_findings;
+        if !opts.json {
+            println!(
+                "grammar verifier: {} rules, {} nonterminals, {} structures and {} placeholders \
+                 cross-validated, {} finding(s)",
+                report.rules,
+                report.nonterminals,
+                report.structures_checked,
+                report.placeholders_checked,
+                report.findings.len()
+            );
+        }
     }
 
-    println!(
-        "speakql-analyze: {} lint finding(s) across {} lint(s), {} failure(s)",
-        findings.len(),
-        actual.len(),
-        failures
-    );
+    if opts.github {
+        for a in &annotations {
+            println!("{a}");
+        }
+    }
+    if opts.json {
+        println!(
+            "{{\"findings\":{},\"ratchet_issues\":{},\"grammar_findings\":{},\
+             \"lock_graph\":{{\"nodes\":{},\"edges\":{}}},\
+             \"coverage\":{{\"counters\":{},\"covered\":{},\"error_variants\":{}}},\
+             \"failures\":{}}}",
+            findings_json(&findings),
+            issues.len(),
+            grammar_findings,
+            stats.lock_nodes,
+            stats.lock_edges,
+            stats.coverage.counters,
+            stats.coverage.covered,
+            stats.coverage.error_variants,
+            failures
+        );
+    } else {
+        println!(
+            "lock graph: {} node(s), {} edge(s); counters covered: {}/{}; \
+             error variants: {}",
+            stats.lock_nodes,
+            stats.lock_edges,
+            stats.coverage.covered,
+            stats.coverage.counters,
+            stats.coverage.error_variants
+        );
+        println!(
+            "speakql-analyze: {} lint finding(s) across {} lint(s), {} failure(s)",
+            findings.len(),
+            actual.len(),
+            failures
+        );
+    }
     Ok(if failures == 0 { 0 } else { 1 })
 }
 
-/// `--update-waivers`: rewrite the waiver file from actual counts.
+/// `--update-waivers`: rewrite the waiver file from actual counts. The
+/// renderer iterates sorted maps, so output order is deterministic and
+/// reruns produce byte-identical files.
 fn update_waivers(root: &Path, allow_growth: bool) -> Result<i32, String> {
-    let findings = workspace_findings(root)?;
+    let (findings, _) = workspace_findings(root)?;
     let actual = count_findings(&findings);
     let waiver_path = root.join(WAIVER_FILE);
     if !allow_growth {
@@ -268,4 +406,61 @@ fn update_vendor_manifest(root: &Path) -> Result<i32, String> {
         hashes.len()
     );
     Ok(0)
+}
+
+/// Render findings as a JSON array (hand-rolled: the workspace vendors no
+/// serialization crate, and the shape is four flat fields).
+fn findings_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"lint\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            f.lint,
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One GitHub Actions workflow command annotating a finding's source line.
+fn github_annotation(level: &str, f: &Finding) -> String {
+    format!(
+        "::{level} file={path},line={line},title={lint}::{msg}",
+        path = f.path,
+        line = f.line,
+        lint = f.lint,
+        msg = github_escape(&f.message)
+    )
+}
+
+/// Escape the message part of a workflow command (GitHub's own encoding).
+fn github_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }

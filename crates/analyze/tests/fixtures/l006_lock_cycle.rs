@@ -1,0 +1,23 @@
+//! Negative fixture: `forward` acquires `first` before `second` while
+//! `backward` takes them in the opposite order — a lock-order cycle (L006).
+
+use std::sync::Mutex;
+
+struct Pair {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+}
+
+fn forward(p: &Pair) {
+    let a = p.first.lock();
+    let b = p.second.lock();
+    drop(b);
+    drop(a);
+}
+
+fn backward(p: &Pair) {
+    let b = p.second.lock();
+    let a = p.first.lock();
+    drop(a);
+    drop(b);
+}

@@ -1,0 +1,13 @@
+//! Negative fixture: a blocking call while a lock guard is live (L007).
+
+use std::sync::Mutex;
+
+struct Shared {
+    queue: Mutex<Vec<u32>>,
+}
+
+fn drain(state: &Shared) {
+    let guard = state.queue.lock();
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    drop(guard);
+}

@@ -1,0 +1,10 @@
+//! Negative fixture: panic-family macro and unchecked indexing inside a
+//! `pub` function — the API boundary must not panic (L009).
+
+/// Returns the first element, panicking on empty input.
+pub fn first(xs: &[u32]) -> u32 {
+    if xs.is_empty() {
+        panic!("empty input");
+    }
+    xs[0]
+}

@@ -32,7 +32,9 @@ fn assert_fires(name: &str, lint: &str) {
         stdout.contains(lint),
         "{name} should report {lint}, stdout:\n{stdout}"
     );
-    for other in ["L001", "L002", "L003", "L004"] {
+    for other in [
+        "L001", "L002", "L003", "L004", "L006", "L007", "L008", "L009",
+    ] {
         if other != lint {
             assert!(
                 !stdout.contains(other),
@@ -60,6 +62,21 @@ fn l003_fixture_fires() {
 #[test]
 fn l004_fixture_fires() {
     assert_fires("l004_docs.rs", "L004");
+}
+
+#[test]
+fn l006_fixture_fires() {
+    assert_fires("l006_lock_cycle.rs", "L006");
+}
+
+#[test]
+fn l007_fixture_fires() {
+    assert_fires("l007_blocking.rs", "L007");
+}
+
+#[test]
+fn l009_fixture_fires() {
+    assert_fires("l009_panics.rs", "L009");
 }
 
 #[test]

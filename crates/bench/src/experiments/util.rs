@@ -64,6 +64,7 @@ pub enum ValueKind {
     Str,
 }
 
+/// Classify a bare literal for per-kind accuracy breakdowns.
 pub fn value_kind(bare: &str) -> ValueKind {
     if bare.len() >= 8
         && bare.matches('-').count() == 2

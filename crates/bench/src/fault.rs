@@ -378,7 +378,8 @@ fn fault_server(workers: usize, io_timeout: Duration) -> (Server, Option<std::ne
             max_retries: 2,
             io_timeout,
         },
-    );
+    )
+    .unwrap_or_else(|e| panic!("fault harness: cannot spawn worker threads: {e}"));
     let addr = server.listen("127.0.0.1:0").ok();
     (server, addr)
 }

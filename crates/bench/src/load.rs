@@ -314,7 +314,7 @@ pub fn run_load() -> (Value, bool) {
         tenants.push((name, schema));
     }
 
-    let mut server = Server::serve(
+    let started = Server::serve(
         registry,
         ServerConfig {
             workers: WORKERS,
@@ -324,6 +324,16 @@ pub fn run_load() -> (Value, bool) {
             io_timeout: Duration::from_secs(10),
         },
     );
+    let mut server = match started {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[load_gen] FAIL: cannot spawn worker threads: {e}");
+            return (
+                json!({"schema": "speakql-server-load/v1", "error": e.to_string()}),
+                false,
+            );
+        }
+    };
     let addr = match server.listen("127.0.0.1:0") {
         Ok(a) => a,
         Err(e) => {

@@ -417,7 +417,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     );
     registry.register("yelp", &speakql_data::yelp_db(), index, config);
 
-    let mut server = Server::serve(
+    let started = Server::serve(
         registry,
         ServerConfig {
             workers,
@@ -427,6 +427,13 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             io_timeout: std::time::Duration::from_secs(10),
         },
     );
+    let mut server = match started {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error spawning worker threads: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let bound = match server.listen(&addr) {
         Ok(a) => a,
         Err(e) => {

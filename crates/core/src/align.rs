@@ -17,7 +17,11 @@ use speakql_grammar::{StructTokId, Structure};
 /// For each placeholder of `structure` (in order), the masked-transcript
 /// index its `Var` token matched, or `None` if the variable was inserted
 /// (no transcript token aligns to it).
-pub fn align_vars(
+///
+/// Crate-internal: this is a pipeline stage consumed by literal
+/// determination, not API surface — all of its DP indexing is
+/// bounds-proven only against inputs the engine itself constructs.
+pub(crate) fn align_vars(
     masked: &[StructTokId],
     structure: &Structure,
     weights: Weights,

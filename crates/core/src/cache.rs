@@ -173,6 +173,8 @@ impl SkeletonCache {
             fp: ConfigFingerprint::of(cfg),
             masked: masked.to_vec(),
         };
+        // panic-safe: shard_of reduces modulo shards.len(), so the index
+        // is always in bounds.
         let hit = self.shards[self.shard_of(&key)].lock().get(&key);
         recorder.incr(if hit.is_some() {
             CounterId::CacheSkeletonHits
@@ -198,6 +200,8 @@ impl SkeletonCache {
             fp: ConfigFingerprint::of(cfg),
             masked: masked.to_vec(),
         };
+        // panic-safe: shard_of reduces modulo shards.len(), so the index
+        // is always in bounds.
         let evicted =
             self.shards[self.shard_of(&key)]
                 .lock()

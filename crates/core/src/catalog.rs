@@ -57,10 +57,12 @@ impl PhoneticCatalog {
         self.algorithm
     }
 
+    /// Phonetic index over table names.
     pub fn tables(&self) -> &PhoneticIndex {
         &self.tables
     }
 
+    /// Phonetic index over attribute (column) names.
     pub fn attributes(&self) -> &PhoneticIndex {
         &self.attributes
     }
@@ -70,6 +72,7 @@ impl PhoneticCatalog {
         self.values_by_attr.get(&attr.to_lowercase())
     }
 
+    /// Phonetic index over every string value of every table.
     pub fn all_values(&self) -> &PhoneticIndex {
         &self.all_values
     }

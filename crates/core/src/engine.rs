@@ -435,6 +435,8 @@ impl SpeakQl {
         let mut slots: Vec<Option<SpeakQlResult<Transcription>>> =
             (0..transcripts.len()).map(|_| None).collect();
         for (i, t) in per_worker.into_iter().flatten() {
+            // panic-safe: `i` is an index into `transcripts` assigned at
+            // fan-out, and `slots` has exactly `transcripts.len()` entries.
             slots[i] = Some(t);
         }
         slots

@@ -15,7 +15,7 @@
 
 #![forbid(unsafe_code)]
 
-pub mod align;
+mod align;
 pub mod cache;
 pub mod catalog;
 pub mod engine;
@@ -23,7 +23,6 @@ pub mod error;
 pub mod literal;
 pub mod streaming;
 
-pub use align::align_vars;
 pub use cache::SkeletonCache;
 pub use catalog::PhoneticCatalog;
 pub use engine::{Candidate, FaultHook, SpeakQl, SpeakQlConfig, StageTimings, Transcription};

@@ -451,6 +451,8 @@ pub fn enumerate_strings(
 }
 
 /// [`enumerate_strings`] with an explicit phonetic algorithm (ablations).
+/// An `end` past the transcript is clamped, so no window can index out of
+/// bounds.
 #[allow(clippy::needless_range_loop)] // index arithmetic is the clearer form here
 pub fn enumerate_strings_with(
     trans_out: &[String],
@@ -459,10 +461,12 @@ pub fn enumerate_strings_with(
     window_size: usize,
     algo: speakql_phonetics::PhoneticAlgorithm,
 ) -> Vec<(String, usize)> {
+    let end = end.min(trans_out.len());
     let mut out = Vec::new();
     for i in begin..end {
         let mut cur = String::new();
         for j in i..end.min(i + window_size) {
+            // panic-safe: `j < end <= trans_out.len()` by the clamp above.
             cur.push_str(&trans_out[j]);
             out.push((algo.key(&cur), j));
         }
@@ -623,8 +627,10 @@ pub fn reassemble_date(window: &[String]) -> Option<String> {
         }
     }
     let month_pos = words.iter().position(|w| MONTHS.contains(&w.as_str()))?;
+    // panic-safe: `month_pos` came from `position` on `words`, so the index
+    // is in bounds.
     let month = MONTHS.iter().position(|m| *m == words[month_pos])? as u8 + 1;
-
+    // panic-safe: `month_pos < words.len()`, so the suffix slice is in range.
     let rest = &words[month_pos + 1..];
     let mut day: Option<u8> = None;
     let mut year: Option<i32> = None;
@@ -632,6 +638,7 @@ pub fn reassemble_date(window: &[String]) -> Option<String> {
     let mut word_year: Vec<u32> = Vec::new();
     let mut i = 0usize;
     while i < rest.len() {
+        // panic-safe: `i < rest.len()` is the loop condition.
         let w = &rest[i];
         if let Ok(n) = w.parse::<u32>() {
             numeric_buf.push(n);
@@ -639,6 +646,7 @@ pub fn reassemble_date(window: &[String]) -> Option<String> {
             continue;
         }
         // Day ordinals, simple or compound ("twenty first").
+        // panic-safe: `i + 1` is guarded by the branch condition.
         let compound = if i + 1 < rest.len() {
             format!("{}{}", w, rest[i + 1])
         } else {
@@ -673,10 +681,12 @@ pub fn reassemble_date(window: &[String]) -> Option<String> {
             pairs.push(n);
         }
     }
+    // panic-safe: indexes 0 and 1 are guarded by `pairs.len() >= 2`.
     if year.is_none() && pairs.len() >= 2 {
         year = Some((pairs[0] * 100 + pairs[1]) as i32);
     }
     // Year from spoken words: "nineteen ninety three" → 19, 90, 3.
+    // panic-safe: index 0 and the `1..` suffix are guarded by `!is_empty`.
     if year.is_none() && !word_year.is_empty() {
         let hi = word_year[0];
         let lo: u32 = word_year[1..].iter().sum();

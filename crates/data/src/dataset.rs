@@ -11,7 +11,9 @@ use speakql_grammar::GeneratorConfig;
 
 /// Sizes used by the paper.
 pub const TRAIN_SIZE: usize = 750;
+/// Test queries generated against the employees schema.
 pub const EMPLOYEES_TEST_SIZE: usize = 500;
+/// Test queries generated against the Yelp schema.
 pub const YELP_TEST_SIZE: usize = 500;
 
 /// The full spoken-SQL dataset.

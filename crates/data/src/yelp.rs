@@ -63,8 +63,11 @@ pub const USER_NAMES: &[&str] = &[
     "Tara", "Umar", "Violet", "Wendell", "Ximena", "Yusuf", "Zelda",
 ];
 
+/// Businesses generated into the `business` table.
 pub const N_BUSINESSES: usize = 30;
+/// Users generated into the `users` table (one per name above).
 pub const N_USERS: usize = 26;
+/// Reviews generated into the `review` table.
 pub const N_REVIEWS: usize = 400;
 
 /// Build the deterministic Yelp-like database.

@@ -13,6 +13,7 @@ pub struct ColRef {
 }
 
 impl ColRef {
+    /// A column reference without a table qualifier (`salary`).
     pub fn bare(column: impl Into<String>) -> ColRef {
         ColRef {
             table: None,
@@ -20,6 +21,7 @@ impl ColRef {
         }
     }
 
+    /// A table-qualified column reference (`employees.salary`).
     pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> ColRef {
         ColRef {
             table: Some(table.into()),
@@ -48,6 +50,7 @@ pub enum AggFunc {
 }
 
 impl AggFunc {
+    /// The SQL keyword for this aggregate (`AVG`, `SUM`, ...).
     pub fn as_str(self) -> &'static str {
         match self {
             AggFunc::Avg => "AVG",
@@ -104,6 +107,7 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
+    /// The SQL operator symbol (`=`, `<`, `>`).
     pub fn as_str(self) -> &'static str {
         match self {
             CmpOp::Eq => "=",

@@ -104,6 +104,7 @@ impl Database {
         }
     }
 
+    /// Add `table`; panics on a duplicate table name (schema bug).
     pub fn add_table(&mut self, table: Table) {
         assert!(
             self.table(&table.schema.name).is_none(),

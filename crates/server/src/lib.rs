@@ -33,7 +33,7 @@
 //! # fn db() -> speakql_db::Database { unimplemented!() }
 //! let mut registry = TenantRegistry::new(1024, true);
 //! registry.register("employees", &db(), index(), Default::default());
-//! let mut server = Server::serve(registry, ServerConfig::default());
+//! let mut server = Server::serve(registry, ServerConfig::default()).expect("spawn workers");
 //! let addr = server.listen("127.0.0.1:0").expect("bind");
 //! println!("serving on {addr}");
 //! ```

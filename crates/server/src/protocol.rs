@@ -128,6 +128,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
     let mut prefix = [0u8; 4];
     let mut filled = 0;
     while filled < prefix.len() {
+        // panic-safe: `filled < prefix.len()` is the loop condition.
         match r.read(&mut prefix[filled..]) {
             Ok(0) if filled == 0 => return Ok(None),
             Ok(0) => return Err(FrameError::Truncated),
@@ -143,6 +144,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
     let mut payload = vec![0u8; declared];
     let mut filled = 0;
     while filled < declared {
+        // panic-safe: `filled < declared == payload.len()` per the loop
+        // condition.
         match r.read(&mut payload[filled..]) {
             Ok(0) => return Err(FrameError::Truncated),
             Ok(n) => filled += n,

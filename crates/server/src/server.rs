@@ -110,7 +110,11 @@ impl Server {
     /// Start the worker pool over `registry`. No TCP socket is bound until
     /// [`Server::listen`]; in-process clients can submit immediately via
     /// [`Server::handle`].
-    pub fn serve(registry: TenantRegistry, config: ServerConfig) -> Server {
+    ///
+    /// Fails only when the OS refuses to spawn a worker thread (resource
+    /// exhaustion at startup); already-spawned workers are shut down
+    /// cleanly before the error is returned.
+    pub fn serve(registry: TenantRegistry, config: ServerConfig) -> std::io::Result<Server> {
         let recorder = registry.recorder().clone();
         let shared = Arc::new(Shared {
             registry,
@@ -119,21 +123,31 @@ impl Server {
             config,
             shutting_down: AtomicBool::new(false),
         });
-        let workers = (0..shared.config.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("speakql-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .unwrap_or_else(|e| panic!("failed to spawn worker thread: {e}"))
-            })
-            .collect();
-        Server {
+        let mut workers = Vec::with_capacity(shared.config.workers.max(1));
+        for i in 0..shared.config.workers.max(1) {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("speakql-worker-{i}"))
+                .spawn(move || worker_loop(&worker_shared));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Unwind the partial pool: close the (empty) queue so
+                    // the spawned workers exit their loops, then join them.
+                    shared.queue.close();
+                    for w in workers {
+                        let _ = w.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(Server {
             shared,
             workers,
             acceptor: None,
             addr: None,
-        }
+        })
     }
 
     /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start accepting connections,

@@ -58,7 +58,7 @@ const TRANSCRIPT: &str = "select salary from employees where first name equals j
 #[test]
 fn tcp_roundtrip_matches_the_library_path() {
     let registry = two_tenant_registry();
-    let mut server = Server::serve(registry, ServerConfig::default());
+    let mut server = Server::serve(registry, ServerConfig::default()).expect("spawn workers");
     let addr = server.listen("127.0.0.1:0").expect("bind localhost");
 
     // Reference: the plain library path over the same index, cache off.
@@ -98,7 +98,7 @@ fn held_workers_shed_exactly_the_overflow() {
         queue_capacity: 4,
         ..ServerConfig::default()
     };
-    let server = Server::serve(registry, config);
+    let server = Server::serve(registry, config).expect("spawn workers");
     let handle = server.handle();
 
     // Freeze the drain side, then offer capacity + 3 requests: exactly 3
@@ -146,7 +146,7 @@ fn zero_budget_times_out_deterministically() {
         request_budget: Duration::ZERO,
         ..ServerConfig::default()
     };
-    let server = Server::serve(registry, config);
+    let server = Server::serve(registry, config).expect("spawn workers");
     let response = server.handle().request("employees", TRANSCRIPT);
     match response {
         Response::Err { class, .. } => assert_eq!(class, "timeout"),
@@ -180,7 +180,7 @@ fn transient_worker_panic_is_retried_to_success() {
         shared_index(),
         small_config().with_fault_hook(hook),
     );
-    let server = Server::serve(registry, ServerConfig::default());
+    let server = Server::serve(registry, ServerConfig::default()).expect("spawn workers");
 
     let response = server
         .handle()
@@ -208,7 +208,7 @@ fn permanent_worker_panic_exhausts_retries_then_reports() {
         shared_index(),
         small_config().with_fault_hook(hook),
     );
-    let server = Server::serve(registry, ServerConfig::default());
+    let server = Server::serve(registry, ServerConfig::default()).expect("spawn workers");
 
     let response = server.handle().request("employees", "poison select salary");
     match response {
@@ -225,7 +225,7 @@ fn permanent_worker_panic_exhausts_retries_then_reports() {
 #[test]
 fn same_index_tenants_share_warm_cache_entries_across_engines() {
     let registry = two_tenant_registry();
-    let server = Server::serve(registry, ServerConfig::default());
+    let server = Server::serve(registry, ServerConfig::default()).expect("spawn workers");
     let handle = server.handle();
 
     // Warm through the employees tenant ...
@@ -258,7 +258,7 @@ fn different_arena_tenants_never_reuse_each_others_hits() {
     ));
     assert_ne!(other_index.generation(), shared_index().generation());
     registry.register("employees-staging", &employees_db(), other_index, other_cfg);
-    let server = Server::serve(registry, ServerConfig::default());
+    let server = Server::serve(registry, ServerConfig::default()).expect("spawn workers");
     let handle = server.handle();
 
     assert!(matches!(
@@ -281,7 +281,7 @@ fn different_arena_tenants_never_reuse_each_others_hits() {
 #[test]
 fn malformed_and_oversized_frames_get_typed_errors_not_panics() {
     let registry = two_tenant_registry();
-    let mut server = Server::serve(registry, ServerConfig::default());
+    let mut server = Server::serve(registry, ServerConfig::default()).expect("spawn workers");
     let addr = server.listen("127.0.0.1:0").expect("bind localhost");
 
     // A frame whose payload is missing the tenant separator: the stream is
@@ -333,7 +333,8 @@ fn concurrent_tcp_clients_all_get_correct_answers() {
             queue_capacity: 64,
             ..ServerConfig::default()
         },
-    );
+    )
+    .expect("spawn workers");
     let addr = server.listen("127.0.0.1:0").expect("bind localhost");
 
     let reference = SpeakQl::with_index(&employees_db(), shared_index(), small_config());

@@ -169,7 +169,10 @@ fn speakql_trial(
     {
         redictations += 1;
         dictations += 1;
-        let where_clause = &q.sql[q.sql.find(" WHERE ").expect("checked") + 1..];
+        let Some(where_pos) = q.sql.find(" WHERE ") else {
+            break; // unreachable: the loop condition checked contains()
+        };
+        let where_clause = &q.sql[where_pos + 1..];
         let clause_words =
             speakql_asr::spoken_words(&speakql_asr::verbalize_sql(where_clause)).len() as f64;
         speaking += clause_words / p.speaking_wps;
