@@ -512,9 +512,11 @@ fn mutate_digit<R: Rng + ?Sized>(numeral: &str, rng: &mut R) -> String {
         return numeral.to_string();
     }
     let pos = digit_positions[rng.gen_range(0..digit_positions.len())];
-    let old = chars[pos].to_digit(10).expect("digit");
+    // `pos` indexes an ascii digit and `new` is < 10, so both conversions
+    // always succeed; the fallbacks leave the numeral unchanged.
+    let old = chars[pos].to_digit(10).unwrap_or(0);
     let new = (old + rng.gen_range(1..10u32)) % 10;
-    chars[pos] = char::from_digit(new, 10).expect("digit");
+    chars[pos] = char::from_digit(new, 10).unwrap_or(chars[pos]);
     chars.into_iter().collect()
 }
 

@@ -91,9 +91,10 @@ fn ones_word(n: u64) -> &'static str {
     ONES[n as usize]
 }
 
-/// The spoken word for a single digit character.
+/// The spoken word for a single digit character. Non-digit input (all
+/// callers pre-filter with `is_ascii_digit`) degrades to `"zero"`.
 pub fn digit_word(d: char) -> &'static str {
-    ONES[d.to_digit(10).expect("digit") as usize]
+    ONES[d.to_digit(10).unwrap_or(0) as usize]
 }
 
 /// Month names, 1-indexed.

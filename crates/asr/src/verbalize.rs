@@ -193,7 +193,9 @@ mod tests {
     #[test]
     fn quoted_values() {
         let segs = verbalize_sql("WHERE title = 'Senior Engineer'");
-        let last = segs.last().unwrap();
+        let Some(last) = segs.last() else {
+            panic!("verbalize produced no segments")
+        };
         assert_eq!(last.origin, Origin::QuotedText);
         assert_eq!(last.canonical, "Senior Engineer");
         assert_eq!(last.words, vec!["senior", "engineer"]);
@@ -203,7 +205,9 @@ mod tests {
     fn segments_carry_canonical_forms() {
         let segs = verbalize_sql("SELECT FromDate FROM t WHERE x = 'd002'");
         assert_eq!(segs[1].canonical, "FromDate");
-        let d002 = segs.last().unwrap();
+        let Some(d002) = segs.last() else {
+            panic!("verbalize produced no segments")
+        };
         assert_eq!(d002.canonical, "d002");
         assert_eq!(d002.words, vec!["d", "zero", "zero", "two"]);
     }

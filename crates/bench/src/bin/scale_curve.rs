@@ -1,0 +1,582 @@
+//! `scale_curve` — index scaling benchmark and CI gate for the segmented
+//! zero-copy format.
+//!
+//! Generates synthetic structure spaces (one dominant trie length, the
+//! shape that used to serialize parallel search) at 50k → 500k → 5M
+//! structures and measures, per size:
+//!
+//! - arena **build** time (the cost zero-copy loading avoids),
+//! - serialized image size,
+//! - **load** time through both paths: validate-then-borrow (zero-copy)
+//!   vs decode-and-rebuild (what a v1 loader does), plus their ratio,
+//! - resident-memory deltas for the built arena and the borrowed view,
+//! - search latency p50/p95, sequential and at 8 threads, and with the
+//!   BDB / INV tradeoffs toggled — recording where each stops paying.
+//!
+//! ```text
+//! scale_curve [--sizes N,N,...] [--out FILE]     full curve (default 50k,500k)
+//! scale_curve --check BASELINE [--out FILE]      CI mode: run the 500k point and
+//!                                                gate (a) in-run invariants:
+//!                                                zero-copy ≥ 5x faster than
+//!                                                rebuild, borrowed search
+//!                                                byte-identical to built,
+//!                                                parallel byte-identical to
+//!                                                sequential, load counters
+//!                                                proving the borrow path ran;
+//!                                                (b) baseline invariants: exact
+//!                                                `index.load.*` and search
+//!                                                counters (two-sided ratchet on
+//!                                                the bulk work counters) and a
+//!                                                two-sided band on load
+//!                                                wall-clock
+//! ```
+//!
+//! Counters are exact because the workload is deterministic (hand-rolled
+//! splitmix64, no thread-schedule dependence in sequential stats); load
+//! wall-clock is the only machine-dependent gate and gets the same ±30%
+//! band `perf_snapshot` uses, plus a 10x drift floor: loads suddenly 10x
+//! faster than the committed baseline mean the workload changed and the
+//! baseline must be regenerated.
+
+use serde_json::{json, Map, Value};
+use speakql_core::{CounterId, Recorder};
+use speakql_editdist::Weights;
+use speakql_grammar::{StructTokId, Structure, STRUCT_ALPHABET};
+use speakql_index::{from_bytes_rebuilt_observed, to_bytes, SearchConfig, StructureIndex};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Sizes for the full curve (5M is opt-in via --sizes; it needs ~4 GiB).
+const DEFAULT_SIZES: [usize; 2] = [50_000, 500_000];
+/// The size CI gates on.
+const CHECK_SIZE: usize = 500_000;
+/// Token length that dominates the synthetic space (90% of structures).
+const DOMINANT_LEN: usize = 12;
+/// Lengths the remaining 10% spread over.
+const TAIL_LENS: [usize; 8] = [4, 6, 8, 10, 14, 16, 18, 20];
+/// Masked queries replayed per size.
+const QUERIES: usize = 24;
+/// Seed for the query mutations.
+const QUERY_SEED: u64 = 0x5CA1E;
+/// Required in-run zero-copy vs rebuild load speedup at the check size.
+const MIN_LOAD_SPEEDUP: f64 = 5.0;
+/// Load wall-clock regression tolerance vs baseline.
+const WALL_CLOCK_TOLERANCE: f64 = 0.30;
+/// Counters under the two-sided ratchet instead of strict equality.
+const RATCHETED_COUNTERS: [&str; 2] = ["editdist.cells_evaluated", "search.nodes_visited"];
+/// Drift floor shared by the ratcheted counters and load wall-clock.
+const MAX_IMPROVEMENT: f64 = 10.0;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, out) = take_flag(&args, "--out");
+    let (args, check) = take_flag(&args, "--check");
+    let (args, sizes) = take_flag(&args, "--sizes");
+    if !args.is_empty() {
+        eprintln!("usage: scale_curve [--sizes N,N,...] [--check BASELINE.json] [--out FILE]");
+        return ExitCode::from(2);
+    }
+    let sizes: Vec<usize> = match sizes {
+        Some(list) => {
+            let parsed: Option<Vec<usize>> = list.split(',').map(|s| s.parse().ok()).collect();
+            match parsed {
+                Some(v) if !v.is_empty() => v,
+                _ => {
+                    eprintln!("bad --sizes {list:?} (expected comma-separated integers)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None if check.is_some() => vec![CHECK_SIZE],
+        None => DEFAULT_SIZES.to_vec(),
+    };
+    let out = out.unwrap_or_else(|| "SCALE_CURVE.json".to_string());
+
+    let mut points = Vec::new();
+    let mut gates_pass = true;
+    for &n in &sizes {
+        let (point, ok) = run_size(n);
+        gates_pass &= ok;
+        points.push(point);
+    }
+
+    // The check point's counters are the baseline-gated surface.
+    let check_point = points
+        .iter()
+        .find(|p| p.get("structures").and_then(Value::as_u64) == Some(CHECK_SIZE as u64))
+        .or(points.last())
+        .cloned()
+        .unwrap_or(Value::Null);
+    let snapshot = json!({
+        "schema": "speakql-scale-curve/v1",
+        "check_size": CHECK_SIZE,
+        "queries": QUERIES,
+        "query_seed": QUERY_SEED,
+        "dominant_len": DOMINANT_LEN,
+        "counters": check_point.get("counters").cloned().unwrap_or(Value::Null),
+        "load_zero_copy_ms": check_point.get("load_zero_copy_ms").cloned().unwrap_or(Value::Null),
+        "points": points,
+    });
+    match serde_json::to_string_pretty(&snapshot) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&out, text) {
+                eprintln!("error writing {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[scale_curve] wrote {out}");
+        }
+        Err(e) => {
+            eprintln!("error serializing snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if !gates_pass {
+        eprintln!("[scale_curve] FAIL: in-run invariant violated (see above)");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(baseline_path) = check {
+        let baseline: Value = match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+        {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error reading baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return compare(&baseline, &snapshot, &baseline_path);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Split off a `--flag value` pair from free-form args.
+fn take_flag(args: &[String], flag: &str) -> (Vec<String>, Option<String>) {
+    let mut rest = Vec::new();
+    let mut value = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag && i + 1 < args.len() {
+            value = Some(args[i + 1].clone());
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (rest, value)
+}
+
+/// SplitMix64: the deterministic RNG for query mutations (no external
+/// dependency, stable across platforms).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Encode `i` as a length-`len` token sequence, most-significant digit
+/// first, over the non-VAR alphabet. Consecutive indexes share long
+/// prefixes — the trie shape real grammars produce — and distinct indexes
+/// yield distinct sequences, so no dedup pass is needed.
+fn encode(i: u64, len: usize) -> Structure {
+    let base = (STRUCT_ALPHABET - 1) as u64;
+    let mut tokens = vec![StructTokId(1); len];
+    let mut v = i;
+    for pos in (0..len).rev() {
+        tokens[pos] = StructTokId(1 + (v % base) as u8);
+        v /= base;
+    }
+    Structure {
+        tokens,
+        placeholders: Vec::new(),
+    }
+}
+
+/// `n` synthetic structures: 90% at [`DOMINANT_LEN`], the rest spread over
+/// [`TAIL_LENS`]. One dominant length is the worst case for per-length
+/// parallelism — exactly what segment sharding exists to fix.
+fn synthetic_structures(n: usize) -> Vec<Structure> {
+    let dom = n - n / 10;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..dom {
+        out.push(encode(i as u64, DOMINANT_LEN));
+    }
+    for i in 0..(n - dom) {
+        let len = TAIL_LENS[i % TAIL_LENS.len()];
+        out.push(encode((i / TAIL_LENS.len()) as u64, len));
+    }
+    out
+}
+
+/// Deterministic masked queries: a structure's token sequence with two
+/// positions mutated — close enough to hit the trie's band, far enough to
+/// exercise the DP.
+fn queries(structures: &[Structure]) -> Vec<Vec<StructTokId>> {
+    let mut state = QUERY_SEED;
+    (0..QUERIES)
+        .map(|_| {
+            let s = &structures[(splitmix64(&mut state) % structures.len() as u64) as usize];
+            let mut q = s.tokens.clone();
+            for _ in 0..2 {
+                let pos = (splitmix64(&mut state) % q.len() as u64) as usize;
+                q[pos] = StructTokId(1 + (splitmix64(&mut state) % 27) as u8);
+            }
+            q
+        })
+        .collect()
+}
+
+/// Current resident set size in KiB (Linux), or 0 where unavailable.
+fn vm_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Best-of-`n` wall-clock of `work`, in milliseconds, keeping the last
+/// result alive so the optimizer cannot elide the work.
+fn best_of<T>(n: usize, mut work: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..n {
+        let t = Instant::now();
+        let r = work();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    let Some(last) = last else {
+        unreachable!("best_of requires n >= 1");
+    };
+    (best, last)
+}
+
+/// Percentile of a sorted slice of millisecond samples.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run one curve point. Returns its JSON and whether every in-run
+/// invariant held.
+fn run_size(n: usize) -> (Value, bool) {
+    eprintln!("[scale_curve] === {n} structures ===");
+    let rss0 = vm_rss_kb();
+    let structures = synthetic_structures(n);
+    let qs = queries(&structures);
+
+    // Build: the cost a zero-copy load avoids.
+    let t = Instant::now();
+    let built = StructureIndex::build(structures, Weights::PAPER);
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let rss_built_kb = vm_rss_kb().saturating_sub(rss0);
+    eprintln!(
+        "[scale_curve] build {build_ms:.0} ms, {} nodes, {} segments, rss +{} MiB",
+        built.total_nodes(),
+        built.segment_count(),
+        rss_built_kb / 1024
+    );
+
+    let image = match to_bytes(&built) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("[scale_curve] FAIL: serialize: {e}");
+            return (json!({"structures": n, "error": e.to_string()}), false);
+        }
+    };
+    let image_bytes = image.len();
+
+    // Zero-copy load: validate-then-borrow, best of 5. The recorder proves
+    // the borrow path ran (zero_copy = 1 per load, rebuild = 0, one
+    // segment validation per segment) — i.e. no per-node rebuild happened.
+    let load_rec = Recorder::enabled();
+    let rss_before_load = vm_rss_kb();
+    let (load_zero_copy_ms, borrowed) = best_of(5, || {
+        speakql_index::from_shared_observed(image.clone(), &load_rec)
+    });
+    let borrowed = match borrowed {
+        Ok(ix) => ix,
+        Err(e) => {
+            eprintln!("[scale_curve] FAIL: zero-copy load: {e}");
+            return (json!({"structures": n, "error": e.to_string()}), false);
+        }
+    };
+    let rss_loaded_kb = vm_rss_kb().saturating_sub(rss_before_load);
+    let mut pass = true;
+    if load_rec.counter(CounterId::IndexLoadZeroCopy) != 5
+        || load_rec.counter(CounterId::IndexLoadRebuild) != 0
+        || load_rec.counter(CounterId::IndexLoadSegments) != 5 * built.segment_count() as u64
+    {
+        eprintln!(
+            "[scale_curve] FAIL: load counters do not prove the zero-copy path \
+             (zero_copy {}, rebuild {}, segments {})",
+            load_rec.counter(CounterId::IndexLoadZeroCopy),
+            load_rec.counter(CounterId::IndexLoadRebuild),
+            load_rec.counter(CounterId::IndexLoadSegments),
+        );
+        pass = false;
+    }
+
+    // Rebuild load: decode + full arena build, what a v1 loader does.
+    let rebuild_rec = Recorder::enabled();
+    let (rebuild_ms, rebuilt) = best_of(2, || from_bytes_rebuilt_observed(&image, &rebuild_rec));
+    let rebuilt = match rebuilt {
+        Ok(ix) => ix,
+        Err(e) => {
+            eprintln!("[scale_curve] FAIL: rebuild load: {e}");
+            return (json!({"structures": n, "error": e.to_string()}), false);
+        }
+    };
+    let load_speedup = rebuild_ms / load_zero_copy_ms.max(1e-9);
+    eprintln!(
+        "[scale_curve] load: zero-copy {load_zero_copy_ms:.2} ms vs rebuild {rebuild_ms:.0} ms \
+         ({load_speedup:.1}x)"
+    );
+    if n >= CHECK_SIZE && load_speedup < MIN_LOAD_SPEEDUP {
+        eprintln!(
+            "[scale_curve] FAIL: zero-copy load only {load_speedup:.1}x faster than rebuild \
+             (need >= {MIN_LOAD_SPEEDUP:.0}x at {n} structures)"
+        );
+        pass = false;
+    }
+
+    // Search: sequential baseline with aggregated deterministic stats.
+    let cfg = SearchConfig {
+        k: 5,
+        ..SearchConfig::default()
+    };
+    let mut agg = speakql_index::SearchStats::default();
+    let mut seq_ms = Vec::with_capacity(qs.len());
+    let mut built_hits = Vec::with_capacity(qs.len());
+    for q in &qs {
+        let t = Instant::now();
+        let (hits, stats) = built.search_with_stats(q, &cfg);
+        seq_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        built_hits.push(hits);
+        agg.nodes_visited += stats.nodes_visited;
+        agg.tries_searched += stats.tries_searched;
+        agg.tries_pruned += stats.tries_pruned;
+        agg.cells_evaluated += stats.cells_evaluated;
+        agg.shards_searched += stats.shards_searched;
+        agg.shards_pruned += stats.shards_pruned;
+    }
+    seq_ms.sort_by(|a, b| a.total_cmp(b));
+
+    // Borrowed search must be byte-identical to the built arena's.
+    for (q, want) in qs.iter().zip(&built_hits) {
+        if &borrowed.search(q, &cfg) != want || &rebuilt.search(q, &cfg) != want {
+            eprintln!("[scale_curve] FAIL: loaded index search differs from built arena");
+            pass = false;
+            break;
+        }
+    }
+
+    // Parallel search: byte-identical at 8 threads; wall-clock honest (on
+    // a 1-core host this reports ~1x — the gate is the identity, the
+    // speedup is reporting).
+    let par_cfg = cfg.with_threads(8);
+    let mut par_ms = Vec::with_capacity(qs.len());
+    for (q, want) in qs.iter().zip(&built_hits) {
+        let t = Instant::now();
+        let hits = built.search(q, &par_cfg);
+        par_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        if &hits != want {
+            eprintln!("[scale_curve] FAIL: parallel search differs from sequential");
+            pass = false;
+        }
+    }
+    par_ms.sort_by(|a, b| a.total_cmp(b));
+
+    // BDB / INV tradeoff timings (reported, not gated): where each stops
+    // paying shows up as the ratio crossing 1.
+    let no_bdb = SearchConfig { bdb: false, ..cfg };
+    let (no_bdb_ms, _) = best_of(1, || {
+        qs.iter()
+            .map(|q| built.search(q, &no_bdb).len())
+            .sum::<usize>()
+    });
+    let inv = SearchConfig { inv: true, ..cfg };
+    let (inv_ms, _) = best_of(1, || {
+        qs.iter()
+            .map(|q| built.search(q, &inv).len())
+            .sum::<usize>()
+    });
+    let seq_total: f64 = seq_ms.iter().sum();
+
+    eprintln!(
+        "[scale_curve] search p50 {:.1} ms p95 {:.1} ms (8 threads p95 {:.1} ms); \
+         {} queries: bdb-on {:.0} ms, bdb-off {:.0} ms, inv {:.0} ms",
+        percentile(&seq_ms, 0.5),
+        percentile(&seq_ms, 0.95),
+        percentile(&par_ms, 0.95),
+        qs.len(),
+        seq_total,
+        no_bdb_ms,
+        inv_ms,
+    );
+
+    let mut counters = Map::new();
+    counters.insert("index.load.zero_copy".into(), json!(1));
+    counters.insert("index.load.rebuild".into(), json!(1));
+    counters.insert(
+        "index.load.segments_validated".into(),
+        json!(built.segment_count() as u64),
+    );
+    counters.insert("search.nodes_visited".into(), json!(agg.nodes_visited));
+    counters.insert(
+        "search.tries_searched".into(),
+        json!(u64::from(agg.tries_searched)),
+    );
+    counters.insert(
+        "search.tries_pruned_bdb".into(),
+        json!(u64::from(agg.tries_pruned)),
+    );
+    counters.insert(
+        "search.shards_searched".into(),
+        json!(u64::from(agg.shards_searched)),
+    );
+    counters.insert(
+        "search.shards_pruned_bdb".into(),
+        json!(u64::from(agg.shards_pruned)),
+    );
+    counters.insert(
+        "editdist.cells_evaluated".into(),
+        json!(agg.cells_evaluated),
+    );
+
+    let point = json!({
+        "structures": n,
+        "trie_nodes": built.total_nodes(),
+        "segments": built.segment_count(),
+        "image_bytes": image_bytes,
+        "build_ms": build_ms,
+        "load_zero_copy_ms": load_zero_copy_ms,
+        "load_rebuild_ms": rebuild_ms,
+        "load_speedup": load_speedup,
+        "rss_built_kb": rss_built_kb,
+        "rss_loaded_kb": rss_loaded_kb,
+        "search_p50_ms": percentile(&seq_ms, 0.5),
+        "search_p95_ms": percentile(&seq_ms, 0.95),
+        "search_p95_ms_8_threads": percentile(&par_ms, 0.95),
+        "search_total_ms": seq_total,
+        "search_total_ms_bdb_off": no_bdb_ms,
+        "search_total_ms_inv": inv_ms,
+        "counters": Value::Object(counters),
+    });
+    (point, pass)
+}
+
+/// Gate the check-size counters and load wall-clock against the committed
+/// baseline: exact counters (two-sided ratchet on the bulk work metrics)
+/// and a two-sided band on load wall-clock.
+fn compare(baseline: &Value, current: &Value, baseline_path: &str) -> ExitCode {
+    let mut regressions = 0usize;
+    let base_counters = baseline
+        .get("counters")
+        .and_then(Value::as_object)
+        .cloned()
+        .unwrap_or_default();
+    let cur_counters = current
+        .get("counters")
+        .and_then(Value::as_object)
+        .cloned()
+        .unwrap_or_default();
+    let mut names: Vec<&String> = base_counters.keys().chain(cur_counters.keys()).collect();
+    names.sort();
+    names.dedup();
+    println!(
+        "{:<34} {:>16} {:>16}  status",
+        "metric", "baseline", "current"
+    );
+    for name in names {
+        let base = base_counters.get(name.as_str()).and_then(Value::as_u64);
+        let cur = cur_counters.get(name.as_str()).and_then(Value::as_u64);
+        let ratcheted = RATCHETED_COUNTERS.contains(&name.as_str());
+        let status = match (base, cur) {
+            (Some(b), Some(c)) if b == c => "ok".to_string(),
+            (Some(b), Some(c)) if ratcheted && c > b => {
+                regressions += 1;
+                format!("REGRESSION (+{:.0}%)", (c as f64 / b as f64 - 1.0) * 100.0)
+            }
+            (Some(b), Some(c)) if ratcheted && (c as f64) * MAX_IMPROVEMENT < b as f64 => {
+                regressions += 1;
+                format!(
+                    "DRIFT ({:.0}x better than baseline; refresh it)",
+                    b as f64 / c.max(1) as f64
+                )
+            }
+            (Some(b), Some(c)) if ratcheted => {
+                format!(
+                    "ok (-{:.0}%, ratchet band)",
+                    (1.0 - c as f64 / b as f64) * 100.0
+                )
+            }
+            (Some(_), Some(_)) => {
+                regressions += 1;
+                "MISMATCH".to_string()
+            }
+            _ => {
+                regressions += 1;
+                "MISSING".to_string()
+            }
+        };
+        println!(
+            "{name:<34} {:>16} {:>16}  {status}",
+            base.map_or("-".into(), |v: u64| v.to_string()),
+            cur.map_or("-".into(), |v: u64| v.to_string()),
+        );
+    }
+
+    let base_load = baseline.get("load_zero_copy_ms").and_then(Value::as_f64);
+    let cur_load = current.get("load_zero_copy_ms").and_then(Value::as_f64);
+    if let (Some(b), Some(c)) = (base_load, cur_load) {
+        let ratio = if b > 0.0 { c / b } else { f64::INFINITY };
+        let status = if ratio > 1.0 + WALL_CLOCK_TOLERANCE {
+            regressions += 1;
+            format!("REGRESSION (+{:.0}%)", (ratio - 1.0) * 100.0)
+        } else if ratio * MAX_IMPROVEMENT < 1.0 {
+            regressions += 1;
+            format!(
+                "DRIFT ({:.0}x faster than baseline; refresh it)",
+                1.0 / ratio.max(1e-9)
+            )
+        } else {
+            format!("ok ({:+.0}%)", (ratio - 1.0) * 100.0)
+        };
+        println!("{:<34} {b:>16.2} {c:>16.2}  {status}", "load_zero_copy_ms");
+    } else {
+        regressions += 1;
+        println!(
+            "{:<34} {:>16} {:>16}  MISSING",
+            "load_zero_copy_ms", "-", "-"
+        );
+    }
+
+    if regressions > 0 {
+        eprintln!(
+            "\n[scale_curve] FAIL: {regressions} metric(s) regressed vs {baseline_path}. \
+             If the change is intentional, regenerate the baseline with \
+             `cargo run --release -p speakql-bench --bin scale_curve -- --out {baseline_path}` \
+             (CI runs the {CHECK_SIZE}-structure point)."
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!(
+            "\n[scale_curve] PASS: load counters exact, work counters in band, \
+             load wall-clock within the two-sided band."
+        );
+        ExitCode::SUCCESS
+    }
+}

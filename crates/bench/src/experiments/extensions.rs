@@ -55,10 +55,7 @@ pub fn ablation_weights(suite: &Suite) {
             let ted = hits
                 .first()
                 .map(|h| {
-                    token_edit_distance(
-                        &r.gt_structure.tokens,
-                        &index.structure(h.structure).tokens,
-                    )
+                    token_edit_distance(&r.gt_structure.tokens, index.structure_tokens(h.structure))
                 })
                 .unwrap_or(r.gt_structure.len());
             if ted == 0 {
@@ -332,10 +329,7 @@ pub fn scaling(suite: &Suite) {
             let ted = hits
                 .first()
                 .map(|h| {
-                    token_edit_distance(
-                        &r.gt_structure.tokens,
-                        &index.structure(h.structure).tokens,
-                    )
+                    token_edit_distance(&r.gt_structure.tokens, index.structure_tokens(h.structure))
                 })
                 .unwrap_or(usize::MAX);
             if ted == 0 {

@@ -122,10 +122,7 @@ pub fn fig15(suite: &Suite) {
             let ted = hits
                 .first()
                 .map(|h| {
-                    token_edit_distance(
-                        &r.gt_structure.tokens,
-                        &index.structure(h.structure).tokens,
-                    )
+                    token_edit_distance(&r.gt_structure.tokens, index.structure_tokens(h.structure))
                 })
                 .unwrap_or(r.gt_structure.len());
             teds.push(ted as f64);

@@ -606,8 +606,10 @@ fn run_server_fault_cases() -> Vec<CaseOutcome> {
     outcomes
 }
 
-/// Serialize a small index, then replay truncations and bit-flips through
-/// the decoder. Every corruption must yield `Err(PersistError)`.
+/// Serialize a small index, then replay truncations, bit-flips, and
+/// checksum corruption through the decoder. Every corruption must yield a
+/// typed `PersistError` whose stable `class()` is in the case's expected
+/// set — never a panic, never a successful decode.
 fn run_corrupted_index_cases() -> Vec<CaseOutcome> {
     let cfg = SpeakQlConfig::small();
     let index = StructureIndex::from_grammar(&cfg.generator, cfg.weights);
@@ -624,45 +626,117 @@ fn run_corrupted_index_cases() -> Vec<CaseOutcome> {
     };
 
     let mut outcomes = Vec::new();
-    let mut check = |case: String, data: Vec<u8>, must_error: bool| {
+    // Each case pins the typed error class(es) the corruption must map to;
+    // an unexpected class is as much a failure as a decode or a panic.
+    let mut check = |case: String, data: Vec<u8>, classes: &[&str]| {
         let got = trap(|| match speakql_index::from_bytes(&data) {
             Ok(_) => "decoded".to_string(),
-            Err(e) => format!("err:{e}"),
+            Err(e) => format!("err:{}", e.class()),
         });
+        let pass = classes.iter().any(|c| got == format!("err:{c}"));
         outcomes.push(CaseOutcome {
             case,
             layer: "persist",
-            pass: if must_error {
-                got.starts_with("err:")
-            } else {
-                got != "panic"
-            },
+            pass,
             observed: got,
         });
     };
 
-    // Truncations at the header boundary, mid-payload, and one byte short —
-    // the format's trailing-bytes check makes every truncation an error.
-    for cut in [0usize, 3, 9, bytes.len() / 2, bytes.len() - 1] {
-        check(format!("truncated_at_{cut}"), bytes[..cut].to_vec(), true);
+    let n = bytes.len();
+    // Truncations: before the magic, inside it, inside the header, mid
+    // block A, and one byte short. Anything cut before the 4-byte magic
+    // reads as not-an-index; past it, as a structural truncation.
+    for (cut, classes) in [
+        (0usize, &["bad_magic"] as &[&str]),
+        (3, &["bad_magic"]),
+        (9, &["corrupt"]),
+        (n / 2, &["corrupt", "bad_checksum"]),
+        (n - 1, &["corrupt"]),
+    ] {
+        check(
+            format!("truncated_at_{cut}"),
+            bytes[..cut].to_vec(),
+            classes,
+        );
     }
-    // Bit flips in the magic, the version, and the structure-count field
-    // must all be rejected.
-    for (name, pos) in [("magic", 1usize), ("version", 5), ("count", 18)] {
-        if pos < bytes.len() {
-            let mut data = bytes.to_vec();
-            data[pos] ^= 0x80;
-            check(format!("bitflip_{name}"), data, true);
-        }
-    }
-    // A body flip may land on a field (e.g. a placeholder governor) whose
-    // every value decodes; the contract there is no-panic, not must-error.
-    if bytes.len() > 40 {
+    // Segment-boundary truncations: cut exactly at the final segment's
+    // checksum (so every plane is intact but the seal is gone) and four
+    // bytes into its structure plane.
+    check(
+        "truncated_segment_checksum".to_string(),
+        bytes[..n - 8].to_vec(),
+        &["corrupt"],
+    );
+    check(
+        "truncated_segment_plane".to_string(),
+        bytes[..n - 12].to_vec(),
+        &["corrupt"],
+    );
+    // Bit flips in the magic, the version, and the structure-count field.
+    for (name, pos, classes) in [
+        ("magic", 1usize, &["bad_magic"] as &[&str]),
+        ("version", 5, &["bad_version"]),
+        ("count", 18, &["corrupt"]),
+    ] {
         let mut data = bytes.to_vec();
-        data[40] ^= 0x80;
-        check("bitflip_body".to_string(), data, false);
+        data[pos] ^= 0x80;
+        check(format!("bitflip_{name}"), data, classes);
     }
+    // Body flips now land under a checksum: a flipped structure-plane byte
+    // (offset 40 is inside block A) must fail the block checksum, and a
+    // flipped byte in the trie node planes must fail its segment checksum.
+    let mut data = bytes.to_vec();
+    data[40] ^= 0x80;
+    check("checksum_flip_block_a".to_string(), data, &["bad_checksum"]);
+    let mut data = bytes.to_vec();
+    data[n - 20] ^= 0x80;
+    check("checksum_flip_segment".to_string(), data, &["bad_checksum"]);
+    // Flipping the recorded checksum itself (the file's final 8 bytes)
+    // must be caught the same way as flipping the sealed data.
+    let mut data = bytes.to_vec();
+    data[n - 1] ^= 0x01;
+    check(
+        "checksum_flip_recorded".to_string(),
+        data,
+        &["bad_checksum"],
+    );
     // Garbage of plausible length.
-    check("garbage".to_string(), vec![0xAB; 256], true);
+    check("garbage".to_string(), vec![0xAB; 256], &["bad_magic"]);
+
+    // Engine boundary: loading a corrupted persisted index through
+    // `SpeakQl::with_persisted_index` surfaces the typed `IndexLoad` error
+    // carrying the persist layer's class, instead of panicking or yielding
+    // an engine over garbage.
+    {
+        let got = trap(|| {
+            let dir = std::env::temp_dir().join("speakql-fault-index");
+            if std::fs::create_dir_all(&dir).is_err() {
+                return "tempdir failed".to_string();
+            }
+            let path = dir.join("corrupt.sqlx");
+            let mut data = bytes.to_vec();
+            data[n - 20] ^= 0x80;
+            if std::fs::write(&path, &data).is_err() {
+                return "write failed".to_string();
+            }
+            let out = match SpeakQl::with_persisted_index(
+                &harness_db(),
+                &path,
+                SpeakQlConfig::small().with_observability(true),
+            ) {
+                Ok(_) => "engine built over corrupt index".to_string(),
+                Err(SpeakQlError::IndexLoad { class, .. }) => format!("index_load:{class}"),
+                Err(e) => format!("wrong error: {}", e.class()),
+            };
+            std::fs::remove_file(&path).ok();
+            out
+        });
+        outcomes.push(CaseOutcome {
+            case: "engine_index_load".to_string(),
+            layer: "engine",
+            pass: got == "index_load:bad_checksum",
+            observed: got,
+        });
+    }
     outcomes
 }

@@ -26,15 +26,19 @@ const USAGE: &str = "\
 speakql — speech-driven SQL correction (SpeakQL-rs)
 
 USAGE:
-  speakql transcribe <transcript...> [--threads N] [--cache N] [--report FILE]
+  speakql transcribe <transcript...> [--threads N] [--cache N] [--index-cache FILE] [--report FILE]
                                             correct an ASR transcript and execute it
-  speakql transcribe --batch <file> [--threads N] [--cache N] [--report FILE]
+  speakql transcribe --batch <file> [--threads N] [--cache N] [--index-cache FILE] [--report FILE]
                                             correct one transcript per line of <file>
                                             on N worker threads (0 = all cores);
                                             emits TSV of (transcript, corrected SQL).
                                             --cache N enables the cross-query
                                             skeleton-result cache with N entries
                                             (0 = off, the default).
+                                            --index-cache FILE loads the structure
+                                            index zero-copy from FILE if it exists,
+                                            else builds it and persists it there
+                                            for the next run.
                                             --report writes a JSON pipeline
                                             observability report (stage latency
                                             percentiles + work counters) to FILE
@@ -114,18 +118,50 @@ fn engine() -> SpeakQl {
 }
 
 fn engine_with(threads: usize, observe: bool, cache: usize) -> SpeakQl {
+    engine_with_index_cache(threads, observe, cache, None)
+}
+
+/// Build the CLI engine, optionally through a persisted index cache: when
+/// `index_cache` names an existing file it is loaded through the zero-copy
+/// validate-then-borrow path (no structure regeneration, no trie rebuild);
+/// otherwise the engine generates the structure space and persists the
+/// index there for the next invocation. A cache that fails to load is
+/// reported with its typed error class and rebuilt in place.
+fn engine_with_index_cache(
+    threads: usize,
+    observe: bool,
+    cache: usize,
+    index_cache: Option<&str>,
+) -> SpeakQl {
     let db = employees_db();
-    eprintln!("[speakql] building engine ...");
-    SpeakQl::new(
-        &db,
-        SpeakQlConfig {
-            generator: scale_config(),
-            ..SpeakQlConfig::paper()
+    let config = SpeakQlConfig {
+        generator: scale_config(),
+        ..SpeakQlConfig::paper()
+    }
+    .with_threads(threads)
+    .with_observability(observe)
+    .with_cache_capacity(cache);
+    if let Some(path) = index_cache {
+        if std::path::Path::new(path).exists() {
+            eprintln!("[speakql] loading index cache {path} ...");
+            match SpeakQl::with_persisted_index(&db, path, config.clone()) {
+                Ok(engine) => return engine,
+                Err(e) => {
+                    eprintln!("[speakql] index cache unusable ({}): {e}", e.class());
+                    eprintln!("[speakql] rebuilding and replacing {path}");
+                }
+            }
         }
-        .with_threads(threads)
-        .with_observability(observe)
-        .with_cache_capacity(cache),
-    )
+    }
+    eprintln!("[speakql] building engine ...");
+    let engine = SpeakQl::new(&db, config);
+    if let Some(path) = index_cache {
+        match speakql_index::save_to_path(engine.index(), path) {
+            Ok(()) => eprintln!("[speakql] index cache written to {path}"),
+            Err(e) => eprintln!("[speakql] could not write index cache {path}: {e}"),
+        }
+    }
+    engine
 }
 
 /// Write the engine's observability report as JSON to `path`.
@@ -183,19 +219,26 @@ fn cmd_transcribe(args: &[String]) -> ExitCode {
     let (rest, batch) = take_flag(&rest, "--batch");
     let (rest, cache) = take_flag(&rest, "--cache");
     let (rest, report) = take_flag(&rest, "--report");
+    let (rest, index_cache) = take_flag(&rest, "--index-cache");
     let threads: usize = threads.and_then(|s| s.parse().ok()).unwrap_or(1);
     let cache: usize = cache.and_then(|s| s.parse().ok()).unwrap_or(0);
     if let Some(path) = batch {
-        return cmd_transcribe_batch(&path, threads, cache, report.as_deref());
+        return cmd_transcribe_batch(
+            &path,
+            threads,
+            cache,
+            report.as_deref(),
+            index_cache.as_deref(),
+        );
     }
     if rest.is_empty() {
         eprintln!(
-            "usage: speakql transcribe <transcript...> [--threads N] [--cache N] [--batch <file>] [--report FILE]"
+            "usage: speakql transcribe <transcript...> [--threads N] [--cache N] [--index-cache FILE] [--batch <file>] [--report FILE]"
         );
         return ExitCode::from(2);
     }
     let transcript = rest.join(" ");
-    let engine = engine_with(threads, report.is_some(), cache);
+    let engine = engine_with_index_cache(threads, report.is_some(), cache, index_cache.as_deref());
     let result = engine.transcribe(&transcript);
     println!("heard     : {transcript}");
     let code = show_result(&result);
@@ -214,6 +257,7 @@ fn cmd_transcribe_batch(
     threads: usize,
     cache: usize,
     report: Option<&str>,
+    index_cache: Option<&str>,
 ) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -231,7 +275,7 @@ fn cmd_transcribe_batch(
         eprintln!("no transcripts in {path}");
         return ExitCode::FAILURE;
     }
-    let engine = engine_with(threads, report.is_some(), cache);
+    let engine = engine_with_index_cache(threads, report.is_some(), cache, index_cache);
     let start = std::time::Instant::now();
     let results = engine.transcribe_batch(&lines);
     let elapsed = start.elapsed();
@@ -354,6 +398,7 @@ fn cmd_index_info(args: &[String]) -> ExitCode {
         Ok(index) => {
             println!("structures : {}", index.len());
             println!("trie nodes : {}", index.total_nodes());
+            println!("segments   : {}", index.segment_count());
             let w = index.weights();
             println!(
                 "weights    : keyword {:.1}, splchar {:.1}, literal {:.1}",
@@ -361,7 +406,9 @@ fn cmd_index_info(args: &[String]) -> ExitCode {
                 w.splchar as f64 / 10.0,
                 w.literal as f64 / 10.0
             );
-            let lens: Vec<usize> = index.structures().iter().map(|s| s.len()).collect();
+            let lens: Vec<usize> = (0..index.len() as u32)
+                .map(|id| index.structure_tokens(id).len())
+                .collect();
             println!(
                 "lengths    : min {}, max {}",
                 lens.iter().min().unwrap_or(&0),

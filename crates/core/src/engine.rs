@@ -280,6 +280,38 @@ impl SpeakQl {
         SpeakQl::with_index(db, index, config)
     }
 
+    /// Build an engine around a structure index persisted at `path`,
+    /// loading it through the zero-copy validate-then-borrow path (see
+    /// `speakql_index::persist`): no per-node rebuild, O(segments)
+    /// validation plus linear checksums. Load failures surface as the typed
+    /// [`SpeakQlError::IndexLoad`] — carrying the persist layer's stable
+    /// error class — and increment `engine.errors.index_load` on the
+    /// engine-to-be's recorder semantics (a fresh recorder honoring
+    /// `config.observe`, since there is no engine yet to own one).
+    pub fn with_persisted_index(
+        db: &Database,
+        path: impl AsRef<std::path::Path>,
+        config: SpeakQlConfig,
+    ) -> SpeakQlResult<SpeakQl> {
+        let recorder = Recorder::new(config.observe);
+        match speakql_index::load_from_path_observed(path, &recorder) {
+            Ok(index) => {
+                let mut engine = SpeakQl::with_index(db, Arc::new(index), config);
+                // Keep the load counters: the engine adopts the recorder
+                // that observed its own index load.
+                engine.recorder = recorder;
+                Ok(engine)
+            }
+            Err(e) => {
+                recorder.incr(CounterId::ErrorsIndexLoad);
+                Err(SpeakQlError::IndexLoad {
+                    class: e.class(),
+                    message: e.to_string(),
+                })
+            }
+        }
+    }
+
     /// Build an engine around a pre-built structure index (lets experiments
     /// share one index across many databases/configs).
     pub fn with_index(db: &Database, index: Arc<StructureIndex>, config: SpeakQlConfig) -> SpeakQl {
@@ -702,7 +734,7 @@ impl SpeakQl {
         let finder = LiteralFinder::new(&self.catalog, self.config.literal)
             .with_recorder(self.recorder.clone())
             .with_encodings(encodings);
-        let structure = index.structure(hit.structure).clone();
+        let structure = index.structure(hit.structure);
         let t0 = Instant::now();
         let literals = finder.fill_aligned(
             &processed.words,

@@ -14,9 +14,13 @@
 
 pub mod persist;
 pub mod search;
+pub(crate) mod store;
 pub mod trie;
 
-pub use persist::{from_bytes, load_from_path, save_to_path, to_bytes, PersistError};
+pub use persist::{
+    from_bytes, from_bytes_rebuilt, from_bytes_rebuilt_observed, from_shared, from_shared_observed,
+    load_from_path, load_from_path_observed, save_to_path, to_bytes, PersistError,
+};
 pub use search::{DpKernel, SearchConfig, SearchHit, SearchStats, StructureIndex};
 pub use trie::Trie;
 

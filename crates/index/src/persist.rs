@@ -1,23 +1,66 @@
 //! Binary persistence for the structure index.
 //!
 //! The Structure Generator is an *offline* component (paper §3.2); real
-//! deployments build the ~1.6M-structure space once and ship it. This module
-//! serializes the structure arena to a compact binary format (~20 bytes per
-//! structure); tries are rebuilt on load, which keeps the format trivial and
-//! forward-compatible with trie-layout changes.
+//! deployments build the ~1.6M-structure space once and ship it. Version 2
+//! of the on-disk format is a **segmented, fixed-layout image** designed for
+//! validate-then-borrow loading: the header and per-segment table are
+//! validated in O(segments) bounds checks, the bulk planes in linear
+//! checksum + structural passes, and then the trie node planes are borrowed
+//! **zero-copy** as [`Bytes`] views (`Trie::from_view`) — no per-node
+//! rebuild, no per-node allocation. Only the structure arena (two small
+//! `Vec`s per structure) and the 19 inverted posting lists are materialized,
+//! one linear decode each; the tries, which dominate build cost, are not
+//! reconstructed at all.
+//!
+//! ## Format (version 2, all offsets relative to the image start)
+//!
+//! ```text
+//! header   (32 B): magic "SQLX" · version u16 BE · weights 3×u32 BE ·
+//!                  structure count u32 BE · max token length u32 BE ·
+//!                  segment count u32 BE · 2 B padding
+//! block A        : tok_offsets (count+1)×u32 LE  · token plane (u8, pad4) ·
+//!                  ph_offsets  (count+1)×u32 LE  · placeholder plane
+//!                  (category u8 + governor u16 LE each, pad4) ·
+//!                  inv_offsets 20×u32 LE · posting plane (u32 LE) ·
+//!                  checksum u64 LE (FNV-1a-64 over block A)
+//! seg table      : per segment: trie length u32 LE · node count u32 LE
+//! per segment    : token plane (u8, pad4) · first-child plane (u32 LE) ·
+//!                  next-sibling plane (u32 LE) · structure plane (u32 LE) ·
+//!                  checksum u64 LE (FNV-1a-64 over the four planes)
+//! ```
+//!
+//! Every plane starts 4-byte-aligned (the header is padded to 32 bytes and
+//! each sub-4 plane is zero-padded), so a future typed-cast loader could
+//! borrow the `u32` planes directly; today's accessors read little-endian
+//! words through safe byte views, for which the padding is merely layout
+//! hygiene. Version 1 images (structure arena only, tries rebuilt on load)
+//! remain readable through the legacy deserialize-and-rebuild path.
 
 use crate::search::StructureIndex;
+use crate::store::{FlatStore, StructStore};
+use crate::trie::Trie;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use speakql_editdist::Weights;
 use speakql_grammar::{LitCategory, Placeholder, StructTokId, Structure, STRUCT_ALPHABET};
+use speakql_observe::{CounterId, Recorder};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"SQLX";
-const VERSION: u16 = 1;
+/// Current (segmented, zero-copy) format version.
+const VERSION: u16 = 2;
+/// Legacy structure-arena-only format, rebuilt on load.
+const VERSION_V1: u16 = 1;
 const GOVERNOR_NONE: u16 = u16::MAX;
+/// Header size including the 2 alignment padding bytes.
+const HEADER_LEN: usize = 32;
+/// Number of inverted posting lists (one per non-SELECT/FROM/WHERE keyword
+/// slot; see `StructureIndex::build`).
+const INV_LISTS: usize = 19;
+/// Sentinel for "no child / no sibling / no structure" in the node planes.
+const NODE_NONE: u32 = u32::MAX;
 
 /// Errors loading a persisted index.
 #[derive(Debug)]
@@ -27,11 +70,27 @@ pub enum PersistError {
     BadMagic,
     /// Produced by an incompatible version.
     BadVersion(u16),
+    /// A checksummed block does not hash to its recorded checksum.
+    BadChecksum(&'static str),
     /// Structurally invalid payload.
     Corrupt(&'static str),
     /// The index cannot be represented in the format's length fields
     /// (e.g. a structure longer than 255 tokens).
     TooLarge(&'static str),
+}
+
+impl PersistError {
+    /// Stable, low-cardinality error class for counters and fault triage.
+    pub fn class(&self) -> &'static str {
+        match self {
+            PersistError::Io(_) => "io",
+            PersistError::BadMagic => "bad_magic",
+            PersistError::BadVersion(_) => "bad_version",
+            PersistError::BadChecksum(_) => "bad_checksum",
+            PersistError::Corrupt(_) => "corrupt",
+            PersistError::TooLarge(_) => "too_large",
+        }
+    }
 }
 
 impl fmt::Display for PersistError {
@@ -40,6 +99,7 @@ impl fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::BadMagic => f.write_str("not a SpeakQL index file"),
             PersistError::BadVersion(v) => write!(f, "unsupported index version {v}"),
+            PersistError::BadChecksum(what) => write!(f, "checksum mismatch in {what}"),
             PersistError::Corrupt(what) => write!(f, "corrupt index file: {what}"),
             PersistError::TooLarge(what) => write!(f, "index not representable: {what}"),
         }
@@ -73,58 +133,623 @@ fn category_from(code: u8) -> Result<LitCategory, PersistError> {
     })
 }
 
-/// Checked narrowing for the format's one-byte length fields: a silent
-/// `as u8` here would truncate and corrupt the index at rest.
-fn len_u8(n: usize, what: &'static str) -> Result<u8, PersistError> {
-    u8::try_from(n).map_err(|_| PersistError::TooLarge(what))
+/// FNV-1a-64 folded over little-endian 64-bit words (8× fewer multiplies
+/// than the byte-at-a-time reference on the multi-megabyte node planes),
+/// with the byte length mixed in so zero-padded tails still bind.
+fn checksum64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET ^ (data.len() as u64).wrapping_mul(PRIME);
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        if let &[a, b, c0, d, e, f, g, i] = c {
+            h ^= u64::from_le_bytes([a, b, c0, d, e, f, g, i]);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h ^= u64::from_le_bytes(tail);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
 }
 
-/// Serialize the index's structure arena and weights.
+/// Fx-style non-cryptographic hasher (rotate–xor–multiply per word) for
+/// the duplicate-structure sweep. The keys come from the image being
+/// validated, not from an attacker-controlled hash-flooding surface, so
+/// trading SipHash's flood resistance for an order of magnitude on a
+/// million short keys is the right call here — and only here.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl std::hash::Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            if let &[a, b, c0, d, e, f, g, h] = c {
+                let word = u64::from_le_bytes([a, b, c0, d, e, f, g, h]);
+                self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+            }
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            let word = u64::from_le_bytes(tail) ^ (rem.len() as u64) << 56;
+            self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FxHasher`].
+#[derive(Clone, Default)]
+struct BuildFx;
+
+impl std::hash::BuildHasher for BuildFx {
+    type Hasher = FxHasher;
+
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// Zero-pad `buf` to the next 4-byte boundary.
+fn pad4(buf: &mut BytesMut) {
+    while !buf.len().is_multiple_of(4) {
+        buf.put_u8(0);
+    }
+}
+
+/// Checked narrowing for the format's fixed-width fields: a silent `as`
+/// here would truncate and corrupt the index at rest.
+fn len_u32(n: usize, what: &'static str) -> Result<u32, PersistError> {
+    u32::try_from(n).map_err(|_| PersistError::TooLarge(what))
+}
+
+/// Serialize the index — structure arena, inverted posting lists, and the
+/// sharded trie node planes — into a version-2 segmented image.
 ///
 /// Fails with [`PersistError::TooLarge`] if any length exceeds the format's
 /// fixed-width fields instead of silently truncating.
 pub fn to_bytes(index: &StructureIndex) -> Result<Bytes, PersistError> {
-    let structures = index.structures();
-    let mut buf = BytesMut::with_capacity(16 + structures.len() * 24);
+    let store = index.store();
+    let count = len_u32(store.len(), "more than u32::MAX structures")?;
+    let segments: Vec<&Trie> = index.tries().iter().flatten().collect();
+    let total_nodes = index.total_nodes();
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + store.len() * 32 + total_nodes * 16);
+
     buf.put_slice(MAGIC);
     buf.put_u16(VERSION);
     let w = index.weights();
     buf.put_u32(w.keyword);
     buf.put_u32(w.splchar);
     buf.put_u32(w.literal);
-    let count = u32::try_from(structures.len())
-        .map_err(|_| PersistError::TooLarge("more than u32::MAX structures"))?;
     buf.put_u32(count);
-    for s in structures {
-        buf.put_u8(len_u8(s.tokens.len(), "structure longer than 255 tokens")?);
-        for t in &s.tokens {
+    buf.put_u32(len_u32(index.max_len(), "structure longer than u32::MAX")?);
+    buf.put_u32(len_u32(segments.len(), "more than u32::MAX segments")?);
+    buf.put_u16(0); // pad the header to 32 bytes (4-byte plane alignment)
+    debug_assert_eq!(buf.len(), HEADER_LEN);
+
+    // Block A: structure token/placeholder planes + inverted posting lists.
+    let block_a = buf.len();
+    let mut off: u32 = 0;
+    for id in 0..store.len() {
+        buf.put_u32_le(off);
+        let n_tok = store.token_len(id);
+        if n_tok > 255 {
+            return Err(PersistError::TooLarge("structure longer than 255 tokens"));
+        }
+        off = off
+            // lossy: n_tok <= 255 is checked above
+            .checked_add(n_tok as u32)
+            .ok_or(PersistError::TooLarge("token plane exceeds u32"))?;
+    }
+    buf.put_u32_le(off);
+    for id in 0..store.len() {
+        for t in store.tokens(id) {
             buf.put_u8(t.0);
         }
-        buf.put_u8(len_u8(
-            s.placeholders.len(),
-            "structure with more than 255 placeholders",
-        )?);
-        for p in &s.placeholders {
-            buf.put_u8(category_code(p.category));
-            buf.put_u16(p.governor.unwrap_or(GOVERNOR_NONE));
+    }
+    pad4(&mut buf);
+    let mut off: u32 = 0;
+    for id in 0..store.len() {
+        buf.put_u32_le(off);
+        let n_ph = store.placeholders(id).len();
+        if n_ph > 255 {
+            return Err(PersistError::TooLarge(
+                "structure with more than 255 placeholders",
+            ));
         }
+        off = off
+            // lossy: n_ph <= 255 is checked above
+            .checked_add(n_ph as u32)
+            .ok_or(PersistError::TooLarge("placeholder plane exceeds u32"))?;
+    }
+    buf.put_u32_le(off);
+    for id in 0..store.len() {
+        for p in store.placeholders(id) {
+            buf.put_u8(category_code(p.category));
+            buf.put_u16_le(p.governor.unwrap_or(GOVERNOR_NONE));
+        }
+    }
+    pad4(&mut buf);
+    let mut off: u32 = 0;
+    for postings in index.inverted() {
+        buf.put_u32_le(off);
+        off = off
+            .checked_add(len_u32(postings.len(), "posting list exceeds u32")?)
+            .ok_or(PersistError::TooLarge("posting plane exceeds u32"))?;
+    }
+    buf.put_u32_le(off);
+    for postings in index.inverted() {
+        for &id in postings {
+            buf.put_u32_le(id);
+        }
+    }
+    let ck = checksum64(&buf[block_a..]);
+    buf.put_u64_le(ck);
+
+    // Segment table, then the per-segment node planes.
+    for trie in &segments {
+        buf.put_u32_le(len_u32(trie.len, "trie length exceeds u32")?);
+        buf.put_u32_le(len_u32(trie.node_count(), "segment exceeds u32 nodes")?);
+    }
+    for trie in &segments {
+        // lossy: node_count fits u32 (validated by len_u32 just above)
+        let n = trie.node_count() as u32;
+        let seg_start = buf.len();
+        for i in 0..n {
+            buf.put_u8(trie.token(i).0);
+        }
+        pad4(&mut buf);
+        for i in 0..n {
+            buf.put_u32_le(trie.first_child(i));
+        }
+        for i in 0..n {
+            buf.put_u32_le(trie.next_sibling(i));
+        }
+        for i in 0..n {
+            buf.put_u32_le(trie.structure(i));
+        }
+        let ck = checksum64(&buf[seg_start..]);
+        buf.put_u64_le(ck);
     }
     Ok(buf.freeze())
 }
 
-/// Deserialize and rebuild an index.
-pub fn from_bytes(mut data: &[u8]) -> Result<StructureIndex, PersistError> {
-    if data.remaining() < 4 || &data[..4] != MAGIC {
+/// Bounds-checked slice-off of the next `n` bytes of the image.
+fn take(
+    data: &Bytes,
+    pos: &mut usize,
+    n: usize,
+    what: &'static str,
+) -> Result<Bytes, PersistError> {
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= data.len())
+        .ok_or(PersistError::Corrupt(what))?;
+    let b = data.slice(*pos..end);
+    *pos = end;
+    Ok(b)
+}
+
+/// Read the `i`-th little-endian u32 of a plane (caller has bounds-checked
+/// the plane; an out-of-range read yields the inert `NODE_NONE`).
+#[inline]
+fn plane_u32(plane: &[u8], i: usize) -> u32 {
+    match plane.get(i * 4..i * 4 + 4) {
+        Some(&[a, b, c, d]) => u32::from_le_bytes([a, b, c, d]),
+        _ => NODE_NONE,
+    }
+}
+
+fn read_u64_le(data: &Bytes, pos: &mut usize, what: &'static str) -> Result<u64, PersistError> {
+    let b = take(data, pos, 8, what)?;
+    match b.as_ref() {
+        &[a, b0, c, d, e, f, g, h] => Ok(u64::from_le_bytes([a, b0, c, d, e, f, g, h])),
+        _ => Err(PersistError::Corrupt(what)),
+    }
+}
+
+/// Deserialize an index, borrowing the underlying buffer where possible.
+///
+/// For version-2 images this copies `data` into one shared [`Bytes`] buffer
+/// and then runs the zero-copy [`from_shared`] path; callers that already
+/// hold a [`Bytes`] (e.g. [`load_from_path`]) skip even that single copy.
+/// Version-1 images take the legacy deserialize-and-rebuild path.
+pub fn from_bytes(data: &[u8]) -> Result<StructureIndex, PersistError> {
+    from_bytes_observed(data, &Recorder::disabled())
+}
+
+/// [`from_bytes`] publishing `index.load.*` counters into `recorder`.
+pub fn from_bytes_observed(
+    data: &[u8],
+    recorder: &Recorder,
+) -> Result<StructureIndex, PersistError> {
+    match peek_version(data)? {
+        VERSION_V1 => from_bytes_v1(&data[6..], recorder),
+        _ => from_shared_observed(Bytes::copy_from_slice(data), recorder),
+    }
+}
+
+/// Zero-copy load: validate the segmented image and borrow its planes.
+///
+/// The buffer is refcounted, so the returned index (and its clones) keep
+/// the image alive; no node is rebuilt and no plane is copied. Validation
+/// is O(segments) bounds checks plus linear checksum and structural passes
+/// over the raw bytes.
+pub fn from_shared(data: Bytes) -> Result<StructureIndex, PersistError> {
+    from_shared_observed(data, &Recorder::disabled())
+}
+
+/// [`from_shared`] publishing `index.load.*` counters into `recorder`.
+pub fn from_shared_observed(
+    data: Bytes,
+    recorder: &Recorder,
+) -> Result<StructureIndex, PersistError> {
+    if peek_version(&data)? == VERSION_V1 {
+        return from_bytes_v1(&data[6..], recorder);
+    }
+    let header = Header::parse(&data)?;
+    let mut pos = HEADER_LEN;
+    let arena = decode_block_a(&data, &mut pos, &header)?;
+    let tries = borrow_segments(&data, &mut pos, &header, &arena.store)?;
+    if pos != data.len() {
+        return Err(PersistError::Corrupt("trailing bytes"));
+    }
+    recorder.incr(CounterId::IndexLoadZeroCopy);
+    recorder.add(CounterId::IndexLoadSegments, header.seg_count as u64);
+    Ok(StructureIndex::from_parts(
+        StructStore::Flat(arena.store),
+        tries,
+        arena.inverted,
+        header.weights,
+        header.max_len,
+    ))
+}
+
+/// Deserialize-and-rebuild reference path: decode the structure arena and
+/// run a full [`StructureIndex::build`] (trie inserts, posting lists), as a
+/// version-1 loader would. The scale benchmark measures the zero-copy path
+/// against this one; production loads should prefer [`from_shared`].
+pub fn from_bytes_rebuilt(data: &[u8]) -> Result<StructureIndex, PersistError> {
+    from_bytes_rebuilt_observed(data, &Recorder::disabled())
+}
+
+/// [`from_bytes_rebuilt`] publishing `index.load.*` counters into `recorder`.
+pub fn from_bytes_rebuilt_observed(
+    data: &[u8],
+    recorder: &Recorder,
+) -> Result<StructureIndex, PersistError> {
+    if peek_version(data)? == VERSION_V1 {
+        return from_bytes_v1(&data[6..], recorder);
+    }
+    let shared = Bytes::copy_from_slice(data);
+    let header = Header::parse(&shared)?;
+    let mut pos = HEADER_LEN;
+    let arena = decode_block_a(&shared, &mut pos, &header)?;
+    let store = StructStore::Flat(arena.store);
+    reject_duplicates((0..store.len()).map(|i| store.tokens(i)), store.len())?;
+    let structures: Vec<Structure> = (0..store.len()).map(|i| store.materialize(i)).collect();
+    recorder.incr(CounterId::IndexLoadRebuild);
+    Ok(StructureIndex::build(structures, header.weights))
+}
+
+/// Magic + version sniffing shared by every entry point.
+fn peek_version(data: &[u8]) -> Result<u16, PersistError> {
+    if data.len() < 4 || &data[..4] != MAGIC {
         return Err(PersistError::BadMagic);
     }
-    data.advance(4);
-    if data.remaining() < 2 {
+    if data.len() < 6 {
         return Err(PersistError::Corrupt("truncated header"));
     }
-    let version = data.get_u16();
-    if version != VERSION {
+    let version = u16::from_be_bytes([data[4], data[5]]);
+    if version != VERSION && version != VERSION_V1 {
         return Err(PersistError::BadVersion(version));
     }
+    Ok(version)
+}
+
+/// Parsed version-2 header.
+struct Header {
+    weights: Weights,
+    count: usize,
+    max_len: usize,
+    seg_count: usize,
+}
+
+impl Header {
+    fn parse(data: &Bytes) -> Result<Header, PersistError> {
+        if data.len() < HEADER_LEN {
+            return Err(PersistError::Corrupt("truncated header"));
+        }
+        let be = |o: usize| u32::from_be_bytes([data[o], data[o + 1], data[o + 2], data[o + 3]]);
+        let weights = Weights {
+            keyword: be(6),
+            splchar: be(10),
+            literal: be(14),
+        };
+        let count = be(18) as usize;
+        let max_len = be(22) as usize;
+        let seg_count = be(26) as usize;
+        let remaining = (data.len() - HEADER_LEN) as u64;
+        // Don't trust the claimed counts for allocation or offset math:
+        // every structure occupies ≥ 8 bytes of offset entries and every
+        // segment ≥ 8 bytes of table, so claims past those floors are
+        // certainly corrupt and would otherwise drive `with_capacity` into
+        // multi-gigabyte allocations.
+        if (count as u64).saturating_add(1) * 4 > remaining {
+            return Err(PersistError::Corrupt("structure count exceeds payload"));
+        }
+        if (seg_count as u64) * 8 > remaining {
+            return Err(PersistError::Corrupt("segment count exceeds payload"));
+        }
+        if max_len > 255 {
+            return Err(PersistError::Corrupt("max length exceeds format"));
+        }
+        Ok(Header {
+            weights,
+            count,
+            max_len,
+            seg_count,
+        })
+    }
+}
+
+/// Decoded block A: the materialized structure arena and posting lists.
+struct ArenaBlock {
+    store: FlatStore,
+    inverted: Vec<Vec<u32>>,
+}
+
+/// Validate block A's checksum and decode the structure arena (as a
+/// [`FlatStore`] — whole-plane sweeps and a handful of large allocations,
+/// never one `Vec` per structure) and the inverted posting lists.
+fn decode_block_a(
+    data: &Bytes,
+    pos: &mut usize,
+    header: &Header,
+) -> Result<ArenaBlock, PersistError> {
+    let count = header.count;
+    let block_start = *pos;
+    let tok_offsets = take(data, pos, (count + 1) * 4, "truncated token offsets")?;
+    let tok_total = plane_u32(&tok_offsets, count) as usize;
+    if tok_total > data.len() - *pos {
+        return Err(PersistError::Corrupt("token plane exceeds payload"));
+    }
+    let token_plane = take(data, pos, tok_total, "truncated token plane")?;
+    take(
+        data,
+        pos,
+        (4 - tok_total % 4) % 4,
+        "truncated token padding",
+    )?;
+    let ph_offsets = take(data, pos, (count + 1) * 4, "truncated placeholder offsets")?;
+    let ph_total = plane_u32(&ph_offsets, count) as usize;
+    if ph_total > (data.len() - *pos) / 3 {
+        return Err(PersistError::Corrupt("placeholder plane exceeds payload"));
+    }
+    let ph_plane = take(data, pos, ph_total * 3, "truncated placeholder plane")?;
+    let ph_pad = (4 - (ph_total * 3) % 4) % 4;
+    take(data, pos, ph_pad, "truncated placeholder padding")?;
+    let inv_offsets = take(data, pos, (INV_LISTS + 1) * 4, "truncated posting offsets")?;
+    let inv_total = plane_u32(&inv_offsets, INV_LISTS) as usize;
+    if inv_total > (data.len() - *pos) / 4 {
+        return Err(PersistError::Corrupt("posting plane exceeds payload"));
+    }
+    let inv_plane = take(data, pos, inv_total * 4, "truncated posting plane")?;
+    let recorded = read_u64_le(data, pos, "truncated structure checksum")?;
+    if checksum64(&data[block_start..*pos - 8]) != recorded {
+        return Err(PersistError::BadChecksum("structure block"));
+    }
+
+    // Whole-plane sweeps, in dependency order. Each is a linear pass the
+    // compiler can vectorize; none allocates per structure.
+    //
+    // Tokens: every id in the alphabet, then one bulk copy into the flat
+    // tokens plane.
+    if token_plane.iter().any(|&id| id as usize >= STRUCT_ALPHABET) {
+        return Err(PersistError::Corrupt("bad token id"));
+    }
+    let tokens: Vec<StructTokId> = token_plane.iter().map(|&id| StructTokId(id)).collect();
+
+    // Offset tables: monotone, bounded by their plane, per-structure
+    // window within format limits.
+    let decoded_offsets = |plane: &[u8]| -> Vec<u32> {
+        plane
+            .chunks_exact(4)
+            .map(|c| match c {
+                &[a, b, c0, d] => u32::from_le_bytes([a, b, c0, d]),
+                _ => unreachable!("chunks_exact(4) yields 4-byte chunks"),
+            })
+            .collect()
+    };
+    let tok_offs = decoded_offsets(&tok_offsets);
+    let ph_offs = decoded_offsets(&ph_offsets);
+    let mut max_seen = 0usize;
+    for i in 0..count {
+        let (t0, t1) = (tok_offs[i] as usize, tok_offs[i + 1] as usize);
+        if t1 < t0 || t1 > tok_total {
+            return Err(PersistError::Corrupt("token offsets not monotone"));
+        }
+        if t1 - t0 > 255 {
+            return Err(PersistError::Corrupt("structure longer than 255 tokens"));
+        }
+        max_seen = max_seen.max(t1 - t0);
+        let (p0, p1) = (ph_offs[i] as usize, ph_offs[i + 1] as usize);
+        if p1 < p0 || p1 > ph_total {
+            return Err(PersistError::Corrupt("placeholder offsets not monotone"));
+        }
+        // Var tokens and placeholder records correspond one to one.
+        let vars = tokens[t0..t1].iter().filter(|t| t.is_var()).count();
+        if vars != p1 - p0 {
+            return Err(PersistError::Corrupt("placeholder count mismatch"));
+        }
+    }
+    if max_seen != header.max_len {
+        return Err(PersistError::Corrupt("max length mismatch"));
+    }
+
+    // Placeholders: one bulk decode of the 3-byte records.
+    let mut placeholders = Vec::with_capacity(ph_total);
+    for rec in ph_plane.chunks_exact(3) {
+        let (category, gov) = match rec {
+            &[c, g0, g1] => (category_from(c)?, u16::from_le_bytes([g0, g1])),
+            _ => return Err(PersistError::Corrupt("truncated placeholder record")),
+        };
+        placeholders.push(Placeholder {
+            category,
+            governor: (gov != GOVERNOR_NONE).then_some(gov),
+        });
+    }
+    let mut inverted: Vec<Vec<u32>> = Vec::with_capacity(INV_LISTS);
+    for k in 0..INV_LISTS {
+        let i0 = plane_u32(&inv_offsets, k) as usize;
+        let i1 = plane_u32(&inv_offsets, k + 1) as usize;
+        if i1 < i0 || i1 > inv_total {
+            return Err(PersistError::Corrupt("posting offsets not monotone"));
+        }
+        let mut list = Vec::with_capacity(i1 - i0);
+        for e in i0..i1 {
+            let id = plane_u32(&inv_plane, e);
+            if id as usize >= count {
+                return Err(PersistError::Corrupt("bad posting id"));
+            }
+            list.push(id);
+        }
+        inverted.push(list);
+    }
+    Ok(ArenaBlock {
+        store: FlatStore {
+            tok_offsets: tok_offs,
+            tokens,
+            ph_offsets: ph_offs,
+            placeholders,
+        },
+        inverted,
+    })
+}
+
+/// Validate the segment table and every segment's node planes, then borrow
+/// them as zero-copy [`Trie`] views.
+///
+/// The structural pass is what makes the borrow safe to *search* without
+/// per-access checks: child/sibling links must point strictly forward (so
+/// every walk terminates), interior nodes must sit above the leaf depth and
+/// terminals exactly at it (so the walk's remaining-depth arithmetic cannot
+/// underflow), terminal ids must reference in-range structures of the
+/// segment's length, and every structure must terminate exactly once across
+/// all segments (so loaded search answers are the built index's answers).
+fn borrow_segments(
+    data: &Bytes,
+    pos: &mut usize,
+    header: &Header,
+    store: &FlatStore,
+) -> Result<Vec<Vec<Trie>>, PersistError> {
+    let table = take(data, pos, header.seg_count * 8, "truncated segment table")?;
+    let mut tries: Vec<Vec<Trie>> = vec![Vec::new(); header.max_len + 1];
+    let mut terminated = vec![false; header.count];
+    let mut prev_len = 0usize;
+    for seg in 0..header.seg_count {
+        let trie_len = plane_u32(&table, seg * 2) as usize;
+        let node_count = plane_u32(&table, seg * 2 + 1) as usize;
+        if trie_len > header.max_len {
+            return Err(PersistError::Corrupt("segment length exceeds max"));
+        }
+        if trie_len < prev_len {
+            return Err(PersistError::Corrupt("segment table out of order"));
+        }
+        prev_len = trie_len;
+        if node_count == 0 {
+            return Err(PersistError::Corrupt("empty segment"));
+        }
+        if node_count as u64 > (data.len() - *pos) as u64 / 13 {
+            return Err(PersistError::Corrupt("segment node count exceeds payload"));
+        }
+        let seg_start = *pos;
+        let token = take(data, pos, node_count, "truncated segment tokens")?;
+        take(
+            data,
+            pos,
+            (4 - node_count % 4) % 4,
+            "truncated segment padding",
+        )?;
+        let first_child = take(data, pos, node_count * 4, "truncated first-child plane")?;
+        let next_sibling = take(data, pos, node_count * 4, "truncated next-sibling plane")?;
+        let structure = take(data, pos, node_count * 4, "truncated structure plane")?;
+        let recorded = read_u64_le(data, pos, "truncated segment checksum")?;
+        if checksum64(&data[seg_start..*pos - 8]) != recorded {
+            return Err(PersistError::BadChecksum("segment planes"));
+        }
+
+        // Structural pass. Links point strictly forward (builder invariant:
+        // nodes are appended after the node that references them), so one
+        // in-order sweep can propagate depths and validate every invariant
+        // in O(nodes) with a single transient byte array.
+        let mut depth = vec![0u8; node_count];
+        for i in 0..node_count {
+            if (token[i] as usize) >= STRUCT_ALPHABET {
+                return Err(PersistError::Corrupt("bad node token"));
+            }
+            let d = depth[i] as usize;
+            let fc = plane_u32(&first_child, i);
+            if fc != NODE_NONE {
+                if fc as usize <= i || fc as usize >= node_count {
+                    return Err(PersistError::Corrupt("child link not forward"));
+                }
+                if d >= trie_len {
+                    return Err(PersistError::Corrupt("interior node below leaf depth"));
+                }
+                // lossy: d < trie_len <= 255, so d + 1 fits u8
+                depth[fc as usize] = (d + 1) as u8;
+            }
+            let ns = plane_u32(&next_sibling, i);
+            if ns != NODE_NONE {
+                if ns as usize <= i || ns as usize >= node_count {
+                    return Err(PersistError::Corrupt("sibling link not forward"));
+                }
+                depth[ns as usize] = depth[i];
+            }
+            let st = plane_u32(&structure, i);
+            if st != NODE_NONE {
+                if st as usize >= header.count {
+                    return Err(PersistError::Corrupt("bad terminal structure id"));
+                }
+                let s_len =
+                    (store.tok_offsets[st as usize + 1] - store.tok_offsets[st as usize]) as usize;
+                if d != trie_len || s_len != trie_len {
+                    return Err(PersistError::Corrupt("terminal at wrong depth"));
+                }
+                if std::mem::replace(&mut terminated[st as usize], true) {
+                    return Err(PersistError::Corrupt("structure terminated twice"));
+                }
+            }
+        }
+        tries[trie_len].push(Trie::from_view(
+            trie_len,
+            node_count,
+            token,
+            first_child,
+            next_sibling,
+            structure,
+        ));
+    }
+    if !terminated.iter().all(|&t| t) {
+        return Err(PersistError::Corrupt("structure missing from tries"));
+    }
+    Ok(tries)
+}
+
+/// Legacy version-1 decoder: sequential structure records, tries rebuilt.
+fn from_bytes_v1(mut data: &[u8], recorder: &Recorder) -> Result<StructureIndex, PersistError> {
     if data.remaining() < 16 {
         return Err(PersistError::Corrupt("truncated header"));
     }
@@ -134,10 +759,8 @@ pub fn from_bytes(mut data: &[u8]) -> Result<StructureIndex, PersistError> {
         literal: data.get_u32(),
     };
     let count = data.get_u32() as usize;
-    // Don't trust the claimed count for pre-allocation: every structure
-    // occupies at least 2 bytes (token count + placeholder count), so a
-    // count exceeding remaining/2 is certainly corrupt and would otherwise
-    // drive `with_capacity` into a multi-gigabyte allocation.
+    // Every structure occupies at least 2 bytes (token count + placeholder
+    // count), so a count exceeding remaining/2 is certainly corrupt.
     if count > data.remaining() / 2 {
         return Err(PersistError::Corrupt("structure count exceeds payload"));
     }
@@ -186,7 +809,33 @@ pub fn from_bytes(mut data: &[u8]) -> Result<StructureIndex, PersistError> {
     if data.has_remaining() {
         return Err(PersistError::Corrupt("trailing bytes"));
     }
+    reject_duplicates(
+        structures.iter().map(|s| s.tokens.as_slice()),
+        structures.len(),
+    )?;
+    recorder.incr(CounterId::IndexLoadRebuild);
     Ok(StructureIndex::build(structures, weights))
+}
+
+/// Reject duplicate token sequences before handing structures to
+/// [`StructureIndex::build`], whose `Trie::insert` requires distinct
+/// sequences (duplicates would collide on one terminal). Only the
+/// rebuild paths need this sweep: the zero-copy path never inserts, and
+/// its structural pass already pins every structure to exactly one
+/// terminal. The Fx-style hasher matters — SipHash over a million short
+/// keys costs more than every checksum in the file combined.
+fn reject_duplicates<'a>(
+    keys: impl Iterator<Item = &'a [StructTokId]>,
+    count: usize,
+) -> Result<(), PersistError> {
+    let mut seen: std::collections::HashSet<&[StructTokId], BuildFx> =
+        std::collections::HashSet::with_capacity_and_hasher(count, BuildFx);
+    for key in keys {
+        if !seen.insert(key) {
+            return Err(PersistError::Corrupt("duplicate structure"));
+        }
+    }
+    Ok(())
 }
 
 /// Save to a file.
@@ -195,10 +844,19 @@ pub fn save_to_path(index: &StructureIndex, path: impl AsRef<Path>) -> Result<()
     Ok(())
 }
 
-/// Load from a file.
+/// Load from a file through the zero-copy path (one read into a shared
+/// buffer, then validate-then-borrow; see [`from_shared`]).
 pub fn load_from_path(path: impl AsRef<Path>) -> Result<StructureIndex, PersistError> {
+    load_from_path_observed(path, &Recorder::disabled())
+}
+
+/// [`load_from_path`] publishing `index.load.*` counters into `recorder`.
+pub fn load_from_path_observed(
+    path: impl AsRef<Path>,
+    recorder: &Recorder,
+) -> Result<StructureIndex, PersistError> {
     let data = fs::read(path)?;
-    from_bytes(&data)
+    from_shared_observed(Bytes::from(data), recorder)
 }
 
 #[cfg(test)]
@@ -234,6 +892,47 @@ mod tests {
                 restored.search(&p.masked, &cfg)
             );
         }
+        Ok(())
+    }
+
+    #[test]
+    fn zero_copy_load_matches_rebuild_exactly() -> Result<(), PersistError> {
+        let index = small_index();
+        let bytes = to_bytes(&index)?;
+        let borrowed = from_shared(bytes.clone())?;
+        let rebuilt = from_bytes_rebuilt(&bytes)?;
+        assert_eq!(borrowed.len(), rebuilt.len());
+        assert_eq!(borrowed.total_nodes(), rebuilt.total_nodes());
+        assert_eq!(borrowed.segment_count(), rebuilt.segment_count());
+        let p = process_transcript_text("select sales from employers wear name equals jon");
+        let cfg = SearchConfig::top_k(5);
+        // Hits AND work counters agree: the borrowed planes are the
+        // rebuilt arena, byte for byte.
+        assert_eq!(
+            borrowed.search_with_stats(&p.masked, &cfg),
+            rebuilt.search_with_stats(&p.masked, &cfg)
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn load_counters_distinguish_paths() -> Result<(), PersistError> {
+        let index = small_index();
+        let bytes = to_bytes(&index)?;
+        let rec = Recorder::enabled();
+        let loaded = from_shared_observed(bytes.clone(), &rec)?;
+        let report = rec.report();
+        assert_eq!(report.counter(CounterId::IndexLoadZeroCopy), 1);
+        assert_eq!(report.counter(CounterId::IndexLoadRebuild), 0);
+        assert_eq!(
+            report.counter(CounterId::IndexLoadSegments),
+            loaded.segment_count() as u64
+        );
+        let rec = Recorder::enabled();
+        from_bytes_rebuilt_observed(&bytes, &rec)?;
+        let report = rec.report();
+        assert_eq!(report.counter(CounterId::IndexLoadZeroCopy), 0);
+        assert_eq!(report.counter(CounterId::IndexLoadRebuild), 1);
         Ok(())
     }
 
@@ -278,12 +977,75 @@ mod tests {
     }
 
     #[test]
+    fn plane_corruption_fails_checksum() -> Result<(), PersistError> {
+        let good = to_bytes(&small_index())?.to_vec();
+        // Flip one byte in the middle of the first segment's node planes
+        // (well past block A): the segment checksum must catch it.
+        let mut bad = good.clone();
+        let pos = good.len() - 16;
+        bad[pos] ^= 0x40;
+        assert!(matches!(
+            from_bytes(&bad),
+            Err(PersistError::BadChecksum(_)) | Err(PersistError::Corrupt(_))
+        ));
+        // Flip a byte inside block A (structure planes).
+        let mut bad = good.clone();
+        bad[HEADER_LEN + 5] ^= 0x01;
+        assert!(matches!(
+            from_bytes(&bad),
+            Err(PersistError::BadChecksum(_)) | Err(PersistError::Corrupt(_))
+        ));
+        Ok(())
+    }
+
+    #[test]
+    fn error_classes_are_stable() {
+        assert_eq!(PersistError::BadMagic.class(), "bad_magic");
+        assert_eq!(PersistError::BadVersion(7).class(), "bad_version");
+        assert_eq!(PersistError::BadChecksum("x").class(), "bad_checksum");
+        assert_eq!(PersistError::Corrupt("x").class(), "corrupt");
+        assert_eq!(PersistError::TooLarge("x").class(), "too_large");
+        assert_eq!(PersistError::Io(io::Error::other("x")).class(), "io");
+    }
+
+    #[test]
+    fn reads_legacy_v1_images() -> Result<(), PersistError> {
+        // Hand-roll a v1 image: header + one 2-token structure with one
+        // placeholder, in the old big-endian sequential record format.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&1u16.to_be_bytes());
+        for w in [2u32, 3, 4] {
+            v1.extend_from_slice(&w.to_be_bytes());
+        }
+        v1.extend_from_slice(&1u32.to_be_bytes()); // count
+        v1.push(2); // tokens
+        v1.push(StructTokId::VAR.0);
+        v1.push(StructTokId::VAR.0);
+        v1.push(2); // placeholders
+        for _ in 0..2 {
+            v1.push(0); // Table
+            v1.extend_from_slice(&GOVERNOR_NONE.to_be_bytes());
+        }
+        let rec = Recorder::enabled();
+        let idx = from_bytes_observed(&v1, &rec)?;
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.weights().keyword, 2);
+        assert_eq!(rec.report().counter(CounterId::IndexLoadRebuild), 1);
+        assert_eq!(rec.report().counter(CounterId::IndexLoadZeroCopy), 0);
+        Ok(())
+    }
+
+    #[test]
     fn compactness() -> Result<(), PersistError> {
         let index = small_index();
         let bytes = to_bytes(&index)?;
-        // ~20 bytes per structure on average for the small grammar.
+        // The v2 image trades bytes for load speed: it carries the trie
+        // node planes (13 B/node) alongside the ~20 B/structure arena so
+        // loads can borrow instead of rebuild. Still well under 128 B per
+        // structure for the small grammar.
         assert!(
-            bytes.len() < index.len() * 40,
+            bytes.len() < index.len() * 128,
             "format too fat: {} bytes",
             bytes.len()
         );

@@ -8,6 +8,7 @@
 //! tradeoffs, **DAP** (diversity-aware pruning) and **INV** (inverted
 //! keyword index), are opt-in, exactly as in the paper.
 
+use crate::store::StructStore;
 use crate::trie::{Trie, NONE};
 use parking_lot::Mutex;
 use speakql_editdist::{
@@ -24,6 +25,24 @@ use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 /// state needs one workspace per concurrently searching worker; anything
 /// beyond this cap is dropped on check-in rather than hoarded.
 const WORKSPACE_POOL_CAP: usize = 64;
+
+/// Target structures per trie shard. Each per-length trie is split into
+/// `ceil(n / SHARD_TARGET)` shards (capped at [`MAX_SHARDS_PER_LEN`]) over
+/// contiguous arena-id blocks, so one dominant length no longer serializes
+/// `search_parallel`: the shards are independent work units sharing the
+/// atomic branch-and-bound threshold. Sharding is deterministic from the
+/// structure sequence alone, so a persisted index round-trips to the
+/// byte-identical shard layout.
+const SHARD_TARGET: usize = 8192;
+
+/// Upper bound on shards per length; caps the prefix-duplication cost of
+/// splitting (each shard re-roots its own copy of shared prefixes).
+const MAX_SHARDS_PER_LEN: usize = 64;
+
+/// Number of shards the `n` structures of one length are split into.
+pub(crate) fn shard_count(n: usize) -> usize {
+    n.div_ceil(SHARD_TARGET).clamp(1, MAX_SHARDS_PER_LEN)
+}
 
 /// The DP column buffers one search worker walks a trie with: either the
 /// scalar reference [`ColumnWorkspace`] or the branchless SoA
@@ -244,6 +263,11 @@ pub struct SearchStats {
     pub cells_evaluated: u64,
     /// DP workspaces recycled from the index pool instead of allocated.
     pub workspaces_reused: u64,
+    /// Trie shards actually walked. A length split into `s` shards can
+    /// contribute up to `s` here but at most 1 to `tries_searched`.
+    pub shards_searched: u32,
+    /// Trie shards skipped by the bidirectional bounds.
+    pub shards_pruned: u32,
 }
 
 impl SearchStats {
@@ -258,6 +282,8 @@ impl SearchStats {
         recorder.add(CounterId::SearchStructuresScanned, self.structures_scanned);
         recorder.add(CounterId::EditDistCells, self.cells_evaluated);
         recorder.add(CounterId::SearchWorkspacesReused, self.workspaces_reused);
+        recorder.add(CounterId::SearchShardsSearched, self.shards_searched as u64);
+        recorder.add(CounterId::SearchShardsPruned, self.shards_pruned as u64);
     }
 }
 
@@ -354,9 +380,15 @@ impl<'a> SearchState<'a> {
 /// length, and an inverted keyword index for the INV optimization.
 #[derive(Debug, Clone)]
 pub struct StructureIndex {
-    structures: Vec<Structure>,
-    /// `tries[l]` holds all structures of length `l`; index 0 is unused.
-    tries: Vec<Trie>,
+    /// The structure arena — owned `Structure`s when built, flattened
+    /// planes when loaded from a persisted image (see [`StructStore`]).
+    store: StructStore,
+    /// `tries[l]` holds the shard tries over the structures of length `l`
+    /// (empty for lengths with no structures; index 0 is unused). Shards
+    /// partition a length's structures into contiguous arena-id blocks —
+    /// disjoint sets, so searching every shard of a length is exactly
+    /// searching the length.
+    tries: Vec<Vec<Trie>>,
     weights: Weights,
     /// Posting lists by keyword index (SELECT/FROM/WHERE left empty).
     inverted: Vec<Vec<u32>>,
@@ -373,13 +405,40 @@ static NEXT_GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::Atomic
 
 impl StructureIndex {
     /// Build an index over the given structures.
+    ///
+    /// Each length's structures are deterministically split into
+    /// `shard_count` shard tries over contiguous blocks (in arena order,
+    /// preserving prefix sharing within a shard), so the layout depends only
+    /// on the structure sequence — a persisted image reloads to the
+    /// identical shard geometry and therefore identical work counters.
     pub fn build(structures: Vec<Structure>, weights: Weights) -> StructureIndex {
         let max_len = structures.iter().map(Structure::len).max().unwrap_or(0);
-        let mut tries: Vec<Trie> = (0..=max_len).map(Trie::new).collect();
+        let mut per_len = vec![0usize; max_len + 1];
+        for s in &structures {
+            per_len[s.len()] += 1;
+        }
+        let mut tries: Vec<Vec<Trie>> = per_len
+            .iter()
+            .enumerate()
+            .map(|(len, &n)| {
+                if n == 0 {
+                    Vec::new()
+                } else {
+                    (0..shard_count(n)).map(|_| Trie::new(len)).collect()
+                }
+            })
+            .collect();
+        // Contiguous block partition: shard s of a length holds positions
+        // [s * block, (s + 1) * block) of that length's arena-order run.
+        let mut seen_of_len = vec![0usize; max_len + 1];
         let mut inverted: Vec<Vec<u32>> = vec![Vec::new(); 19];
         for (id, s) in structures.iter().enumerate() {
             let id = id as u32;
-            tries[s.len()].insert(&s.tokens, id);
+            let l = s.len();
+            let block = per_len[l].div_ceil(tries[l].len().max(1));
+            let shard = seen_of_len[l] / block.max(1);
+            seen_of_len[l] += 1;
+            tries[l][shard].insert(&s.tokens, id);
             let mut seen = [false; 19];
             for t in &s.tokens {
                 if let StructTok::Keyword(k) = t.tok() {
@@ -393,7 +452,7 @@ impl StructureIndex {
             }
         }
         StructureIndex {
-            structures,
+            store: StructStore::Owned(structures),
             tries,
             weights,
             inverted,
@@ -410,14 +469,60 @@ impl StructureIndex {
         StructureIndex::build(generate_structures(cfg), weights)
     }
 
+    /// Assemble an index from already-validated parts — the persist loader's
+    /// zero-copy path, where the tries are [`Trie`] views borrowing a
+    /// persisted image and the inverted lists were decoded alongside. The
+    /// parts must describe the same arena a [`StructureIndex::build`] over
+    /// `structures` would produce; the loader guarantees this because the
+    /// image was serialized from exactly those planes.
+    pub(crate) fn from_parts(
+        store: StructStore,
+        tries: Vec<Vec<Trie>>,
+        inverted: Vec<Vec<u32>>,
+        weights: Weights,
+        max_len: usize,
+    ) -> StructureIndex {
+        StructureIndex {
+            store,
+            tries,
+            weights,
+            inverted,
+            max_len,
+            workspaces: WorkspacePool::new(),
+            // A freshly loaded arena is a new generation like any other
+            // build (see `generation`): Relaxed suffices for uniqueness.
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// The shard tries, outer-indexed by structure length (persist writer).
+    pub(crate) fn tries(&self) -> &[Vec<Trie>] {
+        &self.tries
+    }
+
+    /// The inverted keyword posting lists (persist writer).
+    pub(crate) fn inverted(&self) -> &[Vec<u32>] {
+        &self.inverted
+    }
+
+    /// Longest indexed structure, in tokens.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Number of trie shards (segments) across all lengths.
+    pub fn segment_count(&self) -> usize {
+        self.tries.iter().map(Vec::len).sum()
+    }
+
     /// Number of indexed structures.
     pub fn len(&self) -> usize {
-        self.structures.len()
+        self.store.len()
     }
 
     /// True when the index holds no structures.
     pub fn is_empty(&self) -> bool {
-        self.structures.is_empty()
+        self.store.is_empty()
     }
 
     /// The edit-operation weights the index was built with.
@@ -436,20 +541,28 @@ impl StructureIndex {
         self.generation
     }
 
-    /// Access a structure by arena id (as returned in a [`SearchHit`]).
-    pub fn structure(&self, id: u32) -> &Structure {
-        &self.structures[id as usize]
+    /// Owned copy of a structure by arena id (as returned in a
+    /// [`SearchHit`]). Loaded indexes hold the arena flattened, so there is
+    /// no resident `Structure` to borrow — callers that only need the token
+    /// sequence should prefer [`StructureIndex::structure_tokens`].
+    pub fn structure(&self, id: u32) -> Structure {
+        self.store.materialize(id as usize)
     }
 
-    /// The full structure arena, in `(length, tokens)` order.
-    pub fn structures(&self) -> &[Structure] {
-        &self.structures
+    /// Token sequence of a structure by arena id, borrowed from the arena.
+    pub fn structure_tokens(&self, id: u32) -> &[StructTokId] {
+        self.store.tokens(id as usize)
     }
 
-    /// Total trie nodes across all lengths (the `p·k` of the paper's space
-    /// complexity discussion).
+    /// The structure arena (persist writer).
+    pub(crate) fn store(&self) -> &StructStore {
+        &self.store
+    }
+
+    /// Total trie nodes across all lengths and shards (the `p·k` of the
+    /// paper's space complexity discussion).
     pub fn total_nodes(&self) -> usize {
-        self.tries.iter().map(Trie::node_count).sum()
+        self.tries.iter().flatten().map(Trie::node_count).sum()
     }
 
     /// Top-k search (paper Box 2 extended to k results).
@@ -502,7 +615,7 @@ impl StructureIndex {
         recorder: &Recorder,
     ) -> (Vec<SearchHit>, SearchStats) {
         let mut state = SearchState::new(cfg.k, None);
-        if self.structures.is_empty() {
+        if self.store.is_empty() {
             return (state.topk.into_vec(), state.stats);
         }
         if cfg.inv && self.search_inverted(masked, &mut state) {
@@ -510,12 +623,16 @@ impl StructureIndex {
         }
 
         // Bidirectional order: from m downwards, then upwards (App. D.2),
-        // restricted to the non-empty tries.
+        // restricted to the non-empty tries. Each (length, shard) pair is
+        // one independent work unit; a length's shards are consecutive, so
+        // the sequential walk still processes whole lengths in the paper's
+        // order while the parallel cursor gets shard-granular fan-out.
         let m = masked.len();
-        let order: Vec<usize> = (1..=m.min(self.max_len))
+        let order: Vec<(usize, usize)> = (1..=m.min(self.max_len))
             .rev()
             .chain((m + 1)..=self.max_len)
-            .filter(|&j| !self.tries[j].is_empty())
+            .flat_map(|j| (0..self.tries[j].len()).map(move |s| (j, s)))
+            .filter(|&(j, s)| !self.tries[j][s].is_empty())
             .collect();
 
         let soa = self.choose_kernel(masked, cfg);
@@ -527,46 +644,51 @@ impl StructureIndex {
         let mut cols =
             self.workspaces
                 .checkout(soa, masked, self.weights, self.max_len, &mut state.stats);
-        for &j in &order {
-            self.search_length(j, masked, cfg, &mut state, &mut cols, recorder);
+        for &(j, s) in &order {
+            self.search_shard(j, s, masked, cfg, &mut state, &mut cols, recorder);
         }
         state.stats.cells_evaluated += cols.take_cells();
         self.workspaces.checkin(cols);
         (state.topk.into_vec(), state.stats)
     }
 
-    /// Search the per-length tries in `order` with `workers` scoped threads.
+    /// Search the `(length, shard)` work units in `order` with `workers`
+    /// scoped threads.
     ///
-    /// Tries are handed out through an atomic cursor (so a worker stuck in a
-    /// large trie does not hold up the rest), each worker keeps its own
+    /// Shards are handed out through an atomic cursor (so a worker stuck in
+    /// a large shard does not hold up the rest), each worker keeps its own
     /// [`TopK`] and [`ColumnWorkspace`], and the branch-and-bound threshold
     /// is shared through an [`AtomicU32`] so pruning improves globally as any
-    /// worker finds closer structures. Per-length tries hold disjoint
-    /// structure sets, so re-offering every worker's hits into one final
+    /// worker finds closer structures. Shards hold disjoint structure sets —
+    /// a length's shards partition its structures, and per-length tries were
+    /// disjoint already — so re-offering every worker's hits into one final
     /// [`TopK`] yields exactly the sequential result: same hits, same
-    /// `(distance, structure id)` order. Only the [`SearchStats`] are
-    /// schedule-dependent (how much work pruning saved varies run to run).
+    /// `(distance, structure id)` order. Shard granularity is what gives a
+    /// dominant length real fan-out: its [`shard_count`] shards spread
+    /// across workers instead of serializing on one. Only the
+    /// [`SearchStats`] are schedule-dependent (how much work pruning saved
+    /// varies run to run).
     fn search_parallel(
         &self,
         masked: &[StructTokId],
         cfg: &SearchConfig,
         soa: bool,
-        order: &[usize],
+        order: &[(usize, usize)],
         workers: usize,
         recorder: &Recorder,
     ) -> (Vec<SearchHit>, SearchStats) {
         let shared = AtomicU32::new(DIST_INF);
         // Warm the shared bound on the calling thread before spawning: the
-        // first trie in the bidirectional order is the one closest in length
+        // first shard in the bidirectional order is from the length closest
         // to the query, and its hits carry the tightest initial threshold.
         // Without this, workers race into far-length tries the sequential
         // algorithm would have BDB-skipped outright.
         let mut seed = SearchState::new(cfg.k, Some(&shared));
-        if let Some(&j0) = order.first() {
+        if let Some(&(j0, s0)) = order.first() {
             let mut cols =
                 self.workspaces
                     .checkout(soa, masked, self.weights, self.max_len, &mut seed.stats);
-            self.search_length(j0, masked, cfg, &mut seed, &mut cols, recorder);
+            self.search_shard(j0, s0, masked, cfg, &mut seed, &mut cols, recorder);
             seed.stats.cells_evaluated += cols.take_cells();
             self.workspaces.checkin(cols);
         }
@@ -585,8 +707,8 @@ impl StructureIndex {
                         );
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(&j) = order.get(i) else { break };
-                            self.search_length(j, masked, cfg, &mut state, &mut cols, recorder);
+                            let Some(&(j, s)) = order.get(i) else { break };
+                            self.search_shard(j, s, masked, cfg, &mut state, &mut cols, recorder);
                         }
                         state.stats.cells_evaluated += cols.take_cells();
                         self.workspaces.checkin(cols);
@@ -617,15 +739,28 @@ impl StructureIndex {
             state.stats.structures_scanned += stats.structures_scanned;
             state.stats.cells_evaluated += stats.cells_evaluated;
             state.stats.workspaces_reused += stats.workspaces_reused;
+            state.stats.shards_searched += stats.shards_searched;
+            state.stats.shards_pruned += stats.shards_pruned;
         }
         (state.topk.into_vec(), state.stats)
     }
 
-    /// Search one per-length trie (assumed non-empty), with the BDB skip.
-    /// Each walked trie records one `search.trie_walk` latency sample.
-    fn search_length(
+    /// Search one trie shard (assumed non-empty), with the BDB skip — the
+    /// Proposition 1 bound depends only on the lengths, so it applies to a
+    /// shard exactly as it did to the whole per-length trie. Each walked
+    /// shard records one `search.trie_walk` latency sample.
+    ///
+    /// The per-length counters keep their historical meaning by counting
+    /// only shard 0's verdict: the shared threshold only ever tightens, so
+    /// in the sequential order shard 0 pruned implies every later shard of
+    /// that length pruned, making "shard 0's verdict" exactly "the length's
+    /// verdict". The shard-granular work is counted separately in
+    /// `shards_searched` / `shards_pruned`.
+    #[allow(clippy::too_many_arguments)]
+    fn search_shard(
         &self,
         j: usize,
+        shard: usize,
         masked: &[StructTokId],
         cfg: &SearchConfig,
         state: &mut SearchState<'_>,
@@ -633,20 +768,26 @@ impl StructureIndex {
         recorder: &Recorder,
     ) {
         if cfg.bdb && state.threshold() < lower_bound(masked.len(), j, self.weights) {
-            state.stats.tries_pruned += 1;
+            if shard == 0 {
+                state.stats.tries_pruned += 1;
+            }
+            state.stats.shards_pruned += 1;
             return;
         }
-        state.stats.tries_searched += 1;
+        if shard == 0 {
+            state.stats.tries_searched += 1;
+        }
+        state.stats.shards_searched += 1;
         let _span = recorder.span(SpanId::TrieWalk);
-        self.search_trie(&self.tries[j], j, masked, cfg, state, cols, recorder);
+        self.search_trie(&self.tries[j][shard], j, masked, cfg, state, cols, recorder);
     }
 
     /// Brute-force reference scan over every structure; used by tests to
     /// certify that trie search (with or without BDB) is exact.
     pub fn scan(&self, masked: &[StructTokId], k: usize) -> Vec<SearchHit> {
         let mut topk = TopK::new(k);
-        for (id, s) in self.structures.iter().enumerate() {
-            let d = weighted_lcs_distance(masked, &s.tokens, self.weights);
+        for id in 0..self.store.len() {
+            let d = weighted_lcs_distance(masked, self.store.tokens(id), self.weights);
             topk.offer(SearchHit {
                 structure: id as u32,
                 distance: d,
@@ -718,17 +859,17 @@ impl StructureIndex {
         // query: they carry the smallest Proposition 1 lower bounds, which
         // tightens the early-abandon threshold immediately.
         let m = masked.len();
-        let pivot = postings.partition_point(|&id| self.structures[id as usize].len() < m);
+        let pivot = postings.partition_point(|&id| self.store.token_len(id as usize) < m);
         let (mut lo, mut hi) = (pivot, pivot);
         loop {
             // Pick whichever side is closer in length to the query.
             let lo_gap = lo
                 .checked_sub(1)
-                .map(|i| m.abs_diff(self.structures[postings[i] as usize].len()))
+                .map(|i| m.abs_diff(self.store.token_len(postings[i] as usize)))
                 .unwrap_or(usize::MAX);
             let hi_gap = postings
                 .get(hi)
-                .map(|&id| m.abs_diff(self.structures[id as usize].len()))
+                .map(|&id| m.abs_diff(self.store.token_len(id as usize)))
                 .unwrap_or(usize::MAX);
             if lo_gap == usize::MAX && hi_gap == usize::MAX {
                 break;
@@ -740,7 +881,7 @@ impl StructureIndex {
                 lo -= 1;
                 postings[lo]
             };
-            let target = &self.structures[id as usize].tokens;
+            let target = self.store.tokens(id as usize);
             let bound = state.threshold();
             // Proposition 1: once even the length-gap lower bound exceeds
             // the k-th best distance, no remaining structure (all further in
@@ -788,7 +929,7 @@ impl TrieWalk<'_, '_, '_> {
         let chosen_prime: Option<u32> = if self.cfg.dap {
             let mut best: Option<(Dist, u32)> = None;
             for child in self.trie.children(node) {
-                let tok = self.trie.node(child).token;
+                let tok = self.trie.token(child);
                 if !is_prime(tok) {
                     continue;
                 }
@@ -809,7 +950,7 @@ impl TrieWalk<'_, '_, '_> {
         let mut fanout: u64 = 0;
         for child in self.trie.children(node) {
             fanout += 1;
-            let tok = self.trie.node(child).token;
+            let tok = self.trie.token(child);
             if self.cfg.dap && is_prime(tok) && Some(child) != chosen_prime {
                 continue;
             }
@@ -834,16 +975,16 @@ impl TrieWalk<'_, '_, '_> {
                 .map(|(i, &v)| v + wmin * (m - i).abs_diff(rem) as Dist)
                 .min()
                 .unwrap_or(DIST_INF);
-            let n = self.trie.node(child);
-            if n.structure != NONE {
+            let terminal = self.trie.structure(child);
+            if terminal != NONE {
                 self.state.offer(SearchHit {
-                    structure: n.structure,
+                    structure: terminal,
                     distance: last,
                 });
             }
             // Box 2 line 46: explore deeper only if the banded bound can
             // still beat the current k-th best ("min(DpCurCol) ≤ MinEditDist").
-            if n.first_child != NONE && bound <= self.state.threshold() {
+            if self.trie.first_child(child) != NONE && bound <= self.state.threshold() {
                 self.visit_children(child, depth + 1);
             }
         }
@@ -893,7 +1034,7 @@ impl SoaTrieWalk<'_, '_, '_> {
             // ChunkStats round-trip through memory.
             if pending.is_none() && fanout == 0 {
                 fanout = 1;
-                let tok = self.trie.node(first).token;
+                let tok = self.trie.token(first);
                 let (last, bound) = self.cols.advance_single(depth, parent_lane, tok, rem);
                 self.visit_one(first, depth, 0, last, bound);
                 break;
@@ -901,11 +1042,11 @@ impl SoaTrieWalk<'_, '_, '_> {
             let mut ids = [0u32; SOA_LANES];
             let mut toks = [StructTokId(0); SOA_LANES];
             ids[0] = first;
-            toks[0] = self.trie.node(first).token;
+            toks[0] = self.trie.token(first);
             let mut n = 1;
             while let Some(child) = pending {
                 ids[n] = child;
-                toks[n] = self.trie.node(child).token;
+                toks[n] = self.trie.token(child);
                 n += 1;
                 pending = children.next();
                 if n == SOA_LANES {
@@ -931,16 +1072,16 @@ impl SoaTrieWalk<'_, '_, '_> {
     #[inline]
     fn visit_one(&mut self, child: u32, depth: usize, lane: usize, last: Dist, bound: Dist) {
         self.state.stats.nodes_visited += 1;
-        let nd = self.trie.node(child);
-        if nd.structure != NONE {
+        let terminal = self.trie.structure(child);
+        if terminal != NONE {
             self.state.offer(SearchHit {
-                structure: nd.structure,
+                structure: terminal,
                 distance: last,
             });
         }
         // Box 2 line 46, per lane: descend only while the banded bound can
         // still beat the current k-th best.
-        if nd.first_child != NONE && bound <= self.state.threshold() {
+        if self.trie.first_child(child) != NONE && bound <= self.state.threshold() {
             self.visit_children(child, depth + 1, lane);
         }
     }

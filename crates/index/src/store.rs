@@ -1,0 +1,143 @@
+//! Structure arena storage.
+//!
+//! A built index owns its structures as the `Vec<Structure>` the generator
+//! produced. A loaded index holds the same arena *flattened*: one tokens
+//! plane, one placeholders plane, and their offset tables — the persisted
+//! layout, decoded with two large allocations instead of one small `Vec`
+//! per structure. At a million structures that difference is the load
+//! path: per-structure `Vec`s cost more in allocator traffic than every
+//! checksum and structural check in the file combined, and the flat form
+//! also drops two pointer-sized headers per structure of resident memory.
+//!
+//! Search never materializes: it reads token slices straight out of
+//! whichever representation the index holds. Callers that need an owned
+//! [`Structure`] (the engine materializes one per returned hit)
+//! get it from [`StructStore::materialize`].
+
+use speakql_grammar::{Placeholder, StructTokId, Structure};
+
+/// The structure arena behind a [`crate::StructureIndex`].
+#[derive(Debug, Clone)]
+pub(crate) enum StructStore {
+    /// Arena as built: one `Structure` per entry.
+    Owned(Vec<Structure>),
+    /// Arena as loaded: flattened planes plus offset tables.
+    Flat(FlatStore),
+}
+
+/// Flattened structure arena. Invariants (upheld by the persist loader,
+/// which validates them before construction): both offset tables have
+/// `count + 1` monotone entries, their last entry equals the matching
+/// plane's length, and structure `i` owns the half-open window
+/// `offsets[i]..offsets[i + 1]` of its plane.
+#[derive(Debug, Clone)]
+pub(crate) struct FlatStore {
+    pub(crate) tok_offsets: Vec<u32>,
+    pub(crate) tokens: Vec<StructTokId>,
+    pub(crate) ph_offsets: Vec<u32>,
+    pub(crate) placeholders: Vec<Placeholder>,
+}
+
+impl StructStore {
+    /// Number of structures in the arena.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            StructStore::Owned(v) => v.len(),
+            StructStore::Flat(f) => f.tok_offsets.len().saturating_sub(1),
+        }
+    }
+
+    /// True when the arena holds no structures.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Token sequence of structure `id`.
+    pub(crate) fn tokens(&self, id: usize) -> &[StructTokId] {
+        match self {
+            StructStore::Owned(v) => &v[id].tokens,
+            StructStore::Flat(f) => {
+                &f.tokens[f.tok_offsets[id] as usize..f.tok_offsets[id + 1] as usize]
+            }
+        }
+    }
+
+    /// Token count of structure `id` without touching the tokens plane.
+    pub(crate) fn token_len(&self, id: usize) -> usize {
+        match self {
+            StructStore::Owned(v) => v[id].tokens.len(),
+            StructStore::Flat(f) => (f.tok_offsets[id + 1] - f.tok_offsets[id]) as usize,
+        }
+    }
+
+    /// Placeholder records of structure `id`, in Var order.
+    pub(crate) fn placeholders(&self, id: usize) -> &[Placeholder] {
+        match self {
+            StructStore::Owned(v) => &v[id].placeholders,
+            StructStore::Flat(f) => {
+                &f.placeholders[f.ph_offsets[id] as usize..f.ph_offsets[id + 1] as usize]
+            }
+        }
+    }
+
+    /// Owned copy of structure `id`.
+    pub(crate) fn materialize(&self, id: usize) -> Structure {
+        Structure {
+            tokens: self.tokens(id).to_vec(),
+            placeholders: self.placeholders(id).to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Structure> {
+        use speakql_grammar::LitCategory;
+        vec![
+            Structure {
+                tokens: vec![StructTokId(1), StructTokId(0), StructTokId(3)],
+                placeholders: vec![Placeholder {
+                    category: LitCategory::Table,
+                    governor: None,
+                }],
+            },
+            Structure {
+                tokens: vec![StructTokId(2)],
+                placeholders: Vec::new(),
+            },
+        ]
+    }
+
+    fn flatten(structures: &[Structure]) -> FlatStore {
+        let mut f = FlatStore {
+            tok_offsets: vec![0],
+            tokens: Vec::new(),
+            ph_offsets: vec![0],
+            placeholders: Vec::new(),
+        };
+        for s in structures {
+            f.tokens.extend_from_slice(&s.tokens);
+            f.placeholders.extend_from_slice(&s.placeholders);
+            f.tok_offsets.push(f.tokens.len() as u32);
+            f.ph_offsets.push(f.placeholders.len() as u32);
+        }
+        f
+    }
+
+    #[test]
+    fn owned_and_flat_agree() {
+        let structures = sample();
+        let owned = StructStore::Owned(structures.clone());
+        let flat = StructStore::Flat(flatten(&structures));
+        assert_eq!(owned.len(), flat.len());
+        for (id, s) in structures.iter().enumerate() {
+            assert_eq!(owned.tokens(id), flat.tokens(id));
+            assert_eq!(owned.token_len(id), flat.token_len(id));
+            assert_eq!(owned.placeholders(id), flat.placeholders(id));
+            assert_eq!(owned.materialize(id), flat.materialize(id));
+            assert_eq!(flat.materialize(id), *s);
+        }
+    }
+}

@@ -1,26 +1,76 @@
-//! Per-length tries over ground-truth structures (paper §3.3).
+//! Per-length trie shards over ground-truth structures (paper §3.3).
 //!
-//! All generated structures of one token length are packed into one trie;
-//! a path from root to leaf spells a structure's token sequence, and the
-//! leaf stores the structure's id in the arena. The paper stores "50
-//! disjoint tries, one per structure length", trading memory for latency.
+//! All generated structures of one token length are packed into tries; a
+//! path from root to leaf spells a structure's token sequence, and the leaf
+//! stores the structure's id in the arena. The paper stores "50 disjoint
+//! tries, one per structure length", trading memory for latency; this
+//! implementation additionally splits each length's structures across
+//! multiple *shard* tries (see `StructureIndex::build`) so parallel search
+//! has real fan-out even when one length dominates.
 //!
-//! Nodes use the compact first-child/next-sibling representation: 16 bytes
-//! per node, no per-node allocation.
+//! Nodes live in four structure-of-arrays planes (token / first-child /
+//! next-sibling / structure) in the compact first-child/next-sibling
+//! representation: 13 bytes per node, no per-node allocation. The planes
+//! come in two forms behind one accessor surface:
+//!
+//! - **Owned** — `Vec` planes built in memory by [`Trie::insert`].
+//! - **View** — [`Bytes`] planes borrowed zero-copy from a validated
+//!   persisted image (see `persist`). Views are immutable; they are only
+//!   constructed after the loader has bounds- and checksum-validated the
+//!   planes, so accessors never need to re-check on the hot path beyond the
+//!   slice bounds checks the borrow checker already demands.
 
+use bytes::Bytes;
 use speakql_grammar::StructTokId;
 
 pub(crate) const NONE: u32 = u32::MAX;
 
-/// One trie node. The token labels the *incoming* edge.
-#[derive(Debug, Clone, Copy)]
+/// One trie node, materialized by value from the storage planes. The token
+/// labels the *incoming* edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Node {
+    /// Token on the edge from the parent.
     pub token: StructTokId,
+    /// Arena index of the first child, or `u32::MAX` for a leaf.
     pub first_child: u32,
+    /// Arena index of the next sibling, or `u32::MAX` for the last child.
     pub next_sibling: u32,
     /// Structure id if this node terminates a structure (always at depth
-    /// equal to the trie's length), else `NONE`.
+    /// equal to the trie's length), else `u32::MAX`.
     pub structure: u32,
+}
+
+/// Node storage: four planes, either owned and growable or borrowed
+/// zero-copy from a persisted image.
+#[derive(Debug, Clone)]
+enum NodeStore {
+    Owned {
+        token: Vec<StructTokId>,
+        first_child: Vec<u32>,
+        next_sibling: Vec<u32>,
+        structure: Vec<u32>,
+    },
+    View {
+        count: usize,
+        /// One byte per node.
+        token: Bytes,
+        /// Little-endian `u32` per node.
+        first_child: Bytes,
+        next_sibling: Bytes,
+        structure: Bytes,
+    },
+}
+
+/// Read the `idx`-th little-endian `u32` of a validated plane. Out-of-range
+/// reads (impossible on validated views) yield the inert `NONE` sentinel
+/// instead of panicking.
+#[inline]
+fn plane_u32(plane: &Bytes, idx: u32) -> u32 {
+    let i = idx as usize * 4;
+    match plane.get(i..i + 4) {
+        Some(&[a, b, c, d]) => u32::from_le_bytes([a, b, c, d]),
+        _ => NONE,
+    }
 }
 
 /// A trie over equal-length token sequences.
@@ -28,88 +78,172 @@ pub struct Node {
 pub struct Trie {
     /// Token length of every sequence stored here.
     pub len: usize,
-    /// Node arena; index 0 is the root (whose token is unused).
-    nodes: Vec<Node>,
+    nodes: NodeStore,
 }
 
 impl Trie {
-    /// An empty trie for token sequences of exactly `len` tokens, holding
-    /// only the root node.
+    /// An empty, owned trie for token sequences of exactly `len` tokens,
+    /// holding only the root node.
     pub fn new(len: usize) -> Trie {
         Trie {
             len,
-            nodes: vec![Node {
-                token: StructTokId::VAR,
-                first_child: NONE,
-                next_sibling: NONE,
-                structure: NONE,
-            }],
+            nodes: NodeStore::Owned {
+                token: vec![StructTokId::VAR],
+                first_child: vec![NONE],
+                next_sibling: vec![NONE],
+                structure: vec![NONE],
+            },
         }
     }
 
-    /// Access a node by arena index (0 = root).
-    pub fn node(&self, idx: u32) -> &Node {
-        &self.nodes[idx as usize]
+    /// A trie whose node planes are zero-copy views over a validated
+    /// persisted image. `count` is the node count; each `u32` plane holds
+    /// `count` little-endian values and the token plane `count` bytes. The
+    /// caller (the persist loader) has already validated bounds, checksums,
+    /// and structural invariants.
+    pub(crate) fn from_view(
+        len: usize,
+        count: usize,
+        token: Bytes,
+        first_child: Bytes,
+        next_sibling: Bytes,
+        structure: Bytes,
+    ) -> Trie {
+        Trie {
+            len,
+            nodes: NodeStore::View {
+                count,
+                token,
+                first_child,
+                next_sibling,
+                structure,
+            },
+        }
+    }
+
+    /// Token on the incoming edge of node `idx`.
+    #[inline]
+    pub fn token(&self, idx: u32) -> StructTokId {
+        match &self.nodes {
+            NodeStore::Owned { token, .. } => token[idx as usize],
+            NodeStore::View { token, .. } => {
+                StructTokId(token.get(idx as usize).copied().unwrap_or(0))
+            }
+        }
+    }
+
+    /// Arena index of node `idx`'s first child (`u32::MAX` = leaf).
+    #[inline]
+    pub fn first_child(&self, idx: u32) -> u32 {
+        match &self.nodes {
+            NodeStore::Owned { first_child, .. } => first_child[idx as usize],
+            NodeStore::View { first_child, .. } => plane_u32(first_child, idx),
+        }
+    }
+
+    /// Arena index of node `idx`'s next sibling (`u32::MAX` = last child).
+    #[inline]
+    pub fn next_sibling(&self, idx: u32) -> u32 {
+        match &self.nodes {
+            NodeStore::Owned { next_sibling, .. } => next_sibling[idx as usize],
+            NodeStore::View { next_sibling, .. } => plane_u32(next_sibling, idx),
+        }
+    }
+
+    /// Structure id terminated at node `idx` (`u32::MAX` = none).
+    #[inline]
+    pub fn structure(&self, idx: u32) -> u32 {
+        match &self.nodes {
+            NodeStore::Owned { structure, .. } => structure[idx as usize],
+            NodeStore::View { structure, .. } => plane_u32(structure, idx),
+        }
+    }
+
+    /// Materialize a node by arena index (0 = root).
+    pub fn node(&self, idx: u32) -> Node {
+        Node {
+            token: self.token(idx),
+            first_child: self.first_child(idx),
+            next_sibling: self.next_sibling(idx),
+            structure: self.structure(idx),
+        }
     }
 
     /// Number of nodes in the arena, including the root.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        match &self.nodes {
+            NodeStore::Owned { token, .. } => token.len(),
+            NodeStore::View { count, .. } => *count,
+        }
     }
 
     /// True when no sequence has been inserted.
     pub fn is_empty(&self) -> bool {
-        self.nodes[0].first_child == NONE
+        self.first_child(0) == NONE
     }
 
     /// Iterate the children of a node in insertion order.
     pub fn children(&self, idx: u32) -> ChildIter<'_> {
         ChildIter {
             trie: self,
-            next: self.nodes[idx as usize].first_child,
+            next: self.first_child(idx),
         }
     }
 
     /// Insert a token sequence; `structure` is its arena id. Sequences must
-    /// have exactly `self.len` tokens and be unique.
+    /// have exactly `self.len` tokens and be unique. Insertion targets
+    /// owned tries only; zero-copy views are sealed at load time, and
+    /// inserting into one is an inert no-op.
     pub fn insert(&mut self, tokens: &[StructTokId], structure: u32) {
         debug_assert_eq!(tokens.len(), self.len);
         let mut cur = 0u32;
         for &tok in tokens {
             cur = self.child_or_insert(cur, tok);
         }
-        debug_assert_eq!(
-            self.nodes[cur as usize].structure, NONE,
-            "duplicate structure"
-        );
-        self.nodes[cur as usize].structure = structure;
+        debug_assert_eq!(self.structure(cur), NONE, "duplicate structure");
+        if let NodeStore::Owned {
+            structure: plane, ..
+        } = &mut self.nodes
+        {
+            plane[cur as usize] = structure;
+        }
     }
 
     fn child_or_insert(&mut self, parent: u32, tok: StructTokId) -> u32 {
         // Find an existing child with this token.
         let mut prev = NONE;
-        let mut cur = self.nodes[parent as usize].first_child;
+        let mut cur = self.first_child(parent);
         while cur != NONE {
-            if self.nodes[cur as usize].token == tok {
+            if self.token(cur) == tok {
                 return cur;
             }
             prev = cur;
-            cur = self.nodes[cur as usize].next_sibling;
+            cur = self.next_sibling(cur);
         }
+        let NodeStore::Owned {
+            token,
+            first_child,
+            next_sibling,
+            structure,
+        } = &mut self.nodes
+        else {
+            // Views are sealed (see `insert`); returning the parent keeps a
+            // misuse inert instead of panicking.
+            debug_assert!(false, "insert into a zero-copy trie view");
+            return parent;
+        };
         // Append a new child at the end of the sibling list so iteration
         // order matches insertion (= arena) order, keeping search results
         // deterministic.
-        let new_idx = self.nodes.len() as u32;
-        self.nodes.push(Node {
-            token: tok,
-            first_child: NONE,
-            next_sibling: NONE,
-            structure: NONE,
-        });
+        let new_idx = token.len() as u32;
+        token.push(tok);
+        first_child.push(NONE);
+        next_sibling.push(NONE);
+        structure.push(NONE);
         if prev == NONE {
-            self.nodes[parent as usize].first_child = new_idx;
+            first_child[parent as usize] = new_idx;
         } else {
-            self.nodes[prev as usize].next_sibling = new_idx;
+            next_sibling[prev as usize] = new_idx;
         }
         new_idx
     }
@@ -129,7 +263,7 @@ impl<'a> Iterator for ChildIter<'a> {
             return None;
         }
         let cur = self.next;
-        self.next = self.trie.nodes[cur as usize].next_sibling;
+        self.next = self.trie.next_sibling(cur);
         Some(cur)
     }
 }
@@ -167,8 +301,8 @@ mod tests {
         let Some(c2) = t.children(c1).next() else {
             panic!("depth-1 node must have a child after insert");
         };
-        assert_eq!(t.node(c2).structure, 42);
-        assert_eq!(t.node(c1).structure, NONE);
+        assert_eq!(t.structure(c2), 42);
+        assert_eq!(t.structure(c1), NONE);
     }
 
     #[test]
@@ -177,7 +311,7 @@ mod tests {
         t.insert(&[kw(Keyword::Where)], 0);
         t.insert(&[kw(Keyword::Select)], 1);
         t.insert(&[var()], 2);
-        let toks: Vec<StructTokId> = t.children(0).map(|c| t.node(c).token).collect();
+        let toks: Vec<StructTokId> = t.children(0).map(|c| t.token(c)).collect();
         assert_eq!(toks, vec![kw(Keyword::Where), kw(Keyword::Select), var()]);
     }
 
@@ -186,5 +320,49 @@ mod tests {
         let t = Trie::new(5);
         assert!(t.is_empty());
         assert_eq!(t.children(0).count(), 0);
+    }
+
+    #[test]
+    fn view_matches_owned() {
+        // Build an owned trie, serialize its planes by hand, and check the
+        // zero-copy view is observationally identical node for node.
+        let mut t = Trie::new(2);
+        t.insert(&[kw(Keyword::Select), var()], 7);
+        t.insert(&[kw(Keyword::Where), var()], 8);
+        t.insert(&[kw(Keyword::Where), kw(Keyword::From)], 9);
+        let n = t.node_count();
+        let mut token = Vec::new();
+        let mut fc = Vec::new();
+        let mut ns = Vec::new();
+        let mut st = Vec::new();
+        for i in 0..n as u32 {
+            token.push(t.token(i).0);
+            fc.extend_from_slice(&t.first_child(i).to_le_bytes());
+            ns.extend_from_slice(&t.next_sibling(i).to_le_bytes());
+            st.extend_from_slice(&t.structure(i).to_le_bytes());
+        }
+        let v = Trie::from_view(
+            2,
+            n,
+            Bytes::from(token),
+            Bytes::from(fc),
+            Bytes::from(ns),
+            Bytes::from(st),
+        );
+        assert_eq!(v.node_count(), n);
+        assert!(!v.is_empty());
+        for i in 0..n as u32 {
+            assert_eq!(v.node(i), t.node(i), "node {i}");
+        }
+        let walk = |t: &Trie| -> Vec<u32> {
+            let mut out = Vec::new();
+            let mut stack = vec![0u32];
+            while let Some(x) = stack.pop() {
+                out.push(x);
+                stack.extend(t.children(x));
+            }
+            out
+        };
+        assert_eq!(walk(&v), walk(&t));
     }
 }

@@ -108,6 +108,24 @@ pub enum CounterId {
     /// Wire-protocol violations (oversized, truncated, or malformed frames)
     /// observed by server connection handlers.
     ServerProtocolErrors,
+    /// Trie shards (per-length segment tries) actually walked during search.
+    /// A per-length trie split into `s` shards contributes up to `s` here
+    /// but at most one to [`CounterId::SearchTriesSearched`].
+    SearchShardsSearched,
+    /// Trie shards skipped by the bidirectional bounds before walking.
+    SearchShardsPruned,
+    /// Persisted indexes loaded through the zero-copy validate-then-borrow
+    /// path (segmented v2 images): no per-node trie rebuild occurred.
+    IndexLoadZeroCopy,
+    /// Persisted indexes loaded by deserializing and rebuilding the arena
+    /// (legacy v1 images, or an explicit rebuild request).
+    IndexLoadRebuild,
+    /// Trie segments bounds/checksum/structure-validated during zero-copy
+    /// index loads.
+    IndexLoadSegments,
+    /// Engine constructions that failed to load a persisted index (bad
+    /// magic/version/checksum/truncation), surfaced as typed errors.
+    ErrorsIndexLoad,
 }
 
 /// Number of distinct [`CounterId`]s.
@@ -115,7 +133,7 @@ pub const COUNTER_COUNT: usize = CounterId::ALL.len();
 
 impl CounterId {
     /// Every counter, in registry order.
-    pub const ALL: [CounterId; 27] = [
+    pub const ALL: [CounterId; 33] = [
         CounterId::SearchNodesVisited,
         CounterId::SearchTriesSearched,
         CounterId::SearchTriesPruned,
@@ -143,6 +161,12 @@ impl CounterId {
         CounterId::ServerRetries,
         CounterId::ServerUnknownTenant,
         CounterId::ServerProtocolErrors,
+        CounterId::SearchShardsSearched,
+        CounterId::SearchShardsPruned,
+        CounterId::IndexLoadZeroCopy,
+        CounterId::IndexLoadRebuild,
+        CounterId::IndexLoadSegments,
+        CounterId::ErrorsIndexLoad,
     ];
 
     /// Stable dotted name used in reports and `BENCH_*.json`.
@@ -175,6 +199,12 @@ impl CounterId {
             CounterId::ServerRetries => "server.retries",
             CounterId::ServerUnknownTenant => "server.unknown_tenant",
             CounterId::ServerProtocolErrors => "server.protocol_errors",
+            CounterId::SearchShardsSearched => "search.shards_searched",
+            CounterId::SearchShardsPruned => "search.shards_pruned_bdb",
+            CounterId::IndexLoadZeroCopy => "index.load.zero_copy",
+            CounterId::IndexLoadRebuild => "index.load.rebuild",
+            CounterId::IndexLoadSegments => "index.load.segments_validated",
+            CounterId::ErrorsIndexLoad => "engine.errors.index_load",
         }
     }
 }

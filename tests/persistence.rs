@@ -4,12 +4,12 @@
 //! must surface a [`PersistError`] rather than panic.
 
 use proptest::prelude::*;
-use speakql_core::{SpeakQl, SpeakQlConfig};
+use speakql_core::{SpeakQl, SpeakQlConfig, SpeakQlError};
 use speakql_data::employees_db;
 use speakql_editdist::Weights;
 use speakql_grammar::{GeneratorConfig, LitCategory, Placeholder, StructTokId, Structure};
 use speakql_index::{
-    from_bytes, load_from_path, save_to_path, to_bytes, PersistError, StructureIndex,
+    from_bytes, save_to_path, to_bytes, DpKernel, PersistError, SearchConfig, StructureIndex,
 };
 use std::sync::Arc;
 
@@ -25,8 +25,6 @@ fn reloaded_index_drives_identical_engine() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("index.sqlx");
     save_to_path(&index, &path).expect("save");
-    let reloaded = load_from_path(&path).expect("load");
-    std::fs::remove_file(&path).ok();
 
     let db = employees_db();
     let engine_cfg = SpeakQlConfig {
@@ -34,7 +32,11 @@ fn reloaded_index_drives_identical_engine() {
         ..SpeakQlConfig::paper()
     };
     let original = SpeakQl::with_index(&db, Arc::new(index), engine_cfg.clone());
-    let restored = SpeakQl::with_index(&db, Arc::new(reloaded), engine_cfg);
+    // The restored engine goes through the engine-level persisted-index
+    // entry point, i.e. the zero-copy validate-then-borrow load path.
+    let restored = SpeakQl::with_persisted_index(&db, &path, engine_cfg)
+        .expect("load persisted index into engine");
+    std::fs::remove_file(&path).ok();
 
     for transcript in [
         "select salary from salaries",
@@ -61,15 +63,20 @@ fn persisted_file_size_is_compact() {
     };
     let index = StructureIndex::from_grammar(&cfg, Weights::PAPER);
     let bytes = speakql_index::to_bytes(&index).expect("serialize");
-    // Roughly 20-30 bytes per structure; certainly under 64.
+    // The v2 image carries the trie node planes (13 bytes/node) alongside
+    // the ~20-30 bytes/structure arena, trading bytes at rest for a
+    // zero-copy load; certainly under 128 per structure.
     assert!(
-        bytes.len() < 5_000 * 64,
+        bytes.len() < 5_000 * 128,
         "{} bytes for 5000 structures",
         bytes.len()
     );
     // And the arena reconstructs identically.
     let reloaded = speakql_index::from_bytes(&bytes).expect("roundtrip");
-    assert_eq!(reloaded.structures(), index.structures());
+    assert_eq!(reloaded.len(), index.len());
+    for id in 0..index.len() as u32 {
+        assert_eq!(reloaded.structure(id), index.structure(id));
+    }
 }
 
 /// One random but well-formed structure: tokens over the full alphabet with
@@ -130,9 +137,11 @@ proptest! {
         let index = StructureIndex::build(structures, weights);
         let bytes = to_bytes(&index).expect("serialize");
         let restored = from_bytes(&bytes).expect("roundtrip");
-        prop_assert_eq!(restored.structures(), index.structures());
         prop_assert_eq!(restored.weights(), index.weights());
         prop_assert_eq!(restored.len(), index.len());
+        for id in 0..index.len() as u32 {
+            prop_assert_eq!(restored.structure(id), index.structure(id));
+        }
     }
 
     /// Corrupting any single byte of a valid image either round-trips to a
@@ -143,11 +152,118 @@ proptest! {
         pos_seed in any::<u64>(),
         xor in 1u8..=255,
     ) {
+        let mut seen = std::collections::HashSet::new();
+        let structures: Vec<Structure> = structures
+            .into_iter()
+            .filter(|s| seen.insert(s.tokens.clone()))
+            .collect();
         let index = StructureIndex::build(structures, Weights::PAPER);
         let mut bytes = to_bytes(&index).expect("serialize").to_vec();
         let pos = (pos_seed % bytes.len() as u64) as usize;
         bytes[pos] ^= xor;
         let _ = from_bytes(&bytes);
+    }
+
+    /// `build → to_bytes → validate-borrow → search` is byte-identical to
+    /// searching the arena built in memory, across thread counts and DP
+    /// kernels: same hits, same order, same distances. The borrowed planes
+    /// must be indistinguishable from the owned ones under every execution
+    /// schedule.
+    #[test]
+    fn zero_copy_roundtrip_search_is_byte_identical(
+        structures in prop::collection::vec(arb_structure(), 1..40),
+        masked in prop::collection::vec(0u8..28, 0..16),
+        k in 1usize..6,
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let structures: Vec<Structure> = structures
+            .into_iter()
+            .filter(|s| seen.insert(s.tokens.clone()))
+            .collect();
+        let built = StructureIndex::build(structures, Weights::PAPER);
+        let bytes = to_bytes(&built).expect("serialize");
+        let borrowed = speakql_index::from_shared(bytes).expect("validate-borrow");
+        let masked: Vec<StructTokId> = masked.into_iter().map(StructTokId).collect();
+        for kernel in [DpKernel::Scalar, DpKernel::Soa] {
+            for threads in [1usize, 2, 8] {
+                let cfg = SearchConfig { k, kernel, threads, ..SearchConfig::default() };
+                prop_assert_eq!(
+                    built.search(&masked, &cfg),
+                    borrowed.search(&masked, &cfg),
+                    "kernel={:?} threads={}", kernel, threads
+                );
+            }
+        }
+    }
+
+    /// Fuzzing the header and offset-table region (the bytes that steer
+    /// every downstream bounds computation) with multiple simultaneous
+    /// corruptions must yield a typed error or a valid index — never a
+    /// panic, even though checksums may still pass when mutations cancel.
+    #[test]
+    fn header_and_offset_fuzzing_never_panics(
+        structures in prop::collection::vec(arb_structure(), 1..10),
+        edits in prop::collection::vec((any::<u64>(), 1u8..=255), 1..8),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let structures: Vec<Structure> = structures
+            .into_iter()
+            .filter(|s| seen.insert(s.tokens.clone()))
+            .collect();
+        let index = StructureIndex::build(structures, Weights::PAPER);
+        let mut bytes = to_bytes(&index).expect("serialize").to_vec();
+        // Constrain mutations to the header + leading offset tables so the
+        // fuzz concentrates where field interpretation happens.
+        let window = bytes.len().min(160) as u64;
+        for (seed, xor) in edits {
+            bytes[(seed % window) as usize] ^= xor;
+        }
+        let _ = from_bytes(&bytes);
+    }
+
+    /// A syntactically plausible preamble (good magic + current version)
+    /// followed by arbitrary bytes must never panic the loader.
+    #[test]
+    fn arbitrary_payload_after_valid_preamble_never_panics(
+        payload in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut image = b"SQLX".to_vec();
+        image.extend_from_slice(&2u16.to_be_bytes());
+        image.extend_from_slice(&payload);
+        let _ = from_bytes(&image);
+    }
+}
+
+#[test]
+fn engine_surfaces_typed_index_load_errors() {
+    let dir = std::env::temp_dir().join("speakql-it-persist");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("not-an-index.sqlx");
+    std::fs::write(&path, b"definitely not an index").unwrap();
+    let Err(err) = SpeakQl::with_persisted_index(&employees_db(), &path, SpeakQlConfig::small())
+    else {
+        panic!("garbage must not build an engine");
+    };
+    std::fs::remove_file(&path).ok();
+    match &err {
+        SpeakQlError::IndexLoad { class, message } => {
+            assert_eq!(*class, "bad_magic");
+            assert!(message.contains("not a SpeakQL index file"), "{message}");
+        }
+        other => panic!("expected IndexLoad, got {other:?}"),
+    }
+    assert_eq!(err.class(), "index_load");
+
+    let Err(missing) = SpeakQl::with_persisted_index(
+        &employees_db(),
+        dir.join("missing.sqlx"),
+        SpeakQlConfig::small(),
+    ) else {
+        panic!("missing file must not build an engine");
+    };
+    match missing {
+        SpeakQlError::IndexLoad { class, .. } => assert_eq!(class, "io"),
+        other => panic!("expected IndexLoad, got {other:?}"),
     }
 }
 

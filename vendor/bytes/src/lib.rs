@@ -1,8 +1,11 @@
 //! Offline vendored subset of the `bytes` crate: [`Buf`] over `&[u8]`,
-//! [`BufMut`]/[`BytesMut`] for building buffers, and an immutable [`Bytes`]
-//! handle. Multi-byte integers are big-endian, matching upstream defaults.
+//! [`BufMut`]/[`BytesMut`] for building buffers, and a refcounted immutable
+//! [`Bytes`] handle with zero-copy [`Bytes::slice`] windows. Multi-byte
+//! integers are big-endian by default, matching upstream; explicit `_le`
+//! variants write little-endian.
 
-use std::ops::Deref;
+use std::ops::{Deref, Range};
+use std::sync::Arc;
 
 /// Read-side cursor over a byte source.
 pub trait Buf {
@@ -83,6 +86,18 @@ pub trait BufMut {
     fn put_u64(&mut self, v: u64) {
         self.put_slice(&v.to_be_bytes());
     }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
 }
 
 /// A growable byte buffer.
@@ -111,7 +126,7 @@ impl BytesMut {
     }
 
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data }
+        Bytes::from(self.data)
     }
 }
 
@@ -129,45 +144,84 @@ impl Deref for BytesMut {
     }
 }
 
-/// An immutable byte buffer.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// An immutable, refcounted byte buffer. Cloning and [`Bytes::slice`] are
+/// O(1): both share the same backing allocation, so views carved out of one
+/// loaded file keep it alive without copying.
+#[derive(Debug, Clone)]
 pub struct Bytes {
-    data: Vec<u8>,
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
     pub fn new() -> Self {
-        Bytes::default()
+        Bytes::from(Vec::new())
     }
 
     pub fn copy_from_slice(src: &[u8]) -> Self {
-        Bytes { data: src.to_vec() }
+        Bytes::from(src.to_vec())
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.clone()
+        self.as_slice().to_vec()
+    }
+
+    /// Zero-copy sub-window sharing this buffer's allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is inverted or out of bounds, mirroring slice
+    /// indexing.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
     }
 }
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
 
 impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
@@ -179,7 +233,12 @@ impl AsRef<[u8]> for BytesMut {
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data }
+        let end = data.len();
+        Bytes {
+            data: Arc::from(data),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -207,6 +266,38 @@ mod tests {
         assert_eq!(cursor.get_u32(), 0xDEAD_CAFE);
         assert_eq!(cursor.get_u8(), 7);
         assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn little_endian_writers() {
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(0xBEEF);
+        buf.put_u32_le(0xDEAD_CAFE);
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        assert_eq!(buf[0], 0xEF);
+        assert_eq!(buf[1], 0xBE);
+        assert_eq!(buf[2], 0xFE);
+        assert_eq!(buf[6], 0x08);
+    }
+
+    #[test]
+    fn slices_share_the_allocation() {
+        let b = Bytes::from((0u8..32).collect::<Vec<u8>>());
+        let s = b.slice(4..12);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s[0], 4);
+        let s2 = s.slice(2..4);
+        assert_eq!(&s2[..], &[6, 7]);
+        assert_eq!(Arc::strong_count(&b.data), 3);
+        drop(b);
+        assert_eq!(&s2[..], &[6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let _ = b.slice(1..5);
     }
 
     #[test]
