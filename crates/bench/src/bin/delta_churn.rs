@@ -1,0 +1,639 @@
+//! `delta_churn` — incremental index maintenance benchmark and CI gate.
+//!
+//! Replays the "one table changed" catalog churn against a 500k-structure
+//! synthetic space (same shape as `scale_curve`: one dominant trie length,
+//! a spread of tail lengths): tombstone 1,000 structures of one tail length
+//! and append 1,000 new ones at the same length, then gate what the paper's
+//! interactive-service framing needs from index maintenance:
+//!
+//! - **Incremental beats rebuild**: `apply_delta` wall-clock must be ≥ 10x
+//!   faster than a full `StructureIndex::build` over the live structures.
+//! - **Counter-proven segment reuse**: the `DeltaStats` counter-proof (and
+//!   the matching `index.delta.*` recorder counters) must show exactly one
+//!   affected length, every segment either rebuilt or reused, and ≥ 95% of
+//!   segments reused.
+//! - **Equivalence**: the delta'd index and the full rebuild return the
+//!   same hits (resolved to token sequences — the rebuild compacts ids) on
+//!   a deterministic probe workload.
+//! - **Warm cache across churn**: a tenant that kept the old index must
+//!   see its shared-cache hit rate move by at most 5 points when another
+//!   tenant hot-swaps to the delta'd index — and reloading the old image's
+//!   bytes must derive the same generation and keep serving 100% warm (the
+//!   content-derived-generation bugfix this workload exists to pin).
+//! - **v3 round-trip**: the delta'd (tombstoned) index survives
+//!   `to_bytes` → `from_shared` with generation and hits intact.
+//!
+//! ```text
+//! delta_churn [--structures N] [--out FILE]   run the workload (default 500k)
+//! delta_churn --check BASELINE [--out FILE]   CI mode: also gate the exact
+//!                                             delta/cache counters and an
+//!                                             apply wall-clock band against
+//!                                             the committed baseline
+//! ```
+//!
+//! Counters are exact (deterministic workload, sequential search); apply
+//! wall-clock gets the usual ±30% band plus a 10x drift floor.
+
+use serde_json::{json, Map, Value};
+use speakql_core::{CounterId, Recorder, SkeletonCache};
+use speakql_editdist::Weights;
+use speakql_grammar::{StructTokId, Structure, STRUCT_ALPHABET};
+use speakql_index::{from_shared, to_bytes, IndexDelta, SearchConfig, StructureIndex};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Structure count CI gates on.
+const CHECK_SIZE: usize = 500_000;
+/// Token length that dominates the synthetic space (90% of structures).
+const DOMINANT_LEN: usize = 12;
+/// Lengths the remaining 10% spread over.
+const TAIL_LENS: [usize; 8] = [4, 6, 8, 10, 14, 16, 18, 20];
+/// The churned ("one table") length and its position in [`TAIL_LENS`].
+const CHURN_LEN: usize = 14;
+const CHURN_LEN_SLOT: usize = 4;
+/// Structures removed and added by the churn delta.
+const CHURN: usize = 1_000;
+/// Probe queries replayed against every index variant.
+const QUERIES: usize = 24;
+/// Seed for the probe-query mutations.
+const QUERY_SEED: u64 = 0xC4u64 << 8 | 0x51;
+/// Required incremental-vs-rebuild wall-clock speedup.
+const MIN_DELTA_SPEEDUP: f64 = 10.0;
+/// Required fraction of segments carried over unchanged.
+const MIN_REUSE_FRACTION: f64 = 0.95;
+/// Maximum warm-hit-rate movement for an untouched tenant, in points.
+const MAX_HIT_RATE_DELTA: f64 = 0.05;
+/// Apply wall-clock regression tolerance vs baseline.
+const WALL_CLOCK_TOLERANCE: f64 = 0.30;
+/// Drift floor on apply wall-clock.
+const MAX_IMPROVEMENT: f64 = 10.0;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, out) = take_flag(&args, "--out");
+    let (args, check) = take_flag(&args, "--check");
+    let (args, structures) = take_flag(&args, "--structures");
+    if !args.is_empty() {
+        eprintln!("usage: delta_churn [--structures N] [--check BASELINE.json] [--out FILE]");
+        return ExitCode::from(2);
+    }
+    let n = match structures {
+        Some(s) => match s.parse::<usize>() {
+            // The churn targets tail-length ids, so the tail must hold them.
+            Ok(v) if v / 10 >= TAIL_LENS.len() * CHURN => v,
+            _ => {
+                eprintln!(
+                    "bad --structures {s:?} (need an integer >= {})",
+                    10 * TAIL_LENS.len() * CHURN
+                );
+                return ExitCode::from(2);
+            }
+        },
+        None => CHECK_SIZE,
+    };
+    let out = out.unwrap_or_else(|| "DELTA_CHURN.json".to_string());
+
+    let (snapshot, pass) = run_churn(n);
+    match serde_json::to_string_pretty(&snapshot) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&out, text) {
+                eprintln!("error writing {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[delta_churn] wrote {out}");
+        }
+        Err(e) => {
+            eprintln!("error serializing snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if !pass {
+        eprintln!("[delta_churn] FAIL: in-run invariant violated (see above)");
+        return ExitCode::FAILURE;
+    }
+    if let Some(baseline_path) = check {
+        let baseline: Value = match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+        {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error reading baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return compare(&baseline, &snapshot, &baseline_path);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Split off a `--flag value` pair from free-form args.
+fn take_flag(args: &[String], flag: &str) -> (Vec<String>, Option<String>) {
+    let mut rest = Vec::new();
+    let mut value = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag && i + 1 < args.len() {
+            value = Some(args[i + 1].clone());
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (rest, value)
+}
+
+/// SplitMix64, the deterministic platform-stable RNG for probe mutations.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Encode `i` as a length-`len` token sequence over the non-VAR alphabet
+/// (most-significant digit first, so consecutive indexes share prefixes).
+fn encode(i: u64, len: usize) -> Structure {
+    let base = (STRUCT_ALPHABET - 1) as u64;
+    let mut tokens = vec![StructTokId(1); len];
+    let mut v = i;
+    for pos in (0..len).rev() {
+        tokens[pos] = StructTokId(1 + (v % base) as u8);
+        v /= base;
+    }
+    Structure {
+        tokens,
+        placeholders: Vec::new(),
+    }
+}
+
+/// `n` synthetic structures, `scale_curve`'s shape: 90% at [`DOMINANT_LEN`],
+/// the rest cycling over [`TAIL_LENS`]. Tail slot `i` has length
+/// `TAIL_LENS[i % 8]` and payload `encode(i / 8, len)`, which the churn
+/// construction below relies on to address length-[`CHURN_LEN`] ids.
+fn synthetic_structures(n: usize) -> Vec<Structure> {
+    let dom = n - n / 10;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..dom {
+        out.push(encode(i as u64, DOMINANT_LEN));
+    }
+    for i in 0..(n - dom) {
+        let len = TAIL_LENS[i % TAIL_LENS.len()];
+        out.push(encode((i / TAIL_LENS.len()) as u64, len));
+    }
+    out
+}
+
+/// Deterministic probe queries: structure token sequences with two mutated
+/// positions, drawn from the whole space (dominant and tail lengths both).
+fn queries(structures: &[Structure]) -> Vec<Vec<StructTokId>> {
+    let mut state = QUERY_SEED;
+    (0..QUERIES)
+        .map(|_| {
+            let s = &structures[(splitmix64(&mut state) % structures.len() as u64) as usize];
+            let mut q = s.tokens.clone();
+            for _ in 0..2 {
+                let pos = (splitmix64(&mut state) % q.len() as u64) as usize;
+                q[pos] = StructTokId(1 + (splitmix64(&mut state) % 27) as u8);
+            }
+            q
+        })
+        .collect()
+}
+
+/// Best-of-`n` wall-clock of `work`, in milliseconds.
+fn best_of<T>(n: usize, mut work: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..n {
+        let t = Instant::now();
+        let r = work();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    let Some(last) = last else {
+        unreachable!("best_of requires n >= 1");
+    };
+    (best, last)
+}
+
+/// Resolve hits to `(token sequence, distance)` so indexes with different
+/// id numberings (delta'd vs compacted rebuild) can be compared.
+fn resolved(
+    index: &StructureIndex,
+    hits: &[speakql_index::SearchHit],
+) -> Vec<(Vec<StructTokId>, u32)> {
+    hits.iter()
+        .map(|h| (index.structure_tokens(h.structure).to_vec(), h.distance))
+        .collect()
+}
+
+/// Replay every probe as a cache lookup under `generation`, returning the
+/// hit rate of exactly this window (measured through the recorder).
+fn replay_hit_rate(
+    cache: &SkeletonCache,
+    generation: u64,
+    cfg: &SearchConfig,
+    qs: &[Vec<StructTokId>],
+    rec: &Recorder,
+) -> f64 {
+    let h0 = rec.counter(CounterId::CacheSkeletonHits);
+    for q in qs {
+        cache.get(generation, cfg, q, rec);
+    }
+    let hits = rec.counter(CounterId::CacheSkeletonHits) - h0;
+    hits as f64 / qs.len() as f64
+}
+
+/// Run the churn workload. Returns the snapshot and whether every in-run
+/// gate held.
+fn run_churn(n: usize) -> (Value, bool) {
+    let mut pass = true;
+    let mut gate = |ok: bool, msg: String| {
+        if !ok {
+            eprintln!("[delta_churn] FAIL: {msg}");
+            pass = false;
+        }
+    };
+
+    eprintln!("[delta_churn] === {n} structures, churn {CHURN}±{CHURN} at length {CHURN_LEN} ===");
+    let structures = synthetic_structures(n);
+    let qs = queries(&structures);
+    let dom = n - n / 10;
+
+    let t = Instant::now();
+    let built = StructureIndex::build(structures.clone(), Weights::PAPER);
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    // Deltas apply to the *loaded* index — the shape a deployment actually
+    // maintains incrementally (build is offline; serving loads an image).
+    let base_image = match to_bytes(&built) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("[delta_churn] FAIL: serialize base: {e}");
+            return (json!({"structures": n, "error": e.to_string()}), false);
+        }
+    };
+    let base = match from_shared(base_image.clone()) {
+        Ok(ix) => ix,
+        Err(e) => {
+            eprintln!("[delta_churn] FAIL: load base: {e}");
+            return (json!({"structures": n, "error": e.to_string()}), false);
+        }
+    };
+    eprintln!(
+        "[delta_churn] base build {build_ms:.0} ms, {} segments",
+        base.segment_count()
+    );
+
+    // The "one table changed" delta: tombstone CHURN length-CHURN_LEN
+    // structures (tail slots CHURN_LEN_SLOT mod 8) and append CHURN new
+    // ones at the same length, payloads far above any existing encoding.
+    let remove: Vec<u32> = (0..CHURN)
+        .map(|j| (dom + TAIL_LENS.len() * j + CHURN_LEN_SLOT) as u32)
+        .collect();
+    let adds: Vec<Structure> = (0..CHURN)
+        .map(|j| encode(1_000_000 + j as u64, CHURN_LEN))
+        .collect();
+    let delta = IndexDelta::new()
+        .remove_structures(remove.iter().copied())
+        .add_structures(adds.iter().cloned());
+
+    // Counted apply (once), then best-of-7 timing on the uncounted path
+    // (apply is ~10 ms, so the extra attempts are cheap insurance against
+    // a noisy-neighbor minute on the CI runner).
+    let rec = Recorder::enabled();
+    let (delta_idx, stats) = match base.apply_delta_observed(&delta, &rec) {
+        Ok(r) => r,
+        Err(e) => {
+            gate(false, format!("apply_delta: {e}"));
+            return (json!({"structures": n, "error": e.to_string()}), false);
+        }
+    };
+    let (apply_ms, _) = best_of(7, || base.apply_delta(&delta));
+
+    // Full rebuild over the live structures: what incremental maintenance
+    // replaces. Assembling the live list (and the per-attempt clone
+    // `build` consumes) stays outside the clock — a rebuilding deployment
+    // would hold the structure list already.
+    let mut is_removed = vec![false; n];
+    for &id in &remove {
+        is_removed[id as usize] = true;
+    }
+    let mut live: Vec<Structure> = structures
+        .iter()
+        .enumerate()
+        .filter(|(id, _)| !is_removed[*id])
+        .map(|(_, s)| s.clone())
+        .collect();
+    live.extend(adds.iter().cloned());
+    let (rebuild_ms, rebuilt) = {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..2 {
+            let input = live.clone();
+            let t = Instant::now();
+            let ix = StructureIndex::build(input, Weights::PAPER);
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+            out = Some(ix);
+        }
+        let Some(out) = out else {
+            unreachable!("two rebuild attempts always run");
+        };
+        (best, out)
+    };
+    let speedup = rebuild_ms / apply_ms.max(1e-9);
+    eprintln!(
+        "[delta_churn] apply {apply_ms:.1} ms vs rebuild {rebuild_ms:.0} ms ({speedup:.1}x); \
+         {} rebuilt / {} reused of {} segments",
+        stats.segments_rebuilt,
+        stats.segments_reused,
+        delta_idx.segment_count()
+    );
+    gate(
+        speedup >= MIN_DELTA_SPEEDUP,
+        format!(
+            "apply_delta only {speedup:.1}x faster than rebuild (need >= {MIN_DELTA_SPEEDUP:.0}x)"
+        ),
+    );
+
+    // Counter-proof: one affected length, every segment accounted for,
+    // reuse fraction at the floor, recorder agreeing with the stats.
+    gate(
+        stats.lengths_affected == 1,
+        format!("{} lengths affected (want 1)", stats.lengths_affected),
+    );
+    gate(
+        stats.structures_removed == CHURN && stats.structures_added == CHURN,
+        format!(
+            "churn miscounted: -{} +{}",
+            stats.structures_removed, stats.structures_added
+        ),
+    );
+    gate(
+        stats.segments_rebuilt + stats.segments_reused == delta_idx.segment_count(),
+        "segments_rebuilt + segments_reused != segment_count".to_string(),
+    );
+    let reuse_fraction = stats.segments_reused as f64 / delta_idx.segment_count().max(1) as f64;
+    gate(
+        reuse_fraction >= MIN_REUSE_FRACTION,
+        format!("only {:.1}% of segments reused", reuse_fraction * 100.0),
+    );
+    gate(
+        rec.counter(CounterId::IndexDeltaApplied) == 1
+            && rec.counter(CounterId::IndexDeltaSegmentsRebuilt) == stats.segments_rebuilt as u64
+            && rec.counter(CounterId::IndexDeltaSegmentsReused) == stats.segments_reused as u64,
+        "index.delta.* counters disagree with DeltaStats".to_string(),
+    );
+
+    // Equivalence: same hits as the full rebuild, resolved to tokens (the
+    // rebuild compacts ids; the delta keeps them — by design).
+    let cfg = SearchConfig {
+        k: 5,
+        ..SearchConfig::default()
+    };
+    for q in &qs {
+        if resolved(&delta_idx, &delta_idx.search(q, &cfg))
+            != resolved(&rebuilt, &rebuilt.search(q, &cfg))
+        {
+            gate(
+                false,
+                "delta'd index hits differ from full rebuild".to_string(),
+            );
+            break;
+        }
+    }
+
+    // v3 round-trip: tombstones survive persistence with generation and
+    // hits (ids included — zero-copy loads preserve the arena) intact.
+    let image = match to_bytes(&delta_idx) {
+        Ok(b) => b,
+        Err(e) => {
+            gate(false, format!("serialize delta'd index: {e}"));
+            return (json!({"structures": n, "error": e.to_string()}), false);
+        }
+    };
+    match from_shared(image.clone()) {
+        Ok(loaded) => {
+            gate(
+                loaded.generation() == delta_idx.generation(),
+                "v3 round-trip changed the generation".to_string(),
+            );
+            for q in &qs {
+                if loaded.search(q, &cfg) != delta_idx.search(q, &cfg) {
+                    gate(false, "v3 round-trip changed search results".to_string());
+                    break;
+                }
+            }
+        }
+        Err(e) => gate(false, format!("v3 round-trip load: {e}")),
+    }
+
+    // Warm-cache churn: tenant A stays on the base index, tenant B
+    // hot-swaps to the delta'd one. A's hit rate over the shared cache
+    // must not move more than 5 points — and reloading A's image bytes
+    // must keep hitting the same entries (content-derived generations).
+    let cache = SkeletonCache::new(4 * QUERIES.max(1));
+    let crec = Recorder::enabled();
+    for q in &qs {
+        if cache.get(base.generation(), &cfg, q, &crec).is_none() {
+            cache.insert(base.generation(), &cfg, q, base.search(q, &cfg), &crec);
+        }
+    }
+    let pre_rate = replay_hit_rate(&cache, base.generation(), &cfg, &qs, &crec);
+    // Tenant B's swap: its searches populate the new generation's entries.
+    for q in &qs {
+        if cache.get(delta_idx.generation(), &cfg, q, &crec).is_none() {
+            cache.insert(
+                delta_idx.generation(),
+                &cfg,
+                q,
+                delta_idx.search(q, &cfg),
+                &crec,
+            );
+        }
+    }
+    let post_rate = replay_hit_rate(&cache, base.generation(), &cfg, &qs, &crec);
+    gate(
+        (post_rate - pre_rate).abs() <= MAX_HIT_RATE_DELTA,
+        format!(
+            "untouched tenant's warm hit rate moved {:.0} points across the churn",
+            (post_rate - pre_rate).abs() * 100.0
+        ),
+    );
+    // The restart path the content-derived generations fixed: same bytes,
+    // same generation, same warm entries.
+    let reload_rate = match from_shared(base_image.clone()) {
+        Ok(reloaded) => {
+            gate(
+                reloaded.generation() == base.generation(),
+                "reload of identical bytes derived a different generation".to_string(),
+            );
+            replay_hit_rate(&cache, reloaded.generation(), &cfg, &qs, &crec)
+        }
+        Err(e) => {
+            gate(false, format!("reload of base image: {e}"));
+            0.0
+        }
+    };
+    gate(
+        (reload_rate - pre_rate).abs() <= MAX_HIT_RATE_DELTA,
+        format!(
+            "reloaded index's warm hit rate moved {:.0} points",
+            (reload_rate - pre_rate).abs() * 100.0
+        ),
+    );
+    eprintln!(
+        "[delta_churn] warm hit rate: pre {:.0}% / post-churn {:.0}% / post-reload {:.0}%",
+        pre_rate * 100.0,
+        post_rate * 100.0,
+        reload_rate * 100.0
+    );
+
+    let mut counters = Map::new();
+    counters.insert("index.delta.applied".into(), json!(1));
+    counters.insert(
+        "index.delta.segments_rebuilt".into(),
+        json!(stats.segments_rebuilt as u64),
+    );
+    counters.insert(
+        "index.delta.segments_reused".into(),
+        json!(stats.segments_reused as u64),
+    );
+    counters.insert(
+        "cache.skeleton_hits".into(),
+        json!(crec.counter(CounterId::CacheSkeletonHits)),
+    );
+    counters.insert(
+        "cache.skeleton_misses".into(),
+        json!(crec.counter(CounterId::CacheSkeletonMisses)),
+    );
+    let snapshot = json!({
+        "schema": "speakql-delta-churn/v1",
+        "structures": n,
+        "churn": CHURN,
+        "churn_len": CHURN_LEN,
+        "queries": QUERIES,
+        "query_seed": QUERY_SEED,
+        "segments_total": delta_idx.segment_count(),
+        "build_ms": build_ms,
+        "rebuild_ms": rebuild_ms,
+        "apply_delta_ms": apply_ms,
+        "delta_speedup": speedup,
+        "image_bytes_v3": image.len(),
+        "warm_hit_rate_pre": pre_rate,
+        "warm_hit_rate_post": post_rate,
+        "warm_hit_rate_reload": reload_rate,
+        "counters": Value::Object(counters),
+    });
+    (snapshot, pass)
+}
+
+/// Gate the snapshot against the committed baseline: exact delta and cache
+/// counters, warm hit rates within the 5-point band, and a two-sided band
+/// on apply wall-clock.
+fn compare(baseline: &Value, current: &Value, baseline_path: &str) -> ExitCode {
+    let mut regressions = 0usize;
+    let base_counters = baseline
+        .get("counters")
+        .and_then(Value::as_object)
+        .cloned()
+        .unwrap_or_default();
+    let cur_counters = current
+        .get("counters")
+        .and_then(Value::as_object)
+        .cloned()
+        .unwrap_or_default();
+    let mut names: Vec<&String> = base_counters.keys().chain(cur_counters.keys()).collect();
+    names.sort();
+    names.dedup();
+    println!(
+        "{:<34} {:>16} {:>16}  status",
+        "metric", "baseline", "current"
+    );
+    for name in names {
+        let base = base_counters.get(name.as_str()).and_then(Value::as_u64);
+        let cur = cur_counters.get(name.as_str()).and_then(Value::as_u64);
+        let status = match (base, cur) {
+            (Some(b), Some(c)) if b == c => "ok".to_string(),
+            (Some(_), Some(_)) => {
+                regressions += 1;
+                "MISMATCH".to_string()
+            }
+            _ => {
+                regressions += 1;
+                "MISSING".to_string()
+            }
+        };
+        println!(
+            "{name:<34} {:>16} {:>16}  {status}",
+            base.map_or("-".into(), |v: u64| v.to_string()),
+            cur.map_or("-".into(), |v: u64| v.to_string()),
+        );
+    }
+
+    for rate in [
+        "warm_hit_rate_pre",
+        "warm_hit_rate_post",
+        "warm_hit_rate_reload",
+    ] {
+        let b = baseline.get(rate).and_then(Value::as_f64);
+        let c = current.get(rate).and_then(Value::as_f64);
+        let status = match (b, c) {
+            (Some(b), Some(c)) if (b - c).abs() <= MAX_HIT_RATE_DELTA => {
+                format!("ok ({:+.0} points)", (c - b) * 100.0)
+            }
+            (Some(b), Some(c)) => {
+                regressions += 1;
+                format!("REGRESSION ({:+.0} points)", (c - b) * 100.0)
+            }
+            _ => {
+                regressions += 1;
+                "MISSING".to_string()
+            }
+        };
+        println!(
+            "{rate:<34} {:>16} {:>16}  {status}",
+            b.map_or("-".into(), |v| format!("{v:.2}")),
+            c.map_or("-".into(), |v| format!("{v:.2}")),
+        );
+    }
+
+    let base_ms = baseline.get("apply_delta_ms").and_then(Value::as_f64);
+    let cur_ms = current.get("apply_delta_ms").and_then(Value::as_f64);
+    if let (Some(b), Some(c)) = (base_ms, cur_ms) {
+        let ratio = if b > 0.0 { c / b } else { f64::INFINITY };
+        let status = if ratio > 1.0 + WALL_CLOCK_TOLERANCE {
+            regressions += 1;
+            format!("REGRESSION (+{:.0}%)", (ratio - 1.0) * 100.0)
+        } else if ratio * MAX_IMPROVEMENT < 1.0 {
+            regressions += 1;
+            format!(
+                "DRIFT ({:.0}x faster than baseline; refresh it)",
+                1.0 / ratio.max(1e-9)
+            )
+        } else {
+            format!("ok ({:+.0}%)", (ratio - 1.0) * 100.0)
+        };
+        println!("{:<34} {b:>16.2} {c:>16.2}  {status}", "apply_delta_ms");
+    } else {
+        regressions += 1;
+        println!("{:<34} {:>16} {:>16}  MISSING", "apply_delta_ms", "-", "-");
+    }
+
+    if regressions > 0 {
+        eprintln!(
+            "\n[delta_churn] FAIL: {regressions} metric(s) regressed vs {baseline_path}. \
+             If the change is intentional, regenerate the baseline with \
+             `cargo run --release -p speakql-bench --bin delta_churn -- --out {baseline_path}`."
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!(
+            "\n[delta_churn] PASS: delta counters exact, hit rates in band, \
+             apply wall-clock within the two-sided band."
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -18,13 +18,9 @@ fn main() {
     let top5 = mean_report(&runs.iter().map(|r| r.top5_report).collect::<Vec<_>>());
     println!("n = {n}");
     println!("metric   ASR    top1   top5");
-    for m in speakql_metrics::METRIC_NAMES {
-        println!(
-            "{m}:   {:.3}  {:.3}  {:.3}",
-            asr.get(m).unwrap(),
-            top1.get(m).unwrap(),
-            top5.get(m).unwrap()
-        );
+    let (top1, top5) = (top1.metrics(), top5.metrics());
+    for (i, (m, a)) in asr.metrics().into_iter().enumerate() {
+        println!("{m}:   {a:.3}  {:.3}  {:.3}", top1[i].1, top5[i].1);
     }
     let mean_lat = speakql_metrics::mean(&runs.iter().map(|r| r.latency_s).collect::<Vec<_>>());
     let struct_correct = runs.iter().filter(|r| r.structure_ted == 0).count();

@@ -95,9 +95,9 @@ pub fn fig11(suite: &Suite) {
     println!("== Fig. 11: per-metric CDFs, ASR-only vs SpeakQL (Employees test) ==");
     let runs = suite.employees_test();
     let mut payload = serde_json::Map::new();
-    for m in speakql_metrics::METRIC_NAMES {
-        let asr = Cdf::new(runs.iter().map(|r| r.asr_report.get(m).unwrap()).collect());
-        let sq = Cdf::new(runs.iter().map(|r| r.top1_report.get(m).unwrap()).collect());
+    for (i, m) in speakql_metrics::METRIC_NAMES.into_iter().enumerate() {
+        let asr = Cdf::new(runs.iter().map(|r| r.asr_report.metrics()[i].1).collect());
+        let sq = Cdf::new(runs.iter().map(|r| r.top1_report.metrics()[i].1).collect());
         print_cdf(&format!("{m} (ASR)"), &asr, 5);
         print_cdf(&format!("{m} (SpeakQL)"), &sq, 5);
         payload.insert(

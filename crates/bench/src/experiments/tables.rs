@@ -68,16 +68,16 @@ pub fn table1(_suite: &Suite) {
 
 fn report_row(label: &str, r: &AccuracyReport) -> Vec<String> {
     let mut row = vec![label.to_string()];
-    for m in METRIC_NAMES {
-        row.push(format!("{:.2}", r.get(m).unwrap()));
+    for (_, v) in r.metrics() {
+        row.push(format!("{v:.2}"));
     }
     row
 }
 
 fn report_json(r: &AccuracyReport) -> serde_json::Value {
     let mut map = serde_json::Map::new();
-    for m in METRIC_NAMES {
-        map.insert(m.to_string(), json!(r.get(m).unwrap()));
+    for (m, v) in r.metrics() {
+        map.insert(m.to_string(), json!(v));
     }
     serde_json::Value::Object(map)
 }

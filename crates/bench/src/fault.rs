@@ -349,6 +349,11 @@ pub fn run_fault_injection() -> FaultReport {
     // decode to an error, never a panic. ---
     outcomes.extend(run_corrupted_index_cases());
 
+    // --- Delta persistence: corruptions specific to the v3 segment
+    // replace/append path (stale segment table, stale reseal, tombstone
+    // list lies) must map to typed errors too. ---
+    outcomes.extend(run_delta_corruption_cases());
+
     // --- Server layer: hostile clients and concurrent faults against a
     // running multi-tenant server. ---
     outcomes.extend(run_server_fault_cases());
@@ -367,7 +372,7 @@ fn fault_server(workers: usize, io_timeout: Duration) -> (Server, Option<std::ne
             assert!(!t.contains(POISON_MARKER), "injected fault");
         }));
     let index = Arc::new(StructureIndex::from_grammar(&cfg.generator, cfg.weights));
-    let mut registry = TenantRegistry::new(64, true);
+    let registry = TenantRegistry::new(64, true);
     registry.register("fault", &harness_db(), index, cfg);
     let mut server = Server::serve(
         registry,
@@ -738,5 +743,203 @@ fn run_corrupted_index_cases() -> Vec<CaseOutcome> {
             observed: got,
         });
     }
+    outcomes
+}
+
+/// FNV-1a-64 over little-endian u64 words with the byte length premixed — a
+/// harness-local reimplementation of the persist layer's block checksum.
+/// Having it here lets the corruption cases *reseal* block A after lying in
+/// a sealed field, proving the decoder's structural validation catches what
+/// the checksum alone cannot.
+fn fnv_checksum64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET ^ (data.len() as u64).wrapping_mul(PRIME);
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        if let &[a, b, c0, d, e, f, g, i] = c {
+            h ^= u64::from_le_bytes([a, b, c0, d, e, f, g, i]);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h ^= u64::from_le_bytes(tail);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Byte offsets of interest inside a version-3 image, recovered by walking
+/// the format the same way the decoder does.
+struct V3Layout {
+    /// Offset of the first removed id (after the removed-count word).
+    removed_ids_at: usize,
+    /// Offset of the block A checksum (u64 LE).
+    block_a_checksum_at: usize,
+    /// Offset of the segment table.
+    seg_table_at: usize,
+    /// Offset of the final segment's first plane byte.
+    last_segment_at: usize,
+}
+
+fn read_u32_le(bytes: &[u8], at: usize) -> usize {
+    u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]) as usize
+}
+
+fn v3_layout(bytes: &[u8]) -> Option<V3Layout> {
+    const HEADER_LEN: usize = 32;
+    const INV_LISTS: usize = 19;
+    if bytes.len() < HEADER_LEN || u16::from_be_bytes([bytes[4], bytes[5]]) != 3 {
+        return None;
+    }
+    let be = |o: usize| {
+        u32::from_be_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]) as usize
+    };
+    let (count, seg_count) = (be(18), be(26));
+    let mut pos = HEADER_LEN;
+    // Token offsets + plane (padded to 4).
+    let tok_total = read_u32_le(bytes, pos + count * 4);
+    pos += (count + 1) * 4 + tok_total;
+    pos += (4 - pos % 4) % 4;
+    // Placeholder offsets + 3-byte records (padded to 4).
+    let ph_total = read_u32_le(bytes, pos + count * 4);
+    pos += (count + 1) * 4 + ph_total * 3;
+    pos += (4 - pos % 4) % 4;
+    // Posting offsets + plane.
+    let inv_total = read_u32_le(bytes, pos + INV_LISTS * 4);
+    pos += (INV_LISTS + 1) * 4 + inv_total * 4;
+    // Removed list (v3): count word then the ids.
+    let removed_count = read_u32_le(bytes, pos);
+    let removed_ids_at = pos + 4;
+    pos += 4 + removed_count * 4;
+    let block_a_checksum_at = pos;
+    pos += 8;
+    let seg_table_at = pos;
+    pos += seg_count * 8;
+    // Walk the segment table to the final segment's start.
+    let mut last_segment_at = pos;
+    for seg in 0..seg_count {
+        last_segment_at = pos;
+        let node_count = read_u32_le(bytes, seg_table_at + seg * 8 + 4);
+        pos += node_count + (4 - node_count % 4) % 4 + node_count * 12 + 8;
+    }
+    (removed_count >= 2 && pos == bytes.len()).then_some(V3Layout {
+        removed_ids_at,
+        block_a_checksum_at,
+        seg_table_at,
+        last_segment_at,
+    })
+}
+
+/// Corruptions specific to images a delta produced: a stale segment table
+/// left behind by a replace, planes changed under a reused (stale) reseal,
+/// truncation exactly at a replaced segment's boundary, and removed-id
+/// lists that lie — resealed so only structural validation can catch them.
+fn run_delta_corruption_cases() -> Vec<CaseOutcome> {
+    const HEADER_LEN: usize = 32;
+    let mut outcomes = Vec::new();
+    let fail = |case: &str, observed: String| CaseOutcome {
+        case: case.to_string(),
+        layer: "persist",
+        pass: false,
+        observed,
+    };
+
+    // A delta'd index with tombstones serializes as version 3.
+    let cfg = SpeakQlConfig::small();
+    let base = StructureIndex::from_grammar(&cfg.generator, cfg.weights);
+    let delta = speakql_index::IndexDelta::new().remove_structures([5u32, 10]);
+    let delta_idx = match base.apply_delta(&delta) {
+        Ok((idx, _)) => idx,
+        Err(e) => return vec![fail("delta_image", format!("apply_delta failed: {e}"))],
+    };
+    let bytes = match speakql_index::to_bytes(&delta_idx) {
+        Ok(b) => b.to_vec(),
+        Err(e) => return vec![fail("delta_image", format!("serialize failed: {e}"))],
+    };
+    let Some(layout) = v3_layout(&bytes) else {
+        return vec![fail("delta_image", "not a parseable v3 image".to_string())];
+    };
+    if speakql_index::from_bytes(&bytes).is_err() {
+        return vec![fail(
+            "delta_image",
+            "pristine v3 image rejected".to_string(),
+        )];
+    }
+
+    let mut check = |case: String, data: Vec<u8>, classes: &[&str]| {
+        let got = trap(|| match speakql_index::from_bytes(&data) {
+            Ok(_) => "decoded".to_string(),
+            Err(e) => format!("err:{}", e.class()),
+        });
+        let pass = classes.iter().any(|c| got == format!("err:{c}"));
+        outcomes.push(CaseOutcome {
+            case,
+            layer: "persist",
+            pass,
+            observed: got,
+        });
+    };
+    let reseal_block_a = |data: &mut [u8]| {
+        let ck = fnv_checksum64(&data[HEADER_LEN..layout.block_a_checksum_at]);
+        data[layout.block_a_checksum_at..layout.block_a_checksum_at + 8]
+            .copy_from_slice(&ck.to_le_bytes());
+    };
+
+    // A replace that rewrote a segment's planes but left the old table
+    // entry: the claimed node count no longer matches the planes, so plane
+    // parsing shears and either a checksum or a structural check trips.
+    let mut data = bytes.clone();
+    let nc_at = layout.seg_table_at + 4;
+    let nc = read_u32_le(&data, nc_at) as u32;
+    data[nc_at..nc_at + 4].copy_from_slice(&(nc + 1).to_le_bytes());
+    check(
+        "delta_stale_segment_table".to_string(),
+        data,
+        &["bad_checksum", "corrupt"],
+    );
+
+    // A replace that changed a segment's planes but reused the old content
+    // id as the seal (the buggy-reseal failure mode the memcpy fast path
+    // could have): the recorded checksum is stale and must not verify.
+    let mut data = bytes.clone();
+    data[layout.last_segment_at] ^= 0x01;
+    check("delta_reseal_mismatch".to_string(), data, &["bad_checksum"]);
+
+    // An append interrupted exactly at a replaced segment's boundary: the
+    // table still claims the final segment, the payload stops before it.
+    check(
+        "delta_truncated_at_segment_boundary".to_string(),
+        bytes[..layout.last_segment_at].to_vec(),
+        &["corrupt"],
+    );
+
+    // A removed id past the arena, with block A *resealed* so the checksum
+    // is clean: only the decoder's range check can reject it.
+    let mut data = bytes.clone();
+    let huge = u32::MAX - 1;
+    data[layout.removed_ids_at..layout.removed_ids_at + 4].copy_from_slice(&huge.to_le_bytes());
+    reseal_block_a(&mut data);
+    check(
+        "delta_removed_id_out_of_range".to_string(),
+        data,
+        &["corrupt"],
+    );
+
+    // A removed list pointing at a *live* structure (resealed): the real
+    // tombstone now terminates nowhere while the lied-about id is still in
+    // the tries/postings — structural validation must catch one of the two.
+    let mut data = bytes.clone();
+    data[layout.removed_ids_at..layout.removed_ids_at + 4].copy_from_slice(&6u32.to_le_bytes());
+    reseal_block_a(&mut data);
+    check(
+        "delta_resurrected_structure".to_string(),
+        data,
+        &["corrupt"],
+    );
+
     outcomes
 }

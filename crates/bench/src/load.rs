@@ -299,7 +299,7 @@ pub fn run_load() -> (Value, bool) {
     // Tenants interleave schemas so the Zipf head exercises both: the
     // first tenant additionally carries the fault hook that turns the
     // poisoned probe into a (retried, then surfaced) worker panic.
-    let mut registry = TenantRegistry::new(1024, true);
+    let registry = TenantRegistry::new(1024, true);
     let mut tenants: Vec<(String, usize)> = Vec::with_capacity(TENANTS);
     for i in 0..TENANTS {
         let schema = i % 2;

@@ -455,7 +455,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         &config.generator,
         config.weights,
     ));
-    let mut registry = TenantRegistry::new(cache, true);
+    let registry = TenantRegistry::new(cache, true);
     registry.register(
         "employees",
         &employees_db(),

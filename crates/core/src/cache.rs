@@ -17,13 +17,28 @@
 //! Invalidation is structural: hits reference structures by arena id, which
 //! is only meaningful for the [`StructureIndex`](speakql_index::StructureIndex)
 //! the search ran against, so every key carries that index's
-//! [`generation`](speakql_index::StructureIndex::generation). A private
-//! per-engine cache sees a single generation forever (rebuilding the index
-//! means building a new engine, which starts cold); a cache shared across
-//! engines — the multi-tenant server hands one `Arc<SkeletonCache>` to every
-//! engine — lets tenants on the *same* index reuse each other's warm
-//! results, while tenants on different arenas can never collide because
-//! their generations differ.
+//! [`generation`](speakql_index::StructureIndex::generation). Generations
+//! are *content-derived* (a hash of the arena, tombstone flags, and trie
+//! segment planes), which makes invalidation exactly as fine-grained as the
+//! content changes themselves:
+//!
+//! - Reloading the same persisted image — or rebuilding the identical
+//!   structure space — derives the same generation, so warm entries survive
+//!   process restarts and tenant re-registrations instead of going cold
+//!   behind a fresh counter value.
+//! - Any change that renumbers or reshapes the arena (an
+//!   [`IndexDelta`](speakql_index::IndexDelta) with removals, different
+//!   weights, a different structure space) derives a different generation,
+//!   so stale hits can never be replayed against ids that now mean
+//!   something else. Pure appends keep every existing id and keep the
+//!   generation only if content is otherwise identical — a delta'd index
+//!   gets a new generation and repopulates naturally.
+//!
+//! A cache shared across engines — the multi-tenant server hands one
+//! `Arc<SkeletonCache>` to every engine — therefore lets tenants on the
+//! same index content reuse each other's warm results (however each copy
+//! was built or loaded), while tenants on different arenas can never
+//! collide because their generations differ.
 
 use parking_lot::Mutex;
 use speakql_grammar::StructTokId;

@@ -190,3 +190,91 @@ fn eviction_churn_preserves_results() {
         "each distinct skeleton must miss at least once (got {misses})"
     );
 }
+
+/// Regression for the rebuild-the-world invalidation bug: generations used
+/// to come from a process-global counter, so an engine over a *byte-identical
+/// reload* of the same index image keyed the shared cache differently and
+/// started cold. Content-derived generations make the reloaded engine hit
+/// the warm entries its predecessor populated.
+#[test]
+fn reload_of_same_bytes_preserves_cache_hits() {
+    let db = toy_db();
+    let cfg = SpeakQlConfig::small().with_threads(1);
+    let query = "select salary from employees where first name equals john";
+    let bytes = speakql_index::to_bytes(&shared_index()).expect("serialize index");
+
+    let cache = Arc::new(speakql_core::SkeletonCache::new(64));
+    let recorder = speakql_core::Recorder::enabled();
+
+    let first_load = Arc::new(speakql_index::from_shared(bytes.clone()).expect("load index"));
+    let engine = SpeakQl::with_shared_cache(
+        &db,
+        first_load,
+        cache.clone(),
+        recorder.clone(),
+        cfg.clone(),
+    );
+    let expect = engine.transcribe(query);
+    assert!(
+        !cache.is_empty(),
+        "first transcription must populate the shared cache"
+    );
+    let hits_before = recorder.counter(CounterId::CacheSkeletonHits);
+    drop(engine);
+
+    // "Restart": a fresh load of the same bytes, a fresh engine, the
+    // surviving cache.
+    let second_load = Arc::new(speakql_index::from_shared(bytes).expect("reload index"));
+    let reloaded = SpeakQl::with_shared_cache(&db, second_load, cache, recorder.clone(), cfg);
+    let warm = reloaded.transcribe(query);
+    assert_eq!(view(&expect), view(&warm));
+    assert!(
+        recorder.counter(CounterId::CacheSkeletonHits) > hits_before,
+        "reloaded engine must be served by the warm cache, not recompute"
+    );
+}
+
+/// A delta'd index behind a cached engine is observationally identical to a
+/// full rebuild over its live structures behind an uncached engine — and the
+/// delta'd generation differs from the base's, so the shared cache never
+/// serves pre-delta hits against the post-delta arena.
+#[test]
+fn delta_and_rebuild_engines_agree_with_cache_on_and_off() {
+    let db = toy_db();
+    let base = shared_index();
+    let victims: Vec<u32> = (0..40).map(|i| i * 7).collect();
+    let delta = speakql_index::IndexDelta::new().remove_structures(victims.iter().copied());
+    let (delta_idx, stats) = base.apply_delta(&delta).expect("apply delta");
+    assert!(stats.segments_reused > 0);
+    assert_ne!(delta_idx.generation(), base.generation());
+
+    let live: Vec<_> = (0..delta_idx.arena_len() as u32)
+        .filter(|&id| !delta_idx.is_removed(id))
+        .map(|id| delta_idx.structure(id))
+        .collect();
+    let rebuilt_idx = StructureIndex::build(live, delta_idx.weights());
+
+    let queries = [
+        "select salary from employees",
+        "select salary from employees where first name equals john",
+        "select sum open parenthesis salary close parenthesis from employees",
+    ];
+    for cache_capacity in [0usize, 64] {
+        let cfg = SpeakQlConfig::small()
+            .with_threads(1)
+            .with_cache_capacity(cache_capacity);
+        let on_delta = SpeakQl::with_index(&db, Arc::new(delta_idx.clone()), cfg.clone());
+        let on_rebuilt = SpeakQl::with_index(&db, Arc::new(rebuilt_idx.clone()), cfg);
+        for round in 0..2 {
+            for q in &queries {
+                let d = on_delta.transcribe(q);
+                let r = on_rebuilt.transcribe(q);
+                assert_eq!(
+                    view(&d),
+                    view(&r),
+                    "round {round}, cache={cache_capacity}: delta'd engine diverged for {q:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,722 @@
+//! Incremental index maintenance: apply a schema/instance change without
+//! rebuilding the world.
+//!
+//! A catalog change (a table added, dropped, or reshaped) perturbs only the
+//! structures that mention it — a tiny slice of a million-structure space.
+//! [`StructureIndex::apply_delta`] exploits that: removals become
+//! *tombstones* (the arena slot keeps its window so every other structure's
+//! id — and every cached [`crate::SearchHit`] for an untouched segment —
+//! stays meaningful), additions append at the arena tail, and only the trie
+//! segments of the **affected lengths** (lengths that lost or gained a
+//! structure) are rebuilt. Every other segment is carried over as-is: an
+//! O(1) refcount bump for zero-copy views, a plane memcpy for owned tries.
+//!
+//! ## Equivalence to a full rebuild
+//!
+//! The rebuilt lengths use the exact shard layout [`StructureIndex::build`]
+//! computes — live structures in arena order, partitioned into
+//! `shard_count(n)` contiguous blocks — and posting lists are filtered and
+//! appended in arena order, which is precisely what a build over the live
+//! structures (in the same order) produces. A delta'd index and a full
+//! rebuild over its live structures therefore return the same hits (same
+//! structures, same distances, same order) and do the same search work; the
+//! only difference is id *values* (the rebuild compacts tombstone holes
+//! away), which is also why the two derive different generations — their
+//! cached hit ids are not interchangeable. The property tests in this
+//! module pin the equivalence across thread counts.
+
+use crate::content::BuildFx;
+use crate::search::{push_postings, shard_count, StructureIndex};
+use crate::store::{FlatStore, StructStore};
+use crate::trie::Trie;
+use speakql_grammar::{StructTokId, Structure};
+use speakql_observe::{CounterId, Recorder};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A batch of arena edits: structures to tombstone (by arena id) and
+/// structures to append. Build one with the fluent methods and hand it to
+/// [`StructureIndex::apply_delta`].
+///
+/// Structures carry no table identity — a "table" at this layer is whatever
+/// id set the schema layer above maps to it. [`IndexDelta::remove_matching`]
+/// covers the common "drop every structure of table T" shape without the
+/// caller materializing the id list by hand.
+#[derive(Debug, Clone, Default)]
+pub struct IndexDelta {
+    add: Vec<Structure>,
+    remove: Vec<u32>,
+}
+
+impl IndexDelta {
+    /// An empty delta (applying it is a no-op that reuses every segment).
+    pub fn new() -> IndexDelta {
+        IndexDelta::default()
+    }
+
+    /// Append `structures` to the arena.
+    pub fn add_structures(mut self, structures: impl IntoIterator<Item = Structure>) -> IndexDelta {
+        self.add.extend(structures);
+        self
+    }
+
+    /// Tombstone the structures with these arena ids.
+    pub fn remove_structures(mut self, ids: impl IntoIterator<Item = u32>) -> IndexDelta {
+        self.remove.extend(ids);
+        self
+    }
+
+    /// Tombstone every live structure of `index` whose `(id, tokens)` the
+    /// predicate selects — the "remove a table" shape, with the table →
+    /// structure mapping supplied by the caller.
+    pub fn remove_matching(
+        self,
+        index: &StructureIndex,
+        mut pred: impl FnMut(u32, &[StructTokId]) -> bool,
+    ) -> IndexDelta {
+        let ids: Vec<u32> = (0..index.arena_len() as u32)
+            .filter(|&id| !index.is_removed(id) && pred(id, index.structure_tokens(id)))
+            .collect();
+        self.remove_structures(ids)
+    }
+
+    /// True when the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.add.is_empty() && self.remove.is_empty()
+    }
+
+    /// Number of structures this delta appends.
+    pub fn added(&self) -> usize {
+        self.add.len()
+    }
+
+    /// Number of arena ids this delta tombstones (before deduplication).
+    pub fn removed(&self) -> usize {
+        self.remove.len()
+    }
+}
+
+/// What applying a delta did — the counter-proof that only affected
+/// segments were re-generated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Structures appended to the arena.
+    pub structures_added: usize,
+    /// Arena slots tombstoned (after deduplication).
+    pub structures_removed: usize,
+    /// Distinct token lengths that lost or gained a structure.
+    pub lengths_affected: usize,
+    /// Trie segments rebuilt (all of them belong to affected lengths).
+    pub segments_rebuilt: usize,
+    /// Trie segments carried over unchanged from the input index.
+    pub segments_reused: usize,
+}
+
+/// Errors applying an [`IndexDelta`]. The input index is never modified —
+/// application is copy-on-write — so an error leaves nothing to undo.
+#[derive(Debug)]
+pub enum DeltaError {
+    /// A remove id is out of arena range or already tombstoned.
+    UnknownStructure(u32),
+    /// An added structure duplicates a live structure's token sequence (or
+    /// another addition in the same delta).
+    DuplicateStructure,
+    /// An added structure is empty or longer than the format's 255-token
+    /// limit.
+    UnrepresentableLength(usize),
+    /// An added structure's Var tokens and placeholder records disagree.
+    PlaceholderMismatch,
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::UnknownStructure(id) => {
+                write!(f, "delta removes unknown or already-removed structure {id}")
+            }
+            DeltaError::DuplicateStructure => {
+                f.write_str("delta adds a structure that already exists")
+            }
+            DeltaError::UnrepresentableLength(n) => {
+                write!(f, "delta adds a structure of unrepresentable length {n}")
+            }
+            DeltaError::PlaceholderMismatch => {
+                f.write_str("delta adds a structure whose placeholders do not match its Vars")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl StructureIndex {
+    /// Apply `delta`, re-generating only the affected lengths' trie
+    /// segments; see the [module docs](crate::delta) for the layout and the
+    /// equivalence argument. Returns the new index and the
+    /// [`DeltaStats`] counter-proof; `self` is untouched (copy-on-write),
+    /// so a caller can hot-swap atomically or discard on error.
+    pub fn apply_delta(
+        &self,
+        delta: &IndexDelta,
+    ) -> Result<(StructureIndex, DeltaStats), DeltaError> {
+        self.apply_delta_observed(delta, &Recorder::disabled())
+    }
+
+    /// [`StructureIndex::apply_delta`] publishing `index.delta.*` counters
+    /// into `recorder`.
+    pub fn apply_delta_observed(
+        &self,
+        delta: &IndexDelta,
+        recorder: &Recorder,
+    ) -> Result<(StructureIndex, DeltaStats), DeltaError> {
+        if delta.is_empty() {
+            // Nothing changes: the clone shares the arena, every segment,
+            // and — because generations are content-derived — the
+            // generation, so warm cache entries stay valid.
+            let stats = DeltaStats {
+                segments_reused: self.segment_count(),
+                ..DeltaStats::default()
+            };
+            record_delta(recorder, &stats);
+            return Ok((self.clone(), stats));
+        }
+
+        let old_arena = self.arena_len();
+        for s in &delta.add {
+            let n = s.tokens.len();
+            if n == 0 || n > 255 {
+                return Err(DeltaError::UnrepresentableLength(n));
+            }
+            let vars = s.tokens.iter().filter(|t| t.is_var()).count();
+            if vars != s.placeholders.len() {
+                return Err(DeltaError::PlaceholderMismatch);
+            }
+        }
+        let mut removes: Vec<u32> = delta.remove.clone();
+        removes.sort_unstable();
+        removes.dedup();
+        for &id in &removes {
+            if id as usize >= old_arena || self.is_removed(id) {
+                return Err(DeltaError::UnknownStructure(id));
+            }
+        }
+
+        // Tombstone flags over the widened arena.
+        let new_arena = old_arena + delta.add.len();
+        let mut removed = vec![false; new_arena];
+        removed[..self.removed().len()].copy_from_slice(self.removed());
+        for &id in &removes {
+            removed[id as usize] = true;
+        }
+        if !removed.iter().any(|&r| r) {
+            removed = Vec::new();
+        }
+
+        // Affected lengths: everything that lost or gained a structure.
+        let old_store = self.store();
+        let max_candidate = self
+            .max_len()
+            .max(delta.add.iter().map(Structure::len).max().unwrap_or(0));
+        let mut affected = vec![false; max_candidate + 1];
+        for &id in &removes {
+            affected[old_store.token_len(id as usize)] = true;
+        }
+        for s in &delta.add {
+            affected[s.len()] = true;
+        }
+
+        // The widened arena, flattened. Tombstoned slots keep their windows
+        // so ids stay stable and the persisted layout stays uniform — which
+        // also means a base that is already flat (any loaded index, the
+        // shape a deployment maintains incrementally) carries its planes
+        // over with four bulk copies instead of one append per structure.
+        let added_toks: usize = delta.add.iter().map(|s| s.tokens.len()).sum();
+        let added_phs: usize = delta.add.iter().map(|s| s.placeholders.len()).sum();
+        let (old_toks, old_phs) = match old_store {
+            StructStore::Flat(f) => (f.tokens.len(), f.placeholders.len()),
+            StructStore::Owned(v) => (
+                v.iter().map(|s| s.tokens.len()).sum(),
+                v.iter().map(|s| s.placeholders.len()).sum(),
+            ),
+        };
+        let mut flat = {
+            // Exact final capacities up front: cloning the planes and then
+            // appending would reallocate (and re-copy) every plane once more.
+            let mut flat = FlatStore {
+                tok_offsets: Vec::with_capacity(new_arena + 1),
+                tokens: Vec::with_capacity(old_toks + added_toks),
+                ph_offsets: Vec::with_capacity(new_arena + 1),
+                placeholders: Vec::with_capacity(old_phs + added_phs),
+            };
+            match old_store {
+                StructStore::Flat(f) => {
+                    flat.tok_offsets.extend_from_slice(&f.tok_offsets);
+                    flat.tokens.extend_from_slice(&f.tokens);
+                    flat.ph_offsets.extend_from_slice(&f.ph_offsets);
+                    flat.placeholders.extend_from_slice(&f.placeholders);
+                }
+                StructStore::Owned(_) => {
+                    flat.tok_offsets.push(0);
+                    flat.ph_offsets.push(0);
+                    for id in 0..old_arena {
+                        flat.tokens.extend_from_slice(old_store.tokens(id));
+                        flat.placeholders
+                            .extend_from_slice(old_store.placeholders(id));
+                        flat.tok_offsets.push(flat.tokens.len() as u32);
+                        flat.ph_offsets.push(flat.placeholders.len() as u32);
+                    }
+                }
+            }
+            flat
+        };
+        for s in &delta.add {
+            flat.tokens.extend_from_slice(&s.tokens);
+            flat.placeholders.extend_from_slice(&s.placeholders);
+            flat.tok_offsets.push(flat.tokens.len() as u32);
+            flat.ph_offsets.push(flat.placeholders.len() as u32);
+        }
+        let store = StructStore::Flat(flat);
+
+        // One pass over the live arena: per-length live counts, the new max
+        // length, and the affected lengths' id buckets (arena order — the
+        // order `build` would see them in).
+        let is_removed = |id: usize| removed.get(id).copied().unwrap_or(false);
+        let mut live_per_len = vec![0usize; max_candidate + 1];
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_candidate + 1];
+        let mut max_len = 0usize;
+        for id in 0..new_arena {
+            if is_removed(id) {
+                continue;
+            }
+            let l = store.token_len(id);
+            live_per_len[l] += 1;
+            max_len = max_len.max(l);
+            if affected[l] {
+                buckets[l].push(id as u32);
+            }
+        }
+
+        // Segments: reuse every unaffected length's shards wholesale,
+        // rebuild the affected lengths with the canonical shard layout.
+        let mut stats = DeltaStats {
+            structures_added: delta.add.len(),
+            structures_removed: removes.len(),
+            ..DeltaStats::default()
+        };
+        let mut tries: Vec<Vec<Trie>> = Vec::with_capacity(max_len + 1);
+        for l in 0..=max_len {
+            if !affected[l] {
+                let shards = self.tries().get(l).cloned().unwrap_or_default();
+                stats.segments_reused += shards.len();
+                tries.push(shards);
+                continue;
+            }
+            stats.lengths_affected += 1;
+            let n = live_per_len[l];
+            if n == 0 {
+                tries.push(Vec::new());
+                continue;
+            }
+            let mut shards: Vec<Trie> = (0..shard_count(n)).map(|_| Trie::new(l)).collect();
+            let block = n.div_ceil(shards.len());
+            let mut seen: HashSet<&[StructTokId], BuildFx> =
+                HashSet::with_capacity_and_hasher(n, BuildFx);
+            for (i, &id) in buckets[l].iter().enumerate() {
+                let tokens = store.tokens(id as usize);
+                if !seen.insert(tokens) {
+                    return Err(DeltaError::DuplicateStructure);
+                }
+                shards[i / block].insert(tokens, id);
+            }
+            stats.segments_rebuilt += shards.len();
+            tries.push(shards);
+        }
+        // Affected lengths that ended empty above max_len simply fall off
+        // the tries vector; count them as affected all the same.
+        for (l, &a) in affected.iter().enumerate().skip(max_len + 1) {
+            if a && l <= max_candidate {
+                stats.lengths_affected += 1;
+            }
+        }
+
+        // Posting lists: drop tombstones (order-preserving), append the
+        // additions in arena order — exactly the lists a full build over
+        // the live arena order produces.
+        let mut inverted: Vec<Vec<u32>> = if removes.is_empty() {
+            self.inverted().to_vec()
+        } else {
+            // Lists are in ascending arena order and `removes` is sorted, so
+            // everything below the smallest removed id copies as one span;
+            // only the tail needs per-id filtering.
+            let min_removed = removes[0];
+            self.inverted()
+                .iter()
+                .map(|list| {
+                    let cut = list.partition_point(|&id| id < min_removed);
+                    let mut out = Vec::with_capacity(list.len());
+                    out.extend_from_slice(&list[..cut]);
+                    out.extend(
+                        list[cut..]
+                            .iter()
+                            .copied()
+                            .filter(|&id| !is_removed(id as usize)),
+                    );
+                    out
+                })
+                .collect()
+        };
+        for (offset, s) in delta.add.iter().enumerate() {
+            push_postings(&mut inverted, (old_arena + offset) as u32, &s.tokens);
+        }
+
+        let next =
+            StructureIndex::from_parts(store, tries, inverted, self.weights(), max_len, removed);
+        record_delta(recorder, &stats);
+        Ok((next, stats))
+    }
+}
+
+fn record_delta(recorder: &Recorder, stats: &DeltaStats) {
+    recorder.incr(CounterId::IndexDeltaApplied);
+    recorder.add(
+        CounterId::IndexDeltaSegmentsRebuilt,
+        stats.segments_rebuilt as u64,
+    );
+    recorder.add(
+        CounterId::IndexDeltaSegmentsReused,
+        stats.segments_reused as u64,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{SearchConfig, SearchHit};
+    use proptest::prelude::*;
+    use speakql_editdist::Weights;
+    use speakql_grammar::{GeneratorConfig, STRUCT_ALPHABET};
+
+    fn small_index() -> &'static StructureIndex {
+        static IDX: std::sync::OnceLock<StructureIndex> = std::sync::OnceLock::new();
+        IDX.get_or_init(|| {
+            let cfg = GeneratorConfig {
+                max_structures: Some(2_000),
+                ..GeneratorConfig::small()
+            };
+            StructureIndex::from_grammar(&cfg, Weights::PAPER)
+        })
+    }
+
+    /// A synthetic structure that can never collide with a grammar
+    /// structure: it starts with a special character (grammar structures
+    /// start with SELECT) and encodes `i` in base-(alphabet−1) over the
+    /// non-Var ids, so distinct `(i, len)` give distinct token sequences.
+    fn synthetic(i: usize, len: usize) -> Structure {
+        let base = (STRUCT_ALPHABET - 1) as u32;
+        let mut tokens = vec![StructTokId(20)];
+        let mut v = i as u32;
+        for _ in 1..len {
+            tokens.push(StructTokId(1 + (v % base) as u8));
+            v /= base;
+        }
+        Structure {
+            tokens,
+            placeholders: Vec::new(),
+        }
+    }
+
+    /// Hits compared by structure *content* and distance, not by arena id:
+    /// a full rebuild compacts tombstone holes away, renumbering ids while
+    /// preserving relative order, so equivalent indexes agree on everything
+    /// but the raw id values.
+    fn resolved(index: &StructureIndex, hits: &[SearchHit]) -> Vec<(Vec<StructTokId>, u32)> {
+        hits.iter()
+            .map(|h| (index.structure_tokens(h.structure).to_vec(), h.distance))
+            .collect()
+    }
+
+    #[test]
+    fn empty_delta_is_identity() -> Result<(), DeltaError> {
+        let base = small_index();
+        let (next, stats) = base.apply_delta(&IndexDelta::new())?;
+        assert_eq!(next.generation(), base.generation());
+        assert_eq!(
+            stats,
+            DeltaStats {
+                segments_reused: base.segment_count(),
+                ..DeltaStats::default()
+            }
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn removed_structures_stop_matching() -> Result<(), DeltaError> {
+        let base = small_index();
+        let probe = base.structure_tokens(7).to_vec();
+        let top = base.search(&probe, &SearchConfig::default());
+        assert_eq!(top[0].structure, 7);
+        assert_eq!(top[0].distance, 0);
+
+        let delta = IndexDelta::new().remove_structures([7u32]);
+        let (next, stats) = base.apply_delta(&delta)?;
+        assert_eq!(stats.structures_removed, 1);
+        assert_eq!(next.len(), base.len() - 1);
+        assert_eq!(next.arena_len(), base.arena_len());
+        assert!(next.is_removed(7));
+        assert_ne!(next.generation(), base.generation());
+        let hits = next.search(&probe, &SearchConfig::top_k(5));
+        assert!(hits.iter().all(|h| h.structure != 7));
+        // And the scan fallback agrees with the trie walk on the delta'd
+        // index, tombstones included.
+        assert_eq!(hits, next.scan(&probe, 5));
+        Ok(())
+    }
+
+    #[test]
+    fn remove_and_readd_same_tokens_is_allowed() -> Result<(), DeltaError> {
+        let base = small_index();
+        let resurrected = Structure {
+            tokens: base.structure_tokens(3).to_vec(),
+            placeholders: base.structure(3).placeholders,
+        };
+        let delta = IndexDelta::new()
+            .remove_structures([3u32])
+            .add_structures([resurrected.clone()]);
+        let (next, _) = base.apply_delta(&delta)?;
+        assert_eq!(next.len(), base.len());
+        let hits = next.search(&resurrected.tokens, &SearchConfig::default());
+        assert_eq!(hits[0].structure, base.arena_len() as u32);
+        assert_eq!(hits[0].distance, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn remove_matching_selects_by_predicate() -> Result<(), DeltaError> {
+        let base = small_index();
+        let victim = base.structure_tokens(11).to_vec();
+        let delta =
+            IndexDelta::new().remove_matching(base, |_, tokens| tokens == victim.as_slice());
+        assert_eq!(delta.removed(), 1);
+        let (next, _) = base.apply_delta(&delta)?;
+        assert!(next.is_removed(11));
+        Ok(())
+    }
+
+    #[test]
+    fn delta_errors_are_detected() -> Result<(), DeltaError> {
+        let base = small_index();
+        let out_of_range = IndexDelta::new().remove_structures([base.arena_len() as u32]);
+        assert!(matches!(
+            base.apply_delta(&out_of_range),
+            Err(DeltaError::UnknownStructure(_))
+        ));
+
+        let (once, _) = base.apply_delta(&IndexDelta::new().remove_structures([5u32]))?;
+        assert!(matches!(
+            once.apply_delta(&IndexDelta::new().remove_structures([5u32])),
+            Err(DeltaError::UnknownStructure(5))
+        ));
+
+        let dup = IndexDelta::new().add_structures([base.structure(0)]);
+        assert!(matches!(
+            base.apply_delta(&dup),
+            Err(DeltaError::DuplicateStructure)
+        ));
+        let dup_within = IndexDelta::new().add_structures([synthetic(1, 9), synthetic(1, 9)]);
+        assert!(matches!(
+            base.apply_delta(&dup_within),
+            Err(DeltaError::DuplicateStructure)
+        ));
+
+        let empty = IndexDelta::new().add_structures([Structure {
+            tokens: Vec::new(),
+            placeholders: Vec::new(),
+        }]);
+        assert!(matches!(
+            base.apply_delta(&empty),
+            Err(DeltaError::UnrepresentableLength(0))
+        ));
+
+        let mismatched = IndexDelta::new().add_structures([Structure {
+            tokens: vec![StructTokId::VAR],
+            placeholders: Vec::new(),
+        }]);
+        assert!(matches!(
+            base.apply_delta(&mismatched),
+            Err(DeltaError::PlaceholderMismatch)
+        ));
+        Ok(())
+    }
+
+    #[test]
+    fn observed_counters_match_stats() -> Result<(), DeltaError> {
+        let base = small_index();
+        let delta = IndexDelta::new()
+            .remove_structures([2u32, 9])
+            .add_structures([synthetic(0, 9), synthetic(1, 13)]);
+        let rec = Recorder::enabled();
+        let (next, stats) = base.apply_delta_observed(&delta, &rec)?;
+        let report = rec.report();
+        assert_eq!(report.counter(CounterId::IndexDeltaApplied), 1);
+        assert_eq!(
+            report.counter(CounterId::IndexDeltaSegmentsRebuilt),
+            stats.segments_rebuilt as u64
+        );
+        assert_eq!(
+            report.counter(CounterId::IndexDeltaSegmentsReused),
+            stats.segments_reused as u64
+        );
+        // Every segment of the new index is accounted for exactly once:
+        // carried over from an unaffected length or rebuilt for an
+        // affected one.
+        assert_eq!(
+            stats.segments_rebuilt + stats.segments_reused,
+            next.segment_count()
+        );
+        assert!(stats.lengths_affected >= 2);
+        Ok(())
+    }
+
+    #[test]
+    fn delta_roundtrips_through_v3_preserving_generation() -> Result<(), Box<dyn std::error::Error>>
+    {
+        let base = small_index();
+        let bytes = crate::to_bytes(base)?;
+        assert_eq!(u16::from_be_bytes([bytes[4], bytes[5]]), 2);
+        let loaded = crate::from_shared(bytes)?;
+        // Tentpole regression: a byte-identical reload derives the same
+        // generation the built index had.
+        assert_eq!(loaded.generation(), base.generation());
+
+        let delta = IndexDelta::new()
+            .remove_structures([0u32, 13, 17])
+            .add_structures([synthetic(0, 9), synthetic(1, 9)]);
+        let (next, stats) = loaded.apply_delta(&delta)?;
+        assert!(
+            stats.segments_reused > 0,
+            "untouched lengths must be reused"
+        );
+
+        // Serializing the delta'd index exercises the segment replace
+        // path: reused view segments are memcpy'd and resealed, rebuilt
+        // segments re-serialized, and the image carries the v3 removed
+        // list.
+        let bytes2 = crate::to_bytes(&next)?;
+        assert_eq!(u16::from_be_bytes([bytes2[4], bytes2[5]]), 3);
+        let reloaded = crate::from_shared(bytes2.clone())?;
+        assert_eq!(reloaded.generation(), next.generation());
+        assert_eq!(reloaded.len(), next.len());
+        assert_eq!(reloaded.arena_len(), next.arena_len());
+
+        let probe = base.structure_tokens(40).to_vec();
+        let cfg = SearchConfig::top_k(5);
+        assert_eq!(
+            next.search_with_stats(&probe, &cfg),
+            reloaded.search_with_stats(&probe, &cfg)
+        );
+
+        // The compacting rebuild path also accepts v3 and agrees on
+        // content.
+        let rebuilt = crate::from_bytes_rebuilt(&bytes2)?;
+        assert_eq!(rebuilt.len(), next.len());
+        assert_eq!(rebuilt.arena_len(), next.len());
+        assert_eq!(
+            resolved(&rebuilt, &rebuilt.search(&probe, &cfg)),
+            resolved(&next, &next.search(&probe, &cfg))
+        );
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// `apply_delta` is equivalent to a full rebuild over the live
+        /// structures: identical hits (by content and distance, in the
+        /// same order) at thread counts 1, 2, and 8, and identical work
+        /// counters sequentially.
+        #[test]
+        fn apply_delta_equals_full_rebuild(
+            remove_raw in prop::collection::vec(0..2_000u32, 0..24),
+            n_add in 0usize..24,
+            masked in prop::collection::vec(
+                (0..STRUCT_ALPHABET as u8).prop_map(StructTokId), 0..20),
+            k in 1usize..6,
+        ) {
+            let base = small_index();
+            let remove: std::collections::BTreeSet<u32> = remove_raw.into_iter().collect();
+            let adds: Vec<Structure> =
+                (0..n_add).map(|i| synthetic(i, 7 + (i % 5))).collect();
+            let delta = IndexDelta::new()
+                .remove_structures(remove.iter().copied())
+                .add_structures(adds.clone());
+            let (next, stats) = base
+                .apply_delta(&delta)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(stats.structures_removed, remove.len());
+            prop_assert_eq!(stats.structures_added, adds.len());
+            prop_assert_eq!(next.len(), base.len() - remove.len() + adds.len());
+
+            // The rebuild the delta must be indistinguishable from: live
+            // structures in arena order.
+            let live: Vec<Structure> = (0..next.arena_len() as u32)
+                .filter(|&id| !next.is_removed(id))
+                .map(|id| next.structure(id))
+                .collect();
+            let rebuilt = StructureIndex::build(live, base.weights());
+            prop_assert_eq!(next.len(), rebuilt.len());
+            prop_assert_eq!(next.total_nodes(), rebuilt.total_nodes());
+            prop_assert_eq!(next.segment_count(), rebuilt.segment_count());
+            if remove.is_empty() {
+                // Pure appends leave every existing id in place, so the
+                // delta'd index *is* the rebuild — same generation, and
+                // warm cache entries stay replayable.
+                prop_assert_eq!(next.generation(), rebuilt.generation());
+            } else {
+                prop_assert!(
+                    next.generation() != rebuilt.generation(),
+                    "compaction renumbers ids, so hits must not be interchangeable",
+                );
+            }
+
+            let cfg = SearchConfig::top_k(k);
+            let (delta_hits, delta_stats) = next.search_with_stats(&masked, &cfg);
+            let (full_hits, full_stats) = rebuilt.search_with_stats(&masked, &cfg);
+            prop_assert_eq!(delta_stats, full_stats);
+            prop_assert_eq!(
+                resolved(&next, &delta_hits),
+                resolved(&rebuilt, &full_hits)
+            );
+            for threads in [2usize, 8] {
+                let par = next.search(&masked, &cfg.with_threads(threads));
+                prop_assert_eq!(&par, &delta_hits, "threads={}", threads);
+            }
+        }
+
+        /// Applying a delta and persisting round-trips: the reloaded image
+        /// has the same generation, and empty deltas are generation-
+        /// preserving fixed points.
+        #[test]
+        fn delta_persistence_preserves_generation(
+            remove_raw in prop::collection::vec(0..2_000u32, 1..16),
+            n_add in 0usize..8,
+        ) {
+            let base = small_index();
+            let remove: std::collections::BTreeSet<u32> = remove_raw.into_iter().collect();
+            let delta = IndexDelta::new()
+                .remove_structures(remove.iter().copied())
+                .add_structures((0..n_add).map(|i| synthetic(i, 9)));
+            let (next, _) = base
+                .apply_delta(&delta)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let bytes = crate::to_bytes(&next).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let reloaded =
+                crate::from_shared(bytes).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(reloaded.generation(), next.generation());
+            let (again, _) = reloaded
+                .apply_delta(&IndexDelta::new())
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(again.generation(), next.generation());
+        }
+    }
+}

@@ -12,11 +12,14 @@
 
 #![forbid(unsafe_code)]
 
+pub(crate) mod content;
+pub mod delta;
 pub mod persist;
 pub mod search;
 pub(crate) mod store;
 pub mod trie;
 
+pub use delta::{DeltaError, DeltaStats, IndexDelta};
 pub use persist::{
     from_bytes, from_bytes_rebuilt, from_bytes_rebuilt_observed, from_shared, from_shared_observed,
     load_from_path, load_from_path_observed, save_to_path, to_bytes, PersistError,

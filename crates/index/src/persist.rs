@@ -12,7 +12,7 @@
 //! one linear decode each; the tries, which dominate build cost, are not
 //! reconstructed at all.
 //!
-//! ## Format (version 2, all offsets relative to the image start)
+//! ## Format (versions 2 and 3, all offsets relative to the image start)
 //!
 //! ```text
 //! header   (32 B): magic "SQLX" · version u16 BE · weights 3×u32 BE ·
@@ -22,12 +22,31 @@
 //!                  ph_offsets  (count+1)×u32 LE  · placeholder plane
 //!                  (category u8 + governor u16 LE each, pad4) ·
 //!                  inv_offsets 20×u32 LE · posting plane (u32 LE) ·
+//!                  [v3 only: removed count u32 LE · removed ids (u32 LE,
+//!                  strictly increasing)] ·
 //!                  checksum u64 LE (FNV-1a-64 over block A)
 //! seg table      : per segment: trie length u32 LE · node count u32 LE
 //! per segment    : token plane (u8, pad4) · first-child plane (u32 LE) ·
 //!                  next-sibling plane (u32 LE) · structure plane (u32 LE) ·
 //!                  checksum u64 LE (FNV-1a-64 over the four planes)
 //! ```
+//!
+//! Version 3 is version 2 plus the removed-id list: an index that was
+//! modified by an [`crate::IndexDelta`] carries tombstoned arena slots
+//! (their windows are persisted unchanged so ids stay stable), and the list
+//! records which. The writer only emits version 3 when removals exist —
+//! an untouched index keeps producing byte-identical version-2 images.
+//!
+//! ## Segment replace and append
+//!
+//! The per-segment checksum doubles as the segment's *content id*
+//! ([`Trie::content_id`]), which is what makes delta persistence cheap:
+//! re-serializing an index after [`crate::StructureIndex::apply_delta`]
+//! memcpys every zero-copy segment's planes verbatim and reseals them with
+//! the stored checksum (no rehash), re-serializes only the rebuilt
+//! (owned) segments, and rewrites the small segment table to describe the
+//! new mix — an in-place replace/append of the affected segments, with
+//! header, block A tail, and table updated around them.
 //!
 //! Every plane starts 4-byte-aligned (the header is padded to 32 bytes and
 //! each sub-4 plane is zero-padded), so a future typed-cast loader could
@@ -36,6 +55,7 @@
 //! hygiene. Version 1 images (structure arena only, tries rebuilt on load)
 //! remain readable through the legacy deserialize-and-rebuild path.
 
+use crate::content::{checksum64, BuildFx};
 use crate::search::StructureIndex;
 use crate::store::{FlatStore, StructStore};
 use crate::trie::Trie;
@@ -49,8 +69,11 @@ use std::io;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"SQLX";
-/// Current (segmented, zero-copy) format version.
+/// Segmented, zero-copy format version; written when no slot is tombstoned.
 const VERSION: u16 = 2;
+/// Version 2 plus the removed-id list; written only when a delta left
+/// tombstoned arena slots behind.
+const VERSION_V3: u16 = 3;
 /// Legacy structure-arena-only format, rebuilt on load.
 const VERSION_V1: u16 = 1;
 const GOVERNOR_NONE: u16 = u16::MAX;
@@ -133,74 +156,6 @@ fn category_from(code: u8) -> Result<LitCategory, PersistError> {
     })
 }
 
-/// FNV-1a-64 folded over little-endian 64-bit words (8× fewer multiplies
-/// than the byte-at-a-time reference on the multi-megabyte node planes),
-/// with the byte length mixed in so zero-padded tails still bind.
-fn checksum64(data: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET ^ (data.len() as u64).wrapping_mul(PRIME);
-    let mut chunks = data.chunks_exact(8);
-    for c in &mut chunks {
-        if let &[a, b, c0, d, e, f, g, i] = c {
-            h ^= u64::from_le_bytes([a, b, c0, d, e, f, g, i]);
-            h = h.wrapping_mul(PRIME);
-        }
-    }
-    let rem = chunks.remainder();
-    if !rem.is_empty() {
-        let mut tail = [0u8; 8];
-        tail[..rem.len()].copy_from_slice(rem);
-        h ^= u64::from_le_bytes(tail);
-        h = h.wrapping_mul(PRIME);
-    }
-    h
-}
-
-/// Fx-style non-cryptographic hasher (rotate–xor–multiply per word) for
-/// the duplicate-structure sweep. The keys come from the image being
-/// validated, not from an attacker-controlled hash-flooding surface, so
-/// trading SipHash's flood resistance for an order of magnitude on a
-/// million short keys is the right call here — and only here.
-#[derive(Default)]
-struct FxHasher(u64);
-
-impl std::hash::Hasher for FxHasher {
-    fn write(&mut self, bytes: &[u8]) {
-        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-        let mut chunks = bytes.chunks_exact(8);
-        for c in &mut chunks {
-            if let &[a, b, c0, d, e, f, g, h] = c {
-                let word = u64::from_le_bytes([a, b, c0, d, e, f, g, h]);
-                self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
-            }
-        }
-        let rem = chunks.remainder();
-        if !rem.is_empty() {
-            let mut tail = [0u8; 8];
-            tail[..rem.len()].copy_from_slice(rem);
-            let word = u64::from_le_bytes(tail) ^ (rem.len() as u64) << 56;
-            self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
-        }
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-/// [`std::hash::BuildHasher`] for [`FxHasher`].
-#[derive(Clone, Default)]
-struct BuildFx;
-
-impl std::hash::BuildHasher for BuildFx {
-    type Hasher = FxHasher;
-
-    fn build_hasher(&self) -> FxHasher {
-        FxHasher::default()
-    }
-}
-
 /// Zero-pad `buf` to the next 4-byte boundary.
 fn pad4(buf: &mut BytesMut) {
     while !buf.len().is_multiple_of(4) {
@@ -224,10 +179,24 @@ pub fn to_bytes(index: &StructureIndex) -> Result<Bytes, PersistError> {
     let count = len_u32(store.len(), "more than u32::MAX structures")?;
     let segments: Vec<&Trie> = index.tries().iter().flatten().collect();
     let total_nodes = index.total_nodes();
+    let removed_ids: Vec<u32> = index
+        .removed()
+        .iter()
+        .enumerate()
+        // lossy: id < arena_len, which the header stores as u32
+        .filter_map(|(id, &r)| r.then_some(id as u32))
+        .collect();
     let mut buf = BytesMut::with_capacity(HEADER_LEN + store.len() * 32 + total_nodes * 16);
 
     buf.put_slice(MAGIC);
-    buf.put_u16(VERSION);
+    // Tombstones need the v3 removed-id list; without them the image is
+    // plain v2, byte for byte, so persisting an unmodified index keeps
+    // producing the artifact it always did.
+    buf.put_u16(if removed_ids.is_empty() {
+        VERSION
+    } else {
+        VERSION_V3
+    });
     let w = index.weights();
     buf.put_u32(w.keyword);
     buf.put_u32(w.splchar);
@@ -294,6 +263,12 @@ pub fn to_bytes(index: &StructureIndex) -> Result<Bytes, PersistError> {
             buf.put_u32_le(id);
         }
     }
+    if !removed_ids.is_empty() {
+        buf.put_u32_le(len_u32(removed_ids.len(), "removed list exceeds u32")?);
+        for &id in &removed_ids {
+            buf.put_u32_le(id);
+        }
+    }
     let ck = checksum64(&buf[block_a..]);
     buf.put_u64_le(ck);
 
@@ -303,6 +278,21 @@ pub fn to_bytes(index: &StructureIndex) -> Result<Bytes, PersistError> {
         buf.put_u32_le(len_u32(trie.node_count(), "segment exceeds u32 nodes")?);
     }
     for trie in &segments {
+        if let Some((token, first_child, next_sibling, structure)) = trie.view_planes() {
+            // Zero-copy segment: memcpy the borrowed planes verbatim and
+            // reseal with the stored content id — which *is* the checksum
+            // the source image recorded (verified at load), so no rehash.
+            // After a delta this is the segment replace/append path:
+            // untouched segments take this branch, rebuilt (owned)
+            // segments the per-node serialization below.
+            buf.put_slice(token);
+            pad4(&mut buf);
+            buf.put_slice(first_child);
+            buf.put_slice(next_sibling);
+            buf.put_slice(structure);
+            buf.put_u64_le(trie.content_id());
+            continue;
+        }
         // lossy: node_count fits u32 (validated by len_u32 just above)
         let n = trie.node_count() as u32;
         let seg_start = buf.len();
@@ -401,7 +391,7 @@ pub fn from_shared_observed(
     let header = Header::parse(&data)?;
     let mut pos = HEADER_LEN;
     let arena = decode_block_a(&data, &mut pos, &header)?;
-    let tries = borrow_segments(&data, &mut pos, &header, &arena.store)?;
+    let tries = borrow_segments(&data, &mut pos, &header, &arena.store, &arena.removed)?;
     if pos != data.len() {
         return Err(PersistError::Corrupt("trailing bytes"));
     }
@@ -413,6 +403,7 @@ pub fn from_shared_observed(
         arena.inverted,
         header.weights,
         header.max_len,
+        arena.removed,
     ))
 }
 
@@ -436,9 +427,22 @@ pub fn from_bytes_rebuilt_observed(
     let header = Header::parse(&shared)?;
     let mut pos = HEADER_LEN;
     let arena = decode_block_a(&shared, &mut pos, &header)?;
+    let removed = arena.removed;
     let store = StructStore::Flat(arena.store);
-    reject_duplicates((0..store.len()).map(|i| store.tokens(i)), store.len())?;
-    let structures: Vec<Structure> = (0..store.len()).map(|i| store.materialize(i)).collect();
+    // A rebuild compacts: tombstoned slots are dropped and live structures
+    // renumbered, exactly as `apply_delta`'s documented full-rebuild
+    // equivalent. Only the zero-copy path preserves arena ids.
+    let is_rm = |i: usize| removed.get(i).copied().unwrap_or(false);
+    reject_duplicates(
+        (0..store.len())
+            .filter(|&i| !is_rm(i))
+            .map(|i| store.tokens(i)),
+        store.len(),
+    )?;
+    let structures: Vec<Structure> = (0..store.len())
+        .filter(|&i| !is_rm(i))
+        .map(|i| store.materialize(i))
+        .collect();
     recorder.incr(CounterId::IndexLoadRebuild);
     Ok(StructureIndex::build(structures, header.weights))
 }
@@ -452,14 +456,15 @@ fn peek_version(data: &[u8]) -> Result<u16, PersistError> {
         return Err(PersistError::Corrupt("truncated header"));
     }
     let version = u16::from_be_bytes([data[4], data[5]]);
-    if version != VERSION && version != VERSION_V1 {
+    if version != VERSION && version != VERSION_V3 && version != VERSION_V1 {
         return Err(PersistError::BadVersion(version));
     }
     Ok(version)
 }
 
-/// Parsed version-2 header.
+/// Parsed version-2/3 header.
 struct Header {
+    version: u16,
     weights: Weights,
     count: usize,
     max_len: usize,
@@ -471,6 +476,7 @@ impl Header {
         if data.len() < HEADER_LEN {
             return Err(PersistError::Corrupt("truncated header"));
         }
+        let version = u16::from_be_bytes([data[4], data[5]]);
         let be = |o: usize| u32::from_be_bytes([data[o], data[o + 1], data[o + 2], data[o + 3]]);
         let weights = Weights {
             keyword: be(6),
@@ -496,6 +502,7 @@ impl Header {
             return Err(PersistError::Corrupt("max length exceeds format"));
         }
         Ok(Header {
+            version,
             weights,
             count,
             max_len,
@@ -504,10 +511,12 @@ impl Header {
     }
 }
 
-/// Decoded block A: the materialized structure arena and posting lists.
+/// Decoded block A: the materialized structure arena, posting lists, and
+/// (version 3) tombstone flags — empty when nothing is removed.
 struct ArenaBlock {
     store: FlatStore,
     inverted: Vec<Vec<u32>>,
+    removed: Vec<bool>,
 }
 
 /// Validate block A's checksum and decode the structure arena (as a
@@ -546,6 +555,32 @@ fn decode_block_a(
         return Err(PersistError::Corrupt("posting plane exceeds payload"));
     }
     let inv_plane = take(data, pos, inv_total * 4, "truncated posting plane")?;
+    // Version 3: the removed-id list sits inside block A, so the checksum
+    // below binds it too.
+    let mut removed: Vec<bool> = Vec::new();
+    if header.version == VERSION_V3 {
+        let rc_plane = take(data, pos, 4, "truncated removed count")?;
+        let removed_count = plane_u32(&rc_plane, 0) as usize;
+        if removed_count > header.count || removed_count > (data.len() - *pos) / 4 {
+            return Err(PersistError::Corrupt("removed count exceeds payload"));
+        }
+        let removed_plane = take(data, pos, removed_count * 4, "truncated removed list")?;
+        if removed_count > 0 {
+            removed = vec![false; header.count];
+            let mut prev: Option<u32> = None;
+            for e in 0..removed_count {
+                let id = plane_u32(&removed_plane, e);
+                if id as usize >= header.count {
+                    return Err(PersistError::Corrupt("removed id out of range"));
+                }
+                if prev.is_some_and(|p| p >= id) {
+                    return Err(PersistError::Corrupt("removed list not increasing"));
+                }
+                prev = Some(id);
+                removed[id as usize] = true;
+            }
+        }
+    }
     let recorded = read_u64_le(data, pos, "truncated structure checksum")?;
     if checksum64(&data[block_start..*pos - 8]) != recorded {
         return Err(PersistError::BadChecksum("structure block"));
@@ -583,7 +618,12 @@ fn decode_block_a(
         if t1 - t0 > 255 {
             return Err(PersistError::Corrupt("structure longer than 255 tokens"));
         }
-        max_seen = max_seen.max(t1 - t0);
+        // The header's max_len describes the *live* structures (it sizes
+        // the trie table); tombstoned slots keep their windows but no trie,
+        // so they don't participate.
+        if !removed.get(i).copied().unwrap_or(false) {
+            max_seen = max_seen.max(t1 - t0);
+        }
         let (p0, p1) = (ph_offs[i] as usize, ph_offs[i + 1] as usize);
         if p1 < p0 || p1 > ph_total {
             return Err(PersistError::Corrupt("placeholder offsets not monotone"));
@@ -623,6 +663,11 @@ fn decode_block_a(
             if id as usize >= count {
                 return Err(PersistError::Corrupt("bad posting id"));
             }
+            if removed.get(id as usize).copied().unwrap_or(false) {
+                return Err(PersistError::Corrupt(
+                    "posting references removed structure",
+                ));
+            }
             list.push(id);
         }
         inverted.push(list);
@@ -635,6 +680,7 @@ fn decode_block_a(
             placeholders,
         },
         inverted,
+        removed,
     })
 }
 
@@ -645,14 +691,16 @@ fn decode_block_a(
 /// per-access checks: child/sibling links must point strictly forward (so
 /// every walk terminates), interior nodes must sit above the leaf depth and
 /// terminals exactly at it (so the walk's remaining-depth arithmetic cannot
-/// underflow), terminal ids must reference in-range structures of the
-/// segment's length, and every structure must terminate exactly once across
-/// all segments (so loaded search answers are the built index's answers).
+/// underflow), terminal ids must reference in-range **live** structures of
+/// the segment's length, and every live structure must terminate exactly
+/// once across all segments (so loaded search answers are the built index's
+/// answers). Tombstoned structures must not appear in any trie.
 fn borrow_segments(
     data: &Bytes,
     pos: &mut usize,
     header: &Header,
     store: &FlatStore,
+    removed: &[bool],
 ) -> Result<Vec<Vec<Trie>>, PersistError> {
     let table = take(data, pos, header.seg_count * 8, "truncated segment table")?;
     let mut tries: Vec<Vec<Trie>> = vec![Vec::new(); header.max_len + 1];
@@ -723,6 +771,11 @@ fn borrow_segments(
                 if st as usize >= header.count {
                     return Err(PersistError::Corrupt("bad terminal structure id"));
                 }
+                if removed.get(st as usize).copied().unwrap_or(false) {
+                    return Err(PersistError::Corrupt(
+                        "terminal references removed structure",
+                    ));
+                }
                 let s_len =
                     (store.tok_offsets[st as usize + 1] - store.tok_offsets[st as usize]) as usize;
                 if d != trie_len || s_len != trie_len {
@@ -736,14 +789,17 @@ fn borrow_segments(
         tries[trie_len].push(Trie::from_view(
             trie_len,
             node_count,
+            recorded,
             token,
             first_child,
             next_sibling,
             structure,
         ));
     }
-    if !terminated.iter().all(|&t| t) {
-        return Err(PersistError::Corrupt("structure missing from tries"));
+    for (id, &t) in terminated.iter().enumerate() {
+        if !t && !removed.get(id).copied().unwrap_or(false) {
+            return Err(PersistError::Corrupt("structure missing from tries"));
+        }
     }
     Ok(tries)
 }

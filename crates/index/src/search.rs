@@ -8,6 +8,7 @@
 //! tradeoffs, **DAP** (diversity-aware pruning) and **INV** (inverted
 //! keyword index), are opt-in, exactly as in the paper.
 
+use crate::content::WordFold;
 use crate::store::StructStore;
 use crate::trie::{Trie, NONE};
 use parking_lot::Mutex;
@@ -395,13 +396,221 @@ pub struct StructureIndex {
     max_len: usize,
     /// Recycled DP workspaces, shared by every search against this index.
     workspaces: WorkspacePool,
-    /// Process-unique arena generation; see [`StructureIndex::generation`].
+    /// Tombstone flags for arena slots removed by a delta (`removed[id]`),
+    /// or empty when no slot was ever removed. Removed slots keep their
+    /// arena window (ids stay stable) but are absent from every trie and
+    /// posting list, so search can never return them.
+    removed: Vec<bool>,
+    /// Number of live (non-tombstoned) structures.
+    live: usize,
+    /// Content-derived arena generation; see [`StructureIndex::generation`].
     generation: u64,
 }
 
-/// Source of arena generation ids: every [`StructureIndex::build`] call gets
-/// the next value, so two indexes built in the same process never share one.
-static NEXT_GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+/// Four-lane word fold: words are dealt round-robin onto four independent
+/// FNV lanes, breaking the serial multiply dependency chain of a single
+/// [`WordFold`] (the fold over a million-word plane is latency-bound on
+/// that chain). The word count and the lane digests fold into the parent
+/// in fixed order, so the combined digest still commits to the complete
+/// word sequence — lane assignment is a pure function of word position.
+struct LaneFold {
+    lanes: [WordFold; 4],
+    n: u64,
+}
+
+impl LaneFold {
+    fn new(tag: u64) -> LaneFold {
+        LaneFold {
+            lanes: [
+                WordFold::new(tag),
+                WordFold::new(tag ^ 1),
+                WordFold::new(tag ^ 2),
+                WordFold::new(tag ^ 3),
+            ],
+            n: 0,
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.lanes[(self.n & 3) as usize].word(w);
+        self.n += 1;
+    }
+
+    fn finish(self, f: &mut WordFold) {
+        f.word(self.n);
+        for lane in self.lanes {
+            f.word(lane.finish());
+        }
+    }
+}
+
+/// Packs a token plane into LE `u64` words and folds each into a
+/// [`LaneFold`], carrying partial words across slice boundaries. An Owned
+/// arena feeds one slice per structure, a Flat arena feeds its whole plane
+/// at once (the hot path: `chunks_exact` over the plane, no per-slot
+/// boundary work) — both fold the identical word stream because the carry
+/// makes word boundaries independent of how the plane is sliced.
+#[derive(Default)]
+struct PlaneFold {
+    w: u64,
+    shift: u32,
+}
+
+impl PlaneFold {
+    fn feed(&mut self, f: &mut LaneFold, bytes: &[StructTokId]) {
+        let mut i = 0;
+        while self.shift != 0 && i < bytes.len() {
+            self.w |= (bytes[i].0 as u64) << self.shift;
+            self.shift += 8;
+            if self.shift == 64 {
+                f.word(self.w);
+                self.w = 0;
+                self.shift = 0;
+            }
+            i += 1;
+        }
+        let mut chunks = bytes[i..].chunks_exact(8);
+        for c in &mut chunks {
+            f.word(
+                c[0].0 as u64
+                    | (c[1].0 as u64) << 8
+                    | (c[2].0 as u64) << 16
+                    | (c[3].0 as u64) << 24
+                    | (c[4].0 as u64) << 32
+                    | (c[5].0 as u64) << 40
+                    | (c[6].0 as u64) << 48
+                    | (c[7].0 as u64) << 56,
+            );
+        }
+        for b in chunks.remainder() {
+            self.w |= (b.0 as u64) << self.shift;
+            self.shift += 8;
+        }
+    }
+
+    /// Fold any trailing partial word (zero-padded high bytes; safe because
+    /// the plane length is bound by the offset framing words).
+    fn flush(self, f: &mut LaneFold) {
+        if self.shift != 0 {
+            f.word(self.w);
+        }
+    }
+}
+
+/// Derive the arena generation from content: a word-level FNV-1a fold over
+/// the weights, the live max length, the arena planes (cumulative window
+/// offsets, tombstone bitset, token plane, placeholder records), and each
+/// trie segment's [`Trie::content_id`] in segment-table order. Two indexes
+/// hash equal iff their observable arenas are identical — same slots, same
+/// tombstones, same segment planes — so a byte-identical reload, a clone,
+/// or a rebuild over the same content all share one generation, while any
+/// delta (which perturbs tombstones, slots, or segments) derives a fresh
+/// one. Variable-length windows are framed by the cumulative-offset words
+/// (strictly recoverable into per-slot lengths), so plane bytes cannot
+/// alias across slot boundaries.
+fn derive_generation(
+    store: &StructStore,
+    removed: &[bool],
+    tries: &[Vec<Trie>],
+    weights: Weights,
+    max_len: usize,
+) -> u64 {
+    // Domain tag: "SQLXGEN3" — bump if the field framing below changes.
+    let mut f = WordFold::new(u64::from_be_bytes(*b"SQLXGEN3"));
+    f.word(weights.keyword as u64 | (weights.splchar as u64) << 32);
+    f.word(weights.literal as u64 | (max_len as u64) << 32);
+    let arena = store.len();
+    f.word(arena as u64);
+    // Window framing: one (token end | placeholder end << 32) word per slot.
+    let mut off = LaneFold::new(u64::from_be_bytes(*b"SQLXOFF1"));
+    match store {
+        StructStore::Flat(fs) => {
+            for id in 0..arena {
+                off.word(fs.tok_offsets[id + 1] as u64 | (fs.ph_offsets[id + 1] as u64) << 32);
+            }
+        }
+        StructStore::Owned(v) => {
+            let (mut tok_end, mut ph_end) = (0u64, 0u64);
+            for s in v {
+                tok_end += s.tokens.len() as u64;
+                ph_end += s.placeholders.len() as u64;
+                off.word(tok_end | ph_end << 32);
+            }
+        }
+    }
+    off.finish(&mut f);
+    // Tombstones: 64 flags packed per word over the arena width (an empty
+    // `removed` folds identically to an all-false one).
+    let mut bits = 0u64;
+    for id in 0..arena {
+        if removed.get(id).copied().unwrap_or(false) {
+            bits |= 1 << (id % 64);
+        }
+        if id % 64 == 63 {
+            f.word(bits);
+            bits = 0;
+        }
+    }
+    if !arena.is_multiple_of(64) {
+        f.word(bits);
+    }
+    // Token plane: concatenated token bytes packed LE into u64 words.
+    let mut toks = LaneFold::new(u64::from_be_bytes(*b"SQLXTOK1"));
+    let mut plane = PlaneFold::default();
+    match store {
+        StructStore::Flat(fs) => plane.feed(&mut toks, &fs.tokens),
+        StructStore::Owned(v) => {
+            for s in v {
+                plane.feed(&mut toks, &s.tokens);
+            }
+        }
+    }
+    plane.flush(&mut toks);
+    toks.finish(&mut f);
+    // Placeholder plane: one word per record, in plane order.
+    match store {
+        StructStore::Flat(fs) => {
+            for p in &fs.placeholders {
+                let gov = p.governor.map_or(u16::MAX as u64, u64::from);
+                f.word(p.category as u64 | gov << 8);
+            }
+        }
+        StructStore::Owned(v) => {
+            for s in v {
+                for p in &s.placeholders {
+                    let gov = p.governor.map_or(u16::MAX as u64, u64::from);
+                    f.word(p.category as u64 | gov << 8);
+                }
+            }
+        }
+    }
+    f.word(tries.iter().map(Vec::len).sum::<usize>() as u64);
+    for (len, shards) in tries.iter().enumerate() {
+        for trie in shards {
+            f.word(len as u64 | (trie.node_count() as u64) << 32);
+            f.word(trie.content_id());
+        }
+    }
+    f.finish()
+}
+
+/// Append `id` to the posting lists of every rare keyword in `tokens`
+/// (SELECT/FROM/WHERE are skipped — they appear in nearly every structure,
+/// so their lists would be useless for INV). One shared helper keeps
+/// [`StructureIndex::build`] and the delta path provably in sync: a delta
+/// that appends structures produces exactly the postings a full build over
+/// the same arena order would.
+pub(crate) fn push_postings(inverted: &mut [Vec<u32>], id: u32, tokens: &[StructTokId]) {
+    let mut seen = [false; 19];
+    for t in tokens {
+        if let StructTok::Keyword(k) = t.tok() {
+            if !matches!(k, Keyword::Select | Keyword::From | Keyword::Where) && !seen[k.index()] {
+                seen[k.index()] = true;
+                inverted[k.index()].push(id);
+            }
+        }
+    }
+}
 
 impl StructureIndex {
     /// Build an index over the given structures.
@@ -439,28 +648,21 @@ impl StructureIndex {
             let shard = seen_of_len[l] / block.max(1);
             seen_of_len[l] += 1;
             tries[l][shard].insert(&s.tokens, id);
-            let mut seen = [false; 19];
-            for t in &s.tokens {
-                if let StructTok::Keyword(k) = t.tok() {
-                    if !matches!(k, Keyword::Select | Keyword::From | Keyword::Where)
-                        && !seen[k.index()]
-                    {
-                        seen[k.index()] = true;
-                        inverted[k.index()].push(id);
-                    }
-                }
-            }
+            push_postings(&mut inverted, id, &s.tokens);
         }
+        let live = structures.len();
+        let store = StructStore::Owned(structures);
+        let generation = derive_generation(&store, &[], &tries, weights, max_len);
         StructureIndex {
-            store: StructStore::Owned(structures),
+            store,
             tries,
             weights,
             inverted,
             max_len,
             workspaces: WorkspacePool::new(),
-            // ordering: the id only needs uniqueness, not synchronization
-            // with any other memory — Relaxed fetch_add is sufficient.
-            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+            removed: Vec::new(),
+            live,
+            generation,
         }
     }
 
@@ -470,18 +672,23 @@ impl StructureIndex {
     }
 
     /// Assemble an index from already-validated parts — the persist loader's
-    /// zero-copy path, where the tries are [`Trie`] views borrowing a
-    /// persisted image and the inverted lists were decoded alongside. The
-    /// parts must describe the same arena a [`StructureIndex::build`] over
-    /// `structures` would produce; the loader guarantees this because the
-    /// image was serialized from exactly those planes.
+    /// zero-copy path (tries are [`Trie`] views borrowing a persisted image)
+    /// and the delta path (a mix of reused and freshly rebuilt segments).
+    /// The parts must describe the same arena a [`StructureIndex::build`]
+    /// over the live structures would produce, up to tombstoned slots;
+    /// callers guarantee this by construction. The generation is derived
+    /// from the parts' content, so a reload of the same bytes — or a delta
+    /// that changes nothing — assembles to the generation it started with.
     pub(crate) fn from_parts(
         store: StructStore,
         tries: Vec<Vec<Trie>>,
         inverted: Vec<Vec<u32>>,
         weights: Weights,
         max_len: usize,
+        removed: Vec<bool>,
     ) -> StructureIndex {
+        let live = store.len() - removed.iter().filter(|&&r| r).count();
+        let generation = derive_generation(&store, &removed, &tries, weights, max_len);
         StructureIndex {
             store,
             tries,
@@ -489,9 +696,9 @@ impl StructureIndex {
             inverted,
             max_len,
             workspaces: WorkspacePool::new(),
-            // A freshly loaded arena is a new generation like any other
-            // build (see `generation`): Relaxed suffices for uniqueness.
-            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+            removed,
+            live,
+            generation,
         }
     }
 
@@ -515,14 +722,35 @@ impl StructureIndex {
         self.tries.iter().map(Vec::len).sum()
     }
 
-    /// Number of indexed structures.
+    /// Number of live (searchable) structures. Arena slots tombstoned by a
+    /// delta are excluded; see [`StructureIndex::arena_len`].
     pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when the index holds no live structures.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of arena slots, including tombstoned ones. Arena ids returned
+    /// in [`SearchHit`]s range over `0..arena_len()`; equals
+    /// [`StructureIndex::len`] until a delta removes something.
+    pub fn arena_len(&self) -> usize {
         self.store.len()
     }
 
-    /// True when the index holds no structures.
-    pub fn is_empty(&self) -> bool {
-        self.store.is_empty()
+    /// True when arena slot `id` was tombstoned by a delta. Tombstoned
+    /// slots keep their arena window (so old ids stay resolvable) but are
+    /// absent from every trie and posting list.
+    pub fn is_removed(&self, id: u32) -> bool {
+        self.removed.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// Tombstone flags (empty when nothing was ever removed); persist
+    /// writer and delta path.
+    pub(crate) fn removed(&self) -> &[bool] {
+        &self.removed
     }
 
     /// The edit-operation weights the index was built with.
@@ -530,13 +758,22 @@ impl StructureIndex {
         self.weights
     }
 
-    /// Process-unique id of this structure arena. [`SearchHit`]s reference
-    /// structures by arena index, which is only meaningful against the index
-    /// that produced them — callers memoizing hits across engines (the
-    /// shared skeleton cache) must key on this so results from a rebuilt or
-    /// different-schema index can never be replayed against the wrong arena.
-    /// Clones share the generation (same arena, same ids); every
-    /// [`StructureIndex::build`] mints a fresh one.
+    /// Content-derived id of this structure arena. [`SearchHit`]s reference
+    /// structures by arena index, which is only meaningful against an arena
+    /// with identical content — callers memoizing hits across engines (the
+    /// shared skeleton cache) key on this so results can only ever be
+    /// replayed against an arena where the ids resolve to the same
+    /// structures. The id is a deterministic hash of the arena slots,
+    /// tombstone flags, and trie segment planes (see `derive_generation`),
+    /// which gives two guarantees the old process-global counter could not:
+    ///
+    /// - **Stability**: a byte-identical reload, a clone, or a rebuild over
+    ///   the same content derives the *same* generation, so warm cache
+    ///   entries stay valid across restarts and re-registrations.
+    /// - **Safety**: any content change — a delta's tombstones or appends,
+    ///   different weights, a different structure space — derives a
+    ///   different generation, so stale hits can never be replayed against
+    ///   an arena whose ids mean something else.
     pub fn generation(&self) -> u64 {
         self.generation
     }
@@ -782,11 +1019,14 @@ impl StructureIndex {
         self.search_trie(&self.tries[j][shard], j, masked, cfg, state, cols, recorder);
     }
 
-    /// Brute-force reference scan over every structure; used by tests to
-    /// certify that trie search (with or without BDB) is exact.
+    /// Brute-force reference scan over every live structure; used by tests
+    /// to certify that trie search (with or without BDB) is exact.
     pub fn scan(&self, masked: &[StructTokId], k: usize) -> Vec<SearchHit> {
         let mut topk = TopK::new(k);
         for id in 0..self.store.len() {
+            if self.removed.get(id).copied().unwrap_or(false) {
+                continue;
+            }
             let d = weighted_lcs_distance(masked, self.store.tokens(id), self.weights);
             topk.offer(SearchHit {
                 structure: id as u32,
@@ -854,10 +1094,14 @@ impl StructureIndex {
         let Some(postings) = best_postings else {
             return false;
         };
-        // Arena ids are sorted by structure length, so the posting list is
-        // too. Scan outward from the candidates closest in length to the
-        // query: they carry the smallest Proposition 1 lower bounds, which
-        // tightens the early-abandon threshold immediately.
+        // Arena ids are sorted by structure length as built (deltas append
+        // at the tail, so the order is only approximately maintained after
+        // churn — INV is a documented approximation either way, and a
+        // delta'd arena and its full rebuild see the identical id order, so
+        // both resolve the same candidates). Scan outward from the
+        // candidates closest in length to the query: they carry the
+        // smallest Proposition 1 lower bounds, which tightens the
+        // early-abandon threshold immediately.
         let m = masked.len();
         let pivot = postings.partition_point(|&id| self.store.token_len(id as usize) < m);
         let (mut lo, mut hi) = (pivot, pivot);
@@ -1294,5 +1538,41 @@ mod tests {
         let idx = StructureIndex::build(vec![], Weights::PAPER);
         let masked = vec![StructTokId::from_tok(kw(Keyword::Select))];
         assert!(idx.search(&masked, &SearchConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn generation_is_content_derived() {
+        // Same content ⇒ same generation (two independent builds — the old
+        // process-global counter gave these distinct ids and cold-started
+        // every cache that keyed on them)...
+        let a = StructureIndex::from_grammar(&GeneratorConfig::small(), Weights::PAPER);
+        let b = StructureIndex::from_grammar(&GeneratorConfig::small(), Weights::PAPER);
+        assert_eq!(a.generation(), b.generation());
+        // ... while any content difference — structure space or weights —
+        // derives a different generation.
+        let smaller = StructureIndex::from_grammar(
+            &GeneratorConfig {
+                max_structures: Some(500),
+                ..GeneratorConfig::small()
+            },
+            Weights::PAPER,
+        );
+        assert_ne!(a.generation(), smaller.generation());
+        let reweighted = StructureIndex::from_grammar(
+            &GeneratorConfig::small(),
+            Weights {
+                keyword: 9,
+                ..Weights::PAPER
+            },
+        );
+        assert_ne!(a.generation(), reweighted.generation());
+    }
+
+    #[test]
+    fn clones_share_the_generation() {
+        let idx = small_index();
+        assert_eq!(idx.clone().generation(), idx.generation());
+        assert_eq!(idx.len(), idx.arena_len(), "no tombstones on a build");
+        assert!(!idx.is_removed(0));
     }
 }

@@ -20,6 +20,7 @@
 //!   planes, so accessors never need to re-check on the hot path beyond the
 //!   slice bounds checks the borrow checker already demands.
 
+use crate::content::StreamChecksum;
 use bytes::Bytes;
 use speakql_grammar::StructTokId;
 
@@ -52,6 +53,10 @@ enum NodeStore {
     },
     View {
         count: usize,
+        /// The segment's content id — the persisted-format checksum of the
+        /// planes, recorded (and verified) at load time so identity checks
+        /// never rehash the borrowed bytes. See [`Trie::content_id`].
+        content: u64,
         /// One byte per node.
         token: Bytes,
         /// Little-endian `u32` per node.
@@ -98,12 +103,14 @@ impl Trie {
 
     /// A trie whose node planes are zero-copy views over a validated
     /// persisted image. `count` is the node count; each `u32` plane holds
-    /// `count` little-endian values and the token plane `count` bytes. The
-    /// caller (the persist loader) has already validated bounds, checksums,
-    /// and structural invariants.
+    /// `count` little-endian values and the token plane `count` bytes.
+    /// `content` is the segment's verified plane checksum, kept as the
+    /// content id. The caller (the persist loader) has already validated
+    /// bounds, checksums, and structural invariants.
     pub(crate) fn from_view(
         len: usize,
         count: usize,
+        content: u64,
         token: Bytes,
         first_child: Bytes,
         next_sibling: Bytes,
@@ -113,11 +120,69 @@ impl Trie {
             len,
             nodes: NodeStore::View {
                 count,
+                content,
                 token,
                 first_child,
                 next_sibling,
                 structure,
             },
+        }
+    }
+
+    /// The segment's content id: the persisted-format checksum
+    /// (`content::checksum64` semantics) of this trie's serialized node
+    /// planes — token bytes, zero-padding to a 4-byte boundary, then the
+    /// first-child / next-sibling / structure planes as little-endian
+    /// `u32`s. Views return the checksum recorded (and verified) at load
+    /// time without touching the planes; owned tries stream the identical
+    /// byte sequence the persist writer would emit. Equal planes therefore
+    /// yield equal ids whether a segment was built, loaded, or carried
+    /// across a delta, which is what lets the arena generation be derived
+    /// from content rather than minted per process.
+    pub(crate) fn content_id(&self) -> u64 {
+        match &self.nodes {
+            NodeStore::View { content, .. } => *content,
+            NodeStore::Owned {
+                token,
+                first_child,
+                next_sibling,
+                structure,
+            } => {
+                let n = token.len();
+                let padded = n.next_multiple_of(4);
+                let mut h = StreamChecksum::new(padded + 12 * n);
+                let mut tmp = [0u8; 64];
+                for chunk in token.chunks(tmp.len()) {
+                    for (b, t) in tmp.iter_mut().zip(chunk) {
+                        *b = t.0;
+                    }
+                    h.update(&tmp[..chunk.len()]);
+                }
+                h.update(&[0u8; 4][..padded - n]);
+                for plane in [first_child, next_sibling, structure] {
+                    for &v in plane {
+                        h.update_u32_le(v);
+                    }
+                }
+                h.finish()
+            }
+        }
+    }
+
+    /// The four borrowed planes of a zero-copy view (token, first-child,
+    /// next-sibling, structure), or `None` for an owned trie. The persist
+    /// writer uses this to bulk-copy unchanged segments instead of
+    /// re-serializing them node by node.
+    pub(crate) fn view_planes(&self) -> Option<(&Bytes, &Bytes, &Bytes, &Bytes)> {
+        match &self.nodes {
+            NodeStore::Owned { .. } => None,
+            NodeStore::View {
+                token,
+                first_child,
+                next_sibling,
+                structure,
+                ..
+            } => Some((token, first_child, next_sibling, structure)),
         }
     }
 
@@ -325,7 +390,9 @@ mod tests {
     #[test]
     fn view_matches_owned() {
         // Build an owned trie, serialize its planes by hand, and check the
-        // zero-copy view is observationally identical node for node.
+        // zero-copy view is observationally identical node for node —
+        // including the content id, which for the view is the serialized
+        // segment checksum and for the owned trie is streamed on demand.
         let mut t = Trie::new(2);
         t.insert(&[kw(Keyword::Select), var()], 7);
         t.insert(&[kw(Keyword::Where), var()], 8);
@@ -341,14 +408,26 @@ mod tests {
             ns.extend_from_slice(&t.next_sibling(i).to_le_bytes());
             st.extend_from_slice(&t.structure(i).to_le_bytes());
         }
+        let mut serialized = token.clone();
+        while !serialized.len().is_multiple_of(4) {
+            serialized.push(0);
+        }
+        serialized.extend_from_slice(&fc);
+        serialized.extend_from_slice(&ns);
+        serialized.extend_from_slice(&st);
+        let content = crate::content::checksum64(&serialized);
+        assert_eq!(t.content_id(), content, "owned content id = plane checksum");
         let v = Trie::from_view(
             2,
             n,
+            content,
             Bytes::from(token),
             Bytes::from(fc),
             Bytes::from(ns),
             Bytes::from(st),
         );
+        assert_eq!(v.content_id(), t.content_id());
+        assert!(v.view_planes().is_some() && t.view_planes().is_none());
         assert_eq!(v.node_count(), n);
         assert!(!v.is_empty());
         for i in 0..n as u32 {

@@ -61,6 +61,22 @@ impl AccuracyReport {
         })
     }
 
+    /// All eight metrics paired with their paper abbreviations, in
+    /// [`METRIC_NAMES`] order — the total form of [`AccuracyReport::get`]
+    /// for report tables that print every metric.
+    pub fn metrics(&self) -> [(&'static str, f64); 8] {
+        [
+            ("KPR", self.kpr),
+            ("SPR", self.spr),
+            ("LPR", self.lpr),
+            ("WPR", self.wpr),
+            ("KRR", self.krr),
+            ("SRR", self.srr),
+            ("LRR", self.lrr),
+            ("WRR", self.wrr),
+        ]
+    }
+
     /// Element-wise max — used for "best of top k" reporting.
     pub fn max(self, other: AccuracyReport) -> AccuracyReport {
         AccuracyReport {

@@ -126,6 +126,15 @@ pub enum CounterId {
     /// Engine constructions that failed to load a persisted index (bad
     /// magic/version/checksum/truncation), surfaced as typed errors.
     ErrorsIndexLoad,
+    /// Incremental index deltas applied (`StructureIndex::apply_delta`).
+    IndexDeltaApplied,
+    /// Trie segments rebuilt by delta application (segments of the lengths
+    /// the delta touched).
+    IndexDeltaSegmentsRebuilt,
+    /// Trie segments carried into the delta'd index unchanged (an O(1)
+    /// clone for zero-copy views), proving the untouched lengths were not
+    /// re-generated.
+    IndexDeltaSegmentsReused,
 }
 
 /// Number of distinct [`CounterId`]s.
@@ -133,7 +142,7 @@ pub const COUNTER_COUNT: usize = CounterId::ALL.len();
 
 impl CounterId {
     /// Every counter, in registry order.
-    pub const ALL: [CounterId; 33] = [
+    pub const ALL: [CounterId; 36] = [
         CounterId::SearchNodesVisited,
         CounterId::SearchTriesSearched,
         CounterId::SearchTriesPruned,
@@ -167,6 +176,9 @@ impl CounterId {
         CounterId::IndexLoadRebuild,
         CounterId::IndexLoadSegments,
         CounterId::ErrorsIndexLoad,
+        CounterId::IndexDeltaApplied,
+        CounterId::IndexDeltaSegmentsRebuilt,
+        CounterId::IndexDeltaSegmentsReused,
     ];
 
     /// Stable dotted name used in reports and `BENCH_*.json`.
@@ -205,6 +217,9 @@ impl CounterId {
             CounterId::IndexLoadRebuild => "index.load.rebuild",
             CounterId::IndexLoadSegments => "index.load.segments_validated",
             CounterId::ErrorsIndexLoad => "engine.errors.index_load",
+            CounterId::IndexDeltaApplied => "index.delta.applied",
+            CounterId::IndexDeltaSegmentsRebuilt => "index.delta.segments_rebuilt",
+            CounterId::IndexDeltaSegmentsReused => "index.delta.segments_reused",
         }
     }
 }

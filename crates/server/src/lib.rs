@@ -12,9 +12,13 @@
 //! - **Per-request budgets**: a request that aged out waiting in the queue
 //!   is answered with `Timeout` before any engine time is spent on it.
 //! - **Cross-engine cache sharing** ([`TenantRegistry`]): every tenant
-//!   engine shares one skeleton cache keyed by index arena generation, so
-//!   tenants on the same schema warm each other's structure searches while
-//!   different arenas can never collide.
+//!   engine shares one skeleton cache keyed by content-derived index arena
+//!   generation, so tenants on the same schema warm each other's structure
+//!   searches while different arenas can never collide.
+//! - **Warm hot-swap**: a tenant can be re-registered over a new index
+//!   (e.g. after an incremental `IndexDelta`) without dropping any other
+//!   tenant's warm cache entries; re-registering the generation a tenant
+//!   already serves is a no-op that keeps its engine warm.
 //! - **Bounded retry**: transient `WorkerPanic` failures are retried (with
 //!   deterministic jittered backoff) before being surfaced.
 //! - **A panic-free wire protocol** ([`protocol`]): length-prefixed frames
@@ -31,7 +35,7 @@
 //!
 //! # fn index() -> std::sync::Arc<speakql_index::StructureIndex> { unimplemented!() }
 //! # fn db() -> speakql_db::Database { unimplemented!() }
-//! let mut registry = TenantRegistry::new(1024, true);
+//! let registry = TenantRegistry::new(1024, true);
 //! registry.register("employees", &db(), index(), Default::default());
 //! let mut server = Server::serve(registry, ServerConfig::default()).expect("spawn workers");
 //! let addr = server.listen("127.0.0.1:0").expect("bind");
@@ -50,5 +54,5 @@ pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
     FrameError, ProtocolError, Request, Response, MAX_FRAME,
 };
-pub use registry::TenantRegistry;
+pub use registry::{Registration, TenantRegistry};
 pub use server::{Server, ServerConfig, ServerHandle, CLASS_PROTOCOL, CLASS_UNKNOWN_TENANT};

@@ -1,28 +1,60 @@
-//! Per-tenant engine registry.
+//! Per-tenant engine registry with warm hot-swap.
 //!
 //! Each tenant is one schema (a [`Database`]) served by one [`SpeakQl`]
 //! engine. Every engine in a registry shares a single [`SkeletonCache`]:
-//! entries are keyed by the structure index's arena
+//! entries are keyed by the structure index's content-derived arena
 //! [`generation`](speakql_index::StructureIndex::generation), so tenants
-//! registered over the *same* `Arc<StructureIndex>` warm each other's
-//! structure searches (the cross-engine reuse PR 4 deferred), while tenants
-//! over different arenas can never replay each other's hits — their
-//! generations differ, so their keys do.
+//! whose indexes have the same content warm each other's structure searches
+//! — however each copy was built, loaded, or re-registered — while tenants
+//! over different arenas can never replay each other's hits.
 //!
-//! The registry is immutable once built (tenants are registered before the
-//! server starts), which keeps the request path lock-free: lookups borrow
-//! from a plain `HashMap` behind an `Arc`.
+//! Registration takes `&self`: the tenant map lives behind an `RwLock`, so
+//! a catalog change can hot-swap one tenant's engine (say, to an index a
+//! [`speakql_index::IndexDelta`] produced) while the server keeps taking
+//! requests. The swap is deliberately *warm*:
+//!
+//! - The shared cache is never cleared. The old engine's entries stay
+//!   keyed under the old generation and simply stop being consulted (LRU
+//!   ages them out); every other tenant's warm entries — including entries
+//!   for segments the delta never touched on *other* tenants sharing the
+//!   old index — keep hitting.
+//! - Re-registering a tenant over an index with the generation it already
+//!   serves is a **no-op** ([`Registration::Unchanged`]): the existing
+//!   engine, its warm state, and its `Arc` identity are all kept. Content
+//!   derivation makes this the common restart/reconcile case — reloading
+//!   the same image bytes yields the same generation.
+//!
+//! Request-path lookups clone the tenant's `Arc<SpeakQl>` under a read
+//! lock held for the duration of one `HashMap` probe; the lock is
+//! uncontended except during the (rare) swaps.
 
+use parking_lot::RwLock;
 use speakql_core::{Recorder, SkeletonCache, SpeakQl, SpeakQlConfig};
 use speakql_db::Database;
 use speakql_index::StructureIndex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// An immutable tenant → engine map over one shared skeleton cache and one
-/// shared metrics recorder.
+/// What [`TenantRegistry::register`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Registration {
+    /// The tenant was new; a fresh engine now serves it.
+    Inserted,
+    /// The tenant existed and the new index's generation differs: a fresh
+    /// engine replaced the old one (in-flight requests holding the old
+    /// `Arc` finish against the old arena; the shared cache keeps every
+    /// other tenant warm).
+    Swapped,
+    /// The tenant already serves an index with this exact generation — the
+    /// existing engine and all of its warm state were kept, and the
+    /// supplied index was dropped.
+    Unchanged,
+}
+
+/// A tenant → engine map over one shared skeleton cache and one shared
+/// metrics recorder, supporting warm in-place engine swaps.
 pub struct TenantRegistry {
-    tenants: HashMap<String, Arc<SpeakQl>>,
+    tenants: RwLock<HashMap<String, Arc<SpeakQl>>>,
     cache: Arc<SkeletonCache>,
     recorder: Recorder,
 }
@@ -35,52 +67,75 @@ impl TenantRegistry {
     /// all pipeline + server metrics into one aggregated recorder.
     pub fn new(cache_capacity: usize, observe: bool) -> TenantRegistry {
         TenantRegistry {
-            tenants: HashMap::new(),
+            tenants: RwLock::new(HashMap::new()),
             cache: Arc::new(SkeletonCache::new(cache_capacity.max(1))),
             recorder: Recorder::new(observe),
         }
     }
 
     /// Register `name` as an engine over `db` and `index`, sharing the
-    /// registry's skeleton cache and recorder. Re-registering a name
-    /// replaces its engine.
+    /// registry's skeleton cache and recorder. Re-registering a name over
+    /// an index whose generation the tenant already serves is a no-op that
+    /// keeps the existing engine warm ([`Registration::Unchanged`]); a
+    /// different generation swaps the engine ([`Registration::Swapped`])
+    /// without touching the shared cache.
     pub fn register(
-        &mut self,
+        &self,
         name: &str,
         db: &Database,
         index: Arc<StructureIndex>,
         config: SpeakQlConfig,
-    ) {
-        let engine = SpeakQl::with_shared_cache(
+    ) -> Registration {
+        let incoming = index.generation();
+        {
+            let tenants = self.tenants.read();
+            if let Some(existing) = tenants.get(name) {
+                if existing.index().generation() == incoming {
+                    return Registration::Unchanged;
+                }
+            }
+        }
+        // The engine is built outside any lock — catalog construction over
+        // a large schema is milliseconds, and the request path must not
+        // stall behind it.
+        let engine = Arc::new(SpeakQl::with_shared_cache(
             db,
             index,
             Arc::clone(&self.cache),
             self.recorder.clone(),
             config,
-        );
-        self.tenants.insert(name.to_string(), Arc::new(engine));
+        ));
+        let mut tenants = self.tenants.write();
+        match tenants.insert(name.to_string(), engine) {
+            None => Registration::Inserted,
+            // A racing register of the same generation loses benignly: the
+            // last writer's engine wins, both share the same warm cache.
+            Some(_) => Registration::Swapped,
+        }
     }
 
-    /// The engine serving `tenant`, if registered.
-    pub fn engine(&self, tenant: &str) -> Option<&Arc<SpeakQl>> {
-        self.tenants.get(tenant)
+    /// The engine serving `tenant`, if registered. The returned `Arc` pins
+    /// the engine for the caller even if the tenant is concurrently
+    /// hot-swapped; later lookups observe the replacement.
+    pub fn engine(&self, tenant: &str) -> Option<Arc<SpeakQl>> {
+        self.tenants.read().get(tenant).cloned()
     }
 
     /// Registered tenant names, sorted (for listings and reports).
-    pub fn tenant_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.tenants.keys().map(String::as_str).collect();
+    pub fn tenant_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tenants.read().keys().cloned().collect();
         names.sort_unstable();
         names
     }
 
     /// Number of registered tenants.
     pub fn len(&self) -> usize {
-        self.tenants.len()
+        self.tenants.read().len()
     }
 
     /// True when no tenant is registered.
     pub fn is_empty(&self) -> bool {
-        self.tenants.is_empty()
+        self.tenants.read().is_empty()
     }
 
     /// The skeleton cache shared by every registered engine.

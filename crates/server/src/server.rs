@@ -299,6 +299,8 @@ fn execute(shared: &Shared, job: &Job, waited: Duration) -> Response {
             message: err.to_string(),
         };
     }
+    // The Arc clone pins the engine for this request even if the tenant is
+    // hot-swapped while it is in flight.
     let Some(engine) = shared.registry.engine(&job.tenant) else {
         shared.recorder.incr(CounterId::ServerUnknownTenant);
         return Response::Err {
@@ -306,7 +308,7 @@ fn execute(shared: &Shared, job: &Job, waited: Duration) -> Response {
             message: format!("no tenant named {:?} is registered", job.tenant),
         };
     };
-    transcribe_with_retry(shared, engine, &job.transcript)
+    transcribe_with_retry(shared, &engine, &job.transcript)
 }
 
 /// Transcribe, retrying `WorkerPanic` up to `max_retries` times with

@@ -8,8 +8,8 @@ use speakql_grammar::GeneratorConfig;
 use speakql_index::StructureIndex;
 use speakql_observe::CounterId;
 use speakql_server::{
-    decode_response, encode_request, read_frame, write_frame, Request, Response, Server,
-    ServerConfig, TenantRegistry, CLASS_PROTOCOL, CLASS_UNKNOWN_TENANT,
+    decode_response, encode_request, read_frame, write_frame, Registration, Request, Response,
+    Server, ServerConfig, TenantRegistry, CLASS_PROTOCOL, CLASS_UNKNOWN_TENANT,
 };
 use std::io::Write;
 use std::net::TcpStream;
@@ -34,7 +34,7 @@ fn shared_index() -> Arc<StructureIndex> {
 /// A registry with two same-index tenants (employees, yelp) sharing one
 /// skeleton cache.
 fn two_tenant_registry() -> TenantRegistry {
-    let mut registry = TenantRegistry::new(256, true);
+    let registry = TenantRegistry::new(256, true);
     registry.register("employees", &employees_db(), shared_index(), small_config());
     registry.register("yelp", &yelp_db(), shared_index(), small_config());
     registry
@@ -173,7 +173,7 @@ fn transient_worker_panic_is_retried_to_success() {
             }
         }
     });
-    let mut registry = TenantRegistry::new(64, true);
+    let registry = TenantRegistry::new(64, true);
     registry.register(
         "employees",
         &employees_db(),
@@ -201,7 +201,7 @@ fn permanent_worker_panic_exhausts_retries_then_reports() {
             panic!("injected permanent fault");
         }
     });
-    let mut registry = TenantRegistry::new(64, true);
+    let registry = TenantRegistry::new(64, true);
     registry.register(
         "employees",
         &employees_db(),
@@ -247,13 +247,19 @@ fn same_index_tenants_share_warm_cache_entries_across_engines() {
 
 #[test]
 fn different_arena_tenants_never_reuse_each_others_hits() {
-    // A tenant over a *different* index (fresh build ⇒ fresh generation)
-    // must miss even for an identical transcript.
-    let mut registry = TenantRegistry::new(256, true);
+    // A tenant over a *different structure space* (here: a truncated
+    // generation cap, so the arena genuinely differs) must miss even for an
+    // identical transcript. Generations are content-derived, so it takes
+    // different content — not merely a separate build — to separate
+    // tenants.
+    let registry = TenantRegistry::new(256, true);
     registry.register("employees", &employees_db(), shared_index(), small_config());
     let other_cfg = small_config();
     let other_index = Arc::new(StructureIndex::from_grammar(
-        &GeneratorConfig::small(),
+        &GeneratorConfig {
+            max_structures: Some(1_000),
+            ..GeneratorConfig::small()
+        },
         other_cfg.weights,
     ));
     assert_ne!(other_index.generation(), shared_index().generation());
@@ -275,6 +281,94 @@ fn different_arena_tenants_never_reuse_each_others_hits() {
     let misses_after = server.recorder().counter(CounterId::CacheSkeletonMisses);
     assert_eq!(hits_after, hits_before, "different generation must not hit");
     assert!(misses_after > misses_before);
+    server.shutdown();
+}
+
+#[test]
+fn re_registering_unchanged_index_is_a_noop_that_stays_warm() {
+    // Restart/reconcile semantics: reloading the same persisted bytes
+    // derives the same content generation, so re-registering the tenant
+    // over the reloaded index must keep the existing engine (and its warm
+    // cache entries) instead of swapping in a cold one.
+    let registry = TenantRegistry::new(256, true);
+    registry.register("employees", &employees_db(), shared_index(), small_config());
+    let before = registry.engine("employees").expect("registered");
+
+    let bytes = speakql_index::to_bytes(&shared_index()).expect("serialize");
+    let reloaded = Arc::new(speakql_index::from_shared(bytes).expect("reload"));
+    assert_eq!(reloaded.generation(), shared_index().generation());
+    assert_eq!(
+        registry.register("employees", &employees_db(), reloaded, small_config()),
+        Registration::Unchanged
+    );
+    let after = registry.engine("employees").expect("still registered");
+    assert!(
+        Arc::ptr_eq(&before, &after),
+        "unchanged re-registration must keep the exact engine instance"
+    );
+
+    // And the warm path works end to end across the no-op re-registration.
+    let server = Server::serve(registry, ServerConfig::default()).expect("spawn workers");
+    let handle = server.handle();
+    assert!(matches!(
+        handle.request("employees", TRANSCRIPT),
+        Response::Ok { .. }
+    ));
+    let hits_before = server.recorder().counter(CounterId::CacheSkeletonHits);
+    assert!(matches!(
+        handle.request("employees", TRANSCRIPT),
+        Response::Ok { .. }
+    ));
+    assert!(server.recorder().counter(CounterId::CacheSkeletonHits) > hits_before);
+    server.shutdown();
+}
+
+#[test]
+fn hot_swap_keeps_untouched_tenants_warm() {
+    // Swapping one tenant to a delta'd index must not cost any other
+    // tenant its warm shared-cache entries.
+    let registry = TenantRegistry::new(256, true);
+    registry.register("employees", &employees_db(), shared_index(), small_config());
+    registry.register("yelp", &yelp_db(), shared_index(), small_config());
+    let server = Server::serve(registry, ServerConfig::default()).expect("spawn workers");
+    let handle = server.handle();
+
+    // Warm the employees tenant.
+    assert!(matches!(
+        handle.request("employees", TRANSCRIPT),
+        Response::Ok { .. }
+    ));
+
+    // Hot-swap yelp to an index with a handful of structures tombstoned.
+    let delta = speakql_index::IndexDelta::new().remove_structures([0u32, 3, 5]);
+    let (delta_idx, stats) = shared_index().apply_delta(&delta).expect("apply delta");
+    assert!(stats.segments_reused > 0);
+    assert_ne!(delta_idx.generation(), shared_index().generation());
+    assert_eq!(
+        server
+            .registry()
+            .register("yelp", &yelp_db(), Arc::new(delta_idx), small_config()),
+        Registration::Swapped
+    );
+
+    // Yelp serves the new arena (first request misses: new generation) ...
+    let misses_before = server.recorder().counter(CounterId::CacheSkeletonMisses);
+    assert!(matches!(
+        handle.request("yelp", TRANSCRIPT),
+        Response::Ok { .. }
+    ));
+    assert!(server.recorder().counter(CounterId::CacheSkeletonMisses) > misses_before);
+
+    // ... while employees' warm entry survived the swap untouched.
+    let hits_before = server.recorder().counter(CounterId::CacheSkeletonHits);
+    assert!(matches!(
+        handle.request("employees", TRANSCRIPT),
+        Response::Ok { .. }
+    ));
+    assert!(
+        server.recorder().counter(CounterId::CacheSkeletonHits) > hits_before,
+        "hot-swapping one tenant must not cold-start the others"
+    );
     server.shutdown();
 }
 
